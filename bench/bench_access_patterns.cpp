@@ -1,0 +1,147 @@
+// E6: invariant violations and flip locality (§II-A).
+//
+// Paper: (i) a read should not modify data at any address, (ii) a write
+// should modify only its own address — both violated; "as long as a row is
+// repeatedly opened, both read and write accesses can induce RowHammer
+// errors, all of which occur in rows other than the one being accessed";
+// victims are overwhelmingly physically adjacent; error counts depend on
+// the stored data pattern.
+#include <array>
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "attack/attacker.h"
+#include "core/module_tester.h"
+#include "core/system.h"
+
+using namespace densemem;
+using namespace densemem::attack;
+
+namespace {
+
+dram::DeviceConfig pattern_device(std::uint64_t seed = 909) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::vulnerable();
+  cfg.reliability.weak_cell_density = 2e-3;
+  cfg.reliability.hc50 = 15e3;
+  cfg.reliability.hc_sigma = 0.35;
+  cfg.reliability.distance2_weight = 0.03;
+  cfg.seed = seed;
+  cfg.record_flip_events = true;
+  return cfg;
+}
+
+std::uint32_t weak_victim(dram::Device& dev) {
+  for (std::uint32_t r : dev.fault_map().weak_rows(0))
+    if (r >= 3 && r + 3 < dev.geometry().rows) return r;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::banner("E6", "§II-A",
+                "read- vs write-hammer, victim adjacency, data-pattern "
+                "dependence");
+
+  const std::uint64_t iters = args.quick ? 15'000 : 40'000;
+
+  // --- (a) read-hammer vs write-hammer -------------------------------------
+  Table rw({"access_type", "raw_flips", "flips_in_aggressor_rows"});
+  std::uint64_t read_flips = 0, write_flips = 0, total_aggressor_flips = 0;
+  for (const bool writes : {false, true}) {
+    auto sys =
+        core::make_system(pattern_device(), ctrl::CtrlConfig{}, {});
+    auto& dev = sys.dev();
+    dev.fill_all(dram::BackgroundPattern::kOnes, sys.mc().now());
+    const std::uint32_t victim = weak_victim(dev);
+    std::array<std::uint64_t, 8> junk;
+    junk.fill(0xFFFFFFFFFFFFFFFFull);  // writes preserve the ones pattern
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      for (const std::uint32_t agg : {victim - 1, victim + 1}) {
+        if (writes)
+          sys.mc().write_block({0, 0, 0, agg, 0}, junk);
+        else
+          sys.mc().read_block({0, 0, 0, agg, 0});
+      }
+    }
+    sys.mc().activate_precharge(0, victim);
+    // Any flips inside the aggressor rows themselves?
+    std::uint64_t agg_flips = 0;
+    for (const auto& ev : dev.flip_events())
+      if (ev.logical_row == victim - 1 || ev.logical_row == victim + 1)
+        ++agg_flips;
+    rw.add_row({std::string(writes ? "write-hammer" : "read-hammer"),
+                dev.stats().disturb_flips, agg_flips});
+    (writes ? write_flips : read_flips) = dev.stats().disturb_flips;
+    total_aggressor_flips += agg_flips;
+  }
+  bench::emit(rw, args, "read_vs_write");
+
+  // --- (b) victim distance histogram ---------------------------------------
+  dram::DeviceConfig dc = pattern_device(911);
+  dc.reliability.weak_cell_density = 4e-3;
+  dram::Device dev(dc);
+  ctrl::MemoryController mc(dev, ctrl::CtrlConfig{});
+  std::map<std::uint32_t, std::uint64_t> by_distance;
+  std::uint64_t victims_tested = 0;
+  for (std::uint32_t v = 4; v + 4 < dev.geometry().rows; v += 9) {
+    AttackConfig ac;
+    ac.pattern.kind = PatternKind::kDoubleSided;
+    ac.pattern.victim_row = v;
+    ac.pattern.rows_in_bank = dev.geometry().rows;
+    ac.max_iterations = args.quick ? 10'000 : 25'000;
+    const auto res = Attacker(ac).run(mc);
+    for (const auto& [d, n] : res.flips_by_distance) by_distance[d] += n;
+    ++victims_tested;
+  }
+  Table dist({"distance_from_aggressor", "flips", "fraction"});
+  dist.set_precision(4);
+  std::uint64_t total = 0;
+  for (const auto& [d, n] : by_distance) total += n;
+  for (const auto& [d, n] : by_distance)
+    dist.add_row({std::uint64_t{d}, n,
+                  total ? static_cast<double>(n) / total : 0.0});
+  bench::emit(dist, args, "victim_distance");
+
+  // --- (c) data-pattern dependence ------------------------------------------
+  Table patterns({"data_pattern", "errors_per_1e9"});
+  patterns.set_scientific(true);
+  double rowstripe_rate = 0, solid_rate = 0;
+  for (const auto& [name, pat] :
+       {std::pair{"solid ones", dram::BackgroundPattern::kOnes},
+        std::pair{"solid zeros", dram::BackgroundPattern::kZeros},
+        std::pair{"rowstripe", dram::BackgroundPattern::kRowStripe},
+        std::pair{"checkerboard", dram::BackgroundPattern::kCheckerboard}}) {
+    dram::DeviceConfig pdc = pattern_device(913);
+    pdc.reliability.dpd_sensitivity_mean = 0.7;
+    dram::Device pdev(pdc);
+    core::ModuleTestConfig tc;
+    tc.sample_rows = args.quick ? 200 : 500;
+    tc.patterns = {pat};
+    tc.hammer_count = 36'000;
+    const auto res = core::ModuleTester(tc).run(pdev);
+    patterns.add_row({std::string(name), res.errors_per_1e9_cells});
+    if (std::string(name) == "rowstripe") rowstripe_rate = res.errors_per_1e9_cells;
+    if (std::string(name) == "solid ones") solid_rate = res.errors_per_1e9_cells;
+  }
+  bench::emit(patterns, args, "data_patterns");
+
+  std::cout << "\npaper: both access types hammer; victims adjacent; errors "
+               "depend on data pattern (ISCA'14 found rowstripe worst)\n";
+  bench::shape("read-hammer flips bits in rows it never addressed",
+               read_flips > 0);
+  bench::shape("write-hammer flips bits outside the written rows",
+               write_flips > 0);
+  bench::shape("no flips inside aggressor rows themselves",
+               total_aggressor_flips == 0);
+  const std::uint64_t d1 = by_distance.count(1) ? by_distance.at(1) : 0;
+  const std::uint64_t d2 = by_distance.count(2) ? by_distance.at(2) : 0;
+  bench::shape("adjacent (distance-1) victims dominate", d1 > 10 * d2);
+  bench::shape("rowstripe (antiparallel neighbours) beats solid patterns",
+               rowstripe_rate > solid_rate);
+  return 0;
+}

@@ -1,0 +1,165 @@
+// E7: attack surface (§II-B).
+//
+// Paper: RowHammer enables kernel-privilege escalation [89,90], remote
+// JavaScript attacks [33], VM-on-VM [86], mobile takeover [98]; and DDR4
+// TRR-era chips remain vulnerable [57]. We measure, per hammer pattern ×
+// mitigation: time-to-first-flip and exploit success of the PTE-spray
+// model — including the many-sided pattern that bypasses the TRR tracker.
+#include <iostream>
+#include <optional>
+
+#include "bench_util.h"
+#include "attack/attacker.h"
+#include "attack/exploit.h"
+#include "core/system.h"
+
+using namespace densemem;
+using namespace densemem::attack;
+using namespace densemem::core;
+
+namespace {
+
+dram::DeviceConfig victim_device(std::uint64_t seed = 1201) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::vulnerable();
+  cfg.reliability.weak_cell_density = 3e-3;
+  cfg.reliability.hc50 = 20e3;
+  cfg.reliability.hc_sigma = 0.3;
+  cfg.reliability.dpd_sensitivity_mean = 0.2;
+  cfg.reliability.anticell_fraction = 0.25;
+  cfg.seed = seed;
+  cfg.pattern = dram::BackgroundPattern::kOnes;
+  cfg.record_flip_events = true;
+  return cfg;
+}
+
+struct Cell {
+  std::optional<double> first_flip_ms;
+  std::uint64_t flips;
+  bool takeover;
+};
+
+Cell run_cell(PatternKind kind, const MitigationSpec& spec,
+              std::uint64_t iters) {
+  auto sys = make_system(victim_device(), ctrl::CtrlConfig{}, spec);
+  auto& dev = sys.dev();
+  std::uint32_t victim = 0;
+  for (std::uint32_t r : dev.fault_map().weak_rows(0))
+    if (r >= 40 && r + 40 < dev.geometry().rows) {
+      victim = r;
+      break;
+    }
+
+  // Spray the victim neighbourhood with PTEs before hammering.
+  ExploitConfig ec;
+  ec.attacker_frame_fraction = 0.5;
+  ExploitModel exploit(ec);
+  std::vector<std::uint32_t> sprayed;
+  for (std::uint32_t r = victim - 2; r <= victim + 2; ++r) {
+    exploit.spray_row(dev, 0, r, sys.mc().now());
+    sprayed.push_back(r);
+  }
+  const std::size_t ev0 = dev.flip_events().size();
+
+  AttackConfig ac;
+  ac.pattern.kind = kind;
+  ac.pattern.victim_row = victim;
+  ac.pattern.rows_in_bank = dev.geometry().rows;
+  ac.pattern.n_aggressors = 12;  // for many-sided: overflows 4-entry TRR
+  ac.max_iterations = iters;
+  ac.check_every = iters / 4;  // sparse checks: checking restores victims
+  ac.victim_data = dram::BackgroundPattern::kRandom;
+  Attacker atk(ac);
+  // Attacker fills the device; re-spray afterwards so PTEs are in place.
+  // (Simplest ordering: run fills, we re-spray, then a short re-run.)
+  auto res = atk.run(sys.mc());
+  // Exploit evaluation over the recorded flip stream of the sprayed rows:
+  // the spray above was overwritten by the attacker's fill, so evaluate on
+  // a dedicated second pass with PTE data in place.
+  for (std::uint32_t r : sprayed) exploit.spray_row(dev, 0, r, sys.mc().now());
+  const std::size_t ev1 = dev.flip_events().size();
+  HammerPattern pattern(ac.pattern);
+  std::vector<std::uint32_t> rows;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    rows.clear();
+    pattern.iteration_rows(i, rows);
+    for (std::uint32_t r : rows) sys.mc().activate_precharge(0, r);
+  }
+  for (std::uint32_t r : sprayed) sys.mc().activate_precharge(0, r);
+  const auto outcome = exploit.evaluate(dev, ev1, sprayed);
+  (void)ev0;
+
+  Cell cell;
+  cell.first_flip_ms = res.first_flip_ms;
+  // Count flips from the uninterrupted second pass: the first pass's
+  // periodic verification reads restore the victims (observer effect).
+  cell.flips = outcome.flips_total;
+  cell.takeover = outcome.takeover;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::banner("E7", "§II-B",
+                "pattern x mitigation: time-to-first-flip and PTE-exploit "
+                "takeover (incl. many-sided TRR bypass)");
+
+  const std::uint64_t iters = args.quick ? 30'000 : 60'000;
+
+  struct MitRow {
+    std::string name;
+    MitigationSpec spec;
+  };
+  std::vector<MitRow> mits;
+  mits.push_back({"none", {}});
+  {
+    MitigationSpec s;
+    s.kind = MitigationKind::kTrr;
+    s.trr.tracker_entries = 4;
+    mits.push_back({"TRR(4)", s});
+  }
+  {
+    MitigationSpec s;
+    s.kind = MitigationKind::kPara;
+    s.para.probability = 0.005;
+    mits.push_back({"PARA p=.005", s});
+  }
+
+  Table t({"pattern", "mitigation", "flips", "first_flip_ms", "takeover"});
+  t.set_precision(2);
+  bool none_double_takeover = false;
+  bool trr_double_protected = false, trr_many_bypassed = false;
+  bool para_all_protected = true;
+  for (const auto kind :
+       {PatternKind::kSingleSided, PatternKind::kDoubleSided,
+        PatternKind::kOneLocation, PatternKind::kManySided,
+        PatternKind::kRandom}) {
+    for (const auto& m : mits) {
+      const Cell c = run_cell(kind, m.spec, iters);
+      t.add_row({std::string(pattern_name(kind)), m.name, c.flips,
+                 c.first_flip_ms ? *c.first_flip_ms : -1.0,
+                 std::string(c.takeover ? "YES" : "no")});
+      if (kind == PatternKind::kDoubleSided && m.name == "none")
+        none_double_takeover = c.takeover;
+      if (kind == PatternKind::kDoubleSided && m.name == "TRR(4)")
+        trr_double_protected = (c.flips == 0);
+      if (kind == PatternKind::kManySided && m.name == "TRR(4)")
+        trr_many_bypassed = (c.flips > 0);
+      if (m.name == "PARA p=.005" && c.flips != 0) para_all_protected = false;
+    }
+  }
+  bench::emit(t, args);
+
+  std::cout << "\npaper: practical takeovers demonstrated on real systems; "
+               "DDR4-era TRR still bypassable [57]\n";
+  bench::shape("double-sided + no mitigation achieves takeover",
+               none_double_takeover);
+  bench::shape("TRR stops double-sided", trr_double_protected);
+  bench::shape("TRR bypassed by many-sided (TRRespass effect)",
+               trr_many_bypassed);
+  bench::shape("PARA protects against every pattern", para_all_protected);
+  return 0;
+}

@@ -1,0 +1,163 @@
+// E3: ECC coverage (§II-C).
+//
+// Paper claim: "simple SECDED ECC ... is not enough to prevent all
+// RowHammer errors, as some cache blocks experience two or more bit flips";
+// stronger ECC corrects them but costs energy/capacity. We hammer a
+// population of victim rows, histogram flips per 64-bit word and per
+// 64-byte block, and run the same fault stream through the real SECDED and
+// BCH controller paths.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "core/system.h"
+
+using namespace densemem;
+using namespace densemem::dram;
+
+namespace {
+
+DeviceConfig hammered_module(std::uint64_t seed) {
+  DeviceConfig cfg;
+  cfg.geometry = Geometry{1, 1, 1, 4096, 8192};
+  cfg.reliability = ReliabilityParams::vulnerable();
+  cfg.reliability.weak_cell_density = 4e-4;  // strongly hammered module
+  cfg.reliability.hc50 = 100e3;
+  cfg.reliability.dpd_sensitivity_mean = 0.2;
+  cfg.reliability.anticell_fraction = 0.0;
+  cfg.seed = seed;
+  cfg.pattern = BackgroundPattern::kOnes;
+  return cfg;
+}
+
+struct EccOutcome {
+  std::uint64_t rows = 0;
+  std::uint64_t raw_flips = 0;
+  std::uint64_t visible_flips = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t uncorrectable_blocks = 0;
+  double capacity_overhead = 0;
+};
+
+EccOutcome run_mode(ctrl::EccMode mode, int bch_t, bool quick,
+                    CountTally* per_word, CountTally* per_block) {
+  DeviceConfig dc = hammered_module(606);
+  Device dev(dc);
+  ctrl::CtrlConfig cc;
+  cc.ecc = mode;
+  cc.bch_t = bch_t;
+  ctrl::MemoryController mc(dev, cc);
+
+  EccOutcome out;
+  out.capacity_overhead = mc.ecc_capacity_overhead();
+  const std::uint32_t step = quick ? 16 : 4;
+  std::array<std::uint64_t, 8> ones;
+  ones.fill(~std::uint64_t{0});
+  for (std::uint32_t v = 2; v + 2 < dev.geometry().rows; v += step) {
+    if (!dev.fault_map().row_has_weak(0, v)) continue;
+    ++out.rows;
+    Address a{0, 0, 0, v, 0};
+    for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
+      a.col_word = blk;
+      mc.write_block(a, ones);
+    }
+    mc.close_all_banks();
+    const auto raw0 = dev.stats().disturb_flips;
+    dev.hammer(0, v - 1, 650'000, mc.now());
+    dev.hammer(0, v + 1, 650'000, mc.now());
+    const auto c0 = mc.stats();
+    for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
+      a.col_word = blk;
+      const auto r = mc.read_block(a);
+      std::uint64_t block_flips = 0;
+      for (std::uint32_t w = 0; w < 8; ++w) {
+        const auto wf =
+            static_cast<std::uint64_t>(std::popcount(~r.data[w]));
+        out.visible_flips += wf;
+        block_flips += wf;
+      }
+      (void)block_flips;
+    }
+    mc.close_all_banks();
+    out.raw_flips += dev.stats().disturb_flips - raw0;
+    out.corrected += mc.stats().ecc_corrected_words - c0.ecc_corrected_words;
+    out.uncorrectable_blocks +=
+        mc.stats().ecc_uncorrectable_blocks - c0.ecc_uncorrectable_blocks;
+
+    // Flip multiplicity histograms (no-ECC geometry: 8-word blocks).
+    if (per_word != nullptr) {
+      std::map<std::uint32_t, int> word_counts, block_counts;
+      for (const auto& c : dev.fault_map().weak_cells(0, v)) {
+        // Count only cells that actually flipped (stored bit now 0).
+        const auto snap = dev.snapshot_row(0, v);
+        if (((snap[c.bit / 64] >> (c.bit % 64)) & 1) == 0) {
+          ++word_counts[c.bit / 64];
+          ++block_counts[c.bit / 512];
+        }
+      }
+      for (const auto& [w, n] : word_counts) per_word->add(n);
+      for (const auto& [b, n] : block_counts) per_block->add(n);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::banner("E3", "§II-C",
+                "flips per word/cache block; SECDED coverage vs. stronger "
+                "BCH, with capacity overheads");
+
+  CountTally per_word, per_block;
+  const auto none =
+      run_mode(ctrl::EccMode::kNone, 4, args.quick, &per_word, &per_block);
+  const auto secded =
+      run_mode(ctrl::EccMode::kSecded, 4, args.quick, nullptr, nullptr);
+  const auto bch =
+      run_mode(ctrl::EccMode::kBch, 6, args.quick, nullptr, nullptr);
+  const auto rs =
+      run_mode(ctrl::EccMode::kRs, 0, args.quick, nullptr, nullptr);
+
+  Table multi({"flips_in_unit", "words", "blocks(64B)"});
+  for (std::int64_t k = 1; k <= 6; ++k)
+    multi.add_row({k, per_word.at(k), per_block.at(k)});
+  bench::emit(multi, args, "flip_multiplicity");
+
+  Table modes({"ecc", "raw_flips", "attacker_visible", "corrected_words",
+               "uncorrectable_blocks", "capacity_overhead_%"});
+  modes.set_precision(2);
+  modes.add_row({std::string("none"), none.raw_flips, none.visible_flips,
+                 none.corrected, none.uncorrectable_blocks,
+                 100.0 * none.capacity_overhead});
+  modes.add_row({std::string("SECDED(72,64)"), secded.raw_flips,
+                 secded.visible_flips, secded.corrected,
+                 secded.uncorrectable_blocks,
+                 100.0 * secded.capacity_overhead});
+  modes.add_row({std::string("BCH t=6/512b"), bch.raw_flips,
+                 bch.visible_flips, bch.corrected, bch.uncorrectable_blocks,
+                 100.0 * bch.capacity_overhead});
+  modes.add_row({std::string("RS(72,64) chipkill"), rs.raw_flips,
+                 rs.visible_flips, rs.corrected, rs.uncorrectable_blocks,
+                 100.0 * rs.capacity_overhead});
+  bench::emit(modes, args, "ecc_modes");
+
+  const double multi_word_frac = per_word.fraction_at_least(2);
+  std::cout << "\npaper: some blocks take 2+ flips -> SECDED insufficient; "
+               "stronger ECC costs capacity\n"
+            << "ours : " << multi_word_frac * 100.0
+            << "% of flipped words have 2+ flips; SECDED leaves "
+            << secded.uncorrectable_blocks << " uncorrectable blocks, BCH "
+            << bch.uncorrectable_blocks << "\n";
+  bench::shape("multi-flip words exist", per_word.fraction_at_least(2) > 0.0);
+  bench::shape("SECDED fails on some blocks",
+               secded.uncorrectable_blocks > 0);
+  bench::shape("BCH t=6 corrects everything SECDED could not",
+               bch.uncorrectable_blocks == 0 && bch.visible_flips == 0);
+  bench::shape("RS symbol correction also survives the fault stream",
+               rs.visible_flips == 0);
+  bench::shape("stronger ECC costs the same in-row capacity here (1/9)",
+               bch.capacity_overhead == secded.capacity_overhead);
+  return 0;
+}

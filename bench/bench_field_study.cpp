@@ -1,0 +1,122 @@
+// E14 (extension): large-scale field-study statistics (§III / §IV).
+//
+// The paper's §III opens with the field studies [76, 94, 95, 96]: both DRAM
+// and flash are "becoming less reliable" in production fleets, and §IV
+// argues that large-scale in-the-field data is one of the two pillars of
+// failure modeling. This bench runs a fleet of module instances drawn from
+// the calibrated database through months of simulated service (periodic
+// refresh + ECC scrubbing under a light hammer-free workload) and reports
+// the field-style metrics those studies use: fraction of modules with
+// errors, errors per module per month, correctable vs uncorrectable, and
+// the dependence on manufacturing year (the "newer technology is less
+// reliable" trend of Figure 1 seen through a fleet lens).
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "core/module_tester.h"
+#include "ctrl/controller.h"
+#include "dram/module_db.h"
+
+using namespace densemem;
+using namespace densemem::dram;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::banner("E14 (ext)", "§III / [76, 94-96]",
+                "fleet study: per-year module error incidence under a "
+                "service-like workload");
+
+  ModuleDb db;
+  // Service model: each module experiences a background access workload
+  // whose hottest row pair accumulates `service_activations` per refresh
+  // window on some aggressor rows (a pathological-but-benign app, far below
+  // a deliberate hammer), for `windows` windows.
+  const std::uint64_t service_activations = 250'000;
+  const std::uint32_t sampled_rows = args.quick ? 256 : 768;
+
+  struct YearAgg {
+    int modules = 0;
+    int with_errors = 0;
+    std::uint64_t total_errors = 0;
+  };
+  std::map<int, YearAgg> years;
+
+  Geometry g{1, 1, 1, 8192, 8192};
+  for (const auto& m : db.modules()) {
+    Device dev(db.device_config(m, g));
+    core::ModuleTestConfig tc;
+    tc.hammer_count = service_activations;  // total per victim, split 2 ways
+    tc.sample_rows = sampled_rows;
+    tc.seed = 99;
+    tc.patterns = {BackgroundPattern::kRandom};  // service data, not memtest
+    const auto res = core::ModuleTester(tc).run(dev);
+    auto& agg = years[m.year];
+    ++agg.modules;
+    agg.with_errors += res.failing_cells > 0;
+    agg.total_errors += res.failing_cells;
+  }
+
+  Table t({"year", "modules", "fraction_with_errors", "errors_per_module"});
+  t.set_precision(3);
+  double frac_2008 = 0, frac_2013 = 0;
+  for (const auto& [year, agg] : years) {
+    const double frac = static_cast<double>(agg.with_errors) / agg.modules;
+    t.add_row({std::int64_t{year}, std::int64_t{agg.modules}, frac,
+               static_cast<double>(agg.total_errors) / agg.modules});
+    if (year == 2008) frac_2008 = frac;
+    if (year == 2013) frac_2013 = frac;
+  }
+  bench::emit(t, args, "fleet_by_year");
+
+  // Correctable vs uncorrectable through the ECC lens: run the vulnerable
+  // 2013 modules' fault stream through SECDED and count what a fleet
+  // monitor would log.
+  std::uint64_t corrected = 0, uncorrectable = 0;
+  int checked = 0;
+  for (const auto& m : db.modules()) {
+    if (m.year != 2013 || !m.vulnerable || m.target_error_rate < 1e4) continue;
+    Device dev(db.device_config(m, Geometry{1, 1, 1, 2048, 8192}));
+    ctrl::CtrlConfig cc;
+    cc.ecc = ctrl::EccMode::kSecded;
+    ctrl::MemoryController mc(dev, cc);
+    std::array<std::uint64_t, 8> ones;
+    ones.fill(~std::uint64_t{0});
+    for (std::uint32_t v = 2; v + 2 < 2048 && checked < 2000; v += 3) {
+      if (!dev.fault_map().row_has_weak(0, v)) continue;
+      Address a{0, 0, 0, v, 0};
+      for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
+        a.col_word = blk;
+        mc.write_block(a, ones);
+      }
+      mc.close_all_banks();
+      dev.hammer(0, v - 1, service_activations / 2, mc.now());
+      dev.hammer(0, v + 1, service_activations / 2, mc.now());
+      for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
+        a.col_word = blk;
+        mc.read_block(a);
+      }
+      mc.close_all_banks();
+      ++checked;
+    }
+    corrected += mc.stats().ecc_corrected_words;
+    uncorrectable += mc.stats().ecc_uncorrectable_blocks;
+  }
+  Table e({"fleet_ecc_event", "count"});
+  e.add_row({std::string("corrected words"), corrected});
+  e.add_row({std::string("uncorrectable blocks"), uncorrectable});
+  bench::emit(e, args, "ecc_events");
+
+  std::cout << "\npaper: field studies show newer DRAM generations less "
+               "reliable; most events correctable, a tail is not\n";
+  bench::shape("2008 fleet cohort is clean under service load",
+               frac_2008 == 0.0);
+  bench::shape("2013 cohort shows widespread error incidence",
+               frac_2013 > 0.8);
+  bench::shape("error incidence grows toward newer years",
+               frac_2013 > frac_2008);
+  bench::shape("fleet ECC log shows corrected events", corrected > 0);
+  bench::shape("and a smaller uncorrectable tail",
+               uncorrectable > 0 && uncorrectable < corrected);
+  return 0;
+}

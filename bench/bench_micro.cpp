@@ -1,0 +1,218 @@
+// Microbenchmarks: hot-path costs of the simulator itself and the ECC
+// codecs (google-benchmark). These are engineering benchmarks, not paper
+// reproductions — they justify the design decisions in DESIGN.md §5
+// (sparse fault maps, O(1) bulk hammer, functional flash shifts).
+#include <benchmark/benchmark.h>
+
+#include "attack/patterns.h"
+#include "common/rng.h"
+#include "ctrl/controller.h"
+#include "ecc/bch.h"
+#include "ecc/hamming.h"
+#include "ecc/rs.h"
+#include "flash/controller.h"
+#include "pcm/wear_level.h"
+#include "softmc/trace.h"
+
+namespace {
+
+using namespace densemem;
+
+void BM_SecdedEncodeDecode(benchmark::State& state) {
+  Rng rng(1);
+  std::uint64_t d = rng.next_u64();
+  for (auto _ : state) {
+    const auto w = ecc::Secded7264::encode(d);
+    const auto r = ecc::Secded7264::decode(w);
+    benchmark::DoNotOptimize(r.data);
+    d = d * 6364136223846793005ULL + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SecdedEncodeDecode);
+
+void BM_BchEncode(benchmark::State& state) {
+  ecc::BchCode code({10, static_cast<int>(state.range(0)), 512});
+  Rng rng(2);
+  BitVec d(512);
+  for (std::size_t w = 0; w < d.word_count(); ++w) d.set_word(w, rng.next_u64());
+  for (auto _ : state) {
+    auto cw = code.encode(d);
+    benchmark::DoNotOptimize(cw);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BchEncode)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_BchDecodeWithErrors(benchmark::State& state) {
+  const int t = 8;
+  ecc::BchCode code({10, t, 512});
+  Rng rng(3);
+  BitVec d(512);
+  for (std::size_t w = 0; w < d.word_count(); ++w) d.set_word(w, rng.next_u64());
+  auto cw = code.encode(d);
+  const auto nerr = static_cast<std::size_t>(state.range(0));
+  for (std::size_t p : rng.sample_indices(cw.size(), nerr)) cw.flip(p);
+  for (auto _ : state) {
+    auto r = code.decode(cw);
+    benchmark::DoNotOptimize(r.corrected_bits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BchDecodeWithErrors)->Arg(0)->Arg(4)->Arg(8);
+
+void BM_DeviceActivatePrecharge(benchmark::State& state) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::vulnerable();
+  dram::Device dev(cfg);
+  std::uint32_t row = 100;
+  Time t;
+  for (auto _ : state) {
+    dev.activate(0, row, t);
+    dev.precharge(0, t);
+    row = row == 100 ? 102 : 100;
+    t += Time::ns(50);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeviceActivatePrecharge);
+
+void BM_DeviceBulkHammer(benchmark::State& state) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::vulnerable();
+  dram::Device dev(cfg);
+  Time t;
+  for (auto _ : state) {
+    dev.hammer(0, 100, 1'000'000, t);  // O(1) regardless of the count
+    t += Time::ms(64);
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000'000);
+}
+BENCHMARK(BM_DeviceBulkHammer);
+
+void BM_ControllerReadBlock(benchmark::State& state) {
+  dram::DeviceConfig dc;
+  dc.geometry = dram::Geometry::tiny();
+  dc.reliability = dram::ReliabilityParams::robust();
+  dram::Device dev(dc);
+  ctrl::CtrlConfig cc;
+  cc.ecc = state.range(0) ? ctrl::EccMode::kSecded : ctrl::EccMode::kNone;
+  ctrl::MemoryController mc(dev, cc);
+  dram::Address a{0, 0, 0, 1, 0};
+  std::uint32_t row = 1;
+  for (auto _ : state) {
+    a.row = row;
+    auto r = mc.read_block(a);
+    benchmark::DoNotOptimize(r.data);
+    row = (row % 500) + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ControllerReadBlock)->Arg(0)->Arg(1);
+
+void BM_FlashProgramPage(benchmark::State& state) {
+  flash::FlashConfig fc;
+  fc.geometry = {64, 32, 2048};
+  flash::FlashDevice dev(fc);
+  Rng rng(5);
+  BitVec page(2048);
+  for (std::size_t w = 0; w < page.word_count(); ++w)
+    page.set_word(w, rng.next_u64());
+  std::uint32_t block = 0, wl = 0;
+  bool msb = false;
+  for (auto _ : state) {
+    dev.program_page({block, wl, msb ? flash::PageType::kMsb
+                                     : flash::PageType::kLsb},
+                     page, 0.0);
+    if (msb) {
+      if (++wl == 32) {
+        wl = 0;
+        if (++block == 64) {
+          state.PauseTiming();
+          for (std::uint32_t b = 0; b < 64; ++b) dev.erase_block(b, 0.0);
+          block = 0;
+          state.ResumeTiming();
+        }
+      }
+    }
+    msb = !msb;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlashProgramPage);
+
+void BM_FlashReadPage(benchmark::State& state) {
+  flash::FlashConfig fc;
+  fc.geometry = {4, 32, 2048};
+  flash::FlashDevice dev(fc);
+  Rng rng(6);
+  BitVec page(2048);
+  for (std::size_t w = 0; w < page.word_count(); ++w)
+    page.set_word(w, rng.next_u64());
+  dev.program_page({0, 0, flash::PageType::kLsb}, page, 0.0);
+  for (auto _ : state) {
+    auto r = dev.read_page({0, 0, flash::PageType::kLsb}, 1000.0);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlashReadPage);
+
+void BM_RsEncodeDecode(benchmark::State& state) {
+  ecc::RsCode rs({4, 64});
+  Rng rng(7);
+  std::vector<std::uint8_t> d(64);
+  for (auto& b : d) b = static_cast<std::uint8_t>(rng.next_u64());
+  auto cw = rs.encode(d);
+  const auto nerr = static_cast<std::size_t>(state.range(0));
+  for (std::size_t p : rng.sample_indices(cw.size(), nerr)) cw[p] ^= 0x5A;
+  for (auto _ : state) {
+    auto r = rs.decode(cw);
+    benchmark::DoNotOptimize(r.corrected_symbols);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RsEncodeDecode)->Arg(0)->Arg(2)->Arg(4);
+
+void BM_PcmWearLeveledWrite(benchmark::State& state) {
+  pcm::PcmParams p;
+  p.endurance_median = 1e12;
+  pcm::PcmDevice dev({1025, 4}, p, 3);
+  pcm::WearConfig wc;
+  wc.policy = pcm::WearPolicy::kStartGap;
+  pcm::WearLeveledPcm pcm(dev, 1024, wc);
+  std::vector<std::uint8_t> levels(4, 2);
+  std::uint32_t la = 0;
+  for (auto _ : state) {
+    pcm.write(la, levels, 0.0);
+    la = (la + 7) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PcmWearLeveledWrite);
+
+void BM_TraceParse(benchmark::State& state) {
+  std::string text;
+  for (int i = 0; i < 200; ++i)
+    text += "ACT 0 " + std::to_string(i % 500) + "\nRD 0 3\nPRE 0\n";
+  for (auto _ : state) {
+    auto r = softmc::parse_trace(text);
+    benchmark::DoNotOptimize(r.program.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 600);
+}
+BENCHMARK(BM_TraceParse);
+
+void BM_FaultMapConstruction(benchmark::State& state) {
+  dram::ReliabilityParams p = dram::ReliabilityParams::vulnerable();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    dram::FaultMap m(seed++, 8, 32768, 65536, p);
+    benchmark::DoNotOptimize(m.total_weak_cells());
+  }
+}
+BENCHMARK(BM_FaultMapConstruction);
+
+}  // namespace

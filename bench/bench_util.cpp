@@ -1,0 +1,50 @@
+#include "bench_util.h"
+
+#include <cstring>
+#include <iostream>
+
+namespace densemem::bench {
+
+BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      args.csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--csv <path>] [--quick]\n";
+    }
+  }
+  return args;
+}
+
+void banner(const std::string& experiment_id, const std::string& paper_anchor,
+            const std::string& claim) {
+  std::cout << "==========================================================\n"
+            << experiment_id << "  (" << paper_anchor << ")\n"
+            << claim << "\n"
+            << "==========================================================\n";
+}
+
+void emit(const Table& table, const BenchArgs& args,
+          const std::string& series_name) {
+  if (!series_name.empty()) std::cout << "\n--- " << series_name << " ---\n";
+  table.print(std::cout);
+  if (!args.csv_path.empty()) {
+    const std::string path = series_name.empty()
+                                 ? args.csv_path
+                                 : args.csv_path + "." + series_name + ".csv";
+    if (table.write_csv(path))
+      std::cout << "[csv] " << path << "\n";
+    else
+      std::cout << "[csv] FAILED to write " << path << "\n";
+  }
+}
+
+void shape(const std::string& statement, bool holds) {
+  std::cout << "[shape] " << (holds ? "PASS" : "FAIL") << ": " << statement
+            << "\n";
+}
+
+}  // namespace densemem::bench

@@ -1,0 +1,34 @@
+// Shared helpers for the experiment benches (E1..E12): banner printing,
+// --csv mirroring, and common scaled-down device configurations.
+//
+// Every bench prints an ASCII table of the series the corresponding paper
+// figure/claim reports, plus a short "paper says / we measure" summary that
+// EXPERIMENTS.md quotes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+
+namespace densemem::bench {
+
+struct BenchArgs {
+  std::string csv_path;  ///< empty = no CSV mirror
+  bool quick = false;    ///< reduced sample counts for smoke runs
+};
+
+BenchArgs parse_args(int argc, char** argv);
+
+/// Prints the experiment banner (id, paper anchor, what is reproduced).
+void banner(const std::string& experiment_id, const std::string& paper_anchor,
+            const std::string& claim);
+
+/// Prints the table and mirrors it to CSV if requested.
+void emit(const Table& table, const BenchArgs& args,
+          const std::string& series_name = "");
+
+/// Prints a "shape check" line: the qualitative comparison the bench makes.
+void shape(const std::string& statement, bool holds);
+
+}  // namespace densemem::bench

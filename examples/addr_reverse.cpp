@@ -1,0 +1,133 @@
+// addr_reverse: reverse-engineer the DRAM address mapping through the
+// bank-conflict timing side channel, then use it to hammer.
+//
+// Real attacks need physical adjacency, but the controller's address
+// mapping is undocumented (§II-A: the controller decides which software
+// pages share DRAM rows). The DRAMA technique times address pairs:
+// same-bank/different-row pairs are slow (row conflict, tRC-bound),
+// same-row pairs are fast (row hits), cross-bank pairs are in between.
+// Flipping one physical address bit at a time classifies every bit, which
+// is exactly what this example does against a "secret" AddressMap — and
+// then it mounts a double-sided hammer using the recovered map.
+//
+//   $ ./addr_reverse
+#include <cstdio>
+#include <string>
+
+#include "dram/addr_map.h"
+#include "ctrl/controller.h"
+
+using namespace densemem;
+using namespace densemem::dram;
+
+namespace {
+
+// Average per-access latency of alternating reads to two physical
+// addresses (the probe primitive; reads go through the secret map).
+double probe_pair_ns(ctrl::MemoryController& mc, const AddressMap& map,
+                     std::uint64_t a, std::uint64_t b, int reps = 40) {
+  const Time t0 = mc.now();
+  for (int i = 0; i < reps; ++i) {
+    Address addr = map.decode(i % 2 ? b : a);
+    addr.col_word /= 8;  // block index
+    mc.read_block(addr);
+  }
+  return (mc.now() - t0).as_ns() / reps;
+}
+
+}  // namespace
+
+int main() {
+  // The system's secret mapping (the attacker knows only the capacity).
+  const Geometry g{2, 1, 8, 2048, 1024};
+  const AddressMap secret(g, Interleave::kRowBankCol, /*xor_bank_hash=*/false);
+
+  DeviceConfig dc;
+  dc.geometry = g;
+  dc.reliability = ReliabilityParams::vulnerable();
+  dc.reliability.weak_cell_density = 5e-4;
+  dc.reliability.hc50 = 60e3;
+  dc.reliability.dpd_sensitivity_mean = 0.0;
+  dc.reliability.anticell_fraction = 0.0;
+  dc.pattern = BackgroundPattern::kOnes;
+  dc.seed = 99;
+  Device dev(dc);
+  ctrl::MemoryController mc(dev, ctrl::CtrlConfig{});
+
+  std::printf("== addr_reverse: DRAMA-style map recovery ==\n");
+  std::printf("capacity: %llu MiB; probing bit-flip pairs...\n\n",
+              static_cast<unsigned long long>(secret.capacity_bytes() >> 20));
+
+  // Calibrate the three latency classes with known extremes.
+  const std::uint64_t base = 0;
+  std::printf("bit | latency(ns) | class\n");
+  const int addr_bits = 31 - __builtin_clz(static_cast<unsigned>(
+                                 secret.capacity_bytes() >> 3));
+  double max_lat = 0, min_lat = 1e9;
+  std::vector<double> lat(static_cast<std::size_t>(addr_bits) + 3, 0.0);
+  for (int bit = 3; bit < addr_bits + 3; ++bit) {
+    lat[static_cast<std::size_t>(bit - 3)] =
+        probe_pair_ns(mc, secret, base, base ^ (1ull << bit));
+    max_lat = std::max(max_lat, lat[static_cast<std::size_t>(bit - 3)]);
+    min_lat = std::min(min_lat, lat[static_cast<std::size_t>(bit - 3)]);
+  }
+  const double hi_cut = max_lat * 0.9;       // slow = row conflict
+  const double lo_cut = min_lat * 1.1;       // fast = row hit
+  int lowest_row_bit = -1;
+  for (int bit = 3; bit < addr_bits + 3; ++bit) {
+    const double l = lat[static_cast<std::size_t>(bit - 3)];
+    const char* cls;
+    if (l >= hi_cut) {
+      cls = "ROW   (same bank, new row: conflict)";
+      if (lowest_row_bit < 0) lowest_row_bit = bit;
+    } else if (l <= lo_cut) {
+      cls = "COLUMN (same row: hit)";
+    } else {
+      cls = "BANK/CHANNEL (different bank: overlap)";
+    }
+    std::printf("%3d | %10.2f | %s\n", bit, l, cls);
+  }
+
+  if (lowest_row_bit < 0) {
+    std::printf("\nmap recovery failed (no row-conflict bit found)\n");
+    return 1;
+  }
+  const std::uint64_t row_stride = 1ull << lowest_row_bit;
+  std::printf("\nrecovered: +0x%llx steps one DRAM row within the bank\n",
+              static_cast<unsigned long long>(row_stride));
+  const Address check0 = secret.decode(base);
+  const Address check1 = secret.decode(base + row_stride);
+  std::printf("ground truth: row %u -> %u, bank %u -> %u  %s\n\n", check0.row,
+              check1.row, check0.bank, check1.bank,
+              (check1.row == check0.row + 1 && check1.bank == check0.bank)
+                  ? "(correct)"
+                  : "(WRONG)");
+
+  // Mount a double-sided hammer purely in physical-address space: victim at
+  // +2 rows, aggressors at +1 and +3.
+  std::printf("hammering rows addr+1R and addr+3R around victim addr+2R...\n");
+  Address victim = secret.decode(base + 2 * row_stride);
+  // Search victims until one has weak cells (attacker would spray & pray).
+  std::uint64_t probe_base = base;
+  for (int tries = 0; tries < 400; ++tries) {
+    victim = secret.decode(probe_base + 2 * row_stride);
+    const std::uint32_t fb = flat_bank(g, victim);
+    if (dev.fault_map().row_has_weak(fb, dev.remap().to_physical(victim.row)))
+      break;
+    probe_base += 4 * row_stride;
+  }
+  const Address agg1 = secret.decode(secret.encode(victim) - row_stride);
+  const Address agg2 = secret.decode(secret.encode(victim) + row_stride);
+  const std::uint32_t fb = flat_bank(g, victim);
+  for (int i = 0; i < 80'000; ++i) {
+    mc.activate_precharge(fb, agg1.row);
+    mc.activate_precharge(fb, agg2.row);
+  }
+  mc.activate_precharge(fb, victim.row);
+  std::printf("bit flips induced: %llu\n",
+              static_cast<unsigned long long>(dev.stats().disturb_flips));
+  std::printf("\nTakeaway: the timing side channel hands the attacker the "
+              "physical map —\nsecrecy of the address mapping is not a "
+              "defence (§II-B).\n");
+  return dev.stats().disturb_flips > 0 ? 0 : 1;
+}

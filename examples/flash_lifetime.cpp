@@ -1,0 +1,74 @@
+// flash_lifetime: the §III-A2 flash story — wear + retention kill an SSD,
+// the controller's recovery ladder (read-retry -> NAC -> RFR) and FCR
+// refresh win it back.
+//
+//   $ ./flash_lifetime
+#include <cstdio>
+
+#include "flash/ssd.h"
+
+using namespace densemem;
+using namespace densemem::flash;
+
+int main() {
+  std::printf("== flash_lifetime: MLC SSD lifetime under retention ==\n\n");
+
+  SsdConfig cfg;
+  cfg.flash.geometry = {2, 8, 2048};
+  cfg.flash.seed = 99;
+  cfg.flash.cell.leak_sigma = 0.6;
+  cfg.pe_step = 2000;
+  cfg.max_pe = 60000;
+  cfg.retention_target_s = 30 * 86400.0;  // 30-day power-off target
+
+  // --- RBER surface -----------------------------------------------------------
+  std::printf("raw bit error rate (RBER) vs wear and retention age:\n");
+  std::printf("%10s %12s %12s %12s\n", "P/E", "1 day", "30 days", "1 year");
+  for (const std::uint32_t pe : {1000u, 6000u, 15000u}) {
+    std::printf("%10u", pe);
+    for (const double age : {86400.0, 30 * 86400.0, 365 * 86400.0})
+      std::printf(" %12.2e", SsdLifetimeSim::rber_at(cfg, pe, age));
+    std::printf("\n");
+  }
+
+  // --- Lifetime under different controller policies ---------------------------
+  struct Policy {
+    const char* name;
+    SsdConfig cfg;
+  };
+  std::vector<Policy> policies;
+  policies.push_back({"BCH t=8 only", cfg});
+  {
+    SsdConfig c = cfg;
+    c.ctrl.enable_rfr = true;
+    policies.push_back({"+ RFR recovery", c});
+  }
+  {
+    SsdConfig c = cfg;
+    c.ctrl.enable_rfr = true;
+    c.fcr_period_s = 3 * 86400.0;
+    policies.push_back({"+ FCR (3-day refresh)", c});
+  }
+  {
+    SsdConfig c = cfg;
+    c.ctrl.ecc_t = 12;
+    c.ctrl.enable_rfr = true;
+    c.fcr_period_s = 3 * 86400.0;
+    policies.push_back({"+ stronger ECC (t=12)", c});
+  }
+
+  std::printf("\nlifetime (highest P/E surviving the 30-day retention "
+              "target):\n");
+  std::uint32_t prev = 0;
+  for (const auto& p : policies) {
+    const auto r = SsdLifetimeSim(p.cfg).run();
+    std::printf("  %-24s %6u P/E cycles%s\n", p.name, r.pe_lifetime,
+                prev && r.pe_lifetime > prev ? "  (improved)" : "");
+    prev = r.pe_lifetime;
+  }
+
+  std::printf("\nTakeaway: retention errors dominate (§III-A2); each layer "
+              "of the controller's\nmitigation ladder — exactly what modern "
+              "SSD controllers ship — buys lifetime.\n");
+  return 0;
+}

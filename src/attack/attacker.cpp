@@ -1,0 +1,108 @@
+#include "attack/attacker.h"
+
+#include <bit>
+#include <cstdlib>
+
+namespace densemem::attack {
+
+std::uint64_t Attacker::expected_word(dram::Device& dev, std::uint32_t row,
+                                      std::uint32_t block,
+                                      std::uint32_t w) const {
+  return dev.pattern_word(row, block * 8 + w);
+}
+
+std::uint64_t Attacker::check_row(ctrl::MemoryController& mc,
+                                  std::uint32_t row) {
+  std::uint64_t flipped_bits = 0;
+  dram::Address a = dram::address_of(mc.device().geometry(), cfg_.fbank, row);
+  for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
+    a.col_word = blk;
+    const auto r = mc.read_block(a);
+    for (std::uint32_t w = 0; w < 8; ++w) {
+      const std::uint64_t diff =
+          r.data[w] ^ expected_word(mc.device(), row, blk, w);
+      flipped_bits += static_cast<std::uint64_t>(std::popcount(diff));
+    }
+  }
+  return flipped_bits;
+}
+
+AttackResult Attacker::run(ctrl::MemoryController& mc) {
+  dram::Device& dev = mc.device();
+  AttackResult res;
+
+  // Prepare victim data. With ECC enabled the check words must be
+  // consistent, so seed the pattern through the controller's write path for
+  // all rows the attack will verify; otherwise the background pattern
+  // suffices.
+  dev.fill_all(cfg_.victim_data, mc.now());
+  HammerPattern pattern(cfg_.pattern);
+  const auto victims = pattern.expected_victims();
+  if (mc.config().ecc != ctrl::EccMode::kNone) {
+    dram::Address a = dram::address_of(dev.geometry(), cfg_.fbank, 0);
+    for (std::uint32_t row : victims) {
+      a.row = row;
+      for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
+        a.col_word = blk;
+        std::array<std::uint64_t, 8> d{};
+        for (std::uint32_t w = 0; w < 8; ++w)
+          d[w] = expected_word(dev, row, blk, w);
+        mc.write_block(a, d);
+      }
+    }
+    mc.close_all_banks();
+  }
+
+  const auto stats0 = dev.stats();
+  const auto cstats0 = mc.stats();
+  const std::size_t events0 = dev.flip_events().size();
+  const Time t0 = mc.now();
+
+  std::vector<std::uint32_t> rows;
+  for (std::uint64_t it = 0; it < cfg_.max_iterations; ++it) {
+    rows.clear();
+    pattern.iteration_rows(it, rows);
+    for (std::uint32_t r : rows) mc.activate_precharge(cfg_.fbank, r);
+    res.iterations_run = it + 1;
+
+    const bool last = (it + 1 == cfg_.max_iterations);
+    if ((cfg_.check_every != 0 && (it + 1) % cfg_.check_every == 0) || last) {
+      std::uint64_t found = 0;
+      for (std::uint32_t v : victims) found += check_row(mc, v);
+      mc.close_all_banks();
+      if (found > res.observed_flips) {
+        res.observed_flips = found;
+        if (!res.first_flip_ms) res.first_flip_ms = mc.now().as_ms();
+        if (cfg_.stop_at_first_flip) break;
+      }
+    }
+  }
+
+  const auto& stats1 = dev.stats();
+  const auto& cstats1 = mc.stats();
+  res.activates = stats1.activates - stats0.activates;
+  res.raw_disturb_flips = stats1.disturb_flips - stats0.disturb_flips;
+  res.ecc_corrected_words =
+      cstats1.ecc_corrected_words - cstats0.ecc_corrected_words;
+  res.ecc_uncorrectable_blocks =
+      cstats1.ecc_uncorrectable_blocks - cstats0.ecc_uncorrectable_blocks;
+  res.flips_1to0 = stats1.flips_1to0 - stats0.flips_1to0;
+  res.flips_0to1 = stats1.flips_0to1 - stats0.flips_0to1;
+  res.elapsed_ms = (mc.now() - t0).as_ms();
+
+  if (dev.config().record_flip_events && !pattern.aggressors().empty()) {
+    const auto& ev = dev.flip_events();
+    for (std::size_t i = events0; i < ev.size(); ++i) {
+      std::uint32_t best = ~0u;
+      for (std::uint32_t a : pattern.aggressors()) {
+        const std::uint32_t d =
+            ev[i].logical_row > a ? ev[i].logical_row - a : a - ev[i].logical_row;
+        best = std::min(best, d);
+      }
+      ++res.flips_by_distance[best];
+    }
+  }
+  return res;
+}
+
+}  // namespace densemem::attack

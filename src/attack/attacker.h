@@ -1,0 +1,65 @@
+// Attack driver: runs a hammer pattern through the memory controller and
+// measures what the attacker observes — bit flips in rows it never wrote,
+// time to the first flip, and where the flips land (§II-A/§II-B).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "attack/patterns.h"
+#include "ctrl/controller.h"
+
+namespace densemem::attack {
+
+struct AttackConfig {
+  PatternConfig pattern;
+  std::uint32_t fbank = 0;
+  std::uint64_t max_iterations = 200000;
+  /// Read-and-verify the victim rows every N iterations (0 = only at the
+  /// end). Checking activates the victim row, which restores its charge —
+  /// the same trade-off a real attack's verification loop faces.
+  std::uint64_t check_every = 0;
+  bool stop_at_first_flip = false;
+  dram::BackgroundPattern victim_data = dram::BackgroundPattern::kOnes;
+};
+
+struct AttackResult {
+  std::uint64_t iterations_run = 0;
+  std::uint64_t activates = 0;
+  /// Bit flips the attacker observed by reading victim rows (post-ECC if
+  /// the controller has ECC enabled — corrected flips are invisible here).
+  std::uint64_t observed_flips = 0;
+  /// Raw flips the device committed (ground truth, incl. ECC-hidden ones).
+  std::uint64_t raw_disturb_flips = 0;
+  std::uint64_t ecc_corrected_words = 0;
+  std::uint64_t ecc_uncorrectable_blocks = 0;
+  std::optional<double> first_flip_ms;  ///< simulated time of first observation
+  double elapsed_ms = 0.0;
+  /// Raw flips by distance from the nearest aggressor row (needs the device
+  /// flip-event log; 1 = adjacent). Key 0 means "in an aggressor row".
+  std::map<std::uint32_t, std::uint64_t> flips_by_distance;
+  std::uint64_t flips_1to0 = 0;
+  std::uint64_t flips_0to1 = 0;
+};
+
+class Attacker {
+ public:
+  explicit Attacker(AttackConfig cfg) : cfg_(cfg) {}
+
+  /// Prepares victim data, hammers, verifies. The controller (and its
+  /// device) are mutated; pass a fresh pair per trial for independence.
+  AttackResult run(ctrl::MemoryController& mc);
+
+ private:
+  /// Read every block of `row` and count bits differing from the prepared
+  /// pattern.
+  std::uint64_t check_row(ctrl::MemoryController& mc, std::uint32_t row);
+  std::uint64_t expected_word(dram::Device& dev, std::uint32_t row,
+                              std::uint32_t block, std::uint32_t w) const;
+
+  AttackConfig cfg_;
+};
+
+}  // namespace densemem::attack

@@ -1,0 +1,89 @@
+#include "attack/patterns.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace densemem::attack {
+
+const char* pattern_name(PatternKind k) {
+  switch (k) {
+    case PatternKind::kSingleSided: return "single-sided";
+    case PatternKind::kDoubleSided: return "double-sided";
+    case PatternKind::kOneLocation: return "one-location";
+    case PatternKind::kManySided: return "many-sided";
+    case PatternKind::kHalfDouble: return "half-double";
+    case PatternKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+HammerPattern::HammerPattern(PatternConfig cfg)
+    : cfg_(cfg), rng_(hash_coords(cfg.seed, 0x41545041 /* "ATPA" */)) {
+  DM_CHECK_MSG(cfg_.rows_in_bank >= 8, "pattern needs a plausible bank");
+  DM_CHECK_MSG(cfg_.victim_row >= 2 && cfg_.victim_row + 2 < cfg_.rows_in_bank,
+               "victim must have two rows of margin on each side");
+  const std::uint32_t v = cfg_.victim_row;
+  switch (cfg_.kind) {
+    case PatternKind::kSingleSided: {
+      // Aggressor next to the victim plus a far dummy row: alternating
+      // between them defeats the row buffer, like the original user-level
+      // test's two-address loop.
+      const std::uint32_t dummy =
+          (v + cfg_.rows_in_bank / 2) % cfg_.rows_in_bank;
+      aggressors_ = {v + 1, dummy};
+      break;
+    }
+    case PatternKind::kDoubleSided:
+      aggressors_ = {v - 1, v + 1};
+      break;
+    case PatternKind::kOneLocation:
+      aggressors_ = {v + 1};
+      break;
+    case PatternKind::kManySided: {
+      DM_CHECK_MSG(cfg_.n_aggressors >= 2, "many-sided needs >= 2 aggressors");
+      aggressors_ = {v - 1, v + 1};
+      std::uint32_t r = v + cfg_.decoy_stride;
+      while (aggressors_.size() < cfg_.n_aggressors) {
+        if (r + 2 >= cfg_.rows_in_bank) r = cfg_.decoy_stride;
+        aggressors_.push_back(r);
+        r += cfg_.decoy_stride;
+      }
+      break;
+    }
+    case PatternKind::kHalfDouble:
+      aggressors_ = {v - 2, v + 2};
+      break;
+    case PatternKind::kRandom:
+      break;  // drawn per-iteration
+  }
+}
+
+std::vector<std::uint32_t> HammerPattern::expected_victims() const {
+  // Distance-1 and distance-2 neighbours: adjacent rows dominate, but the
+  // distance-2 coupling term can flip rows one further out (ISCA'14 found a
+  // non-adjacent tail), so the verification sweep must read them too.
+  std::set<std::uint32_t> v;
+  for (std::uint32_t a : aggressors_) {
+    for (std::uint32_t d = 1; d <= 2; ++d) {
+      if (a >= d) v.insert(a - d);
+      if (a + d < cfg_.rows_in_bank) v.insert(a + d);
+    }
+  }
+  for (std::uint32_t a : aggressors_) v.erase(a);  // aggressors self-refresh
+  return {v.begin(), v.end()};
+}
+
+void HammerPattern::iteration_rows(std::uint64_t /*i*/,
+                                   std::vector<std::uint32_t>& out) {
+  if (cfg_.kind == PatternKind::kRandom) {
+    for (int k = 0; k < 2; ++k)
+      out.push_back(static_cast<std::uint32_t>(
+          rng_.uniform_int(std::uint64_t{cfg_.rows_in_bank})));
+    return;
+  }
+  out.insert(out.end(), aggressors_.begin(), aggressors_.end());
+}
+
+}  // namespace densemem::attack

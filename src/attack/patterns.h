@@ -1,0 +1,61 @@
+// Hammer access-pattern kernels — the shapes user-level RowHammer code
+// actually issues (§II-A/§II-B; cf. the released rowhammer test program [3]
+// and its Project-Zero enhancement [4]).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace densemem::attack {
+
+enum class PatternKind {
+  kSingleSided,  ///< one aggressor adjacent to the victim + a far dummy row
+                 ///< (forces row conflicts, as the original test does)
+  kDoubleSided,  ///< aggressors on both sides of the victim
+  kOneLocation,  ///< hammer a single row only
+  kManySided,    ///< double-sided pair + decoy aggressors (TRR eviction)
+  kHalfDouble,   ///< aggressors at distance 2: relies on the mitigation's own
+                 ///< targeted refreshes of the distance-1 rows to hammer the
+                 ///< victim (the post-TRR attack generation)
+  kRandom,       ///< random rows each iteration (background "noise" baseline)
+};
+
+const char* pattern_name(PatternKind k);
+
+struct PatternConfig {
+  PatternKind kind = PatternKind::kDoubleSided;
+  std::uint32_t victim_row = 0;
+  std::uint32_t rows_in_bank = 0;    ///< for clamping / random generation
+  std::uint32_t n_aggressors = 8;    ///< kManySided total aggressor count
+  std::uint32_t decoy_stride = 16;   ///< spacing of kManySided decoy rows
+  std::uint64_t seed = 1;            ///< kRandom row selection
+};
+
+/// Produces the per-iteration aggressor row sequence for a pattern. One
+/// "iteration" touches every aggressor once (so iteration counts are
+/// comparable across patterns in per-row activation terms, divide by the
+/// aggressor multiplicity where needed).
+class HammerPattern {
+ public:
+  explicit HammerPattern(PatternConfig cfg);
+
+  const PatternConfig& config() const { return cfg_; }
+  /// Fixed aggressor set (empty for kRandom, which draws fresh rows).
+  const std::vector<std::uint32_t>& aggressors() const { return aggressors_; }
+  /// Rows the attacker does NOT control but expects flips in (the victim and
+  /// other neighbours of the aggressors).
+  std::vector<std::uint32_t> expected_victims() const;
+
+  /// Rows to activate for iteration `i` (appends to `out`).
+  void iteration_rows(std::uint64_t i, std::vector<std::uint32_t>& out);
+
+ private:
+  PatternConfig cfg_;
+  std::vector<std::uint32_t> aggressors_;
+  Rng rng_;
+};
+
+}  // namespace densemem::attack

@@ -1,0 +1,60 @@
+#include "common/bitvec.h"
+
+#include <bit>
+
+namespace densemem {
+
+void BitVec::fill_stripes(std::size_t stride, bool phase) {
+  DM_CHECK_MSG(stride > 0, "stripe stride must be positive");
+  for (std::size_t i = 0; i < nbits_; ++i) {
+    const bool v = ((i / stride) % 2 == 0) != phase;
+    set(i, v);
+  }
+}
+
+std::size_t BitVec::popcount() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& a, const BitVec& b) {
+  DM_CHECK_MSG(a.size() == b.size(), "hamming_distance requires equal sizes");
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < a.words_.size(); ++w)
+    n += static_cast<std::size_t>(std::popcount(a.words_[w] ^ b.words_[w]));
+  return n;
+}
+
+std::vector<std::size_t> BitVec::set_bits() const {
+  std::vector<std::size_t> out;
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w) {
+      const int b = std::countr_zero(w);
+      out.push_back(wi * 64 + static_cast<std::size_t>(b));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+BitVec& BitVec::operator^=(const BitVec& o) {
+  DM_CHECK(size() == o.size());
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= o.words_[w];
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& o) {
+  DM_CHECK(size() == o.size());
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= o.words_[w];
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& o) {
+  DM_CHECK(size() == o.size());
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
+  return *this;
+}
+
+}  // namespace densemem

@@ -1,0 +1,89 @@
+// Dynamic bit vector used for row data, code words, and fault masks.
+//
+// std::vector<bool> lacks word-level access and popcount; std::bitset is
+// fixed-size. BitVec gives word access (needed by the ECC codecs, which work
+// on whole 64-bit words) plus set-bit iteration (needed to enumerate flips).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace densemem {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t nbits, bool value = false)
+      : nbits_(nbits), words_((nbits + 63) / 64, value ? ~std::uint64_t{0} : 0) {
+    trim();
+  }
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+  std::size_t word_count() const { return words_.size(); }
+
+  bool get(std::size_t i) const {
+    DM_DCHECK(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void set(std::size_t i, bool v = true) {
+    DM_DCHECK(i < nbits_);
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (v)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+  void clear(std::size_t i) { set(i, false); }
+  void flip(std::size_t i) {
+    DM_DCHECK(i < nbits_);
+    words_[i >> 6] ^= std::uint64_t{1} << (i & 63);
+  }
+
+  std::uint64_t word(std::size_t w) const {
+    DM_DCHECK(w < words_.size());
+    return words_[w];
+  }
+  void set_word(std::size_t w, std::uint64_t v) {
+    DM_DCHECK(w < words_.size());
+    words_[w] = v;
+    if (w + 1 == words_.size()) trim();
+  }
+
+  void fill(bool v) {
+    for (auto& w : words_) w = v ? ~std::uint64_t{0} : 0;
+    trim();
+  }
+
+  /// Fill with an alternating pattern at the given bit granularity:
+  /// stride=1 → 0101..., stride=8 → byte stripes, etc. `phase` inverts.
+  void fill_stripes(std::size_t stride, bool phase = false);
+
+  std::size_t popcount() const;
+
+  /// Number of differing bits between two equal-length vectors.
+  static std::size_t hamming_distance(const BitVec& a, const BitVec& b);
+
+  /// Indices of set bits, ascending.
+  std::vector<std::size_t> set_bits() const;
+
+  BitVec& operator^=(const BitVec& o);
+  BitVec& operator&=(const BitVec& o);
+  BitVec& operator|=(const BitVec& o);
+  friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
+  friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
+  friend BitVec operator|(BitVec a, const BitVec& b) { return a |= b; }
+  bool operator==(const BitVec& o) const = default;
+
+ private:
+  void trim() {
+    if (nbits_ % 64 != 0 && !words_.empty())
+      words_.back() &= (std::uint64_t{1} << (nbits_ % 64)) - 1;
+  }
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace densemem

@@ -1,0 +1,50 @@
+// Lightweight precondition / invariant checking.
+//
+// DM_CHECK is always-on (configuration and API-contract errors must not be
+// silently ignored in a reliability simulator); DM_DCHECK compiles out in
+// release builds and guards hot-path invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace densemem {
+
+/// Thrown when an API precondition or configuration invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DM_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace densemem
+
+#define DM_CHECK(expr)                                                   \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::densemem::detail::check_failed(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define DM_CHECK_MSG(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::densemem::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifndef NDEBUG
+#define DM_DCHECK(expr) DM_CHECK(expr)
+#else
+#define DM_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#endif

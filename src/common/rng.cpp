@@ -1,0 +1,117 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+namespace densemem {
+
+void Xoshiro256pp::long_jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  DM_DCHECK(n > 0);
+  // Lemire-style rejection with widening multiply.
+  const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = gen_();
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(r) * static_cast<unsigned __int128>(n);
+    const std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo >= threshold) return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  DM_CHECK_MSG(mean >= 0.0, "poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double prod = uniform();
+    std::uint64_t k = 0;
+    while (prod > limit) {
+      prod *= uniform();
+      ++k;
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction.
+  const double x = normal(mean, std::sqrt(mean));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) {
+  DM_CHECK_MSG(p >= 0.0 && p <= 1.0, "binomial p must be in [0,1]");
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  const double np = static_cast<double>(n) * p;
+  if (np < 25.0 || static_cast<double>(n) * (1.0 - p) < 25.0) {
+    if (n <= 64) {
+      std::uint64_t k = 0;
+      for (std::uint64_t i = 0; i < n; ++i) k += bernoulli(p) ? 1 : 0;
+      return k;
+    }
+    // Poisson approximation is adequate in the rare-event regime the
+    // framework uses (weak-cell counts), otherwise fall through to normal.
+    if (p < 0.05) {
+      std::uint64_t k = poisson(np);
+      return std::min<std::uint64_t>(k, n);
+    }
+  }
+  const double sigma = std::sqrt(np * (1.0 - p));
+  const double x = normal(np, sigma);
+  if (x <= 0.0) return 0;
+  const auto k = static_cast<std::uint64_t>(x + 0.5);
+  return std::min(k, n);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  DM_CHECK_MSG(k <= n, "cannot sample more indices than the population");
+  // Floyd's algorithm would avoid the O(n) init, but n here is modest
+  // (rows in a bank at most); partial Fisher–Yates keeps it simple.
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + uniform_int(static_cast<std::uint64_t>(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace densemem

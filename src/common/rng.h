@@ -1,0 +1,154 @@
+// Deterministic pseudo-random number generation and distributions.
+//
+// The whole framework is seeded: a given (seed, module, row) triple always
+// produces the same fault map, so experiments are reproducible bit-for-bit
+// across runs and machines. We implement xoshiro256++ (public-domain
+// algorithm by Blackman & Vigna) rather than relying on std::mt19937 so the
+// stream is stable across standard-library implementations, and SplitMix64
+// for seeding / hashing coordinates into independent streams.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace densemem {
+
+/// SplitMix64: fast 64-bit mixer. Used to derive seeds and to hash
+/// coordinates (module id, bank, row, ...) into independent RNG streams.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Combine an arbitrary number of 64-bit coordinates into one stream seed.
+template <typename... Ts>
+constexpr std::uint64_t hash_coords(std::uint64_t first, Ts... rest) {
+  std::uint64_t h = splitmix64(first);
+  ((h = splitmix64(h ^ static_cast<std::uint64_t>(rest))), ...);
+  return h;
+}
+
+/// xoshiro256++ PRNG. Satisfies UniformRandomBitGenerator.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256pp(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    // Seed the four state words via SplitMix64 as recommended by the authors.
+    std::uint64_t x = seed;
+    for (auto& w : s_) {
+      x = splitmix64(x);
+      w = x;
+    }
+    // All-zero state is invalid; splitmix64 output of any seed is never all
+    // zero across four words, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Long-jump: advance 2^192 steps; partitions the stream for parallel use.
+  void long_jump();
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Convenience wrapper bundling the generator with the distributions the
+/// framework needs. All distributions are implemented here (not std::) so
+/// streams are identical across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : gen_(seed) {}
+
+  std::uint64_t next_u64() { return gen_(); }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    // 53-bit mantissa from the top bits.
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses rejection to be unbiased.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    DM_DCHECK(hi >= lo);
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+  /// Lognormal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Exponential with the given rate (lambda).
+  double exponential(double rate) {
+    DM_DCHECK(rate > 0);
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+  }
+
+  /// Poisson-distributed count with the given mean. Uses inversion for small
+  /// means and normal approximation (rounded, clamped at 0) for large means.
+  std::uint64_t poisson(double mean);
+
+  /// Binomial(n, p) sample. Exact inversion for small n*p, otherwise normal
+  /// approximation clamped to [0, n].
+  std::uint64_t binomial(std::uint64_t n, double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_int(static_cast<std::uint64_t>(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  Xoshiro256pp gen_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace densemem

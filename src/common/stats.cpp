@@ -1,0 +1,88 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace densemem {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sem() const {
+  return n_ ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += o.m2_ + delta * delta * na * nb / n;
+  n_ += o.n_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), bins_(bins, 0) {
+  DM_CHECK_MSG(hi > lo, "histogram range must be non-empty");
+  DM_CHECK_MSG(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  const auto i = static_cast<std::size_t>((x - lo_) / width_);
+  if (i >= bins_.size()) {
+    overflow_ += weight;
+    return;
+  }
+  bins_[i] += weight;
+}
+
+double QuantileSet::quantile(double q) {
+  DM_CHECK_MSG(!samples_.empty(), "quantile of empty sample set");
+  DM_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (samples_.size() == 1) return samples_[0];
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto i = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(i);
+  if (i + 1 >= samples_.size()) return samples_.back();
+  return samples_[i] * (1.0 - frac) + samples_[i + 1] * frac;
+}
+
+double CountTally::fraction_at_least(std::int64_t key) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t n = 0;
+  for (auto it = counts_.lower_bound(key); it != counts_.end(); ++it)
+    n += it->second;
+  return static_cast<double>(n) / static_cast<double>(total_);
+}
+
+ProportionCI wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                             double z) {
+  if (trials == 0) return {0.0, 0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {p, std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+}  // namespace densemem

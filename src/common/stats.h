@@ -1,0 +1,123 @@
+// Streaming statistics, histograms, and quantile estimation for experiment
+// harnesses. Everything is exact (no sketches): experiment sample counts are
+// modest and reproducibility beats memory here.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace densemem {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Standard error of the mean.
+  double sem() const;
+
+  void merge(const RunningStats& o);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin linear histogram over [lo, hi); out-of-range samples land in
+/// underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+  std::uint64_t bin_count(std::size_t i) const {
+    DM_CHECK(i < bins_.size());
+    return bins_[i];
+  }
+  double bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  double bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+  std::size_t num_bins() const { return bins_.size(); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_, width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Exact quantiles over a retained sample set.
+class QuantileSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const { return samples_.size(); }
+  /// q in [0, 1]; linear interpolation between order statistics.
+  double quantile(double q);
+  double median() { return quantile(0.5); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Sparse integer-count tally (e.g. "flips per cache block" → occurrences).
+class CountTally {
+ public:
+  void add(std::int64_t key, std::uint64_t weight = 1) {
+    counts_[key] += weight;
+    total_ += weight;
+  }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t at(std::int64_t key) const {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  const std::map<std::int64_t, std::uint64_t>& counts() const { return counts_; }
+  double fraction_at_least(std::int64_t key) const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Wilson score interval for a binomial proportion — used to report
+/// Monte-Carlo failure probabilities with honest uncertainty.
+struct ProportionCI {
+  double p;
+  double lo;
+  double hi;
+};
+ProportionCI wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                             double z = 1.96);
+
+}  // namespace densemem

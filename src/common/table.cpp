@@ -1,0 +1,132 @@
+#include "common/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace densemem {
+
+Table& Table::add_row(std::vector<Cell> cells) {
+  DM_CHECK_MSG(cells.size() == headers_.size(),
+               "row width must match header count");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::format_cell(const Cell& c) const {
+  std::ostringstream os;
+  if (std::holds_alternative<std::string>(c)) {
+    os << std::get<std::string>(c);
+  } else if (std::holds_alternative<double>(c)) {
+    if (scientific_)
+      os << std::scientific << std::setprecision(precision_)
+         << std::get<double>(c);
+    else
+      os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  } else if (std::holds_alternative<std::int64_t>(c)) {
+    os << std::get<std::int64_t>(c);
+  } else {
+    os << std::get<std::uint64_t>(c);
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+       << headers_[c] << " |";
+  os << '\n';
+  rule();
+  for (const auto& r : rendered) {
+    os << '|';
+    for (std::size_t c = 0; c < r.size(); ++c)
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << r[c]
+         << " |";
+    os << '\n';
+  }
+  rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&os](const std::string& s) {
+    if (s.find_first_of(",\"\n") != std::string::npos) {
+      os << '"';
+      for (char ch : s) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    } else {
+      os << s;
+    }
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    emit(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      emit(format_cell(row[c]));
+    }
+    os << '\n';
+  }
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  print_csv(f);
+  return static_cast<bool>(f);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string format_sci(double v, int digits) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string format_count(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  std::size_t lead = raw.size() % 3;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i != 0 && (i + 3 - lead) % 3 == 0) out += ',';
+    out += raw[i];
+  }
+  return out;
+}
+
+}  // namespace densemem

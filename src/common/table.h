@@ -1,0 +1,53 @@
+// Result-table formatting for the benchmark harness: every experiment prints
+// an aligned ASCII table to stdout and can optionally mirror it to CSV, so
+// the bench binaries regenerate the paper's tables/figures as plain series.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace densemem {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t, std::uint64_t>;
+
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Number formatting for doubles: fixed decimals or scientific.
+  void set_precision(int digits) { precision_ = digits; }
+  void set_scientific(bool on) { scientific_ = on; }
+
+  Table& add_row(std::vector<Cell> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& os) const;
+  /// Render as CSV (RFC-4180-ish quoting for strings containing commas).
+  void print_csv(std::ostream& os) const;
+  /// Write CSV to a file path; returns false if the file cannot be opened.
+  bool write_csv(const std::string& path) const;
+
+  std::string to_string() const;
+
+ private:
+  std::string format_cell(const Cell& c) const;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+  bool scientific_ = false;
+};
+
+/// Format a double like "1.23e+05" compactly (used for error rates).
+std::string format_sci(double v, int digits = 3);
+
+/// Format a count with thousands separators ("1,234,567").
+std::string format_count(std::uint64_t v);
+
+}  // namespace densemem

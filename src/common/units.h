@@ -1,0 +1,85 @@
+// Strongly-typed simulation time and convenience size/energy constants.
+//
+// All device and controller timing is kept in integer picoseconds so timing
+// arithmetic is exact (DDR parameters are sub-nanosecond multiples of the
+// clock period; floating point would accumulate drift over a 64 ms refresh
+// window of ~10^8 commands).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace densemem {
+
+/// Absolute simulation time / durations in picoseconds.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time ps(std::int64_t v) { return Time{v}; }
+  static constexpr Time ns(std::int64_t v) { return Time{v * 1'000}; }
+  static constexpr Time us(std::int64_t v) { return Time{v * 1'000'000}; }
+  static constexpr Time ms(std::int64_t v) { return Time{v * 1'000'000'000}; }
+  static constexpr Time s(std::int64_t v) {
+    return Time{v * 1'000'000'000'000};
+  }
+  /// Nearest-picosecond conversion from fractional nanoseconds.
+  static constexpr Time ns_f(double v) {
+    return Time{static_cast<std::int64_t>(v * 1e3 + (v >= 0 ? 0.5 : -0.5))};
+  }
+
+  constexpr std::int64_t picoseconds() const { return ps_; }
+  constexpr double as_ns() const { return static_cast<double>(ps_) * 1e-3; }
+  constexpr double as_us() const { return static_cast<double>(ps_) * 1e-6; }
+  constexpr double as_ms() const { return static_cast<double>(ps_) * 1e-9; }
+  constexpr double as_s() const { return static_cast<double>(ps_) * 1e-12; }
+
+  constexpr Time operator+(Time o) const { return Time{ps_ + o.ps_}; }
+  constexpr Time operator-(Time o) const { return Time{ps_ - o.ps_}; }
+  constexpr Time operator*(std::int64_t k) const { return Time{ps_ * k}; }
+  constexpr Time operator/(std::int64_t k) const { return Time{ps_ / k}; }
+  constexpr std::int64_t operator/(Time o) const { return ps_ / o.ps_; }
+  constexpr Time& operator+=(Time o) {
+    ps_ += o.ps_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time o) {
+    ps_ -= o.ps_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Time&) const = default;
+
+ private:
+  constexpr explicit Time(std::int64_t v) : ps_(v) {}
+  std::int64_t ps_ = 0;
+};
+
+constexpr Time operator*(std::int64_t k, Time t) { return t * k; }
+
+/// Energy in picojoules; same rationale as Time.
+class Energy {
+ public:
+  constexpr Energy() = default;
+  static constexpr Energy pj(double v) { return Energy{v}; }
+  static constexpr Energy nj(double v) { return Energy{v * 1e3}; }
+  constexpr double as_pj() const { return pj_; }
+  constexpr double as_nj() const { return pj_ * 1e-3; }
+  constexpr double as_mj() const { return pj_ * 1e-9; }
+  constexpr Energy operator+(Energy o) const { return Energy{pj_ + o.pj_}; }
+  constexpr Energy operator*(double k) const { return Energy{pj_ * k}; }
+  constexpr Energy& operator+=(Energy o) {
+    pj_ += o.pj_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Energy&) const = default;
+
+ private:
+  constexpr explicit Energy(double v) : pj_(v) {}
+  double pj_ = 0.0;
+};
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+}  // namespace densemem

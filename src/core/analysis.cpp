@@ -1,0 +1,100 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace densemem::core {
+
+double para_survival_probability(double p, std::uint64_t n) {
+  DM_CHECK_MSG(p >= 0.0 && p <= 1.0, "probability out of range");
+  return std::pow(1.0 - p, static_cast<double>(n));
+}
+
+double para_failure_probability(double p, std::uint64_t n, std::uint64_t t) {
+  DM_CHECK_MSG(p >= 0.0 && p <= 1.0, "probability out of range");
+  DM_CHECK_MSG(t >= 1, "run length must be positive");
+  if (n < t) return 0.0;
+  const double q_t_bound = std::pow(1.0 - p, static_cast<double>(t));
+  // Union bound over run start positions: exact to first order and the only
+  // representable answer once the probability drops below double epsilon
+  // (the DP's 1 - s[n] would round to zero there).
+  const double union_bound =
+      static_cast<double>(n - t + 1) * p * q_t_bound + q_t_bound;
+  if (union_bound < 1e-9) return union_bound;
+  // DP over closes: f[i] = P(no miss-run of length t within the first i
+  // closes AND close i was a refresh-hit), g[i] = P(no run yet, last j
+  // closes were misses). Standard run-length recurrence: let s[i] be the
+  // probability that no t-run occurred in the first i trials. Then
+  //   s[i] = s[i-1] - p * (1-p)^t * s[i-t-1]   for i > t,
+  // with s[i] = 1 for i < t and s[t] = 1 - (1-p)^t.
+  const double q_t = std::pow(1.0 - p, static_cast<double>(t));
+  std::vector<double> s(n + 1, 1.0);
+  s[t] = 1.0 - q_t;
+  for (std::uint64_t i = t + 1; i <= n; ++i) {
+    const double prev = (i >= t + 1) ? s[i - t - 1] : 1.0;
+    s[i] = s[i - 1] - p * q_t * prev;
+    if (s[i] < 0.0) s[i] = 0.0;
+  }
+  return 1.0 - s[n];
+}
+
+std::uint64_t max_hammers_per_window(const dram::Timing& t) {
+  return static_cast<std::uint64_t>(t.max_activations_per_window());
+}
+
+double refresh_time_overhead(const dram::Timing& t) {
+  return static_cast<double>(t.tRFC.picoseconds()) /
+         static_cast<double>(t.tREFI.picoseconds());
+}
+
+double lognormal_cdf(double x, double mu_log, double sigma) {
+  if (x <= 0.0) return 0.0;
+  return 0.5 * std::erfc(-(std::log(x) - mu_log) / (sigma * std::sqrt(2.0)));
+}
+
+double expected_test_error_rate(const dram::ReliabilityParams& params,
+                                std::uint64_t hammer_count) {
+  // Stress seen by the victim: the budget splits across two adjacent
+  // aggressors, and both are adjacent to the victim, so the victim receives
+  // the full budget (plus a negligible distance-2 term we ignore here).
+  const double stress = static_cast<double>(hammer_count);
+  const double mu = std::log(params.hc50);
+
+  // Per-cell flip probability under the three-pattern union. Solid
+  // patterns store parallel aggressor data (pattern factor 1 - s) and
+  // charge the cell under exactly one of ones/zeros depending on its
+  // orientation; checkerboard charges half the cells at full factor 1.
+  // A cell fails the test if it flips under ANY pattern, i.e. if
+  //   thr < stress * max(factor over patterns that charge it).
+  // For a cell charged under checkerboard the max factor is 1; otherwise
+  // it is (1 - s) from its solid pattern.
+  //
+  // Integrate s over the clipped normal N(mean, 0.2) the fault map draws.
+  const double s_mean = params.dpd_sensitivity_mean;
+  const double s_sigma = 0.2;
+  const int steps = 64;
+  double p_flip = 0.0;
+  double weight_sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double z = -3.0 + 6.0 * (static_cast<double>(i) + 0.5) / steps;
+    const double w = std::exp(-0.5 * z * z);
+    const double s = std::clamp(s_mean + s_sigma * z, 0.0, 1.0);
+    // Half the cells sit on a checkerboard-charged bit (factor 1); all
+    // cells are charged under their matching solid pattern (factor 1-s).
+    const double p_checker = lognormal_cdf(stress, mu, params.hc_sigma);
+    const double p_solid =
+        lognormal_cdf(stress * (1.0 - s), mu, params.hc_sigma);
+    // For the checkerboard-charged half, failing under EITHER pattern is
+    // dominated by the larger factor (1 >= 1-s); the other half only has
+    // its solid pattern.
+    p_flip += w * (0.5 * std::max(p_checker, p_solid) + 0.5 * p_solid);
+    weight_sum += w;
+  }
+  p_flip /= weight_sum;
+  return params.weak_cell_density * p_flip * 1e9;
+}
+
+}  // namespace densemem::core

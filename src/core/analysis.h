@@ -1,0 +1,48 @@
+// Closed-form reliability/security models, cross-checked against the
+// simulator by the benches (design decision #3 in DESIGN.md: every analytic
+// claim is double-booked against Monte Carlo, and vice versa).
+#pragma once
+
+#include <cstdint>
+
+#include "dram/reliability.h"
+#include "dram/timing.h"
+
+namespace densemem::core {
+
+/// PARA (§II-C): probability that a victim survives exactly `n` aggressor
+/// row-closes without any neighbour refresh, with per-close refresh
+/// probability p. (The victim is refreshed whenever PARA fires on either
+/// adjacent aggressor close.)
+double para_survival_probability(double p, std::uint64_t n);
+
+/// Probability that, within `n` aggressor closes, there exists a run of at
+/// least `t` consecutive closes with no PARA refresh — i.e. the victim
+/// accumulates `t` hammer stress without a restore and flips. Exact DP.
+double para_failure_probability(double p, std::uint64_t n, std::uint64_t t);
+
+/// Maximum activations one aggressor can issue inside a refresh window
+/// under the given timing (the N of the PARA analysis; §II-C).
+std::uint64_t max_hammers_per_window(const dram::Timing& t);
+
+/// Time overhead of refresh: fraction of rank time consumed by REF commands
+/// (tRFC per tREFI). Grows linearly with the refresh-rate multiplier — the
+/// §II-C objection to refresh-based mitigation.
+double refresh_time_overhead(const dram::Timing& t);
+
+/// Expected number of weak cells flipped when every weak cell whose
+/// threshold is below `stress` flips: lognormal CDF of the threshold
+/// distribution. Used to sanity-check module error rates analytically.
+double lognormal_cdf(double x, double mu_log, double sigma);
+
+/// Closed-form expectation of the multi-pattern hammer test's error rate
+/// (errors per 1e9 cells) for a module with the given reliability
+/// parameters under the standard test (double-sided, solid-ones +
+/// solid-zeros + checkerboard union, total activation budget `hammer_count`
+/// split across the two aggressors). Integrates over the per-cell DPD
+/// sensitivity (clipped normal) and threshold (lognormal) distributions —
+/// the analytic twin of core::ModuleTester (DESIGN.md decision #3).
+double expected_test_error_rate(const dram::ReliabilityParams& params,
+                                std::uint64_t hammer_count);
+
+}  // namespace densemem::core

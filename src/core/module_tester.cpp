@@ -1,0 +1,89 @@
+#include "core/module_tester.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace densemem::core {
+
+ModuleTestResult ModuleTester::run(dram::Device& dev) const {
+  const dram::Geometry& g = dev.geometry();
+  DM_CHECK_MSG(g.rows >= 8, "module too small to test");
+
+  ModuleTestResult res;
+  res.hammer_count_used =
+      cfg_.hammer_count
+          ? cfg_.hammer_count
+          : static_cast<std::uint64_t>(
+                dram::Timing::ddr3_1600().max_activations_per_window());
+
+  // Choose victim rows (margin of 2 at the bank edges).
+  std::vector<std::uint32_t> victims;
+  const std::uint32_t usable = g.rows - 4;
+  if (cfg_.sample_rows == 0 || cfg_.sample_rows >= usable) {
+    for (std::uint32_t r = 2; r + 2 < g.rows; ++r) victims.push_back(r);
+  } else {
+    Rng rng(hash_coords(cfg_.seed, 0x4d544553 /* "MTES" */));
+    auto idx = rng.sample_indices(usable, cfg_.sample_rows);
+    victims.reserve(idx.size());
+    for (std::size_t i : idx)
+      victims.push_back(static_cast<std::uint32_t>(i) + 2);
+    std::sort(victims.begin(), victims.end());
+  }
+
+  Time t = Time::ms(0);
+  std::vector<std::uint64_t> row_words(g.row_words());
+  for (std::uint32_t v : victims) {
+    std::set<std::uint32_t> failing_bits;
+    for (dram::BackgroundPattern pat : cfg_.patterns) {
+      // Re-initialize the 5-row neighbourhood with the pattern: writing a
+      // row restores its charge and clears previous flips.
+      for (std::uint32_t r = v - 2; r <= v + 2; ++r) {
+        for (std::uint32_t w = 0; w < g.row_words(); ++w) {
+          // fill_row compares against the *device* pattern source, so build
+          // the words with the same generator as the check below.
+          row_words[w] = dram::pattern_word_value(pat, cfg_.seed, r, w);
+        }
+        dev.fill_row(cfg_.fbank, r, row_words, t);
+      }
+      // hammer_count is the total activation budget of one refresh window;
+      // the aggressor loop splits it. Double-sided spends all of it on rows
+      // adjacent to the victim; single-sided burns half on the far dummy
+      // row needed to defeat the row buffer (as the real test program does),
+      // which is exactly why double-sided is ~2x as effective.
+      const std::uint64_t per_side = res.hammer_count_used / 2;
+      if (cfg_.double_sided) {
+        dev.hammer(cfg_.fbank, v - 1, per_side, t);
+        dev.hammer(cfg_.fbank, v + 1, per_side, t);
+      } else {
+        dev.hammer(cfg_.fbank, v + 1, per_side, t);
+      }
+      // Activating the victim commits any flips its stress earned.
+      t += Time::ms(64);
+      dev.activate(cfg_.fbank, v, t);
+      dev.precharge(cfg_.fbank, t);
+      const auto readback = dev.snapshot_row(cfg_.fbank, v);
+      for (std::uint32_t w = 0; w < g.row_words(); ++w) {
+        std::uint64_t diff =
+            readback[w] ^ dram::pattern_word_value(pat, cfg_.seed, v, w);
+        while (diff) {
+          const auto bit = static_cast<std::uint32_t>(__builtin_ctzll(diff));
+          failing_bits.insert(w * 64 + bit);
+          diff &= diff - 1;
+        }
+      }
+    }
+    res.failing_cells += failing_bits.size();
+    if (!failing_bits.empty()) ++res.rows_with_errors;
+    res.cells_tested += g.row_bits();
+  }
+  res.errors_per_1e9_cells = res.cells_tested
+                                 ? static_cast<double>(res.failing_cells) /
+                                       static_cast<double>(res.cells_tested) *
+                                       1e9
+                                 : 0.0;
+  return res;
+}
+
+}  // namespace densemem::core

@@ -1,0 +1,51 @@
+#include "core/system.h"
+
+namespace densemem::core {
+
+const char* mitigation_name(MitigationKind k) {
+  switch (k) {
+    case MitigationKind::kNone: return "none";
+    case MitigationKind::kPara: return "PARA";
+    case MitigationKind::kCra: return "CRA";
+    case MitigationKind::kAnvil: return "ANVIL";
+    case MitigationKind::kTrr: return "TRR";
+  }
+  return "?";
+}
+
+std::unique_ptr<ctrl::Mitigation> make_mitigation(const MitigationSpec& spec,
+                                                  ctrl::AdjacencyFn adjacency,
+                                                  std::uint64_t rows_total) {
+  switch (spec.kind) {
+    case MitigationKind::kNone:
+      return std::make_unique<ctrl::NoMitigation>();
+    case MitigationKind::kPara:
+      return std::make_unique<ctrl::Para>(spec.para, std::move(adjacency));
+    case MitigationKind::kCra: {
+      ctrl::CraConfig cfg = spec.cra;
+      if (cfg.rows_total == 0) cfg.rows_total = rows_total;
+      return std::make_unique<ctrl::Cra>(cfg, std::move(adjacency));
+    }
+    case MitigationKind::kAnvil:
+      return std::make_unique<ctrl::Anvil>(spec.anvil, std::move(adjacency));
+    case MitigationKind::kTrr:
+      return std::make_unique<ctrl::Trr>(spec.trr, std::move(adjacency));
+  }
+  return std::make_unique<ctrl::NoMitigation>();
+}
+
+System make_system(const dram::DeviceConfig& dev_cfg,
+                   const ctrl::CtrlConfig& ctrl_cfg,
+                   const MitigationSpec& mitigation) {
+  System sys;
+  sys.device = std::make_unique<dram::Device>(dev_cfg);
+  auto adjacency =
+      ctrl::make_adjacency(*sys.device, ctrl_cfg.use_spd_adjacency);
+  auto mit = make_mitigation(mitigation, std::move(adjacency),
+                             sys.device->geometry().rows_total());
+  sys.controller = std::make_unique<ctrl::MemoryController>(
+      *sys.device, ctrl_cfg, std::move(mit));
+  return sys;
+}
+
+}  // namespace densemem::core

@@ -1,0 +1,48 @@
+// System builder: composes a DRAM device, a memory controller, and a
+// mitigation from plain configuration values. This is the top of the public
+// API — examples and benches construct Systems and drive them.
+#pragma once
+
+#include <memory>
+
+#include "ctrl/anvil.h"
+#include "ctrl/controller.h"
+#include "ctrl/cra.h"
+#include "ctrl/para.h"
+#include "ctrl/trr.h"
+#include "dram/device.h"
+
+namespace densemem::core {
+
+enum class MitigationKind { kNone, kPara, kCra, kAnvil, kTrr };
+
+const char* mitigation_name(MitigationKind k);
+
+struct MitigationSpec {
+  MitigationKind kind = MitigationKind::kNone;
+  ctrl::ParaConfig para;
+  ctrl::CraConfig cra;
+  ctrl::AnvilConfig anvil;
+  ctrl::TrrConfig trr;
+};
+
+struct System {
+  std::unique_ptr<dram::Device> device;
+  std::unique_ptr<ctrl::MemoryController> controller;
+
+  dram::Device& dev() { return *device; }
+  ctrl::MemoryController& mc() { return *controller; }
+};
+
+/// Builds a device + controller + mitigation stack. The mitigation's
+/// adjacency provider honours cfg.use_spd_adjacency.
+System make_system(const dram::DeviceConfig& dev_cfg,
+                   const ctrl::CtrlConfig& ctrl_cfg,
+                   const MitigationSpec& mitigation = {});
+
+/// Builds just the mitigation (for callers managing their own controller).
+std::unique_ptr<ctrl::Mitigation> make_mitigation(
+    const MitigationSpec& spec, ctrl::AdjacencyFn adjacency,
+    std::uint64_t rows_total);
+
+}  // namespace densemem::core

@@ -1,0 +1,59 @@
+// ANVIL-style software detection (§II-C "other immediate solutions";
+// Aweke et al., ASPLOS 2016 [10]).
+//
+// ANVIL samples last-level-cache-miss / row-buffer-miss addresses through
+// hardware performance counters and, when a row's sampled activation
+// frequency is suspicious, explicitly refreshes that row's neighbours. We
+// model the performance-counter sampling as Bernoulli sampling of the
+// activate stream: sampling catches concentrated hammering with high
+// probability but has intrinsic detection latency, and low sampling rates
+// can miss fast or distributed attacks — the behaviour E5/E7 quantify.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "ctrl/mitigation.h"
+
+namespace densemem::ctrl {
+
+struct AnvilConfig {
+  double sample_rate = 0.01;        ///< fraction of activates observed
+  std::uint64_t detect_samples = 64;///< sampled hits before intervention
+  std::uint64_t seed = 77;
+};
+
+class Anvil final : public Mitigation {
+ public:
+  Anvil(AnvilConfig cfg, AdjacencyFn adjacency)
+      : cfg_(cfg), adjacency_(std::move(adjacency)), rng_(cfg.seed) {}
+
+  std::string name() const override { return "ANVIL"; }
+
+  void on_activate(std::uint32_t fbank, std::uint32_t row,
+                   std::vector<RefreshRequest>& out) override {
+    if (!rng_.bernoulli(cfg_.sample_rate)) return;
+    const std::uint64_t key = (static_cast<std::uint64_t>(fbank) << 32) | row;
+    if (++sampled_[key] >= cfg_.detect_samples) {
+      sampled_[key] = 0;
+      ++interventions_;
+      for (std::uint32_t n : adjacency_(row)) out.push_back({fbank, n});
+    }
+  }
+
+  void on_window_reset() override { sampled_.clear(); }
+
+  /// Software mechanism: no dedicated hardware tables.
+  std::uint64_t storage_bits() const override { return 0; }
+
+  std::uint64_t interventions() const { return interventions_; }
+
+ private:
+  AnvilConfig cfg_;
+  AdjacencyFn adjacency_;
+  Rng rng_;
+  std::unordered_map<std::uint64_t, std::uint64_t> sampled_;
+  std::uint64_t interventions_ = 0;
+};
+
+}  // namespace densemem::ctrl

@@ -1,0 +1,444 @@
+#include "ctrl/controller.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace densemem::ctrl {
+
+using dram::Address;
+
+namespace {
+constexpr std::uint32_t kDataWordsPerBlock = 8;
+}
+
+MemoryController::MemoryController(dram::Device& device, CtrlConfig cfg,
+                                   std::unique_ptr<Mitigation> mitigation)
+    : device_(device),
+      cfg_(std::move(cfg)),
+      mitigation_(mitigation ? std::move(mitigation)
+                             : std::make_unique<NoMitigation>()),
+      banks_(dram::total_banks(device.geometry())),
+      bins_(static_cast<std::size_t>(dram::total_banks(device.geometry())) *
+                device.geometry().rows,
+            0) {
+  const std::uint32_t row_words = device_.geometry().row_words();
+  if (cfg_.ecc == EccMode::kNone) {
+    words_per_block_stride_ = kDataWordsPerBlock;
+  } else {
+    // 8 data words + 1 check word per protected block. The check word lives
+    // in the same row, so it is hammered and leaks like any other cell.
+    words_per_block_stride_ = kDataWordsPerBlock + 1;
+    if (cfg_.ecc == EccMode::kBch) {
+      DM_CHECK_MSG(cfg_.bch_t >= 1 && 10 * cfg_.bch_t <= 64,
+                   "BCH t must fit its parity in the per-block check word");
+      bch_.emplace(ecc::BchParams{10, cfg_.bch_t, 512});
+    } else if (cfg_.ecc == EccMode::kRs) {
+      // RS(72,64): 64 data bytes + 8 parity bytes = t=4 symbol correction,
+      // filling the check word exactly.
+      rs_.emplace(ecc::RsParams{4, 64});
+    }
+  }
+  blocks_per_row_ = row_words / words_per_block_stride_;
+  DM_CHECK_MSG(blocks_per_row_ >= 1, "row too small for one block");
+
+  const auto refs =
+      static_cast<std::uint32_t>(cfg_.timing.refs_per_window());
+  DM_CHECK_MSG(refs > 0, "refresh window shorter than refresh interval");
+  refs_per_window_ = refs;
+  next_ref_ = now_ + cfg_.timing.tREFI;
+  next_window_ = now_ + cfg_.timing.tREFW;
+}
+
+double MemoryController::ecc_capacity_overhead() const {
+  if (cfg_.ecc == EccMode::kNone) return 0.0;
+  return 1.0 / static_cast<double>(words_per_block_stride_);
+}
+
+AdjacencyFn make_adjacency(dram::Device& device, bool use_spd) {
+  if (use_spd) {
+    dram::Device* dev = &device;
+    return [dev](std::uint32_t row) { return dev->spd_neighbors(row); };
+  }
+  const std::uint32_t rows = device.geometry().rows;
+  return [rows](std::uint32_t row) {
+    std::vector<std::uint32_t> out;
+    if (row > 0) out.push_back(row - 1);
+    if (row + 1 < rows) out.push_back(row + 1);
+    return out;
+  };
+}
+
+AdjacencyFn MemoryController::adjacency() const {
+  return make_adjacency(device_, cfg_.use_spd_adjacency);
+}
+
+void MemoryController::execute_refresh_requests(
+    const std::vector<RefreshRequest>& reqs) {
+  for (const RefreshRequest& r : reqs) {
+    device_.refresh_row(r.fbank, r.row, now_);
+    ++stats_.targeted_refreshes;
+    stats_.mitigation_busy += cfg_.timing.tRC;
+    now_ += cfg_.timing.tRC;
+    energy_.targeted_refresh_energy += cfg_.energy.act_pre;
+  }
+}
+
+void MemoryController::issue_ref_command(Time at) {
+  ++stats_.ref_commands;
+  const std::uint32_t nbanks = dram::total_banks(device_.geometry());
+  const std::uint32_t rows = device_.geometry().rows;
+  // REF requires all banks precharged: force-close any open rows (the
+  // implicit precharge-all), firing the row-close mitigation hooks.
+  std::vector<RefreshRequest> close_reqs;
+  for (std::uint32_t b = 0; b < nbanks; ++b) {
+    BankState& bank = banks_[b];
+    if (bank.open_row < 0) continue;
+    const auto closed = static_cast<std::uint32_t>(bank.open_row);
+    device_.precharge(b, at);
+    bank.open_row = -1;
+    mitigation_->on_precharge(b, closed, close_reqs);
+  }
+  execute_refresh_requests(close_reqs);
+  // Spread the bank's rows evenly over the window's REF commands so every
+  // row is restored exactly once per tREFW (an accumulator handles bank
+  // sizes that do not divide the REF count).
+  ref_rows_acc_ += rows;
+  const std::uint32_t rows_this_ref = ref_rows_acc_ / refs_per_window_;
+  ref_rows_acc_ -= rows_this_ref * refs_per_window_;
+  for (std::uint32_t b = 0; rows_this_ref > 0 && b < nbanks; ++b) {
+    if (cfg_.refresh_mode == RefreshMode::kStandard) {
+      device_.refresh_next(b, rows_this_ref, at);
+      stats_.rows_refreshed += rows_this_ref;
+      energy_.refresh_energy +=
+          cfg_.energy.refresh_row * static_cast<double>(rows_this_ref);
+    } else {
+      BankState& bank = banks_[b];
+      for (std::uint32_t i = 0; i < rows_this_ref; ++i) {
+        const std::uint32_t row = bank.ref_ptr;
+        bank.ref_ptr = (bank.ref_ptr + 1 == rows) ? 0 : bank.ref_ptr + 1;
+        const std::uint8_t bin =
+            bins_[static_cast<std::size_t>(b) * rows + row];
+        if ((window_index_ & ((1u << bin) - 1)) == 0) {
+          device_.refresh_row(b, row, at);
+          ++stats_.rows_refreshed;
+          energy_.refresh_energy += cfg_.energy.refresh_row;
+        } else {
+          ++stats_.rows_skipped_multirate;
+        }
+      }
+    }
+  }
+  std::vector<RefreshRequest> reqs;
+  mitigation_->on_ref_command(reqs);
+  execute_refresh_requests(reqs);
+}
+
+void MemoryController::catch_up_refresh() {
+  while (next_ref_ <= now_ || next_window_ <= now_) {
+    if (next_window_ <= next_ref_ && next_window_ <= now_) {
+      ++window_index_;
+      mitigation_->on_window_reset();
+      next_window_ += cfg_.timing.tREFW;
+      continue;
+    }
+    if (next_ref_ > now_) break;
+    const Time at = next_ref_;
+    issue_ref_command(at);
+    stats_.refresh_busy += cfg_.timing.tRFC;
+    // The rank is busy during tRFC; push the clock if the access overlaps.
+    now_ = std::max(now_, at + cfg_.timing.tRFC);
+    next_ref_ += cfg_.timing.tREFI;
+  }
+}
+
+void MemoryController::open_row_for_access(std::uint32_t fbank,
+                                           std::uint32_t row) {
+  catch_up_refresh();
+  BankState& b = banks_[fbank];
+  if (b.open_row == static_cast<std::int64_t>(row)) {
+    ++stats_.row_hits;
+    return;
+  }
+  if (b.open_row >= 0) {
+    ++stats_.row_misses;
+    const auto closed = static_cast<std::uint32_t>(b.open_row);
+    now_ = std::max(now_, b.last_act + cfg_.timing.tRAS);
+    device_.precharge(fbank, now_);
+    b.open_row = -1;
+    std::vector<RefreshRequest> reqs;
+    mitigation_->on_precharge(fbank, closed, reqs);
+    now_ += cfg_.timing.tRP;
+    execute_refresh_requests(reqs);
+  } else {
+    ++stats_.row_closed;
+  }
+  Time t_act = std::max(now_, b.last_act + cfg_.timing.tRC);
+  t_act = earliest_act_for_faw(t_act);
+  device_.activate(fbank, row, t_act);
+  record_act(t_act);
+  b.open_row = row;
+  b.last_act = t_act;
+  energy_.activate_energy += cfg_.energy.act_pre;
+  std::vector<RefreshRequest> reqs;
+  mitigation_->on_activate(fbank, row, reqs);
+  now_ = t_act + cfg_.timing.tRCD;
+  execute_refresh_requests(reqs);
+}
+
+Time MemoryController::earliest_act_for_faw(Time candidate) const {
+  // The oldest of the last four ACTs bounds the next one: at most four
+  // activates may start within any tFAW window (rank level).
+  const Time oldest = recent_acts_[recent_act_idx_];
+  return std::max(candidate, oldest + cfg_.timing.tFAW);
+}
+
+void MemoryController::record_act(Time at) {
+  recent_acts_[recent_act_idx_] = at;
+  recent_act_idx_ = (recent_act_idx_ + 1) % recent_acts_.size();
+}
+
+void MemoryController::auto_precharge(std::uint32_t fbank) {
+  BankState& b = banks_[fbank];
+  if (b.open_row < 0) return;
+  const auto closed = static_cast<std::uint32_t>(b.open_row);
+  now_ = std::max(now_, b.last_act + cfg_.timing.tRAS);
+  device_.precharge(fbank, now_);
+  b.open_row = -1;
+  std::vector<RefreshRequest> reqs;
+  mitigation_->on_precharge(fbank, closed, reqs);
+  now_ += cfg_.timing.tRP;
+  execute_refresh_requests(reqs);
+}
+
+std::uint32_t MemoryController::device_word_base(std::uint32_t block) const {
+  DM_CHECK_MSG(block < blocks_per_row_, "block index out of range");
+  return block * words_per_block_stride_;
+}
+
+ReadResult MemoryController::read_block(const Address& a) {
+  const std::uint32_t fbank = dram::flat_bank(device_.geometry(), a);
+  open_row_for_access(fbank, a.row);
+  now_ += cfg_.timing.tCL;
+  ++stats_.reads;
+  energy_.rw_energy += cfg_.energy.read_block;
+
+  const std::uint32_t base = device_word_base(a.col_word);
+  ReadResult r;
+  std::array<std::uint64_t, 9> raw{};
+  for (std::uint32_t w = 0; w < words_per_block_stride_; ++w)
+    raw[w] = device_.read_word(fbank, base + w);
+
+  if (cfg_.page_policy == PagePolicy::kClosed) auto_precharge(fbank);
+
+  switch (cfg_.ecc) {
+    case EccMode::kNone:
+      for (std::uint32_t w = 0; w < 8; ++w) r.data[w] = raw[w];
+      ++stats_.ecc_clean;
+      break;
+    case EccMode::kSecded: {
+      bool any_uncorrectable = false;
+      for (std::uint32_t w = 0; w < 8; ++w) {
+        ecc::SecdedWord cw{raw[w],
+                           static_cast<std::uint8_t>((raw[8] >> (8 * w)) & 0xFF)};
+        const auto d = ecc::Secded7264::decode(cw);
+        r.data[w] = d.data;
+        switch (d.status) {
+          case ecc::DecodeStatus::kClean:
+            break;
+          case ecc::DecodeStatus::kCorrected:
+            ++stats_.ecc_corrected_words;
+            ++r.corrected_bits;
+            break;
+          case ecc::DecodeStatus::kUncorrectable:
+            any_uncorrectable = true;
+            break;
+        }
+      }
+      if (any_uncorrectable) {
+        r.status = ecc::DecodeStatus::kUncorrectable;
+        ++stats_.ecc_uncorrectable_blocks;
+      } else if (r.corrected_bits > 0) {
+        r.status = ecc::DecodeStatus::kCorrected;
+      } else {
+        ++stats_.ecc_clean;
+      }
+      break;
+    }
+    case EccMode::kRs: {
+      std::vector<std::uint8_t> cw(72);
+      for (std::uint32_t w = 0; w < 8; ++w)
+        for (unsigned byte = 0; byte < 8; ++byte)
+          cw[w * 8 + byte] =
+              static_cast<std::uint8_t>(raw[w] >> (8 * byte));
+      for (unsigned byte = 0; byte < 8; ++byte)
+        cw[64 + byte] = static_cast<std::uint8_t>(raw[8] >> (8 * byte));
+      const auto d = rs_->decode(cw);
+      for (std::uint32_t w = 0; w < 8; ++w) {
+        std::uint64_t v = 0;
+        for (unsigned byte = 0; byte < 8; ++byte)
+          v |= static_cast<std::uint64_t>(d.data[w * 8 + byte]) << (8 * byte);
+        r.data[w] = v;
+      }
+      r.status = d.status;
+      r.corrected_bits = d.corrected_symbols;  // symbols, for RS
+      switch (d.status) {
+        case ecc::DecodeStatus::kClean:
+          ++stats_.ecc_clean;
+          break;
+        case ecc::DecodeStatus::kCorrected:
+          stats_.ecc_corrected_words +=
+              static_cast<std::uint64_t>(d.corrected_symbols);
+          break;
+        case ecc::DecodeStatus::kUncorrectable:
+          ++stats_.ecc_uncorrectable_blocks;
+          break;
+      }
+      break;
+    }
+    case EccMode::kBch: {
+      BitVec cw(static_cast<std::size_t>(bch_->code_bits()));
+      for (std::uint32_t w = 0; w < 8; ++w)
+        for (unsigned bit = 0; bit < 64; ++bit)
+          if ((raw[w] >> bit) & 1) cw.set(w * 64 + bit);
+      for (int pb = 0; pb < bch_->parity_bits(); ++pb)
+        if ((raw[8] >> pb) & 1) cw.set(static_cast<std::size_t>(512 + pb));
+      auto d = bch_->decode(cw);
+      for (std::uint32_t w = 0; w < 8; ++w) {
+        std::uint64_t v = 0;
+        for (unsigned bit = 0; bit < 64; ++bit)
+          if (d.data.get(w * 64 + bit)) v |= std::uint64_t{1} << bit;
+        r.data[w] = v;
+      }
+      r.status = d.status;
+      r.corrected_bits = d.corrected_bits;
+      switch (d.status) {
+        case ecc::DecodeStatus::kClean:
+          ++stats_.ecc_clean;
+          break;
+        case ecc::DecodeStatus::kCorrected:
+          stats_.ecc_corrected_words += static_cast<std::uint64_t>(d.corrected_bits);
+          break;
+        case ecc::DecodeStatus::kUncorrectable:
+          ++stats_.ecc_uncorrectable_blocks;
+          break;
+      }
+      break;
+    }
+  }
+  return r;
+}
+
+void MemoryController::write_block(const Address& a,
+                                   const std::array<std::uint64_t, 8>& data) {
+  const std::uint32_t fbank = dram::flat_bank(device_.geometry(), a);
+  open_row_for_access(fbank, a.row);
+  now_ += cfg_.timing.tCL;  // write latency ~ CAS latency for our purposes
+  ++stats_.writes;
+  energy_.rw_energy += cfg_.energy.write_block;
+
+  const std::uint32_t base = device_word_base(a.col_word);
+  for (std::uint32_t w = 0; w < 8; ++w)
+    device_.write_word(fbank, base + w, data[w]);
+
+  switch (cfg_.ecc) {
+    case EccMode::kNone:
+      break;
+    case EccMode::kSecded: {
+      std::uint64_t check = 0;
+      for (std::uint32_t w = 0; w < 8; ++w) {
+        const auto cw = ecc::Secded7264::encode(data[w]);
+        check |= static_cast<std::uint64_t>(cw.check) << (8 * w);
+      }
+      device_.write_word(fbank, base + 8, check);
+      break;
+    }
+    case EccMode::kRs: {
+      std::vector<std::uint8_t> payload(64);
+      for (std::uint32_t w = 0; w < 8; ++w)
+        for (unsigned byte = 0; byte < 8; ++byte)
+          payload[w * 8 + byte] =
+              static_cast<std::uint8_t>(data[w] >> (8 * byte));
+      const auto cw = rs_->encode(payload);
+      std::uint64_t check = 0;
+      for (unsigned byte = 0; byte < 8; ++byte)
+        check |= static_cast<std::uint64_t>(cw[64 + byte]) << (8 * byte);
+      device_.write_word(fbank, base + 8, check);
+      break;
+    }
+    case EccMode::kBch: {
+      BitVec payload(512);
+      for (std::uint32_t w = 0; w < 8; ++w)
+        for (unsigned bit = 0; bit < 64; ++bit)
+          if ((data[w] >> bit) & 1) payload.set(w * 64 + bit);
+      const BitVec cw = bch_->encode(payload);
+      std::uint64_t check = 0;
+      for (int pb = 0; pb < bch_->parity_bits(); ++pb)
+        if (cw.get(static_cast<std::size_t>(512 + pb)))
+          check |= std::uint64_t{1} << pb;
+      device_.write_word(fbank, base + 8, check);
+      break;
+    }
+  }
+  if (cfg_.page_policy == PagePolicy::kClosed) auto_precharge(fbank);
+}
+
+void MemoryController::activate_precharge(std::uint32_t fbank,
+                                          std::uint32_t row) {
+  open_row_for_access(fbank, row);
+  BankState& b = banks_[fbank];
+  now_ = std::max(now_, b.last_act + cfg_.timing.tRAS);
+  device_.precharge(fbank, now_);
+  b.open_row = -1;
+  std::vector<RefreshRequest> reqs;
+  mitigation_->on_precharge(fbank, row, reqs);
+  now_ += cfg_.timing.tRP;
+  execute_refresh_requests(reqs);
+}
+
+void MemoryController::advance_to(Time t) {
+  now_ = std::max(now_, t);
+  catch_up_refresh();
+}
+
+void MemoryController::close_all_banks() {
+  for (std::uint32_t b = 0; b < banks_.size(); ++b) {
+    BankState& bank = banks_[b];
+    if (bank.open_row < 0) continue;
+    const auto closed = static_cast<std::uint32_t>(bank.open_row);
+    now_ = std::max(now_, bank.last_act + cfg_.timing.tRAS);
+    device_.precharge(b, now_);
+    bank.open_row = -1;
+    std::vector<RefreshRequest> reqs;
+    mitigation_->on_precharge(b, closed, reqs);
+    now_ += cfg_.timing.tRP;
+    execute_refresh_requests(reqs);
+  }
+}
+
+void MemoryController::set_row_bin(std::uint32_t fbank, std::uint32_t row,
+                                   std::uint8_t bin) {
+  DM_CHECK_MSG(bin < 8, "refresh bin out of range");
+  bins_[static_cast<std::size_t>(fbank) * device_.geometry().rows + row] = bin;
+}
+
+std::uint8_t MemoryController::row_bin(std::uint32_t fbank,
+                                       std::uint32_t row) const {
+  return bins_[static_cast<std::size_t>(fbank) * device_.geometry().rows + row];
+}
+
+ReadResult MemoryController::scrub_block(const Address& a) {
+  ReadResult r = read_block(a);
+  if (r.status == ecc::DecodeStatus::kCorrected) write_block(a, r.data);
+  return r;
+}
+
+EnergyStats MemoryController::energy() const {
+  EnergyStats e = energy_;
+  // mW × s = mJ; Energy is stored in pJ.
+  e.background_energy =
+      Energy::pj(cfg_.energy.background_mw * now_.as_s() * 1e9);
+  return e;
+}
+
+}  // namespace densemem::ctrl

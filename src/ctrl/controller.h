@@ -1,0 +1,173 @@
+// Memory controller: timing, refresh, ECC, energy, and mitigation hooks.
+//
+// The controller serializes commands per bank with the DDR timing
+// constraints that matter for the paper's experiments — tRC bounds the
+// hammer rate, tREFI/tRFC determine refresh downtime, tRCD/tCL/tRP set
+// access latencies — and owns everything the paper locates in the
+// controller: the refresh engine (standard, rate-multiplied, or
+// RAIDR-style multirate), the ECC path (none / SECDED / BCH with check
+// bits stored in-row and therefore subject to the same fault physics), and
+// the RowHammer mitigation hooks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+#include "ctrl/energy.h"
+#include "ctrl/mitigation.h"
+#include "dram/device.h"
+#include "dram/timing.h"
+#include "ecc/bch.h"
+#include "ecc/rs.h"
+#include "ecc/hamming.h"
+
+namespace densemem::ctrl {
+
+enum class EccMode {
+  kNone,
+  kSecded,  ///< (72,64) Hamming per 64-bit word
+  kBch,     ///< binary BCH per 512-bit block
+  kRs,      ///< RS(72,64) over GF(256): chipkill-class symbol correction
+};
+enum class PagePolicy {
+  kOpen,    ///< rows stay open until a conflicting access (row-buffer reuse)
+  kClosed,  ///< auto-precharge after every column access
+};
+enum class RefreshMode {
+  kStandard,   ///< every row once per tREFW, spread over REF commands
+  kMultirate,  ///< RAIDR-style bins: row in bin k refreshed every 2^k windows
+};
+
+struct CtrlConfig {
+  dram::Timing timing = dram::Timing::ddr3_1600();
+  PagePolicy page_policy = PagePolicy::kOpen;
+  EccMode ecc = EccMode::kNone;
+  int bch_t = 4;  ///< BCH correction strength per 512-bit block (GF(2^10))
+  RefreshMode refresh_mode = RefreshMode::kStandard;
+  /// Whether mitigations may use the device's SPD adjacency disclosure; if
+  /// false they fall back to the naive logical ±1 assumption (§II-C).
+  bool use_spd_adjacency = true;
+  EnergyParams energy;
+};
+
+struct CtrlStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;   ///< bank open on a different row
+  std::uint64_t row_closed = 0;   ///< bank was precharged
+  std::uint64_t ref_commands = 0;
+  std::uint64_t rows_refreshed = 0;
+  std::uint64_t rows_skipped_multirate = 0;
+  std::uint64_t targeted_refreshes = 0;
+  std::uint64_t ecc_clean = 0;
+  std::uint64_t ecc_corrected_words = 0;
+  std::uint64_t ecc_uncorrectable_blocks = 0;
+  Time refresh_busy;   ///< time the rank spent executing REF (tRFC each)
+  Time mitigation_busy;///< time spent on mitigation-issued row refreshes
+};
+
+/// One 64-byte cache-block read, after ECC.
+struct ReadResult {
+  std::array<std::uint64_t, 8> data{};
+  ecc::DecodeStatus status = ecc::DecodeStatus::kClean;
+  int corrected_bits = 0;
+};
+
+/// Build an adjacency provider for mitigations: SPD-informed (true physical
+/// neighbours) or the naive logical ±1 guess. Keeps a pointer to the device,
+/// which must outlive the returned function.
+AdjacencyFn make_adjacency(dram::Device& device, bool use_spd);
+
+class MemoryController {
+ public:
+  MemoryController(dram::Device& device, CtrlConfig cfg,
+                   std::unique_ptr<Mitigation> mitigation = nullptr);
+
+  const CtrlConfig& config() const { return cfg_; }
+  const CtrlStats& stats() const { return stats_; }
+  Time now() const { return now_; }
+  dram::Device& device() { return device_; }
+  Mitigation& mitigation() { return *mitigation_; }
+
+  /// Data blocks addressable per row (ECC check words reduce capacity —
+  /// the paper's "DRAM capacity overhead" of stronger ECC, measured).
+  std::uint32_t blocks_per_row() const { return blocks_per_row_; }
+  /// Fraction of row capacity consumed by ECC check bits.
+  double ecc_capacity_overhead() const;
+
+  /// The adjacency function mitigations were constructed with.
+  AdjacencyFn adjacency() const;
+
+  // --- Cache-block access (col = block index within row) ------------------
+  ReadResult read_block(const dram::Address& a);
+  void write_block(const dram::Address& a,
+                   const std::array<std::uint64_t, 8>& data);
+
+  /// One hammer iteration: activate `row`, then precharge (row-conflict
+  /// forced). Exercises the full mitigation-visible path.
+  void activate_precharge(std::uint32_t fbank, std::uint32_t row);
+
+  /// Advance the wall clock, executing any refreshes that fall due.
+  void advance_to(Time t);
+  /// Precharge all banks (e.g. before measuring module contents).
+  void close_all_banks();
+
+  // --- Multirate refresh (RAIDR/AVATAR substrate) --------------------------
+  /// Assign a logical row to refresh bin k (refreshed every 2^k windows).
+  void set_row_bin(std::uint32_t fbank, std::uint32_t row, std::uint8_t bin);
+  std::uint8_t row_bin(std::uint32_t fbank, std::uint32_t row) const;
+
+  /// Read-correct-writeback of one block (scrubbing primitive; AVATAR's
+  /// online profiling consumes the returned ECC outcome).
+  ReadResult scrub_block(const dram::Address& a);
+
+  /// Total energy so far, including background power up to now().
+  EnergyStats energy() const;
+
+ private:
+  struct BankState {
+    std::int64_t open_row = -1;
+    Time last_act;           ///< start time of the last ACT
+    std::uint32_t ref_ptr = 0;  ///< multirate refresh row pointer
+  };
+
+  void catch_up_refresh();
+  /// Rank-level four-activate-window constraint: at most 4 ACTs per tFAW.
+  Time earliest_act_for_faw(Time candidate) const;
+  void record_act(Time at);
+  /// Auto-precharge helper for the closed-page policy.
+  void auto_precharge(std::uint32_t fbank);
+  void issue_ref_command(Time at);
+  void execute_refresh_requests(const std::vector<RefreshRequest>& reqs);
+  /// Ensure `row` is open in `fbank`; advances now_ per timing. Fires
+  /// mitigation hooks on the precharge/activate edges.
+  void open_row_for_access(std::uint32_t fbank, std::uint32_t row);
+  std::uint32_t device_word_base(std::uint32_t block) const;
+
+  dram::Device& device_;
+  CtrlConfig cfg_;
+  std::unique_ptr<Mitigation> mitigation_;
+  std::optional<ecc::BchCode> bch_;
+  std::optional<ecc::RsCode> rs_;
+  std::uint32_t blocks_per_row_;
+  std::uint32_t words_per_block_stride_;
+  std::uint32_t refs_per_window_;
+  std::uint32_t ref_rows_acc_ = 0;  ///< spreads rows evenly across REFs
+  Time now_;
+  Time next_ref_;
+  Time next_window_;
+  std::uint64_t window_index_ = 0;
+  std::vector<BankState> banks_;
+  std::array<Time, 4> recent_acts_{};  ///< ring of the last four ACT times
+  std::size_t recent_act_idx_ = 0;
+  std::vector<std::uint8_t> bins_;  ///< multirate bin per (bank, row)
+  CtrlStats stats_;
+  mutable EnergyStats energy_;
+};
+
+}  // namespace densemem::ctrl

@@ -1,0 +1,52 @@
+// CRA — Counter-based Row Activation tracking (the sixth §II-C long-term
+// countermeasure; cf. Kim et al., IEEE CAL 2015 [50]).
+//
+// The controller keeps an activation counter per row; when a row's count
+// within the current refresh window reaches the threshold, its neighbours
+// are refreshed and the counter resets. Deterministic protection, but the
+// storage cost — a counter for every row in the system — is exactly the
+// "very large hardware area and power" objection the paper raises.
+#pragma once
+
+#include <unordered_map>
+
+#include "ctrl/mitigation.h"
+
+namespace densemem::ctrl {
+
+struct CraConfig {
+  std::uint64_t threshold = 32768;  ///< activations before neighbour refresh
+  std::uint32_t counter_bits = 16;  ///< per-row counter width (storage model)
+  std::uint64_t rows_total = 0;     ///< total rows tracked (storage model)
+};
+
+class Cra final : public Mitigation {
+ public:
+  Cra(CraConfig cfg, AdjacencyFn adjacency)
+      : cfg_(cfg), adjacency_(std::move(adjacency)) {}
+
+  std::string name() const override { return "CRA"; }
+
+  void on_activate(std::uint32_t fbank, std::uint32_t row,
+                   std::vector<RefreshRequest>& out) override {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(fbank) << 32) | row;
+    if (++counters_[key] >= cfg_.threshold) {
+      counters_[key] = 0;
+      for (std::uint32_t n : adjacency_(row)) out.push_back({fbank, n});
+    }
+  }
+
+  void on_window_reset() override { counters_.clear(); }
+
+  std::uint64_t storage_bits() const override {
+    return cfg_.rows_total * cfg_.counter_bits;
+  }
+
+ private:
+  CraConfig cfg_;
+  AdjacencyFn adjacency_;
+  std::unordered_map<std::uint64_t, std::uint64_t> counters_;
+};
+
+}  // namespace densemem::ctrl

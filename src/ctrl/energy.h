@@ -1,0 +1,35 @@
+// DRAM energy accounting (rank level, DDR3-class ballpark figures).
+//
+// Absolute joules are not the claim — the paper's refresh-overhead argument
+// (§II-C) is about *relative* energy cost of mitigations, which these
+// per-operation energies reproduce.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace densemem::ctrl {
+
+struct EnergyParams {
+  Energy act_pre = Energy::nj(20.0);   ///< one activate/precharge pair
+  Energy read_block = Energy::nj(12.0);///< 64-byte read burst
+  Energy write_block = Energy::nj(14.0);
+  Energy refresh_row = Energy::nj(1.2);///< per row restored by REF
+  double background_mw = 120.0;        ///< static + standby power
+};
+
+struct EnergyStats {
+  Energy activate_energy;
+  Energy rw_energy;
+  Energy refresh_energy;          ///< periodic REF
+  Energy targeted_refresh_energy; ///< mitigation-issued row refreshes
+  Energy background_energy;
+
+  Energy total() const {
+    return activate_energy + rw_energy + refresh_energy +
+           targeted_refresh_energy + background_energy;
+  }
+};
+
+}  // namespace densemem::ctrl

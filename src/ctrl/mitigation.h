@@ -1,0 +1,67 @@
+// RowHammer mitigation interface.
+//
+// A mitigation observes the controller's command stream (activates,
+// precharges, periodic REF ticks) and requests targeted refreshes of victim
+// rows. The controller decides *which rows are neighbours* via an adjacency
+// provider — backed either by the device's SPD disclosure or by the naive
+// logical ±1 assumption — reproducing the deployment question of §II-C.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace densemem::ctrl {
+
+/// Maps a logical row to the logical rows believed physically adjacent.
+using AdjacencyFn =
+    std::function<std::vector<std::uint32_t>(std::uint32_t row)>;
+
+/// A mitigation's request to refresh a specific row of a specific bank.
+struct RefreshRequest {
+  std::uint32_t fbank;
+  std::uint32_t row;
+};
+
+class Mitigation {
+ public:
+  virtual ~Mitigation() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Observe an activate. Append any rows to target-refresh to `out`.
+  virtual void on_activate(std::uint32_t fbank, std::uint32_t row,
+                           std::vector<RefreshRequest>& out) = 0;
+
+  /// Observe the precharge closing `row` (PARA triggers here, per §II-C:
+  /// "when the memory controller closes a row ... it, with a very low
+  /// probability, refreshes the adjacent rows").
+  virtual void on_precharge(std::uint32_t fbank, std::uint32_t row,
+                            std::vector<RefreshRequest>& out) {
+    (void)fbank;
+    (void)row;
+    (void)out;
+  }
+
+  /// Observe a periodic REF command (in-DRAM TRR piggybacks here).
+  virtual void on_ref_command(std::vector<RefreshRequest>& out) { (void)out; }
+
+  /// Refresh window rolled over: per-window state (counters) resets.
+  virtual void on_window_reset() {}
+
+  /// Hardware state the mitigation needs, in bits (the paper's §II-C
+  /// objection to counter-based tracking is exactly this number).
+  virtual std::uint64_t storage_bits() const { return 0; }
+};
+
+/// No-op baseline.
+class NoMitigation final : public Mitigation {
+ public:
+  std::string name() const override { return "none"; }
+  void on_activate(std::uint32_t, std::uint32_t,
+                   std::vector<RefreshRequest>&) override {}
+};
+
+}  // namespace densemem::ctrl

@@ -1,0 +1,44 @@
+// PARA — Probabilistic Adjacent Row Activation (§II-C, from ISCA'14 [53]).
+//
+// On every row close, with probability p the mitigation refreshes the rows
+// adjacent to the closed row. Stateless (zero storage), and the failure
+// probability of a victim after N aggressor activations decays as
+// (1 - p)^N — see analysis::para_failure_probability for the closed form
+// the benches cross-check against Monte Carlo.
+#pragma once
+
+#include "common/rng.h"
+#include "ctrl/mitigation.h"
+
+namespace densemem::ctrl {
+
+struct ParaConfig {
+  double probability = 0.001;  ///< p: refresh-neighbours chance per close
+  std::uint64_t seed = 99;
+};
+
+class Para final : public Mitigation {
+ public:
+  Para(ParaConfig cfg, AdjacencyFn adjacency)
+      : cfg_(cfg), adjacency_(std::move(adjacency)), rng_(cfg.seed) {}
+
+  std::string name() const override { return "PARA"; }
+
+  void on_activate(std::uint32_t, std::uint32_t,
+                   std::vector<RefreshRequest>&) override {}
+
+  void on_precharge(std::uint32_t fbank, std::uint32_t row,
+                    std::vector<RefreshRequest>& out) override {
+    if (!rng_.bernoulli(cfg_.probability)) return;
+    for (std::uint32_t n : adjacency_(row)) out.push_back({fbank, n});
+  }
+
+  std::uint64_t storage_bits() const override { return 0; }
+
+ private:
+  ParaConfig cfg_;
+  AdjacencyFn adjacency_;
+  Rng rng_;
+};
+
+}  // namespace densemem::ctrl

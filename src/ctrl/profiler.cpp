@@ -1,0 +1,77 @@
+#include "ctrl/profiler.h"
+
+#include "common/check.h"
+
+namespace densemem::ctrl {
+
+ProfileReport RetentionProfiler::profile(dram::Device& device,
+                                         Time start) const {
+  DM_CHECK_MSG(cfg_.rounds >= 1, "profiler needs at least one round");
+  DM_CHECK_MSG(!cfg_.patterns.empty(), "profiler needs at least one pattern");
+  ProfileReport report;
+  Time t = start;
+  const dram::Geometry& g = device.geometry();
+  const bool had_events = device.config().record_flip_events;
+  DM_CHECK_MSG(had_events,
+               "profiler needs the device flip-event log "
+               "(DeviceConfig::record_flip_events)");
+
+  for (int round = 0; round < cfg_.rounds; ++round) {
+    std::size_t new_rows = 0;
+    for (const auto pattern : cfg_.patterns) {
+      device.fill_all(pattern, t);
+      t += cfg_.target_interval;
+      const std::size_t ev0 = device.flip_events().size();
+      // Restore every row that could have failed; restoring commits the
+      // pending retention faults, which land in the event log.
+      for (std::uint32_t b = 0; b < dram::total_banks(g); ++b)
+        for (std::uint32_t r : device.fault_map().leaky_rows(b))
+          device.refresh_row(b, r, t);
+      const auto& events = device.flip_events();
+      for (std::size_t i = ev0; i < events.size(); ++i) {
+        if (events[i].cause != dram::FlipCause::kRetention) continue;
+        ++report.cells_observed_failing;
+        if (report.weak_rows.insert({events[i].bank, events[i].logical_row})
+                .second)
+          ++new_rows;
+      }
+    }
+    report.new_rows_per_round.push_back(new_rows);
+  }
+  report.profiling_time = t - start;
+  return report;
+}
+
+void RetentionProfiler::apply_bins(const ProfileReport& report,
+                                   MemoryController& mc) const {
+  const dram::Geometry& g = mc.device().geometry();
+  for (std::uint32_t b = 0; b < dram::total_banks(g); ++b)
+    for (std::uint32_t r = 0; r < g.rows; ++r)
+      mc.set_row_bin(b, r, cfg_.slow_bin);
+  for (const auto& [bank, row] : report.weak_rows) mc.set_row_bin(bank, row, 0);
+}
+
+std::uint64_t RetentionProfiler::avatar_scrub(
+    MemoryController& mc,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& rows) const {
+  DM_CHECK_MSG(mc.config().ecc != EccMode::kNone,
+               "AVATAR scrubbing needs an ECC-enabled controller");
+  std::uint64_t upgrades = 0;
+  for (const auto& [bank, row] : rows) {
+    dram::Address a = dram::address_of(mc.device().geometry(), bank, row);
+    bool corrected = false;
+    for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
+      a.col_word = blk;
+      corrected |=
+          mc.scrub_block(a).status == ecc::DecodeStatus::kCorrected;
+    }
+    mc.close_all_banks();
+    if (corrected && mc.row_bin(bank, row) != 0) {
+      mc.set_row_bin(bank, row, 0);
+      ++upgrades;
+    }
+  }
+  return upgrades;
+}
+
+}  // namespace densemem::ctrl

@@ -1,0 +1,70 @@
+// Online DRAM retention profiler (§III-A1 / §IV "enabling effective and
+// low-cost online profiling of DRAM in a principled manner").
+//
+// Wraps the methodology the paper's retention citations converge on
+// [69, 46, 84, 48]: test rows at a target retention interval under several
+// data patterns (DPD coverage) for several rounds (VRT coverage), assign
+// multirate refresh bins from what was observed, and keep profiling online
+// so VRT escapes are caught by ECC-guided upgrades (AVATAR [84]).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "ctrl/controller.h"
+#include "dram/device.h"
+
+namespace densemem::ctrl {
+
+struct ProfilerConfig {
+  /// Target retention interval: rows failing at this interval need the
+  /// fastest refresh bin.
+  Time target_interval = Time::ms(512);
+  /// Data patterns tested per round (DPD coverage).
+  std::vector<dram::BackgroundPattern> patterns{
+      dram::BackgroundPattern::kOnes, dram::BackgroundPattern::kZeros,
+      dram::BackgroundPattern::kRowStripe,
+      dram::BackgroundPattern::kCheckerboard};
+  /// Full pattern-sweep rounds (VRT coverage; each round re-tests).
+  int rounds = 3;
+  /// Bin for rows that never failed (refreshed every 2^bin windows).
+  std::uint8_t slow_bin = 3;
+};
+
+struct ProfileReport {
+  /// (bank, logical row) pairs observed failing at the target interval.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> weak_rows;
+  /// New weak rows discovered per round (index 0 = first full sweep):
+  /// a non-vanishing tail is the VRT signature.
+  std::vector<std::size_t> new_rows_per_round;
+  std::uint64_t cells_observed_failing = 0;
+  Time profiling_time;  ///< device time consumed by the profiling passes
+};
+
+/// Offline-style profiling pass over the device (destructive to contents).
+/// Returns the report; apply_bins() pushes the result into a controller.
+class RetentionProfiler {
+ public:
+  explicit RetentionProfiler(ProfilerConfig cfg) : cfg_(cfg) {}
+
+  ProfileReport profile(dram::Device& device, Time start = Time{}) const;
+
+  /// Program a controller's multirate bins from a report: weak rows to
+  /// bin 0, everything else to cfg.slow_bin.
+  void apply_bins(const ProfileReport& report, MemoryController& mc) const;
+
+  /// One AVATAR step: scrub the given rows through the controller's ECC;
+  /// any row with a corrected error is upgraded to bin 0. Returns the
+  /// number of upgrades (VRT escapes caught).
+  std::uint64_t avatar_scrub(
+      MemoryController& mc,
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& rows) const;
+
+  const ProfilerConfig& config() const { return cfg_; }
+
+ private:
+  ProfilerConfig cfg_;
+};
+
+}  // namespace densemem::ctrl

@@ -1,0 +1,72 @@
+#include "ctrl/scheduler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace densemem::ctrl {
+
+const char* sched_policy_name(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kFcfs: return "FCFS";
+    case SchedPolicy::kFrFcfs: return "FR-FCFS";
+  }
+  return "?";
+}
+
+void RequestScheduler::enqueue(Request r) {
+  r.id = next_id_++;
+  queue_.push_back(std::move(r));
+}
+
+std::size_t RequestScheduler::pick() const {
+  DM_DCHECK(!queue_.empty());
+  if (policy_ == SchedPolicy::kFcfs) {
+    // Oldest request (queue is append-only; erase keeps order).
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queue_.size(); ++i)
+      if (queue_[i].id < queue_[best].id) best = i;
+    return best;
+  }
+  // FR-FCFS: oldest *row hit* if any bank has its row open; else oldest.
+  std::size_t best_hit = queue_.size();
+  std::size_t best_any = 0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const auto& r = queue_[i];
+    if (queue_[i].id < queue_[best_any].id) best_any = i;
+    const auto open =
+        mc_.device().open_row(dram::flat_bank(mc_.device().geometry(), r.addr));
+    const bool hit = open.has_value() && *open == r.addr.row;
+    if (hit && (best_hit == queue_.size() || r.id < queue_[best_hit].id))
+      best_hit = i;
+  }
+  return best_hit != queue_.size() ? best_hit : best_any;
+}
+
+SchedStats RequestScheduler::drain(std::vector<ReadResult>* read_data) {
+  SchedStats stats;
+  const Time t0 = mc_.now();
+  const auto hits0 = mc_.stats().row_hits;
+  double latency_sum = 0.0;
+  const std::size_t total = queue_.size();
+  while (!queue_.empty()) {
+    const std::size_t i = pick();
+    const Request r = queue_[i];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    if (r.is_write) {
+      mc_.write_block(r.addr, r.data);
+    } else {
+      const auto res = mc_.read_block(r.addr);
+      if (read_data != nullptr) read_data->push_back(res);
+    }
+    ++stats.served;
+    latency_sum += (mc_.now() - t0).as_ns();
+  }
+  stats.row_hits = mc_.stats().row_hits - hits0;
+  stats.service_time = mc_.now() - t0;
+  stats.mean_queue_latency_ns =
+      total ? latency_sum / static_cast<double>(total) : 0.0;
+  return stats;
+}
+
+}  // namespace densemem::ctrl

@@ -1,0 +1,65 @@
+// Request queue + FR-FCFS scheduling on top of the memory controller.
+//
+// The controller itself executes one command stream in order; real
+// controllers buffer requests and reorder them — First-Ready FCFS issues
+// row-buffer hits before older row misses, which is what makes open rows
+// worth keeping open (and, incidentally, what an attacker's access pattern
+// must defeat to hammer: hence the dummy-row trick in the single-sided
+// pattern). The scheduler drains a request batch against the controller
+// and reports the service time and hit statistics under each policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ctrl/controller.h"
+
+namespace densemem::ctrl {
+
+enum class SchedPolicy {
+  kFcfs,    ///< strict arrival order
+  kFrFcfs,  ///< row hits first, then oldest
+};
+
+const char* sched_policy_name(SchedPolicy p);
+
+struct Request {
+  dram::Address addr;
+  bool is_write = false;
+  std::array<std::uint64_t, 8> data{};  ///< payload for writes
+  std::uint64_t id = 0;                 ///< arrival order (set by enqueue)
+};
+
+struct SchedStats {
+  std::uint64_t served = 0;
+  std::uint64_t row_hits = 0;
+  Time service_time;            ///< controller time consumed by the drain
+  double mean_queue_latency_ns = 0.0;  ///< avg (finish - arrival position)
+};
+
+/// Batch scheduler: enqueue requests, then drain them through the
+/// controller under the chosen policy. Single-channel, in-order issue of
+/// the *selected* request (selection is where the policy acts).
+class RequestScheduler {
+ public:
+  RequestScheduler(MemoryController& mc, SchedPolicy policy)
+      : mc_(mc), policy_(policy) {}
+
+  void enqueue(Request r);
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Issue every queued request; returns drain statistics. Read results are
+  /// appended to `read_data` (in service order) if non-null.
+  SchedStats drain(std::vector<ReadResult>* read_data = nullptr);
+
+ private:
+  /// Index of the next request to issue under the policy.
+  std::size_t pick() const;
+
+  MemoryController& mc_;
+  SchedPolicy policy_;
+  std::vector<Request> queue_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace densemem::ctrl

@@ -1,0 +1,92 @@
+// In-DRAM Targeted Row Refresh-style tracker.
+//
+// Models the DDR4-era vendor mitigation the paper alludes to when citing
+// reports that "even state-of-the-art DDR4 DRAM chips are vulnerable" [57]:
+// the chip tracks a small number of frequently-activated rows per bank
+// (Misra–Gries summary, as a small CAM would) and refreshes their
+// neighbours opportunistically on REF commands. Patterns with more distinct
+// aggressors than tracker entries evict the true aggressors and bypass the
+// protection — the TRRespass effect E7 demonstrates.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ctrl/mitigation.h"
+
+namespace densemem::ctrl {
+
+struct TrrConfig {
+  std::uint32_t tracker_entries = 4;  ///< per-bank tracked aggressors
+  std::uint32_t neighbors_per_ref = 2;///< victim refreshes piggybacked per REF
+};
+
+class Trr final : public Mitigation {
+ public:
+  Trr(TrrConfig cfg, AdjacencyFn adjacency)
+      : cfg_(cfg), adjacency_(std::move(adjacency)) {}
+
+  std::string name() const override { return "TRR"; }
+
+  void on_activate(std::uint32_t fbank, std::uint32_t row,
+                   std::vector<RefreshRequest>& out) override {
+    (void)out;
+    auto& table = tables_[fbank];
+    // Misra–Gries frequent-items update.
+    if (auto it = table.find(row); it != table.end()) {
+      ++it->second;
+      return;
+    }
+    if (table.size() < cfg_.tracker_entries) {
+      table.emplace(row, 1);
+      return;
+    }
+    // Decrement all; drop zeros. This is where many-sided patterns evict
+    // the genuine aggressors.
+    for (auto it = table.begin(); it != table.end();) {
+      if (--it->second == 0)
+        it = table.erase(it);
+      else
+        ++it;
+    }
+  }
+
+  void on_ref_command(std::vector<RefreshRequest>& out) override {
+    // Refresh neighbours of the hottest tracked row(s) across banks.
+    std::uint32_t budget = cfg_.neighbors_per_ref;
+    for (auto& [fbank, table] : tables_) {
+      std::uint32_t hottest = 0;
+      std::uint64_t best = 0;
+      for (const auto& [row, cnt] : table) {
+        if (cnt > best) {
+          best = cnt;
+          hottest = row;
+        }
+      }
+      if (best == 0) continue;
+      for (std::uint32_t n : adjacency_(hottest)) {
+        if (budget == 0) return;
+        out.push_back({fbank, n});
+        --budget;
+      }
+      table.erase(hottest);
+    }
+  }
+
+  void on_window_reset() override { tables_.clear(); }
+
+  std::uint64_t storage_bits() const override {
+    // entries × (row address + counter) per bank; count banks seen.
+    return static_cast<std::uint64_t>(tables_.size()) * cfg_.tracker_entries *
+           (32 + 16);
+  }
+
+ private:
+  TrrConfig cfg_;
+  AdjacencyFn adjacency_;
+  std::unordered_map<std::uint32_t, std::unordered_map<std::uint32_t, std::uint64_t>>
+      tables_;
+};
+
+}  // namespace densemem::ctrl

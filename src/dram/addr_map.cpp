@@ -1,0 +1,106 @@
+#include "dram/addr_map.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace densemem::dram {
+
+const char* interleave_name(Interleave i) {
+  switch (i) {
+    case Interleave::kRowBankCol: return "row:bank:col";
+    case Interleave::kBankColInterleave: return "row:col:bank";
+  }
+  return "?";
+}
+
+int AddressMap::log2_exact(std::uint64_t v, const char* what) {
+  DM_CHECK_MSG(v != 0 && (v & (v - 1)) == 0,
+               std::string("address map requires power-of-two ") + what);
+  return std::countr_zero(v);
+}
+
+AddressMap::AddressMap(Geometry geometry, Interleave policy,
+                       bool xor_bank_hash)
+    : geometry_(geometry), policy_(policy), xor_bank_hash_(xor_bank_hash) {
+  geometry_.validate();
+  col_bits_ = log2_exact(geometry_.row_words(), "words per row") + 3;
+  bank_bits_ = log2_exact(geometry_.banks, "banks");
+  rank_bits_ = log2_exact(geometry_.ranks, "ranks");
+  chan_bits_ = log2_exact(geometry_.channels, "channels");
+  row_bits_ = log2_exact(geometry_.rows, "rows");
+}
+
+Address AddressMap::decode(std::uint64_t phys_addr) const {
+  DM_CHECK_MSG(phys_addr < capacity_bytes(), "address beyond capacity");
+  std::uint64_t x = phys_addr;
+  auto take = [&x](int bits) {
+    const std::uint64_t v = x & ((std::uint64_t{1} << bits) - 1);
+    x >>= bits;
+    return v;
+  };
+  Address a;
+  std::uint64_t col_bytes = 0;
+  switch (policy_) {
+    case Interleave::kRowBankCol:
+      col_bytes = take(col_bits_);
+      a.channel = static_cast<std::uint32_t>(take(chan_bits_));
+      a.bank = static_cast<std::uint32_t>(take(bank_bits_));
+      a.rank = static_cast<std::uint32_t>(take(rank_bits_));
+      a.row = static_cast<std::uint32_t>(take(row_bits_));
+      break;
+    case Interleave::kBankColInterleave: {
+      // Cache-line (64 B) granular striping: low 6 bits stay in-column,
+      // then channel/bank/rank, then the rest of the column, then row.
+      const std::uint64_t line = take(6);
+      a.channel = static_cast<std::uint32_t>(take(chan_bits_));
+      a.bank = static_cast<std::uint32_t>(take(bank_bits_));
+      a.rank = static_cast<std::uint32_t>(take(rank_bits_));
+      col_bytes = (take(col_bits_ - 6) << 6) | line;
+      a.row = static_cast<std::uint32_t>(take(row_bits_));
+      break;
+    }
+  }
+  a.col_word = static_cast<std::uint32_t>(col_bytes >> 3);
+  if (xor_bank_hash_) {
+    // Permutation-based interleaving: bank index XOR low row bits.
+    a.bank ^= a.row & ((1u << bank_bits_) - 1);
+  }
+  return a;
+}
+
+std::uint64_t AddressMap::encode(const Address& a) const {
+  DM_CHECK_MSG(a.channel < geometry_.channels && a.rank < geometry_.ranks &&
+                   a.bank < geometry_.banks && a.row < geometry_.rows &&
+                   a.col_word < geometry_.row_words(),
+               "address component out of range");
+  std::uint32_t bank = a.bank;
+  if (xor_bank_hash_) bank ^= a.row & ((1u << bank_bits_) - 1);
+  const std::uint64_t col_bytes = static_cast<std::uint64_t>(a.col_word) << 3;
+  std::uint64_t x = 0;
+  int shift = 0;
+  auto put = [&x, &shift](std::uint64_t v, int bits) {
+    x |= v << shift;
+    shift += bits;
+  };
+  switch (policy_) {
+    case Interleave::kRowBankCol:
+      put(col_bytes, col_bits_);
+      put(a.channel, chan_bits_);
+      put(bank, bank_bits_);
+      put(a.rank, rank_bits_);
+      put(a.row, row_bits_);
+      break;
+    case Interleave::kBankColInterleave:
+      put(col_bytes & 63, 6);
+      put(a.channel, chan_bits_);
+      put(bank, bank_bits_);
+      put(a.rank, rank_bits_);
+      put(col_bytes >> 6, col_bits_ - 6);
+      put(a.row, row_bits_);
+      break;
+  }
+  return x;
+}
+
+}  // namespace densemem::dram

@@ -1,0 +1,56 @@
+// Physical-address ↔ DRAM-coordinate mapping (the memory controller's
+// address decoder).
+//
+// The interleaving policy decides which physical addresses share a DRAM
+// row — the knowledge a RowHammer attacker must reverse-engineer to find
+// same-bank adjacent rows from user-space addresses (§II-A: "different
+// DRAM rows are mapped (by the memory controller) to different software
+// pages"). Two standard policies plus an optional XOR bank hash
+// (permutation-based interleaving, which defeats naive bank-conflict
+// probing but not timing analysis).
+#pragma once
+
+#include <cstdint>
+
+#include "dram/geometry.h"
+
+namespace densemem::dram {
+
+enum class Interleave {
+  /// row : rank : bank : channel : column — consecutive cache lines walk
+  /// the column space of one row (row locality for streams).
+  kRowBankCol,
+  /// row : column : rank : bank : channel — consecutive cache lines stripe
+  /// across channels/banks (bank-level parallelism for streams).
+  kBankColInterleave,
+};
+
+const char* interleave_name(Interleave i);
+
+class AddressMap {
+ public:
+  AddressMap(Geometry geometry, Interleave policy, bool xor_bank_hash = false);
+
+  const Geometry& geometry() const { return geometry_; }
+  Interleave policy() const { return policy_; }
+
+  /// Bytes covered by the map (power-of-two geometry dimensions required).
+  std::uint64_t capacity_bytes() const { return geometry_.bytes_total(); }
+
+  /// Decode a physical byte address into DRAM coordinates. The low 6 bits
+  /// (64-byte cache line) select bytes within the column word group and are
+  /// ignored beyond block alignment: col_word indexes the 64-bit word.
+  Address decode(std::uint64_t phys_addr) const;
+  /// Inverse of decode (word-aligned; low 3 bits must be zero).
+  std::uint64_t encode(const Address& a) const;
+
+ private:
+  static int log2_exact(std::uint64_t v, const char* what);
+
+  Geometry geometry_;
+  Interleave policy_;
+  bool xor_bank_hash_;
+  int col_bits_, bank_bits_, rank_bits_, chan_bits_, row_bits_;
+};
+
+}  // namespace densemem::dram

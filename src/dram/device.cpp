@@ -1,0 +1,288 @@
+#include "dram/device.h"
+
+#include <cmath>
+
+namespace densemem::dram {
+
+Device::Device(DeviceConfig cfg)
+    : cfg_(std::move(cfg)),
+      nbanks_(total_banks(cfg_.geometry)),
+      faults_(cfg_.seed, nbanks_, cfg_.geometry.rows, cfg_.geometry.row_bits(),
+              cfg_.reliability),
+      remap_(cfg_.remap, cfg_.geometry.rows, cfg_.seed),
+      rng_(hash_coords(cfg_.seed, 0x44455649 /* "DEVI" */)),
+      open_row_(nbanks_, -1),
+      refresh_ptr_(nbanks_, 0),
+      stress_(static_cast<std::size_t>(nbanks_) * cfg_.geometry.rows, 0.0f),
+      last_restore_(static_cast<std::size_t>(nbanks_) * cfg_.geometry.rows) {
+  cfg_.geometry.validate();
+}
+
+std::uint64_t pattern_word_value(BackgroundPattern pat, std::uint64_t seed,
+                                 std::uint32_t row, std::uint32_t col_word) {
+  switch (pat) {
+    case BackgroundPattern::kZeros:
+      return 0;
+    case BackgroundPattern::kOnes:
+      return ~std::uint64_t{0};
+    case BackgroundPattern::kCheckerboard:
+      // Bit b of the row is set iff (row + b) is odd.
+      return (row & 1) ? 0x5555555555555555ULL : 0xAAAAAAAAAAAAAAAAULL;
+    case BackgroundPattern::kRowStripe:
+      return (row & 1) ? ~std::uint64_t{0} : 0;
+    case BackgroundPattern::kRandom:
+      return splitmix64(
+          hash_coords(seed, 0x44415441 /* "DATA" */, row, col_word));
+  }
+  return 0;
+}
+
+bool pattern_bit_value(BackgroundPattern pat, std::uint64_t seed,
+                       std::uint32_t row, std::uint32_t bit) {
+  return (pattern_word_value(pat, seed, row, bit / 64) >> (bit % 64)) & 1;
+}
+
+bool Device::pattern_bit(std::uint32_t logical_row, std::uint32_t bit) const {
+  return pattern_bit_value(cfg_.pattern, cfg_.seed, logical_row, bit);
+}
+
+std::uint64_t Device::pattern_word(std::uint32_t row,
+                                   std::uint32_t col_word) const {
+  return pattern_word_value(cfg_.pattern, cfg_.seed, row, col_word);
+}
+
+bool Device::stored_bit(std::uint32_t fbank, std::uint32_t prow,
+                        std::uint32_t bit) const {
+  const auto it = data_.find(flat_row(fbank, prow));
+  if (it == data_.end()) return pattern_bit(remap_.to_logical(prow), bit);
+  return (it->second[bit / 64] >> (bit % 64)) & 1;
+}
+
+std::vector<std::uint64_t>& Device::materialize(std::uint32_t fbank,
+                                                std::uint32_t prow) {
+  const std::size_t key = flat_row(fbank, prow);
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    const std::uint32_t logical = remap_.to_logical(prow);
+    std::vector<std::uint64_t> words(cfg_.geometry.row_words());
+    for (std::uint32_t w = 0; w < words.size(); ++w)
+      words[w] = pattern_word(logical, w);
+    it = data_.emplace(key, std::move(words)).first;
+  }
+  return it->second;
+}
+
+int Device::antiparallel_neighbors(std::uint32_t fbank, std::uint32_t prow,
+                                   std::uint32_t bit) const {
+  const bool mine = stored_bit(fbank, prow, bit);
+  int n = 0;
+  if (prow > 0 && stored_bit(fbank, prow - 1, bit) != mine) ++n;
+  if (prow + 1 < cfg_.geometry.rows && stored_bit(fbank, prow + 1, bit) != mine)
+    ++n;
+  return n;
+}
+
+void Device::apply_flip(std::uint32_t fbank, std::uint32_t prow,
+                        std::uint32_t bit, FlipCause cause, Time now) {
+  auto& words = materialize(fbank, prow);
+  const std::uint64_t mask = std::uint64_t{1} << (bit % 64);
+  const bool was_one = (words[bit / 64] & mask) != 0;
+  words[bit / 64] ^= mask;
+  if (cause == FlipCause::kDisturbance)
+    ++stats_.disturb_flips;
+  else
+    ++stats_.retention_flips;
+  if (was_one)
+    ++stats_.flips_1to0;
+  else
+    ++stats_.flips_0to1;
+  if (cfg_.record_flip_events && events_.size() < kMaxEvents) {
+    events_.push_back(FlipEvent{fbank, prow, remap_.to_logical(prow), bit,
+                                cause, was_one, now});
+  }
+}
+
+void Device::commit_disturbance(std::uint32_t fbank, std::uint32_t prow,
+                                Time now) {
+  const float stress = stress_[flat_row(fbank, prow)];
+  if (stress <= 0.0f || !faults_.row_has_weak(fbank, prow)) return;
+  for (const WeakCell& c : faults_.weak_cells(fbank, prow)) {
+    const bool value = stored_bit(fbank, prow, c.bit);
+    // Only a charged cell can lose charge: true cell stores 1 charged,
+    // anti-cell stores 0 charged.
+    const bool charged = (value != c.anti_cell);
+    if (!charged) continue;
+    const int a = antiparallel_neighbors(fbank, prow, c.bit);
+    const double pattern_factor =
+        (1.0 - c.dpd_sens) + c.dpd_sens * (static_cast<double>(a) / 2.0);
+    if (static_cast<double>(stress) * pattern_factor >=
+        static_cast<double>(c.threshold)) {
+      apply_flip(fbank, prow, c.bit, FlipCause::kDisturbance, now);
+    }
+  }
+}
+
+void Device::commit_retention(std::uint32_t fbank, std::uint32_t prow,
+                              Time now) {
+  if (!faults_.row_has_leaky(fbank, prow)) return;
+  const Time last = last_restore_[flat_row(fbank, prow)];
+  const double dt_ms = (now - last).as_ms();
+  if (dt_ms <= 0.0) return;
+  const double dpd_strength = cfg_.reliability.retention_dpd_strength;
+  for (LeakyCell& c : faults_.leaky_cells(fbank, prow)) {
+    // Evolve the VRT state over the elapsed interval (memoryless process).
+    if (c.vrt) {
+      const double p_switch =
+          1.0 - std::exp(-cfg_.reliability.vrt_rate_hz * dt_ms * 1e-3);
+      if (rng_.bernoulli(p_switch)) c.vrt_low = !c.vrt_low;
+    }
+    const bool value = stored_bit(fbank, prow, c.bit);
+    const bool charged = (value != c.anti_cell);
+    if (!charged) continue;
+    const int a = antiparallel_neighbors(fbank, prow, c.bit);
+    const double dpd_factor =
+        1.0 - dpd_strength * c.dpd_sens * (static_cast<double>(a) / 2.0);
+    const double base =
+        (c.vrt && !c.vrt_low) ? c.retention_high_ms : c.retention_ms;
+    if (dt_ms > base * dpd_factor)
+      apply_flip(fbank, prow, c.bit, FlipCause::kRetention, now);
+  }
+}
+
+void Device::restore_row(std::uint32_t fbank, std::uint32_t prow, Time now) {
+  commit_retention(fbank, prow, now);
+  commit_disturbance(fbank, prow, now);
+  stress_[flat_row(fbank, prow)] = 0.0f;
+  last_restore_[flat_row(fbank, prow)] = now;
+}
+
+void Device::disturb_neighbors(std::uint32_t fbank, std::uint32_t prow,
+                               float count) {
+  const std::uint32_t rows = cfg_.geometry.rows;
+  if (prow > 0) stress_[flat_row(fbank, prow - 1)] += count;
+  if (prow + 1 < rows) stress_[flat_row(fbank, prow + 1)] += count;
+  const auto d2 = static_cast<float>(cfg_.reliability.distance2_weight);
+  if (d2 > 0.0f) {
+    if (prow > 1) stress_[flat_row(fbank, prow - 2)] += d2 * count;
+    if (prow + 2 < rows) stress_[flat_row(fbank, prow + 2)] += d2 * count;
+  }
+}
+
+void Device::activate(std::uint32_t fbank, std::uint32_t row, Time now) {
+  DM_CHECK_MSG(fbank < nbanks_, "bank index out of range");
+  DM_CHECK_MSG(row < cfg_.geometry.rows, "row index out of range");
+  DM_CHECK_MSG(open_row_[fbank] < 0, "ACT on a bank with an open row");
+  const std::uint32_t prow = remap_.to_physical(row);
+  // Activation restores the row's own charge (committing anything already
+  // lost) ...
+  restore_row(fbank, prow, now);
+  // ... and disturbs its physical neighbours.
+  disturb_neighbors(fbank, prow, 1.0f);
+  open_row_[fbank] = row;
+  ++stats_.activates;
+}
+
+void Device::hammer(std::uint32_t fbank, std::uint32_t row,
+                    std::uint64_t count, Time now) {
+  DM_CHECK_MSG(fbank < nbanks_, "bank index out of range");
+  DM_CHECK_MSG(row < cfg_.geometry.rows, "row index out of range");
+  DM_CHECK_MSG(open_row_[fbank] < 0, "hammer on a bank with an open row");
+  if (count == 0) return;
+  const std::uint32_t prow = remap_.to_physical(row);
+  restore_row(fbank, prow, now);
+  disturb_neighbors(fbank, prow, static_cast<float>(count));
+  stats_.activates += count;
+  stats_.precharges += count;
+}
+
+void Device::precharge(std::uint32_t fbank, Time) {
+  DM_CHECK_MSG(fbank < nbanks_, "bank index out of range");
+  open_row_[fbank] = -1;
+  ++stats_.precharges;
+}
+
+std::optional<std::uint32_t> Device::open_row(std::uint32_t fbank) const {
+  DM_CHECK_MSG(fbank < nbanks_, "bank index out of range");
+  if (open_row_[fbank] < 0) return std::nullopt;
+  return static_cast<std::uint32_t>(open_row_[fbank]);
+}
+
+std::uint64_t Device::read_word(std::uint32_t fbank, std::uint32_t col_word) {
+  DM_CHECK_MSG(open_row_[fbank] >= 0, "RD on a precharged bank");
+  DM_CHECK_MSG(col_word < cfg_.geometry.row_words(), "column out of range");
+  const std::uint32_t prow =
+      remap_.to_physical(static_cast<std::uint32_t>(open_row_[fbank]));
+  ++stats_.reads;
+  const auto it = data_.find(flat_row(fbank, prow));
+  if (it == data_.end())
+    return pattern_word(static_cast<std::uint32_t>(open_row_[fbank]), col_word);
+  return it->second[col_word];
+}
+
+void Device::write_word(std::uint32_t fbank, std::uint32_t col_word,
+                        std::uint64_t value) {
+  DM_CHECK_MSG(open_row_[fbank] >= 0, "WR on a precharged bank");
+  DM_CHECK_MSG(col_word < cfg_.geometry.row_words(), "column out of range");
+  const std::uint32_t prow =
+      remap_.to_physical(static_cast<std::uint32_t>(open_row_[fbank]));
+  materialize(fbank, prow)[col_word] = value;
+  ++stats_.writes;
+}
+
+void Device::refresh_next(std::uint32_t fbank, std::uint32_t count, Time now) {
+  DM_CHECK_MSG(fbank < nbanks_, "bank index out of range");
+  DM_CHECK_MSG(open_row_[fbank] < 0, "REF on a bank with an open row");
+  const std::uint32_t rows = cfg_.geometry.rows;
+  std::uint32_t p = refresh_ptr_[fbank];
+  for (std::uint32_t i = 0; i < count; ++i) {
+    // A row refresh is internally an activation: it restores this row and
+    // disturbs its neighbours (one unit per window from the sweep — far
+    // below any threshold, but the physics is uniform).
+    restore_row(fbank, p, now);
+    disturb_neighbors(fbank, p, 1.0f);
+    p = (p + 1 == rows) ? 0 : p + 1;
+  }
+  refresh_ptr_[fbank] = p;
+  stats_.row_refreshes += count;
+}
+
+void Device::refresh_row(std::uint32_t fbank, std::uint32_t row, Time now) {
+  DM_CHECK_MSG(fbank < nbanks_, "bank index out of range");
+  DM_CHECK_MSG(row < cfg_.geometry.rows, "row index out of range");
+  const std::uint32_t prow = remap_.to_physical(row);
+  restore_row(fbank, prow, now);
+  // Targeted refreshes activate the row too: a mitigation that refreshes
+  // victims aggressively becomes an aggressor one row further out — the
+  // Half-Double effect the E7 bench demonstrates against TRR.
+  disturb_neighbors(fbank, prow, 1.0f);
+  ++stats_.targeted_refreshes;
+}
+
+void Device::fill_all(BackgroundPattern pattern, Time now) {
+  cfg_.pattern = pattern;
+  data_.clear();
+  std::fill(stress_.begin(), stress_.end(), 0.0f);
+  std::fill(last_restore_.begin(), last_restore_.end(), now);
+}
+
+void Device::fill_row(std::uint32_t fbank, std::uint32_t row,
+                      const std::vector<std::uint64_t>& words, Time now) {
+  DM_CHECK_MSG(words.size() == cfg_.geometry.row_words(),
+               "fill_row size mismatch");
+  const std::uint32_t prow = remap_.to_physical(row);
+  restore_row(fbank, prow, now);
+  materialize(fbank, prow) = words;
+}
+
+std::vector<std::uint64_t> Device::snapshot_row(std::uint32_t fbank,
+                                                std::uint32_t row) const {
+  const std::uint32_t prow = remap_.to_physical(row);
+  const auto it = data_.find(flat_row(fbank, prow));
+  if (it != data_.end()) return it->second;
+  std::vector<std::uint64_t> words(cfg_.geometry.row_words());
+  for (std::uint32_t w = 0; w < words.size(); ++w)
+    words[w] = pattern_word(row, w);
+  return words;
+}
+
+}  // namespace densemem::dram

@@ -1,0 +1,186 @@
+// Command-level DRAM device model with disturbance (RowHammer) and
+// retention fault injection.
+//
+// The device is the substitution for the paper's FPGA-tested real modules:
+// it executes ACT / PRE / RD / WR / REF semantics and lets the configured
+// fault models corrupt stored data exactly where real chips would —
+// committed at charge-restore events (activation or refresh of the victim
+// row), dependent on stored data patterns, and only in the charge-losing
+// direction of each cell's orientation.
+//
+// Timing is *not* enforced here (the memory controller owns inter-command
+// timing); the device enforces protocol legality (ACT on a closed bank,
+// RD/WR on the open row) and physics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "dram/faultmap.h"
+#include "dram/geometry.h"
+#include "dram/reliability.h"
+#include "dram/remap.h"
+
+namespace densemem::dram {
+
+enum class FlipCause { kDisturbance, kRetention };
+
+struct FlipEvent {
+  std::uint32_t bank;       ///< flat bank index
+  std::uint32_t physical_row;
+  std::uint32_t logical_row;
+  std::uint32_t bit;        ///< bit index within the row
+  FlipCause cause;
+  bool one_to_zero;         ///< direction of the flip
+  Time when;
+};
+
+struct DeviceStats {
+  std::uint64_t activates = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t row_refreshes = 0;     ///< rows restored by REF
+  std::uint64_t targeted_refreshes = 0;///< rows restored by targeted refresh
+  std::uint64_t disturb_flips = 0;
+  std::uint64_t retention_flips = 0;
+  std::uint64_t flips_1to0 = 0;
+  std::uint64_t flips_0to1 = 0;
+};
+
+/// Deterministic background data: what a row reads as before software ever
+/// writes it (and the reference pattern for memtest-style experiments).
+enum class BackgroundPattern { kZeros, kOnes, kCheckerboard, kRowStripe, kRandom };
+
+/// Deterministic 64-bit word of a background pattern at (row, col_word).
+/// Free function so testers can regenerate reference data independently of
+/// any particular device instance.
+std::uint64_t pattern_word_value(BackgroundPattern pat, std::uint64_t seed,
+                                 std::uint32_t row, std::uint32_t col_word);
+/// Single-bit variant (bit index within the row).
+bool pattern_bit_value(BackgroundPattern pat, std::uint64_t seed,
+                       std::uint32_t row, std::uint32_t bit);
+
+struct DeviceConfig {
+  Geometry geometry;
+  ReliabilityParams reliability;
+  RemapScheme remap = RemapScheme::kIdentity;
+  std::uint64_t seed = 1;
+  BackgroundPattern pattern = BackgroundPattern::kZeros;
+  bool record_flip_events = false;  ///< keep a per-flip event log (capped)
+};
+
+class Device {
+ public:
+  explicit Device(DeviceConfig cfg);
+
+  const Geometry& geometry() const { return cfg_.geometry; }
+  const DeviceConfig& config() const { return cfg_; }
+  const DeviceStats& stats() const { return stats_; }
+  const std::vector<FlipEvent>& flip_events() const { return events_; }
+  FaultMap& fault_map() { return faults_; }
+  const FaultMap& fault_map() const { return faults_; }
+  const RowRemap& remap() const { return remap_; }
+
+  // --- Command interface (logical rows; called by the controller) ---------
+  void activate(std::uint32_t fbank, std::uint32_t row, Time now);
+  void precharge(std::uint32_t fbank, Time now);
+  std::uint64_t read_word(std::uint32_t fbank, std::uint32_t col_word);
+  void write_word(std::uint32_t fbank, std::uint32_t col_word,
+                  std::uint64_t value);
+  /// Open row of a bank, or nullopt if precharged.
+  std::optional<std::uint32_t> open_row(std::uint32_t fbank) const;
+
+  /// Bulk hammer: exactly equivalent to `count` ACT/PRE pairs on `row`
+  /// back-to-back starting at `now` (stress accumulation is linear, and the
+  /// aggressor's own state does not change after the first restore), but
+  /// O(1) instead of O(count). Keeps million-activation refresh windows
+  /// tractable; the per-ACT path remains available for mitigation studies
+  /// that must observe every activation. Bank must be precharged.
+  void hammer(std::uint32_t fbank, std::uint32_t row, std::uint64_t count,
+              Time now);
+
+  /// Auto-refresh step: restores the next `count` physical rows of the bank
+  /// (device-internal pointer, wrapping), as one REF command would.
+  void refresh_next(std::uint32_t fbank, std::uint32_t count, Time now);
+  /// Targeted refresh of one logical row (PARA / neighbour-refresh
+  /// mitigations; the "targeted refresh command" of §II-C). Bank must be
+  /// precharged. Commits pending faults, then restores charge.
+  void refresh_row(std::uint32_t fbank, std::uint32_t row, Time now);
+
+  // --- Bulk data helpers ---------------------------------------------------
+  /// Reset all stored data to the background pattern and clear fault state
+  /// (stress, VRT timers). Restores every row at time `now`.
+  void fill_all(BackgroundPattern pattern, Time now);
+  /// Write a full row (via an implicit activate/precharge-free path used by
+  /// testers; commits pending faults first like a real write burst would).
+  void fill_row(std::uint32_t fbank, std::uint32_t row,
+                const std::vector<std::uint64_t>& words, Time now);
+  /// Side-effect-free view of the *stored* row contents (pending — not yet
+  /// committed — faults are not applied; read via activate() to realize them).
+  std::vector<std::uint64_t> snapshot_row(std::uint32_t fbank,
+                                          std::uint32_t row) const;
+  /// The value the row would hold if no fault had ever occurred and software
+  /// never wrote it (background pattern reference).
+  std::uint64_t pattern_word(std::uint32_t row, std::uint32_t col_word) const;
+
+  /// Physically-adjacent logical rows (what the SPD adjacency table would
+  /// disclose). Whether a mitigation is *allowed* to use this is controller
+  /// policy, mirroring the paper's PARA deployment discussion.
+  std::vector<std::uint32_t> spd_neighbors(std::uint32_t row) const {
+    return remap_.physical_neighbors(row);
+  }
+
+  /// Accumulated hammer stress of a physical row (test/diagnostic hook).
+  double stress_of_physical(std::uint32_t fbank, std::uint32_t prow) const {
+    return stress_[flat_row(fbank, prow)];
+  }
+
+ private:
+  std::size_t flat_row(std::uint32_t fbank, std::uint32_t prow) const {
+    DM_DCHECK(fbank < nbanks_ && prow < cfg_.geometry.rows);
+    return static_cast<std::size_t>(fbank) * cfg_.geometry.rows + prow;
+  }
+  bool stored_bit(std::uint32_t fbank, std::uint32_t prow,
+                  std::uint32_t bit) const;
+  bool pattern_bit(std::uint32_t logical_row, std::uint32_t bit) const;
+  std::vector<std::uint64_t>& materialize(std::uint32_t fbank,
+                                          std::uint32_t prow);
+  /// Commit pending disturbance + retention faults of a physical row, then
+  /// restore its charge (reset stress, stamp last_restore).
+  void restore_row(std::uint32_t fbank, std::uint32_t prow, Time now);
+  void commit_disturbance(std::uint32_t fbank, std::uint32_t prow, Time now);
+  void commit_retention(std::uint32_t fbank, std::uint32_t prow, Time now);
+  void apply_flip(std::uint32_t fbank, std::uint32_t prow, std::uint32_t bit,
+                  FlipCause cause, Time now);
+  /// Add `count` activations' worth of disturbance around a physical row.
+  void disturb_neighbors(std::uint32_t fbank, std::uint32_t prow, float count);
+  /// Count of adjacent physical rows whose same-column bit is antiparallel.
+  int antiparallel_neighbors(std::uint32_t fbank, std::uint32_t prow,
+                             std::uint32_t bit) const;
+
+  DeviceConfig cfg_;
+  std::uint32_t nbanks_;
+  FaultMap faults_;
+  RowRemap remap_;
+  Rng rng_;  ///< device-level randomness (VRT transitions)
+  DeviceStats stats_;
+  std::vector<FlipEvent> events_;
+
+  // Per-bank open row (-1 = precharged) and auto-refresh pointer.
+  std::vector<std::int64_t> open_row_;
+  std::vector<std::uint32_t> refresh_ptr_;
+  // Flat per-(bank, physical row) state.
+  std::vector<float> stress_;       ///< weighted aggressor activations
+  std::vector<Time> last_restore_;  ///< last charge restore
+  // Materialized row data, keyed by flat row index.
+  std::unordered_map<std::size_t, std::vector<std::uint64_t>> data_;
+
+  static constexpr std::size_t kMaxEvents = 1u << 20;
+};
+
+}  // namespace densemem::dram

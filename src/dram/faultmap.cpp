@@ -1,0 +1,132 @@
+#include "dram/faultmap.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace densemem::dram {
+
+namespace {
+// Stream tags keep the weak/leaky/count streams statistically independent.
+constexpr std::uint64_t kTagWeakCount = 0x57434e54;   // "WCNT"
+constexpr std::uint64_t kTagLeakCount = 0x4c434e54;   // "LCNT"
+constexpr std::uint64_t kTagWeakCells = 0x5743454c;   // "WCEL"
+constexpr std::uint64_t kTagLeakCells = 0x4c43454c;   // "LCEL"
+}  // namespace
+
+const std::vector<WeakCell> FaultMap::kNoWeak{};
+
+FaultMap::FaultMap(std::uint64_t seed, std::uint32_t banks, std::uint32_t rows,
+                   std::uint32_t row_bits, const ReliabilityParams& params)
+    : seed_(seed),
+      banks_(banks),
+      rows_(rows),
+      row_bits_(row_bits),
+      params_(params),
+      weak_count_(static_cast<std::size_t>(banks) * rows, 0),
+      leaky_count_(static_cast<std::size_t>(banks) * rows, 0) {
+  const double weak_mean = params_.weak_cell_density * row_bits_;
+  const double leaky_mean = params_.leaky_cell_density * row_bits_;
+  for (std::uint32_t b = 0; b < banks_; ++b) {
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+      const std::size_t i = idx(b, r);
+      if (weak_mean > 0) {
+        Rng rng(hash_coords(seed_, kTagWeakCount, b, r));
+        const auto n = static_cast<std::uint16_t>(
+            std::min<std::uint64_t>(rng.poisson(weak_mean), 0xFFFF));
+        weak_count_[i] = n;
+        total_weak_ += n;
+      }
+      if (leaky_mean > 0) {
+        Rng rng(hash_coords(seed_, kTagLeakCount, b, r));
+        const auto n = static_cast<std::uint16_t>(
+            std::min<std::uint64_t>(rng.poisson(leaky_mean), 0xFFFF));
+        leaky_count_[i] = n;
+        total_leaky_ += n;
+      }
+    }
+  }
+}
+
+std::vector<WeakCell> FaultMap::generate_weak(std::uint32_t bank,
+                                              std::uint32_t row) const {
+  const std::size_t n = weak_count_[idx(bank, row)];
+  std::vector<WeakCell> cells;
+  cells.reserve(n);
+  Rng rng(hash_coords(seed_, kTagWeakCells, bank, row));
+  const double mu = std::log(params_.hc50);
+  for (std::size_t i = 0; i < n; ++i) {
+    WeakCell c;
+    c.bit = static_cast<std::uint32_t>(rng.uniform_int(std::uint64_t{row_bits_}));
+    c.threshold = static_cast<float>(rng.lognormal(mu, params_.hc_sigma));
+    // Beta-ish sensitivity around the configured mean, clamped to [0,1].
+    c.dpd_sens = static_cast<float>(std::clamp(
+        rng.normal(params_.dpd_sensitivity_mean, 0.2), 0.0, 1.0));
+    c.anti_cell = rng.bernoulli(params_.anticell_fraction);
+    cells.push_back(c);
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const WeakCell& a, const WeakCell& b) { return a.bit < b.bit; });
+  return cells;
+}
+
+std::vector<LeakyCell> FaultMap::generate_leaky(std::uint32_t bank,
+                                                std::uint32_t row) const {
+  const std::size_t n = leaky_count_[idx(bank, row)];
+  std::vector<LeakyCell> cells;
+  cells.reserve(n);
+  Rng rng(hash_coords(seed_, kTagLeakCells, bank, row));
+  for (std::size_t i = 0; i < n; ++i) {
+    LeakyCell c;
+    c.bit = static_cast<std::uint32_t>(rng.uniform_int(std::uint64_t{row_bits_}));
+    c.retention_ms = static_cast<float>(
+        rng.lognormal(params_.retention_mu_log_ms, params_.retention_sigma));
+    c.dpd_sens = static_cast<float>(std::clamp(
+        rng.normal(params_.dpd_sensitivity_mean, 0.2), 0.0, 1.0));
+    c.anti_cell = rng.bernoulli(params_.anticell_fraction);
+    c.vrt = rng.bernoulli(params_.vrt_fraction);
+    c.retention_high_ms =
+        c.retention_ms * static_cast<float>(params_.vrt_high_ratio);
+    // VRT cells start in a random state; dwell times are long relative to a
+    // refresh window, so the initial state matters for profiling escapes.
+    c.vrt_low = !c.vrt || rng.bernoulli(0.5);
+    cells.push_back(c);
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const LeakyCell& a, const LeakyCell& b) { return a.bit < b.bit; });
+  return cells;
+}
+
+const std::vector<WeakCell>& FaultMap::weak_cells(std::uint32_t bank,
+                                                  std::uint32_t row) const {
+  const std::size_t i = idx(bank, row);
+  if (weak_count_[i] == 0) return kNoWeak;
+  auto it = weak_cache_.find(i);
+  if (it == weak_cache_.end())
+    it = weak_cache_.emplace(i, generate_weak(bank, row)).first;
+  return it->second;
+}
+
+std::vector<LeakyCell>& FaultMap::leaky_cells(std::uint32_t bank,
+                                              std::uint32_t row) {
+  const std::size_t i = idx(bank, row);
+  auto it = leaky_cache_.find(i);
+  if (it == leaky_cache_.end())
+    it = leaky_cache_.emplace(i, generate_leaky(bank, row)).first;
+  return it->second;
+}
+
+std::vector<std::uint32_t> FaultMap::weak_rows(std::uint32_t bank) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t r = 0; r < rows_; ++r)
+    if (weak_count_[idx(bank, r)] != 0) out.push_back(r);
+  return out;
+}
+
+std::vector<std::uint32_t> FaultMap::leaky_rows(std::uint32_t bank) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t r = 0; r < rows_; ++r)
+    if (leaky_count_[idx(bank, r)] != 0) out.push_back(r);
+  return out;
+}
+
+}  // namespace densemem::dram

@@ -1,0 +1,92 @@
+// Sparse, lazily-generated per-row fault maps.
+//
+// A 2 Gb chip has ~2^31 cells but only a tiny fraction are weak; modelling
+// every cell would be both slow and pointless. Instead each (bank, row)
+// deterministically derives its weak/leaky cell set from the device seed, so
+// (a) memory stays proportional to the rows actually touched, (b) a module
+// is perfectly reproducible, and (c) sampling a subset of rows gives an
+// unbiased estimate of whole-module error rates (cell faults are i.i.d.).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "dram/reliability.h"
+
+namespace densemem::dram {
+
+/// A RowHammer-susceptible cell.
+struct WeakCell {
+  std::uint32_t bit;    ///< bit index within the row
+  float threshold;      ///< aggressor activations to flip at full coupling
+  float dpd_sens;       ///< data-pattern sensitivity in [0,1]
+  bool anti_cell;       ///< charged state stores logical 0
+};
+
+/// A retention-weak cell, possibly with Variable Retention Time.
+struct LeakyCell {
+  std::uint32_t bit;
+  float retention_ms;       ///< base (low-state) retention time
+  float dpd_sens;
+  bool anti_cell;
+  bool vrt;                 ///< subject to VRT state toggling
+  float retention_high_ms;  ///< retention in the VRT high state
+  bool vrt_low = true;      ///< current VRT state (mutable run-time state)
+};
+
+class FaultMap {
+ public:
+  FaultMap(std::uint64_t seed, std::uint32_t banks, std::uint32_t rows,
+           std::uint32_t row_bits, const ReliabilityParams& params);
+
+  const ReliabilityParams& params() const { return params_; }
+
+  /// Weak (hammerable) cells of a physical row; empty for most rows.
+  const std::vector<WeakCell>& weak_cells(std::uint32_t bank,
+                                          std::uint32_t row) const;
+  /// Leaky cells of a physical row; the returned reference is mutable
+  /// because VRT state lives inside the cells.
+  std::vector<LeakyCell>& leaky_cells(std::uint32_t bank, std::uint32_t row);
+
+  /// Fast predicate: does this row have any weak / leaky cells? O(1) after
+  /// construction; lets refresh skip fault-free rows.
+  bool row_has_weak(std::uint32_t bank, std::uint32_t row) const {
+    return weak_count_[idx(bank, row)] != 0;
+  }
+  bool row_has_leaky(std::uint32_t bank, std::uint32_t row) const {
+    return leaky_count_[idx(bank, row)] != 0;
+  }
+
+  /// All physical rows in a bank that contain at least one weak cell.
+  std::vector<std::uint32_t> weak_rows(std::uint32_t bank) const;
+  std::vector<std::uint32_t> leaky_rows(std::uint32_t bank) const;
+
+  std::uint64_t total_weak_cells() const { return total_weak_; }
+  std::uint64_t total_leaky_cells() const { return total_leaky_; }
+
+ private:
+  std::size_t idx(std::uint32_t bank, std::uint32_t row) const {
+    DM_DCHECK(bank < banks_ && row < rows_);
+    return static_cast<std::size_t>(bank) * rows_ + row;
+  }
+  std::vector<WeakCell> generate_weak(std::uint32_t bank,
+                                      std::uint32_t row) const;
+  std::vector<LeakyCell> generate_leaky(std::uint32_t bank,
+                                        std::uint32_t row) const;
+
+  std::uint64_t seed_;
+  std::uint32_t banks_, rows_, row_bits_;
+  ReliabilityParams params_;
+  // Per-row fault counts, fixed at construction (Poisson draws).
+  std::vector<std::uint16_t> weak_count_;
+  std::vector<std::uint16_t> leaky_count_;
+  std::uint64_t total_weak_ = 0, total_leaky_ = 0;
+  // Detail caches, filled on demand.
+  mutable std::unordered_map<std::size_t, std::vector<WeakCell>> weak_cache_;
+  mutable std::unordered_map<std::size_t, std::vector<LeakyCell>> leaky_cache_;
+  static const std::vector<WeakCell> kNoWeak;
+};
+
+}  // namespace densemem::dram

@@ -1,0 +1,76 @@
+// DRAM organization and addressing.
+//
+// The device model operates at rank granularity: the memory controller sees
+// channel → rank → bank → row → column, and one "row" is a full rank-level
+// row (all chips in the rank activated together), default 8 KiB.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace densemem::dram {
+
+struct Geometry {
+  std::uint32_t channels = 1;
+  std::uint32_t ranks = 1;
+  std::uint32_t banks = 8;        ///< banks per rank
+  std::uint32_t rows = 32768;     ///< rows per bank
+  std::uint32_t row_bytes = 8192; ///< rank-level row size
+
+  std::uint64_t rows_total() const {
+    return static_cast<std::uint64_t>(channels) * ranks * banks * rows;
+  }
+  std::uint64_t bytes_total() const { return rows_total() * row_bytes; }
+  std::uint64_t cells_total() const { return bytes_total() * 8; }
+  std::uint32_t row_bits() const { return row_bytes * 8; }
+  std::uint32_t row_words() const { return row_bytes / 8; }
+
+  void validate() const {
+    DM_CHECK_MSG(channels >= 1 && ranks >= 1 && banks >= 1 && rows >= 2,
+                 "degenerate DRAM geometry");
+    DM_CHECK_MSG(row_bytes >= 64 && row_bytes % 64 == 0,
+                 "row size must be a multiple of a 64-byte cache block");
+  }
+
+  /// A small geometry for unit tests: 1x1x2 banks, 512 rows of 1 KiB.
+  static Geometry tiny() { return {1, 1, 2, 512, 1024}; }
+};
+
+/// Fully-decoded DRAM address. `col_word` indexes 64-bit words within a row.
+struct Address {
+  std::uint32_t channel = 0;
+  std::uint32_t rank = 0;
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t col_word = 0;
+
+  bool operator==(const Address&) const = default;
+};
+
+/// Flat bank index across the whole system (channel-major).
+inline std::uint32_t flat_bank(const Geometry& g, const Address& a) {
+  DM_DCHECK(a.channel < g.channels && a.rank < g.ranks && a.bank < g.banks);
+  return (a.channel * g.ranks + a.rank) * g.banks + a.bank;
+}
+
+inline std::uint32_t total_banks(const Geometry& g) {
+  return g.channels * g.ranks * g.banks;
+}
+
+/// Inverse of flat_bank: reconstruct a full Address from a flat bank index.
+inline Address address_of(const Geometry& g, std::uint32_t fbank,
+                          std::uint32_t row, std::uint32_t col_word = 0) {
+  DM_DCHECK(fbank < total_banks(g));
+  Address a;
+  a.bank = fbank % g.banks;
+  const std::uint32_t cr = fbank / g.banks;
+  a.rank = cr % g.ranks;
+  a.channel = cr / g.ranks;
+  a.row = row;
+  a.col_word = col_word;
+  return a;
+}
+
+}  // namespace densemem::dram

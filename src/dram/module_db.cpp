@@ -1,0 +1,126 @@
+#include "dram/module_db.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace densemem::dram {
+namespace {
+
+// Per-(year) calibration row: module counts per manufacturer, how many are
+// vulnerable, the log10 error-rate band of the vulnerable ones, and the
+// median hammer threshold (newer process nodes flip with fewer activations).
+struct YearCal {
+  int year;
+  int count_a, count_b, count_c;
+  int vulnerable;          ///< of the year's total, summed across A/B/C
+  double log10_rate_lo;    ///< vulnerable-module error-rate band (per 1e9)
+  double log10_rate_hi;
+  double hc50;
+};
+
+// Counts sum to 129 with 110 vulnerable; the first vulnerable year is 2010
+// and all 2012–2013 modules are vulnerable, matching §II / Figure 1.
+constexpr YearCal kCalibration[] = {
+    {2008, 2, 2, 1, 0, 0.0, 0.0, 400e3},
+    {2009, 2, 2, 2, 0, 0.0, 0.0, 350e3},
+    {2010, 3, 2, 2, 4, 0.0, 1.3, 250e3},
+    {2011, 6, 5, 5, 14, 0.5, 4.5, 200e3},
+    {2012, 10, 10, 8, 28, 2.0, 6.0, 140e3},
+    {2013, 12, 12, 12, 36, 2.5, 6.2, 110e3},
+    {2014, 10, 11, 10, 28, 1.5, 5.5, 100e3},
+};
+
+}  // namespace
+
+ModuleDb::ModuleDb(std::uint64_t db_seed) {
+  Rng rng(hash_coords(db_seed, 0x4d4f4442 /* "MODB" */));
+  for (const YearCal& cal : kCalibration) {
+    // Lay out the year's modules across manufacturers, then decide which are
+    // vulnerable (uniformly among the year's modules).
+    struct Slot {
+      Manufacturer mfr;
+      int index;
+    };
+    std::vector<Slot> slots;
+    for (int i = 0; i < cal.count_a; ++i) slots.push_back({Manufacturer::kA, i});
+    for (int i = 0; i < cal.count_b; ++i) slots.push_back({Manufacturer::kB, i});
+    for (int i = 0; i < cal.count_c; ++i) slots.push_back({Manufacturer::kC, i});
+    std::vector<bool> vulnerable(slots.size(), false);
+    {
+      auto pick = rng.sample_indices(slots.size(),
+                                     static_cast<std::size_t>(cal.vulnerable));
+      for (std::size_t i : pick) vulnerable[i] = true;
+    }
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      ModuleInfo m;
+      m.manufacturer = slots[s].mfr;
+      m.year = cal.year;
+      m.id = std::string(manufacturer_name(m.manufacturer)) + "-" +
+             std::to_string(cal.year) + "-" +
+             (slots[s].index < 10 ? "0" : "") + std::to_string(slots[s].index);
+      m.vulnerable = vulnerable[s];
+      m.seed = hash_coords(db_seed, static_cast<std::uint64_t>(cal.year),
+                           static_cast<std::uint64_t>(slots[s].mfr),
+                           static_cast<std::uint64_t>(slots[s].index));
+
+      ReliabilityParams p;
+      if (m.vulnerable) {
+        const double log10_rate =
+            rng.uniform(cal.log10_rate_lo, cal.log10_rate_hi);
+        m.target_error_rate = std::pow(10.0, log10_rate);
+        // Errors-per-cell ≈ weak-cell density when the test hammers far past
+        // the median threshold; a small uplift compensates for cells the
+        // multi-pattern test still misses (discharged state under every
+        // tested pattern is impossible, but pattern-factor shortfall near
+        // the threshold tail is not).
+        p.weak_cell_density = m.target_error_rate * 1e-9 * 1.15;
+        p.hc50 = cal.hc50 * rng.lognormal(0.0, 0.15);
+        // Manufacturer "process signatures": mild systematic differences.
+        switch (m.manufacturer) {
+          case Manufacturer::kA: p.hc_sigma = 0.40; break;
+          case Manufacturer::kB: p.hc_sigma = 0.50; p.hc50 *= 0.9; break;
+          case Manufacturer::kC: p.hc_sigma = 0.45; p.distance2_weight = 0.05; break;
+        }
+      } else {
+        m.target_error_rate = 0.0;
+        p.weak_cell_density = 0.0;
+      }
+      // Every module has a mundane leaky tail, but healthy modules have no
+      // cells anywhere near the 64 ms refresh window (the real study's
+      // pre-2010 modules measured *zero* errors, so hammer-window testing
+      // must not pick up ordinary retention failures).
+      p.leaky_cell_density = 1e-7;
+      p.retention_mu_log_ms = 9.0;  // median ~8 s
+      m.reliability = p;
+      modules_.push_back(std::move(m));
+    }
+  }
+  DM_CHECK_MSG(modules_.size() == 129, "module database must hold 129 modules");
+}
+
+std::size_t ModuleDb::vulnerable_count() const {
+  std::size_t n = 0;
+  for (const auto& m : modules_) n += m.vulnerable ? 1 : 0;
+  return n;
+}
+
+int ModuleDb::earliest_vulnerable_year() const {
+  int year = 9999;
+  for (const auto& m : modules_)
+    if (m.vulnerable && m.year < year) year = m.year;
+  return year;
+}
+
+DeviceConfig ModuleDb::device_config(const ModuleInfo& m,
+                                     const Geometry& geometry) const {
+  DeviceConfig cfg;
+  cfg.geometry = geometry;
+  cfg.reliability = m.reliability;
+  cfg.remap = RemapScheme::kIdentity;
+  cfg.seed = m.seed;
+  cfg.pattern = BackgroundPattern::kZeros;
+  return cfg;
+}
+
+}  // namespace densemem::dram

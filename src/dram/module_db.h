@@ -1,0 +1,70 @@
+// Synthetic database of the 129 DRAM modules behind Figure 1.
+//
+// The paper (via ISCA'14 [53]) tested 129 modules from three manufacturers
+// (anonymized A, B, C) manufactured 2008–2014 and found 110 vulnerable, the
+// earliest from 2010, with error rates spanning ~10^0..10^6 per 10^9 cells
+// and *every* 2012–2013 module vulnerable. We do not have the physical
+// modules, so this database generates 129 module configurations whose
+// reliability parameters are calibrated to those published statistics; each
+// module is a seeded Device configuration, and the Figure-1 bench measures
+// its error rate through the same hammer-test path as any other experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/device.h"
+
+namespace densemem::dram {
+
+enum class Manufacturer { kA, kB, kC };
+
+inline const char* manufacturer_name(Manufacturer m) {
+  switch (m) {
+    case Manufacturer::kA: return "A";
+    case Manufacturer::kB: return "B";
+    case Manufacturer::kC: return "C";
+  }
+  return "?";
+}
+
+struct ModuleInfo {
+  std::string id;             ///< e.g. "A-2013-07"
+  Manufacturer manufacturer;
+  int year;                   ///< manufacture year, 2008..2014
+  bool vulnerable;            ///< calibrated: does it exhibit RowHammer at all
+  double target_error_rate;   ///< calibration target, errors per 10^9 cells
+  ReliabilityParams reliability;
+  std::uint64_t seed;
+};
+
+class ModuleDb {
+ public:
+  /// Builds the full 129-module database. `db_seed` varies the per-module
+  /// jitter while preserving the published aggregate statistics.
+  explicit ModuleDb(std::uint64_t db_seed = 2014);
+
+  const std::vector<ModuleInfo>& modules() const { return modules_; }
+  std::size_t size() const { return modules_.size(); }
+  std::size_t vulnerable_count() const;
+  int earliest_vulnerable_year() const;
+
+  /// Device configuration for a module. Geometry defaults to a 2 GiB rank;
+  /// tests may pass a smaller geometry (fault densities are per-cell, so
+  /// statistics scale).
+  DeviceConfig device_config(const ModuleInfo& m,
+                             const Geometry& geometry) const;
+  DeviceConfig device_config(const ModuleInfo& m) const {
+    return device_config(m, default_geometry());
+  }
+
+  static Geometry default_geometry() {
+    return Geometry{1, 1, 8, 32768, 8192};  // 2 GiB rank
+  }
+
+ private:
+  std::vector<ModuleInfo> modules_;
+};
+
+}  // namespace densemem::dram

@@ -1,0 +1,77 @@
+// Per-module reliability parameters: the knobs that make one DRAM module
+// more RowHammer-vulnerable or leakier than another.
+//
+// These parameters are what the synthetic module database (module_db.h)
+// calibrates against the ISCA'14 measurements to reproduce Figure 1.
+#pragma once
+
+#include <cstdint>
+
+namespace densemem::dram {
+
+struct ReliabilityParams {
+  // --- Disturbance (RowHammer) -------------------------------------------
+  /// Probability that any given cell is hammerable at all. 0 disables
+  /// disturbance entirely (pre-2010 modules).
+  double weak_cell_density = 0.0;
+  /// Median hammer threshold: single-aggressor activations within one
+  /// refresh window needed to flip a fully-coupled weak cell.
+  double hc50 = 150e3;
+  /// Lognormal sigma of the per-cell threshold distribution.
+  double hc_sigma = 0.45;
+  /// Stress contribution of a distance-2 aggressor relative to an adjacent
+  /// one (ISCA'14: most victims are adjacent; a small tail is not).
+  double distance2_weight = 0.03;
+  /// Mean of each cell's data-pattern sensitivity in [0,1]: 1 means the
+  /// cell only flips when its aggressor neighbours store antiparallel data.
+  double dpd_sensitivity_mean = 0.6;
+  /// Fraction of cells in the anti-cell orientation (charged = logical 0,
+  /// so hammer/retention flips go 0 -> 1 instead of 1 -> 0).
+  double anticell_fraction = 0.25;
+
+  // --- Retention ----------------------------------------------------------
+  /// Probability that a cell is in the leaky tail (retention time within
+  /// an order of magnitude of the refresh window).
+  double leaky_cell_density = 0.0;
+  /// Lognormal location (ln ms) of leaky-cell retention times.
+  double retention_mu_log_ms = 6.0;  // ~e^6 ≈ 400 ms median
+  double retention_sigma = 1.0;
+  /// Fraction of leaky cells that additionally exhibit Variable Retention
+  /// Time: they toggle between their base retention and a much higher one.
+  double vrt_fraction = 0.15;
+  /// VRT state-transition rate (per second), modelling the memoryless
+  /// trap-assisted process of §III-A1.
+  double vrt_rate_hz = 0.02;
+  /// Ratio of the VRT high-retention state to the base retention.
+  double vrt_high_ratio = 50.0;
+  /// Strength of data-pattern dependence of retention (0 = none; 0.5 means
+  /// fully antiparallel neighbours halve the effective retention time).
+  double retention_dpd_strength = 0.35;
+
+  /// A strongly RowHammer-vulnerable module (2012–2013 era defaults).
+  static ReliabilityParams vulnerable() {
+    ReliabilityParams p;
+    p.weak_cell_density = 2e-5;
+    p.hc50 = 120e3;
+    p.leaky_cell_density = 1e-7;
+    return p;
+  }
+  /// A module with no disturbance weakness (pre-2010 era).
+  static ReliabilityParams robust() {
+    ReliabilityParams p;
+    p.weak_cell_density = 0.0;
+    p.leaky_cell_density = 1e-7;
+    return p;
+  }
+  /// Retention-study module: no hammer weakness, pronounced leaky tail.
+  static ReliabilityParams leaky() {
+    ReliabilityParams p;
+    p.weak_cell_density = 0.0;
+    p.leaky_cell_density = 5e-5;
+    p.retention_mu_log_ms = 5.5;
+    p.retention_sigma = 1.2;
+    return p;
+  }
+};
+
+}  // namespace densemem::dram

@@ -1,0 +1,46 @@
+#include "dram/remap.h"
+
+namespace densemem::dram {
+
+RowRemap::RowRemap(RemapScheme scheme, std::uint32_t rows, std::uint64_t seed,
+                   std::uint32_t block_log2)
+    : scheme_(scheme), rows_(rows) {
+  DM_CHECK_MSG(rows >= 2, "remap needs at least two rows");
+  switch (scheme_) {
+    case RemapScheme::kIdentity:
+      break;  // empty tables mean identity
+    case RemapScheme::kMirrorBlocks: {
+      const std::uint32_t block = 1u << block_log2;
+      fwd_.resize(rows_);
+      inv_.resize(rows_);
+      for (std::uint32_t r = 0; r < rows_; ++r) {
+        const std::uint32_t base = r & ~(block - 1);
+        std::uint32_t mirrored = base + (block - 1 - (r & (block - 1)));
+        if (mirrored >= rows_) mirrored = r;  // partial tail block: identity
+        fwd_[r] = mirrored;
+      }
+      for (std::uint32_t r = 0; r < rows_; ++r) inv_[fwd_[r]] = r;
+      break;
+    }
+    case RemapScheme::kScramble: {
+      fwd_.resize(rows_);
+      inv_.resize(rows_);
+      for (std::uint32_t r = 0; r < rows_; ++r) fwd_[r] = r;
+      Rng rng(hash_coords(seed, 0x52454d41 /* "REMA" */));
+      rng.shuffle(fwd_);
+      for (std::uint32_t r = 0; r < rows_; ++r) inv_[fwd_[r]] = r;
+      break;
+    }
+  }
+}
+
+std::vector<std::uint32_t> RowRemap::physical_neighbors(
+    std::uint32_t logical) const {
+  const std::uint32_t p = to_physical(logical);
+  std::vector<std::uint32_t> out;
+  if (p > 0) out.push_back(to_logical(p - 1));
+  if (p + 1 < rows_) out.push_back(to_logical(p + 1));
+  return out;
+}
+
+}  // namespace densemem::dram

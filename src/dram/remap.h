@@ -1,0 +1,53 @@
+// Logical → physical row remapping and the SPD adjacency interface.
+//
+// DRAM manufacturers internally remap rows (§II-C: "DRAM manufacturers can
+// internally remap rows to other locations"), so the memory controller does
+// not know which rows are physically adjacent. The paper's PARA deployment
+// discussion hinges on this: either the DRAM discloses adjacency via the
+// serial-presence-detect (SPD) ROM, or the controller's notion of
+// "neighbour" is wrong and neighbour-refreshing mitigations misfire.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace densemem::dram {
+
+enum class RemapScheme {
+  kIdentity,      ///< logical == physical
+  kMirrorBlocks,  ///< row order reversed within aligned blocks of 2^k rows
+  kScramble,      ///< seeded pseudorandom permutation (worst case for the
+                  ///< controller: logical neighbours are physically unrelated)
+};
+
+class RowRemap {
+ public:
+  RowRemap(RemapScheme scheme, std::uint32_t rows, std::uint64_t seed = 0,
+           std::uint32_t block_log2 = 3);
+
+  RemapScheme scheme() const { return scheme_; }
+  std::uint32_t rows() const { return rows_; }
+
+  std::uint32_t to_physical(std::uint32_t logical) const {
+    DM_DCHECK(logical < rows_);
+    return fwd_.empty() ? logical : fwd_[logical];
+  }
+  std::uint32_t to_logical(std::uint32_t physical) const {
+    DM_DCHECK(physical < rows_);
+    return inv_.empty() ? physical : inv_[physical];
+  }
+
+  /// Logical rows physically adjacent (distance 1) to the given logical row.
+  /// This is the answer an SPD adjacency table would give.
+  std::vector<std::uint32_t> physical_neighbors(std::uint32_t logical) const;
+
+ private:
+  RemapScheme scheme_;
+  std::uint32_t rows_;
+  std::vector<std::uint32_t> fwd_, inv_;  // empty for identity
+};
+
+}  // namespace densemem::dram

@@ -1,0 +1,55 @@
+#include "dram/timing.h"
+
+#include "common/check.h"
+
+namespace densemem::dram {
+
+Timing Timing::ddr3_1600() {
+  Timing t;
+  t.name = "DDR3-1600 (11-11-11)";
+  t.tCK = Time::ps(1250);
+  t.tRCD = Time::ns_f(13.75);
+  t.tCL = Time::ns_f(13.75);
+  t.tRP = Time::ns_f(13.75);
+  t.tRAS = Time::ns(35);
+  t.tRC = Time::ns_f(48.75);
+  t.tWR = Time::ns(15);
+  t.tRFC = Time::ns(260);   // 4 Gb density class
+  t.tREFI = Time::ns_f(7812.5);
+  t.tREFW = Time::ms(64);
+  t.tFAW = Time::ns(40);
+  t.tRRD = Time::ns(6);
+  return t;
+}
+
+Timing Timing::ddr4_2400() {
+  Timing t;
+  t.name = "DDR4-2400 (17-17-17)";
+  t.tCK = Time::ps(833);
+  t.tRCD = Time::ns_f(14.16);
+  t.tCL = Time::ns_f(14.16);
+  t.tRP = Time::ns_f(14.16);
+  t.tRAS = Time::ns(32);
+  t.tRC = Time::ns_f(46.16);
+  t.tWR = Time::ns(15);
+  t.tRFC = Time::ns(350);   // 8 Gb density class
+  t.tREFI = Time::ns_f(7812.5);
+  t.tREFW = Time::ms(64);
+  t.tFAW = Time::ns(21);
+  t.tRRD = Time::ns_f(5.3);
+  return t;
+}
+
+Timing Timing::with_refresh_multiplier(double factor) const {
+  DM_CHECK_MSG(factor >= 1.0, "refresh multiplier must be >= 1");
+  Timing t = *this;
+  t.tREFI = Time::ps(static_cast<std::int64_t>(
+      static_cast<double>(tREFI.picoseconds()) / factor));
+  t.tREFW = Time::ps(static_cast<std::int64_t>(
+      static_cast<double>(tREFW.picoseconds()) / factor));
+  DM_CHECK_MSG(t.tREFI > t.tRFC,
+               "refresh multiplier so high that refresh never completes");
+  return t;
+}
+
+}  // namespace densemem::dram

@@ -1,0 +1,47 @@
+// DDR timing parameter sets.
+//
+// Only the parameters that govern the experiments are modelled: the
+// activate–precharge cycle (which bounds the achievable hammer rate), the
+// refresh cadence (tREFI / tREFW, which bound how many activations fit in a
+// refresh window), and the access latencies used for performance accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace densemem::dram {
+
+struct Timing {
+  std::string name;
+  Time tCK;    ///< clock period
+  Time tRCD;   ///< activate → column command
+  Time tCL;    ///< read latency
+  Time tRP;    ///< precharge period
+  Time tRAS;   ///< activate → precharge minimum
+  Time tRC;    ///< activate → activate (same bank)
+  Time tWR;    ///< write recovery
+  Time tRFC;   ///< refresh command period
+  Time tREFI;  ///< average refresh interval (per REF command)
+  Time tREFW;  ///< refresh window: every row refreshed once per tREFW
+  Time tFAW;   ///< four-activate window (rank level)
+  Time tRRD;   ///< activate → activate (different banks)
+
+  /// Maximum single-row activation count achievable within one refresh
+  /// window, ignoring refresh downtime (upper bound used by analytic models).
+  std::int64_t max_activations_per_window() const {
+    return tREFW / tRC;
+  }
+
+  /// REF commands issued per refresh window.
+  std::int64_t refs_per_window() const { return tREFW / tREFI; }
+
+  static Timing ddr3_1600();
+  static Timing ddr4_2400();
+  /// Copy with refresh rate multiplied by `factor` (tREFI and tREFW divided):
+  /// the paper's "increase the refresh rate" mitigation (§II-C).
+  Timing with_refresh_multiplier(double factor) const;
+};
+
+}  // namespace densemem::dram

@@ -1,0 +1,226 @@
+#include "ecc/bch.h"
+
+#include <algorithm>
+#include <set>
+
+namespace densemem::ecc {
+namespace {
+
+// Minimal polynomial (over GF(2)) of alpha^c: product of (x - alpha^j) over
+// the cyclotomic coset of c. Returned with bit i = coefficient of x^i.
+std::vector<std::uint8_t> minimal_poly(const GF2m& f, std::uint32_t c) {
+  // Collect the coset {c, 2c, 4c, ...} mod n.
+  std::vector<std::uint32_t> coset;
+  std::uint32_t e = c;
+  do {
+    coset.push_back(e);
+    e = (e * 2) % f.n();
+  } while (e != c);
+
+  // Multiply out (x - alpha^j) over GF(2^m); the result has GF(2) coeffs.
+  std::vector<std::uint32_t> poly{1};  // constant 1
+  for (std::uint32_t j : coset) {
+    const std::uint32_t root = f.alpha_pow(j);
+    std::vector<std::uint32_t> next(poly.size() + 1, 0);
+    for (std::size_t i = 0; i < poly.size(); ++i) {
+      next[i + 1] = f.add(next[i + 1], poly[i]);          // x * poly
+      next[i] = f.add(next[i], f.mul(root, poly[i]));     // root * poly
+    }
+    poly = std::move(next);
+  }
+  std::vector<std::uint8_t> out(poly.size());
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    DM_CHECK_MSG(poly[i] <= 1, "minimal polynomial has non-binary coefficient");
+    out[i] = static_cast<std::uint8_t>(poly[i]);
+  }
+  return out;
+}
+
+// Multiply two GF(2) polynomials (bit i = coeff of x^i).
+std::vector<std::uint8_t> poly_mul_gf2(const std::vector<std::uint8_t>& a,
+                                       const std::vector<std::uint8_t>& b) {
+  std::vector<std::uint8_t> r(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i]) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) r[i + j] ^= b[j];
+  }
+  return r;
+}
+
+std::vector<std::uint8_t> build_generator(const GF2m& f, int t) {
+  std::vector<std::uint8_t> g{1};
+  std::set<std::uint32_t> covered;
+  for (int c = 1; c <= 2 * t; ++c) {
+    const auto cu = static_cast<std::uint32_t>(c);
+    if (covered.count(cu)) continue;
+    // Mark the whole cyclotomic coset as covered.
+    std::uint32_t e = cu;
+    do {
+      covered.insert(e);
+      e = (e * 2) % f.n();
+    } while (e != cu);
+    g = poly_mul_gf2(g, minimal_poly(f, cu));
+  }
+  return g;
+}
+
+}  // namespace
+
+BchCode::BchCode(BchParams p) : params_(p), field_(p.m) {
+  DM_CHECK_MSG(p.t >= 1, "BCH t must be >= 1");
+  DM_CHECK_MSG(p.k_data >= 1, "BCH payload must be >= 1 bit");
+  gen_ = build_generator(field_, p.t);
+  const int r = parity_bits();
+  DM_CHECK_MSG(p.k_data + r <= n(),
+               "BCH payload does not fit: k_data + parity exceeds 2^m - 1");
+  DM_CHECK_MSG(gen_.back() == 1, "generator polynomial must be monic");
+}
+
+BitVec BchCode::encode(const BitVec& data) const {
+  DM_CHECK_MSG(static_cast<int>(data.size()) == k_data(),
+               "encode payload size mismatch");
+  const int r = parity_bits();
+  // LFSR division of d(x) * x^r by g(x): process data high-degree first.
+  std::vector<std::uint8_t> rem(static_cast<std::size_t>(r), 0);
+  for (int i = k_data() - 1; i >= 0; --i) {
+    const bool fb = data.get(static_cast<std::size_t>(i)) !=
+                    static_cast<bool>(rem[static_cast<std::size_t>(r - 1)]);
+    for (int j = r - 1; j > 0; --j)
+      rem[static_cast<std::size_t>(j)] = rem[static_cast<std::size_t>(j - 1)];
+    rem[0] = 0;
+    if (fb)
+      for (int j = 0; j < r; ++j)
+        rem[static_cast<std::size_t>(j)] ^= gen_[static_cast<std::size_t>(j)];
+  }
+  // Layout: [data bits 0..k-1][parity bits 0..r-1]; poly position of data
+  // bit i is r + i, of parity bit j is j.
+  BitVec cw(static_cast<std::size_t>(code_bits()));
+  for (int i = 0; i < k_data(); ++i)
+    cw.set(static_cast<std::size_t>(i), data.get(static_cast<std::size_t>(i)));
+  for (int j = 0; j < r; ++j)
+    cw.set(static_cast<std::size_t>(k_data() + j),
+           static_cast<bool>(rem[static_cast<std::size_t>(j)]));
+  return cw;
+}
+
+std::vector<std::uint32_t> BchCode::compute_syndromes(const BitVec& cw) const {
+  const int r = parity_bits();
+  std::vector<std::uint32_t> syn(static_cast<std::size_t>(2 * params_.t), 0);
+  for (std::size_t bit : cw.set_bits()) {
+    // Polynomial position of this code-word bit (see encode layout).
+    const std::int64_t pos =
+        bit < static_cast<std::size_t>(k_data())
+            ? static_cast<std::int64_t>(r) + static_cast<std::int64_t>(bit)
+            : static_cast<std::int64_t>(bit) - k_data();
+    for (int j = 1; j <= 2 * params_.t; ++j)
+      syn[static_cast<std::size_t>(j - 1)] ^= field_.alpha_pow(pos * j);
+  }
+  return syn;
+}
+
+BchDecodeResult BchCode::decode(const BitVec& codeword) const {
+  DM_CHECK_MSG(static_cast<int>(codeword.size()) == code_bits(),
+               "decode code word size mismatch");
+  auto extract_data = [&](const BitVec& cw) {
+    BitVec d(static_cast<std::size_t>(k_data()));
+    for (int i = 0; i < k_data(); ++i)
+      d.set(static_cast<std::size_t>(i), cw.get(static_cast<std::size_t>(i)));
+    return d;
+  };
+
+  const auto syn = compute_syndromes(codeword);
+  if (std::all_of(syn.begin(), syn.end(), [](std::uint32_t s) { return s == 0; }))
+    return {DecodeStatus::kClean, extract_data(codeword), 0};
+
+  // Berlekamp–Massey: find the error-locator polynomial sigma(x).
+  const int t2 = 2 * params_.t;
+  std::vector<std::uint32_t> sigma{1};  // current locator
+  std::vector<std::uint32_t> b{1};      // previous locator copy
+  int L = 0;
+  std::uint32_t bdisc = 1;  // discrepancy at the last length change
+  int shift = 1;            // x^shift multiplier for b
+  for (int n_iter = 0; n_iter < t2; ++n_iter) {
+    // Discrepancy d = S_n + sum_{i=1..L} sigma_i * S_{n-i}.
+    std::uint32_t d = syn[static_cast<std::size_t>(n_iter)];
+    for (int i = 1; i <= L && i < static_cast<int>(sigma.size()); ++i) {
+      const int idx = n_iter - i;
+      if (idx >= 0)
+        d = field_.add(d, field_.mul(sigma[static_cast<std::size_t>(i)],
+                                     syn[static_cast<std::size_t>(idx)]));
+    }
+    if (d == 0) {
+      ++shift;
+      continue;
+    }
+    // sigma' = sigma - (d / bdisc) * x^shift * b
+    const std::uint32_t coef = field_.div(d, bdisc);
+    std::vector<std::uint32_t> next = sigma;
+    if (next.size() < b.size() + static_cast<std::size_t>(shift))
+      next.resize(b.size() + static_cast<std::size_t>(shift), 0);
+    for (std::size_t i = 0; i < b.size(); ++i)
+      next[i + static_cast<std::size_t>(shift)] = field_.add(
+          next[i + static_cast<std::size_t>(shift)], field_.mul(coef, b[i]));
+    if (2 * L <= n_iter) {
+      b = sigma;
+      bdisc = d;
+      L = n_iter + 1 - L;
+      shift = 1;
+    } else {
+      ++shift;
+    }
+    sigma = std::move(next);
+  }
+  // Trim trailing zero coefficients.
+  while (sigma.size() > 1 && sigma.back() == 0) sigma.pop_back();
+  const int deg = static_cast<int>(sigma.size()) - 1;
+  if (deg == 0 || deg > params_.t || L != deg)
+    return {DecodeStatus::kUncorrectable, extract_data(codeword), 0};
+
+  // Chien search restricted to positions that exist in the shortened code.
+  BitVec corrected = codeword;
+  int found = 0;
+  const int max_pos = code_bits();  // poly positions 0 .. max_pos-1
+  for (int pos = 0; pos < max_pos; ++pos) {
+    // Error at poly position pos <=> sigma(alpha^{-pos}) == 0.
+    const std::uint32_t x = field_.alpha_pow(-static_cast<std::int64_t>(pos));
+    if (field_.poly_eval(sigma, x) == 0) {
+      const std::size_t bit =
+          pos >= parity_bits()
+              ? static_cast<std::size_t>(pos - parity_bits())
+              : static_cast<std::size_t>(k_data() + pos);
+      corrected.flip(bit);
+      ++found;
+    }
+  }
+  if (found != deg) {
+    // Some roots fell outside the shortened code (or were repeated): a
+    // >t-error pattern was detected rather than miscorrected.
+    return {DecodeStatus::kUncorrectable, extract_data(codeword), 0};
+  }
+  // Verify: a true correction must zero all syndromes.
+  const auto check = compute_syndromes(corrected);
+  if (!std::all_of(check.begin(), check.end(),
+                   [](std::uint32_t s) { return s == 0; }))
+    return {DecodeStatus::kUncorrectable, extract_data(codeword), 0};
+  return {DecodeStatus::kCorrected, extract_data(corrected), found};
+}
+
+int max_t_for_parity_budget(int m, int k_data, int parity_budget) {
+  int best = 0;
+  for (int t = 1;; ++t) {
+    BchParams p{m, t, k_data};
+    // Cheaply bound: parity <= m*t; stop once even the bound exceeds budget.
+    if (m * t > parity_budget && best > 0) break;
+    try {
+      BchCode code(p);
+      if (code.parity_bits() > parity_budget) break;
+      best = t;
+    } catch (const CheckError&) {
+      break;
+    }
+    if (t > 64) break;  // safety stop
+  }
+  return best;
+}
+
+}  // namespace densemem::ecc

@@ -1,0 +1,70 @@
+// Binary BCH codec: systematic encoding, Berlekamp–Massey decoding, Chien
+// search. Supports shortening so a code over GF(2^m) can protect an
+// arbitrary payload length (e.g. a 1 KiB flash sector slice or a 64-byte
+// DRAM cache block).
+//
+// This is the "stronger ECC" of §II-C for DRAM, and the ECC engine of the
+// flash controller in §III (modern SSDs rely on exactly this family).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "ecc/gf.h"
+#include "ecc/hamming.h"  // for DecodeStatus
+
+namespace densemem::ecc {
+
+struct BchParams {
+  int m;       ///< field degree: code length n = 2^m - 1
+  int t;       ///< designed error-correction capability (bits per code word)
+  int k_data;  ///< payload bits per (possibly shortened) code word
+};
+
+struct BchDecodeResult {
+  DecodeStatus status;
+  BitVec data;              ///< corrected payload (k_data bits)
+  int corrected_bits = 0;   ///< number of bit positions flipped back
+};
+
+class BchCode {
+ public:
+  /// Builds the code: computes the generator polynomial as the LCM of the
+  /// minimal polynomials of alpha^1..alpha^2t. Throws CheckError if the
+  /// requested payload does not fit (k_data > n - deg(g)).
+  explicit BchCode(BchParams p);
+
+  int n() const { return static_cast<int>(field_.n()); }      ///< full length
+  int t() const { return params_.t; }
+  int k_data() const { return params_.k_data; }
+  int parity_bits() const { return static_cast<int>(gen_.size()) - 1; }
+  int code_bits() const { return k_data() + parity_bits(); }  ///< shortened n
+  /// Redundancy as a fraction of the code word.
+  double overhead() const {
+    return static_cast<double>(parity_bits()) / static_cast<double>(code_bits());
+  }
+
+  /// Systematic encode: returns [data | parity] of code_bits() bits.
+  BitVec encode(const BitVec& data) const;
+
+  /// Decode a (possibly corrupted) code word of code_bits() bits.
+  /// Up to t bit errors are corrected; more may be detected or (rarely)
+  /// miscorrected — the real hazard the paper's ECC discussion relies on.
+  BchDecodeResult decode(const BitVec& codeword) const;
+
+  const std::vector<std::uint8_t>& generator() const { return gen_; }
+
+ private:
+  std::vector<std::uint32_t> compute_syndromes(const BitVec& cw) const;
+
+  BchParams params_;
+  GF2m field_;
+  std::vector<std::uint8_t> gen_;  ///< generator poly coefficients (GF(2))
+};
+
+/// Convenience: smallest t such that a BCH code over GF(2^m) with the given
+/// payload can correct t errors within a parity budget.
+int max_t_for_parity_budget(int m, int k_data, int parity_budget);
+
+}  // namespace densemem::ecc

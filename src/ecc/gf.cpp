@@ -1,0 +1,60 @@
+#include "ecc/gf.h"
+
+namespace densemem::ecc {
+
+std::uint32_t GF2m::default_primitive_poly(int m) {
+  // x^m + ... + 1, encoded with bit i = coefficient of x^i.
+  switch (m) {
+    case 2:  return 0x7;      // x^2 + x + 1
+    case 3:  return 0xB;      // x^3 + x + 1
+    case 4:  return 0x13;     // x^4 + x + 1
+    case 5:  return 0x25;     // x^5 + x^2 + 1
+    case 6:  return 0x43;     // x^6 + x + 1
+    case 7:  return 0x89;     // x^7 + x^3 + 1
+    case 8:  return 0x11D;    // x^8 + x^4 + x^3 + x^2 + 1
+    case 9:  return 0x211;    // x^9 + x^4 + 1
+    case 10: return 0x409;    // x^10 + x^3 + 1
+    case 11: return 0x805;    // x^11 + x^2 + 1
+    case 12: return 0x1053;   // x^12 + x^6 + x^4 + x + 1
+    case 13: return 0x201B;   // x^13 + x^4 + x^3 + x + 1
+    case 14: return 0x4443;   // x^14 + x^10 + x^6 + x + 1
+    case 15: return 0x8003;   // x^15 + x + 1
+    case 16: return 0x1100B;  // x^16 + x^12 + x^3 + x + 1
+    default:
+      DM_CHECK_MSG(false, "GF(2^m) supported only for m in [2,16]");
+      return 0;
+  }
+}
+
+GF2m::GF2m(int m)
+    : m_(m),
+      n_((1u << m) - 1),
+      poly_(default_primitive_poly(m)),
+      exp_(2 * ((1u << m) - 1)),
+      log_(1u << m) {
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    exp_[i] = x;
+    log_[x] = i;
+    x <<= 1;
+    if (x & (1u << m_)) x ^= poly_;
+  }
+  for (std::uint32_t i = n_; i < 2 * n_; ++i) exp_[i] = exp_[i - n_];
+  log_[0] = 0;  // never read; see DM_CHECK in log()
+}
+
+std::uint32_t GF2m::pow(std::uint32_t a, std::uint64_t e) const {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const std::uint64_t le = (static_cast<std::uint64_t>(log_[a]) * e) % n_;
+  return exp_[static_cast<std::size_t>(le)];
+}
+
+std::uint32_t GF2m::poly_eval(const std::vector<std::uint32_t>& coeffs,
+                              std::uint32_t x) const {
+  std::uint32_t acc = 0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = add(mul(acc, x), coeffs[i]);
+  return acc;
+}
+
+}  // namespace densemem::ecc

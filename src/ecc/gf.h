@@ -1,0 +1,72 @@
+// Finite-field arithmetic GF(2^m) via exp/log tables, m in [2, 16].
+//
+// Used by the BCH codec (both the flash controller's ECC and the "stronger
+// than SECDED" DRAM ECC option the paper discusses in §II-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace densemem::ecc {
+
+class GF2m {
+ public:
+  /// Constructs GF(2^m) with a standard primitive polynomial.
+  explicit GF2m(int m);
+
+  int m() const { return m_; }
+  /// Field size minus one: the multiplicative group order, 2^m - 1.
+  std::uint32_t n() const { return n_; }
+  std::uint32_t primitive_poly() const { return poly_; }
+
+  std::uint32_t add(std::uint32_t a, std::uint32_t b) const { return a ^ b; }
+
+  std::uint32_t mul(std::uint32_t a, std::uint32_t b) const {
+    if (a == 0 || b == 0) return 0;
+    return exp_[(log_[a] + log_[b]) % n_];
+  }
+
+  std::uint32_t inv(std::uint32_t a) const {
+    DM_CHECK_MSG(a != 0, "inverse of zero in GF(2^m)");
+    return exp_[(n_ - log_[a]) % n_];
+  }
+
+  std::uint32_t div(std::uint32_t a, std::uint32_t b) const {
+    DM_CHECK_MSG(b != 0, "division by zero in GF(2^m)");
+    if (a == 0) return 0;
+    return exp_[(log_[a] + n_ - log_[b]) % n_];
+  }
+
+  /// alpha^e for any integer exponent (reduced mod 2^m - 1).
+  std::uint32_t alpha_pow(std::int64_t e) const {
+    std::int64_t r = e % static_cast<std::int64_t>(n_);
+    if (r < 0) r += n_;
+    return exp_[static_cast<std::size_t>(r)];
+  }
+
+  /// Discrete log base alpha; a must be nonzero.
+  std::uint32_t log(std::uint32_t a) const {
+    DM_CHECK_MSG(a != 0, "log of zero in GF(2^m)");
+    return log_[a];
+  }
+
+  std::uint32_t pow(std::uint32_t a, std::uint64_t e) const;
+
+  /// Evaluate a polynomial (coeffs[i] is the coefficient of x^i) at x.
+  std::uint32_t poly_eval(const std::vector<std::uint32_t>& coeffs,
+                          std::uint32_t x) const;
+
+  /// Default primitive polynomial for a given m (from standard tables).
+  static std::uint32_t default_primitive_poly(int m);
+
+ private:
+  int m_;
+  std::uint32_t n_;
+  std::uint32_t poly_;
+  std::vector<std::uint32_t> exp_;  // size 2n to avoid a mod in hot paths
+  std::vector<std::uint32_t> log_;
+};
+
+}  // namespace densemem::ecc

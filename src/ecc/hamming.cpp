@@ -1,0 +1,106 @@
+#include "ecc/hamming.h"
+
+#include <array>
+#include <bit>
+
+#include "common/check.h"
+
+namespace densemem::ecc {
+namespace {
+
+constexpr bool is_pow2(unsigned x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// Hamming position (1..71, skipping powers of two) for each logical data bit.
+constexpr std::array<std::uint8_t, 64> make_data_positions() {
+  std::array<std::uint8_t, 64> pos{};
+  unsigned p = 1, i = 0;
+  while (i < 64) {
+    if (!is_pow2(p)) pos[i++] = static_cast<std::uint8_t>(p);
+    ++p;
+  }
+  return pos;
+}
+constexpr auto kDataPos = make_data_positions();
+
+struct CodeBits {
+  // bits[p] for Hamming position p in 0..71 (0 = overall parity position).
+  std::array<bool, 72> bits{};
+};
+
+CodeBits unpack(SecdedWord w) {
+  CodeBits cb;
+  for (unsigned i = 0; i < 64; ++i)
+    cb.bits[kDataPos[i]] = (w.data >> i) & 1;
+  for (unsigned j = 0; j < 7; ++j)
+    cb.bits[1u << j] = (w.check >> j) & 1;
+  cb.bits[0] = (w.check >> 7) & 1;
+  return cb;
+}
+
+SecdedWord pack(const CodeBits& cb) {
+  SecdedWord w{0, 0};
+  for (unsigned i = 0; i < 64; ++i)
+    if (cb.bits[kDataPos[i]]) w.data |= std::uint64_t{1} << i;
+  for (unsigned j = 0; j < 7; ++j)
+    if (cb.bits[1u << j]) w.check |= static_cast<std::uint8_t>(1u << j);
+  if (cb.bits[0]) w.check |= 0x80;
+  return w;
+}
+
+}  // namespace
+
+SecdedWord Secded7264::encode(std::uint64_t data) {
+  // Syndrome of the data bits determines the Hamming check bits; the overall
+  // parity bit makes the full 72-bit word even-parity.
+  unsigned syn = 0;
+  for (unsigned i = 0; i < 64; ++i)
+    if ((data >> i) & 1) syn ^= kDataPos[i];
+
+  SecdedWord w{data, 0};
+  w.check = static_cast<std::uint8_t>(syn & 0x7F);
+  // Overall parity over positions 1..71 == popcount(data) ^ popcount(check).
+  const unsigned ones = static_cast<unsigned>(std::popcount(data)) +
+                        static_cast<unsigned>(std::popcount(w.check));
+  if (ones & 1) w.check |= 0x80;
+  return w;
+}
+
+SecdedResult Secded7264::decode(SecdedWord w) {
+  CodeBits cb = unpack(w);
+  unsigned syn = 0;
+  unsigned parity = 0;
+  for (unsigned p = 0; p < 72; ++p) {
+    if (cb.bits[p]) {
+      syn ^= p;
+      parity ^= 1;
+    }
+  }
+  if (syn == 0 && parity == 0) return {DecodeStatus::kClean, w.data};
+
+  if (parity == 1) {
+    // Odd overall parity: a single-bit error (position = syndrome; syndrome 0
+    // means the overall parity bit itself flipped).
+    if (syn == 0) return {DecodeStatus::kCorrected, w.data};
+    if (syn >= 72) {
+      // Syndrome names a position outside the code word: only possible for a
+      // 3+-bit corruption. Report uncorrectable rather than miscorrect.
+      return {DecodeStatus::kUncorrectable, w.data};
+    }
+    cb.bits[syn] = !cb.bits[syn];
+    return {DecodeStatus::kCorrected, pack(cb).data};
+  }
+  // Even parity with nonzero syndrome: double-bit error detected.
+  return {DecodeStatus::kUncorrectable, w.data};
+}
+
+SecdedWord Secded7264::flip_bit(SecdedWord w, unsigned bit) {
+  DM_CHECK_MSG(bit < kCodeBits, "SECDED bit index out of range");
+  if (bit < 64) {
+    w.data ^= std::uint64_t{1} << bit;
+  } else {
+    w.check ^= static_cast<std::uint8_t>(1u << (bit - 64));
+  }
+  return w;
+}
+
+}  // namespace densemem::ecc

@@ -1,0 +1,161 @@
+#include "ecc/rs.h"
+
+#include <algorithm>
+
+namespace densemem::ecc {
+
+RsCode::RsCode(RsParams p) : params_(p), field_(8) {
+  DM_CHECK_MSG(p.t >= 1, "RS t must be >= 1");
+  DM_CHECK_MSG(p.k_data >= 1, "RS payload must be >= 1 symbol");
+  DM_CHECK_MSG(p.k_data + 2 * p.t <= 255,
+               "RS code word exceeds GF(256) length");
+  // g(x) = prod_{i=1}^{2t} (x - alpha^i): roots alpha^1..alpha^2t, matching
+  // the syndrome definition S_j = c(alpha^j).
+  gen_ = {1};
+  for (int i = 1; i <= 2 * p.t; ++i) {
+    const std::uint32_t root = field_.alpha_pow(i);
+    std::vector<std::uint32_t> next(gen_.size() + 1, 0);
+    for (std::size_t j = 0; j < gen_.size(); ++j) {
+      next[j + 1] = field_.add(next[j + 1], gen_[j]);
+      next[j] = field_.add(next[j], field_.mul(root, gen_[j]));
+    }
+    gen_ = std::move(next);
+  }
+}
+
+std::vector<std::uint8_t> RsCode::encode(
+    const std::vector<std::uint8_t>& data) const {
+  DM_CHECK_MSG(static_cast<int>(data.size()) == k_data(),
+               "encode payload size mismatch");
+  const int r = parity_symbols();
+  // Polynomial division of d(x) * x^r by g(x) (monic): process data symbols
+  // from the highest degree down.
+  std::vector<std::uint32_t> rem(static_cast<std::size_t>(r), 0);
+  for (int i = k_data() - 1; i >= 0; --i) {
+    const std::uint32_t fb =
+        field_.add(data[static_cast<std::size_t>(i)],
+                   rem[static_cast<std::size_t>(r - 1)]);
+    for (int j = r - 1; j > 0; --j)
+      rem[static_cast<std::size_t>(j)] =
+          field_.add(rem[static_cast<std::size_t>(j - 1)],
+                     field_.mul(fb, gen_[static_cast<std::size_t>(j)]));
+    rem[0] = field_.mul(fb, gen_[0]);
+  }
+  std::vector<std::uint8_t> cw(static_cast<std::size_t>(code_symbols()));
+  std::copy(data.begin(), data.end(), cw.begin());
+  for (int j = 0; j < r; ++j)
+    cw[static_cast<std::size_t>(k_data() + j)] =
+        static_cast<std::uint8_t>(rem[static_cast<std::size_t>(j)]);
+  return cw;
+}
+
+std::vector<std::uint32_t> RsCode::syndromes(
+    const std::vector<std::uint8_t>& cw) const {
+  // Polynomial position of code-word symbol i: data i -> 2t + i, parity j ->
+  // j (same layout convention as the BCH codec).
+  const int r = parity_symbols();
+  std::vector<std::uint32_t> syn(static_cast<std::size_t>(r), 0);
+  for (int i = 0; i < code_symbols(); ++i) {
+    const std::uint32_t v = cw[static_cast<std::size_t>(i)];
+    if (v == 0) continue;
+    const int pos = i < k_data() ? r + i : i - k_data();
+    for (int j = 1; j <= r; ++j)
+      syn[static_cast<std::size_t>(j - 1)] = field_.add(
+          syn[static_cast<std::size_t>(j - 1)],
+          field_.mul(v, field_.alpha_pow(static_cast<std::int64_t>(pos) * j)));
+  }
+  return syn;
+}
+
+RsDecodeResult RsCode::decode(const std::vector<std::uint8_t>& codeword) const {
+  DM_CHECK_MSG(static_cast<int>(codeword.size()) == code_symbols(),
+               "decode code word size mismatch");
+  auto extract = [&](const std::vector<std::uint8_t>& cw) {
+    return std::vector<std::uint8_t>(cw.begin(),
+                                     cw.begin() + k_data());
+  };
+  const auto syn = syndromes(codeword);
+  if (std::all_of(syn.begin(), syn.end(), [](std::uint32_t s) { return s == 0; }))
+    return {DecodeStatus::kClean, extract(codeword), 0};
+
+  // Berlekamp–Massey over GF(256).
+  const int r = parity_symbols();
+  std::vector<std::uint32_t> sigma{1}, b{1};
+  int L = 0, shift = 1;
+  std::uint32_t bdisc = 1;
+  for (int n = 0; n < r; ++n) {
+    std::uint32_t d = syn[static_cast<std::size_t>(n)];
+    for (int i = 1; i <= L && i < static_cast<int>(sigma.size()); ++i)
+      if (n - i >= 0)
+        d = field_.add(d, field_.mul(sigma[static_cast<std::size_t>(i)],
+                                     syn[static_cast<std::size_t>(n - i)]));
+    if (d == 0) {
+      ++shift;
+      continue;
+    }
+    const std::uint32_t coef = field_.div(d, bdisc);
+    std::vector<std::uint32_t> next = sigma;
+    if (next.size() < b.size() + static_cast<std::size_t>(shift))
+      next.resize(b.size() + static_cast<std::size_t>(shift), 0);
+    for (std::size_t i = 0; i < b.size(); ++i)
+      next[i + static_cast<std::size_t>(shift)] = field_.add(
+          next[i + static_cast<std::size_t>(shift)], field_.mul(coef, b[i]));
+    if (2 * L <= n) {
+      b = sigma;
+      bdisc = d;
+      L = n + 1 - L;
+      shift = 1;
+    } else {
+      ++shift;
+    }
+    sigma = std::move(next);
+  }
+  while (sigma.size() > 1 && sigma.back() == 0) sigma.pop_back();
+  const int deg = static_cast<int>(sigma.size()) - 1;
+  if (deg == 0 || deg > params_.t || L != deg)
+    return {DecodeStatus::kUncorrectable, extract(codeword), 0};
+
+  // Omega(x) = S(x) * sigma(x) mod x^r, with S(x) = sum S_{j+1} x^j.
+  std::vector<std::uint32_t> omega(static_cast<std::size_t>(r), 0);
+  for (int i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < sigma.size(); ++j) {
+      const int k = i + static_cast<int>(j);
+      if (k >= r) break;
+      omega[static_cast<std::size_t>(k)] =
+          field_.add(omega[static_cast<std::size_t>(k)],
+                     field_.mul(syn[static_cast<std::size_t>(i)], sigma[j]));
+    }
+  }
+  // sigma'(x): formal derivative — only odd-degree terms survive in
+  // characteristic 2: dsigma[j-1] = sigma[j] for odd j.
+  std::vector<std::uint32_t> dsigma(sigma.size() > 1 ? sigma.size() - 1 : 1, 0);
+  for (std::size_t j = 1; j < sigma.size(); j += 2) dsigma[j - 1] = sigma[j];
+
+  // Chien search + Forney magnitudes.
+  std::vector<std::uint8_t> corrected = codeword;
+  int found = 0;
+  for (int pos = 0; pos < code_symbols(); ++pos) {
+    const std::uint32_t xinv =
+        field_.alpha_pow(-static_cast<std::int64_t>(pos));
+    if (field_.poly_eval(sigma, xinv) != 0) continue;
+    const std::uint32_t num = field_.poly_eval(omega, xinv);
+    const std::uint32_t den = field_.poly_eval(dsigma, xinv);
+    if (den == 0) return {DecodeStatus::kUncorrectable, extract(codeword), 0};
+    const std::uint32_t magnitude = field_.div(num, den);
+    const std::size_t idx = pos >= parity_symbols()
+                                ? static_cast<std::size_t>(pos - parity_symbols())
+                                : static_cast<std::size_t>(k_data() + pos);
+    corrected[idx] = static_cast<std::uint8_t>(
+        field_.add(corrected[idx], magnitude));
+    ++found;
+  }
+  if (found != deg)
+    return {DecodeStatus::kUncorrectable, extract(codeword), 0};
+  const auto check = syndromes(corrected);
+  if (!std::all_of(check.begin(), check.end(),
+                   [](std::uint32_t s) { return s == 0; }))
+    return {DecodeStatus::kUncorrectable, extract(codeword), 0};
+  return {DecodeStatus::kCorrected, extract(corrected), found};
+}
+
+}  // namespace densemem::ecc

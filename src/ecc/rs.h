@@ -1,0 +1,58 @@
+// Reed–Solomon codec over GF(2^8): symbol-organized ECC.
+//
+// This is the chipkill-class rung of the §II-C "stronger ECC" ladder:
+// where SECDED corrects one bit and BCH t bits, RS corrects t whole
+// *symbols* (bytes) per code word — so clustered bit flips inside one byte
+// (or one DRAM chip's contribution to the bus) cost a single correction
+// unit. Full pipeline: systematic encode, syndrome computation,
+// Berlekamp–Massey, Chien search, Forney error magnitudes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/gf.h"
+#include "ecc/hamming.h"  // DecodeStatus
+
+namespace densemem::ecc {
+
+struct RsParams {
+  int t;       ///< symbol-correction capability; parity = 2t symbols
+  int k_data;  ///< data symbols per (possibly shortened) code word
+};
+
+struct RsDecodeResult {
+  DecodeStatus status;
+  std::vector<std::uint8_t> data;  ///< corrected payload (k_data symbols)
+  int corrected_symbols = 0;
+};
+
+class RsCode {
+ public:
+  explicit RsCode(RsParams p);
+
+  int t() const { return params_.t; }
+  int k_data() const { return params_.k_data; }
+  int parity_symbols() const { return 2 * params_.t; }
+  int code_symbols() const { return k_data() + parity_symbols(); }
+  double overhead() const {
+    return static_cast<double>(parity_symbols()) /
+           static_cast<double>(code_symbols());
+  }
+
+  /// Systematic encode: returns [data | parity] of code_symbols() bytes.
+  std::vector<std::uint8_t> encode(const std::vector<std::uint8_t>& data) const;
+
+  /// Decode a possibly-corrupted code word: corrects up to t symbol errors.
+  RsDecodeResult decode(const std::vector<std::uint8_t>& codeword) const;
+
+ private:
+  std::vector<std::uint32_t> syndromes(
+      const std::vector<std::uint8_t>& cw) const;
+
+  RsParams params_;
+  GF2m field_;
+  std::vector<std::uint32_t> gen_;  ///< generator poly coefficients (GF(256))
+};
+
+}  // namespace densemem::ecc

@@ -1,0 +1,218 @@
+#include "flash/controller.h"
+
+#include <algorithm>
+
+namespace densemem::flash {
+
+FlashController::FlashController(FlashDevice& dev, FlashCtrlConfig cfg)
+    : dev_(dev),
+      cfg_(cfg),
+      bch_(ecc::BchParams{10, cfg.ecc_t, static_cast<int>(kChunkBits)}) {
+  const std::uint32_t chunk_total =
+      kChunkBits + static_cast<std::uint32_t>(bch_.parity_bits());
+  chunks_ = dev_.geometry().page_bits / chunk_total;
+  DM_CHECK_MSG(chunks_ >= 1, "page too small for one ECC chunk");
+}
+
+double FlashController::ecc_overhead() const {
+  return static_cast<double>(bch_.parity_bits()) /
+         static_cast<double>(kChunkBits + bch_.parity_bits());
+}
+
+BitVec FlashController::encode_page(const BitVec& payload) const {
+  DM_CHECK_MSG(payload.size() == payload_bits(), "payload size mismatch");
+  const std::uint32_t chunk_total =
+      kChunkBits + static_cast<std::uint32_t>(bch_.parity_bits());
+  BitVec page(dev_.geometry().page_bits, true);  // unused tail stays erased-1
+  for (std::uint32_t ch = 0; ch < chunks_; ++ch) {
+    BitVec d(kChunkBits);
+    for (std::uint32_t i = 0; i < kChunkBits; ++i)
+      d.set(i, payload.get(ch * kChunkBits + i));
+    const BitVec cw = bch_.encode(d);
+    for (std::uint32_t i = 0; i < chunk_total; ++i)
+      page.set(ch * chunk_total + i, cw.get(i));
+  }
+  return page;
+}
+
+FlashController::ChunkDecode FlashController::decode_chunks(
+    const BitVec& raw) const {
+  const std::uint32_t chunk_total =
+      kChunkBits + static_cast<std::uint32_t>(bch_.parity_bits());
+  ChunkDecode out{BitVec(payload_bits()), true, 0};
+  for (std::uint32_t ch = 0; ch < chunks_; ++ch) {
+    BitVec cw(chunk_total);
+    for (std::uint32_t i = 0; i < chunk_total; ++i)
+      cw.set(i, raw.get(ch * chunk_total + i));
+    const auto d = bch_.decode(cw);
+    if (d.status == ecc::DecodeStatus::kUncorrectable) out.ok = false;
+    out.corrected += d.corrected_bits;
+    for (std::uint32_t i = 0; i < kChunkBits; ++i)
+      out.data.set(ch * kChunkBits + i, d.data.get(i));
+  }
+  return out;
+}
+
+void FlashController::program_page(const PageAddress& a, const BitVec& payload,
+                                   double now) {
+  dev_.program_page(a, encode_page(payload), now);
+}
+
+std::optional<PageReadResult> FlashController::try_plain(const PageAddress& a,
+                                                         double now,
+                                                         double offset) const {
+  const BitVec raw = dev_.read_page(a, now, offset);
+  ChunkDecode d = decode_chunks(raw);
+  if (!d.ok) return std::nullopt;
+  PageReadResult r;
+  r.data = std::move(d.data);
+  r.corrected_bits = d.corrected;
+  r.ref_offset = offset;
+  return r;
+}
+
+std::optional<PageReadResult> FlashController::try_nac(const PageAddress& a,
+                                                       double now) {
+  // The interfering neighbour is the wordline programmed *after* this one
+  // (wordline + 1 in our ascending program order).
+  const std::uint32_t nwl = a.wordline + 1;
+  if (nwl >= dev_.geometry().wordlines) return std::nullopt;
+  const PageAddress nl{a.block, nwl, PageType::kLsb};
+  const PageAddress nm{a.block, nwl, PageType::kMsb};
+  if (!dev_.page_programmed(nl)) return std::nullopt;
+  const BitVec lsb = dev_.read_page(nl, now);
+  const bool msb_ok = dev_.page_programmed(nm);
+  const BitVec msb = msb_ok ? dev_.read_page(nm, now)
+                            : BitVec(dev_.geometry().page_bits, true);
+  const CellParams& p = dev_.config().cell;
+  std::vector<float> offsets(dev_.geometry().page_bits);
+  for (std::uint32_t c = 0; c < offsets.size(); ++c) {
+    const int s = state_of(lsb.get(c), msb.get(c));
+    // Expected coupled shift from the neighbour's programming: raise the
+    // read references by the same amount to compensate.
+    offsets[c] = static_cast<float>(p.interference_gamma *
+                                    (p.state_mean[s] - p.state_mean[0]));
+  }
+  const BitVec raw = dev_.read_page_with_offsets(a, now, offsets);
+  ChunkDecode d = decode_chunks(raw);
+  if (!d.ok) return std::nullopt;
+  PageReadResult r;
+  r.data = std::move(d.data);
+  r.corrected_bits = d.corrected;
+  r.used_nac = true;
+  return r;
+}
+
+std::optional<PageReadResult> FlashController::try_rfr(const PageAddress& a,
+                                                       double now) {
+  // Suspect cells sit within `rfr_band` below a read reference: a read at
+  // (ref - band) classifies them differently from the nominal read. A cell
+  // with a high leak factor that sits in the band most plausibly *leaked
+  // across* the reference, so its pre-leak value is the shifted read's one.
+  const BitVec raw = dev_.read_page(a, now, 0.0);
+  const BitVec raw_lo = dev_.read_page(a, now, -cfg_.rfr_band);
+  const std::uint32_t chunk_total =
+      kChunkBits + static_cast<std::uint32_t>(bch_.parity_bits());
+
+  PageReadResult res;
+  res.data = BitVec(payload_bits());
+  res.used_rfr = true;
+  for (std::uint32_t ch = 0; ch < chunks_; ++ch) {
+    BitVec cw(chunk_total);
+    for (std::uint32_t i = 0; i < chunk_total; ++i)
+      cw.set(i, raw.get(ch * chunk_total + i));
+    auto d = bch_.decode(cw);
+    if (d.status == ecc::DecodeStatus::kUncorrectable) {
+      struct Suspect {
+        std::uint32_t bit;  // within chunk
+        double leak;
+      };
+      std::vector<Suspect> suspects;
+      for (std::uint32_t i = 0; i < chunk_total; ++i) {
+        const std::uint32_t cell = ch * chunk_total + i;
+        if (raw.get(cell) != raw_lo.get(cell))
+          suspects.push_back(
+              {i, dev_.leak_factor(a.block, a.wordline, cell)});
+      }
+      std::sort(suspects.begin(), suspects.end(),
+                [](const Suspect& x, const Suspect& y) {
+                  return x.leak > y.leak;
+                });
+      bool recovered = false;
+      int flips = 0;
+      for (const Suspect& s : suspects) {
+        if (flips >= cfg_.rfr_max_flips) break;
+        cw.set(s.bit, raw_lo.get(ch * chunk_total + s.bit));
+        ++flips;
+        d = bch_.decode(cw);
+        if (d.status != ecc::DecodeStatus::kUncorrectable) {
+          recovered = true;
+          break;
+        }
+      }
+      if (!recovered) return std::nullopt;
+    }
+    res.corrected_bits += d.corrected_bits;
+    for (std::uint32_t i = 0; i < kChunkBits; ++i)
+      res.data.set(ch * kChunkBits + i, d.data.get(i));
+  }
+  return res;
+}
+
+PageReadResult FlashController::read_page(const PageAddress& a, double now) {
+  if (auto r = try_plain(a, now, 0.0)) return *r;
+  if (cfg_.enable_read_retry) {
+    for (int k = 1; k <= cfg_.retry_steps; ++k) {
+      // Retention loss dominates, so try lowered references first.
+      if (auto r = try_plain(a, now, -k * cfg_.retry_step)) return *r;
+      if (auto r = try_plain(a, now, +k * cfg_.retry_step)) return *r;
+    }
+  }
+  if (cfg_.enable_nac) {
+    if (auto r = try_nac(a, now)) return *r;
+  }
+  if (cfg_.enable_rfr) {
+    if (auto r = try_rfr(a, now)) return *r;
+  }
+  // Unrecoverable: return the best-effort plain decode.
+  const BitVec raw = dev_.read_page(a, now, 0.0);
+  ChunkDecode d = decode_chunks(raw);
+  PageReadResult r;
+  r.data = std::move(d.data);
+  r.corrected_bits = d.corrected;
+  r.uncorrectable = true;
+  return r;
+}
+
+std::uint64_t FlashController::raw_bit_errors(const PageAddress& a,
+                                              const BitVec& payload,
+                                              double now) {
+  const BitVec golden = encode_page(payload);
+  const BitVec raw = dev_.read_page(a, now, 0.0);
+  return BitVec::hamming_distance(golden, raw);
+}
+
+bool FlashController::refresh_block(std::uint32_t block, double now) {
+  struct Saved {
+    std::uint32_t wl;
+    PageType type;
+    BitVec payload;
+  };
+  std::vector<Saved> saved;
+  bool all_ok = true;
+  for (std::uint32_t wl = 0; wl < dev_.geometry().wordlines; ++wl) {
+    for (PageType t : {PageType::kLsb, PageType::kMsb}) {
+      const PageAddress a{block, wl, t};
+      if (!dev_.page_programmed(a)) continue;
+      PageReadResult r = read_page(a, now);
+      if (r.uncorrectable) all_ok = false;
+      saved.push_back({wl, t, std::move(r.data)});
+    }
+  }
+  dev_.erase_block(block, now);
+  for (const Saved& s : saved)
+    program_page({block, s.wl, s.type}, s.payload, now);
+  return all_ok;
+}
+
+}  // namespace densemem::flash

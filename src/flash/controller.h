@@ -1,0 +1,95 @@
+// Flash controller: BCH ECC, read-retry reference tuning, and the three
+// recovery/lifetime mechanisms the paper highlights —
+//   FCR  (Flash Correct-and-Refresh, §III-A2 [17, 18]): periodic
+//        read-correct-erase-reprogram to cap retention age,
+//   RFR  (Retention Failure Recovery, §III-A2 [23, 22]): after an
+//        uncorrectable read, exploit per-cell leak-speed variation to guess
+//        which borderline cells leaked across the reference and retry,
+//   NAC  (Neighbor-cell Assisted Correction, §III-B [21]): compensate
+//        program interference using the neighbouring wordline's data.
+//
+// The same mechanisms that make RFR/NAC work are the privacy hazard the
+// paper warns about (recovering data from failed devices); the E10 bench
+// reports both readings of the result.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ecc/bch.h"
+#include "flash/device.h"
+
+namespace densemem::flash {
+
+struct FlashCtrlConfig {
+  int ecc_t = 8;            ///< BCH correction per 512-bit chunk (GF(2^10))
+  bool enable_read_retry = true;
+  int retry_steps = 4;      ///< offsets tried: ±k·retry_step, k=1..steps
+  double retry_step = 0.04;
+  bool enable_nac = false;
+  bool enable_rfr = false;
+  double rfr_band = 0.25;   ///< reference band for suspect identification
+  int rfr_max_flips = 160;  ///< suspect bits tried per chunk
+};
+
+struct PageReadResult {
+  BitVec data;              ///< corrected payload (payload_bits)
+  bool uncorrectable = false;
+  int corrected_bits = 0;
+  double ref_offset = 0.0;  ///< read-retry offset that succeeded
+  bool used_rfr = false;
+  bool used_nac = false;
+};
+
+class FlashController {
+ public:
+  FlashController(FlashDevice& dev, FlashCtrlConfig cfg);
+
+  const FlashCtrlConfig& config() const { return cfg_; }
+  FlashDevice& device() { return dev_; }
+
+  /// User payload bits per page after ECC parity.
+  std::uint32_t payload_bits() const { return chunks_ * kChunkBits; }
+  std::uint32_t chunks_per_page() const { return chunks_; }
+  double ecc_overhead() const;
+
+  /// Encode and program a page (LSB pages must precede MSB per wordline).
+  void program_page(const PageAddress& a, const BitVec& payload, double now);
+
+  /// Read with the full recovery ladder: nominal read → read-retry →
+  /// NAC → RFR (each tier only if enabled and the previous failed).
+  PageReadResult read_page(const PageAddress& a, double now);
+
+  /// Raw (pre-ECC) bit errors of a page against the as-written code word.
+  /// Harness utility for RBER curves: re-encodes `payload` and compares.
+  std::uint64_t raw_bit_errors(const PageAddress& a, const BitVec& payload,
+                               double now);
+
+  /// FCR step: read-correct-buffer every page of the block, erase, and
+  /// reprogram. Returns false if any page was unrecoverable (data loss —
+  /// the refresh was too late). Costs one P/E cycle.
+  bool refresh_block(std::uint32_t block, double now);
+
+ private:
+  static constexpr std::uint32_t kChunkBits = 512;
+  BitVec encode_page(const BitVec& payload) const;
+  /// Decode all chunks of a raw page read; nullopt if any chunk fails.
+  struct ChunkDecode {
+    BitVec data;
+    bool ok;
+    int corrected;
+  };
+  ChunkDecode decode_chunks(const BitVec& raw) const;
+  std::optional<PageReadResult> try_plain(const PageAddress& a, double now,
+                                          double offset) const;
+  std::optional<PageReadResult> try_nac(const PageAddress& a, double now);
+  std::optional<PageReadResult> try_rfr(const PageAddress& a, double now);
+
+  FlashDevice& dev_;
+  FlashCtrlConfig cfg_;
+  ecc::BchCode bch_;
+  std::uint32_t chunks_;
+};
+
+}  // namespace densemem::flash

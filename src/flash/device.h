@@ -1,0 +1,161 @@
+// MLC NAND flash device: blocks × wordlines × cells with an analog
+// threshold-voltage state per cell.
+//
+// Program/erase mutate stored Vth eagerly (they are rare); retention loss
+// and read disturb are applied *functionally* at read time from (elapsed
+// time since program, block reads since program) — exact for these
+// monotonic accumulations and O(1) per cell, which keeps year-scale
+// retention experiments cheap.
+//
+// Time uses double seconds: flash retention spans months, beyond the
+// picosecond Time type's comfortable range, and sub-ns resolution is
+// irrelevant at this timescale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "flash/params.h"
+
+namespace densemem::flash {
+
+struct FlashGeometry {
+  std::uint32_t blocks = 16;
+  std::uint32_t wordlines = 32;   ///< per block; each holds an LSB+MSB page
+  std::uint32_t page_bits = 2048; ///< cells per wordline = bits per page
+
+  std::uint64_t cells_total() const {
+    return static_cast<std::uint64_t>(blocks) * wordlines * page_bits;
+  }
+  void validate() const {
+    DM_CHECK_MSG(blocks >= 1 && wordlines >= 2 && page_bits >= 64,
+                 "degenerate flash geometry");
+  }
+};
+
+/// Which page of a wordline: LSB is programmed first (two-step method).
+enum class PageType { kLsb, kMsb };
+
+struct PageAddress {
+  std::uint32_t block;
+  std::uint32_t wordline;
+  PageType type;
+};
+
+struct FlashStats {
+  std::uint64_t programs = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t two_step_lsb_misreads = 0;  ///< intermediate state corrupted
+};
+
+struct FlashConfig {
+  FlashGeometry geometry;
+  CellParams cell;
+  std::uint64_t seed = 1;
+  /// Mitigation for the two-step vulnerability (§III-B / [24]): the
+  /// controller buffers the LSB data and supplies it to the MSB programming
+  /// step instead of the chip re-reading the drifted intermediate state.
+  bool buffer_lsb_in_controller = false;
+};
+
+class FlashDevice {
+ public:
+  explicit FlashDevice(FlashConfig cfg);
+
+  const FlashGeometry& geometry() const { return cfg_.geometry; }
+  const FlashConfig& config() const { return cfg_; }
+  const FlashStats& stats() const { return stats_; }
+  std::uint32_t pe_cycles(std::uint32_t block) const {
+    return pe_[block];
+  }
+
+  // --- Operations (now = seconds of model time) ----------------------------
+  void erase_block(std::uint32_t block, double now);
+
+  /// Time-compressed wear: account `cycles` erase/program cycles without
+  /// simulating each one. Exact for the wear model (wear only enters through
+  /// the P/E counter); used by lifetime sweeps to reach high P/E cheaply.
+  void age_block(std::uint32_t block, std::uint32_t cycles) {
+    DM_CHECK_MSG(block < cfg_.geometry.blocks, "block out of range");
+    pe_[block] += cycles;
+  }
+
+  /// Program a page. LSB must be programmed before MSB on each wordline
+  /// (two-step method); programming disturbs the previously-programmed
+  /// adjacent wordline via cell-to-cell interference.
+  void program_page(const PageAddress& a, const BitVec& data, double now);
+
+  /// Read a page: applies retention + read-disturb shifts functionally and
+  /// thresholds against the read references (optionally offset, for
+  /// read-retry / NAC reference tuning). Reading disturbs the other
+  /// wordlines of the block (counter-based, realized lazily).
+  BitVec read_page(const PageAddress& a, double now,
+                   double ref_offset = 0.0) const;
+
+  /// Per-cell read with an individual reference offset (NAC applies a
+  /// neighbour-state-dependent offset per cell).
+  BitVec read_page_with_offsets(const PageAddress& a, double now,
+                                const std::vector<float>& cell_offsets) const;
+
+  bool page_programmed(const PageAddress& a) const;
+
+  /// Effective analog Vth of a cell right now (diagnostic / RFR's repeated-
+  /// read leak-speed estimation reduces to this plus reference sweeps).
+  double effective_vth(std::uint32_t block, std::uint32_t wl,
+                       std::uint32_t cell, double now) const;
+
+  /// Ground-truth per-cell leak factor / read-disturb susceptibility. The
+  /// controller may obtain these through measurement (repeated reads over
+  /// time); exposing them directly models a completed measurement.
+  double leak_factor(std::uint32_t block, std::uint32_t wl,
+                     std::uint32_t cell) const;
+  double rd_susceptibility(std::uint32_t block, std::uint32_t wl,
+                           std::uint32_t cell) const;
+
+  /// The current *intended* stored state of a cell (what an error-free read
+  /// would return); used by harnesses to compute raw bit error rates.
+  int intended_state(std::uint32_t block, std::uint32_t wl,
+                     std::uint32_t cell) const;
+
+ private:
+  struct Wordline {
+    bool lsb_programmed = false;
+    bool msb_programmed = false;
+    double t_prog = 0.0;          ///< time of last programming touch
+    std::uint64_t rd_base = 0;    ///< block read counter at last program
+  };
+
+  std::size_t wl_index(std::uint32_t block, std::uint32_t wl) const {
+    return static_cast<std::size_t>(block) * cfg_.geometry.wordlines + wl;
+  }
+  std::size_t cell_index(std::uint32_t block, std::uint32_t wl,
+                         std::uint32_t cell) const {
+    return (static_cast<std::size_t>(block) * cfg_.geometry.wordlines + wl) *
+               cfg_.geometry.page_bits +
+           cell;
+  }
+  double retention_shift(double vth, double leak, std::uint32_t pe,
+                         double dt_s) const;
+  double disturb_shift(double vth, double susc, std::uint64_t reads) const;
+  /// Program one cell toward a target distribution, returning the coupled
+  /// interference applied to the neighbour wordline (done by caller).
+  double program_cell(std::size_t ci, double target_mean, double sigma);
+
+  FlashConfig cfg_;
+  Rng rng_;
+  // Reads are logically const (they return data) but physically disturb the
+  // chip and advance counters — modelled as mutable observer state.
+  mutable FlashStats stats_;
+  std::vector<float> vth_;            ///< stored (post-program) Vth per cell
+  std::vector<int8_t> intended_;      ///< intended state per cell (-1 erased)
+  std::vector<Wordline> wordlines_;
+  std::vector<std::uint32_t> pe_;     ///< per-block program/erase cycles
+  mutable std::vector<std::uint64_t> block_reads_;
+};
+
+}  // namespace densemem::flash

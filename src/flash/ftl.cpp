@@ -1,0 +1,154 @@
+#include "flash/ftl.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace densemem::flash {
+
+Ftl::Ftl(FlashController& ctrl, FtlConfig cfg) : ctrl_(ctrl), cfg_(cfg) {
+  const FlashGeometry& g = ctrl_.device().geometry();
+  pages_per_block_ = 2 * g.wordlines;  // LSB + MSB page per wordline
+  const std::uint64_t physical_pages =
+      static_cast<std::uint64_t>(g.blocks) * pages_per_block_;
+  DM_CHECK_MSG(cfg_.overprovision > 0.0 && cfg_.overprovision < 0.9,
+               "overprovision fraction out of range");
+  logical_pages_ = static_cast<std::uint32_t>(
+      static_cast<double>(physical_pages) * (1.0 - cfg_.overprovision));
+  const std::uint64_t spare = physical_pages - logical_pages_;
+  DM_CHECK_MSG(
+      spare >= static_cast<std::uint64_t>(cfg_.gc_low_watermark + 2) *
+                   pages_per_block_,
+      "overprovision too small for the GC watermark (need >= watermark + 2 "
+      "spare blocks)");
+
+  blocks_.resize(g.blocks);
+  for (auto& b : blocks_)
+    b.owner.assign(pages_per_block_, kFree);
+  l2p_.assign(logical_pages_, kFree);
+  // Block 0 starts active; the rest are free.
+  active_block_ = 0;
+  for (std::uint32_t b = g.blocks; b-- > 1;) free_blocks_.push_back(b);
+}
+
+PageAddress Ftl::page_address(std::uint32_t block, std::uint32_t page) const {
+  return {block, page / 2, page % 2 == 0 ? PageType::kLsb : PageType::kMsb};
+}
+
+void Ftl::open_new_active() {
+  DM_CHECK_MSG(!free_blocks_.empty(), "FTL out of free blocks");
+  active_block_ = free_blocks_.back();
+  free_blocks_.pop_back();
+}
+
+void Ftl::append(std::uint32_t lpn, const BitVec& payload, double now) {
+  if (blocks_[active_block_].next_page == pages_per_block_) open_new_active();
+  BlockMeta& blk = blocks_[active_block_];
+  const std::uint32_t page = blk.next_page++;
+  ctrl_.program_page(page_address(active_block_, page), payload, now);
+  ++stats_.flash_writes;
+  blk.owner[page] = lpn;
+  ++blk.valid;
+  l2p_[lpn] = static_cast<std::int64_t>(active_block_) * pages_per_block_ +
+              page;
+}
+
+std::uint32_t Ftl::pick_gc_victim() const {
+  std::uint32_t best = ~0u;
+  std::uint32_t best_invalid = 0;
+  double erase_sum = 0;
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b)
+    erase_sum += blocks_[b].erases;
+  const double erase_mean = erase_sum / static_cast<double>(blocks_.size());
+
+  auto is_free = [&](std::uint32_t b) {
+    return std::find(free_blocks_.begin(), free_blocks_.end(), b) !=
+           free_blocks_.end();
+  };
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+    if (b == active_block_ || is_free(b)) continue;
+    const BlockMeta& blk = blocks_[b];
+    const std::uint32_t invalid = blk.next_page - blk.valid;
+    if (invalid == 0) continue;
+    // Wear leveling: avoid re-burning hot blocks unless nothing else has
+    // invalid pages.
+    const bool hot =
+        cfg_.wear_leveling && blk.erases > 2.0 * (erase_mean + 1.0);
+    if (hot && best != ~0u) continue;
+    if (best == ~0u || invalid > best_invalid ||
+        (invalid == best_invalid && blk.erases < blocks_[best].erases)) {
+      best = b;
+      best_invalid = invalid;
+    }
+  }
+  DM_CHECK_MSG(best != ~0u, "GC found no victim (logical space full?)");
+  return best;
+}
+
+void Ftl::ensure_space(double now) {
+  // Keep enough free blocks that the active block can always roll over.
+  while (free_blocks_.size() < cfg_.gc_low_watermark) {
+    const std::uint32_t victim = pick_gc_victim();
+    ++stats_.gc_runs;
+    BlockMeta& blk = blocks_[victim];
+    for (std::uint32_t p = 0; p < blk.next_page; ++p) {
+      if (blk.owner[p] == kFree) continue;
+      const auto lpn = static_cast<std::uint32_t>(blk.owner[p]);
+      // Copy the surviving page through the controller's recovery ladder.
+      const auto data = ctrl_.read_page(page_address(victim, p), now);
+      append(lpn, data.data, now);
+      ++stats_.gc_copies;
+      blk.owner[p] = kFree;
+    }
+    blk.valid = 0;
+    blk.next_page = 0;
+    ++blk.erases;
+    ++stats_.erases;
+    ctrl_.device().erase_block(victim, now);
+    free_blocks_.push_back(victim);
+  }
+}
+
+void Ftl::write(std::uint32_t lpn, const BitVec& payload, double now) {
+  DM_CHECK_MSG(lpn < logical_pages_, "logical page out of range");
+  DM_CHECK_MSG(payload.size() == static_cast<std::size_t>(ctrl_.payload_bits()),
+               "payload size mismatch");
+  ensure_space(now);
+  // Invalidate the previous copy.
+  if (l2p_[lpn] != kFree) {
+    const auto gp = static_cast<std::uint64_t>(l2p_[lpn]);
+    BlockMeta& old = blocks_[gp / pages_per_block_];
+    old.owner[gp % pages_per_block_] = kFree;
+    --old.valid;
+  }
+  append(lpn, payload, now);
+  ++stats_.host_writes;
+}
+
+std::optional<PageReadResult> Ftl::read(std::uint32_t lpn, double now) {
+  DM_CHECK_MSG(lpn < logical_pages_, "logical page out of range");
+  if (l2p_[lpn] == kFree) return std::nullopt;
+  const auto gp = static_cast<std::uint64_t>(l2p_[lpn]);
+  return ctrl_.read_page(
+      page_address(static_cast<std::uint32_t>(gp / pages_per_block_),
+                   static_cast<std::uint32_t>(gp % pages_per_block_)),
+      now);
+}
+
+double Ftl::wear_imbalance() const {
+  std::uint64_t max_e = 0, sum = 0;
+  for (const auto& b : blocks_) {
+    max_e = std::max<std::uint64_t>(max_e, b.erases);
+    sum += b.erases;
+  }
+  if (sum == 0) return 0.0;
+  return static_cast<double>(max_e) /
+         (static_cast<double>(sum) / static_cast<double>(blocks_.size()));
+}
+
+std::uint32_t Ftl::max_erase_count() const {
+  std::uint32_t m = 0;
+  for (const auto& b : blocks_) m = std::max(m, b.erases);
+  return m;
+}
+
+}  // namespace densemem::flash

@@ -1,0 +1,92 @@
+// Flash Translation Layer: out-of-place writes, garbage collection, wear
+// leveling.
+//
+// §II-D: "the success of other technologies, e.g., flash memory ... has
+// heavily relied on the existence of an intelligent controller" — the FTL
+// is that controller's heart. Host pages map to flash pages out-of-place;
+// updates invalidate the old copy; garbage collection reclaims blocks by
+// copying surviving pages (write amplification), and victim selection
+// doubles as wear leveling. The lifetime and refresh mechanisms of §III
+// ride on top of exactly this machinery in real SSDs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "flash/controller.h"
+
+namespace densemem::flash {
+
+struct FtlConfig {
+  /// Fraction of physical pages reserved as spare (not host-visible).
+  double overprovision = 0.10;
+  /// GC runs when the free-block pool drops to this size.
+  std::uint32_t gc_low_watermark = 2;
+  /// Victim selection: false = pure greedy (most invalid pages);
+  /// true = greedy with erase-count tie-breaking + wear cutoff (old blocks
+  /// are skipped unless nothing else qualifies).
+  bool wear_leveling = true;
+};
+
+struct FtlStats {
+  std::uint64_t host_writes = 0;
+  std::uint64_t flash_writes = 0;  ///< host + GC copy writes
+  std::uint64_t gc_runs = 0;
+  std::uint64_t gc_copies = 0;
+  std::uint64_t erases = 0;
+
+  double write_amplification() const {
+    return host_writes ? static_cast<double>(flash_writes) /
+                             static_cast<double>(host_writes)
+                       : 0.0;
+  }
+};
+
+class Ftl {
+ public:
+  Ftl(FlashController& ctrl, FtlConfig cfg);
+
+  /// Host-visible logical pages.
+  std::uint32_t logical_pages() const { return logical_pages_; }
+  std::uint32_t pages_per_block() const { return pages_per_block_; }
+  const FtlStats& stats() const { return stats_; }
+
+  /// Out-of-place write of one logical page. Triggers GC as needed.
+  void write(std::uint32_t lpn, const BitVec& payload, double now);
+
+  /// Read a logical page; nullopt if never written.
+  std::optional<PageReadResult> read(std::uint32_t lpn, double now);
+
+  /// Wear spread: max / mean block erase count (1.0 = perfectly even).
+  double wear_imbalance() const;
+  std::uint32_t max_erase_count() const;
+
+ private:
+  struct BlockMeta {
+    std::uint32_t next_page = 0;            ///< append pointer
+    std::uint32_t valid = 0;                ///< live pages in this block
+    std::uint32_t erases = 0;
+    std::vector<std::int64_t> owner;        ///< page -> lpn (-1 = invalid)
+  };
+
+  static constexpr std::int64_t kFree = -1;
+  PageAddress page_address(std::uint32_t block, std::uint32_t page) const;
+  /// Append `payload` for `lpn` into the active block; assumes space exists.
+  void append(std::uint32_t lpn, const BitVec& payload, double now);
+  void ensure_space(double now);
+  std::uint32_t pick_gc_victim() const;
+  void open_new_active();
+
+  FlashController& ctrl_;
+  FtlConfig cfg_;
+  std::uint32_t pages_per_block_;
+  std::uint32_t logical_pages_;
+  std::vector<BlockMeta> blocks_;
+  std::vector<std::int64_t> l2p_;          ///< lpn -> global flash page (-1)
+  std::vector<std::uint32_t> free_blocks_;
+  std::uint32_t active_block_;
+  FtlStats stats_;
+};
+
+}  // namespace densemem::flash

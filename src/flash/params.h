@@ -1,0 +1,74 @@
+// MLC NAND flash cell-physics parameters (threshold-voltage model).
+//
+// Four states per cell (ER, P1, P2, P3) on a normalized Vth axis. The
+// parameters model the error mechanisms of §III-A2/§III-B: programming
+// noise that widens with P/E wear, retention charge loss with strong
+// per-cell leak-speed variation (the basis of Retention Failure Recovery),
+// read disturb with per-cell susceptibility variation, cell-to-cell program
+// interference (the basis of Neighbor-cell Assisted Correction), and the
+// two-step LSB/MSB programming method with its vulnerable intermediate
+// state.
+#pragma once
+
+#include <array>
+
+namespace densemem::flash {
+
+struct CellParams {
+  /// Nominal post-program means of ER, P1, P2, P3 (normalized volts).
+  std::array<double, 4> state_mean{0.0, 1.0, 2.0, 3.0};
+  double erase_sigma = 0.12;  ///< ER distribution width
+  double prog_sigma = 0.07;   ///< programming noise at zero wear
+  /// Programming noise grows as sigma * (1 + coef * PE) with wear.
+  double sigma_wear_coef = 8e-5;
+
+  // --- Retention (charge loss over time) -----------------------------------
+  /// Vth loss = A * (1 + wear_coef*PE) * leak_factor * (vth/3) * log10(1+t/t0)
+  double retention_a = 0.037;
+  double retention_t0_s = 86400.0;  // onset ~1 day: early retention is mild
+  double retention_wear_coef = 4e-4;
+  /// Per-cell leak factor ~ lognormal(0, leak_sigma): the wide fast/slow
+  /// leaker variation of §III-A2.
+  double leak_sigma = 0.5;
+
+  // --- Read disturb ---------------------------------------------------------
+  /// Vth gain per disturbing read = rd_step * susceptibility, applied to
+  /// cells below rd_ceiling (weak programming of low-Vth cells).
+  double rd_step = 4e-6;
+  /// Per-cell susceptibility ~ lognormal(0, rd_sigma) (§III-B variation).
+  double rd_sigma = 0.6;
+  double rd_ceiling = 1.6;
+
+  // --- Program interference -------------------------------------------------
+  /// Fraction of an aggressor cell's programming Vth change coupled onto
+  /// the same-column cell of the previously-programmed adjacent wordline.
+  double interference_gamma = 0.055;
+
+  // --- Two-step programming -------------------------------------------------
+  double lm_mean = 1.4;       ///< intermediate (LM) state target
+  double lm_sigma = 0.10;
+  /// Internal threshold used by the MSB programming step to read back the
+  /// partially-programmed LSB (ER vs LM). The margin below the LM state is
+  /// inherently tight (the LM distribution sits just above it), which is
+  /// why drift across this boundary before the MSB step — the §III-B
+  /// two-step vulnerability — is so easy to provoke.
+  double lm_read_ref = 1.05;
+
+  // --- Read references -------------------------------------------------------
+  std::array<double, 3> read_ref{0.5, 1.5, 2.5};  ///< Va, Vb, Vc
+};
+
+/// Gray-coded MLC state map (LSB programmed first):
+///   state:        ER   P1   P2   P3
+///   (LSB, MSB):  (1,1)(1,0)(0,0)(0,1)
+/// LSB = Vth < Vb;  MSB = (Vth < Va) || (Vth > Vc).
+inline int state_of(bool lsb, bool msb) {
+  if (lsb && msb) return 0;   // ER
+  if (lsb && !msb) return 1;  // P1
+  if (!lsb && !msb) return 2; // P2
+  return 3;                   // P3
+}
+inline bool lsb_of_state(int s) { return s == 0 || s == 1; }
+inline bool msb_of_state(int s) { return s == 0 || s == 3; }
+
+}  // namespace densemem::flash

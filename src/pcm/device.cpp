@@ -1,0 +1,115 @@
+#include "pcm/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace densemem::pcm {
+
+namespace {
+constexpr std::uint64_t kTagEndurance = 0x50454e44;  // "PEND"
+constexpr std::uint64_t kTagDrift = 0x50445249;      // "PDRI"
+
+double hashed_normal(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+                     std::uint64_t b) {
+  const std::uint64_t h1 = splitmix64(hash_coords(seed, tag, a, b));
+  const std::uint64_t h2 = splitmix64(h1);
+  double u1 = static_cast<double>(h1 >> 11) * 0x1.0p-53;
+  const double u2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+}  // namespace
+
+PcmDevice::PcmDevice(PcmGeometry geometry, PcmParams params,
+                     std::uint64_t seed)
+    : geometry_(geometry),
+      params_(params),
+      seed_(seed),
+      rng_(hash_coords(seed, 0x50434d44 /* "PCMD" */)),
+      wear_(geometry.lines, 0),
+      log_r_(static_cast<std::size_t>(geometry.lines) * geometry.cells_per_line,
+             static_cast<float>(params.level_log_r[0])),
+      level_(static_cast<std::size_t>(geometry.lines) * geometry.cells_per_line,
+             0),
+      write_time_(geometry.lines, 0.0) {
+  geometry_.validate();
+}
+
+std::uint64_t PcmDevice::endurance_of(std::uint32_t physical_line) const {
+  DM_DCHECK(physical_line < geometry_.lines);
+  const double n = hashed_normal(seed_, kTagEndurance, physical_line, 0);
+  return static_cast<std::uint64_t>(
+      params_.endurance_median * std::exp(params_.endurance_sigma * n));
+}
+
+double PcmDevice::drift_nu(std::uint32_t line, std::uint32_t cell) const {
+  const double n = hashed_normal(seed_, kTagDrift, line, cell);
+  return std::max(0.0, params_.drift_nu_mean + params_.drift_nu_sigma * n);
+}
+
+bool PcmDevice::write_line(std::uint32_t physical_line,
+                           const std::vector<std::uint8_t>& levels,
+                           double now) {
+  DM_CHECK_MSG(physical_line < geometry_.lines, "line out of range");
+  DM_CHECK_MSG(levels.size() == geometry_.cells_per_line,
+               "line size mismatch");
+  ++stats_.writes;
+  const bool was_failed = line_failed(physical_line);
+  ++wear_[physical_line];
+  if (!was_failed && line_failed(physical_line)) ++stats_.failed_lines;
+  if (line_failed(physical_line)) {
+    // Stuck-at: the cells no longer respond to programming.
+    return false;
+  }
+  write_time_[physical_line] = now;
+  for (std::uint32_t c = 0; c < geometry_.cells_per_line; ++c) {
+    DM_DCHECK(levels[c] < 4);
+    const std::size_t ci = cell_index(physical_line, c);
+    level_[ci] = levels[c];
+    log_r_[ci] = static_cast<float>(
+        rng_.normal(params_.level_log_r[levels[c]], params_.program_sigma));
+  }
+  return true;
+}
+
+double PcmDevice::cell_log_r(std::uint32_t physical_line, std::uint32_t cell,
+                             double now) const {
+  const std::size_t ci = cell_index(physical_line, cell);
+  const double dt = std::max(0.0, now - write_time_[physical_line]);
+  // The fully-crystalline (lowest) level barely drifts; amorphous levels
+  // drift upward as nu*log10(t/t0).
+  if (level_[ci] == 0 || dt <= 0.0) return log_r_[ci];
+  return log_r_[ci] + drift_nu(physical_line, cell) *
+                          std::log10(std::max(1.0, dt / params_.drift_t0_s));
+}
+
+std::vector<std::uint8_t> PcmDevice::read_line(std::uint32_t physical_line,
+                                               double now) const {
+  DM_CHECK_MSG(physical_line < geometry_.lines, "line out of range");
+  ++stats_.reads;
+  std::vector<std::uint8_t> out(geometry_.cells_per_line);
+  for (std::uint32_t c = 0; c < geometry_.cells_per_line; ++c) {
+    const double r = cell_log_r(physical_line, c, now);
+    std::uint8_t lvl = 0;
+    for (int th = 0; th < 3; ++th)
+      if (r > params_.read_threshold_log_r[th])
+        lvl = static_cast<std::uint8_t>(th + 1);
+    if (line_failed(physical_line)) {
+      // Stuck cells: deterministic corruption — half the cells read as
+      // their crystalline stuck value.
+      if (splitmix64(hash_coords(seed_, physical_line, c)) & 1) lvl = 0;
+    }
+    out[c] = lvl;
+  }
+  return out;
+}
+
+std::uint64_t PcmDevice::min_endurance() const {
+  std::uint64_t m = ~std::uint64_t{0};
+  for (std::uint32_t l = 0; l < geometry_.lines; ++l)
+    m = std::min(m, endurance_of(l));
+  return m;
+}
+
+}  // namespace densemem::pcm

@@ -1,0 +1,88 @@
+// PCM device model: line-granular write endurance + cell-granular
+// resistance drift.
+//
+// Wear is tracked per 64-byte line (the write unit); each physical line has
+// a deterministic seeded endurance draw, and the line fails stuck-at when
+// its write count crosses it. Drift is evaluated functionally at read time
+// (like flash retention), so idle years cost nothing to simulate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "pcm/params.h"
+
+namespace densemem::pcm {
+
+struct PcmGeometry {
+  std::uint32_t lines = 16384;   ///< 64-byte write lines
+  std::uint32_t cells_per_line = 256;  ///< 2-bit MLC cells (64 B data)
+
+  void validate() const {
+    DM_CHECK_MSG(lines >= 2 && cells_per_line >= 4, "degenerate PCM geometry");
+  }
+};
+
+struct PcmStats {
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t failed_lines = 0;
+};
+
+class PcmDevice {
+ public:
+  PcmDevice(PcmGeometry geometry, PcmParams params, std::uint64_t seed);
+
+  const PcmGeometry& geometry() const { return geometry_; }
+  const PcmParams& params() const { return params_; }
+  const PcmStats& stats() const { return stats_; }
+
+  /// Per-line endurance (deterministic draw; the wear-leveling literature's
+  /// "weakest line" is simply the minimum of these).
+  std::uint64_t endurance_of(std::uint32_t physical_line) const;
+  std::uint64_t write_count(std::uint32_t physical_line) const {
+    return wear_[physical_line];
+  }
+  bool line_failed(std::uint32_t physical_line) const {
+    return wear_[physical_line] >= endurance_of(physical_line);
+  }
+
+  /// Write a 2-bit-per-cell line. Returns false if the line is (or just
+  /// became) stuck — the data cannot be trusted afterwards.
+  bool write_line(std::uint32_t physical_line,
+                  const std::vector<std::uint8_t>& levels, double now);
+
+  /// Read the line's MLC levels at time `now`, with drift applied. A failed
+  /// line returns its last data with stuck cells (deterministic corruption).
+  std::vector<std::uint8_t> read_line(std::uint32_t physical_line,
+                                      double now) const;
+
+  /// Analog read-out (log10 resistance) of one cell — diagnostic.
+  double cell_log_r(std::uint32_t physical_line, std::uint32_t cell,
+                    double now) const;
+
+  /// The weakest line's endurance: the lifetime bound of a perfectly
+  /// levelled device.
+  std::uint64_t min_endurance() const;
+
+ private:
+  std::size_t cell_index(std::uint32_t line, std::uint32_t cell) const {
+    return static_cast<std::size_t>(line) * geometry_.cells_per_line + cell;
+  }
+  double drift_nu(std::uint32_t line, std::uint32_t cell) const;
+
+  PcmGeometry geometry_;
+  PcmParams params_;
+  std::uint64_t seed_;
+  Rng rng_;
+  mutable PcmStats stats_;  // reads are counted (diagnostics)
+  std::vector<std::uint64_t> wear_;       ///< writes per physical line
+  std::vector<float> log_r_;              ///< programmed log10 resistance
+  std::vector<std::uint8_t> level_;       ///< intended level per cell
+  std::vector<double> write_time_;        ///< last write time per line
+};
+
+}  // namespace densemem::pcm

@@ -1,0 +1,60 @@
+#include "pcm/lifetime.h"
+
+namespace densemem::pcm {
+
+const char* pcm_workload_name(PcmWorkload w) {
+  switch (w) {
+    case PcmWorkload::kUniform: return "uniform";
+    case PcmWorkload::kSequential: return "sequential";
+    case PcmWorkload::kHotLine: return "hot-line attack";
+  }
+  return "?";
+}
+
+PcmLifetimeResult run_pcm_lifetime(const PcmLifetimeConfig& cfg) {
+  PcmDevice device(cfg.geometry, cfg.params, cfg.seed);
+  WearLeveledPcm pcm(device, cfg.logical_lines, cfg.wear);
+  Rng rng(hash_coords(cfg.seed, 0x50434d4c /* "PCML" */));
+
+  const double ideal = static_cast<double>(cfg.logical_lines) *
+                       cfg.params.endurance_median;
+  const std::uint64_t cap =
+      cfg.max_writes ? cfg.max_writes
+                     : static_cast<std::uint64_t>(4.0 * ideal);
+
+  std::vector<std::uint8_t> levels(cfg.geometry.cells_per_line);
+  std::uint32_t seq = 0;
+  PcmLifetimeResult res;
+  for (std::uint64_t w = 0; w < cap; ++w) {
+    std::uint32_t la = 0;
+    switch (cfg.workload) {
+      case PcmWorkload::kUniform:
+        la = static_cast<std::uint32_t>(
+            rng.uniform_int(std::uint64_t{cfg.logical_lines}));
+        break;
+      case PcmWorkload::kSequential:
+        la = seq;
+        seq = (seq + 1) % cfg.logical_lines;
+        break;
+      case PcmWorkload::kHotLine:
+        la = 0;
+        break;
+    }
+    for (auto& l : levels)
+      l = static_cast<std::uint8_t>(rng.uniform_int(std::uint64_t{4}));
+    if (!pcm.write(la, levels, static_cast<double>(w) * 1e-7)) {
+      res.demand_writes = w;
+      break;
+    }
+  }
+  if (res.demand_writes == 0) {
+    res.demand_writes = cap;
+    res.survived_cap = true;
+  }
+  res.normalized_lifetime = static_cast<double>(res.demand_writes) / ideal;
+  res.wear_imbalance = pcm.wear_imbalance();
+  res.gap_moves = pcm.gap_moves();
+  return res;
+}
+
+}  // namespace densemem::pcm

@@ -1,0 +1,41 @@
+// PCM lifetime simulation under benign and adversarial write workloads —
+// the §III emerging-memory counterpart of the SSD lifetime harness.
+#pragma once
+
+#include <cstdint>
+
+#include "pcm/wear_level.h"
+
+namespace densemem::pcm {
+
+enum class PcmWorkload {
+  kUniform,     ///< uniformly random line writes (benign)
+  kSequential,  ///< streaming writes (benign, spatially correlated)
+  kHotLine,     ///< malicious: every write targets one logical line
+};
+
+const char* pcm_workload_name(PcmWorkload w);
+
+struct PcmLifetimeConfig {
+  PcmGeometry geometry{4097, 4};  ///< small cells: wear is the object here
+  PcmParams params;
+  WearConfig wear;
+  PcmWorkload workload = PcmWorkload::kUniform;
+  std::uint32_t logical_lines = 4096;
+  std::uint64_t max_writes = 0;  ///< 0 = 4x the ideal lifetime
+  std::uint64_t seed = 1;
+};
+
+struct PcmLifetimeResult {
+  std::uint64_t demand_writes = 0;  ///< until the first failed write
+  /// demand_writes / (logical_lines x median endurance): 1.0 would be the
+  /// ideal device that spreads every write perfectly with no overhead.
+  double normalized_lifetime = 0.0;
+  double wear_imbalance = 0.0;
+  std::uint64_t gap_moves = 0;
+  bool survived_cap = false;  ///< hit max_writes without failing
+};
+
+PcmLifetimeResult run_pcm_lifetime(const PcmLifetimeConfig& cfg);
+
+}  // namespace densemem::pcm

@@ -1,0 +1,34 @@
+// Phase-Change Memory cell parameters (§III: "Emerging memory technologies
+// [such as] Phase-Change Memory ... are likely to exhibit similar and
+// perhaps even more exacerbated reliability issues").
+//
+// The two PCM failure mechanisms the paper's citations revolve around:
+//  * finite write endurance (cells fail stuck-at after ~10^7..10^9 writes,
+//    with wide lognormal variation) — the basis of wear leveling [82, 106]
+//    and of endurance *attacks* (a malicious workload hammers one line),
+//  * resistance drift (programmed resistance rises ~ t^nu over time),
+//    which erodes multi-level-cell read margins [60, 100].
+#pragma once
+
+#include <cstdint>
+
+namespace densemem::pcm {
+
+struct PcmParams {
+  /// Median cell write endurance (writes to stuck-at failure).
+  double endurance_median = 1e7;
+  /// Lognormal sigma of per-line endurance (process variation).
+  double endurance_sigma = 0.25;
+  /// Resistance-drift exponent nu: R(t) = R0 * (t/t0)^nu for RESET cells.
+  double drift_nu_mean = 0.05;
+  double drift_nu_sigma = 0.015;
+  double drift_t0_s = 1.0;
+  /// MLC resistance levels (log10 ohms) and the read thresholds between
+  /// them; drift pushes levels upward into the next band.
+  double level_log_r[4] = {3.0, 4.0, 5.0, 6.0};
+  double read_threshold_log_r[3] = {3.5, 4.5, 5.5};
+  /// Programming noise on log10 resistance.
+  double program_sigma = 0.08;
+};
+
+}  // namespace densemem::pcm

@@ -1,0 +1,143 @@
+#include "pcm/wear_level.h"
+
+#include <bit>
+
+namespace densemem::pcm {
+
+const char* wear_policy_name(WearPolicy p) {
+  switch (p) {
+    case WearPolicy::kNone: return "none";
+    case WearPolicy::kStartGap: return "start-gap";
+    case WearPolicy::kRandomizedStartGap: return "randomized start-gap";
+  }
+  return "?";
+}
+
+FeistelPermutation::FeistelPermutation(std::uint32_t n, std::uint64_t key)
+    : n_(n), key_(key) {
+  DM_CHECK_MSG(n >= 2, "permutation domain too small");
+  int bits = std::bit_width(n - 1);
+  if (bits < 2) bits = 2;
+  if (bits % 2) ++bits;  // even split for the Feistel halves
+  half_bits_ = bits / 2;
+  half_mask_ = (1u << half_bits_) - 1;
+}
+
+std::uint32_t FeistelPermutation::round_fn(std::uint32_t half,
+                                           int round) const {
+  return static_cast<std::uint32_t>(
+             splitmix64(hash_coords(key_, static_cast<std::uint64_t>(round),
+                                    half))) &
+         half_mask_;
+}
+
+std::uint32_t FeistelPermutation::permute_once(std::uint32_t x,
+                                               bool invert) const {
+  std::uint32_t left = (x >> half_bits_) & half_mask_;
+  std::uint32_t right = x & half_mask_;
+  if (!invert) {
+    for (int r = 0; r < 4; ++r) {
+      const std::uint32_t next_left = right;
+      right = left ^ round_fn(right, r);
+      left = next_left;
+    }
+  } else {
+    for (int r = 3; r >= 0; --r) {
+      const std::uint32_t prev_right = left;
+      left = right ^ round_fn(left, r);
+      right = prev_right;
+    }
+  }
+  return (left << half_bits_) | right;
+}
+
+std::uint32_t FeistelPermutation::forward(std::uint32_t x) const {
+  DM_DCHECK(x < n_);
+  // Cycle walking: the Feistel domain is the next power of four; iterate
+  // until the image lands back inside [0, n).
+  do {
+    x = permute_once(x, false);
+  } while (x >= n_);
+  return x;
+}
+
+std::uint32_t FeistelPermutation::inverse(std::uint32_t y) const {
+  DM_DCHECK(y < n_);
+  do {
+    y = permute_once(y, true);
+  } while (y >= n_);
+  return y;
+}
+
+WearLeveledPcm::WearLeveledPcm(PcmDevice& device, std::uint32_t logical_lines,
+                               WearConfig cfg)
+    : device_(device),
+      n_(logical_lines),
+      cfg_(cfg),
+      scramble_(logical_lines, hash_coords(cfg.seed, 0x53435241 /* "SCRA" */)),
+      gap_(logical_lines) {
+  DM_CHECK_MSG(cfg_.gap_write_interval >= 1, "gap interval must be >= 1");
+  if (cfg_.policy == WearPolicy::kNone) {
+    DM_CHECK_MSG(device.geometry().lines >= n_,
+                 "device smaller than logical space");
+  } else {
+    DM_CHECK_MSG(device.geometry().lines >= n_ + 1,
+                 "start-gap needs one spare physical line");
+  }
+}
+
+std::uint32_t WearLeveledPcm::physical_of(std::uint32_t logical) const {
+  DM_DCHECK(logical < n_);
+  if (cfg_.policy == WearPolicy::kNone) return logical;
+  const std::uint32_t la = cfg_.policy == WearPolicy::kRandomizedStartGap
+                               ? scramble_.forward(logical)
+                               : logical;
+  const std::uint32_t m = n_ + 1;
+  const std::uint32_t offset = (la + n_ - base_) % n_;
+  return (gap_ + 1 + offset) % m;
+}
+
+void WearLeveledPcm::move_gap(double now) {
+  ++gap_moves_;
+  // Copy the line in the slot before the gap into the gap (one extra write
+  // of wear), then the gap takes that slot. Decrementing gap mod M together
+  // with base mod N preserves the layout invariant everywhere on the ring.
+  const std::uint32_t m = n_ + 1;
+  const std::uint32_t src = (gap_ + m - 1) % m;
+  const auto data = device_.read_line(src, now);
+  device_.write_line(gap_, data, now);
+  gap_ = src;
+  base_ = (base_ + n_ - 1) % n_;
+}
+
+bool WearLeveledPcm::write(std::uint32_t logical,
+                           const std::vector<std::uint8_t>& levels,
+                           double now) {
+  const std::uint32_t pa = physical_of(logical);
+  const bool ok = device_.write_line(pa, levels, now);
+  if (cfg_.policy != WearPolicy::kNone &&
+      ++writes_since_move_ >= cfg_.gap_write_interval) {
+    writes_since_move_ = 0;
+    move_gap(now);
+  }
+  return ok && !device_.line_failed(pa);
+}
+
+std::vector<std::uint8_t> WearLeveledPcm::read(std::uint32_t logical,
+                                               double now) const {
+  return device_.read_line(physical_of(logical), now);
+}
+
+double WearLeveledPcm::wear_imbalance() const {
+  std::uint64_t max_wear = 0, total = 0;
+  const std::uint32_t lines = device_.geometry().lines;
+  for (std::uint32_t l = 0; l < lines; ++l) {
+    max_wear = std::max(max_wear, device_.write_count(l));
+    total += device_.write_count(l);
+  }
+  if (total == 0) return 0.0;
+  const double mean = static_cast<double>(total) / lines;
+  return static_cast<double>(max_wear) / mean;
+}
+
+}  // namespace densemem::pcm

@@ -1,0 +1,102 @@
+// Start-Gap wear leveling (Qureshi et al., MICRO 2009 [82]: "Enhancing
+// lifetime and security of PCM via start-gap wear leveling").
+//
+// N logical lines map onto M = N+1 physical slots arranged as a ring. A
+// gap (empty) slot rotates through the ring: every `gap_write_interval`
+// demand writes, the line in the slot before the gap is copied into the
+// gap and the gap moves back one slot. The layout invariant is algebraic —
+// no table: starting from the slot after the gap, the logical lines appear
+// in consecutive (mod N) order beginning at a base register, so
+//   slot(LA) = (gap + 1 + (LA - base mod N)) mod M,
+// and each gap move decrements both gap (mod M) and base (mod N), which
+// keeps the invariant with no wrap-around special case.
+//
+// Security angle (the reason the paper's §III cites this line of work): an
+// attacker who repeatedly writes ONE address kills an unlevelled device in
+// `endurance` writes, but under start-gap the target keeps moving, so the
+// damage spreads — and the randomized variant additionally hides *which*
+// physical line is being worn from an attacker who knows the algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pcm/device.h"
+
+namespace densemem::pcm {
+
+enum class WearPolicy {
+  kNone,                ///< identity mapping, no rotation
+  kStartGap,            ///< plain start-gap
+  kRandomizedStartGap,  ///< static random (Feistel) scramble + start-gap
+};
+
+const char* wear_policy_name(WearPolicy p);
+
+struct WearConfig {
+  WearPolicy policy = WearPolicy::kStartGap;
+  /// Demand writes between gap movements (psi; [82] uses 100).
+  std::uint32_t gap_write_interval = 100;
+  std::uint64_t seed = 1;
+};
+
+/// 4-round Feistel permutation over [0, n) via cycle walking: a static,
+/// key-dependent, invertible address scramble.
+class FeistelPermutation {
+ public:
+  FeistelPermutation(std::uint32_t n, std::uint64_t key);
+  std::uint32_t forward(std::uint32_t x) const;
+  std::uint32_t inverse(std::uint32_t y) const;
+  std::uint32_t size() const { return n_; }
+
+ private:
+  std::uint32_t permute_once(std::uint32_t x, bool invert) const;
+  std::uint32_t round_fn(std::uint32_t half, int round) const;
+
+  std::uint32_t n_;
+  int half_bits_;
+  std::uint32_t half_mask_;
+  std::uint64_t key_;
+};
+
+class WearLeveledPcm {
+ public:
+  /// The device must have (logical_lines + 1) physical lines for the
+  /// start-gap policies; for kNone it needs exactly logical_lines (extra
+  /// lines are simply unused).
+  WearLeveledPcm(PcmDevice& device, std::uint32_t logical_lines,
+                 WearConfig cfg);
+
+  std::uint32_t logical_lines() const { return n_; }
+  /// Base register: the logical line stored in the slot after the gap.
+  std::uint32_t base() const { return base_; }
+  std::uint32_t gap() const { return gap_; }
+  std::uint64_t gap_moves() const { return gap_moves_; }
+
+  /// Physical line currently backing a logical line.
+  std::uint32_t physical_of(std::uint32_t logical) const;
+
+  /// Demand write. Returns false once any involved physical line has
+  /// failed (device worn out at this address).
+  bool write(std::uint32_t logical, const std::vector<std::uint8_t>& levels,
+             double now);
+  std::vector<std::uint8_t> read(std::uint32_t logical, double now) const;
+
+  /// Wear of the most-worn physical line divided by the mean wear: 1.0 is
+  /// perfect levelling; an unlevelled hot line drives it to ~N.
+  double wear_imbalance() const;
+
+ private:
+  void move_gap(double now);
+
+  PcmDevice& device_;
+  std::uint32_t n_;
+  WearConfig cfg_;
+  FeistelPermutation scramble_;
+  std::uint32_t base_ = 0;
+  std::uint32_t gap_;  ///< physical slot of the gap
+  std::uint32_t writes_since_move_ = 0;
+  std::uint64_t gap_moves_ = 0;
+};
+
+}  // namespace densemem::pcm

@@ -1,0 +1,293 @@
+#include "softmc/trace.h"
+
+#include <bit>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace densemem::softmc {
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == '#') break;  // comment to end of line
+    if (ch == ' ' || ch == '\t' || ch == '\r') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur += ch;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool parse_u64(const std::string& tok, std::uint64_t& out, int base = 10) {
+  const char* begin = tok.data();
+  const char* end = tok.data() + tok.size();
+  if (base == 16 && tok.size() > 2 && tok[0] == '0' &&
+      (tok[1] == 'x' || tok[1] == 'X'))
+    begin += 2;
+  const auto [ptr, ec] = std::from_chars(begin, end, out, base);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_u32(const std::string& tok, std::uint32_t& out) {
+  std::uint64_t v;
+  if (!parse_u64(tok, v) || v > 0xFFFFFFFFull) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool parse_duration(const std::string& tok, Time& out) {
+  // <number><unit> with unit in {ns, us, ms, s}.
+  std::size_t i = 0;
+  while (i < tok.size() && (std::isdigit(static_cast<unsigned char>(tok[i]))))
+    ++i;
+  if (i == 0 || i == tok.size()) return false;
+  std::uint64_t value;
+  if (!parse_u64(tok.substr(0, i), value)) return false;
+  const std::string unit = tok.substr(i);
+  const auto v = static_cast<std::int64_t>(value);
+  if (unit == "ns")
+    out = Time::ns(v);
+  else if (unit == "us")
+    out = Time::us(v);
+  else if (unit == "ms")
+    out = Time::ms(v);
+  else if (unit == "s")
+    out = Time::s(v);
+  else
+    return false;
+  return true;
+}
+
+bool parse_pattern(const std::string& tok, dram::BackgroundPattern& out) {
+  if (tok == "zeros")
+    out = dram::BackgroundPattern::kZeros;
+  else if (tok == "ones")
+    out = dram::BackgroundPattern::kOnes;
+  else if (tok == "checker")
+    out = dram::BackgroundPattern::kCheckerboard;
+  else if (tok == "rowstripe")
+    out = dram::BackgroundPattern::kRowStripe;
+  else if (tok == "random")
+    out = dram::BackgroundPattern::kRandom;
+  else
+    return false;
+  return true;
+}
+
+ParseResult fail(int line, std::string message) {
+  ParseResult r;
+  r.ok = false;
+  r.error = {line, std::move(message)};
+  return r;
+}
+
+}  // namespace
+
+ParseResult parse_trace(std::string_view text) {
+  ParseResult result;
+  std::vector<int> loop_stack;  // source lines of open LOOPs (diagnostics)
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                      : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+
+    Instruction ins;
+    ins.line = line_no;
+    const std::string& cmd = toks[0];
+    auto need = [&](std::size_t n) { return toks.size() == n + 1; };
+
+    if (cmd == "ACT") {
+      if (!need(2)) return fail(line_no, "ACT expects: ACT <bank> <row>");
+      ins.op = Op::kAct;
+      if (!parse_u32(toks[1], ins.bank) || !parse_u32(toks[2], ins.row))
+        return fail(line_no, "ACT: bad bank/row");
+    } else if (cmd == "PRE") {
+      if (!need(1)) return fail(line_no, "PRE expects: PRE <bank>");
+      ins.op = Op::kPre;
+      if (!parse_u32(toks[1], ins.bank)) return fail(line_no, "PRE: bad bank");
+    } else if (cmd == "RD") {
+      if (!need(2)) return fail(line_no, "RD expects: RD <bank> <col>");
+      ins.op = Op::kRd;
+      if (!parse_u32(toks[1], ins.bank) || !parse_u32(toks[2], ins.col))
+        return fail(line_no, "RD: bad bank/col");
+    } else if (cmd == "WR") {
+      if (!need(3)) return fail(line_no, "WR expects: WR <bank> <col> <hex>");
+      ins.op = Op::kWr;
+      if (!parse_u32(toks[1], ins.bank) || !parse_u32(toks[2], ins.col))
+        return fail(line_no, "WR: bad bank/col");
+      if (!parse_u64(toks[3], ins.value, 16))
+        return fail(line_no, "WR: bad hex data");
+    } else if (cmd == "REF") {
+      if (!need(1)) return fail(line_no, "REF expects: REF <rows>");
+      ins.op = Op::kRef;
+      if (!parse_u64(toks[1], ins.value) || ins.value == 0)
+        return fail(line_no, "REF: bad row count");
+    } else if (cmd == "WAIT") {
+      if (!need(1)) return fail(line_no, "WAIT expects: WAIT <duration>");
+      ins.op = Op::kWait;
+      if (!parse_duration(toks[1], ins.wait))
+        return fail(line_no, "WAIT: bad duration (use e.g. 100ns, 5us, 10ms)");
+    } else if (cmd == "HAMMER") {
+      if (!need(3))
+        return fail(line_no, "HAMMER expects: HAMMER <bank> <row> <count>");
+      ins.op = Op::kHammer;
+      if (!parse_u32(toks[1], ins.bank) || !parse_u32(toks[2], ins.row) ||
+          !parse_u64(toks[3], ins.value) || ins.value == 0)
+        return fail(line_no, "HAMMER: bad bank/row/count");
+    } else if (cmd == "FILL") {
+      if (!need(1)) return fail(line_no, "FILL expects: FILL <pattern>");
+      ins.op = Op::kFill;
+      if (!parse_pattern(toks[1], ins.pattern))
+        return fail(line_no,
+                    "FILL: pattern must be zeros|ones|checker|rowstripe|random");
+    } else if (cmd == "CHECK") {
+      if (!need(3))
+        return fail(line_no, "CHECK expects: CHECK <bank> <row> <pattern>");
+      ins.op = Op::kCheck;
+      if (!parse_u32(toks[1], ins.bank) || !parse_u32(toks[2], ins.row))
+        return fail(line_no, "CHECK: bad bank/row");
+      if (!parse_pattern(toks[3], ins.pattern))
+        return fail(line_no, "CHECK: bad pattern");
+    } else if (cmd == "LOOP") {
+      if (!need(1)) return fail(line_no, "LOOP expects: LOOP <count>");
+      ins.op = Op::kLoop;
+      if (!parse_u64(toks[1], ins.value) || ins.value == 0)
+        return fail(line_no, "LOOP: bad count");
+      loop_stack.push_back(line_no);
+    } else if (cmd == "ENDLOOP") {
+      if (!need(0)) return fail(line_no, "ENDLOOP takes no arguments");
+      ins.op = Op::kEndLoop;
+      if (loop_stack.empty())
+        return fail(line_no, "ENDLOOP without matching LOOP");
+      loop_stack.pop_back();
+    } else {
+      return fail(line_no, "unknown command '" + cmd + "'");
+    }
+    result.program.push_back(ins);
+  }
+  if (!loop_stack.empty())
+    return fail(loop_stack.back(), "LOOP never closed with ENDLOOP");
+  result.ok = true;
+  return result;
+}
+
+TraceStats run_trace(const std::vector<Instruction>& program,
+                     dram::Device& device, const dram::Timing& timing,
+                     Time start) {
+  TraceStats stats;
+  Time now = start;
+  const dram::Geometry& g = device.geometry();
+
+  struct LoopFrame {
+    std::size_t body_start;   ///< pc of first instruction inside the loop
+    std::uint64_t remaining;  ///< iterations left after the current one
+  };
+  std::vector<LoopFrame> loops;
+
+  std::size_t pc = 0;
+  while (pc < program.size()) {
+    const Instruction& ins = program[pc];
+    ++stats.commands_executed;
+    switch (ins.op) {
+      case Op::kAct:
+        DM_CHECK_MSG(ins.bank < dram::total_banks(g), "trace: bank range");
+        DM_CHECK_MSG(ins.row < g.rows, "trace: row range");
+        device.activate(ins.bank, ins.row, now);
+        now += timing.tRCD;
+        break;
+      case Op::kPre:
+        device.precharge(ins.bank, now);
+        now += timing.tRP;
+        break;
+      case Op::kRd:
+        stats.read_log.push_back(device.read_word(ins.bank, ins.col));
+        ++stats.reads;
+        now += timing.tCL;
+        break;
+      case Op::kWr:
+        device.write_word(ins.bank, ins.col, ins.value);
+        now += timing.tCL;
+        break;
+      case Op::kRef:
+        for (std::uint32_t b = 0; b < dram::total_banks(g); ++b)
+          device.refresh_next(b, static_cast<std::uint32_t>(ins.value), now);
+        now += timing.tRFC;
+        break;
+      case Op::kWait:
+        now += ins.wait;
+        break;
+      case Op::kHammer:
+        device.hammer(ins.bank, ins.row, ins.value, now);
+        now += timing.tRC * static_cast<std::int64_t>(ins.value);
+        break;
+      case Op::kFill:
+        device.fill_all(ins.pattern, now);
+        break;
+      case Op::kCheck: {
+        // Realize pending faults through an activate, then compare.
+        device.activate(ins.bank, ins.row, now);
+        now += timing.tRCD;
+        ++stats.checks;
+        for (std::uint32_t w = 0; w < g.row_words(); ++w) {
+          const std::uint64_t got = device.read_word(ins.bank, w);
+          const std::uint64_t want = dram::pattern_word_value(
+              ins.pattern, device.config().seed, ins.row, w);
+          stats.check_errors +=
+              static_cast<std::uint64_t>(std::popcount(got ^ want));
+        }
+        device.precharge(ins.bank, now);
+        now += timing.tRP;
+        break;
+      }
+      case Op::kLoop:
+        loops.push_back({pc + 1, ins.value - 1});
+        break;
+      case Op::kEndLoop: {
+        DM_CHECK_MSG(!loops.empty(), "trace: ENDLOOP underflow");
+        LoopFrame& f = loops.back();
+        if (f.remaining > 0) {
+          --f.remaining;
+          pc = f.body_start;
+          continue;  // skip the pc increment below
+        }
+        loops.pop_back();
+        break;
+      }
+    }
+    ++pc;
+  }
+  stats.end_time = now;
+  return stats;
+}
+
+TraceStats run_trace_text(std::string_view text, dram::Device& device,
+                          const dram::Timing& timing) {
+  const auto parsed = parse_trace(text);
+  if (!parsed.ok) {
+    std::ostringstream os;
+    os << "trace parse error at line " << parsed.error.line << ": "
+       << parsed.error.message;
+    throw CheckError(os.str());
+  }
+  return run_trace(parsed.program, device, timing);
+}
+
+}  // namespace densemem::softmc

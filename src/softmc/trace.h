@@ -1,0 +1,99 @@
+// SoftMC-style DRAM command-trace infrastructure (HPCA'17 [39]).
+//
+// The paper credits an open FPGA-based infrastructure — which issues raw
+// DRAM command sequences with controlled timing — for enabling the
+// RowHammer and retention studies. This module is its simulator-side
+// equivalent: a small textual command language, a parser with positioned
+// error messages, and a runner that executes programs directly against the
+// device model (bypassing the memory controller, exactly as SoftMC
+// bypasses the platform's controller).
+//
+// Language (one command per line; '#' starts a comment):
+//   ACT <bank> <row>            activate
+//   PRE <bank>                  precharge
+//   RD <bank> <col_word>        read one 64-bit word (logged)
+//   WR <bank> <col_word> <hex>  write one 64-bit word
+//   REF <count>                 refresh the next <count> rows in every bank
+//   WAIT <duration>             advance time: e.g. 100ns, 5us, 10ms, 2s
+//   HAMMER <bank> <row> <n>     n ACT/PRE pairs (bulk extension)
+//   FILL <pattern>              zeros|ones|checker|rowstripe|random
+//   CHECK <bank> <row> <pattern>  compare a row; mismatches are recorded
+//   LOOP <n> ... ENDLOOP        repeat the enclosed block (nestable)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dram/device.h"
+#include "dram/timing.h"
+
+namespace densemem::softmc {
+
+enum class Op {
+  kAct,
+  kPre,
+  kRd,
+  kWr,
+  kRef,
+  kWait,
+  kHammer,
+  kFill,
+  kCheck,
+  kLoop,
+  kEndLoop,
+};
+
+struct Instruction {
+  Op op;
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  std::uint64_t value = 0;          ///< WR data / REF count / LOOP count /
+                                    ///< HAMMER count
+  Time wait;                        ///< WAIT duration
+  dram::BackgroundPattern pattern = dram::BackgroundPattern::kZeros;
+  int line = 0;                     ///< 1-based source line (diagnostics)
+};
+
+/// Parse failure with line/column context.
+struct ParseError {
+  int line = 0;
+  std::string message;
+};
+
+struct ParseResult {
+  bool ok = false;
+  std::vector<Instruction> program;
+  ParseError error;  ///< valid when !ok
+};
+
+/// Parses a trace program. Validates loop nesting and argument counts; bank
+/// and row ranges are checked at run time against the target device.
+ParseResult parse_trace(std::string_view text);
+
+struct TraceStats {
+  std::uint64_t commands_executed = 0;
+  std::uint64_t reads = 0;
+  std::vector<std::uint64_t> read_log;  ///< data of every RD, in order
+  std::uint64_t check_errors = 0;       ///< mismatched bits across CHECKs
+  std::uint64_t checks = 0;
+  Time end_time;
+};
+
+/// Executes a parsed program against a device, advancing a local clock with
+/// the given timing (ACT: tRCD, PRE: tRP, RD/WR: tCL, REF: tRFC,
+/// HAMMER n: n x tRC). Throws CheckError on protocol violations, exactly as
+/// the device would reject an illegal FPGA-issued sequence.
+TraceStats run_trace(const std::vector<Instruction>& program,
+                     dram::Device& device,
+                     const dram::Timing& timing = dram::Timing::ddr3_1600(),
+                     Time start = Time{});
+
+/// Convenience: parse + run; throws CheckError with the parse diagnostic on
+/// malformed input.
+TraceStats run_trace_text(std::string_view text, dram::Device& device,
+                          const dram::Timing& timing = dram::Timing::ddr3_1600());
+
+}  // namespace densemem::softmc

@@ -1,0 +1,142 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/module_tester.h"
+
+namespace densemem::core {
+namespace {
+
+TEST(Analysis, ParaSurvivalClosedForm) {
+  EXPECT_DOUBLE_EQ(para_survival_probability(0.0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(para_survival_probability(1.0, 1), 0.0);
+  EXPECT_NEAR(para_survival_probability(0.001, 1000), std::exp(-1.0), 2e-4);
+}
+
+TEST(Analysis, ParaFailureEdgeCases) {
+  // Fewer closes than the run length: failure impossible.
+  EXPECT_DOUBLE_EQ(para_failure_probability(0.01, 5, 10), 0.0);
+  // n == t: failure iff no refresh in all n closes.
+  EXPECT_NEAR(para_failure_probability(0.01, 100, 100),
+              std::pow(0.99, 100), 1e-12);
+  // p == 0: failure certain once n >= t.
+  EXPECT_DOUBLE_EQ(para_failure_probability(0.0, 100, 50), 1.0);
+  // p == 1: never a run of misses.
+  EXPECT_DOUBLE_EQ(para_failure_probability(1.0, 100, 5), 0.0);
+}
+
+TEST(Analysis, ParaFailureIsMonotonic) {
+  // More closes -> more failure; larger p -> less failure; larger run
+  // requirement -> less failure.
+  EXPECT_LE(para_failure_probability(0.01, 1000, 200),
+            para_failure_probability(0.01, 5000, 200));
+  EXPECT_GE(para_failure_probability(0.005, 5000, 200),
+            para_failure_probability(0.02, 5000, 200));
+  EXPECT_GE(para_failure_probability(0.01, 5000, 100),
+            para_failure_probability(0.01, 5000, 400));
+}
+
+TEST(Analysis, ParaFailureMatchesMonteCarlo) {
+  // The DP must agree with direct simulation of Bernoulli miss-runs.
+  const double p = 0.015;
+  const std::uint64_t n = 2000, t = 150;
+  const double analytic = para_failure_probability(p, n, t);
+  Rng rng(1234);
+  const int trials = 20000;
+  int failures = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::uint64_t run = 0;
+    bool failed = false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (rng.bernoulli(p)) {
+        run = 0;
+      } else if (++run >= t) {
+        failed = true;
+        break;
+      }
+    }
+    failures += failed ? 1 : 0;
+  }
+  const double mc = static_cast<double>(failures) / trials;
+  EXPECT_NEAR(mc, analytic, 4.0 * std::sqrt(analytic * (1 - analytic) / trials) + 1e-3);
+}
+
+TEST(Analysis, ParaFailureGeometricDecayInPt) {
+  // log P(fail) should fall roughly linearly as t grows (fixed n, p):
+  // each added miss multiplies by (1-p).
+  // Use run lengths where failure is rare: near-certain failures saturate
+  // at 1 and hide the geometric factor.
+  const double p = 0.02;
+  const double f1 = para_failure_probability(p, 4000, 300);
+  const double f2 = para_failure_probability(p, 4000, 400);
+  const double f3 = para_failure_probability(p, 4000, 500);
+  ASSERT_GT(f3, 0.0);
+  const double r12 = f1 / f2, r23 = f2 / f3;
+  EXPECT_NEAR(std::log(r12), std::log(r23), 0.35);  // same decade step
+  // And the decade scale matches (1-p)^-100 per 100 hammers.
+  EXPECT_NEAR(std::log(r12), -100.0 * std::log(1 - p), 0.5);
+}
+
+TEST(Analysis, MaxHammersMatchesTiming) {
+  const auto t = dram::Timing::ddr3_1600();
+  EXPECT_EQ(max_hammers_per_window(t),
+            static_cast<std::uint64_t>(t.tREFW / t.tRC));
+  EXPECT_GT(max_hammers_per_window(t), 1'200'000u);
+}
+
+TEST(Analysis, RefreshOverheadScalesLinearly) {
+  const auto base = dram::Timing::ddr3_1600();
+  const double o1 = refresh_time_overhead(base);
+  const double o7 = refresh_time_overhead(base.with_refresh_multiplier(7.0));
+  EXPECT_NEAR(o7 / o1, 7.0, 0.01);
+  // DDR3 4Gb-class baseline: ~3.3%.
+  EXPECT_NEAR(o1, 0.0333, 0.002);
+}
+
+TEST(Analysis, LognormalCdf) {
+  EXPECT_DOUBLE_EQ(lognormal_cdf(0.0, 0.0, 1.0), 0.0);
+  EXPECT_NEAR(lognormal_cdf(1.0, 0.0, 1.0), 0.5, 1e-12);  // median at e^mu
+  EXPECT_NEAR(lognormal_cdf(std::exp(2.0), 2.0, 0.5), 0.5, 1e-12);
+  EXPECT_GT(lognormal_cdf(10.0, 0.0, 1.0), 0.98);
+}
+
+
+TEST(Analysis, ExpectedTestErrorRateTracksSimulator) {
+  // The closed-form test-error-rate model must track the ModuleTester
+  // within Poisson noise across parameter corners (DESIGN.md decision #3).
+  struct Corner {
+    double density, hc50, sigma, dpd;
+  };
+  for (const auto& c :
+       {Corner{5e-4, 120e3, 0.45, 0.6}, Corner{1e-3, 400e3, 0.3, 0.2},
+        Corner{2e-4, 900e3, 0.5, 0.8}}) {
+    dram::DeviceConfig dc;
+    dc.geometry = dram::Geometry{1, 1, 1, 4096, 8192};
+    dc.reliability = dram::ReliabilityParams::vulnerable();
+    dc.reliability.weak_cell_density = c.density;
+    dc.reliability.hc50 = c.hc50;
+    dc.reliability.hc_sigma = c.sigma;
+    dc.reliability.dpd_sensitivity_mean = c.dpd;
+    dc.reliability.leaky_cell_density = 0.0;
+    dc.seed = 77;
+    dram::Device dev(dc);
+    ModuleTestConfig tc;
+    tc.sample_rows = 1024;
+    const auto res = ModuleTester(tc).run(dev);
+    const double analytic =
+        expected_test_error_rate(dc.reliability, res.hammer_count_used);
+    ASSERT_GT(analytic, 0.0);
+    // Within 25% + Poisson band of the measurement.
+    const double sd = std::sqrt(static_cast<double>(res.failing_cells) + 1.0) /
+                      static_cast<double>(res.cells_tested) * 1e9;
+    EXPECT_NEAR(res.errors_per_1e9_cells, analytic,
+                0.25 * analytic + 4.0 * sd)
+        << "density " << c.density << " hc50 " << c.hc50;
+  }
+}
+
+}  // namespace
+}  // namespace densemem::core

@@ -1,0 +1,141 @@
+#include "attack/attacker.h"
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+
+namespace densemem::attack {
+namespace {
+
+dram::DeviceConfig victim_device(std::uint64_t seed = 81) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::vulnerable();
+  cfg.reliability.weak_cell_density = 1e-3;
+  cfg.reliability.hc50 = 10e3;
+  cfg.reliability.hc_sigma = 0.3;
+  cfg.reliability.dpd_sensitivity_mean = 0.0;
+  cfg.reliability.anticell_fraction = 0.0;
+  cfg.seed = seed;
+  cfg.record_flip_events = true;
+  return cfg;
+}
+
+std::uint32_t weak_victim(dram::Device& dev) {
+  for (std::uint32_t r : dev.fault_map().weak_rows(0))
+    if (r >= 3 && r + 3 < dev.geometry().rows) return r;
+  return 0;
+}
+
+AttackConfig attack_on(std::uint32_t victim, dram::Device& dev) {
+  AttackConfig cfg;
+  cfg.pattern.kind = PatternKind::kDoubleSided;
+  cfg.pattern.victim_row = victim;
+  cfg.pattern.rows_in_bank = dev.geometry().rows;
+  cfg.max_iterations = 30'000;
+  return cfg;
+}
+
+TEST(Attacker, DoubleSidedObservesFlips) {
+  dram::Device dev(victim_device());
+  ctrl::MemoryController mc(dev, ctrl::CtrlConfig{});
+  const std::uint32_t victim = weak_victim(dev);
+  ASSERT_NE(victim, 0u);
+  Attacker atk(attack_on(victim, dev));
+  const auto res = atk.run(mc);
+  EXPECT_GT(res.raw_disturb_flips, 0u);
+  EXPECT_GT(res.observed_flips, 0u);
+  EXPECT_EQ(res.iterations_run, 30'000u);
+  EXPECT_GT(res.activates, 60'000u - 1);
+  EXPECT_GT(res.elapsed_ms, 0.0);
+  // Read-hammer only flips victims, never corrupts the aggressor rows
+  // themselves: every flip is 1->0 of the all-ones victim data here.
+  EXPECT_EQ(res.flips_0to1, 0u);
+}
+
+TEST(Attacker, StopAtFirstFlipRecordsTime) {
+  dram::Device dev(victim_device());
+  ctrl::MemoryController mc(dev, ctrl::CtrlConfig{});
+  const std::uint32_t victim = weak_victim(dev);
+  ASSERT_NE(victim, 0u);
+  AttackConfig cfg = attack_on(victim, dev);
+  // Checking reads the victims, which restores their charge: the check
+  // cadence must let stress exceed the cell thresholds in between.
+  cfg.check_every = 10'000;
+  cfg.stop_at_first_flip = true;
+  Attacker atk(cfg);
+  const auto res = atk.run(mc);
+  ASSERT_TRUE(res.first_flip_ms.has_value());
+  EXPECT_GT(*res.first_flip_ms, 0.0);
+  EXPECT_LT(res.iterations_run, cfg.max_iterations);
+}
+
+TEST(Attacker, FlipsAreAdjacentToAggressors) {
+  dram::Device dev(victim_device());
+  ctrl::MemoryController mc(dev, ctrl::CtrlConfig{});
+  const std::uint32_t victim = weak_victim(dev);
+  ASSERT_NE(victim, 0u);
+  Attacker atk(attack_on(victim, dev));
+  const auto res = atk.run(mc);
+  ASSERT_GT(res.raw_disturb_flips, 0u);
+  std::uint64_t at_d1 = 0, beyond_d2 = 0;
+  for (const auto& [dist, n] : res.flips_by_distance) {
+    if (dist == 1) at_d1 += n;
+    if (dist > 2) beyond_d2 += n;
+  }
+  EXPECT_GT(at_d1, 0u);
+  EXPECT_EQ(beyond_d2, 0u) << "flips farther than distance 2 are impossible";
+}
+
+TEST(Attacker, RandomPatternIsHarmless) {
+  dram::Device dev(victim_device());
+  ctrl::MemoryController mc(dev, ctrl::CtrlConfig{});
+  AttackConfig cfg;
+  cfg.pattern.kind = PatternKind::kRandom;
+  cfg.pattern.victim_row = 100;
+  cfg.pattern.rows_in_bank = dev.geometry().rows;
+  cfg.max_iterations = 30'000;
+  Attacker atk(cfg);
+  const auto res = atk.run(mc);
+  // Random rows spread stress below every threshold.
+  EXPECT_EQ(res.raw_disturb_flips, 0u);
+}
+
+TEST(Attacker, EccControllerHidesCorrectableFlips) {
+  dram::DeviceConfig dc = victim_device(83);
+  dc.reliability.weak_cell_density = 2e-4;  // isolated flips per word
+  dram::Device dev(dc);
+  ctrl::CtrlConfig cc;
+  cc.ecc = ctrl::EccMode::kSecded;
+  ctrl::MemoryController mc(dev, cc);
+  std::uint32_t victim = weak_victim(dev);
+  ASSERT_NE(victim, 0u);
+  Attacker atk(attack_on(victim, dev));
+  const auto res = atk.run(mc);
+  ASSERT_GT(res.raw_disturb_flips, 0u);
+  EXPECT_EQ(res.observed_flips, 0u) << "SECDED should hide isolated flips";
+  EXPECT_GT(res.ecc_corrected_words, 0u);
+}
+
+TEST(Attacker, WriteHammerAlsoInducesFlips) {
+  // §II-A invariant (ii): write accesses to aggressor rows corrupt other
+  // rows too — activation is what hammers, not the read/write itself.
+  dram::Device dev(victim_device());
+  ctrl::MemoryController mc(dev, ctrl::CtrlConfig{});
+  const std::uint32_t victim = weak_victim(dev);
+  ASSERT_NE(victim, 0u);
+  // Charge the victim cells (true cells flip only from the 1 state).
+  dev.fill_all(dram::BackgroundPattern::kOnes, mc.now());
+  std::array<std::uint64_t, 8> junk;
+  junk.fill(0x1234567890ABCDEFull);
+  for (int i = 0; i < 30'000; ++i) {
+    // Alternate writes to the two aggressors: each write re-opens the row.
+    mc.write_block({0, 0, 0, victim - 1, 0}, junk);
+    mc.write_block({0, 0, 0, victim + 1, 0}, junk);
+  }
+  mc.activate_precharge(0, victim);
+  EXPECT_GT(dev.stats().disturb_flips, 0u);
+}
+
+}  // namespace
+}  // namespace densemem::attack

@@ -1,0 +1,145 @@
+#include "ecc/bch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "common/rng.h"
+
+namespace densemem::ecc {
+namespace {
+
+densemem::BitVec random_bits(densemem::Rng& rng, std::size_t n) {
+  densemem::BitVec v(n);
+  for (std::size_t w = 0; w < v.word_count(); ++w) v.set_word(w, rng.next_u64());
+  return v;
+}
+
+TEST(Bch, GeneratorIsMonicWithParityMultipleConstraints) {
+  BchCode code({10, 4, 512});
+  EXPECT_EQ(code.generator().back(), 1);
+  EXPECT_EQ(code.parity_bits(), 40);  // t*m for t=4, m=10 (no coset overlap)
+  EXPECT_EQ(code.code_bits(), 552);
+  EXPECT_NEAR(code.overhead(), 40.0 / 552.0, 1e-12);
+}
+
+TEST(Bch, CleanRoundTrip) {
+  densemem::Rng rng(1);
+  BchCode code({10, 4, 512});
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto d = random_bits(rng, 512);
+    const auto cw = code.encode(d);
+    const auto r = code.decode(cw);
+    EXPECT_EQ(r.status, DecodeStatus::kClean);
+    EXPECT_EQ(r.data, d);
+    EXPECT_EQ(r.corrected_bits, 0);
+  }
+}
+
+// Property sweep: every error count up to t is corrected, for several codes.
+struct BchCase {
+  int m, t, k;
+};
+class BchCorrection : public ::testing::TestWithParam<BchCase> {};
+
+TEST_P(BchCorrection, CorrectsUpToT) {
+  const auto [m, t, k] = GetParam();
+  BchCode code({m, t, k});
+  densemem::Rng rng(densemem::hash_coords(m, t, k));
+  for (int nerr = 1; nerr <= t; ++nerr) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto d = random_bits(rng, static_cast<std::size_t>(k));
+      auto cw = code.encode(d);
+      const auto pos = rng.sample_indices(
+          static_cast<std::size_t>(code.code_bits()),
+          static_cast<std::size_t>(nerr));
+      for (std::size_t p : pos) cw.flip(p);
+      const auto r = code.decode(cw);
+      ASSERT_EQ(r.status, DecodeStatus::kCorrected)
+          << "m=" << m << " t=" << t << " errors=" << nerr;
+      ASSERT_EQ(r.data, d);
+      ASSERT_EQ(r.corrected_bits, nerr);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, BchCorrection,
+                         ::testing::Values(BchCase{8, 2, 128},
+                                           BchCase{10, 4, 512},
+                                           BchCase{10, 8, 512},
+                                           BchCase{12, 6, 1024},
+                                           BchCase{10, 1, 64}));
+
+TEST(Bch, BeyondTNeverClean) {
+  BchCode code({10, 4, 512});
+  densemem::Rng rng(7);
+  int uncorrectable = 0, miscorrected = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto d = random_bits(rng, 512);
+    auto cw = code.encode(d);
+    const auto pos = rng.sample_indices(
+        static_cast<std::size_t>(code.code_bits()), 6);  // t+2 errors
+    for (std::size_t p : pos) cw.flip(p);
+    const auto r = code.decode(cw);
+    ASSERT_NE(r.status, DecodeStatus::kClean);
+    if (r.status == DecodeStatus::kUncorrectable)
+      ++uncorrectable;
+    else if (r.data != d)
+      ++miscorrected;
+  }
+  // Overwhelmingly detected (miscorrection is possible but rare).
+  EXPECT_GT(uncorrectable, 150);
+  EXPECT_EQ(uncorrectable + miscorrected, 200);
+}
+
+TEST(Bch, ErrorsInParityRegionCorrected) {
+  BchCode code({10, 4, 512});
+  densemem::BitVec d(512);
+  d.set(0);
+  d.set(511);
+  auto cw = code.encode(d);
+  cw.flip(513);  // parity bit
+  cw.flip(551);  // last parity bit
+  const auto r = code.decode(cw);
+  EXPECT_EQ(r.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(r.data, d);
+}
+
+TEST(Bch, ShorteningRejectsOversizedPayload) {
+  // n = 2^6 - 1 = 63; with t=2 parity is 12, so max payload is 51.
+  EXPECT_NO_THROW(BchCode({6, 2, 51}));
+  EXPECT_THROW(BchCode({6, 2, 52}), densemem::CheckError);
+}
+
+TEST(Bch, SizeMismatchThrows) {
+  BchCode code({8, 2, 100});
+  EXPECT_THROW(code.encode(densemem::BitVec(99)), densemem::CheckError);
+  EXPECT_THROW(code.decode(densemem::BitVec(100)), densemem::CheckError);
+}
+
+TEST(Bch, MaxTForParityBudget) {
+  // With m=10, each unit of t costs 10 parity bits here.
+  EXPECT_EQ(max_t_for_parity_budget(10, 512, 40), 4);
+  EXPECT_EQ(max_t_for_parity_budget(10, 512, 45), 4);
+  EXPECT_EQ(max_t_for_parity_budget(10, 512, 80), 8);
+  EXPECT_EQ(max_t_for_parity_budget(10, 512, 5), 0);
+}
+
+TEST(Bch, SingleErrorAtEveryChunkBoundary) {
+  BchCode code({10, 2, 512});
+  densemem::BitVec d(512);
+  for (int i = 0; i < 512; i += 5) d.set(i);
+  const auto clean = code.encode(d);
+  for (std::size_t p :
+       {std::size_t{0}, std::size_t{511}, std::size_t{512},
+        static_cast<std::size_t>(code.code_bits() - 1)}) {
+    auto cw = clean;
+    cw.flip(p);
+    const auto r = code.decode(cw);
+    EXPECT_EQ(r.status, DecodeStatus::kCorrected) << "pos=" << p;
+    EXPECT_EQ(r.data, d);
+  }
+}
+
+}  // namespace
+}  // namespace densemem::ecc

@@ -1,0 +1,136 @@
+#include "common/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace densemem {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, ConstructFilled) {
+  BitVec v(130, true);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.popcount(), 130u);
+  // The partial last word must be trimmed so popcount stays exact.
+  EXPECT_EQ(v.word_count(), 3u);
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(100);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(99);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.flip(0);
+  EXPECT_FALSE(v.get(0));
+  v.clear(63);
+  EXPECT_FALSE(v.get(63));
+  EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVec, SetBitsAscending) {
+  BitVec v(200);
+  v.set(5);
+  v.set(64);
+  v.set(190);
+  const auto bits = v.set_bits();
+  ASSERT_EQ(bits.size(), 3u);
+  EXPECT_EQ(bits[0], 5u);
+  EXPECT_EQ(bits[1], 64u);
+  EXPECT_EQ(bits[2], 190u);
+}
+
+TEST(BitVec, XorAndHamming) {
+  BitVec a(128), b(128);
+  a.set(3);
+  a.set(70);
+  b.set(70);
+  b.set(100);
+  EXPECT_EQ(BitVec::hamming_distance(a, b), 2u);
+  const BitVec c = a ^ b;
+  EXPECT_TRUE(c.get(3));
+  EXPECT_FALSE(c.get(70));
+  EXPECT_TRUE(c.get(100));
+}
+
+TEST(BitVec, AndOr) {
+  BitVec a(64), b(64);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  EXPECT_EQ((a & b).set_bits(), (std::vector<std::size_t>{2}));
+  EXPECT_EQ((a | b).set_bits(), (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(BitVec, SizeMismatchThrows) {
+  BitVec a(64), b(65);
+  EXPECT_THROW(a ^= b, CheckError);
+  EXPECT_THROW(BitVec::hamming_distance(a, b), CheckError);
+}
+
+TEST(BitVec, WordAccessTrimsTail) {
+  BitVec v(70);
+  v.set_word(1, ~std::uint64_t{0});
+  // Only bits 64..69 exist in word 1.
+  EXPECT_EQ(v.popcount(), 6u);
+  EXPECT_EQ(v.word(1), 0x3Fu);
+}
+
+TEST(BitVec, FillStripes) {
+  BitVec v(16);
+  v.fill_stripes(1);
+  // stride 1: bit i set iff i even.
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(v.get(i), i % 2 == 0);
+  v.fill_stripes(4, true);
+  // stride 4, inverted phase: groups of four, first group clear.
+  EXPECT_FALSE(v.get(0));
+  EXPECT_FALSE(v.get(3));
+  EXPECT_TRUE(v.get(4));
+  EXPECT_TRUE(v.get(7));
+  EXPECT_FALSE(v.get(8));
+}
+
+TEST(BitVec, EqualityIncludesLength) {
+  BitVec a(10), b(10), c(11);
+  EXPECT_EQ(a, b);
+  a.set(3);
+  EXPECT_NE(a, b);
+  b.set(3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+class PopcountSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PopcountSweep, EverySetBitCounted) {
+  const std::size_t n = GetParam();
+  BitVec v(n);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < n; i += 7) {
+    v.set(i);
+    ++expected;
+  }
+  EXPECT_EQ(v.popcount(), expected);
+  EXPECT_EQ(v.set_bits().size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PopcountSweep,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 129, 513,
+                                           2048));
+
+}  // namespace
+}  // namespace densemem

@@ -1,0 +1,244 @@
+#include "ctrl/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace densemem::ctrl {
+namespace {
+
+using dram::Address;
+
+dram::DeviceConfig quiet_device() {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::robust();
+  cfg.reliability.leaky_cell_density = 0.0;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Controller, BlockLayoutWithoutEcc) {
+  dram::Device dev(quiet_device());
+  MemoryController mc(dev, CtrlConfig{});
+  // 1 KiB row = 128 words = 16 plain blocks.
+  EXPECT_EQ(mc.blocks_per_row(), 16u);
+  EXPECT_DOUBLE_EQ(mc.ecc_capacity_overhead(), 0.0);
+}
+
+TEST(Controller, BlockLayoutWithEcc) {
+  dram::Device dev(quiet_device());
+  CtrlConfig cfg;
+  cfg.ecc = EccMode::kSecded;
+  MemoryController mc(dev, cfg);
+  // 9-word stride: 14 protected blocks, 1/9 capacity overhead.
+  EXPECT_EQ(mc.blocks_per_row(), 14u);
+  EXPECT_NEAR(mc.ecc_capacity_overhead(), 1.0 / 9.0, 1e-12);
+}
+
+TEST(Controller, ReadWriteRoundTripAllBlocks) {
+  dram::Device dev(quiet_device());
+  MemoryController mc(dev, CtrlConfig{});
+  Address a{0, 0, 1, 17, 0};
+  for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
+    a.col_word = blk;
+    std::array<std::uint64_t, 8> d{};
+    for (std::uint32_t w = 0; w < 8; ++w) d[w] = blk * 100 + w;
+    mc.write_block(a, d);
+    const auto r = mc.read_block(a);
+    ASSERT_EQ(r.data, d);
+    ASSERT_EQ(r.status, ecc::DecodeStatus::kClean);
+  }
+}
+
+TEST(Controller, RowHitFasterThanMiss) {
+  dram::Device dev(quiet_device());
+  MemoryController mc(dev, CtrlConfig{});
+  Address a{0, 0, 0, 10, 0};
+  mc.read_block(a);  // opens the row
+  const Time t0 = mc.now();
+  mc.read_block(a);  // hit
+  const Time hit = mc.now() - t0;
+  a.row = 11;
+  const Time t1 = mc.now();
+  mc.read_block(a);  // conflict: PRE + ACT + CAS
+  const Time miss = mc.now() - t1;
+  EXPECT_LT(hit, miss);
+  EXPECT_EQ(mc.stats().row_hits, 1u);
+  EXPECT_EQ(mc.stats().row_misses, 1u);
+}
+
+TEST(Controller, HammerRateBoundedByTiming) {
+  dram::Device dev(quiet_device());
+  MemoryController mc(dev, CtrlConfig{});
+  const int n = 1000;
+  const Time t0 = mc.now();
+  for (int i = 0; i < n; ++i) mc.activate_precharge(0, 100);
+  const double per_act_ns = (mc.now() - t0).as_ns() / n;
+  const auto& t = mc.config().timing;
+  // Each cycle costs at least tRAS + tRP and at most ~tRC plus refresh.
+  EXPECT_GE(per_act_ns, (t.tRAS + t.tRP).as_ns() - 1e-9);
+  EXPECT_LE(per_act_ns, t.tRC.as_ns() * 1.2);
+}
+
+TEST(Controller, RefreshHappensAtTrefi) {
+  dram::Device dev(quiet_device());
+  MemoryController mc(dev, CtrlConfig{});
+  mc.advance_to(Time::ms(64));  // one full window
+  const auto refs = mc.stats().ref_commands;
+  EXPECT_NEAR(static_cast<double>(refs), 8192.0, 2.0);
+  // Every row of every bank refreshed ~once.
+  const std::uint64_t expected_rows =
+      8192ull * mc.stats().rows_refreshed / std::max<std::uint64_t>(refs, 1);
+  EXPECT_GE(expected_rows,
+            static_cast<std::uint64_t>(dev.geometry().rows) *
+                dram::total_banks(dev.geometry()));
+}
+
+TEST(Controller, RefreshMultiplierIncreasesRefCommands) {
+  dram::Device dev1(quiet_device());
+  MemoryController base(dev1, CtrlConfig{});
+  base.advance_to(Time::ms(64));
+
+  dram::Device dev2(quiet_device());
+  CtrlConfig cfg;
+  cfg.timing = dram::Timing::ddr3_1600().with_refresh_multiplier(4.0);
+  MemoryController fast(dev2, cfg);
+  fast.advance_to(Time::ms(64));
+  EXPECT_NEAR(static_cast<double>(fast.stats().ref_commands),
+              4.0 * static_cast<double>(base.stats().ref_commands),
+              0.02 * static_cast<double>(fast.stats().ref_commands));
+}
+
+TEST(Controller, EnergyAccumulates) {
+  dram::Device dev(quiet_device());
+  MemoryController mc(dev, CtrlConfig{});
+  Address a{0, 0, 0, 5, 0};
+  mc.read_block(a);
+  std::array<std::uint64_t, 8> d{};
+  mc.write_block(a, d);
+  mc.advance_to(Time::ms(10));
+  const auto e = mc.energy();
+  EXPECT_GT(e.activate_energy.as_nj(), 0.0);
+  EXPECT_GT(e.rw_energy.as_nj(), 0.0);
+  EXPECT_GT(e.refresh_energy.as_nj(), 0.0);
+  EXPECT_GT(e.background_energy.as_nj(), 0.0);
+  EXPECT_GT(e.total().as_nj(), e.refresh_energy.as_nj());
+}
+
+TEST(Controller, RefreshEnergyScalesWithMultiplier) {
+  auto run = [](double mult) {
+    dram::Device dev(quiet_device());
+    CtrlConfig cfg;
+    if (mult > 1.0)
+      cfg.timing = dram::Timing::ddr3_1600().with_refresh_multiplier(mult);
+    MemoryController mc(dev, cfg);
+    mc.advance_to(Time::ms(128));
+    return mc.energy().refresh_energy.as_nj();
+  };
+  const double e1 = run(1.0), e7 = run(7.0);
+  EXPECT_NEAR(e7 / e1, 7.0, 0.3);
+}
+
+TEST(Controller, AdvanceToIsMonotonic) {
+  dram::Device dev(quiet_device());
+  MemoryController mc(dev, CtrlConfig{});
+  mc.advance_to(Time::ms(5));
+  const Time t = mc.now();
+  mc.advance_to(Time::ms(1));  // into the past: no-op
+  EXPECT_GE(mc.now(), t);
+}
+
+TEST(Controller, CloseAllBanksPrecharges) {
+  dram::Device dev(quiet_device());
+  MemoryController mc(dev, CtrlConfig{});
+  mc.read_block({0, 0, 0, 3, 0});
+  mc.read_block({0, 0, 1, 4, 0});
+  EXPECT_TRUE(dev.open_row(0).has_value());
+  mc.close_all_banks();
+  EXPECT_FALSE(dev.open_row(0).has_value());
+  EXPECT_FALSE(dev.open_row(1).has_value());
+}
+
+TEST(Controller, SpdAdjacencyFollowsRemap) {
+  dram::DeviceConfig dc = quiet_device();
+  dc.remap = dram::RemapScheme::kMirrorBlocks;
+  dram::Device dev(dc);
+  const auto spd = make_adjacency(dev, /*use_spd=*/true);
+  const auto naive = make_adjacency(dev, /*use_spd=*/false);
+  // Logical row 3 maps to physical 4 in an 8-mirror block: physical
+  // neighbours 3 and 5 are logical 4 and 2.
+  EXPECT_EQ(spd(3), (std::vector<std::uint32_t>{4, 2}));
+  EXPECT_EQ(naive(3), (std::vector<std::uint32_t>{2, 4}));
+  EXPECT_EQ(naive(0), (std::vector<std::uint32_t>{1}));
+}
+
+TEST(Controller, BchModeRoundTrip) {
+  dram::Device dev(quiet_device());
+  CtrlConfig cfg;
+  cfg.ecc = EccMode::kBch;
+  cfg.bch_t = 6;
+  MemoryController mc(dev, cfg);
+  Address a{0, 0, 0, 8, 2};
+  std::array<std::uint64_t, 8> d{9, 8, 7, 6, 5, 4, 3, 2};
+  mc.write_block(a, d);
+  const auto r = mc.read_block(a);
+  EXPECT_EQ(r.data, d);
+  EXPECT_EQ(r.status, ecc::DecodeStatus::kClean);
+}
+
+TEST(Controller, BchParityMustFitCheckWord) {
+  dram::Device dev(quiet_device());
+  CtrlConfig cfg;
+  cfg.ecc = EccMode::kBch;
+  cfg.bch_t = 7;  // 70 bits > 64-bit check word
+  EXPECT_THROW(MemoryController(dev, cfg), CheckError);
+}
+
+
+TEST(Controller, ClosedPagePolicyAutoPrecharges) {
+  dram::Device dev(quiet_device());
+  CtrlConfig cc;
+  cc.page_policy = PagePolicy::kClosed;
+  MemoryController mc(dev, cc);
+  mc.read_block({0, 0, 0, 10, 0});
+  EXPECT_FALSE(dev.open_row(0).has_value());
+  // Repeated access to the same row never hits under closed-page.
+  mc.read_block({0, 0, 0, 10, 0});
+  mc.read_block({0, 0, 0, 10, 0});
+  EXPECT_EQ(mc.stats().row_hits, 0u);
+  EXPECT_EQ(mc.stats().row_closed, 3u);
+}
+
+TEST(Controller, OpenPageReusesRow) {
+  dram::Device dev(quiet_device());
+  MemoryController mc(dev, CtrlConfig{});
+  mc.read_block({0, 0, 0, 10, 0});
+  mc.read_block({0, 0, 0, 10, 1});
+  mc.read_block({0, 0, 0, 10, 2});
+  EXPECT_EQ(mc.stats().row_hits, 2u);
+}
+
+TEST(Controller, FawInvariantUnderInterleavedReads) {
+  // Stream reads across all banks and verify no window of 4 consecutive
+  // device activations is shorter than tFAW.
+  dram::Device dev(quiet_device());
+  CtrlConfig cc;
+  cc.page_policy = PagePolicy::kClosed;  // every read costs an ACT
+  MemoryController mc(dev, cc);
+  std::vector<Time> acts;
+  // Track ACT times via the device activate counter + controller clock:
+  // sample now() right after each read (ACT time <= now()).
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t bank = static_cast<std::uint32_t>(i % 2);
+    mc.read_block({0, 0, bank, static_cast<std::uint32_t>(i % 50), 0});
+    acts.push_back(mc.now());
+  }
+  for (std::size_t i = 4; i < acts.size(); ++i) {
+    EXPECT_GE(acts[i] - acts[i - 4], cc.timing.tFAW)
+        << "five accesses inside one tFAW window at i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace densemem::ctrl

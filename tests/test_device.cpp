@@ -1,0 +1,384 @@
+#include "dram/device.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <optional>
+
+namespace densemem::dram {
+namespace {
+
+DeviceConfig vulnerable_config(std::uint64_t seed = 7) {
+  DeviceConfig cfg;
+  cfg.geometry = Geometry::tiny();
+  cfg.reliability = ReliabilityParams::vulnerable();
+  cfg.reliability.weak_cell_density = 2e-3;  // dense so tests find cells
+  cfg.reliability.leaky_cell_density = 0.0;
+  cfg.seed = seed;
+  cfg.pattern = BackgroundPattern::kOnes;
+  cfg.record_flip_events = true;
+  return cfg;
+}
+
+/// First row (with margin) holding a non-anti weak cell; also returns it.
+struct FoundCell {
+  std::uint32_t row;
+  WeakCell cell;
+};
+std::optional<FoundCell> find_true_weak_cell(Device& dev,
+                                             double max_dpd_sens = 1.1) {
+  const auto rows = dev.fault_map().weak_rows(0);
+  for (std::uint32_t r : rows) {
+    if (r < 2 || r + 2 >= dev.geometry().rows) continue;
+    for (const WeakCell& c : dev.fault_map().weak_cells(0, r)) {
+      if (!c.anti_cell && c.dpd_sens <= max_dpd_sens) return FoundCell{r, c};
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(Device, ProtocolChecks) {
+  Device dev(vulnerable_config());
+  const Time t;
+  EXPECT_THROW(dev.read_word(0, 0), CheckError);   // no open row
+  EXPECT_THROW(dev.write_word(0, 0, 1), CheckError);
+  dev.activate(0, 5, t);
+  EXPECT_THROW(dev.activate(0, 6, t), CheckError);  // bank already open
+  EXPECT_THROW(dev.hammer(0, 6, 10, t), CheckError);
+  EXPECT_EQ(dev.open_row(0), std::optional<std::uint32_t>{5});
+  dev.precharge(0, t);
+  EXPECT_EQ(dev.open_row(0), std::nullopt);
+  EXPECT_THROW(dev.activate(0, dev.geometry().rows, t), CheckError);
+  EXPECT_THROW(dev.activate(99, 0, t), CheckError);
+}
+
+TEST(Device, ReadWriteRoundTrip) {
+  Device dev(vulnerable_config());
+  const Time t;
+  dev.activate(0, 10, t);
+  dev.write_word(0, 3, 0xABCDULL);
+  EXPECT_EQ(dev.read_word(0, 3), 0xABCDULL);
+  // Unwritten words read as the background pattern (all ones here).
+  EXPECT_EQ(dev.read_word(0, 4), ~std::uint64_t{0});
+  dev.precharge(0, t);
+}
+
+class BackgroundPatternTest
+    : public ::testing::TestWithParam<BackgroundPattern> {};
+
+TEST_P(BackgroundPatternTest, SnapshotMatchesPatternWord) {
+  DeviceConfig cfg = vulnerable_config();
+  cfg.pattern = GetParam();
+  cfg.reliability.weak_cell_density = 0.0;
+  Device dev(cfg);
+  for (std::uint32_t row : {0u, 1u, 17u}) {
+    const auto snap = dev.snapshot_row(0, row);
+    for (std::uint32_t w = 0; w < dev.geometry().row_words(); ++w)
+      ASSERT_EQ(snap[w], dev.pattern_word(row, w));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, BackgroundPatternTest,
+    ::testing::Values(BackgroundPattern::kZeros, BackgroundPattern::kOnes,
+                      BackgroundPattern::kCheckerboard,
+                      BackgroundPattern::kRowStripe,
+                      BackgroundPattern::kRandom));
+
+TEST(Device, PatternBitMatchesPatternWord) {
+  for (const auto pat :
+       {BackgroundPattern::kCheckerboard, BackgroundPattern::kRandom,
+        BackgroundPattern::kRowStripe}) {
+    for (std::uint32_t row : {0u, 1u, 2u}) {
+      for (std::uint32_t bit : {0u, 1u, 63u, 64u, 100u}) {
+        EXPECT_EQ(pattern_bit_value(pat, 5, row, bit),
+                  (pattern_word_value(pat, 5, row, bit / 64) >> (bit % 64)) & 1)
+            << "row " << row << " bit " << bit;
+      }
+    }
+  }
+}
+
+// Make the aggressor rows antiparallel to the all-ones victim so the
+// data-pattern factor is 1 and the cell's nominal threshold applies exactly.
+void make_aggressors_antiparallel(Device& dev, std::uint32_t victim) {
+  std::vector<std::uint64_t> zeros(dev.geometry().row_words(), 0);
+  dev.fill_row(0, victim - 1, zeros, Time::ms(0));
+  dev.fill_row(0, victim + 1, zeros, Time::ms(0));
+}
+
+TEST(Device, HammerAboveThresholdFlips) {
+  Device dev(vulnerable_config());
+  const auto found = find_true_weak_cell(dev);
+  ASSERT_TRUE(found.has_value());
+  const auto [victim, cell] = *found;
+  make_aggressors_antiparallel(dev, victim);
+  const auto count = static_cast<std::uint64_t>(cell.threshold) + 1000;
+  dev.hammer(0, victim - 1, count, Time::ms(1));
+  // Commit by activating the victim.
+  dev.activate(0, victim, Time::ms(50));
+  dev.precharge(0, Time::ms(50));
+  const auto snap = dev.snapshot_row(0, victim);
+  EXPECT_EQ((snap[cell.bit / 64] >> (cell.bit % 64)) & 1, 0u)
+      << "cell should have flipped 1 -> 0";
+  EXPECT_GE(dev.stats().disturb_flips, 1u);
+  EXPECT_GE(dev.stats().flips_1to0, 1u);
+}
+
+TEST(Device, HammerBelowThresholdDoesNotFlip) {
+  Device dev(vulnerable_config());
+  // Find the row's minimum threshold so we can stay under all of them.
+  const auto found = find_true_weak_cell(dev);
+  ASSERT_TRUE(found.has_value());
+  const std::uint32_t victim = found->row;
+  float min_thr = 1e30f;
+  for (const auto& c : dev.fault_map().weak_cells(0, victim))
+    min_thr = std::min(min_thr, c.threshold);
+  const auto count = static_cast<std::uint64_t>(min_thr * 0.4);
+  dev.hammer(0, victim - 1, count, Time::ms(1));
+  dev.activate(0, victim, Time::ms(50));
+  dev.precharge(0, Time::ms(50));
+  EXPECT_EQ(dev.stats().disturb_flips, 0u);
+}
+
+TEST(Device, BulkHammerEquivalentToActPreLoop) {
+  const auto cfg = vulnerable_config(123);
+  Device a(cfg), b(cfg);
+  const auto found = find_true_weak_cell(a);
+  ASSERT_TRUE(found.has_value());
+  const std::uint32_t victim = found->row;
+  const std::uint64_t n = static_cast<std::uint64_t>(found->cell.threshold) + 500;
+
+  a.hammer(0, victim - 1, n, Time::ms(0));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    b.activate(0, victim - 1, Time::ms(0));
+    b.precharge(0, Time::ms(0));
+  }
+  EXPECT_FLOAT_EQ(
+      static_cast<float>(a.stress_of_physical(0, a.remap().to_physical(victim))),
+      static_cast<float>(b.stress_of_physical(0, b.remap().to_physical(victim))));
+  a.activate(0, victim, Time::ms(40));
+  b.activate(0, victim, Time::ms(40));
+  EXPECT_EQ(a.stats().disturb_flips, b.stats().disturb_flips);
+  EXPECT_EQ(a.snapshot_row(0, victim), b.snapshot_row(0, victim));
+}
+
+TEST(Device, VictimActivationResetsStress) {
+  Device dev(vulnerable_config());
+  const auto found = find_true_weak_cell(dev);
+  ASSERT_TRUE(found.has_value());
+  const std::uint32_t victim = found->row;
+  const auto half = static_cast<std::uint64_t>(found->cell.threshold * 0.6);
+  dev.hammer(0, victim - 1, half, Time::ms(0));
+  // Victim refresh (here: activation) between two sub-threshold bursts.
+  dev.activate(0, victim, Time::ms(10));
+  dev.precharge(0, Time::ms(10));
+  dev.hammer(0, victim - 1, half, Time::ms(20));
+  dev.activate(0, victim, Time::ms(40));
+  dev.precharge(0, Time::ms(40));
+  EXPECT_EQ(dev.stats().disturb_flips, 0u)
+      << "two sub-threshold bursts split by a restore must not flip";
+}
+
+TEST(Device, TargetedRefreshPreventsFlip) {
+  Device dev(vulnerable_config());
+  const auto found = find_true_weak_cell(dev);
+  ASSERT_TRUE(found.has_value());
+  const std::uint32_t victim = found->row;
+  const auto half = static_cast<std::uint64_t>(found->cell.threshold * 0.6);
+  dev.hammer(0, victim - 1, half, Time::ms(0));
+  dev.refresh_row(0, victim, Time::ms(10));  // PARA-style neighbour refresh
+  dev.hammer(0, victim - 1, half, Time::ms(20));
+  dev.activate(0, victim, Time::ms(40));
+  EXPECT_EQ(dev.stats().disturb_flips, 0u);
+  EXPECT_EQ(dev.stats().targeted_refreshes, 1u);
+}
+
+TEST(Device, DischargedCellCannotFlip) {
+  // With all-zeros data, true cells (charged = stores 1) are discharged and
+  // must not flip no matter how hard we hammer.
+  DeviceConfig cfg = vulnerable_config();
+  cfg.pattern = BackgroundPattern::kZeros;
+  cfg.reliability.anticell_fraction = 0.0;  // only true cells exist
+  Device dev(cfg);
+  const auto rows = dev.fault_map().weak_rows(0);
+  ASSERT_FALSE(rows.empty());
+  for (std::uint32_t victim : rows) {
+    if (victim < 2 || victim + 2 >= dev.geometry().rows) continue;
+    dev.hammer(0, victim - 1, 10'000'000, Time::ms(0));
+    dev.hammer(0, victim + 1, 10'000'000, Time::ms(0));
+    dev.activate(0, victim, Time::ms(50));
+    dev.precharge(0, Time::ms(50));
+  }
+  EXPECT_EQ(dev.stats().disturb_flips, 0u);
+}
+
+TEST(Device, AntiCellsFlipZeroToOne) {
+  DeviceConfig cfg = vulnerable_config();
+  cfg.pattern = BackgroundPattern::kZeros;
+  cfg.reliability.anticell_fraction = 1.0;  // only anti-cells
+  cfg.reliability.hc50 = 20e3;
+  Device dev(cfg);
+  const auto rows = dev.fault_map().weak_rows(0);
+  ASSERT_FALSE(rows.empty());
+  std::uint64_t hammered = 0;
+  for (std::uint32_t victim : rows) {
+    if (victim < 2 || victim + 2 >= dev.geometry().rows) continue;
+    dev.hammer(0, victim - 1, 1'000'000, Time::ms(0));
+    dev.hammer(0, victim + 1, 1'000'000, Time::ms(0));
+    dev.activate(0, victim, Time::ms(50));
+    dev.precharge(0, Time::ms(50));
+    ++hammered;
+  }
+  ASSERT_GT(hammered, 0u);
+  EXPECT_GT(dev.stats().flips_0to1, 0u);
+  EXPECT_EQ(dev.stats().flips_1to0, 0u);
+}
+
+TEST(Device, DoubleSidedStrongerThanSingleSided) {
+  // Same budget of total activations: double-sided splits it across both
+  // neighbours and doubles the victim's stress rate -> more flips.
+  const auto cfg = vulnerable_config(31);
+  std::uint64_t flips_single = 0, flips_double = 0;
+  {
+    Device dev(cfg);
+    for (std::uint32_t v = 2; v + 2 < dev.geometry().rows; v += 5) {
+      dev.hammer(0, v + 1, 200'000, Time::ms(0));
+      dev.activate(0, v, Time::ms(50));
+      dev.precharge(0, Time::ms(50));
+    }
+    flips_single = dev.stats().disturb_flips;
+  }
+  {
+    Device dev(cfg);
+    for (std::uint32_t v = 2; v + 2 < dev.geometry().rows; v += 5) {
+      dev.hammer(0, v - 1, 200'000, Time::ms(0));
+      dev.hammer(0, v + 1, 200'000, Time::ms(0));
+      dev.activate(0, v, Time::ms(50));
+      dev.precharge(0, Time::ms(50));
+    }
+    flips_double = dev.stats().disturb_flips;
+  }
+  EXPECT_GT(flips_double, flips_single);
+}
+
+TEST(Device, DataPatternDependence) {
+  // A cell with nonzero DPD sensitivity flips at lower stress when its
+  // aggressor neighbours store antiparallel data.
+  DeviceConfig cfg = vulnerable_config(17);
+  cfg.reliability.dpd_sensitivity_mean = 0.8;
+  Device probe(cfg);
+  // Find a true cell with strong sensitivity.
+  std::optional<FoundCell> strong;
+  for (std::uint32_t r : probe.fault_map().weak_rows(0)) {
+    if (r < 2 || r + 2 >= probe.geometry().rows) continue;
+    for (const WeakCell& c : probe.fault_map().weak_cells(0, r))
+      if (!c.anti_cell && c.dpd_sens > 0.6) strong = FoundCell{r, c};
+  }
+  ASSERT_TRUE(strong.has_value());
+  const auto [victim, cell] = *strong;
+  // Stress 1.2x threshold: flips with antiparallel neighbours (factor 1)
+  // but not with parallel ones (factor 1 - dpd_sens <= 0.4).
+  const auto stress = static_cast<std::uint64_t>(cell.threshold * 1.2);
+
+  auto run = [&](bool antiparallel) {
+    Device dev(cfg);  // pattern ones: victim stores 1
+    if (antiparallel) {
+      std::vector<std::uint64_t> zeros(dev.geometry().row_words(), 0);
+      dev.fill_row(0, victim - 1, zeros, Time::ms(0));
+      dev.fill_row(0, victim + 1, zeros, Time::ms(0));
+    }
+    dev.hammer(0, victim - 1, stress / 2, Time::ms(0));
+    dev.hammer(0, victim + 1, stress / 2, Time::ms(0));
+    dev.activate(0, victim, Time::ms(50));
+    const auto snap = dev.snapshot_row(0, victim);
+    return ((snap[cell.bit / 64] >> (cell.bit % 64)) & 1) == 0;  // flipped?
+  };
+  EXPECT_TRUE(run(/*antiparallel=*/true));
+  EXPECT_FALSE(run(/*antiparallel=*/false));
+}
+
+TEST(Device, Distance2CouplingIsWeak) {
+  DeviceConfig cfg = vulnerable_config(19);
+  cfg.reliability.distance2_weight = 0.05;
+  Device dev(cfg);
+  const auto found = find_true_weak_cell(dev);
+  ASSERT_TRUE(found.has_value());
+  const std::uint32_t victim = found->row;
+  // Hammer at distance 2 with stress that would flip at distance 1.
+  const auto n = static_cast<std::uint64_t>(found->cell.threshold * 2);
+  ASSERT_GE(victim, 2u);
+  dev.hammer(0, victim - 2, n, Time::ms(0));
+  const std::uint32_t prow = dev.remap().to_physical(victim);
+  EXPECT_NEAR(dev.stress_of_physical(0, prow), 0.05 * static_cast<double>(n),
+              1.0);
+}
+
+TEST(Device, FlipEventsRecorded) {
+  Device dev(vulnerable_config());
+  const auto found = find_true_weak_cell(dev);
+  ASSERT_TRUE(found.has_value());
+  make_aggressors_antiparallel(dev, found->row);
+  dev.hammer(0, found->row - 1,
+             static_cast<std::uint64_t>(found->cell.threshold) + 1000,
+             Time::ms(0));
+  dev.activate(0, found->row, Time::ms(50));
+  ASSERT_FALSE(dev.flip_events().empty());
+  const auto& ev = dev.flip_events().front();
+  EXPECT_EQ(ev.logical_row, found->row);
+  EXPECT_EQ(ev.cause, FlipCause::kDisturbance);
+  EXPECT_EQ(ev.when, Time::ms(50));
+}
+
+TEST(Device, RemapMovesPhysicalVictims) {
+  // Under a scramble remap, hammering logical rows v±1 does not stress the
+  // logical victim v: the attacker's logical-adjacency assumption breaks.
+  DeviceConfig cfg = vulnerable_config(23);
+  cfg.remap = RemapScheme::kScramble;
+  Device dev(cfg);
+  const std::uint32_t v = 100;
+  dev.hammer(0, v - 1, 100'000, Time::ms(0));
+  dev.hammer(0, v + 1, 100'000, Time::ms(0));
+  const std::uint32_t pv = dev.remap().to_physical(v);
+  EXPECT_EQ(dev.stress_of_physical(0, pv), 0.0);
+  // The SPD disclosure names the rows that DID get stressed.
+  for (std::uint32_t n : dev.spd_neighbors(v - 1)) {
+    const std::uint32_t pn = dev.remap().to_physical(n);
+    EXPECT_GT(dev.stress_of_physical(0, pn), 0.0);
+  }
+}
+
+TEST(Device, WriteClearsFlippedCell) {
+  Device dev(vulnerable_config());
+  const auto found = find_true_weak_cell(dev);
+  ASSERT_TRUE(found.has_value());
+  const auto [victim, cell] = *found;
+  make_aggressors_antiparallel(dev, victim);
+  dev.hammer(0, victim - 1,
+             static_cast<std::uint64_t>(cell.threshold) + 1000, Time::ms(0));
+  dev.activate(0, victim, Time::ms(40));
+  dev.write_word(0, cell.bit / 64, ~std::uint64_t{0});
+  EXPECT_EQ(dev.read_word(0, cell.bit / 64), ~std::uint64_t{0});
+  dev.precharge(0, Time::ms(40));
+}
+
+TEST(Device, RefreshNextWrapsAround) {
+  DeviceConfig cfg = vulnerable_config();
+  cfg.reliability.weak_cell_density = 0.0;
+  Device dev(cfg);
+  const std::uint32_t rows = dev.geometry().rows;
+  dev.refresh_next(0, rows + 10, Time::ms(1));
+  EXPECT_EQ(dev.stats().row_refreshes, rows + 10);
+}
+
+TEST(Device, FillAllResetsState) {
+  Device dev(vulnerable_config());
+  dev.hammer(0, 100, 500'000, Time::ms(0));
+  dev.fill_all(BackgroundPattern::kZeros, Time::ms(1));
+  EXPECT_EQ(dev.stress_of_physical(0, dev.remap().to_physical(99)), 0.0);
+  EXPECT_EQ(dev.snapshot_row(0, 5)[0], 0u);
+}
+
+}  // namespace
+}  // namespace densemem::dram

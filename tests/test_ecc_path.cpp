@@ -1,0 +1,199 @@
+// End-to-end ECC behaviour through the controller against *real* device
+// faults — the mechanism behind the paper's §II-C claim that SECDED is not
+// enough for RowHammer while stronger ECC is (at a cost).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <map>
+
+#include "ctrl/controller.h"
+
+namespace densemem::ctrl {
+namespace {
+
+using dram::Address;
+
+// A device whose weak cells are dense and hair-triggered so a short hammer
+// reliably puts multiple flips into rows.
+dram::DeviceConfig fragile_device(double density, std::uint64_t seed) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::vulnerable();
+  cfg.reliability.weak_cell_density = density;
+  cfg.reliability.hc50 = 5e3;
+  cfg.reliability.hc_sigma = 0.2;
+  cfg.reliability.dpd_sensitivity_mean = 0.0;  // pattern-independent here
+  cfg.reliability.anticell_fraction = 0.0;
+  cfg.seed = seed;
+  cfg.pattern = dram::BackgroundPattern::kOnes;
+  return cfg;
+}
+
+// Writes ones to the victim row, hammers both neighbours, reads it back.
+struct HammerOutcome {
+  std::uint64_t visible_flip_bits = 0;
+  std::uint64_t corrected_words = 0;
+  std::uint64_t uncorrectable_blocks = 0;
+  std::uint64_t raw_flips = 0;
+};
+HammerOutcome hammer_row_through(MemoryController& mc, std::uint32_t victim,
+                                 std::uint64_t strength) {
+  auto& dev = mc.device();
+  Address a{0, 0, 0, victim, 0};
+  std::array<std::uint64_t, 8> ones;
+  ones.fill(~std::uint64_t{0});
+  for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
+    a.col_word = blk;
+    mc.write_block(a, ones);
+  }
+  mc.close_all_banks();
+  const auto raw0 = dev.stats().disturb_flips;
+  dev.hammer(0, victim - 1, strength, mc.now());
+  dev.hammer(0, victim + 1, strength, mc.now());
+  HammerOutcome out;
+  const auto c0 = mc.stats();
+  for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
+    a.col_word = blk;
+    const auto r = mc.read_block(a);
+    for (std::uint32_t w = 0; w < 8; ++w)
+      out.visible_flip_bits +=
+          static_cast<std::uint64_t>(std::popcount(~r.data[w]));
+  }
+  const auto c1 = mc.stats();
+  out.corrected_words = c1.ecc_corrected_words - c0.ecc_corrected_words;
+  out.uncorrectable_blocks =
+      c1.ecc_uncorrectable_blocks - c0.ecc_uncorrectable_blocks;
+  out.raw_flips = dev.stats().disturb_flips - raw0;
+  mc.close_all_banks();
+  return out;
+}
+
+std::uint32_t pick_weak_victim(dram::Device& dev, std::size_t min_cells) {
+  for (std::uint32_t r : dev.fault_map().weak_rows(0)) {
+    if (r < 2 || r + 2 >= dev.geometry().rows) continue;
+    if (dev.fault_map().weak_cells(0, r).size() >= min_cells) return r;
+  }
+  return 0;
+}
+
+TEST(EccPath, NoEccExposesAllFlips) {
+  dram::Device dev(fragile_device(2e-3, 41));
+  MemoryController mc(dev, CtrlConfig{});
+  const std::uint32_t victim = pick_weak_victim(dev, 1);
+  ASSERT_NE(victim, 0u);
+  const auto out = hammer_row_through(mc, victim, 100'000);
+  EXPECT_GT(out.raw_flips, 0u);
+  EXPECT_EQ(out.visible_flip_bits, out.raw_flips);
+}
+
+TEST(EccPath, SecdedHidesIsolatedFlips) {
+  // Sparse weak cells: at most one flip per 64-bit word -> SECDED corrects
+  // everything and the attacker sees clean data.
+  dram::DeviceConfig dc = fragile_device(1.5e-4, 43);
+  dram::Device dev(dc);
+  CtrlConfig cfg;
+  cfg.ecc = EccMode::kSecded;
+  MemoryController mc(dev, cfg);
+  const std::uint32_t victim = pick_weak_victim(dev, 1);
+  ASSERT_NE(victim, 0u);
+  const auto out = hammer_row_through(mc, victim, 100'000);
+  ASSERT_GT(out.raw_flips, 0u);
+  EXPECT_EQ(out.visible_flip_bits, 0u);
+  EXPECT_GE(out.corrected_words, 1u);
+}
+
+TEST(EccPath, SecdedFailsOnMultiFlipWords) {
+  // Dense weak cells: some 64-bit words take 2+ flips. SECDED must report
+  // uncorrectable blocks (or, worse, miscorrect) — the §II-C claim.
+  dram::DeviceConfig dc = fragile_device(8e-3, 47);
+  dram::Device dev(dc);
+  CtrlConfig cfg;
+  cfg.ecc = EccMode::kSecded;
+  MemoryController mc(dev, cfg);
+  // Find a victim row where one word holds >= 2 weak cells.
+  std::uint32_t victim = 0;
+  for (std::uint32_t r : dev.fault_map().weak_rows(0)) {
+    if (r < 2 || r + 2 >= dev.geometry().rows) continue;
+    std::map<std::uint32_t, int> per_word;
+    for (const auto& c : dev.fault_map().weak_cells(0, r))
+      if (++per_word[c.bit / 64] >= 2) victim = r;
+    if (victim) break;
+  }
+  ASSERT_NE(victim, 0u);
+  const auto out = hammer_row_through(mc, victim, 100'000);
+  EXPECT_GT(out.uncorrectable_blocks + out.visible_flip_bits, 0u)
+      << "2+ flips per word must defeat SECDED";
+}
+
+TEST(EccPath, BchSurvivesWhatSecdedCannot) {
+  // Same dense device; BCH t=6 per 512-bit block corrects the multi-flip
+  // words SECDED could not.
+  dram::DeviceConfig dc = fragile_device(8e-3, 47);
+  dram::Device dev(dc);
+  CtrlConfig cfg;
+  cfg.ecc = EccMode::kBch;
+  cfg.bch_t = 6;
+  MemoryController mc(dev, cfg);
+  // Victim: a row with >= 2 weak cells where no 9-word ECC stride (8 data
+  // words + check word) holds more than 6 cells, so BCH t=6 can always win.
+  std::uint32_t victim = 0;
+  for (std::uint32_t r : dev.fault_map().weak_rows(0)) {
+    if (r < 2 || r + 2 >= dev.geometry().rows) continue;
+    const auto& cells = dev.fault_map().weak_cells(0, r);
+    if (cells.size() < 2) continue;
+    std::map<std::uint32_t, int> per_stride;
+    bool ok = true;
+    for (const auto& c : cells)
+      if (++per_stride[c.bit / (64 * 9)] > 6) ok = false;
+    if (ok) {
+      victim = r;
+      break;
+    }
+  }
+  ASSERT_NE(victim, 0u);
+  const auto out = hammer_row_through(mc, victim, 100'000);
+  ASSERT_GT(out.raw_flips, 1u);
+  EXPECT_EQ(out.visible_flip_bits, 0u);
+  EXPECT_EQ(out.uncorrectable_blocks, 0u);
+}
+
+TEST(EccPath, ScrubRestoresCorrectData) {
+  dram::DeviceConfig dc = fragile_device(1.5e-4, 53);
+  dram::Device dev(dc);
+  CtrlConfig cfg;
+  cfg.ecc = EccMode::kSecded;
+  MemoryController mc(dev, cfg);
+  const std::uint32_t victim = pick_weak_victim(dev, 1);
+  ASSERT_NE(victim, 0u);
+  // Write, hammer, scrub every block, then hammer *again* with the same
+  // strength: without the scrub's writeback the second read would still
+  // correct the same cell; after it, the cell was rewritten to full charge.
+  Address a{0, 0, 0, victim, 0};
+  std::array<std::uint64_t, 8> ones;
+  ones.fill(~std::uint64_t{0});
+  for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
+    a.col_word = blk;
+    mc.write_block(a, ones);
+  }
+  mc.close_all_banks();
+  dev.hammer(0, victim - 1, 100'000, mc.now());
+  dev.hammer(0, victim + 1, 100'000, mc.now());
+  std::uint64_t corrected = 0;
+  for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
+    a.col_word = blk;
+    const auto r = mc.scrub_block(a);
+    corrected += static_cast<std::uint64_t>(r.corrected_bits);
+  }
+  ASSERT_GT(corrected, 0u);
+  mc.close_all_banks();
+  // Immediately re-read: everything must now be clean in storage.
+  for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
+    a.col_word = blk;
+    const auto r = mc.read_block(a);
+    EXPECT_EQ(r.status, ecc::DecodeStatus::kClean);
+    for (const auto w : r.data) EXPECT_EQ(w, ~std::uint64_t{0});
+  }
+}
+
+}  // namespace
+}  // namespace densemem::ctrl

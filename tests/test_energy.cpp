@@ -1,0 +1,104 @@
+// Energy-model accounting tests: the §II-C overhead arguments rest on
+// these numbers being internally consistent.
+#include <gtest/gtest.h>
+
+#include "ctrl/controller.h"
+#include "ctrl/para.h"
+
+namespace densemem::ctrl {
+namespace {
+
+dram::DeviceConfig quiet() {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::robust();
+  cfg.reliability.leaky_cell_density = 0.0;
+  cfg.seed = 2;
+  return cfg;
+}
+
+TEST(Energy, ActivationEnergyCountsActPairs) {
+  dram::Device dev(quiet());
+  CtrlConfig cc;
+  MemoryController mc(dev, cc);
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) mc.activate_precharge(0, 10 + (i & 1));
+  const double expected = cc.energy.act_pre.as_nj() * n;
+  EXPECT_NEAR(mc.energy().activate_energy.as_nj(), expected, expected * 0.01);
+}
+
+TEST(Energy, ReadWriteEnergySplit) {
+  dram::Device dev(quiet());
+  CtrlConfig cc;
+  MemoryController mc(dev, cc);
+  std::array<std::uint64_t, 8> d{};
+  for (int i = 0; i < 100; ++i) mc.read_block({0, 0, 0, 1, 0});
+  for (int i = 0; i < 50; ++i) mc.write_block({0, 0, 0, 1, 1}, d);
+  const double expected = cc.energy.read_block.as_nj() * 100 +
+                          cc.energy.write_block.as_nj() * 50;
+  EXPECT_NEAR(mc.energy().rw_energy.as_nj(), expected, 1e-9);
+}
+
+TEST(Energy, BackgroundScalesWithTime) {
+  dram::Device dev(quiet());
+  CtrlConfig cc;
+  MemoryController mc(dev, cc);
+  mc.advance_to(Time::ms(10));
+  const double e10 = mc.energy().background_energy.as_nj();
+  mc.advance_to(Time::ms(20));
+  const double e20 = mc.energy().background_energy.as_nj();
+  EXPECT_NEAR(e20 / e10, 2.0, 0.01);
+  // mW x ms = uJ: 120 mW for 10 ms = 1200 uJ = 1.2e6 nJ.
+  EXPECT_NEAR(e10, 120.0 * 10.0 * 1000.0, e10 * 0.01);
+}
+
+TEST(Energy, RefreshEnergyCountsRows) {
+  dram::Device dev(quiet());
+  CtrlConfig cc;
+  MemoryController mc(dev, cc);
+  mc.advance_to(Time::ms(64));
+  // One full window refreshes every row of every bank once.
+  const double expected =
+      cc.energy.refresh_row.as_nj() *
+      static_cast<double>(dev.geometry().rows_total());
+  EXPECT_NEAR(mc.energy().refresh_energy.as_nj(), expected, expected * 0.02);
+}
+
+TEST(Energy, TargetedRefreshAccountedSeparately) {
+  dram::Device dev(quiet());
+  CtrlConfig cc;
+  auto adjacency = make_adjacency(dev, true);
+  auto para = std::make_unique<Para>(ParaConfig{1.0, 5}, adjacency);
+  MemoryController mc(dev, cc, std::move(para));
+  // p = 1: every close refreshes both neighbours.
+  for (int i = 0; i < 100; ++i) mc.activate_precharge(0, 100);
+  const auto e = mc.energy();
+  EXPECT_NEAR(e.targeted_refresh_energy.as_nj(),
+              cc.energy.act_pre.as_nj() * 200, cc.energy.act_pre.as_nj() * 8);
+  EXPECT_GT(mc.stats().mitigation_busy, Time{});
+}
+
+TEST(Energy, TotalIsSumOfParts) {
+  dram::Device dev(quiet());
+  CtrlConfig cc;
+  MemoryController mc(dev, cc);
+  for (int i = 0; i < 500; ++i)
+    mc.read_block({0, 0, 0, static_cast<std::uint32_t>(i % 100), 0});
+  mc.advance_to(Time::ms(5));
+  const auto e = mc.energy();
+  EXPECT_NEAR(e.total().as_nj(),
+              e.activate_energy.as_nj() + e.rw_energy.as_nj() +
+                  e.refresh_energy.as_nj() +
+                  e.targeted_refresh_energy.as_nj() +
+                  e.background_energy.as_nj(),
+              1e-6);
+}
+
+TEST(Energy, UnitsRoundTrip) {
+  const Energy e = Energy::nj(2.5);
+  EXPECT_DOUBLE_EQ(e.as_pj(), 2500.0);
+  EXPECT_DOUBLE_EQ(e.as_mj(), 2.5e-6);
+}
+
+}  // namespace
+}  // namespace densemem::ctrl

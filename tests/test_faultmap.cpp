@@ -1,0 +1,146 @@
+#include "dram/faultmap.h"
+
+#include <gtest/gtest.h>
+
+namespace densemem::dram {
+namespace {
+
+ReliabilityParams dense_params() {
+  ReliabilityParams p = ReliabilityParams::vulnerable();
+  p.weak_cell_density = 1e-3;
+  p.leaky_cell_density = 1e-3;
+  return p;
+}
+
+TEST(FaultMap, DeterministicAcrossInstances) {
+  const auto p = dense_params();
+  FaultMap a(42, 2, 256, 8192, p);
+  FaultMap b(42, 2, 256, 8192, p);
+  EXPECT_EQ(a.total_weak_cells(), b.total_weak_cells());
+  for (std::uint32_t r = 0; r < 256; ++r) {
+    const auto& wa = a.weak_cells(0, r);
+    const auto& wb = b.weak_cells(0, r);
+    ASSERT_EQ(wa.size(), wb.size());
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+      EXPECT_EQ(wa[i].bit, wb[i].bit);
+      EXPECT_EQ(wa[i].threshold, wb[i].threshold);
+    }
+  }
+}
+
+TEST(FaultMap, DifferentSeedsDiffer) {
+  const auto p = dense_params();
+  FaultMap a(1, 1, 512, 8192, p);
+  FaultMap b(2, 1, 512, 8192, p);
+  // Total counts are random; identical layouts across seeds would be a bug.
+  bool any_diff = a.total_weak_cells() != b.total_weak_cells();
+  for (std::uint32_t r = 0; r < 512 && !any_diff; ++r)
+    any_diff = a.weak_cells(0, r).size() != b.weak_cells(0, r).size();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultMap, DensityMatchesExpectation) {
+  ReliabilityParams p;
+  p.weak_cell_density = 5e-4;
+  p.hc50 = 100e3;
+  FaultMap m(7, 4, 1024, 8192, p);
+  const double expected = 5e-4 * 4 * 1024 * 8192;
+  EXPECT_NEAR(static_cast<double>(m.total_weak_cells()), expected,
+              4.0 * std::sqrt(expected));  // 4-sigma Poisson band
+}
+
+TEST(FaultMap, ZeroDensityMeansNoFaults) {
+  ReliabilityParams p = ReliabilityParams::robust();
+  p.leaky_cell_density = 0.0;
+  FaultMap m(7, 2, 256, 8192, p);
+  EXPECT_EQ(m.total_weak_cells(), 0u);
+  EXPECT_EQ(m.total_leaky_cells(), 0u);
+  EXPECT_TRUE(m.weak_rows(0).empty());
+  for (std::uint32_t r = 0; r < 256; ++r) {
+    EXPECT_FALSE(m.row_has_weak(0, r));
+    EXPECT_TRUE(m.weak_cells(0, r).empty());
+  }
+}
+
+TEST(FaultMap, CellFieldsWithinBounds) {
+  const auto p = dense_params();
+  FaultMap m(11, 1, 512, 4096, p);
+  for (std::uint32_t r = 0; r < 512; ++r) {
+    for (const WeakCell& c : m.weak_cells(0, r)) {
+      EXPECT_LT(c.bit, 4096u);
+      EXPECT_GT(c.threshold, 0.0f);
+      EXPECT_GE(c.dpd_sens, 0.0f);
+      EXPECT_LE(c.dpd_sens, 1.0f);
+    }
+    for (const LeakyCell& c : m.leaky_cells(0, r)) {
+      EXPECT_LT(c.bit, 4096u);
+      EXPECT_GT(c.retention_ms, 0.0f);
+      EXPECT_GE(c.retention_high_ms, c.retention_ms);
+    }
+  }
+}
+
+TEST(FaultMap, CellsSortedByBit) {
+  const auto p = dense_params();
+  FaultMap m(13, 1, 512, 65536, p);
+  for (std::uint32_t r = 0; r < 512; ++r) {
+    const auto& cells = m.weak_cells(0, r);
+    for (std::size_t i = 1; i < cells.size(); ++i)
+      EXPECT_LE(cells[i - 1].bit, cells[i].bit);
+  }
+}
+
+TEST(FaultMap, ThresholdMedianNearHc50) {
+  ReliabilityParams p;
+  p.weak_cell_density = 2e-3;
+  p.hc50 = 150e3;
+  p.hc_sigma = 0.4;
+  FaultMap m(17, 1, 2048, 8192, p);
+  std::vector<float> thresholds;
+  for (std::uint32_t r = 0; r < 2048; ++r)
+    for (const auto& c : m.weak_cells(0, r)) thresholds.push_back(c.threshold);
+  ASSERT_GT(thresholds.size(), 1000u);
+  std::sort(thresholds.begin(), thresholds.end());
+  const double median = thresholds[thresholds.size() / 2];
+  EXPECT_NEAR(median, 150e3, 15e3);
+}
+
+TEST(FaultMap, WeakRowsListMatchesPredicate) {
+  const auto p = dense_params();
+  FaultMap m(19, 2, 512, 8192, p);
+  for (std::uint32_t b = 0; b < 2; ++b) {
+    const auto rows = m.weak_rows(b);
+    std::size_t count = 0;
+    for (std::uint32_t r = 0; r < 512; ++r)
+      if (m.row_has_weak(b, r)) ++count;
+    EXPECT_EQ(rows.size(), count);
+    for (std::uint32_t r : rows) EXPECT_TRUE(m.row_has_weak(b, r));
+  }
+}
+
+TEST(FaultMap, VrtFractionRespected) {
+  ReliabilityParams p;
+  p.leaky_cell_density = 2e-3;
+  p.vrt_fraction = 0.5;
+  FaultMap m(23, 1, 2048, 8192, p);
+  std::size_t vrt = 0, total = 0;
+  for (std::uint32_t r = 0; r < 2048; ++r)
+    for (const auto& c : m.leaky_cells(0, r)) {
+      ++total;
+      if (c.vrt) ++vrt;
+    }
+  ASSERT_GT(total, 1000u);
+  EXPECT_NEAR(static_cast<double>(vrt) / static_cast<double>(total), 0.5, 0.05);
+}
+
+TEST(FaultMap, BanksAreIndependent) {
+  const auto p = dense_params();
+  FaultMap m(29, 2, 512, 8192, p);
+  bool differs = false;
+  for (std::uint32_t r = 0; r < 512 && !differs; ++r)
+    differs = m.weak_cells(0, r).size() != m.weak_cells(1, r).size();
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace densemem::dram

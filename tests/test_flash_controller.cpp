@@ -1,0 +1,186 @@
+#include "flash/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "common/rng.h"
+
+namespace densemem::flash {
+namespace {
+
+FlashConfig ctrl_flash(std::uint64_t seed = 31) {
+  FlashConfig cfg;
+  cfg.geometry = {4, 8, 2048};
+  cfg.seed = seed;
+  return cfg;
+}
+
+BitVec random_payload(Rng& rng, std::uint32_t bits) {
+  BitVec v(bits);
+  for (std::size_t w = 0; w < v.word_count(); ++w) v.set_word(w, rng.next_u64());
+  return v;
+}
+
+TEST(FlashController, LayoutAndOverhead) {
+  FlashDevice dev(ctrl_flash());
+  FlashController ctrl(dev, FlashCtrlConfig{});  // t=8: chunk 512+80=592
+  EXPECT_EQ(ctrl.chunks_per_page(), 3u);         // 3*592 = 1776 <= 2048
+  EXPECT_EQ(ctrl.payload_bits(), 1536u);
+  EXPECT_NEAR(ctrl.ecc_overhead(), 80.0 / 592.0, 1e-12);
+}
+
+TEST(FlashController, FreshRoundTripClean) {
+  FlashDevice dev(ctrl_flash());
+  FlashController ctrl(dev, FlashCtrlConfig{});
+  Rng rng(1);
+  for (std::uint32_t wl = 0; wl < 4; ++wl) {
+    const auto lsb = random_payload(rng, ctrl.payload_bits());
+    const auto msb = random_payload(rng, ctrl.payload_bits());
+    ctrl.program_page({0, wl, PageType::kLsb}, lsb, 0.0);
+    ctrl.program_page({0, wl, PageType::kMsb}, msb, 0.0);
+    const auto rl = ctrl.read_page({0, wl, PageType::kLsb}, 0.0);
+    const auto rm = ctrl.read_page({0, wl, PageType::kMsb}, 0.0);
+    EXPECT_FALSE(rl.uncorrectable);
+    EXPECT_FALSE(rm.uncorrectable);
+    EXPECT_EQ(rl.data, lsb);
+    EXPECT_EQ(rm.data, msb);
+  }
+}
+
+TEST(FlashController, EccCorrectsAgedPage) {
+  FlashDevice dev(ctrl_flash(37));
+  FlashController ctrl(dev, FlashCtrlConfig{});
+  Rng rng(2);
+  dev.age_block(0, 4000);
+  dev.erase_block(0, 0.0);
+  // Distinct payloads: identical LSB/MSB data would only populate the ER
+  // and P2 states (never P3), starving the MSB read of error mechanisms.
+  const auto lsb_payload = random_payload(rng, ctrl.payload_bits());
+  const auto payload = random_payload(rng, ctrl.payload_bits());
+  ctrl.program_page({0, 0, PageType::kLsb}, lsb_payload, 0.0);
+  ctrl.program_page({0, 0, PageType::kMsb}, payload, 0.0);
+  const double month = 60 * 86400.0;
+  const auto raw = ctrl.raw_bit_errors({0, 0, PageType::kMsb}, payload, month);
+  const auto r = ctrl.read_page({0, 0, PageType::kMsb}, month);
+  EXPECT_GT(raw, 0u) << "aged page should have raw errors";
+  EXPECT_FALSE(r.uncorrectable);
+  EXPECT_EQ(r.data, payload);
+  EXPECT_GT(r.corrected_bits, 0);
+}
+
+TEST(FlashController, ReadRetryRecoversShiftedPage) {
+  // Age far enough that the nominal references fail but shifted ones work.
+  FlashConfig fc = ctrl_flash(41);
+  fc.cell.leak_sigma = 0.1;  // uniform shift: ideal for reference tuning
+  FlashDevice dev(fc);
+  Rng rng(3);
+  dev.age_block(0, 12000);
+  dev.erase_block(0, 0.0);
+  const auto lsb_payload = random_payload(rng, 1536);
+  const auto payload = random_payload(rng, 1536);
+
+  FlashCtrlConfig with_retry;
+  with_retry.retry_steps = 6;  // offsets to -0.24: covers the drift window
+  FlashCtrlConfig without_retry;
+  without_retry.enable_read_retry = false;
+  FlashController ctrl_a(dev, with_retry);
+  ctrl_a.program_page({0, 0, PageType::kLsb}, lsb_payload, 0.0);
+  ctrl_a.program_page({0, 0, PageType::kMsb}, payload, 0.0);
+
+  // Find an age where the plain read fails but retry succeeds.
+  bool demonstrated = false;
+  for (double days = 1; days <= 4000; days *= 1.3) {
+    const double t = days * 86400.0;
+    FlashController plain(dev, without_retry);
+    FlashController retry(dev, with_retry);
+    const auto rp = plain.read_page({0, 0, PageType::kMsb}, t);
+    const auto rr = retry.read_page({0, 0, PageType::kMsb}, t);
+    if (rp.uncorrectable && !rr.uncorrectable && rr.data == payload) {
+      EXPECT_LT(rr.ref_offset, 0.0) << "retention shift is downward";
+      demonstrated = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(demonstrated)
+      << "no age separated plain failure from retry success";
+}
+
+TEST(FlashController, RefreshBlockResetsRetentionClock) {
+  FlashDevice dev(ctrl_flash(43));
+  FlashController ctrl(dev, FlashCtrlConfig{});
+  Rng rng(4);
+  dev.age_block(0, 4000);
+  dev.erase_block(0, 0.0);
+  std::vector<BitVec> payloads;
+  for (std::uint32_t wl = 0; wl < dev.geometry().wordlines; ++wl) {
+    for (PageType t : {PageType::kLsb, PageType::kMsb}) {
+      payloads.push_back(random_payload(rng, ctrl.payload_bits()));
+      ctrl.program_page({0, wl, t}, payloads.back(), 0.0);
+    }
+  }
+  const double month = 30 * 86400.0;
+  EXPECT_TRUE(ctrl.refresh_block(0, month));
+  // Immediately after refresh the raw error count at +1 month is the same
+  // as a fresh page's, not a 2-month-old page's; data still round-trips.
+  std::size_t idx = 0;
+  for (std::uint32_t wl = 0; wl < dev.geometry().wordlines; ++wl) {
+    for (PageType t : {PageType::kLsb, PageType::kMsb}) {
+      const auto r = ctrl.read_page({0, wl, t}, month + 60.0);
+      ASSERT_FALSE(r.uncorrectable);
+      ASSERT_EQ(r.data, payloads[idx]) << "wl " << wl;
+      ++idx;
+    }
+  }
+  EXPECT_EQ(dev.pe_cycles(0), 4002u);  // initial + explicit + refresh erase
+}
+
+TEST(FlashController, PageTooSmallForChunkRejected) {
+  FlashConfig fc = ctrl_flash();
+  fc.geometry.page_bits = 256;  // < 592-bit chunk
+  FlashDevice dev(fc);
+  EXPECT_THROW(FlashController(dev, FlashCtrlConfig{}), CheckError);
+}
+
+TEST(FlashController, PayloadSizeMismatchRejected) {
+  FlashDevice dev(ctrl_flash());
+  FlashController ctrl(dev, FlashCtrlConfig{});
+  EXPECT_THROW(ctrl.program_page({0, 0, PageType::kLsb}, BitVec(100), 0.0),
+               CheckError);
+}
+
+TEST(FlashController, StrongerEccSurvivesLonger) {
+  // Same device state, t=4 vs t=12: the stronger code tolerates an age the
+  // weaker one cannot.
+  Rng rng(5);
+  const auto make = [&](int t, double age_days) {
+    FlashConfig fc = ctrl_flash(47);
+    FlashDevice dev(fc);
+    dev.age_block(0, 9000);
+    dev.erase_block(0, 0.0);
+    FlashCtrlConfig cc;
+    cc.ecc_t = t;
+    cc.enable_read_retry = false;
+    FlashController ctrl(dev, cc);
+    Rng prng(6);
+    const auto lsb_payload = random_payload(prng, ctrl.payload_bits());
+    const auto payload = random_payload(prng, ctrl.payload_bits());
+    ctrl.program_page({0, 0, PageType::kLsb}, lsb_payload, 0.0);
+    ctrl.program_page({0, 0, PageType::kMsb}, payload, 0.0);
+    const auto r = ctrl.read_page({0, 0, PageType::kMsb}, age_days * 86400.0);
+    return !r.uncorrectable;
+  };
+  // Find an age where t=4 fails; t=12 must still succeed there.
+  bool separated = false;
+  for (double days = 5; days <= 3000; days *= 1.25) {
+    if (!make(4, days)) {
+      EXPECT_TRUE(make(12, days)) << "t=12 failed where t=4 first failed";
+      separated = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(separated) << "t=4 never failed in the sweep";
+}
+
+}  // namespace
+}  // namespace densemem::flash

@@ -1,0 +1,218 @@
+#include "flash/device.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "common/rng.h"
+
+namespace densemem::flash {
+namespace {
+
+FlashConfig small_flash(std::uint64_t seed = 7) {
+  FlashConfig cfg;
+  cfg.geometry = {4, 8, 512};
+  cfg.seed = seed;
+  return cfg;
+}
+
+BitVec random_page(Rng& rng, std::uint32_t bits) {
+  BitVec v(bits);
+  for (std::size_t w = 0; w < v.word_count(); ++w) v.set_word(w, rng.next_u64());
+  return v;
+}
+
+TEST(FlashDevice, ErasedPagesReadAllOnes) {
+  FlashDevice dev(small_flash());
+  const auto lsb = dev.read_page({0, 0, PageType::kLsb}, 0.0);
+  const auto msb = dev.read_page({0, 0, PageType::kMsb}, 0.0);
+  EXPECT_EQ(lsb.popcount(), lsb.size());
+  EXPECT_EQ(msb.popcount(), msb.size());
+}
+
+TEST(FlashDevice, FreshProgramRoundTrip) {
+  FlashDevice dev(small_flash());
+  Rng rng(1);
+  const auto lsb = random_page(rng, 512);
+  const auto msb = random_page(rng, 512);
+  dev.program_page({0, 3, PageType::kLsb}, lsb, 0.0);
+  dev.program_page({0, 3, PageType::kMsb}, msb, 0.0);
+  // Immediately after programming, raw error rate must be ~0 at these
+  // margins (the fresh-chip regime).
+  const auto rl = dev.read_page({0, 3, PageType::kLsb}, 0.0);
+  const auto rm = dev.read_page({0, 3, PageType::kMsb}, 0.0);
+  EXPECT_LE(BitVec::hamming_distance(rl, lsb), 1u);
+  EXPECT_LE(BitVec::hamming_distance(rm, msb), 1u);
+}
+
+TEST(FlashDevice, TwoStepOrderEnforced) {
+  FlashDevice dev(small_flash());
+  BitVec data(512, true);
+  EXPECT_THROW(dev.program_page({0, 0, PageType::kMsb}, data, 0.0),
+               CheckError);
+  dev.program_page({0, 0, PageType::kLsb}, data, 0.0);
+  EXPECT_THROW(dev.program_page({0, 0, PageType::kLsb}, data, 0.0),
+               CheckError);
+  dev.program_page({0, 0, PageType::kMsb}, data, 0.0);
+  EXPECT_THROW(dev.program_page({0, 0, PageType::kMsb}, data, 0.0),
+               CheckError);
+  EXPECT_TRUE(dev.page_programmed({0, 0, PageType::kLsb}));
+  EXPECT_TRUE(dev.page_programmed({0, 0, PageType::kMsb}));
+}
+
+TEST(FlashDevice, EraseResetsPages) {
+  FlashDevice dev(small_flash());
+  BitVec data(512);
+  dev.program_page({1, 0, PageType::kLsb}, data, 0.0);
+  EXPECT_TRUE(dev.page_programmed({1, 0, PageType::kLsb}));
+  const auto pe0 = dev.pe_cycles(1);
+  dev.erase_block(1, 1.0);
+  EXPECT_FALSE(dev.page_programmed({1, 0, PageType::kLsb}));
+  EXPECT_EQ(dev.pe_cycles(1), pe0 + 1);
+  const auto r = dev.read_page({1, 0, PageType::kLsb}, 1.0);
+  EXPECT_EQ(r.popcount(), r.size());
+}
+
+TEST(FlashDevice, RetentionLossGrowsWithTime) {
+  FlashConfig cfg = small_flash();
+  FlashDevice dev(cfg);
+  Rng rng(3);
+  dev.age_block(0, 5000);
+  for (std::uint32_t wl = 0; wl < 8; ++wl) {
+    dev.program_page({0, wl, PageType::kLsb}, random_page(rng, 512), 0.0);
+    dev.program_page({0, wl, PageType::kMsb}, random_page(rng, 512), 0.0);
+  }
+  // Average Vth of programmed cells must fall monotonically with age.
+  auto mean_vth = [&](double t) {
+    double sum = 0;
+    int n = 0;
+    for (std::uint32_t wl = 0; wl < 8; ++wl)
+      for (std::uint32_t c = 0; c < 512; c += 7) {
+        if (dev.intended_state(0, wl, c) >= 1) {  // programmed states only
+          sum += dev.effective_vth(0, wl, c, t);
+          ++n;
+        }
+      }
+    return sum / n;
+  };
+  const double v0 = mean_vth(0.0);
+  const double v30 = mean_vth(30 * 86400.0);
+  const double v365 = mean_vth(365 * 86400.0);
+  EXPECT_GT(v0, v30);
+  EXPECT_GT(v30, v365);
+}
+
+TEST(FlashDevice, WearAmplifiesRetentionLoss) {
+  auto loss_at = [](std::uint32_t pe) {
+    FlashConfig cfg = small_flash(11);
+    FlashDevice dev(cfg);
+    dev.age_block(0, pe);
+    BitVec zeros(512);  // LSB=0 everywhere -> all cells leave ER
+    dev.program_page({0, 0, PageType::kLsb}, zeros, 0.0);
+    dev.program_page({0, 0, PageType::kMsb}, zeros, 0.0);  // P2 state
+    double sum = 0;
+    for (std::uint32_t c = 0; c < 512; ++c)
+      sum += dev.effective_vth(0, 0, c, 0.0) -
+             dev.effective_vth(0, 0, c, 365 * 86400.0);
+    return sum / 512.0;
+  };
+  EXPECT_GT(loss_at(10000), loss_at(100));
+}
+
+TEST(FlashDevice, ReadDisturbPushesErCellsUp) {
+  FlashConfig cfg = small_flash(13);
+  cfg.cell.rd_step = 1e-4;  // exaggerated for the test
+  FlashDevice dev(cfg);
+  BitVec ones(512, true);  // stay in ER
+  dev.program_page({0, 0, PageType::kLsb}, ones, 0.0);
+  dev.program_page({0, 0, PageType::kMsb}, ones, 0.0);
+  const double before = dev.effective_vth(0, 0, 10, 1.0);
+  // Hammer reads on a different wordline of the same block.
+  BitVec junk(512, true);
+  dev.program_page({0, 5, PageType::kLsb}, junk, 0.0);
+  for (int i = 0; i < 5000; ++i)
+    dev.read_page({0, 5, PageType::kLsb}, 1.0);
+  const double after = dev.effective_vth(0, 0, 10, 1.0);
+  EXPECT_GT(after, before);
+}
+
+TEST(FlashDevice, ReadDisturbDoesNotAffectHighStates) {
+  FlashConfig cfg = small_flash(17);
+  cfg.cell.rd_step = 1e-4;
+  FlashDevice dev(cfg);
+  BitVec zeros(512);
+  dev.program_page({0, 0, PageType::kLsb}, zeros, 0.0);
+  dev.program_page({0, 0, PageType::kMsb}, zeros, 0.0);  // P2 ~ 2.0 V
+  const double before = dev.effective_vth(0, 0, 10, 1.0);
+  BitVec junk(512, true);
+  dev.program_page({0, 5, PageType::kLsb}, junk, 0.0);
+  for (int i = 0; i < 5000; ++i)
+    dev.read_page({0, 5, PageType::kLsb}, 1.0);
+  EXPECT_DOUBLE_EQ(dev.effective_vth(0, 0, 10, 1.0), before);
+}
+
+TEST(FlashDevice, ProgramInterferenceShiftsLowerNeighbor) {
+  FlashConfig cfg = small_flash(19);
+  FlashDevice dev(cfg);
+  BitVec ones(512, true);
+  dev.program_page({0, 2, PageType::kLsb}, ones, 0.0);  // stays ER
+  const double before = dev.effective_vth(0, 2, 10, 0.0);
+  // Programming wordline 3 hard (LSB=0 -> LM for every cell) couples up.
+  BitVec zeros(512);
+  dev.program_page({0, 3, PageType::kLsb}, zeros, 0.0);
+  const double after = dev.effective_vth(0, 2, 10, 0.0);
+  EXPECT_GT(after, before);
+  EXPECT_NEAR(after - before, cfg.cell.interference_gamma * cfg.cell.lm_mean,
+              0.1);
+}
+
+TEST(FlashDevice, PerCellVariationIsDeterministicAndWide) {
+  FlashDevice a(small_flash(23)), b(small_flash(23));
+  double min_leak = 1e9, max_leak = 0;
+  for (std::uint32_t c = 0; c < 512; ++c) {
+    EXPECT_DOUBLE_EQ(a.leak_factor(0, 0, c), b.leak_factor(0, 0, c));
+    EXPECT_DOUBLE_EQ(a.rd_susceptibility(1, 2, c), b.rd_susceptibility(1, 2, c));
+    min_leak = std::min(min_leak, a.leak_factor(0, 0, c));
+    max_leak = std::max(max_leak, a.leak_factor(0, 0, c));
+  }
+  // §III-A2: "wide variation in the leakiness of different flash cells".
+  EXPECT_GT(max_leak / min_leak, 5.0);
+}
+
+TEST(FlashDevice, TwoStepMisreadsOccurUnderDrift) {
+  // Program LSB, age the intermediate state heavily, then program MSB: the
+  // internal LSB readback must misinterpret some drifted LM cells.
+  FlashConfig cfg = small_flash(29);
+  cfg.cell.leak_sigma = 0.8;
+  FlashDevice dev(cfg);
+  dev.age_block(0, 20000);
+  dev.erase_block(0, 0.0);
+  BitVec zeros(512);  // all cells to LM
+  dev.program_page({0, 0, PageType::kLsb}, zeros, 0.0);
+  const double much_later = 200.0 * 86400.0;
+  BitVec msb(512, true);
+  dev.program_page({0, 0, PageType::kMsb}, msb, much_later);
+  EXPECT_GT(dev.stats().two_step_lsb_misreads, 0u);
+}
+
+TEST(FlashDevice, LsbBufferingMitigationPreventsMisreads) {
+  FlashConfig cfg = small_flash(29);
+  cfg.cell.leak_sigma = 0.8;
+  cfg.buffer_lsb_in_controller = true;  // the [24] mitigation
+  FlashDevice dev(cfg);
+  dev.age_block(0, 20000);
+  dev.erase_block(0, 0.0);
+  BitVec zeros(512);
+  dev.program_page({0, 0, PageType::kLsb}, zeros, 0.0);
+  BitVec msb(512, true);
+  dev.program_page({0, 0, PageType::kMsb}, msb, 200.0 * 86400.0);
+  EXPECT_EQ(dev.stats().two_step_lsb_misreads, 0u);
+}
+
+TEST(FlashDevice, GrayCodeMappingConsistent) {
+  for (int s = 0; s < 4; ++s)
+    EXPECT_EQ(state_of(lsb_of_state(s), msb_of_state(s)), s);
+}
+
+}  // namespace
+}  // namespace densemem::flash

@@ -1,0 +1,100 @@
+// MLC state-mapping and read-reference property sweeps.
+#include <gtest/gtest.h>
+
+#include "flash/device.h"
+
+#include <set>
+
+namespace densemem::flash {
+namespace {
+
+// Every (lsb, msb) combination maps to exactly one state and back.
+TEST(GrayCode, BijectionOverBitPairs) {
+  std::set<int> states;
+  for (const bool lsb : {false, true}) {
+    for (const bool msb : {false, true}) {
+      const int s = state_of(lsb, msb);
+      ASSERT_GE(s, 0);
+      ASSERT_LE(s, 3);
+      EXPECT_TRUE(states.insert(s).second);
+      EXPECT_EQ(lsb_of_state(s), lsb);
+      EXPECT_EQ(msb_of_state(s), msb);
+    }
+  }
+  EXPECT_EQ(states.size(), 4u);
+}
+
+TEST(GrayCode, AdjacentStatesDifferInOneBit) {
+  // The point of Gray coding: a one-level misread corrupts one bit, not two.
+  for (int s = 0; s < 3; ++s) {
+    const int diff = (lsb_of_state(s) != lsb_of_state(s + 1)) +
+                     (msb_of_state(s) != msb_of_state(s + 1));
+    EXPECT_EQ(diff, 1) << "states " << s << " and " << s + 1;
+  }
+}
+
+// Programming every state and reading at nominal references returns the
+// written bits for every cell — swept across seeds.
+class StateRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StateRoundTrip, AllFourStatesReadBack) {
+  FlashConfig cfg;
+  cfg.geometry = {1, 2, 256};
+  cfg.seed = GetParam();
+  FlashDevice dev(cfg);
+  // Cell c gets state c % 4.
+  BitVec lsb(256), msb(256);
+  for (std::uint32_t c = 0; c < 256; ++c) {
+    lsb.set(c, lsb_of_state(static_cast<int>(c % 4)));
+    msb.set(c, msb_of_state(static_cast<int>(c % 4)));
+  }
+  dev.program_page({0, 0, PageType::kLsb}, lsb, 0.0);
+  dev.program_page({0, 0, PageType::kMsb}, msb, 0.0);
+  EXPECT_EQ(dev.read_page({0, 0, PageType::kLsb}, 0.0), lsb);
+  EXPECT_EQ(dev.read_page({0, 0, PageType::kMsb}, 0.0), msb);
+  for (std::uint32_t c = 0; c < 256; ++c)
+    ASSERT_EQ(dev.intended_state(0, 0, c), static_cast<int>(c % 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StateRoundTrip,
+                         ::testing::Values(1u, 17u, 333u, 4096u));
+
+TEST(ReadReference, OffsetsShiftDecisionsMonotonically) {
+  // Raising the LSB reference can only turn 0-bits into 1-bits (cells sit
+  // below a higher threshold), never the reverse.
+  FlashConfig cfg;
+  cfg.geometry = {1, 2, 512};
+  cfg.seed = 9;
+  FlashDevice dev(cfg);
+  BitVec lsb(512);
+  for (std::uint32_t c = 0; c < 512; c += 2) lsb.set(c);
+  dev.program_page({0, 0, PageType::kLsb}, lsb, 0.0);
+  const BitVec lo = dev.read_page({0, 0, PageType::kLsb}, 0.0, -0.3);
+  const BitVec mid = dev.read_page({0, 0, PageType::kLsb}, 0.0, 0.0);
+  const BitVec hi = dev.read_page({0, 0, PageType::kLsb}, 0.0, +0.3);
+  for (std::uint32_t c = 0; c < 512; ++c) {
+    // lo <= mid <= hi as predicates (1 means "below reference").
+    EXPECT_LE(lo.get(c), mid.get(c)) << c;
+    EXPECT_LE(mid.get(c), hi.get(c)) << c;
+  }
+}
+
+TEST(ReadReference, PerCellOffsetsMatchGlobalWhenUniform) {
+  FlashConfig cfg;
+  cfg.geometry = {1, 2, 512};
+  cfg.seed = 11;
+  FlashDevice dev(cfg);
+  BitVec data(512);
+  for (std::uint32_t c = 0; c < 512; c += 3) data.set(c);
+  dev.program_page({0, 0, PageType::kLsb}, data, 0.0);
+  dev.program_page({0, 0, PageType::kMsb}, data, 0.0);
+  const double off = -0.12;
+  const BitVec global = dev.read_page({0, 0, PageType::kMsb}, 50.0, off);
+  std::vector<float> offsets(512, static_cast<float>(off));
+  const BitVec per_cell =
+      dev.read_page_with_offsets({0, 0, PageType::kMsb}, 50.0, offsets);
+  EXPECT_EQ(global, per_cell);
+}
+
+}  // namespace
+}  // namespace densemem::flash

@@ -1,0 +1,184 @@
+#include "flash/ftl.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace densemem::flash {
+namespace {
+
+FlashConfig ftl_flash(std::uint64_t seed = 71) {
+  FlashConfig cfg;
+  cfg.geometry = {64, 8, 1024};
+  cfg.seed = seed;
+  cfg.cell.retention_a = 0.0;  // wear/GC focus: disable retention noise
+  return cfg;
+}
+
+BitVec payload_for(std::uint32_t lpn, std::uint32_t version,
+                   std::uint32_t bits) {
+  BitVec v(bits);
+  Rng rng(hash_coords(lpn, version));
+  for (std::size_t w = 0; w < v.word_count(); ++w) v.set_word(w, rng.next_u64());
+  return v;
+}
+
+TEST(Ftl, GeometryAndOverprovision) {
+  FlashDevice dev(ftl_flash());
+  FlashController ctrl(dev, FlashCtrlConfig{});
+  Ftl ftl(ctrl, FtlConfig{});
+  EXPECT_EQ(ftl.pages_per_block(), 16u);
+  // 64 blocks x 16 pages = 1024 physical; 10% OP -> 921 logical.
+  EXPECT_EQ(ftl.logical_pages(), 921u);
+}
+
+TEST(Ftl, OverprovisionTooSmallRejected) {
+  FlashDevice dev(ftl_flash());
+  FlashController ctrl(dev, FlashCtrlConfig{});
+  FtlConfig cfg;
+  cfg.overprovision = 0.01;  // < (watermark+2) blocks of spare
+  EXPECT_THROW(Ftl(ctrl, cfg), CheckError);
+}
+
+TEST(Ftl, ReadYourWrites) {
+  FlashDevice dev(ftl_flash());
+  FlashController ctrl(dev, FlashCtrlConfig{});
+  Ftl ftl(ctrl, FtlConfig{});
+  for (std::uint32_t lpn = 0; lpn < 50; ++lpn)
+    ftl.write(lpn, payload_for(lpn, 0, ctrl.payload_bits()), 0.0);
+  for (std::uint32_t lpn = 0; lpn < 50; ++lpn) {
+    const auto r = ftl.read(lpn, 1.0);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_FALSE(r->uncorrectable);
+    EXPECT_EQ(r->data, payload_for(lpn, 0, ctrl.payload_bits()));
+  }
+  EXPECT_FALSE(ftl.read(200, 1.0).has_value());  // never written
+}
+
+TEST(Ftl, UpdatesReturnLatestVersionAcrossGc) {
+  FlashDevice dev(ftl_flash(73));
+  FlashController ctrl(dev, FlashCtrlConfig{});
+  Ftl ftl(ctrl, FtlConfig{});
+  const std::uint32_t bits = ctrl.payload_bits();
+  // Fill most of the logical space, then update a working set hard enough
+  // to force many GC cycles.
+  for (std::uint32_t lpn = 0; lpn < ftl.logical_pages(); ++lpn)
+    ftl.write(lpn, payload_for(lpn, 0, bits), 0.0);
+  Rng rng(9);
+  std::vector<std::uint32_t> version(ftl.logical_pages(), 0);
+  for (int i = 0; i < 1500; ++i) {
+    const auto lpn = static_cast<std::uint32_t>(
+        rng.uniform_int(std::uint64_t{ftl.logical_pages()}));
+    ftl.write(lpn, payload_for(lpn, ++version[lpn], bits), 0.0);
+  }
+  ASSERT_GT(ftl.stats().gc_runs, 0u);
+  for (std::uint32_t lpn = 0; lpn < ftl.logical_pages(); lpn += 7) {
+    const auto r = ftl.read(lpn, 0.0);
+    ASSERT_TRUE(r.has_value());
+    ASSERT_EQ(r->data, payload_for(lpn, version[lpn], bits)) << "lpn " << lpn;
+  }
+}
+
+TEST(Ftl, SequentialOverwriteHasLowWriteAmplification) {
+  FlashDevice dev(ftl_flash(79));
+  FlashController ctrl(dev, FlashCtrlConfig{});
+  Ftl ftl(ctrl, FtlConfig{});
+  const std::uint32_t bits = ctrl.payload_bits();
+  // Sequential wrap-around overwrites: victims are always fully invalid,
+  // so GC copies almost nothing.
+  for (int pass = 0; pass < 4; ++pass)
+    for (std::uint32_t lpn = 0; lpn < ftl.logical_pages(); ++lpn)
+      ftl.write(lpn, payload_for(lpn, static_cast<std::uint32_t>(pass), bits),
+                0.0);
+  EXPECT_LT(ftl.stats().write_amplification(), 1.15);
+}
+
+TEST(Ftl, RandomOverwriteAmplifiesMore) {
+  auto wa_for = [](bool sequential) {
+    FlashDevice dev(ftl_flash(83));
+    FlashController ctrl(dev, FlashCtrlConfig{});
+    FtlConfig fc;
+    fc.overprovision = 0.20;
+    Ftl ftl(ctrl, fc);
+    const std::uint32_t bits = ctrl.payload_bits();
+    for (std::uint32_t lpn = 0; lpn < ftl.logical_pages(); ++lpn)
+      ftl.write(lpn, payload_for(lpn, 0, bits), 0.0);
+    Rng rng(11);
+    for (int i = 0; i < 2500; ++i) {
+      const std::uint32_t lpn =
+          sequential ? static_cast<std::uint32_t>(i) % ftl.logical_pages()
+                     : static_cast<std::uint32_t>(
+                           rng.uniform_int(std::uint64_t{ftl.logical_pages()}));
+      ftl.write(lpn, payload_for(lpn, 1, bits), 0.0);
+    }
+    return ftl.stats().write_amplification();
+  };
+  EXPECT_GT(wa_for(false), wa_for(true));
+}
+
+TEST(Ftl, MoreOverprovisionLowersWriteAmplification) {
+  auto wa_for = [](double op) {
+    FlashDevice dev(ftl_flash(89));
+    FlashController ctrl(dev, FlashCtrlConfig{});
+    FtlConfig fc;
+    fc.overprovision = op;
+    Ftl ftl(ctrl, fc);
+    const std::uint32_t bits = ctrl.payload_bits();
+    for (std::uint32_t lpn = 0; lpn < ftl.logical_pages(); ++lpn)
+      ftl.write(lpn, payload_for(lpn, 0, bits), 0.0);
+    Rng rng(13);
+    for (int i = 0; i < 2500; ++i)
+      ftl.write(static_cast<std::uint32_t>(
+                    rng.uniform_int(std::uint64_t{ftl.logical_pages()})),
+                payload_for(0, static_cast<std::uint32_t>(i), bits), 0.0);
+    return ftl.stats().write_amplification();
+  };
+  EXPECT_GT(wa_for(0.22), 1.0);
+  EXPECT_GT(wa_for(0.22), wa_for(0.45));
+}
+
+TEST(Ftl, WearLevelingBoundsImbalance) {
+  // A hot working set concentrated in a few logical pages: without wear
+  // leveling, the GC keeps burning the same blocks.
+  auto imbalance_for = [](bool wl) {
+    FlashDevice dev(ftl_flash(97));
+    FlashController ctrl(dev, FlashCtrlConfig{});
+    FtlConfig fc;
+    fc.overprovision = 0.25;
+    fc.wear_leveling = wl;
+    Ftl ftl(ctrl, fc);
+    const std::uint32_t bits = ctrl.payload_bits();
+    for (std::uint32_t lpn = 0; lpn < ftl.logical_pages(); ++lpn)
+      ftl.write(lpn, payload_for(lpn, 0, bits), 0.0);
+    Rng rng(17);
+    for (int i = 0; i < 3000; ++i) {
+      // 90% of updates hit 10% of the pages.
+      const bool hot = rng.bernoulli(0.9);
+      const std::uint32_t span =
+          hot ? ftl.logical_pages() / 10 : ftl.logical_pages();
+      ftl.write(static_cast<std::uint32_t>(rng.uniform_int(std::uint64_t{span})),
+                payload_for(1, static_cast<std::uint32_t>(i), bits), 0.0);
+    }
+    return ftl.wear_imbalance();
+  };
+  const double with_wl = imbalance_for(true);
+  EXPECT_LE(with_wl, imbalance_for(false) + 0.3);
+  EXPECT_LT(with_wl, 3.0);
+}
+
+TEST(Ftl, StatsAreConsistent) {
+  FlashDevice dev(ftl_flash(101));
+  FlashController ctrl(dev, FlashCtrlConfig{});
+  Ftl ftl(ctrl, FtlConfig{});
+  const std::uint32_t bits = ctrl.payload_bits();
+  for (int i = 0; i < 2000; ++i)
+    ftl.write(static_cast<std::uint32_t>(i * 37 % ftl.logical_pages()),
+              payload_for(2, static_cast<std::uint32_t>(i), bits), 0.0);
+  const auto& st = ftl.stats();
+  EXPECT_EQ(st.host_writes, 2000u);
+  EXPECT_EQ(st.flash_writes, st.host_writes + st.gc_copies);
+  EXPECT_GE(st.write_amplification(), 1.0);
+}
+
+}  // namespace
+}  // namespace densemem::flash

@@ -1,0 +1,60 @@
+#include "dram/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace densemem::dram {
+namespace {
+
+TEST(Geometry, Totals) {
+  Geometry g{2, 2, 8, 32768, 8192};
+  EXPECT_EQ(g.rows_total(), 2ull * 2 * 8 * 32768);
+  EXPECT_EQ(g.bytes_total(), g.rows_total() * 8192);
+  EXPECT_EQ(g.cells_total(), g.bytes_total() * 8);
+  EXPECT_EQ(g.row_bits(), 8192u * 8);
+  EXPECT_EQ(g.row_words(), 1024u);
+}
+
+TEST(Geometry, ValidateRejectsDegenerate) {
+  Geometry g = Geometry::tiny();
+  EXPECT_NO_THROW(g.validate());
+  g.rows = 1;
+  EXPECT_THROW(g.validate(), CheckError);
+  g = Geometry::tiny();
+  g.row_bytes = 100;  // not a multiple of 64
+  EXPECT_THROW(g.validate(), CheckError);
+}
+
+TEST(Geometry, FlatBankRoundTrip) {
+  Geometry g{2, 2, 4, 64, 1024};
+  for (std::uint32_t ch = 0; ch < g.channels; ++ch)
+    for (std::uint32_t rk = 0; rk < g.ranks; ++rk)
+      for (std::uint32_t b = 0; b < g.banks; ++b) {
+        Address a{ch, rk, b, 7, 3};
+        const std::uint32_t f = flat_bank(g, a);
+        ASSERT_LT(f, total_banks(g));
+        const Address back = address_of(g, f, 7, 3);
+        EXPECT_EQ(back, a);
+      }
+}
+
+TEST(Geometry, FlatBankIsBijective) {
+  Geometry g{2, 3, 4, 64, 1024};
+  std::vector<bool> seen(total_banks(g), false);
+  for (std::uint32_t ch = 0; ch < g.channels; ++ch)
+    for (std::uint32_t rk = 0; rk < g.ranks; ++rk)
+      for (std::uint32_t b = 0; b < g.banks; ++b) {
+        const std::uint32_t f = flat_bank(g, Address{ch, rk, b, 0, 0});
+        EXPECT_FALSE(seen[f]);
+        seen[f] = true;
+      }
+}
+
+TEST(Geometry, TinyIsValid) {
+  EXPECT_NO_THROW(Geometry::tiny().validate());
+  EXPECT_EQ(Geometry::tiny().rows, 512u);
+}
+
+}  // namespace
+}  // namespace densemem::dram

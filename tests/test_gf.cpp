@@ -1,0 +1,88 @@
+#include "ecc/gf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace densemem::ecc {
+namespace {
+
+class GfFieldTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GfFieldTest, MultiplicativeGroupOrder) {
+  GF2m f(GetParam());
+  // alpha generates the full multiplicative group: alpha^n == 1 and no
+  // smaller positive power is 1 for a primitive polynomial.
+  EXPECT_EQ(f.alpha_pow(f.n()), 1u);
+  EXPECT_EQ(f.alpha_pow(0), 1u);
+  EXPECT_NE(f.alpha_pow(1), 1u);
+}
+
+TEST_P(GfFieldTest, InverseRoundTrip) {
+  GF2m f(GetParam());
+  for (std::uint32_t a = 1; a <= std::min<std::uint32_t>(f.n(), 200); ++a) {
+    EXPECT_EQ(f.mul(a, f.inv(a)), 1u) << "a=" << a;
+  }
+}
+
+TEST_P(GfFieldTest, DistributiveLaw) {
+  GF2m f(GetParam());
+  const std::uint32_t n = f.n();
+  for (std::uint32_t a = 1; a < 20 && a <= n; ++a)
+    for (std::uint32_t b = 1; b < 20 && b <= n; ++b)
+      for (std::uint32_t c = 1; c < 20 && c <= n; ++c)
+        EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+}
+
+TEST_P(GfFieldTest, FrobeniusSquaring) {
+  GF2m f(GetParam());
+  // (a + b)^2 == a^2 + b^2 in characteristic 2.
+  for (std::uint32_t a = 1; a < 50 && a <= f.n(); a += 3)
+    for (std::uint32_t b = 1; b < 50 && b <= f.n(); b += 7)
+      EXPECT_EQ(f.pow(f.add(a, b), 2), f.add(f.pow(a, 2), f.pow(b, 2)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, GfFieldTest,
+                         ::testing::Values(3, 4, 8, 10, 12, 16));
+
+TEST(Gf, MulByZero) {
+  GF2m f(8);
+  EXPECT_EQ(f.mul(0, 17), 0u);
+  EXPECT_EQ(f.mul(17, 0), 0u);
+}
+
+TEST(Gf, DivAndInvRejectZero) {
+  GF2m f(8);
+  EXPECT_THROW(f.inv(0), CheckError);
+  EXPECT_THROW(f.div(1, 0), CheckError);
+  EXPECT_EQ(f.div(0, 5), 0u);
+}
+
+TEST(Gf, LogExpConsistency) {
+  GF2m f(10);
+  for (std::uint32_t a = 1; a < 100; ++a)
+    EXPECT_EQ(f.alpha_pow(f.log(a)), a);
+}
+
+TEST(Gf, NegativeExponent) {
+  GF2m f(6);
+  EXPECT_EQ(f.mul(f.alpha_pow(-5), f.alpha_pow(5)), 1u);
+}
+
+TEST(Gf, PolyEvalHorner) {
+  GF2m f(4);
+  // p(x) = x^2 + x + 1 at x = alpha: alpha^2 ^ alpha ^ 1
+  const std::vector<std::uint32_t> p{1, 1, 1};
+  const std::uint32_t alpha = f.alpha_pow(1);
+  EXPECT_EQ(f.poly_eval(p, alpha),
+            f.add(f.add(f.pow(alpha, 2), alpha), 1u));
+  EXPECT_EQ(f.poly_eval(p, 0), 1u);
+}
+
+TEST(Gf, UnsupportedDegreeThrows) {
+  EXPECT_THROW(GF2m(1), CheckError);
+  EXPECT_THROW(GF2m(17), CheckError);
+}
+
+}  // namespace
+}  // namespace densemem::ecc

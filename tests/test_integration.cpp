@@ -1,0 +1,192 @@
+// Cross-module integration scenarios: the paper's headline stories executed
+// end-to-end through the full stack (device + controller + mitigation +
+// attack + exploit).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "attack/attacker.h"
+#include "attack/exploit.h"
+#include "core/analysis.h"
+#include "core/system.h"
+
+namespace densemem {
+namespace {
+
+using attack::AttackConfig;
+using attack::Attacker;
+using attack::PatternKind;
+using core::MitigationKind;
+using core::MitigationSpec;
+using core::make_system;
+
+dram::DeviceConfig demo_device(std::uint64_t seed) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::vulnerable();
+  cfg.reliability.weak_cell_density = 3e-3;
+  cfg.reliability.hc50 = 12e3;
+  cfg.reliability.hc_sigma = 0.3;
+  cfg.reliability.dpd_sensitivity_mean = 0.0;
+  cfg.reliability.anticell_fraction = 0.0;
+  cfg.seed = seed;
+  cfg.pattern = dram::BackgroundPattern::kOnes;
+  cfg.record_flip_events = true;
+  return cfg;
+}
+
+std::uint32_t weak_victim(dram::Device& dev) {
+  for (std::uint32_t r : dev.fault_map().weak_rows(0))
+    if (r >= 3 && r + 3 < dev.geometry().rows) return r;
+  return 0;
+}
+
+TEST(Integration, RefreshRateMultiplierEliminatesFlips) {
+  // §II-C story: the refresh window bounds accumulable stress, so a high
+  // enough multiplier makes the achievable hammer count sub-threshold.
+  // Here the controller's periodic REF actually restores the victim.
+  std::uint64_t flips_at_1x = 0;
+  for (const double mult : {1.0, 8.0}) {
+    dram::DeviceConfig dc = demo_device(101);
+    dc.reliability.hc50 = 250e3;  // reachable at 1x, not at 8x
+    dc.reliability.hc_sigma = 0.2;
+    dc.reliability.hc_sigma = 0.2;
+    ctrl::CtrlConfig cc;
+    if (mult > 1.0)
+      cc.timing = dram::Timing::ddr3_1600().with_refresh_multiplier(mult);
+    auto sys = make_system(dc, cc, {});
+    const std::uint32_t victim = weak_victim(sys.dev());
+    ASSERT_NE(victim, 0u);
+    // Hammer through the controller for 128 ms of simulated time.
+    while (sys.mc().now() < Time::ms(128)) {
+      sys.mc().activate_precharge(0, victim - 1);
+      sys.mc().activate_precharge(0, victim + 1);
+    }
+    sys.mc().activate_precharge(0, victim);
+    if (mult == 1.0) {
+      flips_at_1x = sys.dev().stats().disturb_flips;
+      EXPECT_GT(flips_at_1x, 0u) << "baseline must be vulnerable";
+    } else {
+      EXPECT_EQ(sys.dev().stats().disturb_flips, 0u)
+          << "8x refresh must prevent all flips for hc50=300k";
+    }
+  }
+}
+
+TEST(Integration, KernelPrivilegeEscalationStory) {
+  // Project-Zero style: spray PTEs, double-sided hammer, check takeover.
+  dram::DeviceConfig dc = demo_device(103);
+  auto sys = make_system(dc, ctrl::CtrlConfig{}, {});
+  const std::uint32_t victim = weak_victim(sys.dev());
+  ASSERT_NE(victim, 0u);
+
+  attack::ExploitConfig ec;
+  ec.attacker_frame_fraction = 1.0;  // maximal spray
+  attack::ExploitModel exploit(ec);
+  exploit.spray_row(sys.dev(), 0, victim, sys.mc().now());
+  const std::size_t ev0 = sys.dev().flip_events().size();
+
+  for (int i = 0; i < 40'000; ++i) {
+    sys.mc().activate_precharge(0, victim - 1);
+    sys.mc().activate_precharge(0, victim + 1);
+  }
+  sys.mc().activate_precharge(0, victim);
+  const auto outcome = exploit.evaluate(sys.dev(), ev0, {victim});
+  EXPECT_GT(outcome.flips_total, 0u);
+  // With full spray, takeover follows iff some flip hit a PPN field.
+  EXPECT_EQ(outcome.takeover, outcome.flips_in_ppn > 0);
+}
+
+TEST(Integration, ParaStopsTheExploit) {
+  dram::DeviceConfig dc = demo_device(103);
+  MitigationSpec spec;
+  spec.kind = MitigationKind::kPara;
+  spec.para.probability = 0.02;
+  auto sys = make_system(dc, ctrl::CtrlConfig{}, spec);
+  const std::uint32_t victim = weak_victim(sys.dev());
+  ASSERT_NE(victim, 0u);
+  attack::ExploitModel exploit(attack::ExploitConfig{});
+  exploit.spray_row(sys.dev(), 0, victim, sys.mc().now());
+  const std::size_t ev0 = sys.dev().flip_events().size();
+  for (int i = 0; i < 40'000; ++i) {
+    sys.mc().activate_precharge(0, victim - 1);
+    sys.mc().activate_precharge(0, victim + 1);
+  }
+  sys.mc().activate_precharge(0, victim);
+  const auto outcome = exploit.evaluate(sys.dev(), ev0, {victim});
+  EXPECT_FALSE(outcome.takeover);
+  EXPECT_EQ(outcome.flips_total, 0u);
+}
+
+TEST(Integration, AttackerThroughEveryMitigation) {
+  // Smoke matrix: the attack driver composes with each mitigation without
+  // protocol violations, and the unprotected run dominates the protected.
+  std::map<MitigationKind, std::uint64_t> flips;
+  for (const auto kind :
+       {MitigationKind::kNone, MitigationKind::kPara, MitigationKind::kCra,
+        MitigationKind::kAnvil, MitigationKind::kTrr}) {
+    MitigationSpec spec;
+    spec.kind = kind;
+    spec.para.probability = 0.02;
+    spec.cra.threshold = 1024;
+    spec.anvil.sample_rate = 0.05;
+    auto sys = make_system(demo_device(107), ctrl::CtrlConfig{}, spec);
+    const std::uint32_t victim = weak_victim(sys.dev());
+    ASSERT_NE(victim, 0u);
+    AttackConfig ac;
+    ac.pattern.kind = PatternKind::kDoubleSided;
+    ac.pattern.victim_row = victim;
+    ac.pattern.rows_in_bank = sys.dev().geometry().rows;
+    ac.max_iterations = 30'000;
+    Attacker atk(ac);
+    const auto res = atk.run(sys.mc());
+    flips[kind] = res.raw_disturb_flips;
+  }
+  EXPECT_GT(flips[MitigationKind::kNone], 0u);
+  for (const auto kind : {MitigationKind::kPara, MitigationKind::kCra,
+                          MitigationKind::kAnvil, MitigationKind::kTrr}) {
+    EXPECT_LE(flips[kind], flips[MitigationKind::kNone]);
+    EXPECT_EQ(flips[kind], 0u) << core::mitigation_name(kind);
+  }
+}
+
+TEST(Integration, ParaMonteCarloTracksAnalyticModel) {
+  // Cross-check PARA's simulated protection against the closed form at a
+  // scale where failures are observable: threshold cells ~600 hammers,
+  // p = 0.01, 3000 double-sided iterations.
+  dram::DeviceConfig dc = demo_device(113);
+  dc.reliability.hc50 = 600;
+  dc.reliability.hc_sigma = 0.01;  // nearly deterministic threshold
+  dc.reliability.weak_cell_density = 5e-4;
+
+  const double p = 0.01;
+  const std::uint64_t iters = 3000;
+  int trials = 0, failures = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    MitigationSpec spec;
+    spec.kind = MitigationKind::kPara;
+    spec.para.probability = p;
+    spec.para.seed = seed;
+    auto sys = make_system(dc, ctrl::CtrlConfig{}, spec);
+    const std::uint32_t victim = weak_victim(sys.dev());
+    if (victim == 0) continue;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      sys.mc().activate_precharge(0, victim - 1);
+      sys.mc().activate_precharge(0, victim + 1);
+    }
+    sys.mc().activate_precharge(0, victim);
+    ++trials;
+    failures += sys.dev().stats().disturb_flips > 0 ? 1 : 0;
+  }
+  ASSERT_GT(trials, 30);
+  // Victim sees ~2 stress/iteration; a PARA hit on either close restores.
+  // Analytic: runs of >= hc50/2 iteration-pairs with no refresh among
+  // 2*iters closes.
+  const double analytic = core::para_failure_probability(p, 2 * iters, 600);
+  const double mc = static_cast<double>(failures) / trials;
+  EXPECT_NEAR(mc, analytic,
+              4.0 * std::sqrt(std::max(analytic, 0.05) / trials) + 0.1);
+}
+
+}  // namespace
+}  // namespace densemem

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+
+namespace densemem::core {
+namespace {
+
+using ctrl::CtrlConfig;
+using ctrl::EccMode;
+using dram::BackgroundPattern;
+using dram::DeviceConfig;
+using dram::Geometry;
+using dram::ReliabilityParams;
+
+DeviceConfig hammerable_device(std::uint64_t seed = 61) {
+  DeviceConfig cfg;
+  cfg.geometry = Geometry::tiny();
+  cfg.reliability = ReliabilityParams::vulnerable();
+  cfg.reliability.weak_cell_density = 1e-3;
+  cfg.reliability.hc50 = 15e3;
+  cfg.reliability.hc_sigma = 0.3;
+  cfg.reliability.dpd_sensitivity_mean = 0.0;
+  cfg.reliability.anticell_fraction = 0.0;
+  cfg.seed = seed;
+  cfg.pattern = BackgroundPattern::kOnes;
+  return cfg;
+}
+
+// Double-sided hammer through the controller so the mitigation sees every
+// activate/precharge; returns raw flips.
+std::uint64_t run_double_sided(System& sys, std::uint32_t victim,
+                               std::uint64_t iterations) {
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    sys.mc().activate_precharge(0, victim - 1);
+    sys.mc().activate_precharge(0, victim + 1);
+  }
+  sys.mc().activate_precharge(0, victim);  // commit
+  return sys.dev().stats().disturb_flips;
+}
+
+std::uint32_t weak_victim(dram::Device& dev) {
+  for (std::uint32_t r : dev.fault_map().weak_rows(0))
+    if (r >= 2 && r + 2 < dev.geometry().rows) return r;
+  return 0;
+}
+
+TEST(Mitigations, BaselineFlips) {
+  auto sys = make_system(hammerable_device(), CtrlConfig{}, {});
+  const std::uint32_t victim = weak_victim(sys.dev());
+  ASSERT_NE(victim, 0u);
+  EXPECT_GT(run_double_sided(sys, victim, 40'000), 0u);
+}
+
+class ParaProbabilityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ParaProbabilityTest, SufficientProbabilityPreventsFlips) {
+  MitigationSpec spec;
+  spec.kind = MitigationKind::kPara;
+  spec.para.probability = GetParam();
+  auto sys = make_system(hammerable_device(), CtrlConfig{}, spec);
+  const std::uint32_t victim = weak_victim(sys.dev());
+  ASSERT_NE(victim, 0u);
+  // p=0.01 over 15k-threshold cells: expected unbroken run needed is ~100x
+  // shorter than the threshold — protection should be total.
+  EXPECT_EQ(run_double_sided(sys, victim, 40'000), 0u);
+  EXPECT_GT(sys.mc().stats().targeted_refreshes, 0u);
+}
+
+// Note the cap: PARA's own targeted refreshes are activations, so an
+// absurdly high p would itself hammer rows at distance 2-3 from the
+// aggressors (the Half-Double effect). Realistic p stays tiny.
+INSTANTIATE_TEST_SUITE_P(Probabilities, ParaProbabilityTest,
+                         ::testing::Values(0.005, 0.02, 0.05));
+
+TEST(Mitigations, ParaWithNegligibleProbabilityFails) {
+  MitigationSpec spec;
+  spec.kind = MitigationKind::kPara;
+  spec.para.probability = 1e-6;  // effectively no protection at this scale
+  auto sys = make_system(hammerable_device(), CtrlConfig{}, spec);
+  const std::uint32_t victim = weak_victim(sys.dev());
+  ASSERT_NE(victim, 0u);
+  EXPECT_GT(run_double_sided(sys, victim, 40'000), 0u);
+}
+
+TEST(Mitigations, ParaOverheadScalesWithP) {
+  for (const double p : {0.001, 0.01}) {
+    MitigationSpec spec;
+    spec.kind = MitigationKind::kPara;
+    spec.para.probability = p;
+    auto sys = make_system(hammerable_device(), CtrlConfig{}, spec);
+    run_double_sided(sys, 100, 20'000);
+    const double expected = 2.0 * 20'000 * p * 2.0;  // closes × p × 2 rows
+    EXPECT_NEAR(static_cast<double>(sys.mc().stats().targeted_refreshes),
+                expected, expected * 0.35 + 10);
+  }
+}
+
+TEST(Mitigations, CraDeterministicProtection) {
+  MitigationSpec spec;
+  spec.kind = MitigationKind::kCra;
+  spec.cra.threshold = 4096;  // well below the 15k cell threshold
+  auto sys = make_system(hammerable_device(), CtrlConfig{}, spec);
+  const std::uint32_t victim = weak_victim(sys.dev());
+  ASSERT_NE(victim, 0u);
+  EXPECT_EQ(run_double_sided(sys, victim, 40'000), 0u);
+  // Counter-based: refreshes fire exactly every `threshold` activations.
+  EXPECT_NEAR(static_cast<double>(sys.mc().stats().targeted_refreshes),
+              2.0 * (40'000.0 / 4096.0) * 2.0, 8.0);
+}
+
+TEST(Mitigations, CraStorageCostIsPerRow) {
+  MitigationSpec spec;
+  spec.kind = MitigationKind::kCra;
+  spec.cra.counter_bits = 16;
+  auto sys = make_system(hammerable_device(), CtrlConfig{}, spec);
+  // tiny: 2 banks x 512 rows = 1024 rows x 16 bits.
+  EXPECT_EQ(sys.mc().mitigation().storage_bits(), 1024u * 16u);
+}
+
+TEST(Mitigations, ParaHasZeroStorage) {
+  MitigationSpec spec;
+  spec.kind = MitigationKind::kPara;
+  auto sys = make_system(hammerable_device(), CtrlConfig{}, spec);
+  EXPECT_EQ(sys.mc().mitigation().storage_bits(), 0u);
+}
+
+TEST(Mitigations, AnvilDetectsConcentratedHammer) {
+  MitigationSpec spec;
+  spec.kind = MitigationKind::kAnvil;
+  spec.anvil.sample_rate = 0.05;
+  spec.anvil.detect_samples = 32;
+  auto sys = make_system(hammerable_device(), CtrlConfig{}, spec);
+  const std::uint32_t victim = weak_victim(sys.dev());
+  ASSERT_NE(victim, 0u);
+  EXPECT_EQ(run_double_sided(sys, victim, 40'000), 0u);
+  auto& anvil = dynamic_cast<ctrl::Anvil&>(sys.mc().mitigation());
+  EXPECT_GT(anvil.interventions(), 0u);
+}
+
+TEST(Mitigations, AnvilLowSamplingMisses) {
+  MitigationSpec spec;
+  spec.kind = MitigationKind::kAnvil;
+  spec.anvil.sample_rate = 0.0001;  // detection latency exceeds threshold
+  spec.anvil.detect_samples = 64;
+  auto sys = make_system(hammerable_device(), CtrlConfig{}, spec);
+  const std::uint32_t victim = weak_victim(sys.dev());
+  ASSERT_NE(victim, 0u);
+  EXPECT_GT(run_double_sided(sys, victim, 40'000), 0u);
+}
+
+TEST(Mitigations, TrrStopsDoubleSided) {
+  MitigationSpec spec;
+  spec.kind = MitigationKind::kTrr;
+  spec.trr.tracker_entries = 4;
+  auto sys = make_system(hammerable_device(), CtrlConfig{}, spec);
+  const std::uint32_t victim = weak_victim(sys.dev());
+  ASSERT_NE(victim, 0u);
+  // Two aggressors fit comfortably in a 4-entry tracker.
+  EXPECT_EQ(run_double_sided(sys, victim, 40'000), 0u);
+}
+
+TEST(Mitigations, TrrBypassedByManySided) {
+  // More distinct aggressors than tracker entries evict the true pair:
+  // the TRRespass effect behind the paper's DDR4 vulnerability claim.
+  MitigationSpec spec;
+  spec.kind = MitigationKind::kTrr;
+  spec.trr.tracker_entries = 4;
+  auto sys = make_system(hammerable_device(), CtrlConfig{}, spec);
+  const std::uint32_t victim = weak_victim(sys.dev());
+  ASSERT_NE(victim, 0u);
+  // 12 aggressors: the double-sided pair plus 10 decoys.
+  std::vector<std::uint32_t> rows{victim - 1, victim + 1};
+  for (std::uint32_t d = 1; d <= 10; ++d)
+    rows.push_back((victim + 13 * d) % (sys.dev().geometry().rows - 4) + 2);
+  for (int i = 0; i < 40'000; ++i)
+    for (std::uint32_t r : rows) sys.mc().activate_precharge(0, r);
+  sys.mc().activate_precharge(0, victim);
+  EXPECT_GT(sys.dev().stats().disturb_flips, 0u);
+}
+
+TEST(Mitigations, NaiveAdjacencyFailsUnderScramble) {
+  // PARA refreshing logical +/-1 under a scrambled remap protects the wrong
+  // physical rows — the SPD deployment question of §II-C.
+  DeviceConfig dc = hammerable_device();
+  dc.remap = dram::RemapScheme::kScramble;
+
+  MitigationSpec spec;
+  spec.kind = MitigationKind::kPara;
+  spec.para.probability = 0.05;
+
+  CtrlConfig naive;
+  naive.use_spd_adjacency = false;
+  auto sys_naive = make_system(dc, naive, spec);
+  CtrlConfig spd;
+  spd.use_spd_adjacency = true;
+  auto sys_spd = make_system(dc, spd, spec);
+
+  // Pick an aggressor whose *physical* neighbour actually has weak cells
+  // (so an unprotected run demonstrably flips) — locate it via SPD.
+  std::uint32_t aggressor = 0;
+  {
+    dram::Device probe(dc);
+    for (std::uint32_t r = 2; r + 2 < probe.geometry().rows; ++r) {
+      for (std::uint32_t v : probe.spd_neighbors(r)) {
+        const std::uint32_t pv = probe.remap().to_physical(v);
+        if (probe.fault_map().row_has_weak(0, pv)) aggressor = r;
+      }
+      if (aggressor) break;
+    }
+  }
+  ASSERT_NE(aggressor, 0u);
+  auto run = [&](System& sys) {
+    for (int i = 0; i < 60'000; ++i) {
+      sys.mc().activate_precharge(0, aggressor);
+      sys.mc().activate_precharge(0, 200);
+    }
+    // Commit every physical victim of the aggressor.
+    for (std::uint32_t v : sys.dev().spd_neighbors(aggressor))
+      sys.mc().activate_precharge(0, v);
+    return sys.dev().stats().disturb_flips;
+  };
+  const auto flips_spd = run(sys_spd);
+  const auto flips_naive = run(sys_naive);
+  EXPECT_EQ(flips_spd, 0u);
+  EXPECT_GE(flips_naive, flips_spd);
+}
+
+
+TEST(Mitigations, TrrEnablesHalfDouble) {
+  // Half-Double: hammer rows at distance 2 from the victim with the
+  // distance-2 coupling DISABLED, so the only path to the victim is the
+  // mitigation itself — TRR's targeted refreshes of the distance-1 rows are
+  // activations that hammer the victim. Without TRR: zero flips. With TRR:
+  // flips. The mitigation is the aggressor.
+  dram::DeviceConfig dc = hammerable_device(67);
+  dc.reliability.distance2_weight = 0.0;
+  dc.reliability.hc50 = 3e3;
+  dc.reliability.hc_sigma = 0.25;
+  dc.record_flip_events = true;
+
+  // Count flips in the centre victim only: the distance-1 rows flip under
+  // either configuration (they are directly adjacent to the aggressors).
+  auto run = [&](MitigationSpec spec) {
+    auto sys = make_system(dc, CtrlConfig{}, spec);
+    std::uint32_t victim = 0;
+    for (std::uint32_t r : sys.dev().fault_map().weak_rows(0))
+      if (r >= 4 && r + 4 < sys.dev().geometry().rows) {
+        victim = r;
+        break;
+      }
+    EXPECT_NE(victim, 0u);
+    for (int i = 0; i < 600'000; ++i) {
+      sys.mc().activate_precharge(0, victim - 2);
+      sys.mc().activate_precharge(0, victim + 2);
+    }
+    sys.mc().activate_precharge(0, victim);
+    std::uint64_t victim_flips = 0;
+    for (const auto& ev : sys.dev().flip_events())
+      victim_flips += ev.logical_row == victim;
+    return victim_flips;
+  };
+  EXPECT_EQ(run({}), 0u) << "no distance-2 coupling, no mitigation: clean";
+  MitigationSpec trr;
+  trr.kind = MitigationKind::kTrr;
+  trr.trr.tracker_entries = 4;
+  EXPECT_GT(run(trr), 0u) << "TRR's own refreshes must hammer the victim";
+}
+
+TEST(Mitigations, NamesAreStable) {
+  EXPECT_STREQ(mitigation_name(MitigationKind::kPara), "PARA");
+  EXPECT_STREQ(mitigation_name(MitigationKind::kNone), "none");
+  auto sys = make_system(hammerable_device(), CtrlConfig{}, {});
+  EXPECT_EQ(sys.mc().mitigation().name(), "none");
+}
+
+}  // namespace
+}  // namespace densemem::core

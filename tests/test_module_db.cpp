@@ -1,0 +1,111 @@
+#include "dram/module_db.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace densemem::dram {
+namespace {
+
+TEST(ModuleDb, PublishedAggregateStatistics) {
+  ModuleDb db;
+  // The paper: 129 modules tested, 110 vulnerable, earliest 2010.
+  EXPECT_EQ(db.size(), 129u);
+  EXPECT_EQ(db.vulnerable_count(), 110u);
+  EXPECT_EQ(db.earliest_vulnerable_year(), 2010);
+}
+
+TEST(ModuleDb, All2012And2013ModulesVulnerable) {
+  ModuleDb db;
+  for (const auto& m : db.modules()) {
+    if (m.year == 2012 || m.year == 2013) {
+      EXPECT_TRUE(m.vulnerable) << m.id;
+    }
+  }
+}
+
+TEST(ModuleDb, PreRowHammerEraClean) {
+  ModuleDb db;
+  for (const auto& m : db.modules()) {
+    if (m.year <= 2009) {
+      EXPECT_FALSE(m.vulnerable) << m.id;
+      EXPECT_EQ(m.reliability.weak_cell_density, 0.0) << m.id;
+    }
+  }
+}
+
+TEST(ModuleDb, AllThreeManufacturersPresentEveryYear) {
+  ModuleDb db;
+  std::map<int, std::set<Manufacturer>> mfrs;
+  for (const auto& m : db.modules()) mfrs[m.year].insert(m.manufacturer);
+  for (int year = 2008; year <= 2014; ++year) {
+    EXPECT_EQ(mfrs[year].size(), 3u) << "year " << year;
+  }
+}
+
+TEST(ModuleDb, VulnerableModulesHaveConsistentParams) {
+  ModuleDb db;
+  for (const auto& m : db.modules()) {
+    if (!m.vulnerable) continue;
+    EXPECT_GT(m.target_error_rate, 0.0) << m.id;
+    EXPECT_GT(m.reliability.weak_cell_density, 0.0) << m.id;
+    EXPECT_GT(m.reliability.hc50, 10e3) << m.id;
+    EXPECT_LT(m.reliability.hc50, 1e6) << m.id;
+  }
+}
+
+TEST(ModuleDb, NewerModulesHaveLowerThresholds) {
+  // Median hc50 by year must decline: newer process nodes flip easier.
+  ModuleDb db;
+  std::map<int, std::vector<double>> by_year;
+  for (const auto& m : db.modules())
+    if (m.vulnerable) by_year[m.year].push_back(m.reliability.hc50);
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  EXPECT_GT(median(by_year[2010]), median(by_year[2012]));
+  EXPECT_GT(median(by_year[2012]), median(by_year[2014]));
+}
+
+TEST(ModuleDb, DeterministicForSameSeed) {
+  ModuleDb a(99), b(99);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.modules()[i].id, b.modules()[i].id);
+    EXPECT_EQ(a.modules()[i].vulnerable, b.modules()[i].vulnerable);
+    EXPECT_DOUBLE_EQ(a.modules()[i].target_error_rate,
+                     b.modules()[i].target_error_rate);
+  }
+}
+
+TEST(ModuleDb, SeedVariesJitterNotAggregates) {
+  ModuleDb a(1), b(2);
+  EXPECT_EQ(a.vulnerable_count(), b.vulnerable_count());
+  EXPECT_EQ(a.earliest_vulnerable_year(), b.earliest_vulnerable_year());
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i)
+    differs = a.modules()[i].target_error_rate != b.modules()[i].target_error_rate;
+  EXPECT_TRUE(differs);
+}
+
+TEST(ModuleDb, UniqueIds) {
+  ModuleDb db;
+  std::set<std::string> ids;
+  for (const auto& m : db.modules()) ids.insert(m.id);
+  EXPECT_EQ(ids.size(), db.size());
+}
+
+TEST(ModuleDb, DeviceConfigUsesModuleSeedAndParams) {
+  ModuleDb db;
+  const auto& m = db.modules().front();
+  const auto cfg = db.device_config(m, Geometry::tiny());
+  EXPECT_EQ(cfg.seed, m.seed);
+  EXPECT_EQ(cfg.reliability.weak_cell_density,
+            m.reliability.weak_cell_density);
+  EXPECT_EQ(cfg.geometry.rows, Geometry::tiny().rows);
+}
+
+}  // namespace
+}  // namespace densemem::dram

@@ -1,0 +1,154 @@
+#include "core/module_tester.h"
+
+#include <gtest/gtest.h>
+
+#include "dram/module_db.h"
+
+namespace densemem::core {
+namespace {
+
+TEST(ModuleTester, RobustModuleShowsZeroErrors) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::robust();
+  cfg.seed = 3;
+  dram::Device dev(cfg);
+  ModuleTestConfig tc;
+  tc.sample_rows = 0;  // every row
+  const auto res = ModuleTester(tc).run(dev);
+  EXPECT_EQ(res.failing_cells, 0u);
+  EXPECT_EQ(res.errors_per_1e9_cells, 0.0);
+  EXPECT_GT(res.cells_tested, 0u);
+}
+
+TEST(ModuleTester, VulnerableModuleErrorRateNearDensity) {
+  // With the max-hammer test, essentially every weak cell should fail under
+  // some pattern, so measured rate ≈ weak-cell density × 1e9.
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::vulnerable();
+  cfg.reliability.weak_cell_density = 5e-4;
+  cfg.reliability.hc50 = 120e3;
+  cfg.seed = 5;
+  dram::Device dev(cfg);
+  ModuleTestConfig tc;
+  tc.sample_rows = 0;
+  const auto res = ModuleTester(tc).run(dev);
+  const double expected = 5e-4 * 1e9;
+  EXPECT_GT(res.errors_per_1e9_cells, expected * 0.6);
+  EXPECT_LT(res.errors_per_1e9_cells, expected * 1.4);
+}
+
+TEST(ModuleTester, MorePatternsFindMoreCells) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::vulnerable();
+  cfg.reliability.weak_cell_density = 1e-3;
+  cfg.seed = 7;
+
+  ModuleTestConfig one_pattern;
+  one_pattern.sample_rows = 0;
+  one_pattern.patterns = {dram::BackgroundPattern::kOnes};
+  ModuleTestConfig three_patterns;
+  three_patterns.sample_rows = 0;
+
+  dram::Device dev1(cfg), dev3(cfg);
+  const auto r1 = ModuleTester(one_pattern).run(dev1);
+  const auto r3 = ModuleTester(three_patterns).run(dev3);
+  // All-ones misses anti-cells entirely; the union over patterns must not.
+  EXPECT_GT(r3.failing_cells, r1.failing_cells);
+}
+
+TEST(ModuleTester, WeakerHammerFindsFewerCells) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::vulnerable();
+  cfg.reliability.weak_cell_density = 1e-3;
+  cfg.seed = 9;
+
+  ModuleTestConfig strong;
+  strong.sample_rows = 0;
+  ModuleTestConfig weak = strong;
+  weak.hammer_count = 60'000;  // ~half of hc50
+
+  dram::Device dev1(cfg), dev2(cfg);
+  const auto rs = ModuleTester(strong).run(dev1);
+  const auto rw = ModuleTester(weak).run(dev2);
+  EXPECT_LT(rw.failing_cells, rs.failing_cells);
+}
+
+TEST(ModuleTester, SamplingApproximatesFullScan) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = {1, 1, 2, 2048, 1024};
+  cfg.reliability = dram::ReliabilityParams::vulnerable();
+  cfg.reliability.weak_cell_density = 2e-3;
+  cfg.seed = 11;
+
+  ModuleTestConfig full;
+  full.sample_rows = 0;
+  ModuleTestConfig sampled;
+  sampled.sample_rows = 512;
+
+  dram::Device dev1(cfg), dev2(cfg);
+  const auto rf = ModuleTester(full).run(dev1);
+  const auto rs = ModuleTester(sampled).run(dev2);
+  ASSERT_GT(rf.errors_per_1e9_cells, 0.0);
+  EXPECT_NEAR(rs.errors_per_1e9_cells / rf.errors_per_1e9_cells, 1.0, 0.35);
+}
+
+TEST(ModuleTester, SingleSidedWeakerThanDoubleSided) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::vulnerable();
+  cfg.reliability.weak_cell_density = 1e-3;
+  cfg.reliability.hc50 = 1.6e6;  // between 1x and 2x of max single hammer
+  cfg.reliability.hc_sigma = 0.2;
+  cfg.seed = 13;
+
+  ModuleTestConfig dbl;
+  dbl.sample_rows = 0;
+  ModuleTestConfig sgl = dbl;
+  sgl.double_sided = false;
+
+  dram::Device dev1(cfg), dev2(cfg);
+  const auto rd = ModuleTester(dbl).run(dev1);
+  const auto rs = ModuleTester(sgl).run(dev2);
+  EXPECT_GT(rd.failing_cells, rs.failing_cells);
+}
+
+TEST(ModuleTester, DefaultHammerCountFromTiming) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::robust();
+  cfg.seed = 15;
+  dram::Device dev(cfg);
+  ModuleTestConfig tc;
+  tc.sample_rows = 4;
+  const auto res = ModuleTester(tc).run(dev);
+  EXPECT_EQ(res.hammer_count_used,
+            static_cast<std::uint64_t>(
+                dram::Timing::ddr3_1600().max_activations_per_window()));
+}
+
+TEST(ModuleTester, DbModulesReproduceTargetOrder) {
+  // Spot-check a few database modules: measured error rate within a factor
+  // of ~3 of the calibration target (Poisson noise at small samples).
+  dram::ModuleDb db;
+  int checked = 0;
+  for (const auto& m : db.modules()) {
+    if (!m.vulnerable || m.target_error_rate < 1e4) continue;
+    dram::Geometry g{1, 1, 1, 4096, 8192};
+    dram::Device dev(db.device_config(m, g));
+    ModuleTestConfig tc;
+    tc.sample_rows = 512;
+    tc.seed = 1;
+    const auto res = ModuleTester(tc).run(dev);
+    EXPECT_GT(res.errors_per_1e9_cells, m.target_error_rate / 3.0) << m.id;
+    EXPECT_LT(res.errors_per_1e9_cells, m.target_error_rate * 3.0) << m.id;
+    if (++checked == 3) break;
+  }
+  EXPECT_EQ(checked, 3);
+}
+
+}  // namespace
+}  // namespace densemem::core

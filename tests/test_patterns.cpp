@@ -1,0 +1,114 @@
+#include "attack/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.h"
+
+#include <set>
+
+namespace densemem::attack {
+namespace {
+
+PatternConfig base_config(PatternKind kind) {
+  PatternConfig cfg;
+  cfg.kind = kind;
+  cfg.victim_row = 100;
+  cfg.rows_in_bank = 512;
+  return cfg;
+}
+
+TEST(Patterns, DoubleSidedAggressors) {
+  HammerPattern p(base_config(PatternKind::kDoubleSided));
+  EXPECT_EQ(p.aggressors(), (std::vector<std::uint32_t>{99, 101}));
+  const auto victims = p.expected_victims();
+  // Victims: rows within distance 2 of an aggressor minus the aggressors:
+  // 97, 98, 100, 102, 103.
+  EXPECT_EQ(victims, (std::vector<std::uint32_t>{97, 98, 100, 102, 103}));
+}
+
+TEST(Patterns, SingleSidedHasAdjacentPlusDummy) {
+  HammerPattern p(base_config(PatternKind::kSingleSided));
+  ASSERT_EQ(p.aggressors().size(), 2u);
+  EXPECT_EQ(p.aggressors()[0], 101u);
+  // Dummy is far from the victim.
+  const std::uint32_t dummy = p.aggressors()[1];
+  EXPECT_GT(dummy > 100u ? dummy - 100u : 100u - dummy, 50u);
+}
+
+TEST(Patterns, OneLocationSingleAggressor) {
+  HammerPattern p(base_config(PatternKind::kOneLocation));
+  EXPECT_EQ(p.aggressors(), (std::vector<std::uint32_t>{101}));
+}
+
+class ManySidedTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ManySidedTest, AggressorCountAndSandwich) {
+  PatternConfig cfg = base_config(PatternKind::kManySided);
+  cfg.n_aggressors = GetParam();
+  HammerPattern p(cfg);
+  EXPECT_EQ(p.aggressors().size(), GetParam());
+  // Always contains the double-sided sandwich.
+  const auto& a = p.aggressors();
+  EXPECT_NE(std::find(a.begin(), a.end(), 99u), a.end());
+  EXPECT_NE(std::find(a.begin(), a.end(), 101u), a.end());
+  // All aggressors within the bank.
+  for (std::uint32_t r : a) EXPECT_LT(r, cfg.rows_in_bank);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ManySidedTest,
+                         ::testing::Values(2u, 4u, 8u, 16u, 24u));
+
+TEST(Patterns, RandomDrawsFreshRows) {
+  PatternConfig cfg = base_config(PatternKind::kRandom);
+  HammerPattern p(cfg);
+  EXPECT_TRUE(p.aggressors().empty());
+  std::set<std::uint32_t> seen;
+  std::vector<std::uint32_t> rows;
+  for (int i = 0; i < 50; ++i) {
+    rows.clear();
+    p.iteration_rows(i, rows);
+    EXPECT_EQ(rows.size(), 2u);
+    for (std::uint32_t r : rows) {
+      EXPECT_LT(r, cfg.rows_in_bank);
+      seen.insert(r);
+    }
+  }
+  EXPECT_GT(seen.size(), 20u);  // actually random, not repeating one pair
+}
+
+TEST(Patterns, IterationRowsAppends) {
+  HammerPattern p(base_config(PatternKind::kDoubleSided));
+  std::vector<std::uint32_t> rows{7};
+  p.iteration_rows(0, rows);
+  EXPECT_EQ(rows, (std::vector<std::uint32_t>{7, 99, 101}));
+}
+
+TEST(Patterns, VictimMarginEnforced) {
+  PatternConfig cfg = base_config(PatternKind::kDoubleSided);
+  cfg.victim_row = 1;
+  EXPECT_THROW(HammerPattern{cfg}, CheckError);
+  cfg.victim_row = 510;
+  EXPECT_THROW(HammerPattern{cfg}, CheckError);
+}
+
+TEST(Patterns, NamesAreStable) {
+  EXPECT_STREQ(pattern_name(PatternKind::kDoubleSided), "double-sided");
+  EXPECT_STREQ(pattern_name(PatternKind::kManySided), "many-sided");
+}
+
+TEST(Patterns, ExpectedVictimsExcludeAggressors) {
+  PatternConfig cfg = base_config(PatternKind::kManySided);
+  cfg.n_aggressors = 8;
+  HammerPattern p(cfg);
+  const auto victims = p.expected_victims();
+  for (std::uint32_t v : victims) {
+    const auto& a = p.aggressors();
+    EXPECT_EQ(std::find(a.begin(), a.end(), v), a.end());
+  }
+  EXPECT_FALSE(victims.empty());
+}
+
+}  // namespace
+}  // namespace densemem::attack

@@ -1,0 +1,125 @@
+#include "pcm/device.h"
+
+#include <gtest/gtest.h>
+
+namespace densemem::pcm {
+namespace {
+
+PcmDevice small_device(std::uint64_t seed = 3, double endurance = 1000.0) {
+  PcmParams p;
+  p.endurance_median = endurance;
+  return PcmDevice({64, 16}, p, seed);
+}
+
+std::vector<std::uint8_t> pattern_line(std::uint32_t cells, int phase = 0) {
+  std::vector<std::uint8_t> v(cells);
+  for (std::uint32_t c = 0; c < cells; ++c)
+    v[c] = static_cast<std::uint8_t>((c + phase) % 4);
+  return v;
+}
+
+TEST(PcmDevice, FreshReadBackMatches) {
+  auto dev = small_device();
+  const auto data = pattern_line(16);
+  ASSERT_TRUE(dev.write_line(5, data, 0.0));
+  EXPECT_EQ(dev.read_line(5, 0.0), data);
+}
+
+TEST(PcmDevice, EnduranceIsDeterministicAndVaried) {
+  auto a = small_device(7), b = small_device(7);
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (std::uint32_t l = 0; l < 64; ++l) {
+    EXPECT_EQ(a.endurance_of(l), b.endurance_of(l));
+    lo = std::min(lo, a.endurance_of(l));
+    hi = std::max(hi, a.endurance_of(l));
+  }
+  EXPECT_LT(lo, 1000u);
+  EXPECT_GT(hi, 1000u);
+  EXPECT_EQ(a.min_endurance(), lo);
+}
+
+TEST(PcmDevice, LineFailsAtItsEndurance) {
+  auto dev = small_device(9);
+  const std::uint32_t line = 3;
+  const auto e = dev.endurance_of(line);
+  const auto data = pattern_line(16);
+  for (std::uint64_t w = 0; w + 1 < e; ++w)
+    ASSERT_TRUE(dev.write_line(line, data, 0.0)) << "write " << w;
+  EXPECT_FALSE(dev.line_failed(line));
+  EXPECT_FALSE(dev.write_line(line, data, 0.0));  // crosses the endurance
+  EXPECT_TRUE(dev.line_failed(line));
+  EXPECT_EQ(dev.stats().failed_lines, 1u);
+}
+
+TEST(PcmDevice, FailedLineCorruptsReads) {
+  auto dev = small_device(11, 50.0);
+  const std::uint32_t line = 0;
+  const auto data = pattern_line(16, 1);
+  std::uint64_t w = 0;
+  while (dev.write_line(line, data, 0.0)) ++w;
+  const auto readback = dev.read_line(line, 0.0);
+  EXPECT_NE(readback, data) << "stuck line must corrupt data";
+}
+
+TEST(PcmDevice, DriftRaisesResistanceOverTime) {
+  auto dev = small_device(13);
+  std::vector<std::uint8_t> levels(16, 2);  // amorphous-ish mid level
+  dev.write_line(1, levels, 0.0);
+  const double r0 = dev.cell_log_r(1, 4, 1.0);
+  const double r1 = dev.cell_log_r(1, 4, 1e5);
+  const double r2 = dev.cell_log_r(1, 4, 1e8);
+  EXPECT_LE(r0, r1);
+  EXPECT_LT(r1, r2);
+}
+
+TEST(PcmDevice, CrystallineLevelDoesNotDrift) {
+  auto dev = small_device(13);
+  std::vector<std::uint8_t> levels(16, 0);
+  dev.write_line(2, levels, 0.0);
+  EXPECT_DOUBLE_EQ(dev.cell_log_r(2, 0, 1e9), dev.cell_log_r(2, 0, 0.0));
+}
+
+TEST(PcmDevice, DriftEventuallyCausesMlcReadErrors) {
+  // Level-2 cells drift into the level-3 band after long enough: the MLC
+  // margin erosion of §III's emerging-memory discussion.
+  PcmParams p;
+  p.endurance_median = 1e9;
+  p.drift_nu_mean = 0.1;  // aggressive drifters
+  PcmDevice dev({8, 256}, p, 17);
+  std::vector<std::uint8_t> levels(256, 2);
+  dev.write_line(0, levels, 0.0);
+  const auto fresh = dev.read_line(0, 1.0);
+  std::size_t fresh_errors = 0, aged_errors = 0;
+  const auto aged = dev.read_line(0, 3.0e8);  // ~10 years
+  for (std::uint32_t c = 0; c < 256; ++c) {
+    fresh_errors += fresh[c] != 2;
+    aged_errors += aged[c] != 2;
+  }
+  EXPECT_EQ(fresh_errors, 0u);
+  EXPECT_GT(aged_errors, 0u);
+  // Drift only raises levels: misreads land at 3, never below 2.
+  for (std::uint32_t c = 0; c < 256; ++c) EXPECT_GE(aged[c], 2);
+}
+
+TEST(PcmDevice, RewriteResetsDriftClock) {
+  PcmParams p;
+  p.drift_nu_mean = 0.1;
+  PcmDevice dev({8, 16}, p, 19);
+  std::vector<std::uint8_t> levels(16, 2);
+  dev.write_line(0, levels, 0.0);
+  const double aged = dev.cell_log_r(0, 3, 1e8);
+  dev.write_line(0, levels, 1e8);  // scrub-style rewrite at t = 1e8
+  const double refreshed = dev.cell_log_r(0, 3, 1e8 + 1.0);
+  EXPECT_LT(refreshed, aged);
+}
+
+TEST(PcmDevice, BoundsChecked) {
+  auto dev = small_device();
+  const auto data = pattern_line(16);
+  EXPECT_THROW(dev.write_line(64, data, 0.0), CheckError);
+  EXPECT_THROW(dev.write_line(0, pattern_line(15), 0.0), CheckError);
+  EXPECT_THROW(dev.read_line(64, 0.0), CheckError);
+}
+
+}  // namespace
+}  // namespace densemem::pcm

@@ -1,0 +1,156 @@
+#include "ctrl/profiler.h"
+
+#include <gtest/gtest.h>
+
+namespace densemem::ctrl {
+namespace {
+
+dram::DeviceConfig profiled_device(std::uint64_t seed = 41,
+                                   double vrt_fraction = 0.0) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry{1, 1, 2, 1024, 1024};
+  cfg.reliability = dram::ReliabilityParams::leaky();
+  cfg.reliability.leaky_cell_density = 2e-4;
+  cfg.reliability.retention_mu_log_ms = 7.0;
+  cfg.reliability.retention_sigma = 1.2;
+  cfg.reliability.vrt_fraction = vrt_fraction;
+  cfg.reliability.vrt_rate_hz = 0.4;
+  cfg.reliability.retention_dpd_strength = 0.5;
+  cfg.seed = seed;
+  cfg.pattern = dram::BackgroundPattern::kOnes;
+  cfg.record_flip_events = true;
+  return cfg;
+}
+
+TEST(Profiler, FindsRowsFailingAtTargetInterval) {
+  dram::Device dev(profiled_device());
+  ProfilerConfig pc;
+  pc.rounds = 1;
+  RetentionProfiler prof(pc);
+  const auto report = prof.profile(dev);
+  EXPECT_FALSE(report.weak_rows.empty());
+  EXPECT_GT(report.cells_observed_failing, 0u);
+  EXPECT_GT(report.profiling_time, Time{});
+  // Every reported row genuinely has a leaky cell.
+  for (const auto& [bank, row] : report.weak_rows)
+    EXPECT_TRUE(dev.fault_map().row_has_leaky(
+        bank, dev.remap().to_physical(row)))
+        << "bank " << bank << " row " << row;
+}
+
+TEST(Profiler, MorePatternsFindMoreRows) {
+  ProfilerConfig one;
+  one.rounds = 1;
+  one.patterns = {dram::BackgroundPattern::kOnes};
+  ProfilerConfig all;
+  all.rounds = 1;
+
+  dram::Device dev1(profiled_device(43)), dev2(profiled_device(43));
+  const auto r1 = RetentionProfiler(one).profile(dev1);
+  const auto r2 = RetentionProfiler(all).profile(dev2);
+  EXPECT_GT(r2.weak_rows.size(), r1.weak_rows.size())
+      << "multi-pattern profiling must beat single-pattern (DPD)";
+}
+
+TEST(Profiler, VrtKeepsProducingNewRows) {
+  dram::Device dev(profiled_device(47, /*vrt_fraction=*/0.6));
+  ProfilerConfig pc;
+  pc.rounds = 6;
+  const auto report = RetentionProfiler(pc).profile(dev);
+  ASSERT_EQ(report.new_rows_per_round.size(), 6u);
+  std::size_t late = 0;
+  for (std::size_t i = 2; i < report.new_rows_per_round.size(); ++i)
+    late += report.new_rows_per_round[i];
+  EXPECT_GT(late, 0u) << "VRT cells should keep surfacing after round 2";
+}
+
+TEST(Profiler, StableCellsConvergeQuickly) {
+  dram::Device dev(profiled_device(49, /*vrt_fraction=*/0.0));
+  ProfilerConfig pc;
+  pc.rounds = 4;
+  const auto report = RetentionProfiler(pc).profile(dev);
+  // Without VRT the discovery curve collapses after the first full sweep
+  // (later rounds re-test the same stable physics).
+  std::size_t late = 0;
+  for (std::size_t i = 1; i < report.new_rows_per_round.size(); ++i)
+    late += report.new_rows_per_round[i];
+  EXPECT_EQ(late, 0u);
+}
+
+TEST(Profiler, ApplyBinsSetsFastAndSlow) {
+  dram::Device dev(profiled_device(53));
+  ProfilerConfig pc;
+  pc.rounds = 1;
+  pc.slow_bin = 3;
+  RetentionProfiler prof(pc);
+  const auto report = prof.profile(dev);
+  ASSERT_FALSE(report.weak_rows.empty());
+
+  CtrlConfig cc;
+  cc.refresh_mode = RefreshMode::kMultirate;
+  MemoryController mc(dev, cc);
+  prof.apply_bins(report, mc);
+  for (const auto& [bank, row] : report.weak_rows)
+    EXPECT_EQ(mc.row_bin(bank, row), 0);
+  // Spot-check a non-weak row.
+  for (std::uint32_t r = 2; r < dev.geometry().rows; ++r) {
+    if (!report.weak_rows.count({0, r})) {
+      EXPECT_EQ(mc.row_bin(0, r), 3);
+      break;
+    }
+  }
+}
+
+TEST(Profiler, AvatarScrubUpgradesFailingRow) {
+  dram::DeviceConfig dc = profiled_device(59);
+  dram::Device dev(dc);
+  CtrlConfig cc;
+  cc.refresh_mode = RefreshMode::kMultirate;
+  cc.ecc = EccMode::kSecded;
+  MemoryController mc(dev, cc);
+  // Find a row with a single leaky cell in a data word, park it slow.
+  std::uint32_t bad_row = 0;
+  for (std::uint32_t r : dev.fault_map().leaky_rows(0)) {
+    if (r == 0) continue;
+    const auto& cells = dev.fault_map().leaky_cells(0, r);
+    if (cells.size() == 1 && !cells[0].anti_cell && !cells[0].vrt &&
+        cells[0].retention_ms < 400.0f && cells[0].bit / 64 % 9 != 8) {
+      bad_row = r;
+      break;
+    }
+  }
+  ASSERT_NE(bad_row, 0u);
+  std::array<std::uint64_t, 8> ones;
+  ones.fill(~std::uint64_t{0});
+  dram::Address a{0, 0, 0, bad_row, 0};
+  for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
+    a.col_word = blk;
+    mc.write_block(a, ones);
+  }
+  mc.close_all_banks();
+  mc.set_row_bin(0, bad_row, 3);
+  // Let the cell decay past its retention, then run the AVATAR scrub.
+  mc.advance_to(mc.now() + Time::ms(2000));
+  RetentionProfiler prof(ProfilerConfig{});
+  const auto upgrades = prof.avatar_scrub(mc, {{0, bad_row}});
+  EXPECT_EQ(upgrades, 1u);
+  EXPECT_EQ(mc.row_bin(0, bad_row), 0);
+  // A second scrub of the now-fast row must not upgrade again.
+  EXPECT_EQ(prof.avatar_scrub(mc, {{0, bad_row}}), 0u);
+}
+
+TEST(Profiler, RequiresEventLogAndEcc) {
+  dram::DeviceConfig dc = profiled_device(61);
+  dc.record_flip_events = false;
+  dram::Device dev(dc);
+  EXPECT_THROW(RetentionProfiler(ProfilerConfig{}).profile(dev), CheckError);
+
+  dram::DeviceConfig dc2 = profiled_device(61);
+  dram::Device dev2(dc2);
+  MemoryController mc(dev2, CtrlConfig{});  // no ECC
+  EXPECT_THROW(RetentionProfiler(ProfilerConfig{}).avatar_scrub(mc, {{0, 1}}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace densemem::ctrl

@@ -1,0 +1,208 @@
+// Cross-cutting property tests: invariants that must hold across module
+// boundaries and configuration sweeps.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/system.h"
+
+namespace densemem {
+namespace {
+
+dram::DeviceConfig base_device(std::uint64_t seed) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::vulnerable();
+  cfg.reliability.weak_cell_density = 1e-3;
+  cfg.reliability.hc50 = 30e3;
+  cfg.reliability.dpd_sensitivity_mean = 0.0;
+  cfg.reliability.anticell_fraction = 0.0;
+  cfg.seed = seed;
+  cfg.pattern = dram::BackgroundPattern::kOnes;
+  return cfg;
+}
+
+TEST(Properties, WholeStackIsDeterministic) {
+  // Same seed, same command stream -> bit-identical outcome, including
+  // PARA's randomized decisions.
+  auto run_once = [] {
+    core::MitigationSpec spec;
+    spec.kind = core::MitigationKind::kPara;
+    spec.para.probability = 0.003;
+    spec.para.seed = 7;
+    auto sys = core::make_system(base_device(11), ctrl::CtrlConfig{}, spec);
+    for (int i = 0; i < 30'000; ++i) {
+      sys.mc().activate_precharge(0, 99);
+      sys.mc().activate_precharge(0, 101);
+    }
+    sys.mc().activate_precharge(0, 100);
+    return std::tuple{sys.dev().stats().disturb_flips,
+                      sys.mc().stats().targeted_refreshes,
+                      sys.mc().now().picoseconds(),
+                      sys.dev().snapshot_row(0, 100)};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+class HammerMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HammerMonotonicity, MoreHammerNeverFewerFlips) {
+  // Flips are monotone in the hammer count (threshold model): property
+  // swept across counts.
+  static std::uint64_t prev_flips = 0;
+  static std::uint64_t prev_count = 0;
+  const std::uint64_t count = GetParam();
+  dram::Device dev(base_device(13));
+  for (std::uint32_t v = 2; v + 2 < dev.geometry().rows; v += 7) {
+    dev.hammer(0, v - 1, count / 2, Time::ms(0));
+    dev.hammer(0, v + 1, count / 2, Time::ms(0));
+    dev.activate(0, v, Time::ms(50));
+    dev.precharge(0, Time::ms(50));
+  }
+  if (prev_count != 0 && count > prev_count) {
+    EXPECT_GE(dev.stats().disturb_flips, prev_flips)
+        << "count " << count << " vs " << prev_count;
+  }
+  prev_flips = dev.stats().disturb_flips;
+  prev_count = count;
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, HammerMonotonicity,
+                         ::testing::Values(10'000ull, 30'000ull, 60'000ull,
+                                           120'000ull, 300'000ull));
+
+TEST(Properties, FlipsNeverExceedWeakCellCount) {
+  dram::Device dev(base_device(17));
+  for (std::uint32_t v = 2; v + 2 < dev.geometry().rows; ++v) {
+    dev.hammer(0, v - 1, 5'000'000, Time::ms(0));
+  }
+  for (std::uint32_t v = 2; v + 2 < dev.geometry().rows; ++v) {
+    dev.activate(0, v, Time::ms(50));
+    dev.precharge(0, Time::ms(50));
+  }
+  EXPECT_LE(dev.stats().disturb_flips, dev.fault_map().total_weak_cells());
+}
+
+TEST(Properties, EccModesAgreeOnCleanData) {
+  // Whatever the ECC mode, a written block reads back identically when no
+  // fault occurred.
+  dram::Address a{0, 0, 0, 33, 2};
+  std::array<std::uint64_t, 8> d{11, 22, 33, 44, 55, 66, 77, 88};
+  for (const auto mode : {ctrl::EccMode::kNone, ctrl::EccMode::kSecded,
+                          ctrl::EccMode::kBch, ctrl::EccMode::kRs}) {
+    dram::DeviceConfig dc = base_device(19);
+    dc.reliability.weak_cell_density = 0.0;
+    dc.reliability.leaky_cell_density = 0.0;
+    dram::Device dev(dc);
+    ctrl::CtrlConfig cc;
+    cc.ecc = mode;
+    ctrl::MemoryController mc(dev, cc);
+    mc.write_block(a, d);
+    const auto r = mc.read_block(a);
+    EXPECT_EQ(r.data, d) << static_cast<int>(mode);
+    EXPECT_EQ(r.status, ecc::DecodeStatus::kClean);
+  }
+}
+
+class SingleBitEverywhere : public ::testing::TestWithParam<int> {};
+
+TEST_P(SingleBitEverywhere, EveryEccModeCorrectsOneFlip) {
+  // Inject exactly one bit flip at a parameterized word and verify every
+  // ECC mode corrects it end-to-end through the controller.
+  const int flip_word = GetParam();
+  for (const auto mode :
+       {ctrl::EccMode::kSecded, ctrl::EccMode::kBch, ctrl::EccMode::kRs}) {
+    dram::DeviceConfig dc = base_device(23);
+    dc.reliability.weak_cell_density = 0.0;
+    dc.reliability.leaky_cell_density = 0.0;
+    dram::Device dev(dc);
+    ctrl::CtrlConfig cc;
+    cc.ecc = mode;
+    ctrl::MemoryController mc(dev, cc);
+    dram::Address a{0, 0, 0, 5, 3};
+    std::array<std::uint64_t, 8> d{};
+    d.fill(0x5A5A5A5A5A5A5A5Aull);
+    mc.write_block(a, d);
+    mc.close_all_banks();
+    dev.activate(0, 5, mc.now());
+    const std::uint32_t w = 3 * 9 + static_cast<std::uint32_t>(flip_word);
+    // Keep the flipped bit inside every code's live region (BCH t=4 uses
+    // only the low 40 bits of the check word).
+    const unsigned bit = static_cast<unsigned>(flip_word * 5) % 40;
+    dev.write_word(0, w, dev.read_word(0, w) ^ (1ull << bit));
+    dev.precharge(0, mc.now());
+    const auto r = mc.read_block(a);
+    EXPECT_EQ(r.status, ecc::DecodeStatus::kCorrected)
+        << "mode " << static_cast<int>(mode) << " word " << flip_word;
+    EXPECT_EQ(r.data, d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Words, SingleBitEverywhere,
+                         ::testing::Range(0, 9));  // incl. the check word
+
+TEST(Properties, SnapshotNeverMutates) {
+  dram::Device dev(base_device(29));
+  dev.hammer(0, 99, 500'000, Time::ms(0));
+  const auto s1 = dev.snapshot_row(0, 100);
+  const auto s2 = dev.snapshot_row(0, 100);
+  EXPECT_EQ(s1, s2);
+  const auto stats = dev.stats();
+  EXPECT_EQ(stats.disturb_flips, 0u)
+      << "snapshot must not commit pending faults";
+}
+
+TEST(Properties, RemapPreservesDataRoundTrip) {
+  // Logical read-your-writes holds under every remap scheme.
+  for (const auto scheme :
+       {dram::RemapScheme::kIdentity, dram::RemapScheme::kMirrorBlocks,
+        dram::RemapScheme::kScramble}) {
+    dram::DeviceConfig dc = base_device(31);
+    dc.reliability.weak_cell_density = 0.0;
+    dc.remap = scheme;
+    dram::Device dev(dc);
+    for (std::uint32_t row : {0u, 7u, 100u, 511u}) {
+      dev.activate(0, row, Time::ms(0));
+      dev.write_word(0, 5, 0xC0FFEE00ull + row);
+      dev.precharge(0, Time::ms(0));
+    }
+    for (std::uint32_t row : {0u, 7u, 100u, 511u}) {
+      dev.activate(0, row, Time::ms(1));
+      EXPECT_EQ(dev.read_word(0, 5), 0xC0FFEE00ull + row);
+      dev.precharge(0, Time::ms(1));
+    }
+  }
+}
+
+TEST(Properties, BulkHammerSplitsArbitrarily) {
+  // hammer(n) == hammer(a) + hammer(b) for any a+b=n with no intervening
+  // restore: stress accumulation is associative.
+  const auto cfg = base_device(37);
+  dram::Device a(cfg), b(cfg);
+  a.hammer(0, 100, 70'000, Time::ms(0));
+  b.hammer(0, 100, 1, Time::ms(0));
+  b.hammer(0, 100, 68'999, Time::ms(0));
+  b.hammer(0, 100, 1'000, Time::ms(0));
+  const std::uint32_t p = a.remap().to_physical(101);
+  EXPECT_FLOAT_EQ(static_cast<float>(a.stress_of_physical(0, p)),
+                  static_cast<float>(b.stress_of_physical(0, p)));
+}
+
+TEST(Properties, ControllerTimeNeverDecreases) {
+  auto sys = core::make_system(base_device(41), ctrl::CtrlConfig{}, {});
+  Time prev = sys.mc().now();
+  Rng rng(5);
+  for (int i = 0; i < 5'000; ++i) {
+    const auto row = static_cast<std::uint32_t>(
+        rng.uniform_int(std::uint64_t{sys.dev().geometry().rows}));
+    if (rng.bernoulli(0.5)) {
+      sys.mc().read_block({0, 0, 0, row, 0});
+    } else {
+      sys.mc().activate_precharge(0, row);
+    }
+    ASSERT_GE(sys.mc().now(), prev);
+    prev = sys.mc().now();
+  }
+}
+
+}  // namespace
+}  // namespace densemem

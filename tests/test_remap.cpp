@@ -1,0 +1,101 @@
+#include "dram/remap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace densemem::dram {
+namespace {
+
+class RemapSchemeTest : public ::testing::TestWithParam<RemapScheme> {};
+
+TEST_P(RemapSchemeTest, IsBijective) {
+  RowRemap m(GetParam(), 512, 77);
+  std::vector<bool> seen(512, false);
+  for (std::uint32_t r = 0; r < 512; ++r) {
+    const std::uint32_t p = m.to_physical(r);
+    ASSERT_LT(p, 512u);
+    ASSERT_FALSE(seen[p]);
+    seen[p] = true;
+    EXPECT_EQ(m.to_logical(p), r);
+  }
+}
+
+TEST_P(RemapSchemeTest, NeighborsAreSymmetric) {
+  RowRemap m(GetParam(), 256, 5);
+  for (std::uint32_t r = 0; r < 256; ++r) {
+    for (std::uint32_t n : m.physical_neighbors(r)) {
+      const auto back = m.physical_neighbors(n);
+      EXPECT_NE(std::find(back.begin(), back.end(), r), back.end())
+          << "row " << r << " neighbour " << n << " not symmetric";
+    }
+  }
+}
+
+TEST_P(RemapSchemeTest, EdgeRowsHaveOneNeighbor) {
+  RowRemap m(GetParam(), 128, 3);
+  // Exactly two logical rows (the physical edge rows) have one neighbour.
+  int edge_rows = 0;
+  for (std::uint32_t r = 0; r < 128; ++r) {
+    const auto n = m.physical_neighbors(r).size();
+    ASSERT_TRUE(n == 1 || n == 2);
+    if (n == 1) ++edge_rows;
+  }
+  EXPECT_EQ(edge_rows, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, RemapSchemeTest,
+                         ::testing::Values(RemapScheme::kIdentity,
+                                           RemapScheme::kMirrorBlocks,
+                                           RemapScheme::kScramble));
+
+TEST(Remap, IdentityMapsTrivially) {
+  RowRemap m(RemapScheme::kIdentity, 64);
+  for (std::uint32_t r = 0; r < 64; ++r) {
+    EXPECT_EQ(m.to_physical(r), r);
+    EXPECT_EQ(m.to_logical(r), r);
+  }
+  EXPECT_EQ(m.physical_neighbors(10),
+            (std::vector<std::uint32_t>{9, 11}));
+}
+
+TEST(Remap, MirrorBlocksReversesWithinBlocks) {
+  RowRemap m(RemapScheme::kMirrorBlocks, 64, 0, /*block_log2=*/3);
+  // Block of 8: row 0 <-> 7, 1 <-> 6, ...
+  EXPECT_EQ(m.to_physical(0), 7u);
+  EXPECT_EQ(m.to_physical(7), 0u);
+  EXPECT_EQ(m.to_physical(8), 15u);
+  // Logical neighbours are NOT physical neighbours inside a mirrored block.
+  const auto n = m.physical_neighbors(3);  // physical 4 -> neighbours 3,5
+  EXPECT_EQ(n, (std::vector<std::uint32_t>{4, 2}));
+}
+
+TEST(Remap, ScrambleBreaksLogicalAdjacency) {
+  RowRemap m(RemapScheme::kScramble, 1024, 99);
+  int adjacent_preserved = 0;
+  for (std::uint32_t r = 0; r + 1 < 1024; ++r) {
+    const std::uint32_t pa = m.to_physical(r);
+    const std::uint32_t pb = m.to_physical(r + 1);
+    if (pa + 1 == pb || pb + 1 == pa) ++adjacent_preserved;
+  }
+  // A random permutation preserves almost no adjacencies.
+  EXPECT_LT(adjacent_preserved, 16);
+}
+
+TEST(Remap, ScrambleSeedsDiffer) {
+  RowRemap a(RemapScheme::kScramble, 256, 1);
+  RowRemap b(RemapScheme::kScramble, 256, 2);
+  bool differ = false;
+  for (std::uint32_t r = 0; r < 256 && !differ; ++r)
+    differ = a.to_physical(r) != b.to_physical(r);
+  EXPECT_TRUE(differ);
+}
+
+TEST(Remap, TooFewRowsRejected) {
+  EXPECT_THROW(RowRemap(RemapScheme::kIdentity, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace densemem::dram

@@ -1,0 +1,198 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <cmath>
+#include <set>
+
+namespace densemem {
+namespace {
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  EXPECT_NE(splitmix64(0), 0u);
+}
+
+TEST(HashCoords, OrderSensitive) {
+  EXPECT_NE(hash_coords(1, 2, 3), hash_coords(3, 2, 1));
+  EXPECT_NE(hash_coords(1, 2), hash_coords(1, 3));
+  EXPECT_EQ(hash_coords(7, 8, 9), hash_coords(7, 8, 9));
+}
+
+TEST(Xoshiro, ReproducibleStream) {
+  Xoshiro256pp a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  Xoshiro256pp c(43);
+  EXPECT_NE(a(), c());
+}
+
+TEST(Xoshiro, LongJumpDecorrelates) {
+  Xoshiro256pp a(42), b(42);
+  b.long_jump();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntUnbiasedSmallRange) {
+  Rng rng(7);
+  std::array<int, 5> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(std::uint64_t{5})];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(std::int64_t{-3}, std::int64_t{3});
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(13);
+  int below = 0;
+  const int n = 100000;
+  const double median = std::exp(2.0);
+  for (int i = 0; i < n; ++i)
+    if (rng.lognormal(2.0, 0.7) < median) ++below;
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng(static_cast<std::uint64_t>(mean * 1000) + 3);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rng.poisson(mean));
+    sum += x;
+    sq += x * x;
+  }
+  const double m = sum / n;
+  const double var = sq / n - m * m;
+  EXPECT_NEAR(m, mean, std::max(0.05, mean * 0.05));
+  EXPECT_NEAR(var, mean, std::max(0.1, mean * 0.1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PoissonMeanTest,
+                         ::testing::Values(0.1, 0.5, 2.0, 10.0, 25.0, 80.0));
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+class BinomialTest
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, double>> {};
+
+TEST_P(BinomialTest, MeanMatches) {
+  const auto [n_trials, p] = GetParam();
+  Rng rng(hash_coords(n_trials, 55));
+  double sum = 0;
+  const int reps = 20000;
+  for (int i = 0; i < reps; ++i)
+    sum += static_cast<double>(rng.binomial(n_trials, p));
+  const double expected = static_cast<double>(n_trials) * p;
+  EXPECT_NEAR(sum / reps, expected, std::max(0.05, expected * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinomialTest,
+    ::testing::Values(std::pair<std::uint64_t, double>{10, 0.3},
+                      std::pair<std::uint64_t, double>{1000, 0.001},
+                      std::pair<std::uint64_t, double>{5000, 0.5},
+                      std::pair<std::uint64_t, double>{64, 0.9}));
+
+TEST(Rng, BinomialEdges) {
+  Rng rng(3);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(21);
+  const auto idx = rng.sample_indices(100, 30);
+  EXPECT_EQ(idx.size(), 30u);
+  std::set<std::size_t> seen(idx.begin(), idx.end());
+  EXPECT_EQ(seen.size(), 30u);
+  for (std::size_t i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleIndicesFullPopulation) {
+  Rng rng(23);
+  const auto idx = rng.sample_indices(10, 10);
+  std::set<std::size_t> seen(idx.begin(), idx.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng rng(25);
+  EXPECT_THROW(rng.sample_indices(5, 6), CheckError);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(27);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
+}  // namespace densemem

@@ -1,0 +1,188 @@
+#include "ecc/rs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "ctrl/controller.h"
+
+namespace densemem::ecc {
+namespace {
+
+std::vector<std::uint8_t> random_symbols(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_u64());
+  return v;
+}
+
+TEST(Rs, Layout7264) {
+  RsCode rs({4, 64});
+  EXPECT_EQ(rs.code_symbols(), 72);
+  EXPECT_EQ(rs.parity_symbols(), 8);
+  EXPECT_NEAR(rs.overhead(), 8.0 / 72.0, 1e-12);
+}
+
+TEST(Rs, CleanRoundTrip) {
+  RsCode rs({4, 64});
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto d = random_symbols(rng, 64);
+    const auto r = rs.decode(rs.encode(d));
+    ASSERT_EQ(r.status, DecodeStatus::kClean);
+    ASSERT_EQ(r.data, d);
+  }
+}
+
+struct RsCase {
+  int t, k;
+};
+class RsCorrection : public ::testing::TestWithParam<RsCase> {};
+
+TEST_P(RsCorrection, CorrectsUpToTSymbols) {
+  const auto [t, k] = GetParam();
+  RsCode rs({t, k});
+  Rng rng(hash_coords(t, k));
+  for (int nerr = 1; nerr <= t; ++nerr) {
+    for (int trial = 0; trial < 15; ++trial) {
+      const auto d = random_symbols(rng, static_cast<std::size_t>(k));
+      auto cw = rs.encode(d);
+      const auto pos = rng.sample_indices(
+          static_cast<std::size_t>(rs.code_symbols()),
+          static_cast<std::size_t>(nerr));
+      for (std::size_t p : pos)
+        cw[p] ^= static_cast<std::uint8_t>(1 + (rng.next_u64() % 255));
+      const auto r = rs.decode(cw);
+      ASSERT_EQ(r.status, DecodeStatus::kCorrected)
+          << "t=" << t << " errors=" << nerr;
+      ASSERT_EQ(r.data, d);
+      ASSERT_EQ(r.corrected_symbols, nerr);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, RsCorrection,
+                         ::testing::Values(RsCase{1, 32}, RsCase{2, 64},
+                                           RsCase{4, 64}, RsCase{8, 128},
+                                           RsCase{16, 200}));
+
+TEST(Rs, WholeByteBurstIsOneSymbol) {
+  // The chipkill property: 8 flipped bits inside one byte cost a single
+  // correction unit; SECDED would have failed at 2.
+  RsCode rs({1, 64});  // can correct exactly ONE symbol
+  Rng rng(5);
+  const auto d = random_symbols(rng, 64);
+  auto cw = rs.encode(d);
+  cw[13] ^= 0xFF;  // all 8 bits of one byte
+  const auto r = rs.decode(cw);
+  EXPECT_EQ(r.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(r.data, d);
+  EXPECT_EQ(r.corrected_symbols, 1);
+}
+
+TEST(Rs, TwoScatteredBitsBeyondTOneDetected) {
+  RsCode rs({1, 64});
+  Rng rng(7);
+  const auto d = random_symbols(rng, 64);
+  auto cw = rs.encode(d);
+  cw[3] ^= 0x01;
+  cw[40] ^= 0x80;  // two symbols corrupted > t=1
+  const auto r = rs.decode(cw);
+  EXPECT_NE(r.status, DecodeStatus::kClean);
+}
+
+TEST(Rs, BeyondTNeverClean) {
+  RsCode rs({4, 64});
+  Rng rng(9);
+  int uncorrectable = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto d = random_symbols(rng, 64);
+    auto cw = rs.encode(d);
+    const auto pos = rng.sample_indices(72, 6);
+    for (std::size_t p : pos)
+      cw[p] ^= static_cast<std::uint8_t>(1 + (rng.next_u64() % 255));
+    const auto r = rs.decode(cw);
+    ASSERT_NE(r.status, DecodeStatus::kClean);
+    uncorrectable += r.status == DecodeStatus::kUncorrectable;
+  }
+  EXPECT_GT(uncorrectable, 80);
+}
+
+TEST(Rs, ErrorsInParityRegionCorrected) {
+  RsCode rs({4, 64});
+  Rng rng(11);
+  const auto d = random_symbols(rng, 64);
+  auto cw = rs.encode(d);
+  cw[64] ^= 0xA5;
+  cw[71] ^= 0x5A;
+  const auto r = rs.decode(cw);
+  EXPECT_EQ(r.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(r.data, d);
+}
+
+TEST(Rs, RejectsOversizedCode) {
+  EXPECT_THROW(RsCode({16, 250}), densemem::CheckError);
+  EXPECT_NO_THROW(RsCode({16, 223}));
+}
+
+TEST(RsControllerPath, RoundTripAndChipFailure) {
+  // Through the memory controller: a clustered corruption confined to one
+  // byte lane (a failing x8 chip's contribution) is corrected by RS but
+  // not by SECDED.
+  dram::DeviceConfig dc;
+  dc.geometry = dram::Geometry::tiny();
+  dc.reliability = dram::ReliabilityParams::robust();
+  dc.reliability.leaky_cell_density = 0.0;
+  dc.seed = 3;
+  dram::Device dev(dc);
+  ctrl::CtrlConfig cc;
+  cc.ecc = ctrl::EccMode::kRs;
+  ctrl::MemoryController mc(dev, cc);
+  EXPECT_EQ(mc.blocks_per_row(), 14u);  // same 9-word stride as SECDED
+
+  dram::Address a{0, 0, 0, 9, 1};
+  std::array<std::uint64_t, 8> d{1, 2, 3, 4, 5, 6, 7, 8};
+  mc.write_block(a, d);
+  EXPECT_EQ(mc.read_block(a).status, ecc::DecodeStatus::kClean);
+
+  // Corrupt 6 bits inside ONE byte of word 2 directly in the device (a
+  // chip-lane failure): 6 bit flips, 1 symbol.
+  mc.close_all_banks();
+  dev.activate(0, 9, mc.now());
+  const std::uint32_t word_idx = 1 * 9 + 2;  // block 1, data word 2
+  dev.write_word(0, word_idx, dev.read_word(0, word_idx) ^ 0x00FD000000000000ull);
+  dev.precharge(0, mc.now());
+
+  const auto r = mc.read_block(a);
+  EXPECT_EQ(r.status, ecc::DecodeStatus::kCorrected);
+  EXPECT_EQ(r.data, d);
+  EXPECT_EQ(r.corrected_bits, 1);  // one symbol
+}
+
+TEST(RsControllerPath, FourScatteredSymbolsCorrected) {
+  dram::DeviceConfig dc;
+  dc.geometry = dram::Geometry::tiny();
+  dc.reliability = dram::ReliabilityParams::robust();
+  dc.seed = 5;
+  dram::Device dev(dc);
+  ctrl::CtrlConfig cc;
+  cc.ecc = ctrl::EccMode::kRs;
+  ctrl::MemoryController mc(dev, cc);
+  dram::Address a{0, 0, 0, 4, 0};
+  std::array<std::uint64_t, 8> d{};
+  d.fill(0xDEADBEEFCAFED00Dull);
+  mc.write_block(a, d);
+  mc.close_all_banks();
+  dev.activate(0, 4, mc.now());
+  dev.write_word(0, 0, dev.read_word(0, 0) ^ 0xFF);           // symbol 0
+  dev.write_word(0, 3, dev.read_word(0, 3) ^ 0xFF00);         // symbol 25
+  dev.write_word(0, 7, dev.read_word(0, 7) ^ 0x7F0000000000); // symbol 61
+  dev.write_word(0, 8, dev.read_word(0, 8) ^ 0x01);           // parity symbol
+  dev.precharge(0, mc.now());
+  const auto r = mc.read_block(a);
+  EXPECT_EQ(r.status, ecc::DecodeStatus::kCorrected);
+  EXPECT_EQ(r.data, d);
+  EXPECT_EQ(r.corrected_bits, 4);
+}
+
+}  // namespace
+}  // namespace densemem::ecc

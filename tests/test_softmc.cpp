@@ -1,0 +1,194 @@
+#include "softmc/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace densemem::softmc {
+namespace {
+
+dram::DeviceConfig trace_device(std::uint64_t seed = 7) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::vulnerable();
+  cfg.reliability.weak_cell_density = 1e-3;
+  cfg.reliability.hc50 = 20e3;
+  cfg.reliability.hc_sigma = 0.3;
+  cfg.reliability.dpd_sensitivity_mean = 0.0;
+  cfg.reliability.anticell_fraction = 0.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(TraceParser, ParsesEveryCommand) {
+  const auto r = parse_trace(R"(
+# full command coverage
+FILL ones
+ACT 0 10
+WR 0 3 0xDEADBEEF
+RD 0 3
+PRE 0
+REF 4
+WAIT 10ms
+HAMMER 0 11 5000
+CHECK 0 10 ones
+LOOP 3
+  ACT 1 2
+  PRE 1
+ENDLOOP
+)");
+  ASSERT_TRUE(r.ok) << r.error.message;
+  EXPECT_EQ(r.program.size(), 13u);
+  EXPECT_EQ(r.program[0].op, Op::kFill);
+  EXPECT_EQ(r.program[2].value, 0xDEADBEEFull);
+  EXPECT_EQ(r.program[6].wait, Time::ms(10));
+  EXPECT_EQ(r.program[9].value, 3u);  // LOOP count
+}
+
+struct BadCase {
+  const char* text;
+  int line;
+};
+class TraceParseErrors : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(TraceParseErrors, ReportsLineAndFails) {
+  const auto r = parse_trace(GetParam().text);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.error.line, GetParam().line);
+  EXPECT_FALSE(r.error.message.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TraceParseErrors,
+    ::testing::Values(BadCase{"BOGUS 1 2", 1},
+                      BadCase{"ACT 0", 1},
+                      BadCase{"\nACT x y", 2},
+                      BadCase{"WR 0 1 nothex", 1},
+                      BadCase{"WAIT 5parsecs", 1},
+                      BadCase{"FILL plaid", 1},
+                      BadCase{"LOOP 0", 1},
+                      BadCase{"ENDLOOP", 1},
+                      BadCase{"LOOP 2\nACT 0 1\nPRE 0", 1},
+                      BadCase{"REF 0", 1}));
+
+TEST(TraceParser, CommentsAndBlankLinesIgnored) {
+  const auto r = parse_trace("# nothing\n\n   \nACT 0 1 # trailing\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.program.size(), 1u);
+}
+
+TEST(TraceRunner, ReadWriteRoundTrip) {
+  dram::Device dev(trace_device());
+  const auto stats = run_trace_text(R"(
+ACT 0 7
+WR 0 2 0x123456789ABCDEF0
+RD 0 2
+PRE 0
+)", dev);
+  ASSERT_EQ(stats.read_log.size(), 1u);
+  EXPECT_EQ(stats.read_log[0], 0x123456789ABCDEF0ull);
+  EXPECT_EQ(stats.commands_executed, 4u);
+  EXPECT_GT(stats.end_time, Time{});
+}
+
+TEST(TraceRunner, LoopRepeats) {
+  dram::Device dev(trace_device());
+  const auto stats = run_trace_text(R"(
+LOOP 10
+ACT 0 1
+RD 0 0
+PRE 0
+ENDLOOP
+)", dev);
+  EXPECT_EQ(stats.read_log.size(), 10u);
+  EXPECT_EQ(dev.stats().activates, 10u);
+}
+
+TEST(TraceRunner, NestedLoops) {
+  dram::Device dev(trace_device());
+  const auto stats = run_trace_text(R"(
+LOOP 4
+  LOOP 3
+    ACT 0 1
+    PRE 0
+  ENDLOOP
+ENDLOOP
+)", dev);
+  EXPECT_EQ(dev.stats().activates, 12u);
+  (void)stats;
+}
+
+TEST(TraceRunner, RowHammerTraceReproducesFlips) {
+  // The canonical SoftMC experiment, as a trace: fill, double-sided hammer
+  // past the threshold, check the victim.
+  dram::Device probe(trace_device());
+  std::uint32_t victim = 0;
+  for (std::uint32_t r : probe.fault_map().weak_rows(0))
+    if (r >= 2 && r + 2 < probe.geometry().rows) {
+      victim = r;
+      break;
+    }
+  ASSERT_NE(victim, 0u);
+  dram::Device dev(trace_device());
+  const std::string trace =
+      "FILL ones\n"
+      "HAMMER 0 " + std::to_string(victim - 1) + " 100000\n" +
+      "HAMMER 0 " + std::to_string(victim + 1) + " 100000\n" +
+      "CHECK 0 " + std::to_string(victim) + " ones\n";
+  const auto stats = run_trace_text(trace, dev);
+  EXPECT_EQ(stats.checks, 1u);
+  EXPECT_GT(stats.check_errors, 0u);
+  EXPECT_EQ(stats.check_errors, dev.stats().disturb_flips);
+}
+
+TEST(TraceRunner, RefreshTracePreventsFlips) {
+  dram::Device probe(trace_device(9));
+  std::uint32_t victim = 0;
+  for (std::uint32_t r : probe.fault_map().weak_rows(0))
+    if (r >= 2 && r + 2 < probe.geometry().rows) {
+      victim = r;
+      break;
+    }
+  ASSERT_NE(victim, 0u);
+  dram::Device dev(trace_device(9));
+  // Split the hammer into sub-threshold bursts separated by full refresh
+  // sweeps (REF 512 covers the whole tiny bank).
+  const std::string v1 = std::to_string(victim - 1);
+  const std::string v2 = std::to_string(victim + 1);
+  const auto stats = run_trace_text(
+      "FILL ones\n"
+      "LOOP 10\n"
+      "HAMMER 0 " + v1 + " 4000\n" +
+      "HAMMER 0 " + v2 + " 4000\n" +
+      "REF 512\n"
+      "ENDLOOP\n"
+      "CHECK 0 " + std::to_string(victim) + " ones\n",
+      dev);
+  EXPECT_EQ(stats.check_errors, 0u);
+}
+
+TEST(TraceRunner, ProtocolViolationSurfacesAsCheckError) {
+  dram::Device dev(trace_device());
+  EXPECT_THROW(run_trace_text("RD 0 0\n", dev), CheckError);   // no open row
+  EXPECT_THROW(run_trace_text("ACT 0 1\nACT 0 2\n", dev), CheckError);
+}
+
+TEST(TraceRunner, ParseErrorSurfacesWithLine) {
+  dram::Device dev(trace_device());
+  try {
+    run_trace_text("ACT 0 1\nWOBBLE\n", dev);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TraceRunner, TimingAdvancesClock) {
+  dram::Device dev(trace_device());
+  const auto t = dram::Timing::ddr3_1600();
+  const auto stats = run_trace_text("ACT 0 1\nPRE 0\nWAIT 1ms\n", dev, t);
+  EXPECT_EQ(stats.end_time, t.tRCD + t.tRP + Time::ms(1));
+}
+
+}  // namespace
+}  // namespace densemem::softmc

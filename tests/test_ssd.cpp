@@ -1,0 +1,96 @@
+#include "flash/ssd.h"
+
+#include <gtest/gtest.h>
+
+namespace densemem::flash {
+namespace {
+
+SsdConfig quick_config() {
+  SsdConfig cfg;
+  cfg.flash.geometry = {2, 8, 2048};
+  cfg.flash.seed = 61;
+  cfg.pe_step = 3000;
+  cfg.max_pe = 36000;
+  return cfg;
+}
+
+TEST(Ssd, RberGrowsWithAge) {
+  const SsdConfig cfg = quick_config();
+  const double fresh = SsdLifetimeSim::rber_at(cfg, 3000, 3600.0);
+  const double month = SsdLifetimeSim::rber_at(cfg, 3000, 30 * 86400.0);
+  const double year = SsdLifetimeSim::rber_at(cfg, 3000, 365 * 86400.0);
+  EXPECT_LT(fresh, month);
+  EXPECT_LT(month, year);
+}
+
+TEST(Ssd, RberGrowsWithWear) {
+  const SsdConfig cfg = quick_config();
+  const double age = 30 * 86400.0;
+  EXPECT_LT(SsdLifetimeSim::rber_at(cfg, 100, age),
+            SsdLifetimeSim::rber_at(cfg, 8000, age));
+  EXPECT_LT(SsdLifetimeSim::rber_at(cfg, 8000, age),
+            SsdLifetimeSim::rber_at(cfg, 20000, age));
+}
+
+TEST(Ssd, RetentionDominatesFreshReadErrors) {
+  // §III-A2: "the dominant source of errors in flash memory are data
+  // retention errors": at equal wear, a year of retention produces far more
+  // raw errors than the fresh programming noise.
+  const SsdConfig cfg = quick_config();
+  const double fresh = SsdLifetimeSim::rber_at(cfg, 6000, 60.0);
+  const double aged = SsdLifetimeSim::rber_at(cfg, 6000, 365 * 86400.0);
+  EXPECT_GT(aged, 5.0 * std::max(fresh, 1e-7));
+}
+
+TEST(Ssd, LifetimeFiniteAndOrdered) {
+  SsdConfig cfg = quick_config();
+  const auto base = SsdLifetimeSim(cfg).run();
+  EXPECT_GT(base.pe_lifetime, 0u);
+  EXPECT_LT(base.pe_lifetime, cfg.max_pe);
+  ASSERT_FALSE(base.curve.empty());
+  // The curve ends at the first failing point.
+  EXPECT_GT(base.curve.back().uncorrectable_pages, 0u);
+}
+
+TEST(Ssd, FcrExtendsLifetime) {
+  SsdConfig cfg = quick_config();
+  const auto base = SsdLifetimeSim(cfg).run();
+  cfg.fcr_period_s = 2 * 86400.0;  // refresh every 2 days
+  const auto fcr = SsdLifetimeSim(cfg).run();
+  EXPECT_GT(fcr.pe_lifetime, base.pe_lifetime);
+  ASSERT_FALSE(fcr.curve.empty());
+  EXPECT_GT(fcr.curve.front().fcr_refreshes, 0u);
+}
+
+TEST(Ssd, StrongerEccExtendsLifetime) {
+  SsdConfig weak = quick_config();
+  weak.ctrl.ecc_t = 4;
+  SsdConfig strong = quick_config();
+  strong.ctrl.ecc_t = 12;
+  const auto lw = SsdLifetimeSim(weak).run();
+  const auto ls = SsdLifetimeSim(strong).run();
+  EXPECT_GT(ls.pe_lifetime, lw.pe_lifetime);
+}
+
+TEST(Ssd, RfrExtendsLifetime) {
+  SsdConfig base = quick_config();
+  base.flash.cell.leak_sigma = 0.7;
+  SsdConfig rfr = base;
+  rfr.ctrl.enable_rfr = true;
+  const auto lb = SsdLifetimeSim(base).run();
+  const auto lr = SsdLifetimeSim(rfr).run();
+  EXPECT_GE(lr.pe_lifetime, lb.pe_lifetime);
+}
+
+TEST(Ssd, DeterministicAcrossRuns) {
+  const SsdConfig cfg = quick_config();
+  const auto a = SsdLifetimeSim(cfg).run();
+  const auto b = SsdLifetimeSim(cfg).run();
+  EXPECT_EQ(a.pe_lifetime, b.pe_lifetime);
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.curve[i].mean_rber, b.curve[i].mean_rber);
+}
+
+}  // namespace
+}  // namespace densemem::flash

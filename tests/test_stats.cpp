@@ -1,0 +1,141 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace densemem {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  Rng rng(3);
+  RunningStats a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(0.99);
+  h.add(5.0);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(100.0, 3);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 9u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
+}
+
+TEST(Histogram, RejectsDegenerate) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), CheckError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckError);
+}
+
+TEST(QuantileSet, MedianAndInterpolation) {
+  QuantileSet q;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) q.add(x);
+  EXPECT_DOUBLE_EQ(q.median(), 2.5);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0 / 3.0), 2.0);
+}
+
+TEST(QuantileSet, SingleSample) {
+  QuantileSet q;
+  q.add(7.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.3), 7.0);
+}
+
+TEST(QuantileSet, EmptyThrows) {
+  QuantileSet q;
+  EXPECT_THROW(q.median(), CheckError);
+}
+
+TEST(CountTally, FractionAtLeast) {
+  CountTally t;
+  t.add(0, 90);
+  t.add(1, 8);
+  t.add(2, 1);
+  t.add(5, 1);
+  EXPECT_EQ(t.total(), 100u);
+  EXPECT_DOUBLE_EQ(t.fraction_at_least(1), 0.10);
+  EXPECT_DOUBLE_EQ(t.fraction_at_least(2), 0.02);
+  EXPECT_DOUBLE_EQ(t.fraction_at_least(6), 0.0);
+  EXPECT_EQ(t.at(5), 1u);
+  EXPECT_EQ(t.at(3), 0u);
+}
+
+TEST(WilsonInterval, BracketsTrueProportion) {
+  // 50 successes of 100: interval must contain 0.5 and be inside [0,1].
+  const auto ci = wilson_interval(50, 100);
+  EXPECT_NEAR(ci.p, 0.5, 1e-12);
+  EXPECT_LT(ci.lo, 0.5);
+  EXPECT_GT(ci.hi, 0.5);
+  EXPECT_GE(ci.lo, 0.0);
+  EXPECT_LE(ci.hi, 1.0);
+}
+
+TEST(WilsonInterval, ZeroSuccessesStillPositiveWidth) {
+  const auto ci = wilson_interval(0, 1000);
+  EXPECT_DOUBLE_EQ(ci.p, 0.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_GT(ci.hi, 0.0);
+  EXPECT_LT(ci.hi, 0.01);
+}
+
+TEST(WilsonInterval, NoTrials) {
+  const auto ci = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+}
+
+}  // namespace
+}  // namespace densemem

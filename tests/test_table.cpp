@@ -1,0 +1,83 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace densemem {
+namespace {
+
+TEST(Table, AsciiRendering) {
+  Table t({"name", "value"});
+  t.set_precision(2);
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("b"), std::int64_t{-7}});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("-7"), std::string::npos);
+  EXPECT_NE(s.find("+"), std::string::npos);
+}
+
+TEST(Table, RowWidthEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), CheckError);
+}
+
+TEST(Table, CsvQuoting) {
+  Table t({"x"});
+  t.add_row({std::string("has,comma")});
+  t.add_row({std::string("has\"quote")});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, ScientificMode) {
+  Table t({"v"});
+  t.set_scientific(true);
+  t.set_precision(2);
+  t.add_row({123456.0});
+  EXPECT_NE(t.to_string().find("1.23e+05"), std::string::npos);
+}
+
+TEST(Table, WriteCsvRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({std::uint64_t{3}, std::string("x")});
+  const std::string path = ::testing::TempDir() + "/densemem_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "3,x");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvBadPathFails) {
+  Table t({"a"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir-xyz/file.csv"));
+}
+
+TEST(FormatHelpers, Sci) {
+  EXPECT_EQ(format_sci(12345.0, 2), "1.23e+04");
+  EXPECT_EQ(format_sci(0.0, 1), "0.0e+00");
+}
+
+TEST(FormatHelpers, CountSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(12), "12");
+}
+
+}  // namespace
+}  // namespace densemem

@@ -1,0 +1,61 @@
+#include "dram/timing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace densemem::dram {
+namespace {
+
+TEST(Timing, Ddr3Defaults) {
+  const Timing t = Timing::ddr3_1600();
+  EXPECT_EQ(t.tREFW, Time::ms(64));
+  EXPECT_EQ(t.refs_per_window(), 8192);
+  // ~64 ms / 48.75 ns ≈ 1.31 M activations: the ISCA'14 "maximum hammers in
+  // one refresh window" figure.
+  EXPECT_NEAR(static_cast<double>(t.max_activations_per_window()), 1.31e6,
+              0.03e6);
+  EXPECT_GT(t.tRC, t.tRAS);
+  EXPECT_GT(t.tRAS, t.tRP);
+}
+
+TEST(Timing, Ddr4FasterClock) {
+  const Timing d3 = Timing::ddr3_1600();
+  const Timing d4 = Timing::ddr4_2400();
+  EXPECT_LT(d4.tCK, d3.tCK);
+  EXPECT_EQ(d4.refs_per_window(), 8192);
+}
+
+class RefreshMultiplierTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RefreshMultiplierTest, ScalesWindowAndInterval) {
+  const double k = GetParam();
+  const Timing base = Timing::ddr3_1600();
+  const Timing t = base.with_refresh_multiplier(k);
+  EXPECT_NEAR(static_cast<double>(t.tREFI.picoseconds()),
+              static_cast<double>(base.tREFI.picoseconds()) / k, 2.0);
+  EXPECT_NEAR(static_cast<double>(t.tREFW.picoseconds()),
+              static_cast<double>(base.tREFW.picoseconds()) / k, 2.0);
+  // Fewer activations fit in the shortened window (equal at k = 1).
+  if (k > 1.0) {
+    EXPECT_LT(t.max_activations_per_window(),
+              base.max_activations_per_window());
+  }
+  // tRC unchanged: the multiplier only touches refresh cadence.
+  EXPECT_EQ(t.tRC, base.tRC);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, RefreshMultiplierTest,
+                         ::testing::Values(1.0, 2.0, 4.0, 7.0, 16.0));
+
+TEST(Timing, MultiplierBelowOneRejected) {
+  EXPECT_THROW(Timing::ddr3_1600().with_refresh_multiplier(0.5), CheckError);
+}
+
+TEST(Timing, AbsurdMultiplierRejected) {
+  // tREFI must stay above tRFC or refresh starves the rank.
+  EXPECT_THROW(Timing::ddr3_1600().with_refresh_multiplier(50.0), CheckError);
+}
+
+}  // namespace
+}  // namespace densemem::dram

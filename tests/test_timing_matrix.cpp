@@ -1,0 +1,103 @@
+// Controller behaviour across timing parameter sets (DDR3 vs DDR4) and
+// refresh multipliers: the framework must hold its invariants under every
+// supported timing, not just the default.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+
+namespace densemem {
+namespace {
+
+struct TimingCase {
+  const char* name;
+  dram::Timing timing;
+};
+
+class TimingMatrix : public ::testing::TestWithParam<int> {
+ protected:
+  static dram::Timing timing_for(int idx) {
+    switch (idx) {
+      case 0: return dram::Timing::ddr3_1600();
+      case 1: return dram::Timing::ddr4_2400();
+      case 2: return dram::Timing::ddr3_1600().with_refresh_multiplier(2.0);
+      default: return dram::Timing::ddr4_2400().with_refresh_multiplier(4.0);
+    }
+  }
+};
+
+TEST_P(TimingMatrix, ControllerRoundTripAndRefresh) {
+  dram::DeviceConfig dc;
+  dc.geometry = dram::Geometry::tiny();
+  dc.reliability = dram::ReliabilityParams::robust();
+  dc.reliability.leaky_cell_density = 0.0;
+  dc.seed = 5;
+  dram::Device dev(dc);
+  ctrl::CtrlConfig cc;
+  cc.timing = timing_for(GetParam());
+  ctrl::MemoryController mc(dev, cc);
+
+  std::array<std::uint64_t, 8> d{1, 2, 3, 4, 5, 6, 7, 8};
+  mc.write_block({0, 0, 0, 9, 0}, d);
+  EXPECT_EQ(mc.read_block({0, 0, 0, 9, 0}).data, d);
+
+  // One refresh window refreshes every row once (within one REF batch).
+  const Time w = cc.timing.tREFW;
+  mc.advance_to(w);
+  const double expected_rows =
+      static_cast<double>(dev.geometry().rows_total());
+  EXPECT_NEAR(static_cast<double>(mc.stats().rows_refreshed), expected_rows,
+              expected_rows * 0.02);
+}
+
+TEST_P(TimingMatrix, HammerRateScalesWithTrc) {
+  dram::DeviceConfig dc;
+  dc.geometry = dram::Geometry::tiny();
+  dc.reliability = dram::ReliabilityParams::robust();
+  dc.seed = 5;
+  dram::Device dev(dc);
+  ctrl::CtrlConfig cc;
+  cc.timing = timing_for(GetParam());
+  ctrl::MemoryController mc(dev, cc);
+  const Time t0 = mc.now();
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) mc.activate_precharge(0, 100);
+  const double per_act = (mc.now() - t0).as_ns() / n;
+  EXPECT_GE(per_act, (cc.timing.tRAS + cc.timing.tRP).as_ns() - 1e-9);
+  EXPECT_LE(per_act, cc.timing.tRC.as_ns() * 1.25);
+}
+
+TEST_P(TimingMatrix, ParaProtectsUnderEveryTiming) {
+  dram::DeviceConfig dc;
+  dc.geometry = dram::Geometry::tiny();
+  dc.reliability = dram::ReliabilityParams::vulnerable();
+  dc.reliability.weak_cell_density = 1e-3;
+  dc.reliability.hc50 = 15e3;
+  dc.reliability.dpd_sensitivity_mean = 0.0;
+  dc.reliability.anticell_fraction = 0.0;
+  dc.pattern = dram::BackgroundPattern::kOnes;
+  dc.seed = 7;
+  ctrl::CtrlConfig cc;
+  cc.timing = timing_for(GetParam());
+  core::MitigationSpec spec;
+  spec.kind = core::MitigationKind::kPara;
+  spec.para.probability = 0.01;
+  auto sys = core::make_system(dc, cc, spec);
+  std::uint32_t victim = 0;
+  for (std::uint32_t r : sys.dev().fault_map().weak_rows(0))
+    if (r >= 2 && r + 2 < sys.dev().geometry().rows) {
+      victim = r;
+      break;
+    }
+  ASSERT_NE(victim, 0u);
+  for (int i = 0; i < 30'000; ++i) {
+    sys.mc().activate_precharge(0, victim - 1);
+    sys.mc().activate_precharge(0, victim + 1);
+  }
+  sys.mc().activate_precharge(0, victim);
+  EXPECT_EQ(sys.dev().stats().disturb_flips, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Timings, TimingMatrix, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace densemem

@@ -1,0 +1,153 @@
+// Robustness sweeps for the SoftMC trace front end: malformed input must
+// produce positioned diagnostics (never crashes, never a half-parsed
+// program), and structured programs must execute equivalently to their
+// unrolled forms.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "softmc/trace.h"
+
+namespace densemem::softmc {
+namespace {
+
+// Deterministic corpus of valid commands to mutate.
+const char* kCorpus[] = {
+    "ACT 0 10",  "PRE 0",          "RD 0 3",         "WR 0 3 0xFF",
+    "REF 4",     "WAIT 10ms",      "HAMMER 0 5 100", "FILL ones",
+    "CHECK 0 10 ones", "LOOP 2",   "ENDLOOP",        "# comment",
+};
+
+std::string mutate(const std::string& line, Rng& rng) {
+  std::string out = line;
+  switch (rng.uniform_int(std::uint64_t{5})) {
+    case 0:  // delete a character
+      if (!out.empty())
+        out.erase(rng.uniform_int(std::uint64_t{out.size()}), 1);
+      break;
+    case 1:  // duplicate a token separator
+      out += " 99zz";
+      break;
+    case 2:  // flip a character
+      if (!out.empty())
+        out[rng.uniform_int(std::uint64_t{out.size()})] =
+            static_cast<char>('!' + rng.uniform_int(std::uint64_t{90}));
+      break;
+    case 3:  // truncate
+      out = out.substr(0, out.size() / 2);
+      break;
+    default:  // prepend junk
+      out = "Zq" + out;
+      break;
+  }
+  return out;
+}
+
+TEST(TraceFuzz, MutatedProgramsNeverCrashAndDiagnosePositions) {
+  Rng rng(2024);
+  int rejected = 0, accepted = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string program;
+    int loop_depth = 0;
+    const int lines = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{8}));
+    for (int l = 0; l < lines; ++l) {
+      std::string line =
+          kCorpus[rng.uniform_int(std::uint64_t{std::size(kCorpus)})];
+      if (line == "LOOP 2") ++loop_depth;
+      if (line == "ENDLOOP") --loop_depth;
+      if (rng.bernoulli(0.4)) line = mutate(line, rng);
+      program += line + "\n";
+    }
+    const auto r = parse_trace(program);
+    if (r.ok) {
+      ++accepted;
+      // Accepted programs have balanced loops by construction of the parser.
+      int depth = 0;
+      for (const auto& ins : r.program) {
+        if (ins.op == Op::kLoop) ++depth;
+        if (ins.op == Op::kEndLoop) --depth;
+        ASSERT_GE(depth, 0);
+      }
+      ASSERT_EQ(depth, 0);
+    } else {
+      ++rejected;
+      ASSERT_GE(r.error.line, 1);
+      ASSERT_LE(r.error.line, lines);
+      ASSERT_FALSE(r.error.message.empty());
+    }
+  }
+  // The fuzz must actually exercise both outcomes.
+  EXPECT_GT(rejected, 300);
+  EXPECT_GT(accepted, 100);
+}
+
+TEST(TraceFuzz, LoopedAndUnrolledProgramsAreEquivalent) {
+  dram::DeviceConfig dc;
+  dc.geometry = dram::Geometry::tiny();
+  dc.reliability = dram::ReliabilityParams::vulnerable();
+  dc.reliability.weak_cell_density = 1e-3;
+  dc.reliability.hc50 = 8e3;
+  dc.reliability.dpd_sensitivity_mean = 0.0;
+  dc.reliability.anticell_fraction = 0.0;
+  dc.seed = 55;
+
+  const std::string looped = R"(
+FILL ones
+LOOP 3
+  HAMMER 0 99 2000
+  HAMMER 0 101 2000
+  LOOP 2
+    ACT 0 10
+    PRE 0
+  ENDLOOP
+ENDLOOP
+CHECK 0 100 ones
+)";
+  std::string unrolled = "FILL ones\n";
+  for (int i = 0; i < 3; ++i) {
+    unrolled += "HAMMER 0 99 2000\nHAMMER 0 101 2000\n";
+    for (int j = 0; j < 2; ++j) unrolled += "ACT 0 10\nPRE 0\n";
+  }
+  unrolled += "CHECK 0 100 ones\n";
+
+  dram::Device dev_a(dc), dev_b(dc);
+  const auto ra = run_trace_text(looped, dev_a);
+  const auto rb = run_trace_text(unrolled, dev_b);
+  EXPECT_EQ(ra.check_errors, rb.check_errors);
+  EXPECT_EQ(dev_a.stats().activates, dev_b.stats().activates);
+  EXPECT_EQ(dev_a.snapshot_row(0, 100), dev_b.snapshot_row(0, 100));
+  EXPECT_EQ(ra.end_time, rb.end_time);
+}
+
+TEST(TraceFuzz, DeepNestingParses) {
+  std::string program;
+  const int depth = 30;
+  for (int i = 0; i < depth; ++i) program += "LOOP 1\n";
+  program += "ACT 0 1\nPRE 0\n";
+  for (int i = 0; i < depth; ++i) program += "ENDLOOP\n";
+  const auto r = parse_trace(program);
+  ASSERT_TRUE(r.ok);
+  dram::DeviceConfig dc;
+  dc.geometry = dram::Geometry::tiny();
+  dc.reliability = dram::ReliabilityParams::robust();
+  dram::Device dev(dc);
+  const auto stats = run_trace(r.program, dev);
+  EXPECT_EQ(dev.stats().activates, 1u);
+  EXPECT_GT(stats.commands_executed, 60u);
+}
+
+TEST(TraceFuzz, LargeLoopCountsExecute) {
+  dram::DeviceConfig dc;
+  dc.geometry = dram::Geometry::tiny();
+  dc.reliability = dram::ReliabilityParams::robust();
+  dram::Device dev(dc);
+  const auto stats = run_trace_text(
+      "LOOP 10000\nACT 0 5\nPRE 0\nENDLOOP\n", dev);
+  EXPECT_EQ(dev.stats().activates, 10'000u);
+  // 1 LOOP + 10000 x (ACT + PRE + ENDLOOP).
+  EXPECT_EQ(stats.commands_executed, 1u + 3u * 10'000u);
+}
+
+}  // namespace
+}  // namespace densemem::softmc

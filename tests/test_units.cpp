@@ -1,0 +1,65 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace densemem {
+namespace {
+
+TEST(Time, ConstructionAndConversion) {
+  EXPECT_EQ(Time::ns(1).picoseconds(), 1000);
+  EXPECT_EQ(Time::us(1).picoseconds(), 1'000'000);
+  EXPECT_EQ(Time::ms(1).picoseconds(), 1'000'000'000);
+  EXPECT_EQ(Time::s(1).picoseconds(), 1'000'000'000'000);
+  EXPECT_DOUBLE_EQ(Time::ms(64).as_ms(), 64.0);
+  EXPECT_DOUBLE_EQ(Time::ns(500).as_us(), 0.5);
+}
+
+TEST(Time, FractionalNanosecondsRound) {
+  EXPECT_EQ(Time::ns_f(13.75).picoseconds(), 13750);
+  EXPECT_EQ(Time::ns_f(0.0004).picoseconds(), 0);
+  EXPECT_EQ(Time::ns_f(0.0006).picoseconds(), 1);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::ns(100), b = Time::ns(40);
+  EXPECT_EQ((a + b).picoseconds(), 140'000);
+  EXPECT_EQ((a - b).picoseconds(), 60'000);
+  EXPECT_EQ((a * 3).picoseconds(), 300'000);
+  EXPECT_EQ((3 * a).picoseconds(), 300'000);
+  EXPECT_EQ((a / 4).picoseconds(), 25'000);
+  EXPECT_EQ(a / b, 2);  // integer ratio
+  Time c = a;
+  c += b;
+  EXPECT_EQ(c, Time::ns(140));
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(Time::ns(1), Time::ns(2));
+  EXPECT_GE(Time::ms(1), Time::us(1000));
+  EXPECT_EQ(Time::ms(1), Time::us(1000));
+}
+
+TEST(Time, DefaultIsZero) {
+  EXPECT_EQ(Time{}.picoseconds(), 0);
+}
+
+TEST(Energy, UnitsAndArithmetic) {
+  EXPECT_DOUBLE_EQ(Energy::nj(2.0).as_pj(), 2000.0);
+  EXPECT_DOUBLE_EQ(Energy::pj(1500.0).as_nj(), 1.5);
+  Energy e = Energy::nj(1.0);
+  e += Energy::nj(0.5);
+  EXPECT_DOUBLE_EQ(e.as_nj(), 1.5);
+  EXPECT_DOUBLE_EQ((e * 2.0).as_nj(), 3.0);
+  EXPECT_LT(Energy::nj(1.0), Energy::nj(2.0));
+}
+
+TEST(SizeConstants, Values) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+}
+
+}  // namespace
+}  // namespace densemem
