@@ -10,6 +10,11 @@
 // errors, errors per module per month, correctable vs uncorrectable, and
 // the dependence on manufacturing year (the "newer technology is less
 // reliable" trend of Figure 1 seen through a fleet lens).
+//
+// Both phases are sim::Campaign grids (one job per module). The ECC-event
+// phase's fleet-wide victim budget (~2000 checks) is pre-split across the
+// qualifying modules by index, so the jobs stay independent and the merged
+// counts are identical at any thread count.
 #include <iostream>
 #include <map>
 
@@ -17,6 +22,8 @@
 #include "core/module_tester.h"
 #include "ctrl/controller.h"
 #include "dram/module_db.h"
+#include "sim/campaign.h"
+#include "sim/result_sink.h"
 
 using namespace densemem;
 using namespace densemem::dram;
@@ -25,7 +32,8 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
   bench::banner("E14 (ext)", "§III / [76, 94-96]",
                 "fleet study: per-year module error incidence under a "
-                "service-like workload");
+                "service-like workload",
+                args);
 
   ModuleDb db;
   // Service model: each module experiences a background access workload
@@ -34,6 +42,32 @@ int main(int argc, char** argv) {
   // a deliberate hammer), for `windows` windows.
   const std::uint64_t service_activations = 250'000;
   const std::uint32_t sampled_rows = args.quick ? 256 : 768;
+  const std::uint64_t fleet_seed = args.seed ? args.seed : 99;
+
+  struct FleetResult {
+    int year = 0;
+    std::uint64_t failing_cells = 0;
+  };
+
+  sim::CampaignConfig cc;
+  cc.threads = args.threads;
+  cc.seed = fleet_seed;
+  const auto& mods = db.modules();
+  Geometry g{1, 1, 1, 8192, 8192};
+
+  sim::Campaign fleet("fleet", cc);
+  const auto fleet_results = fleet.map<FleetResult>(
+      mods.size(), [&](const sim::JobContext& ctx) {
+        const auto& m = mods[ctx.index];
+        Device dev(db.device_config(m, g));
+        core::ModuleTestConfig tc;
+        tc.hammer_count = service_activations;  // per victim, split 2 ways
+        tc.sample_rows = sampled_rows;
+        tc.seed = fleet_seed;
+        tc.patterns = {BackgroundPattern::kRandom};  // service, not memtest
+        const auto res = core::ModuleTester(tc).run(dev);
+        return FleetResult{m.year, res.failing_cells};
+      });
 
   struct YearAgg {
     int modules = 0;
@@ -41,20 +75,11 @@ int main(int argc, char** argv) {
     std::uint64_t total_errors = 0;
   };
   std::map<int, YearAgg> years;
-
-  Geometry g{1, 1, 1, 8192, 8192};
-  for (const auto& m : db.modules()) {
-    Device dev(db.device_config(m, g));
-    core::ModuleTestConfig tc;
-    tc.hammer_count = service_activations;  // total per victim, split 2 ways
-    tc.sample_rows = sampled_rows;
-    tc.seed = 99;
-    tc.patterns = {BackgroundPattern::kRandom};  // service data, not memtest
-    const auto res = core::ModuleTester(tc).run(dev);
-    auto& agg = years[m.year];
+  for (const FleetResult& r : fleet_results) {
+    auto& agg = years[r.year];
     ++agg.modules;
-    agg.with_errors += res.failing_cells > 0;
-    agg.total_errors += res.failing_cells;
+    agg.with_errors += r.failing_cells > 0;
+    agg.total_errors += r.failing_cells;
   }
 
   Table t({"year", "modules", "fraction_with_errors", "errors_per_module"});
@@ -71,18 +96,31 @@ int main(int argc, char** argv) {
 
   // Correctable vs uncorrectable through the ECC lens: run the vulnerable
   // 2013 modules' fault stream through SECDED and count what a fleet
-  // monitor would log.
-  std::uint64_t corrected = 0, uncorrectable = 0;
-  int checked = 0;
-  for (const auto& m : db.modules()) {
-    if (m.year != 2013 || !m.vulnerable || m.target_error_rate < 1e4) continue;
+  // monitor would log. The fleet-wide budget of ~2000 victim checks is
+  // split across the qualifying modules up front (by module index), so
+  // each job owns a fixed quota.
+  std::vector<std::size_t> ecc_modules;
+  for (std::size_t i = 0; i < mods.size(); ++i) {
+    const auto& m = mods[i];
+    if (m.year == 2013 && m.vulnerable && m.target_error_rate >= 1e4)
+      ecc_modules.push_back(i);
+  }
+  const std::uint64_t fleet_budget = 2000;
+
+  sim::CounterSink ecc_events;
+  sim::Campaign ecc("fleet-ecc", cc);
+  ecc.for_each(ecc_modules.size(), [&](const sim::JobContext& ctx) {
+    const auto& m = mods[ecc_modules[ctx.index]];
+    std::uint64_t budget = fleet_budget / ecc_modules.size();
+    if (ctx.index < fleet_budget % ecc_modules.size()) ++budget;
     Device dev(db.device_config(m, Geometry{1, 1, 1, 2048, 8192}));
-    ctrl::CtrlConfig cc;
-    cc.ecc = ctrl::EccMode::kSecded;
-    ctrl::MemoryController mc(dev, cc);
+    ctrl::CtrlConfig ctrl_cfg;
+    ctrl_cfg.ecc = ctrl::EccMode::kSecded;
+    ctrl::MemoryController mc(dev, ctrl_cfg);
     std::array<std::uint64_t, 8> ones;
     ones.fill(~std::uint64_t{0});
-    for (std::uint32_t v = 2; v + 2 < 2048 && checked < 2000; v += 3) {
+    std::uint64_t checked = 0;
+    for (std::uint32_t v = 2; v + 2 < 2048 && checked < budget; v += 3) {
       if (!dev.fault_map().row_has_weak(0, v)) continue;
       Address a{0, 0, 0, v, 0};
       for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
@@ -99,9 +137,12 @@ int main(int argc, char** argv) {
       mc.close_all_banks();
       ++checked;
     }
-    corrected += mc.stats().ecc_corrected_words;
-    uncorrectable += mc.stats().ecc_uncorrectable_blocks;
-  }
+    ecc_events.add("corrected words", mc.stats().ecc_corrected_words);
+    ecc_events.add("uncorrectable blocks", mc.stats().ecc_uncorrectable_blocks);
+  });
+  const std::uint64_t corrected = ecc_events.value("corrected words");
+  const std::uint64_t uncorrectable = ecc_events.value("uncorrectable blocks");
+
   Table e({"fleet_ecc_event", "count"});
   e.add_row({std::string("corrected words"), corrected});
   e.add_row({std::string("uncorrectable blocks"), uncorrectable});

@@ -5,6 +5,11 @@
 // error rates up to ~10^6 per 10^9 cells. This bench runs the hammer test
 // on every module in the calibrated database and prints the per-module
 // series Figure 1 plots, plus per-year aggregates.
+//
+// The 129 module tests are independent, so they run as one sim::Campaign
+// grid (one job per module): --threads N shards them across a worker pool,
+// --threads 1 is the serial reference, and the merged output is identical
+// at every width because each job depends only on its own module config.
 #include <cmath>
 #include <iostream>
 #include <map>
@@ -12,6 +17,8 @@
 #include "bench_util.h"
 #include "core/module_tester.h"
 #include "dram/module_db.h"
+#include "sim/campaign.h"
+#include "sim/result_sink.h"
 
 using namespace densemem;
 using namespace densemem::dram;
@@ -20,20 +27,47 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
   bench::banner("E1 / Figure 1", "§II, Fig. 1",
                 "RowHammer errors per 10^9 cells vs. manufacture date, "
-                "129 modules from manufacturers A/B/C");
+                "129 modules from manufacturers A/B/C",
+                args);
 
   ModuleDb db;
   // Test a sampled slice of each module; fault maps are i.i.d. per row so
   // the estimate is unbiased (see DESIGN.md decision #1).
   Geometry g{1, 1, 1, 8192, 8192};
-  core::ModuleTestConfig tc;
-  tc.sample_rows = args.quick ? 256 : 1024;
-  tc.seed = 7;
+  const std::uint64_t tester_seed = args.seed ? args.seed : 7;
 
-  Table per_module({"module", "mfr", "year", "target_rate", "measured_rate",
-                    "rows_with_errors"});
+  sim::TableSink per_module({"module", "mfr", "year", "target_rate",
+                             "measured_rate", "rows_with_errors"});
   per_module.set_scientific(true);
   per_module.set_precision(2);
+
+  struct PerModule {
+    int year = 0;
+    std::uint64_t failing_cells = 0;
+    double rate = 0.0;
+  };
+
+  sim::CampaignConfig cc;
+  cc.threads = args.threads;
+  cc.seed = tester_seed;
+  sim::Campaign campaign("fig1", cc);
+  const auto& mods = db.modules();
+  const auto results = campaign.map<PerModule>(
+      mods.size(), [&](const sim::JobContext& ctx) {
+        const auto& m = mods[ctx.index];
+        Device dev(db.device_config(m, g));
+        core::ModuleTestConfig tc;
+        tc.sample_rows = args.quick ? 256 : 1024;
+        tc.seed = tester_seed;
+        const auto res = core::ModuleTester(tc).run(dev);
+        per_module.add(ctx.index,
+                       {m.id, std::string(manufacturer_name(m.manufacturer)),
+                        std::int64_t{m.year}, m.target_error_rate,
+                        res.errors_per_1e9_cells,
+                        std::uint64_t{res.rows_with_errors}});
+        return PerModule{m.year, res.failing_cells, res.errors_per_1e9_cells};
+      });
+  bench::emit(per_module.merged(), args, "per_module");
 
   struct YearAgg {
     int tested = 0;
@@ -43,25 +77,17 @@ int main(int argc, char** argv) {
   std::map<int, YearAgg> years;
   int earliest_nonzero_year = 9999;
   std::uint64_t modules_with_errors = 0;
-
-  for (const auto& m : db.modules()) {
-    Device dev(db.device_config(m, g));
-    const auto res = core::ModuleTester(tc).run(dev);
-    per_module.add_row({m.id, std::string(manufacturer_name(m.manufacturer)),
-                        std::int64_t{m.year}, m.target_error_rate,
-                        res.errors_per_1e9_cells,
-                        std::uint64_t{res.rows_with_errors}});
-    auto& agg = years[m.year];
+  for (const PerModule& r : results) {
+    auto& agg = years[r.year];
     ++agg.tested;
-    if (res.failing_cells > 0) {
+    if (r.failing_cells > 0) {
       ++agg.vulnerable;
       ++modules_with_errors;
-      agg.min_rate = std::min(agg.min_rate, res.errors_per_1e9_cells);
-      agg.max_rate = std::max(agg.max_rate, res.errors_per_1e9_cells);
-      earliest_nonzero_year = std::min(earliest_nonzero_year, m.year);
+      agg.min_rate = std::min(agg.min_rate, r.rate);
+      agg.max_rate = std::max(agg.max_rate, r.rate);
+      earliest_nonzero_year = std::min(earliest_nonzero_year, r.year);
     }
   }
-  bench::emit(per_module, args, "per_module");
 
   Table per_year({"year", "modules", "with_errors", "min_rate(log10)",
                   "max_rate(log10)"});

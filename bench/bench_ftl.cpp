@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   t.set_precision(3);
   double wa_low_op = 0, wa_high_op = 0, wa_uniform = 0, wa_skewed = 0;
   for (const double op : {0.12, 0.25, 0.45}) {
-    for (const auto [wname, hot] :
+    for (const auto& [wname, hot] :
          {std::pair{"uniform", 1.0}, std::pair{"90/10 skew", 0.1}}) {
       const auto r = run_workload(op, hot, true, updates);
       t.add_row({op, std::string(wname), r.wa, r.gc_runs});

@@ -4,11 +4,15 @@
 // PARA on: residual flips under a double-sided attack, time overhead,
 // energy overhead, and dedicated storage — the dimensions the paper uses
 // to argue PARA wins.
+// The seven configurations are independent systems, so they run as a
+// sim::Campaign grid (one job per mitigation); rows merge in declaration
+// order regardless of thread count.
 #include <bit>
 #include <iostream>
 
 #include "bench_util.h"
 #include "core/system.h"
+#include "sim/campaign.h"
 
 using namespace densemem;
 using namespace densemem::core;
@@ -91,49 +95,65 @@ Row run_config(const std::string& name, const ctrl::CtrlConfig& cc,
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
   bench::banner("E5", "§II-C",
-                "mitigation comparison: protection, time, energy, storage");
+                "mitigation comparison: protection, time, energy, storage",
+                args);
 
   // Enough double-sided iterations to fill a full 64 ms refresh window
   // (~328k at tRC spacing): the baseline accumulates ~650k stress while the
   // 7x-refresh run is capped at ~93k per shortened window.
   const std::uint64_t iters = args.quick ? 120'000 : 330'000;
-  std::vector<Row> rows;
 
-  rows.push_back(run_config("none", ctrl::CtrlConfig{}, {}, iters));
-  {
+  struct Config {
+    std::string name;
     ctrl::CtrlConfig cc;
-    cc.timing = dram::Timing::ddr3_1600().with_refresh_multiplier(7.0);
-    rows.push_back(run_config("refresh x7", cc, {}, iters));
-  }
-  {
-    ctrl::CtrlConfig cc;
-    cc.ecc = ctrl::EccMode::kSecded;
-    rows.push_back(run_config("SECDED ECC", cc, {}, iters));
-  }
-  {
     MitigationSpec spec;
-    spec.kind = MitigationKind::kCra;
-    spec.cra.threshold = 8192;
-    rows.push_back(run_config("CRA counters", ctrl::CtrlConfig{}, spec, iters));
+  };
+  std::vector<Config> configs;
+  configs.push_back({"none", ctrl::CtrlConfig{}, {}});
+  {
+    Config c{"refresh x7", ctrl::CtrlConfig{}, {}};
+    c.cc.timing = dram::Timing::ddr3_1600().with_refresh_multiplier(7.0);
+    configs.push_back(std::move(c));
   }
   {
-    MitigationSpec spec;
-    spec.kind = MitigationKind::kAnvil;
-    spec.anvil.sample_rate = 0.02;
-    spec.anvil.detect_samples = 64;
-    rows.push_back(run_config("ANVIL", ctrl::CtrlConfig{}, spec, iters));
+    Config c{"SECDED ECC", ctrl::CtrlConfig{}, {}};
+    c.cc.ecc = ctrl::EccMode::kSecded;
+    configs.push_back(std::move(c));
   }
   {
-    MitigationSpec spec;
-    spec.kind = MitigationKind::kTrr;
-    rows.push_back(run_config("TRR (4-entry)", ctrl::CtrlConfig{}, spec, iters));
+    Config c{"CRA counters", ctrl::CtrlConfig{}, {}};
+    c.spec.kind = MitigationKind::kCra;
+    c.spec.cra.threshold = 8192;
+    configs.push_back(std::move(c));
   }
   {
-    MitigationSpec spec;
-    spec.kind = MitigationKind::kPara;
-    spec.para.probability = 0.001;
-    rows.push_back(run_config("PARA p=0.001", ctrl::CtrlConfig{}, spec, iters));
+    Config c{"ANVIL", ctrl::CtrlConfig{}, {}};
+    c.spec.kind = MitigationKind::kAnvil;
+    c.spec.anvil.sample_rate = 0.02;
+    c.spec.anvil.detect_samples = 64;
+    configs.push_back(std::move(c));
   }
+  {
+    Config c{"TRR (4-entry)", ctrl::CtrlConfig{}, {}};
+    c.spec.kind = MitigationKind::kTrr;
+    configs.push_back(std::move(c));
+  }
+  {
+    Config c{"PARA, p=0.001", ctrl::CtrlConfig{}, {}};
+    c.spec.kind = MitigationKind::kPara;
+    c.spec.para.probability = 0.001;
+    configs.push_back(std::move(c));
+  }
+
+  sim::CampaignConfig camp_cfg;
+  camp_cfg.threads = args.threads;
+  camp_cfg.seed = args.seed ? args.seed : 505;
+  sim::Campaign campaign("mitigations", camp_cfg);
+  const std::vector<Row> rows = campaign.map<Row>(
+      configs.size(), [&](const sim::JobContext& ctx) {
+        const Config& c = configs[ctx.index];
+        return run_config(c.name, c.cc, c.spec, iters);
+      });
 
   const Row& base = rows.front();
   Table t({"mitigation", "raw_flips", "visible_flips", "time_overhead_%",
@@ -156,13 +176,13 @@ int main(int argc, char** argv) {
                "PARA is stateless with negligible overhead\n";
   bench::shape("baseline is vulnerable", base.visible_flips > 0);
   bench::shape("PARA eliminates flips",
-               by_name("PARA p=0.001").raw_flips == 0);
+               by_name("PARA, p=0.001").raw_flips == 0);
   bench::shape("PARA stateless; CRA pays per-row counter storage",
-               by_name("PARA p=0.001").storage_bits == 0 &&
+               by_name("PARA, p=0.001").storage_bits == 0 &&
                    by_name("CRA counters").storage_bits > 0);
   bench::shape(
       "refresh x7 costs more energy than PARA",
-      by_name("refresh x7").energy_nj > by_name("PARA p=0.001").energy_nj);
+      by_name("refresh x7").energy_nj > by_name("PARA, p=0.001").energy_nj);
   bench::shape("SECDED hides some flips but not the raw fault stream",
                by_name("SECDED ECC").visible_flips <
                        by_name("SECDED ECC").raw_flips ||

@@ -1,19 +1,55 @@
 #include "bench_util.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
+#include "sim/thread_pool.h"
+
 namespace densemem::bench {
+
+namespace {
+
+/// Series names become part of mirror filenames; labels like
+/// "PARA, p=0.001" must not splinter the path (or the CSV readers pointed
+/// at it). Anything outside [A-Za-z0-9._-] becomes '_'.
+std::string sanitize_for_filename(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '.' || ch == '_' ||
+                    ch == '-';
+    out += ok ? ch : '_';
+  }
+  return out;
+}
+
+std::string mirror_path(const std::string& base, const std::string& series,
+                        const std::string& ext) {
+  return series.empty() ? base
+                        : base + "." + sanitize_for_filename(series) + ext;
+}
+
+}  // namespace
 
 BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       args.csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
     } else {
-      std::cerr << "usage: " << argv[0] << " [--csv <path>] [--quick]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--csv <path>] [--json <path>] [--threads <n>]"
+                   " [--seed <s>] [--quick]\n";
     }
   }
   return args;
@@ -27,18 +63,37 @@ void banner(const std::string& experiment_id, const std::string& paper_anchor,
             << "==========================================================\n";
 }
 
+void banner(const std::string& experiment_id, const std::string& paper_anchor,
+            const std::string& claim, const BenchArgs& args) {
+  banner(experiment_id, paper_anchor, claim);
+  const unsigned resolved =
+      args.threads ? args.threads : sim::ThreadPool::default_threads();
+  std::cout << "[run] threads=" << resolved
+            << (args.threads ? "" : " (hardware concurrency)") << " seed=";
+  if (args.seed)
+    std::cout << args.seed;
+  else
+    std::cout << "default";
+  std::cout << (args.quick ? " quick=yes" : " quick=no") << "\n";
+}
+
 void emit(const Table& table, const BenchArgs& args,
           const std::string& series_name) {
   if (!series_name.empty()) std::cout << "\n--- " << series_name << " ---\n";
   table.print(std::cout);
   if (!args.csv_path.empty()) {
-    const std::string path = series_name.empty()
-                                 ? args.csv_path
-                                 : args.csv_path + "." + series_name + ".csv";
+    const std::string path = mirror_path(args.csv_path, series_name, ".csv");
     if (table.write_csv(path))
       std::cout << "[csv] " << path << "\n";
     else
       std::cout << "[csv] FAILED to write " << path << "\n";
+  }
+  if (!args.json_path.empty()) {
+    const std::string path = mirror_path(args.json_path, series_name, ".json");
+    if (table.write_json(path))
+      std::cout << "[json] " << path << "\n";
+    else
+      std::cout << "[json] FAILED to write " << path << "\n";
   }
 }
 

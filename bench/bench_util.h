@@ -1,11 +1,12 @@
 // Shared helpers for the experiment benches (E1..E12): banner printing,
-// --csv mirroring, and common scaled-down device configurations.
+// --csv/--json mirroring, and common scaled-down device configurations.
 //
 // Every bench prints an ASCII table of the series the corresponding paper
 // figure/claim reports, plus a short "paper says / we measure" summary that
 // EXPERIMENTS.md quotes.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,8 +15,15 @@
 namespace densemem::bench {
 
 struct BenchArgs {
-  std::string csv_path;  ///< empty = no CSV mirror
-  bool quick = false;    ///< reduced sample counts for smoke runs
+  std::string csv_path;   ///< empty = no CSV mirror
+  std::string json_path;  ///< empty = no JSON mirror
+  bool quick = false;     ///< reduced sample counts for smoke runs
+  /// Worker threads for campaign-backed benches; 0 = hardware concurrency.
+  /// --threads 1 is the serial reference path.
+  unsigned threads = 0;
+  /// Campaign seed override; 0 = the bench's committed default (the seeds
+  /// EXPERIMENTS.md records).
+  std::uint64_t seed = 0;
 };
 
 BenchArgs parse_args(int argc, char** argv);
@@ -24,7 +32,13 @@ BenchArgs parse_args(int argc, char** argv);
 void banner(const std::string& experiment_id, const std::string& paper_anchor,
             const std::string& claim);
 
-/// Prints the table and mirrors it to CSV if requested.
+/// Banner variant for campaign-backed benches: also prints the resolved
+/// run parameters (threads, seed, quick) so recorded runs are
+/// self-describing.
+void banner(const std::string& experiment_id, const std::string& paper_anchor,
+            const std::string& claim, const BenchArgs& args);
+
+/// Prints the table and mirrors it to CSV/JSON if requested.
 void emit(const Table& table, const BenchArgs& args,
           const std::string& series_name = "");
 

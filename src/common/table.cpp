@@ -1,5 +1,7 @@
 #include "common/table.h"
 
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -73,7 +75,7 @@ void Table::print(std::ostream& os) const {
 
 void Table::print_csv(std::ostream& os) const {
   auto emit = [&os](const std::string& s) {
-    if (s.find_first_of(",\"\n") != std::string::npos) {
+    if (s.find_first_of(",\"\n\r") != std::string::npos) {
       os << '"';
       for (char ch : s) {
         if (ch == '"') os << '"';
@@ -102,6 +104,66 @@ bool Table::write_csv(const std::string& path) const {
   std::ofstream f(path);
   if (!f) return false;
   print_csv(f);
+  return static_cast<bool>(f);
+}
+
+namespace {
+
+void emit_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Table::print_json(std::ostream& os) const {
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ", ";
+      emit_json_string(os, headers_[c]);
+      os << ": ";
+      const Cell& cell = rows_[r][c];
+      if (std::holds_alternative<std::string>(cell)) {
+        emit_json_string(os, std::get<std::string>(cell));
+      } else if (std::holds_alternative<double>(cell)) {
+        const double v = std::get<double>(cell);
+        // JSON has no NaN/Inf literals; mirror them as strings.
+        if (std::isfinite(v))
+          os << format_cell(cell);
+        else
+          emit_json_string(os, format_cell(cell));
+      } else {
+        os << format_cell(cell);
+      }
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+}
+
+bool Table::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  print_json(f);
   return static_cast<bool>(f);
 }
 

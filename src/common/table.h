@@ -29,10 +29,16 @@ class Table {
 
   /// Render as an aligned ASCII table.
   void print(std::ostream& os) const;
-  /// Render as CSV (RFC-4180-ish quoting for strings containing commas).
+  /// Render as CSV (RFC-4180 quoting: fields containing commas, quotes, or
+  /// CR/LF are quoted, embedded quotes doubled).
   void print_csv(std::ostream& os) const;
   /// Write CSV to a file path; returns false if the file cannot be opened.
   bool write_csv(const std::string& path) const;
+  /// Render as a JSON array of objects keyed by the column headers.
+  /// Numeric cells stay numbers; strings are escaped per RFC 8259.
+  void print_json(std::ostream& os) const;
+  /// Write JSON to a file path; returns false if the file cannot be opened.
+  bool write_json(const std::string& path) const;
 
   std::string to_string() const;
 

@@ -1,0 +1,54 @@
+#include "sim/campaign.h"
+
+#include <chrono>
+
+#include "sim/progress.h"
+#include "sim/thread_pool.h"
+
+namespace densemem::sim {
+
+Campaign::Campaign(std::string name, CampaignConfig cfg)
+    : name_(std::move(name)),
+      cfg_(cfg),
+      threads_(cfg.threads ? cfg.threads : ThreadPool::default_threads()) {}
+
+void Campaign::run_grid(std::size_t n,
+                        const std::function<void(const JobContext&)>& job) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Progress progress(name_, n, cfg_.progress && n > 1,
+                    cfg_.progress_interval_s);
+
+  auto run_one = [&](std::size_t i) {
+    JobContext ctx;
+    ctx.index = i;
+    ctx.count = n;
+    ctx.stream_seed = hash_coords(cfg_.seed, static_cast<std::uint64_t>(i));
+    try {
+      job(ctx);
+    } catch (...) {
+      progress.mark_failed();
+      throw;
+    }
+    progress.mark_done();
+  };
+
+  if (threads_ <= 1 || n <= 1) {
+    // Serial reference path: no pool, no queue — the behaviour --threads 1
+    // pins down, and what every multi-threaded run must reproduce.
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    ThreadPool pool(threads_);
+    pool.parallel_for(n, cfg_.chunk, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) run_one(i);
+    });
+  }
+
+  stats_.jobs = n;
+  stats_.threads = threads_;
+  stats_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  progress.finish();
+}
+
+}  // namespace densemem::sim

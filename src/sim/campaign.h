@@ -1,0 +1,104 @@
+// Campaign — the deterministic parallel experiment driver.
+//
+// A campaign is a grid of independent jobs (modules × patterns × trials,
+// one index per job). Each job gets a JobContext carrying its own RNG
+// stream seed, derived as hash_coords(campaign seed, job index) — never a
+// shared generator — so the result of job i is a pure function of
+// (campaign config, i). That makes the merged result bit-for-bit identical
+// whether the grid runs on 1 thread or 64, in whatever order the scheduler
+// picks; tests/test_sim.cpp asserts exactly this.
+//
+// Usage (the pattern the heavy benches follow):
+//
+//   sim::CampaignConfig cc;
+//   cc.threads = args.threads;           // 0 = hardware concurrency
+//   sim::Campaign campaign("fig1", cc);
+//   auto rows = campaign.map<PerModule>(db.size(), [&](const sim::JobContext& ctx) {
+//     dram::Device dev(db.device_config(db.modules()[ctx.index], g));
+//     ...                                // seed anything from ctx if needed
+//     return PerModule{...};
+//   });                                  // rows[i] is job i's result
+//
+// map() returns results in job-index order (the merge point); streaming
+// collectors live in result_sink.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace densemem::sim {
+
+struct CampaignConfig {
+  unsigned threads = 0;     ///< worker count; 0 = hardware concurrency
+  std::uint64_t seed = 1;   ///< master seed; every job stream derives from it
+  std::size_t chunk = 1;    ///< job indices per work-queue grab
+  bool progress = true;     ///< periodic "[sim:…]" line on stderr
+  double progress_interval_s = 2.0;
+};
+
+/// Per-job view handed to the job function. Everything a job needs to be
+/// deterministic independent of scheduling.
+struct JobContext {
+  std::size_t index = 0;          ///< this job's grid index
+  std::size_t count = 0;          ///< total jobs in the grid
+  std::uint64_t stream_seed = 0;  ///< hash_coords(campaign seed, index)
+
+  /// Fresh generator on this job's private stream.
+  Rng make_rng() const { return Rng(stream_seed); }
+
+  /// Derive a sub-stream seed for a tagged purpose within the job (e.g.
+  /// one stream per data pattern) without consuming generator state.
+  std::uint64_t substream(std::uint64_t tag) const {
+    return hash_coords(stream_seed, tag);
+  }
+};
+
+struct CampaignStats {
+  std::size_t jobs = 0;
+  unsigned threads = 1;        ///< resolved worker count actually used
+  double wall_seconds = 0.0;   ///< grid wall-clock, excludes merge/emit
+};
+
+class Campaign {
+ public:
+  explicit Campaign(std::string name, CampaignConfig cfg = {});
+
+  const std::string& name() const { return name_; }
+  std::uint64_t seed() const { return cfg_.seed; }
+  /// Worker count after resolving 0 → hardware concurrency.
+  unsigned threads() const { return threads_; }
+  /// Stats of the most recent map()/for_each() run.
+  const CampaignStats& last_stats() const { return stats_; }
+
+  /// Runs fn(ctx) for every job index in [0, n) and returns the results in
+  /// index order. R must be default-constructible. A job exception aborts
+  /// the run and rethrows on the calling thread.
+  template <typename R, typename Fn>
+  std::vector<R> map(std::size_t n, Fn&& fn) {
+    std::vector<R> out(n);
+    run_grid(n, [&](const JobContext& ctx) { out[ctx.index] = fn(ctx); });
+    return out;
+  }
+
+  /// Runs fn(ctx) for every job index in [0, n); results flow through side
+  /// channels (a ResultSink, or writes keyed by ctx.index).
+  template <typename Fn>
+  void for_each(std::size_t n, Fn&& fn) {
+    run_grid(n, [&](const JobContext& ctx) { fn(ctx); });
+  }
+
+ private:
+  void run_grid(std::size_t n, const std::function<void(const JobContext&)>& job);
+
+  std::string name_;
+  CampaignConfig cfg_;
+  unsigned threads_;
+  CampaignStats stats_;
+};
+
+}  // namespace densemem::sim

@@ -1,0 +1,60 @@
+#include "sim/progress.h"
+
+#include <cstdio>
+
+namespace densemem::sim {
+
+Progress::Progress(std::string label, std::size_t total, bool enabled,
+                   double interval_s)
+    : label_(std::move(label)),
+      total_(total),
+      enabled_(enabled),
+      interval_(static_cast<long>(interval_s * 1000.0)),
+      start_(std::chrono::steady_clock::now()) {
+  if (enabled_) monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+Progress::~Progress() { finish(); }
+
+double Progress::elapsed_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void Progress::print_line(bool final_line) const {
+  const std::size_t d = done();
+  const std::size_t f = failed();
+  const double el = elapsed_s();
+  const double rate = el > 0 ? static_cast<double>(d) / el : 0.0;
+  const std::string failures = f ? " (" + std::to_string(f) + " failed)" : "";
+  // stderr, one self-contained line: log-friendly and invisible to stdout
+  // diffing. fprintf keeps the line atomic (single write) unlike iostreams.
+  std::fprintf(stderr, "[sim:%s] %zu/%zu jobs%s | %.1f jobs/s | %.1fs%s\n",
+               label_.c_str(), d, total_, failures.c_str(), rate, el,
+               final_line ? " total" : " elapsed");
+}
+
+void Progress::monitor_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) return;
+    print_line(false);
+  }
+}
+
+double Progress::finish() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finished_) return elapsed_s();
+    finished_ = true;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+  const double el = elapsed_s();
+  if (enabled_) print_line(true);
+  return el;
+}
+
+}  // namespace densemem::sim

@@ -1,0 +1,65 @@
+// Campaign progress reporting: lock-free done/failed counters incremented
+// by worker threads, plus an optional monitor thread that prints a periodic
+// throughput line. All output goes to stderr so stdout (tables, [shape]
+// lines, CSV mirrors) stays byte-identical regardless of thread count or
+// timing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace densemem::sim {
+
+class Progress {
+ public:
+  /// `label` tags every printed line ("[sim:<label>] ..."). When `enabled`
+  /// is false the counters still work but nothing is printed and no monitor
+  /// thread is spawned. `interval_s` is the print period.
+  Progress(std::string label, std::size_t total, bool enabled,
+           double interval_s = 2.0);
+  ~Progress();
+
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
+  /// Worker-side: mark one job finished (or failed). Thread-safe.
+  void mark_done() { done_.fetch_add(1, std::memory_order_relaxed); }
+  void mark_failed() { failed_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::size_t done() const { return done_.load(std::memory_order_relaxed); }
+  std::size_t failed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+  std::size_t total() const { return total_; }
+
+  /// Stops the monitor (if any) and prints the final summary line. Called
+  /// by the destructor if not called explicitly. Returns elapsed seconds.
+  double finish();
+
+ private:
+  void monitor_loop();
+  void print_line(bool final_line) const;
+  double elapsed_s() const;
+
+  const std::string label_;
+  const std::size_t total_;
+  const bool enabled_;
+  const std::chrono::milliseconds interval_;
+  const std::chrono::steady_clock::time_point start_;
+
+  std::atomic<std::size_t> done_{0};
+  std::atomic<std::size_t> failed_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool finished_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace densemem::sim

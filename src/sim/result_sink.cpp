@@ -1,0 +1,53 @@
+#include "sim/result_sink.h"
+
+#include <algorithm>
+
+namespace densemem::sim {
+
+void TableSink::add(std::size_t job_index, std::vector<Table::Cell> row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(Record{job_index, std::move(row)});
+}
+
+std::size_t TableSink::num_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+Table TableSink::merged() const {
+  std::vector<Record> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = records_;
+  }
+  // Stable: rows emitted by one job (a single thread) keep their order.
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.job_index < b.job_index;
+                   });
+  Table t(headers_);
+  t.set_precision(precision_);
+  t.set_scientific(scientific_);
+  for (auto& r : sorted) t.add_row(std::move(r.cells));
+  return t;
+}
+
+void CounterSink::add(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_[name] += delta;
+}
+
+std::uint64_t CounterSink::value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find(name);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+Table CounterSink::merged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Table t({"counter", "count"});
+  for (const auto& [name, count] : counts_) t.add_row({name, count});
+  return t;
+}
+
+}  // namespace densemem::sim

@@ -1,0 +1,76 @@
+// Thread-safe result collectors for campaign jobs.
+//
+// Jobs run in scheduler order, but results must come out in job-index
+// order or the merged output would depend on thread count. Two collectors
+// cover the campaign benches:
+//
+//  * TableSink — rows tagged with the producing job's index; merged() sorts
+//    by index (stable, so a job's own rows keep their emission order) and
+//    yields an ordinary common/table Table, which carries the existing
+//    ASCII rendering plus CSV and JSON mirrors.
+//  * CounterSink — named uint64 tallies. Addition is associative and
+//    commutative, so any accumulation order gives the same totals; the
+//    name→value map is emitted in sorted-name order.
+//
+// Both are safe to call from concurrent jobs; neither allocates per-add
+// beyond the stored record.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+
+namespace densemem::sim {
+
+class TableSink {
+ public:
+  explicit TableSink(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Formatting applied to the merged Table.
+  void set_precision(int digits) { precision_ = digits; }
+  void set_scientific(bool on) { scientific_ = on; }
+
+  /// Adds one row produced by job `job_index`. Thread-safe. A job may add
+  /// any number of rows; their relative order is preserved in the merge.
+  void add(std::size_t job_index, std::vector<Table::Cell> row);
+
+  std::size_t num_rows() const;
+
+  /// Merged table: rows sorted by job index (stable). Safe to call once
+  /// the campaign run has returned.
+  Table merged() const;
+
+ private:
+  struct Record {
+    std::size_t job_index;
+    std::vector<Table::Cell> cells;
+  };
+  std::vector<std::string> headers_;
+  int precision_ = 4;
+  bool scientific_ = false;
+  mutable std::mutex mu_;
+  std::vector<Record> records_;
+};
+
+class CounterSink {
+ public:
+  /// Adds `delta` to the named counter (creating it at zero). Thread-safe.
+  void add(const std::string& name, std::uint64_t delta);
+
+  std::uint64_t value(const std::string& name) const;
+
+  /// Two-column ("counter", "count") table in sorted-name order.
+  Table merged() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace densemem::sim

@@ -1,0 +1,103 @@
+#include "sim/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace densemem::sim {
+
+unsigned ThreadPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = default_threads();
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  DM_CHECK_MSG(static_cast<bool>(task), "cannot submit an empty task");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DM_CHECK_MSG(!stop_, "cannot submit to a stopping pool");
+    tasks_.push_back(std::move(task));
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ with a drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++in_flight_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      cancelled_.store(true, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait() {
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  cancelled_.store(false, std::memory_order_relaxed);
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  chunk = std::max<std::size_t>(chunk, 1);
+  // One driver task per worker; each pulls chunk-sized index ranges off a
+  // shared atomic cursor until the range (or the run, on failure) is
+  // exhausted. shared_ptr keeps the cursor alive if wait() throws while a
+  // driver is still winding down.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const unsigned drivers =
+      static_cast<unsigned>(std::min<std::size_t>(size(), (n + chunk - 1) / chunk));
+  for (unsigned d = 0; d < drivers; ++d) {
+    submit([this, cursor, n, chunk, &body] {
+      for (;;) {
+        if (cancelled()) return;  // a sibling failed; abandon the rest
+        const std::size_t begin = cursor->fetch_add(chunk);
+        if (begin >= n) return;
+        body(begin, std::min(begin + chunk, n));
+      }
+    });
+  }
+  wait();
+}
+
+}  // namespace densemem::sim

@@ -1,0 +1,77 @@
+// Fixed-size worker thread pool with a chunked work queue and exception
+// propagation — the execution substrate of the campaign engine (campaign.h).
+//
+// Design constraints (see docs/ARCHITECTURE.md, "The campaign engine"):
+//  * Workers are spawned once and reused; a pool is cheap enough to create
+//    per campaign run but never per job.
+//  * parallel_for() hands out index ranges through an atomic cursor, so the
+//    *assignment* of jobs to threads is scheduling-dependent — determinism
+//    is the caller's job (every job must depend only on its own index; the
+//    campaign layer guarantees this by deriving per-job RNG streams).
+//  * The first exception thrown by any task is captured, remaining chunks
+//    are abandoned co-operatively, and wait() rethrows it on the calling
+//    thread — a worker failure is never swallowed and never deadlocks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace densemem::sim {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware concurrency.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Hardware concurrency with a floor of 1 (hardware_concurrency() may
+  /// return 0 on exotic platforms).
+  static unsigned default_threads();
+
+  /// Enqueues a task. Tasks run in FIFO order across the worker set.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is drained and all workers are idle, then
+  /// rethrows the first exception any task raised (if any). The pool is
+  /// reusable after wait() returns or throws.
+  void wait();
+
+  /// Runs body(begin, end) over [0, n) in chunks of `chunk` indices,
+  /// distributed across all workers; blocks until done. If a body throws,
+  /// outstanding chunks are abandoned and the first exception is rethrown
+  /// here. A single-worker pool still goes through the queue, so the code
+  /// path (though not the interleaving) is identical at every width.
+  void parallel_for(std::size_t n, std::size_t chunk,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// True once a task has thrown and the failure is not yet consumed by
+  /// wait(); long-running tasks may poll this to bail out early.
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  mutable std::mutex mu_;
+  std::condition_variable task_cv_;  ///< signals workers: task or stop
+  std::condition_variable idle_cv_;  ///< signals wait(): drained and idle
+  std::deque<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;  ///< tasks popped but not yet finished
+  std::exception_ptr first_error_;
+  std::atomic<bool> cancelled_{false};
+  bool stop_ = false;
+};
+
+}  // namespace densemem::sim

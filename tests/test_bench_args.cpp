@@ -1,0 +1,80 @@
+// Tests for the bench harness argument parser (bench/bench_util.cpp is
+// compiled into the test binary; see tests/CMakeLists.txt). Sim-prefixed so
+// the TSan CI job picks these up alongside the engine tests.
+#include "bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+namespace densemem::bench {
+namespace {
+
+BenchArgs parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "bench_test");
+  return parse_args(static_cast<int>(argv.size()),
+                    const_cast<char**>(argv.data()));
+}
+
+TEST(SimBenchArgs, DefaultsAreSerialCompatible) {
+  const BenchArgs args = parse({});
+  EXPECT_TRUE(args.csv_path.empty());
+  EXPECT_TRUE(args.json_path.empty());
+  EXPECT_FALSE(args.quick);
+  EXPECT_EQ(args.threads, 0u);  // 0 = hardware concurrency
+  EXPECT_EQ(args.seed, 0u);     // 0 = bench default seed
+}
+
+TEST(SimBenchArgs, ParsesThreadsAndSeed) {
+  const BenchArgs args = parse({"--threads", "8", "--seed", "12345"});
+  EXPECT_EQ(args.threads, 8u);
+  EXPECT_EQ(args.seed, 12345u);
+}
+
+TEST(SimBenchArgs, ParsesMirrorsAndQuickTogether) {
+  const BenchArgs args = parse({"--csv", "/tmp/out.csv", "--json",
+                                "/tmp/out.json", "--quick", "--threads", "2"});
+  EXPECT_EQ(args.csv_path, "/tmp/out.csv");
+  EXPECT_EQ(args.json_path, "/tmp/out.json");
+  EXPECT_TRUE(args.quick);
+  EXPECT_EQ(args.threads, 2u);
+}
+
+TEST(SimBenchArgs, LargeSeedFitsIn64Bits) {
+  const BenchArgs args = parse({"--seed", "18446744073709551615"});
+  EXPECT_EQ(args.seed, ~std::uint64_t{0});
+}
+
+TEST(SimBenchArgs, EmitSanitizesSeriesNamesInMirrorPaths) {
+  // A series label with spaces/commas/slashes must not splinter the mirror
+  // path: the written file lives at <base>.<sanitized>.csv.
+  Table t({"mitigation", "flips"});
+  t.add_row({std::string("PARA, p=0.001"), std::uint64_t{0}});
+  BenchArgs args;
+  const std::string base = ::testing::TempDir() + "/densemem_emit_test";
+  args.csv_path = base;
+  args.json_path = base;
+  ::testing::internal::CaptureStdout();
+  emit(t, args, "PARA, p/0.001");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("[csv] " + base + ".PARA__p_0.001.csv"),
+            std::string::npos);
+  EXPECT_NE(out.find("[json] " + base + ".PARA__p_0.001.json"),
+            std::string::npos);
+  EXPECT_EQ(out.find("FAILED"), std::string::npos);
+  // And the CSV payload carries the comma-bearing label RFC-4180-quoted.
+  std::ifstream f(base + ".PARA__p_0.001.csv");
+  std::string csv((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(csv.find("\"PARA, p=0.001\""), std::string::npos);
+  std::remove((base + ".PARA__p_0.001.csv").c_str());
+  std::remove((base + ".PARA__p_0.001.json").c_str());
+}
+
+}  // namespace
+}  // namespace densemem::bench

@@ -1,0 +1,240 @@
+// Tests for the sim/ campaign engine. Every test name is prefixed "Sim"
+// so CI's ThreadSanitizer job can select exactly this suite
+// (ctest -R '^Sim').
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/campaign.h"
+#include "sim/progress.h"
+#include "sim/result_sink.h"
+#include "sim/thread_pool.h"
+
+namespace densemem::sim {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(SimThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(SimThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 5u}) {
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{7}}) {
+      ThreadPool pool(threads);
+      std::vector<std::atomic<int>> hits(83);
+      pool.parallel_for(hits.size(), chunk, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      });
+      for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(SimThreadPool, ParallelForZeroJobsIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, 4, [](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(SimThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64, 1,
+                        [](std::size_t b, std::size_t) {
+                          if (b == 13) throw std::runtime_error("job 13 died");
+                        }),
+      std::runtime_error);
+}
+
+TEST(SimThreadPool, SubmitExceptionSurfacesInWait) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::logic_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::logic_error);
+}
+
+TEST(SimThreadPool, PoolIsReusableAfterAnException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(8, 1,
+                                 [](std::size_t, std::size_t) {
+                                   throw std::runtime_error("first run");
+                                 }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(8, 1,
+                    [&](std::size_t b, std::size_t e) {
+                      count.fetch_add(static_cast<int>(e - b));
+                    });
+  pool.wait();  // second wait must not re-throw the consumed error
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(SimThreadPool, FailureCancelsOutstandingChunks) {
+  // With 1 worker and 1-index chunks the failing chunk runs first and every
+  // later chunk must be abandoned — exception handling may not hang or run
+  // the full grid to completion.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(1000, 1,
+                                 [&](std::size_t b, std::size_t) {
+                                   if (b == 0) throw std::runtime_error("die");
+                                   ran.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  EXPECT_LT(ran.load(), 1000);
+}
+
+// ------------------------------------------------------------------ Campaign
+
+TEST(SimCampaign, StreamSeedsAreHashCoordsOfSeedAndIndex) {
+  CampaignConfig cfg;
+  cfg.threads = 1;
+  cfg.seed = 42;
+  cfg.progress = false;
+  Campaign c("seeds", cfg);
+  const auto seeds =
+      c.map<std::uint64_t>(16, [](const JobContext& ctx) {
+        EXPECT_EQ(ctx.count, 16u);
+        return ctx.stream_seed;
+      });
+  for (std::size_t i = 0; i < seeds.size(); ++i)
+    EXPECT_EQ(seeds[i], hash_coords(42, static_cast<std::uint64_t>(i)));
+}
+
+// A miniature campaign: per-job Monte Carlo from the job's own stream,
+// emitting both a map() result and TableSink rows. The merged output must
+// be byte-identical at 1, 2, and 8 threads.
+std::pair<std::string, std::vector<double>> run_mini_campaign(unsigned threads) {
+  CampaignConfig cfg;
+  cfg.threads = threads;
+  cfg.seed = 2014;
+  cfg.progress = false;
+  Campaign c("mini", cfg);
+  TableSink sink({"job", "sum", "coin"});
+  sink.set_precision(6);
+  auto means = c.map<double>(37, [&](const JobContext& ctx) {
+    Rng rng = ctx.make_rng();
+    double sum = 0;
+    for (int k = 0; k < 500; ++k) sum += rng.uniform();
+    Rng sub(ctx.substream(1));
+    sink.add(ctx.index, {std::uint64_t{ctx.index}, sum,
+                         std::uint64_t{sub.next_u64() & 1}});
+    return sum / 500.0;
+  });
+  std::ostringstream os;
+  sink.merged().print_csv(os);
+  return {os.str(), means};
+}
+
+TEST(SimCampaign, MergedResultsAreIdenticalAcross1And2And8Threads) {
+  const auto serial = run_mini_campaign(1);
+  const auto two = run_mini_campaign(2);
+  const auto eight = run_mini_campaign(8);
+  EXPECT_EQ(serial.first, two.first);    // byte-identical CSV merge
+  EXPECT_EQ(serial.first, eight.first);
+  EXPECT_EQ(serial.second, two.second);  // bit-identical doubles
+  EXPECT_EQ(serial.second, eight.second);
+}
+
+TEST(SimCampaign, WorkerExceptionPropagatesNotSwallowed) {
+  for (unsigned threads : {1u, 4u}) {
+    CampaignConfig cfg;
+    cfg.threads = threads;
+    cfg.progress = false;
+    Campaign c("failing", cfg);
+    EXPECT_THROW(c.for_each(32,
+                            [](const JobContext& ctx) {
+                              if (ctx.index == 7)
+                                throw std::runtime_error("job 7 failed");
+                            }),
+                 std::runtime_error);
+  }
+}
+
+TEST(SimCampaign, StatsReportGridAndResolvedThreads) {
+  CampaignConfig cfg;
+  cfg.threads = 3;
+  cfg.progress = false;
+  Campaign c("stats", cfg);
+  c.for_each(12, [](const JobContext&) {});
+  EXPECT_EQ(c.last_stats().jobs, 12u);
+  EXPECT_EQ(c.last_stats().threads, 3u);
+  EXPECT_GE(c.last_stats().wall_seconds, 0.0);
+  EXPECT_EQ(c.threads(), 3u);
+}
+
+TEST(SimCampaign, ZeroThreadsResolvesToHardwareConcurrency) {
+  Campaign c("auto", {});
+  EXPECT_EQ(c.threads(), ThreadPool::default_threads());
+  EXPECT_GE(c.threads(), 1u);
+}
+
+// ---------------------------------------------------------------- ResultSink
+
+TEST(SimTableSink, MergesRowsInJobIndexOrder) {
+  TableSink sink({"job", "row"});
+  // Insert out of order, as a racing schedule would.
+  sink.add(2, {std::uint64_t{2}, std::string("a")});
+  sink.add(0, {std::uint64_t{0}, std::string("a")});
+  sink.add(2, {std::uint64_t{2}, std::string("b")});  // same job: keeps order
+  sink.add(1, {std::uint64_t{1}, std::string("a")});
+  std::ostringstream os;
+  sink.merged().print_csv(os);
+  EXPECT_EQ(os.str(), "job,row\n0,a\n1,a\n2,a\n2,b\n");
+  EXPECT_EQ(sink.num_rows(), 4u);
+}
+
+TEST(SimCounterSink, TotalsAreOrderIndependent) {
+  CounterSink sink;
+  ThreadPool pool(4);
+  pool.parallel_for(100, 3, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sink.add("total", i);
+  });
+  EXPECT_EQ(sink.value("total"), 99u * 100u / 2);
+  EXPECT_EQ(sink.value("missing"), 0u);
+  std::ostringstream os;
+  sink.merged().print_csv(os);
+  EXPECT_EQ(os.str(), "counter,count\ntotal,4950\n");
+}
+
+// ------------------------------------------------------------------ Progress
+
+TEST(SimProgress, CountersTrackDoneAndFailed) {
+  Progress p("test", 10, /*enabled=*/false);
+  ThreadPool pool(4);
+  pool.parallel_for(10, 1, [&](std::size_t b, std::size_t) {
+    if (b % 3 == 0)
+      p.mark_failed();
+    else
+      p.mark_done();
+  });
+  EXPECT_EQ(p.done(), 6u);
+  EXPECT_EQ(p.failed(), 4u);
+  EXPECT_EQ(p.total(), 10u);
+  EXPECT_GE(p.finish(), 0.0);
+}
+
+TEST(SimProgress, EnabledMonitorShutsDownCleanly) {
+  // Fast interval so the monitor actually fires at least once.
+  Progress p("monitor", 4, /*enabled=*/true, /*interval_s=*/0.01);
+  p.mark_done();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  p.mark_done();
+  EXPECT_GE(p.finish(), 0.0);
+  EXPECT_GE(p.finish(), 0.0);  // idempotent
+}
+
+}  // namespace
+}  // namespace densemem::sim

@@ -39,6 +39,61 @@ TEST(Table, CsvQuoting) {
   EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
 }
 
+TEST(Table, CsvQuotesCommaBearingSeriesLabelsAndCrLf) {
+  // RFC-4180: commas, quotes, and CR/LF all force quoting; embedded quotes
+  // double. "PARA, p=0.001"-style labels must survive a round trip.
+  Table t({"mitigation", "note"});
+  t.add_row({std::string("PARA, p=0.001"), std::string("line1\r\nline2")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(),
+            "mitigation,note\n\"PARA, p=0.001\",\"line1\r\nline2\"\n");
+}
+
+TEST(Table, CsvQuotesHeadersToo) {
+  Table t({"rate, per 1e9", "plain"});
+  t.add_row({1.0, 2.0});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str().substr(0, os.str().find('\n')),
+            "\"rate, per 1e9\",plain");
+}
+
+TEST(Table, JsonMirror) {
+  Table t({"name", "rate", "count"});
+  t.set_precision(2);
+  t.add_row({std::string("a\"b"), 1.5, std::uint64_t{7}});
+  t.add_row({std::string("plain"), -2.0, std::uint64_t{0}});
+  std::ostringstream os;
+  t.print_json(os);
+  EXPECT_EQ(os.str(),
+            "[\n"
+            "  {\"name\": \"a\\\"b\", \"rate\": 1.50, \"count\": 7},\n"
+            "  {\"name\": \"plain\", \"rate\": -2.00, \"count\": 0}\n"
+            "]\n");
+}
+
+TEST(Table, JsonEscapesControlCharacters) {
+  Table t({"s"});
+  t.add_row({std::string("tab\there\nnew\x01")});
+  std::ostringstream os;
+  t.print_json(os);
+  EXPECT_NE(os.str().find("tab\\there\\nnew\\u0001"), std::string::npos);
+}
+
+TEST(Table, WriteJsonRoundTrip) {
+  Table t({"a"});
+  t.add_row({std::int64_t{-3}});
+  const std::string path = ::testing::TempDir() + "/densemem_table_test.json";
+  ASSERT_TRUE(t.write_json(path));
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), "[\n  {\"a\": -3}\n]\n");
+  std::remove(path.c_str());
+  EXPECT_FALSE(t.write_json("/nonexistent-dir-xyz/file.json"));
+}
+
 TEST(Table, ScientificMode) {
   Table t({"v"});
   t.set_scientific(true);
