@@ -14,150 +14,210 @@
 // Both phases are sim::Campaign grids (one job per module). The ECC-event
 // phase's fleet-wide victim budget (~2000 checks) is pre-split across the
 // qualifying modules by index, so the jobs stay independent and the merged
-// counts are identical at any thread count.
+// counts are identical at any thread count. Each phase writes its own
+// section into the --journal file, so a kill during either phase resumes
+// exactly where it left off.
 #include <iostream>
 #include <map>
+#include <set>
 
 #include "bench_util.h"
 #include "core/module_tester.h"
 #include "ctrl/controller.h"
 #include "dram/module_db.h"
 #include "sim/campaign.h"
-#include "sim/result_sink.h"
 
 using namespace densemem;
 using namespace densemem::dram;
 
+namespace {
+
+struct FleetResult {
+  int year = 0;
+  std::uint64_t failing_cells = 0;
+};
+
+sim::Campaign::JobCodec<FleetResult> fleet_codec() {
+  return {
+      [](const FleetResult& r) {
+        sim::PayloadWriter pw;
+        pw.i64(r.year);
+        pw.u64(r.failing_cells);
+        return pw.take();
+      },
+      [](const std::string& payload) {
+        sim::PayloadReader pr(payload);
+        FleetResult r;
+        r.year = static_cast<int>(pr.i64());
+        r.failing_cells = pr.u64();
+        return r;
+      },
+  };
+}
+
+struct EccCounts {
+  std::uint64_t corrected = 0;
+  std::uint64_t uncorrectable = 0;
+};
+
+sim::Campaign::JobCodec<EccCounts> ecc_codec() {
+  return {
+      [](const EccCounts& r) {
+        sim::PayloadWriter pw;
+        pw.u64(r.corrected);
+        pw.u64(r.uncorrectable);
+        return pw.take();
+      },
+      [](const std::string& payload) {
+        sim::PayloadReader pr(payload);
+        EccCounts r;
+        r.corrected = pr.u64();
+        r.uncorrectable = pr.u64();
+        return r;
+      },
+  };
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
-  bench::banner("E14 (ext)", "§III / [76, 94-96]",
-                "fleet study: per-year module error incidence under a "
-                "service-like workload",
-                args);
+  return bench::run_guarded([&]() -> int {
+    bench::banner("E14 (ext)", "§III / [76, 94-96]",
+                  "fleet study: per-year module error incidence under a "
+                  "service-like workload",
+                  args);
 
-  ModuleDb db;
-  // Service model: each module experiences a background access workload
-  // whose hottest row pair accumulates `service_activations` per refresh
-  // window on some aggressor rows (a pathological-but-benign app, far below
-  // a deliberate hammer), for `windows` windows.
-  const std::uint64_t service_activations = 250'000;
-  const std::uint32_t sampled_rows = args.quick ? 256 : 768;
-  const std::uint64_t fleet_seed = args.seed ? args.seed : 99;
+    ModuleDb db;
+    // Service model: each module experiences a background access workload
+    // whose hottest row pair accumulates `service_activations` per refresh
+    // window on some aggressor rows (a pathological-but-benign app, far
+    // below a deliberate hammer), for `windows` windows.
+    const std::uint64_t service_activations = 250'000;
+    const std::uint32_t sampled_rows = args.quick ? 256 : 768;
+    bench::CampaignHarness harness(args, /*default_seed=*/99);
+    const std::uint64_t fleet_seed = harness.seed();
 
-  struct FleetResult {
-    int year = 0;
-    std::uint64_t failing_cells = 0;
-  };
+    const auto& mods = db.modules();
+    Geometry g{1, 1, 1, 8192, 8192};
 
-  sim::CampaignConfig cc;
-  cc.threads = args.threads;
-  cc.seed = fleet_seed;
-  const auto& mods = db.modules();
-  Geometry g{1, 1, 1, 8192, 8192};
+    sim::Campaign fleet("fleet", harness.config());
+    const auto fleet_results = fleet.map_journaled<FleetResult>(
+        mods.size(),
+        [&](const sim::JobContext& ctx) {
+          const auto& m = mods[ctx.index];
+          Device dev(db.device_config(m, g));
+          core::ModuleTestConfig tc;
+          tc.hammer_count = service_activations;  // per victim, split 2 ways
+          tc.sample_rows = sampled_rows;
+          tc.seed = fleet_seed;
+          tc.patterns = {BackgroundPattern::kRandom};  // service, not memtest
+          const auto res = core::ModuleTester(tc).run(dev);
+          return FleetResult{m.year, res.failing_cells};
+        },
+        fleet_codec());
+    const std::set<std::size_t> fleet_skipped = harness.report(fleet);
 
-  sim::Campaign fleet("fleet", cc);
-  const auto fleet_results = fleet.map<FleetResult>(
-      mods.size(), [&](const sim::JobContext& ctx) {
-        const auto& m = mods[ctx.index];
-        Device dev(db.device_config(m, g));
-        core::ModuleTestConfig tc;
-        tc.hammer_count = service_activations;  // per victim, split 2 ways
-        tc.sample_rows = sampled_rows;
-        tc.seed = fleet_seed;
-        tc.patterns = {BackgroundPattern::kRandom};  // service, not memtest
-        const auto res = core::ModuleTester(tc).run(dev);
-        return FleetResult{m.year, res.failing_cells};
-      });
-
-  struct YearAgg {
-    int modules = 0;
-    int with_errors = 0;
-    std::uint64_t total_errors = 0;
-  };
-  std::map<int, YearAgg> years;
-  for (const FleetResult& r : fleet_results) {
-    auto& agg = years[r.year];
-    ++agg.modules;
-    agg.with_errors += r.failing_cells > 0;
-    agg.total_errors += r.failing_cells;
-  }
-
-  Table t({"year", "modules", "fraction_with_errors", "errors_per_module"});
-  t.set_precision(3);
-  double frac_2008 = 0, frac_2013 = 0;
-  for (const auto& [year, agg] : years) {
-    const double frac = static_cast<double>(agg.with_errors) / agg.modules;
-    t.add_row({std::int64_t{year}, std::int64_t{agg.modules}, frac,
-               static_cast<double>(agg.total_errors) / agg.modules});
-    if (year == 2008) frac_2008 = frac;
-    if (year == 2013) frac_2013 = frac;
-  }
-  bench::emit(t, args, "fleet_by_year");
-
-  // Correctable vs uncorrectable through the ECC lens: run the vulnerable
-  // 2013 modules' fault stream through SECDED and count what a fleet
-  // monitor would log. The fleet-wide budget of ~2000 victim checks is
-  // split across the qualifying modules up front (by module index), so
-  // each job owns a fixed quota.
-  std::vector<std::size_t> ecc_modules;
-  for (std::size_t i = 0; i < mods.size(); ++i) {
-    const auto& m = mods[i];
-    if (m.year == 2013 && m.vulnerable && m.target_error_rate >= 1e4)
-      ecc_modules.push_back(i);
-  }
-  const std::uint64_t fleet_budget = 2000;
-
-  sim::CounterSink ecc_events;
-  sim::Campaign ecc("fleet-ecc", cc);
-  ecc.for_each(ecc_modules.size(), [&](const sim::JobContext& ctx) {
-    const auto& m = mods[ecc_modules[ctx.index]];
-    std::uint64_t budget = fleet_budget / ecc_modules.size();
-    if (ctx.index < fleet_budget % ecc_modules.size()) ++budget;
-    Device dev(db.device_config(m, Geometry{1, 1, 1, 2048, 8192}));
-    ctrl::CtrlConfig ctrl_cfg;
-    ctrl_cfg.ecc = ctrl::EccMode::kSecded;
-    ctrl::MemoryController mc(dev, ctrl_cfg);
-    std::array<std::uint64_t, 8> ones;
-    ones.fill(~std::uint64_t{0});
-    std::uint64_t checked = 0;
-    for (std::uint32_t v = 2; v + 2 < 2048 && checked < budget; v += 3) {
-      if (!dev.fault_map().row_has_weak(0, v)) continue;
-      Address a{0, 0, 0, v, 0};
-      for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
-        a.col_word = blk;
-        mc.write_block(a, ones);
-      }
-      mc.close_all_banks();
-      dev.hammer(0, v - 1, service_activations / 2, mc.now());
-      dev.hammer(0, v + 1, service_activations / 2, mc.now());
-      for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
-        a.col_word = blk;
-        mc.read_block(a);
-      }
-      mc.close_all_banks();
-      ++checked;
+    struct YearAgg {
+      int modules = 0;
+      int with_errors = 0;
+      std::uint64_t total_errors = 0;
+    };
+    std::map<int, YearAgg> years;
+    for (std::size_t i = 0; i < fleet_results.size(); ++i) {
+      if (fleet_skipped.count(i)) continue;
+      const FleetResult& r = fleet_results[i];
+      auto& agg = years[r.year];
+      ++agg.modules;
+      agg.with_errors += r.failing_cells > 0;
+      agg.total_errors += r.failing_cells;
     }
-    ecc_events.add("corrected words", mc.stats().ecc_corrected_words);
-    ecc_events.add("uncorrectable blocks", mc.stats().ecc_uncorrectable_blocks);
+
+    Table t({"year", "modules", "fraction_with_errors", "errors_per_module"});
+    t.set_precision(3);
+    double frac_2008 = 0, frac_2013 = 0;
+    for (const auto& [year, agg] : years) {
+      const double frac = static_cast<double>(agg.with_errors) / agg.modules;
+      t.add_row({std::int64_t{year}, std::int64_t{agg.modules}, frac,
+                 static_cast<double>(agg.total_errors) / agg.modules});
+      if (year == 2008) frac_2008 = frac;
+      if (year == 2013) frac_2013 = frac;
+    }
+    bench::emit(t, args, "fleet_by_year");
+
+    // Correctable vs uncorrectable through the ECC lens: run the vulnerable
+    // 2013 modules' fault stream through SECDED and count what a fleet
+    // monitor would log. The fleet-wide budget of ~2000 victim checks is
+    // split across the qualifying modules up front (by module index), so
+    // each job owns a fixed quota.
+    std::vector<std::size_t> ecc_modules;
+    for (std::size_t i = 0; i < mods.size(); ++i) {
+      const auto& m = mods[i];
+      if (m.year == 2013 && m.vulnerable && m.target_error_rate >= 1e4)
+        ecc_modules.push_back(i);
+    }
+    const std::uint64_t fleet_budget = 2000;
+
+    sim::Campaign ecc("fleet-ecc", harness.config());
+    const auto ecc_results = ecc.map_journaled<EccCounts>(
+        ecc_modules.size(),
+        [&](const sim::JobContext& ctx) {
+          const auto& m = mods[ecc_modules[ctx.index]];
+          std::uint64_t budget = fleet_budget / ecc_modules.size();
+          if (ctx.index < fleet_budget % ecc_modules.size()) ++budget;
+          Device dev(db.device_config(m, Geometry{1, 1, 1, 2048, 8192}));
+          ctrl::CtrlConfig ctrl_cfg;
+          ctrl_cfg.ecc = ctrl::EccMode::kSecded;
+          ctrl::MemoryController mc(dev, ctrl_cfg);
+          std::array<std::uint64_t, 8> ones;
+          ones.fill(~std::uint64_t{0});
+          std::uint64_t checked = 0;
+          for (std::uint32_t v = 2; v + 2 < 2048 && checked < budget; v += 3) {
+            if (!dev.fault_map().row_has_weak(0, v)) continue;
+            Address a{0, 0, 0, v, 0};
+            for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
+              a.col_word = blk;
+              mc.write_block(a, ones);
+            }
+            mc.close_all_banks();
+            dev.hammer(0, v - 1, service_activations / 2, mc.now());
+            dev.hammer(0, v + 1, service_activations / 2, mc.now());
+            for (std::uint32_t blk = 0; blk < mc.blocks_per_row(); ++blk) {
+              a.col_word = blk;
+              mc.read_block(a);
+            }
+            mc.close_all_banks();
+            ++checked;
+          }
+          return EccCounts{mc.stats().ecc_corrected_words,
+                           mc.stats().ecc_uncorrectable_blocks};
+        },
+        ecc_codec());
+    const std::set<std::size_t> ecc_skipped = harness.report(ecc);
+
+    std::uint64_t corrected = 0, uncorrectable = 0;
+    for (std::size_t i = 0; i < ecc_results.size(); ++i) {
+      if (ecc_skipped.count(i)) continue;
+      corrected += ecc_results[i].corrected;
+      uncorrectable += ecc_results[i].uncorrectable;
+    }
+
+    Table e({"fleet_ecc_event", "count"});
+    e.add_row({std::string("corrected words"), corrected});
+    e.add_row({std::string("uncorrectable blocks"), uncorrectable});
+    bench::emit(e, args, "ecc_events");
+
+    std::cout << "\npaper: field studies show newer DRAM generations less "
+                 "reliable; most events correctable, a tail is not\n";
+    bench::shape("2008 fleet cohort is clean under service load",
+                 frac_2008 == 0.0);
+    bench::shape("2013 cohort shows widespread error incidence",
+                 frac_2013 > 0.8);
+    bench::shape("error incidence grows toward newer years",
+                 frac_2013 > frac_2008);
+    bench::shape("fleet ECC log shows corrected events", corrected > 0);
+    bench::shape("and a smaller uncorrectable tail",
+                 uncorrectable > 0 && uncorrectable < corrected);
+    return 0;
   });
-  const std::uint64_t corrected = ecc_events.value("corrected words");
-  const std::uint64_t uncorrectable = ecc_events.value("uncorrectable blocks");
-
-  Table e({"fleet_ecc_event", "count"});
-  e.add_row({std::string("corrected words"), corrected});
-  e.add_row({std::string("uncorrectable blocks"), uncorrectable});
-  bench::emit(e, args, "ecc_events");
-
-  std::cout << "\npaper: field studies show newer DRAM generations less "
-               "reliable; most events correctable, a tail is not\n";
-  bench::shape("2008 fleet cohort is clean under service load",
-               frac_2008 == 0.0);
-  bench::shape("2013 cohort shows widespread error incidence",
-               frac_2013 > 0.8);
-  bench::shape("error incidence grows toward newer years",
-               frac_2013 > frac_2008);
-  bench::shape("fleet ECC log shows corrected events", corrected > 0);
-  bench::shape("and a smaller uncorrectable tail",
-               uncorrectable > 0 && uncorrectable < corrected);
-  return 0;
 }

@@ -10,113 +10,152 @@
 // grid (one job per module): --threads N shards them across a worker pool,
 // --threads 1 is the serial reference, and the merged output is identical
 // at every width because each job depends only on its own module config.
+// Jobs return their measurements through map_journaled, so --journal /
+// --resume checkpointing, --max-retries, and --on-fail=degrade all apply;
+// tables are built post-merge from the result vector (never from inside a
+// job — see result_sink.h on retry idempotence).
 #include <cmath>
 #include <iostream>
 #include <map>
+#include <set>
 
 #include "bench_util.h"
 #include "core/module_tester.h"
 #include "dram/module_db.h"
 #include "sim/campaign.h"
-#include "sim/result_sink.h"
 
 using namespace densemem;
 using namespace densemem::dram;
 
+namespace {
+
+struct PerModule {
+  int year = 0;
+  std::uint64_t failing_cells = 0;
+  double rate = 0.0;
+  std::uint64_t rows_with_errors = 0;
+};
+
+sim::Campaign::JobCodec<PerModule> per_module_codec() {
+  return {
+      [](const PerModule& r) {
+        sim::PayloadWriter pw;
+        pw.i64(r.year);
+        pw.u64(r.failing_cells);
+        pw.f64(r.rate);
+        pw.u64(r.rows_with_errors);
+        return pw.take();
+      },
+      [](const std::string& payload) {
+        sim::PayloadReader pr(payload);
+        PerModule r;
+        r.year = static_cast<int>(pr.i64());
+        r.failing_cells = pr.u64();
+        r.rate = pr.f64();
+        r.rows_with_errors = pr.u64();
+        return r;
+      },
+  };
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
-  bench::banner("E1 / Figure 1", "§II, Fig. 1",
-                "RowHammer errors per 10^9 cells vs. manufacture date, "
-                "129 modules from manufacturers A/B/C",
-                args);
+  return bench::run_guarded([&]() -> int {
+    bench::banner("E1 / Figure 1", "§II, Fig. 1",
+                  "RowHammer errors per 10^9 cells vs. manufacture date, "
+                  "129 modules from manufacturers A/B/C",
+                  args);
 
-  ModuleDb db;
-  // Test a sampled slice of each module; fault maps are i.i.d. per row so
-  // the estimate is unbiased (see DESIGN.md decision #1).
-  Geometry g{1, 1, 1, 8192, 8192};
-  const std::uint64_t tester_seed = args.seed ? args.seed : 7;
+    ModuleDb db;
+    // Test a sampled slice of each module; fault maps are i.i.d. per row so
+    // the estimate is unbiased (see DESIGN.md decision #1).
+    Geometry g{1, 1, 1, 8192, 8192};
+    bench::CampaignHarness harness(args, /*default_seed=*/7);
+    const std::uint64_t tester_seed = harness.seed();
 
-  sim::TableSink per_module({"module", "mfr", "year", "target_rate",
-                             "measured_rate", "rows_with_errors"});
-  per_module.set_scientific(true);
-  per_module.set_precision(2);
+    sim::Campaign campaign("fig1", harness.config());
+    const auto& mods = db.modules();
+    const auto results = campaign.map_journaled<PerModule>(
+        mods.size(),
+        [&](const sim::JobContext& ctx) {
+          const auto& m = mods[ctx.index];
+          Device dev(db.device_config(m, g));
+          core::ModuleTestConfig tc;
+          tc.sample_rows = args.quick ? 256 : 1024;
+          tc.seed = tester_seed;
+          const auto res = core::ModuleTester(tc).run(dev);
+          return PerModule{m.year, res.failing_cells, res.errors_per_1e9_cells,
+                           res.rows_with_errors};
+        },
+        per_module_codec());
+    const std::set<std::size_t> skipped = harness.report(campaign);
 
-  struct PerModule {
-    int year = 0;
-    std::uint64_t failing_cells = 0;
-    double rate = 0.0;
-  };
-
-  sim::CampaignConfig cc;
-  cc.threads = args.threads;
-  cc.seed = tester_seed;
-  sim::Campaign campaign("fig1", cc);
-  const auto& mods = db.modules();
-  const auto results = campaign.map<PerModule>(
-      mods.size(), [&](const sim::JobContext& ctx) {
-        const auto& m = mods[ctx.index];
-        Device dev(db.device_config(m, g));
-        core::ModuleTestConfig tc;
-        tc.sample_rows = args.quick ? 256 : 1024;
-        tc.seed = tester_seed;
-        const auto res = core::ModuleTester(tc).run(dev);
-        per_module.add(ctx.index,
-                       {m.id, std::string(manufacturer_name(m.manufacturer)),
-                        std::int64_t{m.year}, m.target_error_rate,
-                        res.errors_per_1e9_cells,
-                        std::uint64_t{res.rows_with_errors}});
-        return PerModule{m.year, res.failing_cells, res.errors_per_1e9_cells};
-      });
-  bench::emit(per_module.merged(), args, "per_module");
-
-  struct YearAgg {
-    int tested = 0;
-    int vulnerable = 0;
-    double min_rate = 1e30, max_rate = 0;
-  };
-  std::map<int, YearAgg> years;
-  int earliest_nonzero_year = 9999;
-  std::uint64_t modules_with_errors = 0;
-  for (const PerModule& r : results) {
-    auto& agg = years[r.year];
-    ++agg.tested;
-    if (r.failing_cells > 0) {
-      ++agg.vulnerable;
-      ++modules_with_errors;
-      agg.min_rate = std::min(agg.min_rate, r.rate);
-      agg.max_rate = std::max(agg.max_rate, r.rate);
-      earliest_nonzero_year = std::min(earliest_nonzero_year, r.year);
+    Table per_module({"module", "mfr", "year", "target_rate", "measured_rate",
+                      "rows_with_errors"});
+    per_module.set_scientific(true);
+    per_module.set_precision(2);
+    for (std::size_t i = 0; i < mods.size(); ++i) {
+      if (skipped.count(i)) continue;
+      const auto& m = mods[i];
+      per_module.add_row({m.id, std::string(manufacturer_name(m.manufacturer)),
+                          std::int64_t{m.year}, m.target_error_rate,
+                          results[i].rate, results[i].rows_with_errors});
     }
-  }
+    bench::emit(per_module, args, "per_module");
 
-  Table per_year({"year", "modules", "with_errors", "min_rate(log10)",
-                  "max_rate(log10)"});
-  per_year.set_precision(2);
-  for (const auto& [year, agg] : years) {
-    per_year.add_row(
-        {std::int64_t{year}, std::int64_t{agg.tested},
-         std::int64_t{agg.vulnerable},
-         agg.vulnerable ? std::log10(std::max(agg.min_rate, 1.0)) : 0.0,
-         agg.vulnerable ? std::log10(std::max(agg.max_rate, 1.0)) : 0.0});
-  }
-  bench::emit(per_year, args, "per_year");
+    struct YearAgg {
+      int tested = 0;
+      int vulnerable = 0;
+      double min_rate = 1e30, max_rate = 0;
+    };
+    std::map<int, YearAgg> years;
+    int earliest_nonzero_year = 9999;
+    std::uint64_t modules_with_errors = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (skipped.count(i)) continue;
+      const PerModule& r = results[i];
+      auto& agg = years[r.year];
+      ++agg.tested;
+      if (r.failing_cells > 0) {
+        ++agg.vulnerable;
+        ++modules_with_errors;
+        agg.min_rate = std::min(agg.min_rate, r.rate);
+        agg.max_rate = std::max(agg.max_rate, r.rate);
+        earliest_nonzero_year = std::min(earliest_nonzero_year, r.year);
+      }
+    }
 
-  std::cout << "\npaper: 110/129 modules vulnerable, earliest 2010, all "
-               "2012-2013 vulnerable, rates up to ~1e6 per 1e9 cells\n"
-            << "ours : " << modules_with_errors
-            << "/129 modules with measured errors, earliest "
-            << earliest_nonzero_year << "\n";
-  // Low-rate vulnerable modules can measure zero on a sampled slice
-  // (Poisson), exactly like a real under-sampled test; the calibrated
-  // vulnerability split is exact by construction (see test_module_db).
-  bench::shape("earliest failing year is 2010",
-               earliest_nonzero_year == 2010);
-  bench::shape("every 2012 and 2013 module shows errors",
-               years[2012].vulnerable == years[2012].tested &&
-                   years[2013].vulnerable == years[2013].tested);
-  bench::shape("2008-2009 modules show zero errors",
-               years[2008].vulnerable == 0 && years[2009].vulnerable == 0);
-  bench::shape("peak error rate within 10^5..10^7 per 10^9 cells",
-               years[2013].max_rate >= 1e5 && years[2013].max_rate <= 1e7);
-  return 0;
+    Table per_year({"year", "modules", "with_errors", "min_rate(log10)",
+                    "max_rate(log10)"});
+    per_year.set_precision(2);
+    for (const auto& [year, agg] : years) {
+      per_year.add_row(
+          {std::int64_t{year}, std::int64_t{agg.tested},
+           std::int64_t{agg.vulnerable},
+           agg.vulnerable ? std::log10(std::max(agg.min_rate, 1.0)) : 0.0,
+           agg.vulnerable ? std::log10(std::max(agg.max_rate, 1.0)) : 0.0});
+    }
+    bench::emit(per_year, args, "per_year");
+
+    std::cout << "\npaper: 110/129 modules vulnerable, earliest 2010, all "
+                 "2012-2013 vulnerable, rates up to ~1e6 per 1e9 cells\n"
+              << "ours : " << modules_with_errors
+              << "/129 modules with measured errors, earliest "
+              << earliest_nonzero_year << "\n";
+    // Low-rate vulnerable modules can measure zero on a sampled slice
+    // (Poisson), exactly like a real under-sampled test; the calibrated
+    // vulnerability split is exact by construction (see test_module_db).
+    bench::shape("earliest failing year is 2010",
+                 earliest_nonzero_year == 2010);
+    bench::shape("every 2012 and 2013 module shows errors",
+                 years[2012].vulnerable == years[2012].tested &&
+                     years[2013].vulnerable == years[2013].tested);
+    bench::shape("2008-2009 modules show zero errors",
+                 years[2008].vulnerable == 0 && years[2009].vulnerable == 0);
+    bench::shape("peak error rate within 10^5..10^7 per 10^9 cells",
+                 years[2013].max_rate >= 1e5 && years[2013].max_rate <= 1e7);
+    return 0;
+  });
 }

@@ -44,12 +44,43 @@ BenchArgs parse_args(int argc, char** argv) {
       args.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-retries") == 0 && i + 1 < argc) {
+      args.max_retries =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--job-timeout") == 0 && i + 1 < argc) {
+      args.job_timeout_s = std::strtod(argv[++i], nullptr);
+    } else if (std::strncmp(argv[i], "--on-fail=", 10) == 0 ||
+               (std::strcmp(argv[i], "--on-fail") == 0 && i + 1 < argc)) {
+      const char* mode =
+          argv[i][9] == '=' ? argv[i] + 10 : argv[++i];
+      if (std::strcmp(mode, "degrade") == 0) {
+        args.degrade = true;
+      } else if (std::strcmp(mode, "abort") == 0) {
+        args.degrade = false;
+      } else {
+        std::cerr << "unknown --on-fail mode '" << mode
+                  << "' (want abort|degrade)\n";
+      }
+    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      args.journal_path = argv[++i];
+      args.resume = false;
+    } else if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
+      args.journal_path = argv[++i];
+      args.resume = true;
+    } else if (std::strcmp(argv[i], "--inject-faults") == 0 && i + 1 < argc) {
+      args.fault_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--abort-after") == 0 && i + 1 < argc) {
+      args.abort_after = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--csv <path>] [--json <path>] [--threads <n>]"
-                   " [--seed <s>] [--quick]\n";
+                   " [--seed <s>] [--quick]\n"
+                   "       [--max-retries <n>] [--job-timeout <s>]"
+                   " [--on-fail=abort|degrade]\n"
+                   "       [--journal <path>] [--resume <path>]"
+                   " [--inject-faults <seed>] [--abort-after <k>]\n";
     }
   }
   return args;
@@ -100,6 +131,93 @@ void emit(const Table& table, const BenchArgs& args,
 void shape(const std::string& statement, bool holds) {
   std::cout << "[shape] " << (holds ? "PASS" : "FAIL") << ": " << statement
             << "\n";
+}
+
+CampaignHarness::CampaignHarness(const BenchArgs& args,
+                                 std::uint64_t default_seed)
+    : args_(args), seed_(args.seed ? args.seed : default_seed) {
+  if (!args_.journal_path.empty()) {
+    if (args_.resume) {
+      // Journal::load throws with a precise message on a corrupt file; an
+      // unreadable resume target must not silently degrade to a full rerun.
+      loaded_ = sim::Journal::load(args_.journal_path);
+      have_loaded_ = true;
+    }
+    if (!writer_.open(args_.journal_path, /*append=*/args_.resume)) {
+      std::cerr << "[journal] cannot open '" << args_.journal_path
+                << "' for writing\n";
+      std::exit(74);  // EX_IOERR
+    }
+  }
+  // Robustness knobs on stderr: self-describing runs without perturbing
+  // stdout, which must stay byte-identical to a clean run's.
+  if (args_.max_retries || args_.job_timeout_s > 0.0 || args_.degrade ||
+      args_.fault_seed || !args_.journal_path.empty() || args_.abort_after) {
+    std::cerr << "[ft] max-retries=" << args_.max_retries
+              << " job-timeout=" << args_.job_timeout_s
+              << "s on-fail=" << (args_.degrade ? "degrade" : "abort");
+    if (args_.fault_seed)
+      std::cerr << " inject-faults=" << args_.fault_seed;
+    if (!args_.journal_path.empty())
+      std::cerr << (args_.resume ? " resume=" : " journal=")
+                << args_.journal_path;
+    if (args_.abort_after) std::cerr << " abort-after=" << args_.abort_after;
+    std::cerr << "\n";
+  }
+}
+
+sim::CampaignConfig CampaignHarness::config() const {
+  sim::CampaignConfig cc;
+  cc.threads = args_.threads;
+  cc.seed = seed_;
+  cc.retry.max_attempts = 1 + args_.max_retries;
+  cc.retry.backoff_ms = args_.max_retries ? 10.0 : 0.0;
+  cc.job_timeout_s = args_.job_timeout_s;
+  cc.fail_fast = !args_.degrade;
+  cc.abort_after = args_.abort_after;
+  if (args_.fault_seed) {
+    // The committed CLI fault profile: ~20% of jobs fail their first
+    // attempt then recover, so `--inject-faults S --max-retries 1` must
+    // reproduce a clean run byte-for-byte (CI asserts this).
+    cc.fault.seed = args_.fault_seed;
+    cc.fault.fail_probability = 0.2;
+    cc.fault.fail_attempts = 1;
+  }
+  if (writer_.is_open()) cc.journal = &writer_;
+  if (have_loaded_) cc.resume = &loaded_;
+  cc.journal_tag = args_.quick ? "quick" : "full";
+  return cc;
+}
+
+std::set<std::size_t> CampaignHarness::report(
+    const sim::Campaign& campaign) const {
+  std::set<std::size_t> skipped;
+  for (const sim::JobFailure& q : campaign.quarantine()) {
+    skipped.insert(q.index);
+    std::cout << "[quarantined] " << campaign.name() << " job " << q.index
+              << " after " << q.attempts << " attempts: " << q.error << "\n";
+  }
+  const auto& st = campaign.last_stats();
+  if (st.retries || st.resumed || st.quarantined)
+    std::cerr << "[ft] campaign " << campaign.name() << ": " << st.completed
+              << " completed, " << st.resumed << " resumed, " << st.retries
+              << " retries, " << st.quarantined << " quarantined\n";
+  return skipped;
+}
+
+int run_guarded(const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const sim::CampaignInterrupted& e) {
+    std::cerr << "[journal] " << e.what()
+              << "; rerun with --resume <journal> to finish\n";
+    return 75;  // EX_TEMPFAIL: partial work checkpointed, retryable
+  } catch (const std::exception& e) {
+    // fail-fast campaign abort (or any other fatal error): exit cleanly
+    // instead of std::terminate so scripts see a message, not a core dump.
+    std::cerr << "[fatal] " << e.what() << "\n";
+    return 70;  // EX_SOFTWARE
+  }
 }
 
 }  // namespace densemem::bench

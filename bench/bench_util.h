@@ -1,5 +1,7 @@
 // Shared helpers for the experiment benches (E1..E12): banner printing,
-// --csv/--json mirroring, and common scaled-down device configurations.
+// --csv/--json mirroring, robustness flags (retry / deadline / degrade /
+// checkpoint-resume / fault injection), and common scaled-down device
+// configurations.
 //
 // Every bench prints an ASCII table of the series the corresponding paper
 // figure/claim reports, plus a short "paper says / we measure" summary that
@@ -7,10 +9,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
+#include "sim/campaign.h"
 
 namespace densemem::bench {
 
@@ -24,6 +29,23 @@ struct BenchArgs {
   /// Campaign seed override; 0 = the bench's committed default (the seeds
   /// EXPERIMENTS.md records).
   std::uint64_t seed = 0;
+  /// --max-retries N: extra attempts per failing job (total attempts are
+  /// 1 + N). 0 = fail on the first error, the historical behaviour.
+  unsigned max_retries = 0;
+  /// --job-timeout S: per-attempt wall-clock budget in seconds; 0 = none.
+  double job_timeout_s = 0.0;
+  /// --on-fail=degrade: quarantine persistently failing jobs and keep the
+  /// grid running; default (abort) rethrows and kills the bench.
+  bool degrade = false;
+  /// --journal P (fresh checkpoint file) or --resume P (continue one).
+  std::string journal_path;
+  bool resume = false;
+  /// --inject-faults S: deterministic fault injection with seed S (fails
+  /// ~20% of jobs on their first attempt; see CampaignHarness::config).
+  std::uint64_t fault_seed = 0;
+  /// --abort-after K: stop after K journaled completions (exit code 75) to
+  /// stage an interruption that --resume recovers from.
+  std::size_t abort_after = 0;
 };
 
 BenchArgs parse_args(int argc, char** argv);
@@ -34,7 +56,9 @@ void banner(const std::string& experiment_id, const std::string& paper_anchor,
 
 /// Banner variant for campaign-backed benches: also prints the resolved
 /// run parameters (threads, seed, quick) so recorded runs are
-/// self-describing.
+/// self-describing. Robustness knobs go to stderr (see CampaignHarness) so
+/// stdout stays byte-comparable between a clean run and a faulty-but-
+/// recovered one.
 void banner(const std::string& experiment_id, const std::string& paper_anchor,
             const std::string& claim, const BenchArgs& args);
 
@@ -44,5 +68,43 @@ void emit(const Table& table, const BenchArgs& args,
 
 /// Prints a "shape check" line: the qualitative comparison the bench makes.
 void shape(const std::string& statement, bool holds);
+
+/// Owns the per-process checkpoint plumbing (journal writer + loaded resume
+/// journal — one of each per bench, shared by all its campaigns) and turns
+/// BenchArgs into a wired sim::CampaignConfig.
+class CampaignHarness {
+ public:
+  /// `default_seed` is the bench's committed campaign seed, used when
+  /// --seed is absent. Throws on an unreadable/corrupt --resume journal;
+  /// exits with an error message if --journal cannot be created.
+  CampaignHarness(const BenchArgs& args, std::uint64_t default_seed);
+
+  /// Campaign config carrying threads/seed plus every robustness flag.
+  /// Pointers inside reference this harness — keep it alive through the
+  /// campaign runs.
+  sim::CampaignConfig config() const;
+
+  /// The resolved campaign seed (--seed or the bench default).
+  std::uint64_t seed() const { return seed_; }
+
+  /// Prints one stdout "[quarantined] job <i> ..." line per quarantined job
+  /// (sorted by index — deterministic, filterable) plus a stderr recovery
+  /// summary; returns the quarantined indices so the bench can skip those
+  /// rows.
+  std::set<std::size_t> report(const sim::Campaign& campaign) const;
+
+ private:
+  BenchArgs args_;
+  std::uint64_t seed_;
+  sim::Journal loaded_;
+  bool have_loaded_ = false;
+  mutable sim::JournalWriter writer_;
+};
+
+/// Runs the bench body, translating a sim::CampaignInterrupted
+/// (--abort-after) into exit code 75 with a resume hint on stderr, and any
+/// other exception (e.g. a fail-fast campaign abort) into exit code 70
+/// with the message, instead of an uncaught-exception core dump.
+int run_guarded(const std::function<int()>& body);
 
 }  // namespace densemem::bench

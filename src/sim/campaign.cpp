@@ -1,53 +1,266 @@
 #include "sim/campaign.h"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
 
 #include "sim/progress.h"
 #include "sim/thread_pool.h"
 
 namespace densemem::sim {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Deadline enforcement: one slot per in-flight attempt, a scanner thread
+/// that flags slots whose attempt has outlived the budget. The flag is all
+/// it does — a worker thread cannot be killed, so the job either polls
+/// JobContext::expired() and bails out (injected hangs do), or the executor
+/// notices the flag when the attempt returns and fails it retroactively.
+class Watchdog {
+ public:
+  struct Slot {
+    std::atomic<long long> start_ns{-1};  ///< -1 = free
+    std::atomic<bool> expired{false};
+  };
+
+  Watchdog(unsigned slots, double timeout_s)
+      : slots_(slots), timeout_ns_(static_cast<long long>(timeout_s * 1e9)) {
+    const double period_s = std::clamp(timeout_s / 4.0, 0.001, 0.25);
+    period_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::duration<double>(period_s));
+    scanner_ = std::thread([this] { scan_loop(); });
+  }
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    scanner_.join();
+  }
+
+  Slot* acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& s : slots_) {
+      if (s.start_ns.load(std::memory_order_relaxed) < 0) {
+        s.expired.store(false, std::memory_order_relaxed);
+        s.start_ns.store(now_ns(), std::memory_order_release);
+        return &s;
+      }
+    }
+    return nullptr;  // more in-flight attempts than workers: cannot happen
+  }
+
+  void release(Slot* s) {
+    if (s) s->start_ns.store(-1, std::memory_order_release);
+  }
+
+ private:
+  static long long now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+  }
+
+  void scan_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, period_, [this] { return stop_; })) return;
+      const long long now = now_ns();
+      for (auto& s : slots_) {
+        const long long start = s.start_ns.load(std::memory_order_acquire);
+        if (start >= 0 && now - start > timeout_ns_)
+          s.expired.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  const long long timeout_ns_;
+  std::chrono::nanoseconds period_{};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread scanner_;
+};
+
+struct SlotGuard {
+  Watchdog* wd = nullptr;
+  Watchdog::Slot* slot = nullptr;
+  SlotGuard(Watchdog* w) : wd(w), slot(w ? w->acquire() : nullptr) {}
+  ~SlotGuard() {
+    if (wd) wd->release(slot);
+  }
+  SlotGuard(const SlotGuard&) = delete;
+  SlotGuard& operator=(const SlotGuard&) = delete;
+};
+
+}  // namespace
+
 Campaign::Campaign(std::string name, CampaignConfig cfg)
     : name_(std::move(name)),
-      cfg_(cfg),
-      threads_(cfg.threads ? cfg.threads : ThreadPool::default_threads()) {}
+      cfg_(std::move(cfg)),
+      threads_(cfg_.threads ? cfg_.threads : ThreadPool::default_threads()) {}
 
-void Campaign::run_grid(std::size_t n,
-                        const std::function<void(const JobContext&)>& job) {
-  const auto t0 = std::chrono::steady_clock::now();
+void Campaign::run_grid(std::size_t n, const GridHooks& hooks) {
+  const auto t0 = Clock::now();
+  stats_ = CampaignStats{};
+  quarantine_.clear();
+
+  // --- resume: settle jobs the journal already accounts for --------------
+  std::vector<char> settled(n, 0);  // 0 = pending, 1 = completed, 2 = quarantined
+  std::size_t resumed = 0;
+  if (cfg_.resume) {
+    if (const Journal::Section* sec = cfg_.resume->find(name_)) {
+      if (sec->seed != cfg_.seed || sec->jobs != n ||
+          sec->tag != cfg_.journal_tag)
+        throw std::runtime_error(
+            "campaign '" + name_ + "': resume journal was recorded for a "
+            "different grid (seed/jobs/tag mismatch)");
+      for (const auto& [i, rec] : sec->records) {
+        if (rec.quarantined) {
+          quarantine_.push_back(JobFailure{i, rec.attempts, rec.error});
+          settled[i] = 2;
+        } else {
+          if (!hooks.replay)
+            throw std::runtime_error(
+                "campaign '" + name_ + "': resuming completed jobs requires "
+                "a result codec (use map_journaled)");
+          hooks.replay(i, rec.payload);
+          settled[i] = 1;
+          ++resumed;
+        }
+      }
+    }
+  }
+  if (cfg_.journal && n > 0)
+    cfg_.journal->begin_section(name_, cfg_.seed, n, cfg_.journal_tag);
+
+  std::vector<std::size_t> pending;
+  pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (!settled[i]) pending.push_back(i);
+
   Progress progress(name_, n, cfg_.progress && n > 1,
                     cfg_.progress_interval_s);
+  for (const char s : settled) {
+    if (s == 1) progress.mark_done();
+    if (s == 2) progress.mark_failed();
+  }
+
+  std::unique_ptr<Watchdog> watchdog;
+  if (cfg_.job_timeout_s > 0.0)
+    watchdog = std::make_unique<Watchdog>(threads_, cfg_.job_timeout_s);
+  const FaultInjector injector(cfg_.fault);
+  const unsigned attempts_per_job = std::max(1u, cfg_.retry.max_attempts);
+
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> retries{0};
+  std::atomic<bool> interrupted{false};
+  std::mutex quarantine_mu;
 
   auto run_one = [&](std::size_t i) {
+    if (interrupted.load(std::memory_order_relaxed)) return;
     JobContext ctx;
     ctx.index = i;
     ctx.count = n;
     ctx.stream_seed = hash_coords(cfg_.seed, static_cast<std::uint64_t>(i));
-    try {
-      job(ctx);
-    } catch (...) {
-      progress.mark_failed();
-      throw;
+    ctx.time_budget_s = cfg_.job_timeout_s;
+    std::exception_ptr last_error;
+    std::string last_what = "unknown error";
+    for (unsigned attempt = 0; attempt < attempts_per_job; ++attempt) {
+      if (interrupted.load(std::memory_order_relaxed)) return;
+      if (attempt > 0) {
+        retries.fetch_add(1, std::memory_order_relaxed);
+        progress.mark_retried();
+        const double delay_ms = cfg_.retry.backoff_for(attempt);
+        if (delay_ms > 0.0)
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(delay_ms));
+      }
+      ctx.attempt = attempt;
+      try {
+        SlotGuard guard(watchdog.get());
+        ctx.deadline_flag = guard.slot ? &guard.slot->expired : nullptr;
+        const auto attempt_start = Clock::now();
+        injector.inject(ctx);
+        std::string payload = hooks.run(ctx);
+        const bool over_deadline =
+            (guard.slot &&
+             guard.slot->expired.load(std::memory_order_relaxed)) ||
+            (cfg_.job_timeout_s > 0.0 &&
+             seconds_since(attempt_start) > cfg_.job_timeout_s);
+        if (over_deadline)
+          throw JobTimeout("job " + std::to_string(i) + " attempt " +
+                           std::to_string(attempt) + " exceeded " +
+                           std::to_string(cfg_.job_timeout_s) + "s deadline");
+        // Success: checkpoint before counting, so the journal never claims
+        // fewer jobs than the stats do.
+        if (cfg_.journal)
+          cfg_.journal->record_done(i, attempt + 1, payload);
+        progress.mark_done();
+        const std::size_t done_now =
+            completed.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (cfg_.abort_after && done_now >= cfg_.abort_after) {
+          interrupted.store(true, std::memory_order_relaxed);
+          throw CampaignInterrupted(name_, done_now);
+        }
+        return;
+      } catch (const CampaignInterrupted&) {
+        throw;
+      } catch (const std::exception& e) {
+        last_error = std::current_exception();
+        last_what = e.what();
+      } catch (...) {
+        last_error = std::current_exception();
+        last_what = "unknown error";
+      }
     }
-    progress.mark_done();
+    // Attempts exhausted.
+    if (cfg_.journal)
+      cfg_.journal->record_quarantined(i, attempts_per_job, last_what);
+    progress.mark_failed();
+    {
+      std::lock_guard<std::mutex> lock(quarantine_mu);
+      quarantine_.push_back(JobFailure{i, attempts_per_job, last_what});
+    }
+    if (cfg_.fail_fast) std::rethrow_exception(last_error);
   };
 
-  if (threads_ <= 1 || n <= 1) {
+  if (threads_ <= 1 || pending.size() <= 1) {
     // Serial reference path: no pool, no queue — the behaviour --threads 1
     // pins down, and what every multi-threaded run must reproduce.
-    for (std::size_t i = 0; i < n; ++i) run_one(i);
+    for (const std::size_t i : pending) run_one(i);
   } else {
     ThreadPool pool(threads_);
-    pool.parallel_for(n, cfg_.chunk, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) run_one(i);
-    });
+    pool.parallel_for(pending.size(), cfg_.chunk,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t k = begin; k < end; ++k)
+                          run_one(pending[k]);
+                      });
   }
 
+  std::sort(quarantine_.begin(), quarantine_.end(),
+            [](const JobFailure& a, const JobFailure& b) {
+              return a.index < b.index;
+            });
   stats_.jobs = n;
   stats_.threads = threads_;
-  stats_.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  stats_.completed = completed.load();
+  stats_.resumed = resumed;
+  stats_.retries = retries.load();
+  stats_.quarantined = quarantine_.size();
+  stats_.wall_seconds = seconds_since(t0);
   progress.finish();
 }
 

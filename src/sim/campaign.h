@@ -21,17 +21,44 @@
 //
 // map() returns results in job-index order (the merge point); streaming
 // collectors live in result_sink.h.
+//
+// Failure semantics (docs/ARCHITECTURE.md, "Failure semantics"): every job
+// attempt may be retried (RetryPolicy) — the stream seed does not depend on
+// the attempt, so a retried job's result is byte-identical to an untouched
+// one — bounded by a deadline (job_timeout_s + a watchdog thread), and, in
+// degrade mode, quarantined instead of aborting the grid when it keeps
+// failing. map_journaled() additionally checkpoints every settled job to an
+// append-only journal so an interrupted campaign resumes without re-running
+// (or re-randomizing) completed work. Because a failed attempt is re-run
+// from scratch, retryable jobs should return their results through map()
+// rather than writing to shared sinks mid-job: assigning out[index] is
+// idempotent, a sink add is not.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "sim/fault.h"
+#include "sim/journal.h"
+#include "sim/retry.h"
 
 namespace densemem::sim {
+
+/// Thrown when the run stops early because `abort_after` successful
+/// completions were journaled — the deterministic stand-in for a mid-grid
+/// kill, used to exercise --resume. Everything already settled is on disk.
+class CampaignInterrupted : public std::runtime_error {
+ public:
+  CampaignInterrupted(const std::string& campaign, std::size_t completed)
+      : std::runtime_error("campaign '" + campaign + "' interrupted after " +
+                           std::to_string(completed) + " completed jobs") {}
+};
 
 struct CampaignConfig {
   unsigned threads = 0;     ///< worker count; 0 = hardware concurrency
@@ -39,6 +66,36 @@ struct CampaignConfig {
   std::size_t chunk = 1;    ///< job indices per work-queue grab
   bool progress = true;     ///< periodic "[sim:…]" line on stderr
   double progress_interval_s = 2.0;
+
+  // --- fault tolerance ----------------------------------------------------
+  RetryPolicy retry;        ///< attempts per job; 1 = fail on first error
+  FaultConfig fault;        ///< deterministic fault injection; seed 0 = off
+  /// Per-attempt wall-clock budget in seconds; 0 = no deadline. When set, a
+  /// watchdog thread flags over-deadline attempts (JobContext::expired()
+  /// turns true so co-operative jobs can bail out) and the attempt counts
+  /// as failed. Deadlines trade determinism for liveness: pick budgets far
+  /// above the real job cost so only genuine hangs trip them.
+  double job_timeout_s = 0.0;
+  /// true (default): a job that exhausts its attempts rethrows and aborts
+  /// the grid — the pre-fault-tolerance behaviour. false (degrade mode):
+  /// the job is quarantined (skipped, counted, reported via quarantine())
+  /// and the rest of the grid completes.
+  bool fail_fast = true;
+  /// Stop after this many successful completions this run by throwing
+  /// CampaignInterrupted (0 = run to the end). Only meaningful with a
+  /// journal: it simulates an interruption that --resume recovers from.
+  std::size_t abort_after = 0;
+  /// Checkpoint sink: every settled job is appended here (owned by the
+  /// caller, shared across a bench's campaigns). nullptr = no journal.
+  JournalWriter* journal = nullptr;
+  /// Previously written journal to resume from (owned by the caller).
+  /// Completed jobs are replayed through the codec instead of re-run;
+  /// quarantined jobs stay quarantined. nullptr = fresh run.
+  const Journal* resume = nullptr;
+  /// Opaque run descriptor stored in the journal section header and
+  /// validated on resume (e.g. "quick" vs "full" — grids whose job bodies
+  /// differ must not share checkpoints).
+  std::string journal_tag;
 };
 
 /// Per-job view handed to the job function. Everything a job needs to be
@@ -47,6 +104,11 @@ struct JobContext {
   std::size_t index = 0;          ///< this job's grid index
   std::size_t count = 0;          ///< total jobs in the grid
   std::uint64_t stream_seed = 0;  ///< hash_coords(campaign seed, index)
+  /// 0-based attempt number. Informational only — deriving randomness from
+  /// it would break the retry-determinism invariant.
+  unsigned attempt = 0;
+  /// Wall-clock budget for this attempt (0 = none).
+  double time_budget_s = 0.0;
 
   /// Fresh generator on this job's private stream.
   Rng make_rng() const { return Rng(stream_seed); }
@@ -56,12 +118,33 @@ struct JobContext {
   std::uint64_t substream(std::uint64_t tag) const {
     return hash_coords(stream_seed, tag);
   }
+
+  /// True once the watchdog has flagged this attempt as over-deadline.
+  /// Long-running job bodies may poll this and throw JobTimeout to yield
+  /// the worker early; the attempt is marked failed either way.
+  bool expired() const {
+    return deadline_flag &&
+           deadline_flag->load(std::memory_order_relaxed);
+  }
+
+  const std::atomic<bool>* deadline_flag = nullptr;  ///< set by the executor
 };
 
 struct CampaignStats {
   std::size_t jobs = 0;
   unsigned threads = 1;        ///< resolved worker count actually used
   double wall_seconds = 0.0;   ///< grid wall-clock, excludes merge/emit
+  std::size_t completed = 0;   ///< jobs that ran to success this run
+  std::size_t resumed = 0;     ///< jobs replayed from the resume journal
+  std::size_t retries = 0;     ///< extra attempts beyond each job's first
+  std::size_t quarantined = 0; ///< jobs given up on (incl. carried over)
+};
+
+/// One quarantined job, reported instead of an abort in degrade mode.
+struct JobFailure {
+  std::size_t index = 0;
+  unsigned attempts = 0;
+  std::string error;  ///< what() of the last failed attempt
 };
 
 class Campaign {
@@ -74,31 +157,86 @@ class Campaign {
   unsigned threads() const { return threads_; }
   /// Stats of the most recent map()/for_each() run.
   const CampaignStats& last_stats() const { return stats_; }
+  /// Jobs quarantined by the most recent run, sorted by index.
+  const std::vector<JobFailure>& quarantine() const { return quarantine_; }
+
+  /// Serializer pair for a job result type: encode() must capture every
+  /// field that feeds the merged output, bit-exactly (journal.h's
+  /// PayloadWriter/PayloadReader do that for doubles), and decode() must be
+  /// its exact inverse — a resumed run re-emits whatever encode preserved.
+  template <typename R>
+  struct JobCodec {
+    std::function<std::string(const R&)> encode;
+    std::function<R(const std::string&)> decode;
+  };
 
   /// Runs fn(ctx) for every job index in [0, n) and returns the results in
-  /// index order. R must be default-constructible. A job exception aborts
-  /// the run and rethrows on the calling thread.
+  /// index order. R must be default-constructible. With the default config
+  /// a job exception aborts the run and rethrows on the calling thread;
+  /// retry/deadline/degrade behaviour follows the config (a quarantined
+  /// job's slot keeps its default-constructed value).
   template <typename R, typename Fn>
   std::vector<R> map(std::size_t n, Fn&& fn) {
     std::vector<R> out(n);
-    run_grid(n, [&](const JobContext& ctx) { out[ctx.index] = fn(ctx); });
+    GridHooks hooks;
+    hooks.run = [&](const JobContext& ctx) {
+      out[ctx.index] = fn(ctx);
+      return std::string();
+    };
+    run_grid(n, hooks);
+    return out;
+  }
+
+  /// map() plus checkpointing: every completed job's encoded result goes to
+  /// cfg.journal, and with cfg.resume set, already-settled jobs are
+  /// replayed through the codec instead of re-run — the returned vector is
+  /// byte-identical to an uninterrupted run's.
+  template <typename R, typename Fn>
+  std::vector<R> map_journaled(std::size_t n, Fn&& fn, JobCodec<R> codec) {
+    std::vector<R> out(n);
+    GridHooks hooks;
+    hooks.run = [&](const JobContext& ctx) {
+      R r = fn(ctx);
+      std::string payload = codec.encode(r);
+      out[ctx.index] = std::move(r);
+      return payload;
+    };
+    hooks.replay = [&](std::size_t index, const std::string& payload) {
+      out[index] = codec.decode(payload);
+    };
+    run_grid(n, hooks);
     return out;
   }
 
   /// Runs fn(ctx) for every job index in [0, n); results flow through side
-  /// channels (a ResultSink, or writes keyed by ctx.index).
+  /// channels (a ResultSink, or writes keyed by ctx.index). Side-channel
+  /// writes are re-executed on retry — prefer map() when retries are on.
   template <typename Fn>
   void for_each(std::size_t n, Fn&& fn) {
-    run_grid(n, [&](const JobContext& ctx) { fn(ctx); });
+    GridHooks hooks;
+    hooks.run = [&](const JobContext& ctx) {
+      fn(ctx);
+      return std::string();
+    };
+    run_grid(n, hooks);
   }
 
  private:
-  void run_grid(std::size_t n, const std::function<void(const JobContext&)>& job);
+  struct GridHooks {
+    /// Runs the job, returns the journal payload ("" when not journaling).
+    std::function<std::string(const JobContext&)> run;
+    /// Reinstates a completed job from its journal payload; null when the
+    /// grid has no codec (then resuming completed jobs is an error).
+    std::function<void(std::size_t, const std::string&)> replay;
+  };
+
+  void run_grid(std::size_t n, const GridHooks& hooks);
 
   std::string name_;
   CampaignConfig cfg_;
   unsigned threads_;
   CampaignStats stats_;
+  std::vector<JobFailure> quarantine_;
 };
 
 }  // namespace densemem::sim

@@ -1,0 +1,29 @@
+#include "sim/fault.h"
+
+#include <chrono>
+#include <thread>
+
+#include "sim/campaign.h"
+#include "sim/retry.h"
+
+namespace densemem::sim {
+
+void FaultInjector::inject(const JobContext& ctx) const {
+  if (!should_fault(ctx.index, ctx.attempt)) return;
+  const std::string where = "job " + std::to_string(ctx.index) + " attempt " +
+                            std::to_string(ctx.attempt);
+  if (plan(ctx.index) == FaultKind::kFail)
+    throw InjectedFault("injected failure: " + where);
+  // Injected hang: nap in short slices so a watchdog-tripped deadline is
+  // noticed promptly. The slices make wall time approximate, but the only
+  // observable outcomes — JobTimeout or a normal return — stay the same.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto nap = std::chrono::duration<double>(cfg_.hang_seconds);
+  while (std::chrono::steady_clock::now() - t0 < nap) {
+    if (ctx.expired())
+      throw JobTimeout("injected hang exceeded deadline: " + where);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace densemem::sim

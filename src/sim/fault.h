@@ -1,0 +1,95 @@
+// Deterministic fault injection for campaign jobs.
+//
+// Robustness behaviour (retry, quarantine, deadlines, resume) is only
+// trustworthy if it is testable byte-for-byte, so injected faults are a
+// pure function of (fault seed, job index, attempt): the injector draws one
+// unit uniform per job from hash_coords(seed, index) to decide whether that
+// job is fault-prone (and how — throw or hang), and a fault-prone job
+// faults on its first `fail_attempts` attempts, then succeeds. The decision
+// never consumes the job's RNG stream, so an injected-then-retried job
+// produces exactly the bytes an untouched job would.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+
+namespace densemem::sim {
+
+/// The failure the injector raises for a fault-prone job's failing attempt.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class FaultKind { kNone, kFail, kHang };
+
+struct FaultConfig {
+  /// Master fault seed. 0 disables injection entirely.
+  std::uint64_t seed = 0;
+  /// Probability that a given job throws an InjectedFault on its faulting
+  /// attempts.
+  double fail_probability = 0.0;
+  /// Probability that a given job hangs (sleeps) instead of throwing; the
+  /// watchdog/deadline machinery is what turns the hang into a failure.
+  double hang_probability = 0.0;
+  /// Number of leading attempts (0-based attempts [0, fail_attempts)) that
+  /// fault; the job succeeds from attempt `fail_attempts` on. Set this at
+  /// or above RetryPolicy::max_attempts to make a job persistently failing
+  /// (it will be quarantined).
+  unsigned fail_attempts = 1;
+  /// How long an injected hang naps if nothing stops it. A configured job
+  /// deadline interrupts the nap (the hang polls JobContext::expired() and
+  /// raises JobTimeout); without a deadline the job resumes normally after
+  /// the full nap.
+  double hang_seconds = 3600.0;
+};
+
+struct JobContext;  // campaign.h
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultConfig& cfg) : cfg_(cfg) {}
+
+  bool enabled() const {
+    return cfg_.seed != 0 &&
+           (cfg_.fail_probability > 0.0 || cfg_.hang_probability > 0.0);
+  }
+
+  /// The fault (if any) this job carries — same answer for every call, on
+  /// every thread, in every process with the same config.
+  FaultKind plan(std::size_t index) const {
+    if (!enabled()) return FaultKind::kNone;
+    const std::uint64_t h =
+        hash_coords(cfg_.seed, static_cast<std::uint64_t>(index));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u < cfg_.hang_probability) return FaultKind::kHang;
+    if (u < cfg_.hang_probability + cfg_.fail_probability)
+      return FaultKind::kFail;
+    return FaultKind::kNone;
+  }
+
+  /// True when attempt `attempt` (0-based) of job `index` faults.
+  bool should_fault(std::size_t index, unsigned attempt) const {
+    return attempt < cfg_.fail_attempts && plan(index) != FaultKind::kNone;
+  }
+
+  /// Called by the campaign executor at the top of every attempt, before
+  /// the job body runs (so a faulted attempt has no partial side effects).
+  /// Throws InjectedFault, or for a hang naps until the job's deadline
+  /// expires (throwing JobTimeout) or hang_seconds elapse (returning
+  /// normally, as a stall that recovered).
+  void inject(const JobContext& ctx) const;
+
+  const FaultConfig& config() const { return cfg_; }
+
+ private:
+  FaultConfig cfg_;
+};
+
+}  // namespace densemem::sim

@@ -1,0 +1,273 @@
+#include "sim/journal.h"
+
+#include <bit>
+#include <charconv>
+#include <cinttypes>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace densemem::sim {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::runtime_error("journal: " + what);
+}
+
+constexpr char kMagic[] = "#densemem-journal v1";
+
+bool is_hex(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+         (c >= 'A' && c <= 'F');
+}
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return c - 'A' + 10;
+}
+
+template <typename T>
+T parse_num(std::string_view tok, const char* what) {
+  T v{};
+  const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size())
+    bad(std::string("bad ") + what + " field '" + std::string(tok) + "'");
+  return v;
+}
+
+std::uint64_t parse_hex64(std::string_view tok, const char* what) {
+  std::uint64_t v{};
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), v, 16);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size())
+    bad(std::string("bad ") + what + " field '" + std::string(tok) + "'");
+  return v;
+}
+
+/// Pops the next space-separated token off `rest`; empty when exhausted.
+std::string_view pop_token(std::string_view& rest) {
+  const auto sp = rest.find(' ');
+  std::string_view tok = rest.substr(0, sp);
+  rest = sp == std::string_view::npos ? std::string_view{}
+                                      : rest.substr(sp + 1);
+  return tok;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string escape_token(std::string_view s) {
+  // "%-" marks the empty string: '%' is otherwise always followed by two
+  // hex digits, so the marker cannot collide with escaped content.
+  if (s.empty()) return "%-";
+  static constexpr char hex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '%' || c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      const auto b = static_cast<unsigned char>(c);
+      out += '%';
+      out += hex[b >> 4];
+      out += hex[b & 0xF];
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_token(std::string_view s) {
+  if (s == "%-") return "";
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    if (i + 2 >= s.size() || !is_hex(s[i + 1]) || !is_hex(s[i + 2]))
+      bad("truncated %-escape in token '" + std::string(s) + "'");
+    out += static_cast<char>(hex_val(s[i + 1]) * 16 + hex_val(s[i + 2]));
+    i += 2;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- payloads
+
+void PayloadWriter::sep() {
+  if (!out_.empty()) out_ += ' ';
+}
+
+void PayloadWriter::u64(std::uint64_t v) {
+  sep();
+  out_ += std::to_string(v);
+}
+
+void PayloadWriter::i64(std::int64_t v) {
+  sep();
+  out_ += std::to_string(v);
+}
+
+void PayloadWriter::f64(double v) {
+  sep();
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, std::bit_cast<std::uint64_t>(v));
+  out_ += buf;
+}
+
+void PayloadWriter::str(std::string_view s) {
+  sep();
+  out_ += escape_token(s);
+}
+
+std::string_view PayloadReader::next_token() {
+  if (rest_.empty()) bad("payload exhausted");
+  return pop_token(rest_);
+}
+
+std::uint64_t PayloadReader::u64() { return parse_num<std::uint64_t>(next_token(), "u64"); }
+
+std::int64_t PayloadReader::i64() { return parse_num<std::int64_t>(next_token(), "i64"); }
+
+double PayloadReader::f64() {
+  return std::bit_cast<double>(parse_hex64(next_token(), "f64"));
+}
+
+std::string PayloadReader::str() { return unescape_token(next_token()); }
+
+// ------------------------------------------------------------------ reader
+
+Journal Journal::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) bad("cannot open '" + path + "'");
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(std::move(line));
+  }
+  if (lines.empty() || lines.front() != kMagic)
+    bad("'" + path + "' is not a v1 campaign journal");
+
+  Journal j;
+  Section* cur = nullptr;
+  for (std::size_t ln = 1; ln < lines.size(); ++ln) {
+    try {
+      std::string_view rest = lines[ln];
+      const std::string_view kind = pop_token(rest);
+      if (kind == "S") {
+        const std::string name = unescape_token(pop_token(rest));
+        Section sec;
+        sec.seed = parse_num<std::uint64_t>(pop_token(rest), "seed");
+        sec.jobs = parse_num<std::size_t>(pop_token(rest), "jobs");
+        sec.tag = unescape_token(pop_token(rest));
+        auto [it, fresh] = j.sections.try_emplace(name, std::move(sec));
+        if (!fresh) {
+          // Same campaign journaled again (a resumed run appends a new
+          // header): the grid must be the same grid.
+          if (it->second.seed != sec.seed || it->second.jobs != sec.jobs ||
+              it->second.tag != sec.tag)
+            bad("section '" + name + "' redefined with different parameters");
+        }
+        cur = &it->second;
+      } else if (kind == "D" || kind == "Q") {
+        if (!cur) bad("record before any section header");
+        Record rec;
+        rec.index = parse_num<std::size_t>(pop_token(rest), "index");
+        rec.attempts = parse_num<unsigned>(pop_token(rest), "attempts");
+        if (rec.index >= cur->jobs)
+          bad("record index " + std::to_string(rec.index) +
+              " outside the section's grid");
+        if (kind == "D") {
+          const std::uint64_t digest = parse_hex64(pop_token(rest), "digest");
+          rec.payload = std::string(rest);
+          if (fnv1a64(rec.payload) != digest)
+            bad("payload digest mismatch for job " +
+                std::to_string(rec.index));
+        } else {
+          rec.quarantined = true;
+          rec.error = unescape_token(rest);
+        }
+        cur->records[rec.index] = std::move(rec);
+      } else {
+        bad("unknown record kind '" + std::string(kind) + "'");
+      }
+    } catch (const std::runtime_error& e) {
+      if (ln + 1 == lines.size()) {
+        // A kill mid-append tears at most the final line; dropping it only
+        // costs re-running that one job.
+        std::fprintf(stderr,
+                     "[journal] dropping torn final line %zu of %s (%s)\n",
+                     ln + 1, path.c_str(), e.what());
+        break;
+      }
+      throw std::runtime_error(std::string(e.what()) + " at " + path +
+                               ":" + std::to_string(ln + 1));
+    }
+  }
+  return j;
+}
+
+// ------------------------------------------------------------------ writer
+
+JournalWriter::~JournalWriter() {
+  if (f_) std::fclose(f_);
+}
+
+bool JournalWriter::open(const std::string& path, bool append) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (f_) std::fclose(f_);
+  f_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (!f_) return false;
+  path_ = path;
+  bool need_magic = !append;
+  if (append) {
+    std::fseek(f_, 0, SEEK_END);
+    need_magic = std::ftell(f_) == 0;
+  }
+  if (need_magic) {
+    std::fprintf(f_, "%s\n", kMagic);
+    std::fflush(f_);
+  }
+  return true;
+}
+
+void JournalWriter::begin_section(const std::string& campaign,
+                                  std::uint64_t seed, std::size_t jobs,
+                                  const std::string& tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!f_) return;
+  std::fprintf(f_, "S %s %" PRIu64 " %zu %s\n", escape_token(campaign).c_str(),
+               seed, jobs, escape_token(tag).c_str());
+  std::fflush(f_);
+}
+
+void JournalWriter::record_done(std::size_t index, unsigned attempts,
+                                const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!f_) return;
+  std::fprintf(f_, "D %zu %u %016" PRIx64 " %s\n", index, attempts,
+               fnv1a64(payload), payload.c_str());
+  std::fflush(f_);
+}
+
+void JournalWriter::record_quarantined(std::size_t index, unsigned attempts,
+                                       const std::string& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!f_) return;
+  std::fprintf(f_, "Q %zu %u %s\n", index, attempts,
+               escape_token(error).c_str());
+  std::fflush(f_);
+}
+
+}  // namespace densemem::sim

@@ -1,0 +1,138 @@
+// Append-only checkpoint journal for campaign runs.
+//
+// One text line per settled job, flushed as it completes, so a campaign
+// killed at any instant loses at most the jobs still in flight:
+//
+//   #densemem-journal v1
+//   S <campaign> <seed> <jobs> <tag>          — section header, one per run
+//   D <index> <attempts> <digest16> <payload> — job completed
+//   Q <index> <attempts> <error>              — job quarantined
+//
+// The payload is the job's serialized result (see PayloadWriter): resuming
+// replays it through the campaign's codec instead of re-running the job,
+// which is what makes a resumed run's merged output byte-identical to an
+// uninterrupted one. Doubles are stored as bit patterns, never decimal, so
+// the round trip is exact. The digest (FNV-1a 64 of the payload text)
+// rejects corrupted records; a torn final line (the kill landed mid-write)
+// is dropped, a malformed line anywhere else is an error.
+//
+// A file may hold many sections: a multi-campaign bench writes one section
+// per campaign, and resuming appends a fresh section header before the new
+// records, so sections with the same name merge on load (later records win
+// per index — they are identical anyway, results being deterministic).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace densemem::sim {
+
+/// FNV-1a 64-bit over a byte string; the journal's record checksum.
+std::uint64_t fnv1a64(std::string_view s);
+
+/// %-escapes whitespace and '%' so any string fits in one space-separated
+/// token on one line. unescape() inverts it exactly.
+std::string escape_token(std::string_view s);
+std::string unescape_token(std::string_view s);
+
+/// Serializes a job result as space-separated tokens. Numeric fields are
+/// exact: f64 is the IEEE-754 bit pattern in hex, so a decoded double is
+/// bit-identical to the encoded one (formatting code downstream then emits
+/// identical bytes).
+class PayloadWriter {
+ public:
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void str(std::string_view s);
+  std::string take() { return std::move(out_); }
+
+ private:
+  void sep();
+  std::string out_;
+};
+
+/// Reads tokens back in the order they were written. Throws
+/// std::runtime_error on malformed input (corrupt journal payloads must
+/// not decode silently).
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : rest_(payload) {}
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+  bool done() const { return rest_.empty(); }
+
+ private:
+  std::string_view next_token();
+  std::string_view rest_;
+};
+
+/// A loaded journal: sections keyed by campaign name, records keyed by job
+/// index.
+struct Journal {
+  struct Record {
+    std::size_t index = 0;
+    unsigned attempts = 0;
+    bool quarantined = false;
+    std::string payload;  ///< completed jobs: the encoded result
+    std::string error;    ///< quarantined jobs: the last failure message
+  };
+  struct Section {
+    std::uint64_t seed = 0;
+    std::size_t jobs = 0;
+    std::string tag;  ///< opaque run descriptor (e.g. "quick"); must match
+    std::map<std::size_t, Record> records;
+  };
+
+  std::map<std::string, Section> sections;
+
+  /// Parses a journal file. Throws std::runtime_error on a missing file,
+  /// a bad magic line, or a malformed/corrupt record anywhere but the very
+  /// last line (a torn tail from a mid-write kill is dropped with a stderr
+  /// note).
+  static Journal load(const std::string& path);
+
+  const Section* find(const std::string& campaign) const {
+    auto it = sections.find(campaign);
+    return it == sections.end() ? nullptr : &it->second;
+  }
+};
+
+/// Appends records as jobs settle; every record is one fprintf + fflush
+/// under a mutex, so concurrent jobs interleave whole lines and a crash
+/// tears at most the line being written.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Opens the journal. `append` continues an existing file (resume);
+  /// otherwise the file is truncated. The magic line is written when the
+  /// file starts empty. Returns false if the file cannot be opened.
+  bool open(const std::string& path, bool append);
+  bool is_open() const { return f_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  void begin_section(const std::string& campaign, std::uint64_t seed,
+                     std::size_t jobs, const std::string& tag);
+  void record_done(std::size_t index, unsigned attempts,
+                   const std::string& payload);
+  void record_quarantined(std::size_t index, unsigned attempts,
+                          const std::string& error);
+
+ private:
+  std::mutex mu_;
+  std::FILE* f_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace densemem::sim

@@ -22,17 +22,31 @@ double Progress::elapsed_s() const {
       .count();
 }
 
-void Progress::print_line(bool final_line) const {
+std::string Progress::line(bool final_line) const {
   const std::size_t d = done();
   const std::size_t f = failed();
+  const std::size_t r = retried();
   const double el = elapsed_s();
   const double rate = el > 0 ? static_cast<double>(d) / el : 0.0;
-  const std::string failures = f ? " (" + std::to_string(f) + " failed)" : "";
+  std::string health;
+  if (f || r) {
+    health = " (";
+    if (f) health += std::to_string(f) + " failed";
+    if (f && r) health += ", ";
+    if (r) health += std::to_string(r) + " retried";
+    health += ")";
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "[sim:%s] %zu/%zu jobs%s | %.1f jobs/s | %.1fs%s",
+                label_.c_str(), d, total_, health.c_str(), rate, el,
+                final_line ? " total" : " elapsed");
+  return buf;
+}
+
+void Progress::print_line(bool final_line) const {
   // stderr, one self-contained line: log-friendly and invisible to stdout
   // diffing. fprintf keeps the line atomic (single write) unlike iostreams.
-  std::fprintf(stderr, "[sim:%s] %zu/%zu jobs%s | %.1f jobs/s | %.1fs%s\n",
-               label_.c_str(), d, total_, failures.c_str(), rate, el,
-               final_line ? " total" : " elapsed");
+  std::fprintf(stderr, "%s\n", line(final_line).c_str());
 }
 
 void Progress::monitor_loop() {

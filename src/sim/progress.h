@@ -27,15 +27,25 @@ class Progress {
   Progress(const Progress&) = delete;
   Progress& operator=(const Progress&) = delete;
 
-  /// Worker-side: mark one job finished (or failed). Thread-safe.
+  /// Worker-side: mark one job finished (or failed, or retried — a retry
+  /// counts the extra attempt, not the job). Thread-safe.
   void mark_done() { done_.fetch_add(1, std::memory_order_relaxed); }
   void mark_failed() { failed_.fetch_add(1, std::memory_order_relaxed); }
+  void mark_retried() { retried_.fetch_add(1, std::memory_order_relaxed); }
 
   std::size_t done() const { return done_.load(std::memory_order_relaxed); }
   std::size_t failed() const {
     return failed_.load(std::memory_order_relaxed);
   }
+  std::size_t retried() const {
+    return retried_.load(std::memory_order_relaxed);
+  }
   std::size_t total() const { return total_; }
+
+  /// The status line as printed (failure/retry accounting included when
+  /// nonzero) — exposed so tests can assert on the summary without
+  /// capturing stderr.
+  std::string line(bool final_line) const;
 
   /// Stops the monitor (if any) and prints the final summary line. Called
   /// by the destructor if not called explicitly. Returns elapsed seconds.
@@ -54,6 +64,7 @@ class Progress {
 
   std::atomic<std::size_t> done_{0};
   std::atomic<std::size_t> failed_{0};
+  std::atomic<std::size_t> retried_{0};
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -14,6 +14,14 @@
 //
 // Both are safe to call from concurrent jobs; neither allocates per-add
 // beyond the stored record.
+//
+// Caveat under fault tolerance (campaign.h): a retried attempt re-runs the
+// whole job body, so sink adds made before the failure are NOT rolled back
+// and would duplicate. Campaigns that enable retries (or checkpointing,
+// which replays results from the journal rather than sink rows) should
+// return results through map()/map_journaled() — slot assignment is
+// idempotent — and build tables from the merged vector instead of adding
+// rows mid-job. The campaign benches follow that pattern.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,49 @@
+// Per-job retry policy and deadline failure for the campaign engine.
+//
+// A retried job re-runs with the *same* stream_seed (the seed depends only
+// on (campaign seed, job index), never on the attempt number), so a job
+// that succeeds on attempt 3 produces a result byte-identical to one that
+// succeeded on attempt 1. Backoff delays are a pure function of the attempt
+// number — no jitter source — so the schedule of a retrying campaign is as
+// reproducible as its output.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace densemem::sim {
+
+/// Thrown (and caught by the campaign executor) when a job overruns its
+/// deadline: either the watchdog marked it expired mid-run and the job
+/// bailed out co-operatively, or its wall time exceeded the budget by the
+/// time it returned. Counts as an ordinary attempt failure — retried, then
+/// quarantined.
+class JobTimeout : public std::runtime_error {
+ public:
+  explicit JobTimeout(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct RetryPolicy {
+  /// Total attempts per job (first try included). 1 = no retries, the
+  /// pre-fault-tolerance behaviour.
+  unsigned max_attempts = 1;
+  /// Delay before the first retry (attempt 1, 0-based), in milliseconds.
+  /// 0 disables backoff entirely.
+  double backoff_ms = 0.0;
+  /// Each further retry multiplies the delay by this factor.
+  double backoff_multiplier = 2.0;
+  /// Upper bound on any single delay.
+  double backoff_max_ms = 2000.0;
+
+  /// Deterministic delay (ms) to sleep before 0-based attempt `attempt`.
+  /// Attempt 0 (the first try) never waits.
+  double backoff_for(unsigned attempt) const {
+    if (attempt == 0 || backoff_ms <= 0.0) return 0.0;
+    double d = backoff_ms;
+    for (unsigned k = 1; k < attempt; ++k) d *= backoff_multiplier;
+    return std::min(d, backoff_max_ms);
+  }
+};
+
+}  // namespace densemem::sim

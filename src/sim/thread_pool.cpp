@@ -82,18 +82,24 @@ void ThreadPool::parallel_for(
   chunk = std::max<std::size_t>(chunk, 1);
   // One driver task per worker; each pulls chunk-sized index ranges off a
   // shared atomic cursor until the range (or the run, on failure) is
-  // exhausted. shared_ptr keeps the cursor alive if wait() throws while a
-  // driver is still winding down.
-  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  // exhausted. The cursor AND a copy of the body live in shared heap state:
+  // a driver must never reach through the caller's stack frame, which is
+  // already unwinding if wait() rethrows while that driver winds down.
+  struct Drive {
+    std::atomic<std::size_t> cursor{0};
+    std::function<void(std::size_t, std::size_t)> body;
+  };
+  auto drive = std::make_shared<Drive>();
+  drive->body = body;
   const unsigned drivers =
       static_cast<unsigned>(std::min<std::size_t>(size(), (n + chunk - 1) / chunk));
   for (unsigned d = 0; d < drivers; ++d) {
-    submit([this, cursor, n, chunk, &body] {
+    submit([this, drive, n, chunk] {
       for (;;) {
         if (cancelled()) return;  // a sibling failed; abandon the rest
-        const std::size_t begin = cursor->fetch_add(chunk);
+        const std::size_t begin = drive->cursor.fetch_add(chunk);
         if (begin >= n) return;
-        body(begin, std::min(begin + chunk, n));
+        drive->body(begin, std::min(begin + chunk, n));
       }
     });
   }

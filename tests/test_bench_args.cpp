@@ -50,6 +50,84 @@ TEST(SimBenchArgs, LargeSeedFitsIn64Bits) {
   EXPECT_EQ(args.seed, ~std::uint64_t{0});
 }
 
+TEST(SimBenchArgs, RobustnessFlagsDefaultToHistoricalBehaviour) {
+  const BenchArgs args = parse({});
+  EXPECT_EQ(args.max_retries, 0u);
+  EXPECT_EQ(args.job_timeout_s, 0.0);
+  EXPECT_FALSE(args.degrade);
+  EXPECT_TRUE(args.journal_path.empty());
+  EXPECT_FALSE(args.resume);
+  EXPECT_EQ(args.fault_seed, 0u);
+  EXPECT_EQ(args.abort_after, 0u);
+}
+
+TEST(SimBenchArgs, ParsesRetryTimeoutAndFaultFlags) {
+  const BenchArgs args = parse({"--max-retries", "3", "--job-timeout", "2.5",
+                                "--inject-faults", "424242", "--abort-after",
+                                "17"});
+  EXPECT_EQ(args.max_retries, 3u);
+  EXPECT_DOUBLE_EQ(args.job_timeout_s, 2.5);
+  EXPECT_EQ(args.fault_seed, 424242u);
+  EXPECT_EQ(args.abort_after, 17u);
+}
+
+TEST(SimBenchArgs, ParsesOnFailInBothForms) {
+  EXPECT_TRUE(parse({"--on-fail=degrade"}).degrade);
+  EXPECT_TRUE(parse({"--on-fail", "degrade"}).degrade);
+  EXPECT_FALSE(parse({"--on-fail=abort"}).degrade);
+  EXPECT_FALSE(parse({"--on-fail", "abort"}).degrade);
+  EXPECT_FALSE(parse({"--on-fail=degrade", "--on-fail=abort"}).degrade);
+}
+
+TEST(SimBenchArgs, JournalAndResumeAreMutuallyOverriding) {
+  const BenchArgs fresh = parse({"--journal", "/tmp/a.journal"});
+  EXPECT_EQ(fresh.journal_path, "/tmp/a.journal");
+  EXPECT_FALSE(fresh.resume);
+
+  const BenchArgs resumed = parse({"--resume", "/tmp/a.journal"});
+  EXPECT_EQ(resumed.journal_path, "/tmp/a.journal");
+  EXPECT_TRUE(resumed.resume);
+
+  // Last flag wins, like every other repeated flag.
+  const BenchArgs last =
+      parse({"--resume", "/tmp/a.journal", "--journal", "/tmp/b.journal"});
+  EXPECT_EQ(last.journal_path, "/tmp/b.journal");
+  EXPECT_FALSE(last.resume);
+}
+
+TEST(SimBenchArgs, HarnessConfigWiresRobustnessKnobsIntoCampaignConfig) {
+  BenchArgs args;
+  args.seed = 0;
+  args.threads = 2;
+  args.max_retries = 2;
+  args.job_timeout_s = 1.5;
+  args.degrade = true;
+  args.fault_seed = 77;
+  args.quick = true;
+  const CampaignHarness harness(args, /*default_seed=*/123);
+  EXPECT_EQ(harness.seed(), 123u);  // bench default used when --seed absent
+  const sim::CampaignConfig cc = harness.config();
+  EXPECT_EQ(cc.threads, 2u);
+  EXPECT_EQ(cc.seed, 123u);
+  EXPECT_EQ(cc.retry.max_attempts, 3u);  // 1 first try + 2 retries
+  EXPECT_GT(cc.retry.backoff_ms, 0.0);
+  EXPECT_DOUBLE_EQ(cc.job_timeout_s, 1.5);
+  EXPECT_FALSE(cc.fail_fast);
+  EXPECT_EQ(cc.fault.seed, 77u);
+  EXPECT_GT(cc.fault.fail_probability, 0.0);
+  EXPECT_EQ(cc.journal, nullptr);  // no --journal: no checkpoint sink
+  EXPECT_EQ(cc.resume, nullptr);
+  EXPECT_EQ(cc.journal_tag, "quick");
+
+  BenchArgs plain;
+  plain.seed = 9;
+  const CampaignHarness direct(plain, 123);
+  EXPECT_EQ(direct.seed(), 9u);  // explicit --seed wins
+  EXPECT_TRUE(direct.config().fail_fast);
+  EXPECT_EQ(direct.config().retry.max_attempts, 1u);
+  EXPECT_EQ(direct.config().journal_tag, "full");
+}
+
 TEST(SimBenchArgs, EmitSanitizesSeriesNamesInMirrorPaths) {
   // A series label with spaces/commas/slashes must not splinter the mirror
   // path: the written file lives at <base>.<sanitized>.csv.

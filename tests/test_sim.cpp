@@ -4,17 +4,25 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <numeric>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "common/rng.h"
 #include "sim/campaign.h"
+#include "sim/fault.h"
+#include "sim/journal.h"
 #include "sim/progress.h"
 #include "sim/result_sink.h"
+#include "sim/retry.h"
 #include "sim/thread_pool.h"
 
 namespace densemem::sim {
@@ -79,6 +87,23 @@ TEST(SimThreadPool, PoolIsReusableAfterAnException) {
                     });
   pool.wait();  // second wait must not re-throw the consumed error
   EXPECT_EQ(count.load(), 8);
+}
+
+TEST(SimThreadPool, ParallelForBodyIsSafeUnderRepeatedShortGrids) {
+  // Regression: the drivers used to capture the caller's `body` argument by
+  // reference; a chunk task still draining the queue after parallel_for
+  // returned would then touch a dead stack frame. Hammering many short
+  // grids through one pool (each with its own short-lived body closure)
+  // makes TSan/ASan flag any such lifetime escape.
+  ThreadPool pool(4);
+  std::atomic<long long> total{0};
+  for (int round = 0; round < 200; ++round) {
+    std::vector<int> scratch(17, round);
+    pool.parallel_for(scratch.size(), 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) total.fetch_add(scratch[i]);
+    });
+  }
+  EXPECT_EQ(total.load(), 17LL * 199 * 200 / 2);
 }
 
 TEST(SimThreadPool, FailureCancelsOutstandingChunks) {
@@ -181,6 +206,416 @@ TEST(SimCampaign, ZeroThreadsResolvesToHardwareConcurrency) {
   EXPECT_GE(c.threads(), 1u);
 }
 
+// --------------------------------------------------------------- RetryPolicy
+
+TEST(SimRetryPolicy, BackoffScheduleIsDeterministicAndCapped) {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  p.backoff_ms = 10.0;
+  p.backoff_multiplier = 2.0;
+  p.backoff_max_ms = 35.0;
+  EXPECT_EQ(p.backoff_for(0), 0.0);  // first try never waits
+  EXPECT_EQ(p.backoff_for(1), 10.0);
+  EXPECT_EQ(p.backoff_for(2), 20.0);
+  EXPECT_EQ(p.backoff_for(3), 35.0);  // 40 capped
+  EXPECT_EQ(p.backoff_for(4), 35.0);
+
+  RetryPolicy off;
+  off.backoff_ms = 0.0;
+  for (unsigned a = 0; a < 4; ++a) EXPECT_EQ(off.backoff_for(a), 0.0);
+}
+
+// ------------------------------------------------------------- FaultInjector
+
+TEST(SimFaultInjector, PlanIsPureAndSeedZeroDisables) {
+  FaultConfig fc;
+  fc.seed = 12345;
+  fc.fail_probability = 0.3;
+  fc.hang_probability = 0.1;
+  const FaultInjector inj(fc);
+  EXPECT_TRUE(inj.enabled());
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_EQ(inj.plan(i), inj.plan(i));  // same answer on every call
+
+  FaultConfig off = fc;
+  off.seed = 0;
+  const FaultInjector disabled(off);
+  EXPECT_FALSE(disabled.enabled());
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_EQ(disabled.plan(i), FaultKind::kNone);
+}
+
+TEST(SimFaultInjector, DistributionTracksConfiguredProbabilities) {
+  FaultConfig fc;
+  fc.seed = 99;
+  fc.fail_probability = 0.2;
+  fc.hang_probability = 0.1;
+  const FaultInjector inj(fc);
+  std::size_t fails = 0, hangs = 0;
+  const std::size_t n = 20000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const FaultKind k = inj.plan(i);
+    fails += k == FaultKind::kFail;
+    hangs += k == FaultKind::kHang;
+  }
+  EXPECT_NEAR(static_cast<double>(fails) / n, 0.2, 0.02);
+  EXPECT_NEAR(static_cast<double>(hangs) / n, 0.1, 0.02);
+}
+
+TEST(SimFaultInjector, ShouldFaultOnlyOnLeadingAttempts) {
+  FaultConfig fc;
+  fc.seed = 7;
+  fc.fail_probability = 1.0;  // every job is fault-prone
+  fc.fail_attempts = 2;
+  const FaultInjector inj(fc);
+  EXPECT_TRUE(inj.should_fault(0, 0));
+  EXPECT_TRUE(inj.should_fault(0, 1));
+  EXPECT_FALSE(inj.should_fault(0, 2));  // recovers from attempt 2 on
+  EXPECT_FALSE(inj.should_fault(0, 3));
+}
+
+// ----------------------------------------------- Campaign / fault tolerance
+
+// The reference workload for the determinism-under-failure tests: per-job
+// Monte Carlo from the job's own stream, so any scheduling or retry
+// difference that leaked into the RNG would change the bits.
+double ft_job(const JobContext& ctx) {
+  Rng rng = ctx.make_rng();
+  double sum = 0;
+  for (int k = 0; k < 200; ++k) sum += rng.uniform();
+  return sum;
+}
+
+struct FtRun {
+  std::vector<double> results;
+  std::vector<std::size_t> quarantined;
+  CampaignStats stats;
+};
+
+FtRun run_ft(unsigned threads, CampaignConfig cfg, std::size_t n = 24) {
+  cfg.threads = threads;
+  cfg.seed = 77;
+  cfg.progress = false;
+  Campaign c("ft", cfg);
+  FtRun out;
+  out.results = c.map<double>(n, ft_job);
+  for (const JobFailure& q : c.quarantine()) out.quarantined.push_back(q.index);
+  out.stats = c.last_stats();
+  return out;
+}
+
+TEST(SimCampaignFT, RetriedRunIsByteIdenticalToCleanRunAt1And2And8Threads) {
+  const FtRun clean = run_ft(1, CampaignConfig{});
+
+  CampaignConfig faulty;
+  faulty.fault.seed = 9;
+  faulty.fault.fail_probability = 0.4;
+  faulty.fault.fail_attempts = 1;  // fail once, then recover
+  faulty.retry.max_attempts = 2;
+  // The profile must actually exercise the retry path.
+  std::size_t prone = 0;
+  const FaultInjector inj(faulty.fault);
+  for (std::size_t i = 0; i < 24; ++i) prone += inj.plan(i) != FaultKind::kNone;
+  ASSERT_GT(prone, 0u);
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    const FtRun r = run_ft(threads, faulty);
+    EXPECT_EQ(r.results, clean.results) << "threads=" << threads;
+    EXPECT_EQ(r.stats.retries, prone) << "threads=" << threads;
+    EXPECT_TRUE(r.quarantined.empty()) << "threads=" << threads;
+    EXPECT_EQ(r.stats.completed, 24u) << "threads=" << threads;
+  }
+}
+
+TEST(SimCampaignFT, PersistentFailuresQuarantineIdenticallyAcrossWidths) {
+  const FtRun clean = run_ft(1, CampaignConfig{});
+
+  CampaignConfig cfg;
+  cfg.fault.seed = 31;
+  cfg.fault.fail_probability = 0.25;
+  cfg.fault.fail_attempts = 100;  // beyond max_attempts: never recovers
+  cfg.retry.max_attempts = 2;
+  cfg.fail_fast = false;  // degrade mode
+
+  std::vector<std::size_t> expected;
+  const FaultInjector inj(cfg.fault);
+  for (std::size_t i = 0; i < 24; ++i)
+    if (inj.plan(i) != FaultKind::kNone) expected.push_back(i);
+  ASSERT_FALSE(expected.empty());
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    const FtRun r = run_ft(threads, cfg);
+    EXPECT_EQ(r.quarantined, expected) << "threads=" << threads;
+    EXPECT_EQ(r.stats.quarantined, expected.size()) << "threads=" << threads;
+    EXPECT_EQ(r.stats.retries, expected.size()) << "threads=" << threads;
+    // Output = clean output minus the quarantined slots (which keep their
+    // default value).
+    const std::set<std::size_t> skip(r.quarantined.begin(),
+                                     r.quarantined.end());
+    for (std::size_t i = 0; i < 24; ++i) {
+      if (skip.count(i))
+        EXPECT_EQ(r.results[i], 0.0) << "slot " << i;
+      else
+        EXPECT_EQ(r.results[i], clean.results[i]) << "slot " << i;
+    }
+  }
+}
+
+TEST(SimCampaignFT, FailFastRethrowsTheInjectedFault) {
+  for (unsigned threads : {1u, 4u}) {
+    CampaignConfig cfg;
+    cfg.fault.seed = 5;
+    cfg.fault.fail_probability = 1.0;
+    cfg.fault.fail_attempts = 100;
+    EXPECT_THROW(run_ft(threads, cfg), InjectedFault) << "threads=" << threads;
+  }
+}
+
+TEST(SimCampaignFT, WatchdogTimesOutInjectedHangsAndRetrySucceeds) {
+  const FtRun clean = run_ft(1, CampaignConfig{}, 4);
+
+  CampaignConfig cfg;
+  cfg.fault.seed = 3;
+  cfg.fault.hang_probability = 1.0;  // every job hangs on its first attempt
+  cfg.fault.hang_seconds = 60.0;     // far beyond the deadline: watchdog only
+  cfg.fault.fail_attempts = 1;
+  cfg.job_timeout_s = 0.05;
+  cfg.retry.max_attempts = 2;
+  const FtRun r = run_ft(2, cfg, 4);
+  EXPECT_EQ(r.results, clean.results);
+  EXPECT_EQ(r.stats.retries, 4u);  // each hang became a JobTimeout + retry
+  EXPECT_TRUE(r.quarantined.empty());
+}
+
+TEST(SimCampaignFT, AbortAfterThrowsCampaignInterrupted) {
+  CampaignConfig cfg;
+  cfg.abort_after = 3;
+  EXPECT_THROW(run_ft(1, cfg, 10), CampaignInterrupted);
+}
+
+// ------------------------------------------------------------------- Journal
+
+std::string temp_journal_path(const char* name) {
+  return testing::TempDir() + "densemem_" + name + "_" +
+         std::to_string(::getpid()) + ".journal";
+}
+
+TEST(SimJournal, PayloadRoundTripIsBitExact) {
+  PayloadWriter pw;
+  pw.u64(~std::uint64_t{0});
+  pw.i64(-42);
+  pw.f64(0.1);
+  pw.f64(-0.0);
+  pw.f64(5e-324);  // denormal
+  pw.f64(1.0 / 3.0);
+  pw.str("has space % and\ttabs");
+  pw.str("");
+  const std::string payload = pw.take();
+
+  PayloadReader pr(payload);
+  EXPECT_EQ(pr.u64(), ~std::uint64_t{0});
+  EXPECT_EQ(pr.i64(), -42);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(pr.f64()),
+            std::bit_cast<std::uint64_t>(0.1));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(pr.f64()),
+            std::bit_cast<std::uint64_t>(-0.0));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(pr.f64()),
+            std::bit_cast<std::uint64_t>(5e-324));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(pr.f64()),
+            std::bit_cast<std::uint64_t>(1.0 / 3.0));
+  EXPECT_EQ(pr.str(), "has space % and\ttabs");
+  EXPECT_EQ(pr.str(), "");
+  EXPECT_TRUE(pr.done());
+  EXPECT_THROW(PayloadReader("not-a-number").u64(), std::runtime_error);
+}
+
+TEST(SimJournal, EscapeTokenRoundTripsAndNeverContainsWhitespace) {
+  for (const std::string s :
+       {std::string(""), std::string("plain"), std::string("a b\tc\nd%e"),
+        std::string("%%  %")}) {
+    const std::string esc = escape_token(s);
+    EXPECT_EQ(esc.find(' '), std::string::npos);
+    EXPECT_EQ(esc.find('\t'), std::string::npos);
+    EXPECT_EQ(esc.find('\n'), std::string::npos);
+    EXPECT_FALSE(esc.empty());
+    EXPECT_EQ(unescape_token(esc), s);
+  }
+}
+
+TEST(SimJournal, WriterReaderRoundTripWithQuarantineAndSections) {
+  const std::string path = temp_journal_path("roundtrip");
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.open(path, /*append=*/false));
+    w.begin_section("alpha", 11, 3, "quick");
+    w.record_done(0, 1, "10 20");
+    w.record_quarantined(2, 3, "boom went the job");
+    w.begin_section("beta", 12, 1, "");
+    w.record_done(0, 2, "30");
+  }
+  const Journal j = Journal::load(path);
+  ASSERT_NE(j.find("alpha"), nullptr);
+  ASSERT_NE(j.find("beta"), nullptr);
+  const Journal::Section& a = *j.find("alpha");
+  EXPECT_EQ(a.seed, 11u);
+  EXPECT_EQ(a.jobs, 3u);
+  EXPECT_EQ(a.tag, "quick");
+  ASSERT_EQ(a.records.size(), 2u);
+  EXPECT_EQ(a.records.at(0).payload, "10 20");
+  EXPECT_EQ(a.records.at(0).attempts, 1u);
+  EXPECT_FALSE(a.records.at(0).quarantined);
+  EXPECT_TRUE(a.records.at(2).quarantined);
+  EXPECT_EQ(a.records.at(2).error, "boom went the job");
+  EXPECT_EQ(a.records.at(2).attempts, 3u);
+  const Journal::Section& b = *j.find("beta");
+  EXPECT_EQ(b.tag, "");
+  EXPECT_EQ(b.records.at(0).payload, "30");
+  std::remove(path.c_str());
+}
+
+TEST(SimJournal, TornFinalLineIsDroppedButCorruptMiddleThrows) {
+  const std::string path = temp_journal_path("torn");
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.open(path, /*append=*/false));
+    w.begin_section("g", 1, 8, "t");
+    w.record_done(0, 1, "100");
+    w.record_done(1, 1, "101");
+  }
+  {  // a kill mid-append leaves a truncated record as the last line
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "D 2 1 00ffee";  // digest truncated, no payload
+  }
+  const Journal j = Journal::load(path);
+  ASSERT_NE(j.find("g"), nullptr);
+  EXPECT_EQ(j.find("g")->records.size(), 2u);  // torn job 2 dropped
+
+  {  // the same garbage NOT at the tail is corruption, not a torn write
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "\nD 3 1 " << std::string(16, '0') << " 103\n";
+  }
+  EXPECT_THROW(Journal::load(path), std::runtime_error);
+
+  // A digest mismatch in the middle is also fatal.
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << "#densemem-journal v1\nS g 1 8 t\n"
+        << "D 0 1 " << std::string(16, '0') << " tampered\n"
+        << "D 1 1 " << std::string(16, '0') << " tampered\n";
+  }
+  EXPECT_THROW(Journal::load(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(Journal::load(path), std::runtime_error);  // missing file
+}
+
+// Journaled campaign helper: runs `n` ft_jobs with a journal writer at
+// `path`, optionally resuming, and counts how many jobs actually executed.
+struct JournaledRun {
+  std::vector<double> results;
+  std::size_t executed = 0;
+  CampaignStats stats;
+  std::vector<std::size_t> quarantined;
+};
+
+Campaign::JobCodec<double> double_codec() {
+  return {[](const double& v) {
+            PayloadWriter pw;
+            pw.f64(v);
+            return pw.take();
+          },
+          [](const std::string& payload) {
+            return PayloadReader(payload).f64();
+          }};
+}
+
+JournaledRun run_journaled(unsigned threads, const std::string& path,
+                           bool resume, std::size_t n, CampaignConfig cfg = {}) {
+  JournalWriter writer;
+  EXPECT_TRUE(writer.open(path, /*append=*/resume));
+  Journal loaded;
+  if (resume) loaded = Journal::load(path);
+  cfg.threads = threads;
+  cfg.seed = 77;
+  cfg.progress = false;
+  cfg.journal = &writer;
+  if (resume) cfg.resume = &loaded;
+  cfg.journal_tag = "t";
+  Campaign c("jrnl", cfg);
+  JournaledRun out;
+  std::atomic<std::size_t> executed{0};
+  out.results = c.map_journaled<double>(
+      n,
+      [&](const JobContext& ctx) {
+        executed.fetch_add(1);
+        return ft_job(ctx);
+      },
+      double_codec());
+  out.executed = executed.load();
+  out.stats = c.last_stats();
+  for (const JobFailure& q : c.quarantine()) out.quarantined.push_back(q.index);
+  return out;
+}
+
+TEST(SimJournal, ResumeSkipsCompletedJobsAndReproducesResultsAtAllWidths) {
+  const FtRun clean = run_ft(1, CampaignConfig{}, 12);
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    const std::string path = temp_journal_path("resume");
+    // Interrupted first run: serial so the abort point is exact — 5 jobs
+    // land in the journal.
+    CampaignConfig abort_cfg;
+    abort_cfg.abort_after = 5;
+    EXPECT_THROW(run_journaled(1, path, /*resume=*/false, 12, abort_cfg),
+                 CampaignInterrupted);
+
+    const JournaledRun resumed = run_journaled(threads, path, /*resume=*/true, 12);
+    EXPECT_EQ(resumed.executed, 7u) << "threads=" << threads;
+    EXPECT_EQ(resumed.stats.resumed, 5u) << "threads=" << threads;
+    EXPECT_EQ(resumed.stats.completed, 7u) << "threads=" << threads;
+    EXPECT_EQ(resumed.results, clean.results) << "threads=" << threads;
+
+    // Resuming the now-complete journal re-runs nothing at all.
+    const JournaledRun again = run_journaled(threads, path, /*resume=*/true, 12);
+    EXPECT_EQ(again.executed, 0u) << "threads=" << threads;
+    EXPECT_EQ(again.stats.resumed, 12u) << "threads=" << threads;
+    EXPECT_EQ(again.results, clean.results) << "threads=" << threads;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SimJournal, ResumeRejectsAJournalFromADifferentGrid) {
+  const std::string path = temp_journal_path("mismatch");
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.open(path, /*append=*/false));
+    w.begin_section("jrnl", /*seed=*/1234, /*jobs=*/12, "t");  // wrong seed
+    w.record_done(0, 1, "00");
+  }
+  EXPECT_THROW(run_journaled(1, path, /*resume=*/true, 12),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SimJournal, QuarantineIsCarriedAcrossResume) {
+  const std::string path = temp_journal_path("quarantine");
+  CampaignConfig cfg;
+  cfg.fault.seed = 31;
+  cfg.fault.fail_probability = 0.25;
+  cfg.fault.fail_attempts = 100;
+  cfg.fail_fast = false;
+  const JournaledRun first = run_journaled(1, path, /*resume=*/false, 24, cfg);
+  ASSERT_FALSE(first.quarantined.empty());
+
+  // Resume with injection off: quarantined jobs stay settled (not retried),
+  // completed jobs replay, nothing executes.
+  const JournaledRun resumed = run_journaled(2, path, /*resume=*/true, 24);
+  EXPECT_EQ(resumed.executed, 0u);
+  EXPECT_EQ(resumed.quarantined, first.quarantined);
+  EXPECT_EQ(resumed.stats.resumed, 24u - first.quarantined.size());
+  EXPECT_EQ(resumed.results, first.results);
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------- ResultSink
 
 TEST(SimTableSink, MergesRowsInJobIndexOrder) {
@@ -234,6 +669,35 @@ TEST(SimProgress, EnabledMonitorShutsDownCleanly) {
   p.mark_done();
   EXPECT_GE(p.finish(), 0.0);
   EXPECT_GE(p.finish(), 0.0);  // idempotent
+}
+
+TEST(SimProgress, LineReportsFailureAndRetryAccounting) {
+  Progress p("acct", 5, /*enabled=*/false);
+  p.mark_done();
+  p.mark_done();
+  p.mark_failed();
+  p.mark_retried();
+  const std::string line = p.line(/*final_line=*/true);
+  EXPECT_NE(line.find("[sim:acct]"), std::string::npos) << line;
+  EXPECT_NE(line.find("2/5 jobs"), std::string::npos) << line;
+  EXPECT_NE(line.find("(1 failed, 1 retried)"), std::string::npos) << line;
+  EXPECT_NE(line.find("total"), std::string::npos) << line;
+
+  // The accounting clause disappears when there is nothing to account for.
+  Progress quiet("quiet", 5, /*enabled=*/false);
+  quiet.mark_done();
+  EXPECT_EQ(quiet.line(false).find("failed"), std::string::npos);
+}
+
+TEST(SimProgress, MonitorShutsDownWhenEveryJobFails) {
+  Progress p("allfail", 3, /*enabled=*/true, /*interval_s=*/0.01);
+  p.mark_failed();
+  p.mark_failed();
+  p.mark_failed();
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_GE(p.finish(), 0.0);  // must not hang waiting for done == total
+  EXPECT_EQ(p.failed(), 3u);
+  EXPECT_EQ(p.done(), 0u);
 }
 
 }  // namespace
