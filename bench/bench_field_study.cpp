@@ -207,6 +207,13 @@ int main(int argc, char** argv) {
     e.add_row({std::string("uncorrectable blocks"), uncorrectable});
     bench::emit(e, args, "ecc_events");
 
+    // Post-merge simulation metrics: main-thread, retry-safe, width-stable.
+    auto& metrics = harness.metrics();
+    metrics.add("field_study.ecc.corrected_words", corrected);
+    metrics.add("field_study.ecc.uncorrectable_blocks", uncorrectable);
+    metrics.set("field_study.fraction_with_errors.2008", frac_2008);
+    metrics.set("field_study.fraction_with_errors.2013", frac_2013);
+
     std::cout << "\npaper: field studies show newer DRAM generations less "
                  "reliable; most events correctable, a tail is not\n";
     bench::shape("2008 fleet cohort is clean under service load",

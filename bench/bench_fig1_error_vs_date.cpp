@@ -127,6 +127,21 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Post-merge simulation metrics: recorded from the main thread after
+    // the campaign returns, so they are retry-safe and byte-identical at
+    // any --threads width (the determinism CI check compares them).
+    auto& metrics = harness.metrics();
+    metrics.add("fig1.modules.tested", results.size() - skipped.size());
+    metrics.add("fig1.modules.with_errors", modules_with_errors);
+    metrics.set("fig1.earliest_failing_year",
+                static_cast<double>(earliest_nonzero_year));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (skipped.count(i)) continue;
+      metrics.observe_hist("fig1.error_rate_log10", /*lo=*/0.0, /*hi=*/8.0,
+                           /*bins=*/16,
+                           std::log10(std::max(results[i].rate, 1.0)));
+    }
+
     Table per_year({"year", "modules", "with_errors", "min_rate(log10)",
                     "max_rate(log10)"});
     per_year.set_precision(2);

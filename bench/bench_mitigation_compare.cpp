@@ -203,6 +203,17 @@ int main(int argc, char** argv) {
     }
     bench::emit(t, args);
 
+    // Post-merge simulation metrics: one residual-flip counter per
+    // mitigation (main-thread, retry-safe, width-stable).
+    auto& metrics = harness.metrics();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (skipped.count(i)) continue;
+      metrics.add("mitigation." + rows[i].name + ".raw_flips",
+                  rows[i].raw_flips);
+      metrics.add("mitigation." + rows[i].name + ".visible_flips",
+                  rows[i].visible_flips);
+    }
+
     auto by_name = [&](const std::string& n) -> const Row& {
       for (const Row& r : rows)
         if (r.name == n) return r;

@@ -140,6 +140,15 @@ int main(int argc, char** argv) {
     }
     bench::emit(t, args);
 
+    // Post-merge simulation metrics: main-thread, retry-safe, width-stable.
+    auto& metrics = harness.metrics();
+    metrics.set("refresh_rate.first_zero_multiplier", first_zero_mult);
+    metrics.set("refresh_rate.baseline_errors_per_1e9", errors_at_1x);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (skipped.count(i)) continue;
+      metrics.add("refresh_rate.failing_cells", results[i].failing_cells);
+    }
+
     std::cout << "\npaper: 7x refresh eliminates all observed errors; refresh "
                  "cost scales with rate\n"
               << "ours : errors reach zero at multiplier " << first_zero_mult

@@ -6,6 +6,12 @@
 
 #include "sim/thread_pool.h"
 
+// Stamped by CMake (git describe at configure time); "unknown" covers
+// tarball builds and test binaries compiled without the definition.
+#ifndef DENSEMEM_GIT_DESCRIBE
+#define DENSEMEM_GIT_DESCRIBE "unknown"
+#endif
+
 namespace densemem::bench {
 
 namespace {
@@ -71,6 +77,14 @@ BenchArgs parse_args(int argc, char** argv) {
       args.fault_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--abort-after") == 0 && i + 1 < argc) {
       args.abort_after = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      args.metrics_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      args.metrics_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      args.trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      args.trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
     } else {
@@ -80,7 +94,8 @@ BenchArgs parse_args(int argc, char** argv) {
                    "       [--max-retries <n>] [--job-timeout <s>]"
                    " [--on-fail=abort|degrade]\n"
                    "       [--journal <path>] [--resume <path>]"
-                   " [--inject-faults <seed>] [--abort-after <k>]\n";
+                   " [--inject-faults <seed>] [--abort-after <k>]\n"
+                   "       [--metrics <path>] [--trace <path>]\n";
     }
   }
   return args;
@@ -97,15 +112,27 @@ void banner(const std::string& experiment_id, const std::string& paper_anchor,
 void banner(const std::string& experiment_id, const std::string& paper_anchor,
             const std::string& claim, const BenchArgs& args) {
   banner(experiment_id, paper_anchor, claim);
+  // Run parameters on stderr, like [ft] and [telemetry]: the thread count
+  // is scheduling metadata, and stdout must stay byte-identical between a
+  // --threads 1 run and a --threads 64 one.
   const unsigned resolved =
       args.threads ? args.threads : sim::ThreadPool::default_threads();
-  std::cout << "[run] threads=" << resolved
+  std::cerr << "[run] threads=" << resolved
             << (args.threads ? "" : " (hardware concurrency)") << " seed=";
   if (args.seed)
-    std::cout << args.seed;
+    std::cerr << args.seed;
   else
-    std::cout << "default";
-  std::cout << (args.quick ? " quick=yes" : " quick=no") << "\n";
+    std::cerr << "default";
+  std::cerr << (args.quick ? " quick=yes" : " quick=no") << "\n";
+  // Telemetry destinations on stderr, like the [ft] line: the run stays
+  // self-describing without perturbing the byte-comparable stdout.
+  if (!args.metrics_path.empty() || !args.trace_path.empty()) {
+    std::cerr << "[telemetry]";
+    if (!args.metrics_path.empty())
+      std::cerr << " metrics=" << args.metrics_path;
+    if (!args.trace_path.empty()) std::cerr << " trace=" << args.trace_path;
+    std::cerr << "\n";
+  }
 }
 
 void emit(const Table& table, const BenchArgs& args,
@@ -166,6 +193,18 @@ CampaignHarness::CampaignHarness(const BenchArgs& args,
   }
 }
 
+CampaignHarness::~CampaignHarness() {
+  if (!args_.metrics_path.empty() &&
+      !metrics_.write_json_file(args_.metrics_path))
+    std::cerr << "[telemetry] FAILED to write metrics to '"
+              << args_.metrics_path << "'\n";
+  if (!args_.trace_path.empty() &&
+      !tracer_.write_jsonl_file(args_.trace_path))
+    std::cerr << "[telemetry] FAILED to write trace to '" << args_.trace_path
+              << "'\n";
+  std::cerr << "[manifest] " << manifest_json() << "\n";
+}
+
 sim::CampaignConfig CampaignHarness::config() const {
   sim::CampaignConfig cc;
   cc.threads = args_.threads;
@@ -186,6 +225,8 @@ sim::CampaignConfig CampaignHarness::config() const {
   if (writer_.is_open()) cc.journal = &writer_;
   if (have_loaded_) cc.resume = &loaded_;
   cc.journal_tag = args_.quick ? "quick" : "full";
+  cc.metrics = &metrics_;
+  if (!args_.trace_path.empty()) cc.tracer = &tracer_;
   return cc;
 }
 
@@ -202,7 +243,65 @@ std::set<std::size_t> CampaignHarness::report(
     std::cerr << "[ft] campaign " << campaign.name() << ": " << st.completed
               << " completed, " << st.resumed << " resumed, " << st.retries
               << " retries, " << st.quarantined << " quarantined\n";
+  phases_.push_back(Phase{
+      campaign.name(), st,
+      metrics_.counter("campaign." + campaign.name() + ".faults.injected")});
   return skipped;
+}
+
+std::string CampaignHarness::manifest_json() const {
+  using sim::json_double;
+  using sim::json_escape;
+  const unsigned resolved =
+      args_.threads ? args_.threads : sim::ThreadPool::default_threads();
+  std::uint64_t jobs = 0, completed = 0, resumed = 0, retries = 0,
+                quarantined = 0, faults = 0;
+  double wall_s = 0.0;
+  std::string phases;
+  for (const Phase& p : phases_) {
+    if (!phases.empty()) phases += ",";
+    const double rate =
+        p.stats.wall_seconds > 0.0
+            ? static_cast<double>(p.stats.completed) / p.stats.wall_seconds
+            : 0.0;
+    phases += "{\"name\":\"" + json_escape(p.name) +
+              "\",\"jobs\":" + std::to_string(p.stats.jobs) +
+              ",\"wall_s\":" + json_double(p.stats.wall_seconds) +
+              ",\"jobs_per_s\":" + json_double(rate) +
+              ",\"completed\":" + std::to_string(p.stats.completed) +
+              ",\"resumed\":" + std::to_string(p.stats.resumed) +
+              ",\"retries\":" + std::to_string(p.stats.retries) +
+              ",\"quarantined\":" + std::to_string(p.stats.quarantined) +
+              ",\"faults_injected\":" + std::to_string(p.faults_injected) +
+              "}";
+    jobs += p.stats.jobs;
+    completed += p.stats.completed;
+    resumed += p.stats.resumed;
+    retries += p.stats.retries;
+    quarantined += p.stats.quarantined;
+    faults += p.faults_injected;
+    wall_s += p.stats.wall_seconds;
+  }
+  std::string out = "{\"git\":\"" + json_escape(DENSEMEM_GIT_DESCRIBE) +
+                    "\",\"seed\":" + std::to_string(seed_) +
+                    ",\"threads\":" + std::to_string(resolved) +
+                    ",\"hardware_concurrency\":" +
+                    std::to_string(sim::ThreadPool::default_threads()) +
+                    ",\"quick\":" + (args_.quick ? "true" : "false") +
+                    ",\"phases\":[" + phases + "]" +
+                    ",\"totals\":{\"jobs\":" + std::to_string(jobs) +
+                    ",\"completed\":" + std::to_string(completed) +
+                    ",\"resumed\":" + std::to_string(resumed) +
+                    ",\"retries\":" + std::to_string(retries) +
+                    ",\"quarantined\":" + std::to_string(quarantined) +
+                    ",\"faults_injected\":" + std::to_string(faults) +
+                    ",\"wall_s\":" + json_double(wall_s) + "}";
+  if (!args_.metrics_path.empty())
+    out += ",\"metrics_path\":\"" + json_escape(args_.metrics_path) + "\"";
+  if (!args_.trace_path.empty())
+    out += ",\"trace_path\":\"" + json_escape(args_.trace_path) + "\"";
+  out += "}";
+  return out;
 }
 
 int run_guarded(const std::function<int()>& body) {

@@ -46,6 +46,12 @@ struct BenchArgs {
   /// --abort-after K: stop after K journaled completions (exit code 75) to
   /// stage an interruption that --resume recovers from.
   std::size_t abort_after = 0;
+  /// --metrics P: write the merged MetricsRegistry snapshot as JSON to P at
+  /// the end of the run. Empty = no metrics sidecar (counters still run).
+  std::string metrics_path;
+  /// --trace P: write one JSONL span per job attempt to P at the end of the
+  /// run. Empty = tracing off.
+  std::string trace_path;
 };
 
 BenchArgs parse_args(int argc, char** argv);
@@ -70,35 +76,67 @@ void emit(const Table& table, const BenchArgs& args,
 void shape(const std::string& statement, bool holds);
 
 /// Owns the per-process checkpoint plumbing (journal writer + loaded resume
-/// journal — one of each per bench, shared by all its campaigns) and turns
-/// BenchArgs into a wired sim::CampaignConfig.
+/// journal — one of each per bench, shared by all its campaigns), the
+/// telemetry sinks (metrics registry + span tracer), and turns BenchArgs
+/// into a wired sim::CampaignConfig.
+///
+/// Telemetry lifecycle: every campaign built from config() shares this
+/// harness's registry and tracer; report() records the campaign as a run
+/// phase; the destructor writes the --metrics/--trace sidecars (if asked)
+/// and always prints a one-line "[manifest] {...}" JSON run summary
+/// (git describe, seed, threads, per-phase wall time and jobs/s,
+/// retry/fault/quarantine totals) on stderr — stdout never changes.
 class CampaignHarness {
  public:
   /// `default_seed` is the bench's committed campaign seed, used when
   /// --seed is absent. Throws on an unreadable/corrupt --resume journal;
   /// exits with an error message if --journal cannot be created.
   CampaignHarness(const BenchArgs& args, std::uint64_t default_seed);
+  ~CampaignHarness();
 
-  /// Campaign config carrying threads/seed plus every robustness flag.
-  /// Pointers inside reference this harness — keep it alive through the
-  /// campaign runs.
+  CampaignHarness(const CampaignHarness&) = delete;
+  CampaignHarness& operator=(const CampaignHarness&) = delete;
+
+  /// Campaign config carrying threads/seed plus every robustness flag and
+  /// the shared telemetry sinks. Pointers inside reference this harness —
+  /// keep it alive through the campaign runs.
   sim::CampaignConfig config() const;
 
   /// The resolved campaign seed (--seed or the bench default).
   std::uint64_t seed() const { return seed_; }
 
+  /// The registry all campaigns share. Benches record post-merge simulation
+  /// metrics here (from the main thread, after the campaign returns — that
+  /// keeps them retry-safe and width-stable).
+  sim::MetricsRegistry& metrics() const { return metrics_; }
+  /// The span tracer all campaigns share.
+  sim::SpanTracer& tracer() const { return tracer_; }
+
   /// Prints one stdout "[quarantined] job <i> ..." line per quarantined job
   /// (sorted by index — deterministic, filterable) plus a stderr recovery
   /// summary; returns the quarantined indices so the bench can skip those
-  /// rows.
+  /// rows. Also records the campaign as a manifest phase.
   std::set<std::size_t> report(const sim::Campaign& campaign) const;
 
+  /// The "[manifest] ..." JSON object the destructor prints — exposed so
+  /// tests can parse it without scraping stderr.
+  std::string manifest_json() const;
+
  private:
+  struct Phase {
+    std::string name;
+    sim::CampaignStats stats;
+    std::uint64_t faults_injected = 0;
+  };
+
   BenchArgs args_;
   std::uint64_t seed_;
   sim::Journal loaded_;
   bool have_loaded_ = false;
   mutable sim::JournalWriter writer_;
+  mutable sim::MetricsRegistry metrics_;
+  mutable sim::SpanTracer tracer_;
+  mutable std::vector<Phase> phases_;
 };
 
 /// Runs the bench body, translating a sim::CampaignInterrupted

@@ -49,6 +49,16 @@ void Histogram::add(double x, std::uint64_t weight) {
   bins_[i] += weight;
 }
 
+void Histogram::merge(const Histogram& o) {
+  DM_CHECK_MSG(lo_ == o.lo_ && width_ == o.width_ &&
+                   bins_.size() == o.bins_.size(),
+               "cannot merge histograms with different geometry");
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += o.bins_[i];
+  underflow_ += o.underflow_;
+  overflow_ += o.overflow_;
+  total_ += o.total_;
+}
+
 double QuantileSet::quantile(double q) {
   DM_CHECK_MSG(!samples_.empty(), "quantile of empty sample set");
   DM_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");

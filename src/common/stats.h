@@ -67,6 +67,11 @@ class Histogram {
   std::uint64_t overflow() const { return overflow_; }
   std::uint64_t total() const { return total_; }
 
+  /// Adds another histogram's counts into this one. Both must have been
+  /// constructed with the same (lo, hi, bins); bin counts are integer sums,
+  /// so merging in any order gives the same result.
+  void merge(const Histogram& o);
+
  private:
   double lo_, width_;
   std::vector<std::uint64_t> bins_;

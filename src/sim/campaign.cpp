@@ -110,12 +110,33 @@ struct SlotGuard {
 Campaign::Campaign(std::string name, CampaignConfig cfg)
     : name_(std::move(name)),
       cfg_(std::move(cfg)),
-      threads_(cfg_.threads ? cfg_.threads : ThreadPool::default_threads()) {}
+      threads_(cfg_.threads ? cfg_.threads : ThreadPool::default_threads()),
+      owned_metrics_(cfg_.metrics ? nullptr
+                                  : std::make_unique<MetricsRegistry>()),
+      metrics_(cfg_.metrics ? cfg_.metrics : owned_metrics_.get()),
+      metric_prefix_("campaign." + name_ + ".") {}
 
 void Campaign::run_grid(std::size_t n, const GridHooks& hooks) {
   const auto t0 = Clock::now();
   stats_ = CampaignStats{};
   quarantine_.clear();
+
+  // Counter names are built once per grid, not per attempt. Everything in
+  // the counters section must be a pure function of (config, fault seed) —
+  // never of scheduling — so the registry contents match across thread
+  // widths; wall-clock quantities go through observe() (the "timings"
+  // section) instead.
+  const std::string m_completed = metric_prefix_ + "jobs.completed";
+  const std::string m_resumed = metric_prefix_ + "jobs.resumed";
+  const std::string m_quarantined = metric_prefix_ + "jobs.quarantined";
+  const std::string m_retried = metric_prefix_ + "jobs.retried";
+  const std::string m_faults = metric_prefix_ + "faults.injected";
+  const std::string m_expired = metric_prefix_ + "deadline.expired";
+  const std::string m_backoffs = metric_prefix_ + "retry.backoffs";
+  const std::string m_journal_records = metric_prefix_ + "journal.records";
+  const std::string m_journal_replayed = metric_prefix_ + "journal.replayed";
+  const std::string m_job_duration = metric_prefix_ + "job.duration_s";
+  const std::size_t retried_before = metrics_->counter(m_retried);
 
   // --- resume: settle jobs the journal already accounts for --------------
   std::vector<char> settled(n, 0);  // 0 = pending, 1 = completed, 2 = quarantined
@@ -139,6 +160,8 @@ void Campaign::run_grid(std::size_t n, const GridHooks& hooks) {
           hooks.replay(i, rec.payload);
           settled[i] = 1;
           ++resumed;
+          metrics_->add(m_resumed);
+          metrics_->add(m_journal_replayed);
         }
       }
     }
@@ -152,7 +175,7 @@ void Campaign::run_grid(std::size_t n, const GridHooks& hooks) {
     if (!settled[i]) pending.push_back(i);
 
   Progress progress(name_, n, cfg_.progress && n > 1,
-                    cfg_.progress_interval_s);
+                    cfg_.progress_interval_s, metrics_, metric_prefix_);
   for (const char s : settled) {
     if (s == 1) progress.mark_done();
     if (s == 2) progress.mark_failed();
@@ -165,9 +188,32 @@ void Campaign::run_grid(std::size_t n, const GridHooks& hooks) {
   const unsigned attempts_per_job = std::max(1u, cfg_.retry.max_attempts);
 
   std::atomic<std::size_t> completed{0};
-  std::atomic<std::size_t> retries{0};
   std::atomic<bool> interrupted{false};
   std::mutex quarantine_mu;
+
+  // One Span per attempt. Outcome names the attempt's fate: ok, expired
+  // (deadline), retried (failed but another attempt follows), and for the
+  // final failed attempt failed (fail-fast) or quarantined (degrade).
+  auto trace = [&](std::size_t i, unsigned attempt, SpanOutcome outcome,
+                   Clock::time_point attempt_start, const std::string& error) {
+    metrics_->observe(m_job_duration, seconds_since(attempt_start));
+    if (!cfg_.tracer) return;
+    Span s;
+    s.campaign = name_;
+    s.job = i;
+    s.attempt = attempt;
+    s.outcome = outcome;
+    s.t_start_s = std::chrono::duration<double>(attempt_start - t0).count();
+    s.duration_s = seconds_since(attempt_start);
+    s.queue_wait_s = ThreadPool::current_task_queue_wait_s();
+    s.worker = ThreadPool::current_worker_id();
+    s.error = error;
+    cfg_.tracer->record(std::move(s));
+  };
+  auto fail_outcome = [&](unsigned attempt) {
+    if (attempt + 1 < attempts_per_job) return SpanOutcome::kRetried;
+    return cfg_.fail_fast ? SpanOutcome::kFailed : SpanOutcome::kQuarantined;
+  };
 
   auto run_one = [&](std::size_t i) {
     if (interrupted.load(std::memory_order_relaxed)) return;
@@ -181,18 +227,19 @@ void Campaign::run_grid(std::size_t n, const GridHooks& hooks) {
     for (unsigned attempt = 0; attempt < attempts_per_job; ++attempt) {
       if (interrupted.load(std::memory_order_relaxed)) return;
       if (attempt > 0) {
-        retries.fetch_add(1, std::memory_order_relaxed);
         progress.mark_retried();
         const double delay_ms = cfg_.retry.backoff_for(attempt);
-        if (delay_ms > 0.0)
+        if (delay_ms > 0.0) {
+          metrics_->add(m_backoffs);
           std::this_thread::sleep_for(
               std::chrono::duration<double, std::milli>(delay_ms));
+        }
       }
       ctx.attempt = attempt;
+      const auto attempt_start = Clock::now();
       try {
         SlotGuard guard(watchdog.get());
         ctx.deadline_flag = guard.slot ? &guard.slot->expired : nullptr;
-        const auto attempt_start = Clock::now();
         injector.inject(ctx);
         std::string payload = hooks.run(ctx);
         const bool over_deadline =
@@ -206,9 +253,13 @@ void Campaign::run_grid(std::size_t n, const GridHooks& hooks) {
                            std::to_string(cfg_.job_timeout_s) + "s deadline");
         // Success: checkpoint before counting, so the journal never claims
         // fewer jobs than the stats do.
-        if (cfg_.journal)
+        if (cfg_.journal) {
           cfg_.journal->record_done(i, attempt + 1, payload);
+          metrics_->add(m_journal_records);
+        }
+        trace(i, attempt, SpanOutcome::kOk, attempt_start, "");
         progress.mark_done();
+        metrics_->add(m_completed);
         const std::size_t done_now =
             completed.fetch_add(1, std::memory_order_relaxed) + 1;
         if (cfg_.abort_after && done_now >= cfg_.abort_after) {
@@ -218,18 +269,34 @@ void Campaign::run_grid(std::size_t n, const GridHooks& hooks) {
         return;
       } catch (const CampaignInterrupted&) {
         throw;
+      } catch (const JobTimeout& e) {
+        metrics_->add(m_expired);
+        trace(i, attempt, SpanOutcome::kExpired, attempt_start, e.what());
+        last_error = std::current_exception();
+        last_what = e.what();
+      } catch (const InjectedFault& e) {
+        metrics_->add(m_faults);
+        trace(i, attempt, fail_outcome(attempt), attempt_start, e.what());
+        last_error = std::current_exception();
+        last_what = e.what();
       } catch (const std::exception& e) {
+        trace(i, attempt, fail_outcome(attempt), attempt_start, e.what());
         last_error = std::current_exception();
         last_what = e.what();
       } catch (...) {
+        trace(i, attempt, fail_outcome(attempt), attempt_start,
+              "unknown error");
         last_error = std::current_exception();
         last_what = "unknown error";
       }
     }
     // Attempts exhausted.
-    if (cfg_.journal)
+    if (cfg_.journal) {
       cfg_.journal->record_quarantined(i, attempts_per_job, last_what);
+      metrics_->add(m_journal_records);
+    }
     progress.mark_failed();
+    metrics_->add(m_quarantined);
     {
       std::lock_guard<std::mutex> lock(quarantine_mu);
       quarantine_.push_back(JobFailure{i, attempts_per_job, last_what});
@@ -243,6 +310,7 @@ void Campaign::run_grid(std::size_t n, const GridHooks& hooks) {
     for (const std::size_t i : pending) run_one(i);
   } else {
     ThreadPool pool(threads_);
+    pool.set_metrics(metrics_, metric_prefix_);
     pool.parallel_for(pending.size(), cfg_.chunk,
                       [&](std::size_t begin, std::size_t end) {
                         for (std::size_t k = begin; k < end; ++k)
@@ -258,7 +326,9 @@ void Campaign::run_grid(std::size_t n, const GridHooks& hooks) {
   stats_.threads = threads_;
   stats_.completed = completed.load();
   stats_.resumed = resumed;
-  stats_.retries = retries.load();
+  // The registry is the only retry ledger (Progress counts into it too);
+  // the delta isolates this run when the registry is shared across runs.
+  stats_.retries = metrics_->counter(m_retried) - retried_before;
   stats_.quarantined = quarantine_.size();
   stats_.wall_seconds = seconds_since(t0);
   progress.finish();

@@ -39,6 +39,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -47,6 +48,8 @@
 #include "sim/fault.h"
 #include "sim/journal.h"
 #include "sim/retry.h"
+#include "sim/span.h"
+#include "sim/telemetry.h"
 
 namespace densemem::sim {
 
@@ -96,6 +99,19 @@ struct CampaignConfig {
   /// validated on resume (e.g. "quick" vs "full" — grids whose job bodies
   /// differ must not share checkpoints).
   std::string journal_tag;
+
+  // --- telemetry ----------------------------------------------------------
+  /// Metrics registry (owned by the caller, typically shared across a
+  /// bench's campaigns). The campaign publishes its counters under the
+  /// prefix "campaign.<name>." — jobs.done/failed/retried (via Progress),
+  /// jobs.completed/resumed/quarantined, faults.injected, deadline.expired,
+  /// retry.backoffs, journal.records/replayed — plus the job.duration_s and
+  /// pool.* timing distributions. nullptr = the campaign owns a private
+  /// registry (counters still work; nothing is exported).
+  MetricsRegistry* metrics = nullptr;
+  /// Span tracer recording one Span per job attempt (owned by the caller).
+  /// nullptr = no tracing.
+  SpanTracer* tracer = nullptr;
 };
 
 /// Per-job view handed to the job function. Everything a job needs to be
@@ -159,6 +175,11 @@ class Campaign {
   const CampaignStats& last_stats() const { return stats_; }
   /// Jobs quarantined by the most recent run, sorted by index.
   const std::vector<JobFailure>& quarantine() const { return quarantine_; }
+  /// The registry this campaign's counters live in: the shared one from the
+  /// config, or the private fallback.
+  MetricsRegistry& metrics() { return *metrics_; }
+  /// "campaign.<name>." — every metric this campaign records starts with it.
+  const std::string& metric_prefix() const { return metric_prefix_; }
 
   /// Serializer pair for a job result type: encode() must capture every
   /// field that feeds the merged output, bit-exactly (journal.h's
@@ -235,6 +256,9 @@ class Campaign {
   std::string name_;
   CampaignConfig cfg_;
   unsigned threads_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  ///< when none is shared
+  MetricsRegistry* metrics_;
+  std::string metric_prefix_;
   CampaignStats stats_;
   std::vector<JobFailure> quarantine_;
 };

@@ -5,12 +5,18 @@
 namespace densemem::sim {
 
 Progress::Progress(std::string label, std::size_t total, bool enabled,
-                   double interval_s)
+                   double interval_s, MetricsRegistry* registry,
+                   std::string prefix)
     : label_(std::move(label)),
       total_(total),
       enabled_(enabled),
       interval_(static_cast<long>(interval_s * 1000.0)),
-      start_(std::chrono::steady_clock::now()) {
+      start_(std::chrono::steady_clock::now()),
+      owned_registry_(registry ? nullptr : std::make_unique<MetricsRegistry>()),
+      registry_(registry ? registry : owned_registry_.get()),
+      done_name_(prefix + "jobs.done"),
+      failed_name_(prefix + "jobs.failed"),
+      retried_name_(prefix + "jobs.retried") {
   if (enabled_) monitor_ = std::thread([this] { monitor_loop(); });
 }
 

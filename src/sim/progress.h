@@ -1,50 +1,63 @@
-// Campaign progress reporting: lock-free done/failed counters incremented
-// by worker threads, plus an optional monitor thread that prints a periodic
-// throughput line. All output goes to stderr so stdout (tables, [shape]
-// lines, CSV mirrors) stays byte-identical regardless of thread count or
-// timing.
+// Campaign progress reporting: periodic "[sim:…]" throughput lines on
+// stderr, with the done/failed/retried counts read from a MetricsRegistry
+// instead of private atomics — the registry is the single source of truth
+// for job accounting (telemetry.h), so the progress line, CampaignStats,
+// and the exported metrics file can never disagree.
+//
+// mark_done()/mark_failed()/mark_retried() increment the registry counters
+// `<prefix>jobs.done` / `<prefix>jobs.failed` / `<prefix>jobs.retried`
+// from the calling (worker) thread's shard. All output goes to stderr so
+// stdout (tables, [shape] lines, CSV mirrors) stays byte-identical
+// regardless of thread count or timing.
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+
+#include "sim/telemetry.h"
 
 namespace densemem::sim {
 
 class Progress {
  public:
-  /// `label` tags every printed line ("[sim:<label>] ..."). When `enabled`
-  /// is false the counters still work but nothing is printed and no monitor
-  /// thread is spawned. `interval_s` is the print period.
+  /// `label` tags every printed line ("[sim:<label>] ..."). Counters live
+  /// in `registry` under `<prefix>jobs.*`; when `registry` is null the
+  /// Progress owns a private registry (standalone use in tests). When
+  /// `enabled` is false the counters still work but nothing is printed and
+  /// no monitor thread is spawned. `interval_s` is the print period.
   Progress(std::string label, std::size_t total, bool enabled,
-           double interval_s = 2.0);
+           double interval_s = 2.0, MetricsRegistry* registry = nullptr,
+           std::string prefix = "");
   ~Progress();
 
   Progress(const Progress&) = delete;
   Progress& operator=(const Progress&) = delete;
 
   /// Worker-side: mark one job finished (or failed, or retried — a retry
-  /// counts the extra attempt, not the job). Thread-safe.
-  void mark_done() { done_.fetch_add(1, std::memory_order_relaxed); }
-  void mark_failed() { failed_.fetch_add(1, std::memory_order_relaxed); }
-  void mark_retried() { retried_.fetch_add(1, std::memory_order_relaxed); }
+  /// counts the extra attempt, not the job). Thread-safe; increments the
+  /// registry counter from the calling thread's shard.
+  void mark_done() { registry_->add(done_name_); }
+  void mark_failed() { registry_->add(failed_name_); }
+  void mark_retried() { registry_->add(retried_name_); }
 
-  std::size_t done() const { return done_.load(std::memory_order_relaxed); }
-  std::size_t failed() const {
-    return failed_.load(std::memory_order_relaxed);
-  }
-  std::size_t retried() const {
-    return retried_.load(std::memory_order_relaxed);
-  }
+  /// Merged registry totals (across all worker shards).
+  std::size_t done() const { return registry_->counter(done_name_); }
+  std::size_t failed() const { return registry_->counter(failed_name_); }
+  std::size_t retried() const { return registry_->counter(retried_name_); }
   std::size_t total() const { return total_; }
 
+  /// The registry the counters live in (the shared one, or the private
+  /// fallback).
+  MetricsRegistry& registry() { return *registry_; }
+
   /// The status line as printed (failure/retry accounting included when
-  /// nonzero) — exposed so tests can assert on the summary without
-  /// capturing stderr.
+  /// nonzero) — exposed so tests can assert the line agrees with the
+  /// registry totals without capturing stderr.
   std::string line(bool final_line) const;
 
   /// Stops the monitor (if any) and prints the final summary line. Called
@@ -62,9 +75,11 @@ class Progress {
   const std::chrono::milliseconds interval_;
   const std::chrono::steady_clock::time_point start_;
 
-  std::atomic<std::size_t> done_{0};
-  std::atomic<std::size_t> failed_{0};
-  std::atomic<std::size_t> retried_{0};
+  std::unique_ptr<MetricsRegistry> owned_registry_;  ///< when none is shared
+  MetricsRegistry* registry_;
+  const std::string done_name_;
+  const std::string failed_name_;
+  const std::string retried_name_;
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,76 @@
+#include "sim/span.h"
+
+#include <algorithm>
+#include <fstream>
+#include <tuple>
+
+#include "sim/telemetry.h"
+
+namespace densemem::sim {
+
+const char* span_outcome_name(SpanOutcome o) {
+  switch (o) {
+    case SpanOutcome::kOk: return "ok";
+    case SpanOutcome::kRetried: return "retried";
+    case SpanOutcome::kFailed: return "failed";
+    case SpanOutcome::kQuarantined: return "quarantined";
+    case SpanOutcome::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+void SpanTracer::record(Span span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::size_t SpanTracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::size_t SpanTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<Span> SpanTracer::sorted() const {
+  std::vector<Span> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return std::tie(a.campaign, a.job, a.attempt) <
+           std::tie(b.campaign, b.job, b.attempt);
+  });
+  return out;
+}
+
+void SpanTracer::write_jsonl(std::ostream& os) const {
+  for (const Span& s : sorted()) {
+    os << "{\"campaign\":\"" << json_escape(s.campaign)
+       << "\",\"job\":" << s.job << ",\"attempt\":" << s.attempt
+       << ",\"outcome\":\"" << span_outcome_name(s.outcome)
+       << "\",\"t_start_s\":" << json_double(s.t_start_s)
+       << ",\"duration_s\":" << json_double(s.duration_s)
+       << ",\"queue_wait_s\":" << json_double(s.queue_wait_s)
+       << ",\"worker\":" << s.worker;
+    if (!s.error.empty())
+      os << ",\"error\":\"" << json_escape(s.error) << "\"";
+    os << "}\n";
+  }
+}
+
+bool SpanTracer::write_jsonl_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  write_jsonl(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace densemem::sim

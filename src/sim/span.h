@@ -1,0 +1,86 @@
+// Per-attempt span tracing for campaign runs.
+//
+// The campaign executor records one Span per job *attempt* — including the
+// attempts that failed, retried, expired, or led to quarantine — into a
+// bounded in-memory buffer. Flushing writes JSON Lines (one object per
+// span), the format log pipelines ingest directly:
+//
+//   {"campaign":"fig1","job":17,"attempt":0,"outcome":"retried",
+//    "t_start_s":0.41,"duration_s":0.003,"queue_wait_s":0.0001,
+//    "worker":2,"error":"injected fault: ..."}
+//
+// Schema contract (tests/test_telemetry.cpp pins it): every span carries
+// campaign/job/attempt/outcome, the number of spans for a job equals the
+// attempt count the journal records for it, and "error" appears exactly on
+// non-ok spans. Timing fields (t_start_s, duration_s, queue_wait_s) and
+// worker ids vary run to run; everything else is deterministic for a fixed
+// (config, fault seed). The flush sorts spans by (campaign, job, attempt),
+// so the *line order* is deterministic too.
+//
+// The buffer is bounded: past `capacity` spans, record() drops (and
+// counts) instead of growing — a runaway grid degrades telemetry, never
+// memory. All output goes to a sidecar file; stdout is untouched.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace densemem::sim {
+
+/// What happened to one job attempt.
+enum class SpanOutcome {
+  kOk,           ///< attempt succeeded
+  kRetried,      ///< attempt failed; another attempt follows
+  kFailed,       ///< final attempt failed; grid aborts (fail-fast)
+  kQuarantined,  ///< final attempt failed; job quarantined (degrade)
+  kExpired,      ///< attempt exceeded its deadline (JobTimeout)
+};
+
+const char* span_outcome_name(SpanOutcome o);
+
+struct Span {
+  std::string campaign;
+  std::size_t job = 0;
+  unsigned attempt = 0;        ///< 0-based, matches JobContext::attempt
+  SpanOutcome outcome = SpanOutcome::kOk;
+  double t_start_s = 0.0;      ///< attempt start, seconds since grid start
+  double duration_s = 0.0;     ///< attempt wall-clock
+  double queue_wait_s = 0.0;   ///< chunk queue wait (0 on the serial path)
+  unsigned worker = 0;         ///< ThreadPool worker id (0 = main thread)
+  std::string error;           ///< what() for non-ok outcomes, else empty
+};
+
+class SpanTracer {
+ public:
+  explicit SpanTracer(std::size_t capacity = 1 << 20)
+      : capacity_(capacity) {}
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  /// Appends one span. Thread-safe. Past capacity the span is dropped and
+  /// counted instead.
+  void record(Span span);
+
+  std::size_t size() const;
+  std::size_t dropped() const;
+
+  /// Spans sorted by (campaign, job, attempt) — the deterministic flush
+  /// order. Call after the grid has finished.
+  std::vector<Span> sorted() const;
+
+  /// Writes one JSON object per line in sorted() order.
+  void write_jsonl(std::ostream& os) const;
+  /// write_jsonl to a file; returns false if the file cannot be opened.
+  bool write_jsonl_file(const std::string& path) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace densemem::sim

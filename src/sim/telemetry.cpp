@@ -1,0 +1,208 @@
+#include "sim/telemetry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+#include "sim/thread_pool.h"
+
+namespace densemem::sim {
+
+MetricsRegistry::Shard& MetricsRegistry::my_shard() {
+  const unsigned id = ThreadPool::current_worker_id();
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  while (shards_.size() <= id) shards_.push_back(std::make_unique<Shard>());
+  return *shards_[id];
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  Shard& s = my_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.counters.find(name);
+  if (it == s.counters.end())
+    s.counters.emplace(std::string(name), delta);
+  else
+    it->second += delta;
+}
+
+void MetricsRegistry::set(std::string_view name, double value) {
+  Shard& s = my_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.gauges.find(name);
+  if (it == s.gauges.end())
+    s.gauges.emplace(std::string(name), value);
+  else
+    it->second = value;
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  Shard& s = my_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.stats.find(name);
+  if (it == s.stats.end())
+    it = s.stats.emplace(std::string(name), RunningStats{}).first;
+  it->second.add(value);
+}
+
+void MetricsRegistry::observe_hist(std::string_view name, double lo, double hi,
+                                   std::size_t bins, double value) {
+  Shard& s = my_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.histograms.find(name);
+  if (it == s.histograms.end())
+    it = s.histograms.emplace(std::string(name), Histogram(lo, hi, bins)).first;
+  it->second.add(value);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  // Copy the shard pointer list under the vector lock, then merge shard by
+  // shard in index order (the deterministic merge order the header pins).
+  std::vector<Shard*> shards;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    shards.reserve(shards_.size());
+    for (const auto& s : shards_) shards.push_back(s.get());
+  }
+  for (Shard* s : shards) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    for (const auto& [name, v] : s->counters) snap.counters[name] += v;
+    for (const auto& [name, v] : s->gauges) {
+      auto it = snap.gauges.find(name);
+      if (it == snap.gauges.end())
+        snap.gauges.emplace(name, v);
+      else
+        it->second = std::max(it->second, v);
+    }
+    for (const auto& [name, v] : s->stats) {
+      auto it = snap.stats.find(name);
+      if (it == snap.stats.end())
+        snap.stats.emplace(name, v);
+      else
+        it->second.merge(v);
+    }
+    for (const auto& [name, v] : s->histograms) {
+      auto it = snap.histograms.find(name);
+      if (it == snap.histograms.end())
+        snap.histograms.emplace(name, v);
+      else
+        it->second.merge(v);
+    }
+  }
+  return snap;
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  std::uint64_t total = 0;
+  std::vector<Shard*> shards;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    for (const auto& s : shards_) shards.push_back(s.get());
+  }
+  for (Shard* s : shards) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    auto it = s->counters.find(name);
+    if (it != s->counters.end()) total += it->second;
+  }
+  return total;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  double value = 0.0;
+  bool seen = false;
+  std::vector<Shard*> shards;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    for (const auto& s : shards_) shards.push_back(s.get());
+  }
+  for (Shard* s : shards) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    auto it = s->gauges.find(name);
+    if (it != s->gauges.end()) {
+      value = seen ? std::max(value, it->second) : it->second;
+      seen = true;
+    }
+  }
+  return value;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan literals
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const Snapshot snap = snapshot();
+  const char* sep = "";
+  os << "{\n  \"counters\": {";
+  for (const auto& [name, v] : snap.counters) {
+    os << sep << "\n    \"" << json_escape(name) << "\": " << v;
+    sep = ",";
+  }
+  os << (snap.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  sep = "";
+  for (const auto& [name, v] : snap.gauges) {
+    os << sep << "\n    \"" << json_escape(name) << "\": " << json_double(v);
+    sep = ",";
+  }
+  os << (snap.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  sep = "";
+  for (const auto& [name, h] : snap.histograms) {
+    os << sep << "\n    \"" << json_escape(name) << "\": {\"lo\": "
+       << json_double(h.bin_lo(0)) << ", \"hi\": "
+       << json_double(h.bin_hi(h.num_bins() - 1)) << ", \"underflow\": "
+       << h.underflow() << ", \"overflow\": " << h.overflow()
+       << ", \"total\": " << h.total() << ", \"bins\": [";
+    for (std::size_t i = 0; i < h.num_bins(); ++i)
+      os << (i ? ", " : "") << h.bin_count(i);
+    os << "]}";
+    sep = ",";
+  }
+  os << (snap.histograms.empty() ? "" : "\n  ") << "},\n  \"timings\": {";
+  sep = "";
+  for (const auto& [name, st] : snap.stats) {
+    os << sep << "\n    \"" << json_escape(name) << "\": {\"count\": "
+       << st.count() << ", \"sum\": " << json_double(st.sum())
+       << ", \"mean\": " << json_double(st.mean())
+       << ", \"stddev\": " << json_double(st.stddev())
+       << ", \"min\": " << json_double(st.min())
+       << ", \"max\": " << json_double(st.max()) << "}";
+    sep = ",";
+  }
+  os << (snap.stats.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  write_json(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace densemem::sim

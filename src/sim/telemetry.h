@@ -1,0 +1,116 @@
+// Campaign telemetry: a thread-safe registry of named counters, gauges,
+// and value distributions, built for write-heavy worker threads.
+//
+// Storage is sharded per worker (shard index = the ThreadPool worker id of
+// the writing thread, 0 for the main/serial thread), so concurrent writers
+// never contend on one map; reads merge every shard on demand. The merge is
+// deterministic: shards combine in index order and the merged views are
+// name-sorted maps, so two runs that record the same values produce the
+// same snapshot — and the same JSON bytes.
+//
+// Determinism contract (docs/ARCHITECTURE.md, "Telemetry"):
+//  * counters are uint64 sums and histogram bins are uint64 counts —
+//    addition commutes, so any metric fed width-stable values (event
+//    counts derived from (seed, index), post-merge simulation results) is
+//    byte-identical at any thread count;
+//  * gauges merge by max across shards (order-free);
+//  * value stats (RunningStats) merge in shard order, but which shard got
+//    which sample is scheduling-dependent — treat stats as timing-class
+//    telemetry (means may differ in final bits across widths) and keep
+//    simulation results in counters/histograms/gauges.
+//
+// The same retry caveat as result_sink.h applies to metrics recorded
+// *inside* job bodies: a re-run attempt records again. The campaign's own
+// counters are attempt-accurate by construction; benches record their
+// simulation metrics post-merge from the main thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace densemem::sim {
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to the named counter (created at zero). Thread-safe;
+  /// writes go to the calling thread's shard.
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Sets the named gauge. Merged value across shards is the max, so a
+  /// gauge set from exactly one thread (the common case) reads back
+  /// exactly; racing setters merge order-free.
+  void set(std::string_view name, double value);
+
+  /// Feeds `value` into the named RunningStats (count/mean/min/max/...).
+  /// Timing-class: see the determinism contract above.
+  void observe(std::string_view name, double value);
+
+  /// Feeds `value` into the named fixed-bin histogram over [lo, hi).
+  /// Every caller must use the same (lo, hi, bins) for a given name — the
+  /// shard merge checks and aborts on a geometry mismatch.
+  void observe_hist(std::string_view name, double lo, double hi,
+                    std::size_t bins, double value);
+
+  /// Merged value of one counter (0 if never written).
+  std::uint64_t counter(std::string_view name) const;
+
+  /// Merged value of one gauge (0.0 if never written).
+  double gauge(std::string_view name) const;
+
+  /// Point-in-time merge of every shard, name-sorted.
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, RunningStats> stats;
+    std::map<std::string, Histogram> histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// Writes the snapshot as a JSON object with "counters" / "gauges" /
+  /// "histograms" (width-stable sections) and "timings" (the RunningStats
+  /// summaries, allowed to vary run to run).
+  void write_json(std::ostream& os) const;
+  /// write_json to a file; returns false if the file cannot be opened.
+  bool write_json_file(const std::string& path) const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::map<std::string, std::uint64_t, std::less<>> counters;
+    std::map<std::string, double, std::less<>> gauges;
+    std::map<std::string, RunningStats, std::less<>> stats;
+    std::map<std::string, Histogram, std::less<>> histograms;
+  };
+
+  /// The calling thread's shard (grown on demand; workers land on their
+  /// ThreadPool worker id, everything else on shard 0).
+  Shard& my_shard();
+
+  mutable std::mutex shards_mu_;  ///< guards the shard vector, not shard data
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Minimal JSON string escaping (quotes, backslash, control chars) for
+/// metric names and span fields — telemetry output must parse even when a
+/// series label carries commas or quotes.
+std::string json_escape(std::string_view s);
+
+/// Formats a double for JSON: shortest round-trippable-ish decimal, never
+/// inf/nan (clamped to 0 with a trailing comment-free fallback, since JSON
+/// has no non-finite literals).
+std::string json_double(double v);
+
+}  // namespace densemem::sim

@@ -3,19 +3,39 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "sim/telemetry.h"
 
 namespace densemem::sim {
+
+namespace {
+
+// Worker identity and the running task's queue wait are thread-locals so
+// telemetry callers (registry sharding, span stamping) never need a handle
+// to the pool that owns the current thread.
+thread_local unsigned tl_worker_id = 0;
+thread_local double tl_queue_wait_s = 0.0;
+
+}  // namespace
 
 unsigned ThreadPool::default_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1u : hw;
 }
 
+unsigned ThreadPool::current_worker_id() { return tl_worker_id; }
+
+double ThreadPool::current_task_queue_wait_s() { return tl_queue_wait_s; }
+
+void ThreadPool::set_metrics(MetricsRegistry* metrics, std::string prefix) {
+  metrics_ = metrics;
+  metrics_prefix_ = std::move(prefix);
+}
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = default_threads();
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -32,14 +52,15 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     DM_CHECK_MSG(!stop_, "cannot submit to a stopping pool");
-    tasks_.push_back(std::move(task));
+    tasks_.push_back(Task{std::move(task), std::chrono::steady_clock::now()});
   }
   task_cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned worker_id) {
+  tl_worker_id = worker_id;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -48,13 +69,28 @@ void ThreadPool::worker_loop() {
       tasks_.pop_front();
       ++in_flight_;
     }
+    const auto popped = std::chrono::steady_clock::now();
+    tl_queue_wait_s =
+        std::chrono::duration<double>(popped - task.enqueued).count();
     try {
-      task();
+      task.fn();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
       cancelled_.store(true, std::memory_order_relaxed);
     }
+    if (metrics_) {
+      const double exec_s = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - popped)
+                                .count();
+      // observe() only: task counts and waits depend on the thread width,
+      // so they belong in the run-variable "timings" section, never in the
+      // width-stable counters.
+      metrics_->observe(metrics_prefix_ + "pool.queue_wait_s",
+                        tl_queue_wait_s);
+      metrics_->observe(metrics_prefix_ + "pool.task_s", exec_s);
+    }
+    tl_queue_wait_s = 0.0;
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

@@ -14,16 +14,20 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace densemem::sim {
+
+class MetricsRegistry;  // telemetry.h
 
 class ThreadPool {
  public:
@@ -39,6 +43,23 @@ class ThreadPool {
   /// Hardware concurrency with a floor of 1 (hardware_concurrency() may
   /// return 0 on exotic platforms).
   static unsigned default_threads();
+
+  /// The calling thread's worker id: 1..size() inside a pool worker, 0 on
+  /// any other thread (main, the serial campaign path, watchdog). Telemetry
+  /// uses this as its shard index and spans record it as `worker`.
+  static unsigned current_worker_id();
+
+  /// Queue-wait of the task the calling worker is currently running — the
+  /// seconds between submit() and the worker popping it. 0 outside a task
+  /// (and on the serial path, where nothing queues). Jobs inside a
+  /// parallel_for chunk share the chunk's wait.
+  static double current_task_queue_wait_s();
+
+  /// Attaches a metrics registry: every task then observes
+  /// `<prefix>pool.queue_wait_s` and `<prefix>pool.task_s` (timing
+  /// distributions — run-variable by design). Pass nullptr to detach. Not
+  /// thread-safe against concurrent submit — set it before dispatching work.
+  void set_metrics(MetricsRegistry* metrics, std::string prefix = "");
 
   /// Enqueues a task. Tasks run in FIFO order across the worker set.
   void submit(std::function<void()> task);
@@ -61,13 +82,20 @@ class ThreadPool {
   bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
 
  private:
-  void worker_loop();
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop(unsigned worker_id);
 
   std::vector<std::thread> workers_;
+  MetricsRegistry* metrics_ = nullptr;
+  std::string metrics_prefix_;
   mutable std::mutex mu_;
   std::condition_variable task_cv_;  ///< signals workers: task or stop
   std::condition_variable idle_cv_;  ///< signals wait(): drained and idle
-  std::deque<std::function<void()>> tasks_;
+  std::deque<Task> tasks_;
   std::size_t in_flight_ = 0;  ///< tasks popped but not yet finished
   std::exception_ptr first_error_;
   std::atomic<bool> cancelled_{false};

@@ -59,6 +59,53 @@ TEST(SimBenchArgs, RobustnessFlagsDefaultToHistoricalBehaviour) {
   EXPECT_FALSE(args.resume);
   EXPECT_EQ(args.fault_seed, 0u);
   EXPECT_EQ(args.abort_after, 0u);
+  EXPECT_TRUE(args.metrics_path.empty());
+  EXPECT_TRUE(args.trace_path.empty());
+}
+
+TEST(SimBenchArgs, ParsesTelemetryFlagsInBothForms) {
+  const BenchArgs spaced = parse({"--metrics", "/tmp/m.json", "--trace",
+                                  "/tmp/t.jsonl"});
+  EXPECT_EQ(spaced.metrics_path, "/tmp/m.json");
+  EXPECT_EQ(spaced.trace_path, "/tmp/t.jsonl");
+  const BenchArgs eq = parse({"--metrics=/tmp/m2.json", "--trace=/tmp/t2.jsonl"});
+  EXPECT_EQ(eq.metrics_path, "/tmp/m2.json");
+  EXPECT_EQ(eq.trace_path, "/tmp/t2.jsonl");
+}
+
+TEST(SimBenchArgs, HarnessWiresTelemetrySinksIntoCampaignConfig) {
+  BenchArgs args;
+  args.trace_path = "/tmp/densemem_unused_trace.jsonl";
+  const CampaignHarness harness(args, /*default_seed=*/1);
+  const sim::CampaignConfig cc = harness.config();
+  EXPECT_EQ(cc.metrics, &harness.metrics());
+  EXPECT_EQ(cc.tracer, &harness.tracer());
+  std::remove(args.trace_path.c_str());
+
+  // Without --trace the tracer stays detached; the registry is always on
+  // (the manifest needs it).
+  BenchArgs plain;
+  const CampaignHarness bare(plain, 1);
+  EXPECT_EQ(bare.config().tracer, nullptr);
+  EXPECT_NE(bare.config().metrics, nullptr);
+}
+
+TEST(SimBenchArgs, ManifestJsonCarriesRunParameters) {
+  BenchArgs args;
+  args.seed = 42;
+  args.threads = 3;
+  args.quick = true;
+  const CampaignHarness harness(args, /*default_seed=*/1);
+  const std::string m = harness.manifest_json();
+  EXPECT_EQ(m.front(), '{');
+  EXPECT_EQ(m.back(), '}');
+  EXPECT_NE(m.find("\"git\":\""), std::string::npos) << m;
+  EXPECT_NE(m.find("\"seed\":42"), std::string::npos) << m;
+  EXPECT_NE(m.find("\"threads\":3"), std::string::npos) << m;
+  EXPECT_NE(m.find("\"hardware_concurrency\":"), std::string::npos) << m;
+  EXPECT_NE(m.find("\"quick\":true"), std::string::npos) << m;
+  EXPECT_NE(m.find("\"phases\":["), std::string::npos) << m;
+  EXPECT_NE(m.find("\"totals\":{"), std::string::npos) << m;
 }
 
 TEST(SimBenchArgs, ParsesRetryTimeoutAndFaultFlags) {
