@@ -7,13 +7,20 @@
 // (c) SPD adjacency vs naive ±1 for PARA across remap schemes: the §II-C
 //     deployment question quantified;
 // (d) TRR tracker size vs aggressor count: the protection boundary surface.
+//
+// Each ablation point builds its own device/system, so every section is a
+// sim::Campaign grid. The distance-2 sweep shares one controller across
+// victims WITHIN a weight (wear accumulates by design), so its job is one
+// weight value, not one victim.
 #include <iostream>
 #include <map>
+#include <set>
 
 #include "bench_util.h"
 #include "attack/attacker.h"
 #include "core/module_tester.h"
 #include "core/system.h"
+#include "sim/campaign.h"
 
 using namespace densemem;
 using namespace densemem::core;
@@ -43,225 +50,336 @@ std::uint32_t weak_victim(dram::Device& dev) {
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
-  bench::banner("E16 (ext)", "DESIGN.md §5",
-                "ablations: DPD, distance-2 coupling, SPD adjacency, TRR "
-                "tracker size");
+  return bench::run_guarded([&]() -> int {
+    bench::banner("E16 (ext)", "DESIGN.md §5",
+                  "ablations: DPD, distance-2 coupling, SPD adjacency, TRR "
+                  "tracker size",
+                  args);
 
-  // --- (a) DPD on/off ---------------------------------------------------------
-  Table dpd_t({"dpd_sensitivity_mean", "errors_per_1e9 (solid)",
-               "errors_per_1e9 (rowstripe)", "rowstripe/solid"});
-  dpd_t.set_precision(2);
-  double ratio_off = 0, ratio_on = 0;
-  for (const double sens : {0.0, 0.4, 0.8}) {
-    dram::DeviceConfig dc = ablation_device(1601);
-    dc.reliability.dpd_sensitivity_mean = sens;
-    double rates[2];
-    int i = 0;
-    for (const auto pat : {dram::BackgroundPattern::kOnes,
-                           dram::BackgroundPattern::kRowStripe}) {
-      dram::Device dev(dc);
-      core::ModuleTestConfig tc;
-      tc.sample_rows = args.quick ? 200 : 500;
-      tc.patterns = {pat};
-      tc.hammer_count = 50'000;
-      rates[i++] = core::ModuleTester(tc).run(dev).errors_per_1e9_cells;
+    bench::CampaignHarness harness(args, /*default_seed=*/16);
+
+    // --- (a) DPD on/off ---------------------------------------------------------
+    const double sens_grid[] = {0.0, 0.4, 0.8};
+    sim::Campaign dpd_grid("dpd", harness.config());
+    // Job = one sensitivity: {rate_solid, rate_rowstripe}.
+    const auto dpd_results = dpd_grid.map_journaled<bench::GridResult>(
+        std::size(sens_grid),
+        [&](const sim::JobContext& ctx) {
+          dram::DeviceConfig dc = ablation_device(1601);
+          dc.reliability.dpd_sensitivity_mean = sens_grid[ctx.index];
+          bench::GridResult g;
+          for (const auto pat : {dram::BackgroundPattern::kOnes,
+                                 dram::BackgroundPattern::kRowStripe}) {
+            dram::Device dev(dc);
+            core::ModuleTestConfig tc;
+            tc.sample_rows = args.quick ? 200 : 500;
+            tc.patterns = {pat};
+            tc.hammer_count = 50'000;
+            g.push_f(core::ModuleTester(tc).run(dev).errors_per_1e9_cells);
+          }
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> dpd_skipped = harness.report(dpd_grid);
+
+    Table dpd_t({"dpd_sensitivity_mean", "errors_per_1e9 (solid)",
+                 "errors_per_1e9 (rowstripe)", "rowstripe/solid"});
+    dpd_t.set_precision(2);
+    double ratio_off = 0, ratio_on = 0;
+    for (std::size_t i = 0; i < std::size(sens_grid); ++i) {
+      if (dpd_skipped.count(i)) continue;
+      const double sens = sens_grid[i];
+      const auto& f = dpd_results[i].f64s;
+      const double ratio = f[0] > 0 ? f[1] / f[0] : 0.0;
+      dpd_t.add_row({sens, f[0], f[1], ratio});
+      if (sens == 0.0) ratio_off = ratio;
+      if (sens == 0.8) ratio_on = ratio;
     }
-    const double ratio = rates[0] > 0 ? rates[1] / rates[0] : 0.0;
-    dpd_t.add_row({sens, rates[0], rates[1], ratio});
-    if (sens == 0.0) ratio_off = ratio;
-    if (sens == 0.8) ratio_on = ratio;
-  }
-  bench::emit(dpd_t, args, "dpd");
+    bench::emit(dpd_t, args, "dpd");
 
-  // --- (b) distance-2 weight ----------------------------------------------------
-  Table d2_t({"distance2_weight", "flips_d1", "flips_d2"});
-  std::uint64_t d2_flips_zero = 1, d2_flips_on = 0;
-  for (const double w : {0.0, 0.03, 0.15}) {
-    dram::DeviceConfig dc = ablation_device(1603);
-    dc.reliability.distance2_weight = w;
-    dc.reliability.dpd_sensitivity_mean = 0.0;
-    dc.reliability.anticell_fraction = 0.0;
-    dc.reliability.hc50 = 8e3;  // low so the weak d2 coupling can bite
-    dram::Device dev(dc);
-    ctrl::MemoryController mc(dev, ctrl::CtrlConfig{});
-    std::map<std::uint32_t, std::uint64_t> by_distance;
-    for (std::uint32_t v = 4; v + 4 < dev.geometry().rows; v += 11) {
-      attack::AttackConfig ac;
-      ac.pattern.kind = attack::PatternKind::kDoubleSided;
-      ac.pattern.victim_row = v;
-      ac.pattern.rows_in_bank = dev.geometry().rows;
-      ac.max_iterations = args.quick ? 20'000 : 60'000;
-      const auto res = attack::Attacker(ac).run(mc);
-      for (const auto& [d, n] : res.flips_by_distance) by_distance[d] += n;
+    // --- (b) distance-2 weight ----------------------------------------------------
+    const double w_grid[] = {0.0, 0.03, 0.15};
+    sim::Campaign d2_grid("distance2", harness.config());
+    // Job = one coupling weight (its victims share one wearing
+    // device+controller): {flips_d1, flips_d2}.
+    const auto d2_results = d2_grid.map_journaled<bench::GridResult>(
+        std::size(w_grid),
+        [&](const sim::JobContext& ctx) {
+          dram::DeviceConfig dc = ablation_device(1603);
+          dc.reliability.distance2_weight = w_grid[ctx.index];
+          dc.reliability.dpd_sensitivity_mean = 0.0;
+          dc.reliability.anticell_fraction = 0.0;
+          dc.reliability.hc50 = 8e3;  // low so the weak d2 coupling can bite
+          dram::Device dev(dc);
+          ctrl::MemoryController mc(dev, ctrl::CtrlConfig{});
+          std::map<std::uint32_t, std::uint64_t> by_distance;
+          for (std::uint32_t v = 4; v + 4 < dev.geometry().rows; v += 11) {
+            attack::AttackConfig ac;
+            ac.pattern.kind = attack::PatternKind::kDoubleSided;
+            ac.pattern.victim_row = v;
+            ac.pattern.rows_in_bank = dev.geometry().rows;
+            ac.max_iterations = args.quick ? 20'000 : 60'000;
+            const auto res = attack::Attacker(ac).run(mc);
+            for (const auto& [d, n] : res.flips_by_distance)
+              by_distance[d] += n;
+          }
+          bench::GridResult g;
+          g.push(by_distance.count(1) ? by_distance[1] : 0);
+          g.push(by_distance.count(2) ? by_distance[2] : 0);
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> d2_skipped = harness.report(d2_grid);
+
+    Table d2_t({"distance2_weight", "flips_d1", "flips_d2"});
+    std::uint64_t d2_flips_zero = 1, d2_flips_on = 0;
+    for (std::size_t i = 0; i < std::size(w_grid); ++i) {
+      if (d2_skipped.count(i)) continue;
+      const double w = w_grid[i];
+      const auto& u = d2_results[i].u64s;
+      d2_t.add_row({w, u[0], u[1]});
+      if (w == 0.0) d2_flips_zero = u[1];
+      if (w == 0.15) d2_flips_on = u[1];
     }
-    const std::uint64_t d1 = by_distance.count(1) ? by_distance[1] : 0;
-    const std::uint64_t d2 = by_distance.count(2) ? by_distance[2] : 0;
-    d2_t.add_row({w, d1, d2});
-    if (w == 0.0) d2_flips_zero = d2;
-    if (w == 0.15) d2_flips_on = d2;
-  }
-  bench::emit(d2_t, args, "distance2");
+    bench::emit(d2_t, args, "distance2");
 
-  // --- (c) SPD adjacency x remap scheme for PARA --------------------------------
-  Table spd_t({"remap", "adjacency", "raw_flips"});
-  std::map<std::string, std::uint64_t> spd_flips;
-  for (const auto& [rname, scheme] :
-       {std::pair{"identity", dram::RemapScheme::kIdentity},
-        std::pair{"mirror", dram::RemapScheme::kMirrorBlocks},
-        std::pair{"scramble", dram::RemapScheme::kScramble}}) {
-    for (const bool use_spd : {true, false}) {
-      dram::DeviceConfig dc = ablation_device(1605);
-      dc.remap = scheme;
-      dc.reliability.dpd_sensitivity_mean = 0.0;
-      dc.reliability.anticell_fraction = 0.0;
-      ctrl::CtrlConfig cc;
-      cc.use_spd_adjacency = use_spd;
-      MitigationSpec spec;
-      spec.kind = MitigationKind::kPara;
-      spec.para.probability = 0.02;
-      auto sys = make_system(dc, cc, spec);
-      // Hammer an aggressor whose true physical neighbour has weak cells.
-      std::uint32_t aggressor = 0;
-      for (std::uint32_t r = 2; r + 2 < sys.dev().geometry().rows && !aggressor;
-           ++r)
-        for (std::uint32_t n : sys.dev().spd_neighbors(r))
-          if (sys.dev().fault_map().row_has_weak(
-                  0, sys.dev().remap().to_physical(n)))
-            aggressor = r;
-      const std::uint32_t dummy =
-          (aggressor + sys.dev().geometry().rows / 2) %
-          (sys.dev().geometry().rows - 4) + 2;
-      for (int i = 0; i < (args.quick ? 30'000 : 80'000); ++i) {
-        sys.mc().activate_precharge(0, aggressor);
-        sys.mc().activate_precharge(0, dummy);
-      }
-      for (std::uint32_t n : sys.dev().spd_neighbors(aggressor))
-        sys.mc().activate_precharge(0, n);
-      const auto flips = sys.dev().stats().disturb_flips;
-      spd_t.add_row({std::string(rname), std::string(use_spd ? "SPD" : "naive"),
-                     flips});
+    // --- (c) SPD adjacency x remap scheme for PARA --------------------------------
+    const std::pair<const char*, dram::RemapScheme> remaps[] = {
+        {"identity", dram::RemapScheme::kIdentity},
+        {"mirror", dram::RemapScheme::kMirrorBlocks},
+        {"scramble", dram::RemapScheme::kScramble}};
+    sim::Campaign spd_grid("spd", harness.config());
+    // Job = (remap, adjacency source) cell: {raw_flips}. Inner order is
+    // SPD first, then naive, matching the serial sweep.
+    const auto spd_results = spd_grid.map_journaled<bench::GridResult>(
+        std::size(remaps) * 2,
+        [&](const sim::JobContext& ctx) {
+          const auto scheme = remaps[ctx.index / 2].second;
+          const bool use_spd = (ctx.index % 2) == 0;
+          dram::DeviceConfig dc = ablation_device(1605);
+          dc.remap = scheme;
+          dc.reliability.dpd_sensitivity_mean = 0.0;
+          dc.reliability.anticell_fraction = 0.0;
+          ctrl::CtrlConfig cc;
+          cc.use_spd_adjacency = use_spd;
+          MitigationSpec spec;
+          spec.kind = MitigationKind::kPara;
+          spec.para.probability = 0.02;
+          auto sys = make_system(dc, cc, spec);
+          // Hammer an aggressor whose true physical neighbour has weak cells.
+          std::uint32_t aggressor = 0;
+          for (std::uint32_t r = 2;
+               r + 2 < sys.dev().geometry().rows && !aggressor; ++r)
+            for (std::uint32_t n : sys.dev().spd_neighbors(r))
+              if (sys.dev().fault_map().row_has_weak(
+                      0, sys.dev().remap().to_physical(n)))
+                aggressor = r;
+          const std::uint32_t dummy =
+              (aggressor + sys.dev().geometry().rows / 2) %
+              (sys.dev().geometry().rows - 4) + 2;
+          for (int i = 0; i < (args.quick ? 30'000 : 80'000); ++i) {
+            sys.mc().activate_precharge(0, aggressor);
+            sys.mc().activate_precharge(0, dummy);
+          }
+          for (std::uint32_t n : sys.dev().spd_neighbors(aggressor))
+            sys.mc().activate_precharge(0, n);
+          bench::GridResult g;
+          g.push(sys.dev().stats().disturb_flips);
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> spd_skipped = harness.report(spd_grid);
+
+    Table spd_t({"remap", "adjacency", "raw_flips"});
+    std::map<std::string, std::uint64_t> spd_flips;
+    for (std::size_t i = 0; i < std::size(remaps) * 2; ++i) {
+      if (spd_skipped.count(i)) continue;
+      const char* rname = remaps[i / 2].first;
+      const bool use_spd = (i % 2) == 0;
+      const std::uint64_t flips = spd_results[i].u64s[0];
+      spd_t.add_row({std::string(rname),
+                     std::string(use_spd ? "SPD" : "naive"), flips});
       spd_flips[std::string(rname) + (use_spd ? "+spd" : "+naive")] = flips;
     }
-  }
-  bench::emit(spd_t, args, "spd_adjacency");
+    bench::emit(spd_t, args, "spd_adjacency");
 
-  // --- (d) TRR tracker size vs aggressor count ----------------------------------
-  Table trr_t({"tracker_entries", "aggressors", "raw_flips"});
-  bool boundary_holds = true;
-  for (const std::uint32_t entries : {2u, 4u, 8u}) {
-    for (const std::uint32_t aggressors : {2u, 6u, 12u, 24u}) {
-      dram::DeviceConfig dc = ablation_device(1607);
-      dc.reliability.dpd_sensitivity_mean = 0.0;
-      dc.reliability.anticell_fraction = 0.0;
-      MitigationSpec spec;
-      spec.kind = MitigationKind::kTrr;
-      spec.trr.tracker_entries = entries;
-      auto sys = make_system(dc, ctrl::CtrlConfig{}, spec);
-      const std::uint32_t victim = weak_victim(sys.dev());
-      attack::PatternConfig pc;
-      pc.kind = aggressors == 2 ? attack::PatternKind::kDoubleSided
-                                : attack::PatternKind::kManySided;
-      pc.victim_row = victim;
-      pc.rows_in_bank = sys.dev().geometry().rows;
-      pc.n_aggressors = aggressors;
-      attack::HammerPattern pattern(pc);
-      std::vector<std::uint32_t> rows;
-      const int iters = args.quick ? 20'000 : 50'000;
-      for (int i = 0; i < iters; ++i) {
-        rows.clear();
-        pattern.iteration_rows(static_cast<std::uint64_t>(i), rows);
-        for (std::uint32_t r : rows) sys.mc().activate_precharge(0, r);
-      }
-      sys.mc().activate_precharge(0, victim);
-      const auto flips = sys.dev().stats().disturb_flips;
-      trr_t.add_row({std::uint64_t{entries}, std::uint64_t{aggressors}, flips});
+    // --- (d) TRR tracker size vs aggressor count ----------------------------------
+    const std::uint32_t entries_grid[] = {2u, 4u, 8u};
+    const std::uint32_t agg_grid[] = {2u, 6u, 12u, 24u};
+    sim::Campaign trr_grid("trr", harness.config());
+    // Job = (tracker entries, aggressor count) cell: {raw_flips}.
+    const auto trr_results = trr_grid.map_journaled<bench::GridResult>(
+        std::size(entries_grid) * std::size(agg_grid),
+        [&](const sim::JobContext& ctx) {
+          const std::uint32_t entries =
+              entries_grid[ctx.index / std::size(agg_grid)];
+          const std::uint32_t aggressors =
+              agg_grid[ctx.index % std::size(agg_grid)];
+          dram::DeviceConfig dc = ablation_device(1607);
+          dc.reliability.dpd_sensitivity_mean = 0.0;
+          dc.reliability.anticell_fraction = 0.0;
+          MitigationSpec spec;
+          spec.kind = MitigationKind::kTrr;
+          spec.trr.tracker_entries = entries;
+          auto sys = make_system(dc, ctrl::CtrlConfig{}, spec);
+          const std::uint32_t victim = weak_victim(sys.dev());
+          attack::PatternConfig pc;
+          pc.kind = aggressors == 2 ? attack::PatternKind::kDoubleSided
+                                    : attack::PatternKind::kManySided;
+          pc.victim_row = victim;
+          pc.rows_in_bank = sys.dev().geometry().rows;
+          pc.n_aggressors = aggressors;
+          attack::HammerPattern pattern(pc);
+          std::vector<std::uint32_t> rows;
+          const int iters = args.quick ? 20'000 : 50'000;
+          for (int i = 0; i < iters; ++i) {
+            rows.clear();
+            pattern.iteration_rows(static_cast<std::uint64_t>(i), rows);
+            for (std::uint32_t r : rows) sys.mc().activate_precharge(0, r);
+          }
+          sys.mc().activate_precharge(0, victim);
+          bench::GridResult g;
+          g.push(sys.dev().stats().disturb_flips);
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> trr_skipped = harness.report(trr_grid);
+
+    Table trr_t({"tracker_entries", "aggressors", "raw_flips"});
+    bool boundary_holds = true;
+    for (std::size_t i = 0; i < std::size(entries_grid) * std::size(agg_grid);
+         ++i) {
+      if (trr_skipped.count(i)) continue;
+      const std::uint32_t entries = entries_grid[i / std::size(agg_grid)];
+      const std::uint32_t aggressors = agg_grid[i % std::size(agg_grid)];
+      const std::uint64_t flips = trr_results[i].u64s[0];
+      trr_t.add_row({std::uint64_t{entries}, std::uint64_t{aggressors},
+                     flips});
       // Expected boundary: protected when aggressors fit the tracker.
       if (aggressors <= entries && flips != 0) boundary_holds = false;
     }
-  }
-  bench::emit(trr_t, args, "trr_boundary");
+    bench::emit(trr_t, args, "trr_boundary");
 
-  // --- (e) page policy x one-location hammering ---------------------------------
-  // Repeatedly *reading* one address only hammers if each read re-activates
-  // the row: open-page systems coalesce the accesses into row hits, closed-
-  // page systems re-activate every time (why one-location hammering works
-  // on some platforms).
-  Table page_t({"page_policy", "row_hits", "activates", "raw_flips"});
-  std::uint64_t flips_open = 0, flips_closed = 0;
-  for (const auto policy : {ctrl::PagePolicy::kOpen, ctrl::PagePolicy::kClosed}) {
-    dram::DeviceConfig dc = ablation_device(1609);
-    dc.reliability.dpd_sensitivity_mean = 0.0;
-    dc.reliability.anticell_fraction = 0.0;
-    dc.reliability.hc50 = 10e3;
-    ctrl::CtrlConfig cc;
-    cc.page_policy = policy;
-    auto sys = make_system(dc, cc, {});
-    const std::uint32_t victim = weak_victim(sys.dev());
-    const int iters = args.quick ? 20'000 : 50'000;
-    for (int i = 0; i < iters; ++i)
-      sys.mc().read_block({0, 0, 0, victim + 1, 0});  // ONE address
-    sys.mc().activate_precharge(0, victim);
-    const auto flips = sys.dev().stats().disturb_flips;
-    page_t.add_row({std::string(policy == ctrl::PagePolicy::kOpen ? "open"
-                                                                  : "closed"),
-                    sys.mc().stats().row_hits,
-                    sys.dev().stats().activates, flips});
-    (policy == ctrl::PagePolicy::kOpen ? flips_open : flips_closed) = flips;
-  }
-  bench::emit(page_t, args, "page_policy");
+    // --- (e) page policy x one-location hammering ---------------------------------
+    // Repeatedly *reading* one address only hammers if each read re-activates
+    // the row: open-page systems coalesce the accesses into row hits, closed-
+    // page systems re-activate every time (why one-location hammering works
+    // on some platforms).
+    sim::Campaign page_grid("page", harness.config());
+    // Job = one page policy: {row_hits, activates, raw_flips}.
+    const auto page_results = page_grid.map_journaled<bench::GridResult>(
+        2,
+        [&](const sim::JobContext& ctx) {
+          const auto policy = ctx.index == 0 ? ctrl::PagePolicy::kOpen
+                                             : ctrl::PagePolicy::kClosed;
+          dram::DeviceConfig dc = ablation_device(1609);
+          dc.reliability.dpd_sensitivity_mean = 0.0;
+          dc.reliability.anticell_fraction = 0.0;
+          dc.reliability.hc50 = 10e3;
+          ctrl::CtrlConfig cc;
+          cc.page_policy = policy;
+          auto sys = make_system(dc, cc, {});
+          const std::uint32_t victim = weak_victim(sys.dev());
+          const int iters = args.quick ? 20'000 : 50'000;
+          for (int i = 0; i < iters; ++i)
+            sys.mc().read_block({0, 0, 0, victim + 1, 0});  // ONE address
+          sys.mc().activate_precharge(0, victim);
+          bench::GridResult g;
+          g.push(sys.mc().stats().row_hits);
+          g.push(sys.dev().stats().activates);
+          g.push(sys.dev().stats().disturb_flips);
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> page_skipped = harness.report(page_grid);
 
-  // --- (f) Half-Double: the mitigation as the aggressor --------------------------
-  // Distance-2 coupling disabled: the only path from the distance-2
-  // aggressors to the victim is TRR's own targeted refreshes of the
-  // distance-1 rows (each refresh is an activation).
-  Table hd_t({"mitigation", "victim_flips"});
-  std::uint64_t hd_none = 1, hd_trr = 0;
-  for (const bool with_trr : {false, true}) {
-    dram::DeviceConfig dc = ablation_device(1611);
-    dc.reliability.distance2_weight = 0.0;
-    dc.reliability.hc50 = 3e3;
-    dc.reliability.hc_sigma = 0.25;
-    dc.reliability.dpd_sensitivity_mean = 0.0;
-    dc.reliability.anticell_fraction = 0.0;
-    MitigationSpec spec;
-    if (with_trr) spec.kind = MitigationKind::kTrr;
-    auto sys = make_system(dc, ctrl::CtrlConfig{}, spec);
-    std::uint32_t victim = 0;
-    for (std::uint32_t r : sys.dev().fault_map().weak_rows(0))
-      if (r >= 4 && r + 4 < sys.dev().geometry().rows) {
-        victim = r;
-        break;
-      }
-    const int iters = args.quick ? 400'000 : 700'000;
-    for (int i = 0; i < iters; ++i) {
-      sys.mc().activate_precharge(0, victim - 2);
-      sys.mc().activate_precharge(0, victim + 2);
+    Table page_t({"page_policy", "row_hits", "activates", "raw_flips"});
+    std::uint64_t flips_open = 0, flips_closed = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      if (page_skipped.count(i)) continue;
+      const bool open = i == 0;
+      const auto& u = page_results[i].u64s;
+      page_t.add_row({std::string(open ? "open" : "closed"), u[0], u[1],
+                      u[2]});
+      (open ? flips_open : flips_closed) = u[2];
     }
-    sys.mc().activate_precharge(0, victim);
-    std::uint64_t flips = 0;
-    for (const auto& ev : sys.dev().flip_events())
-      flips += ev.logical_row == victim;
-    hd_t.add_row({std::string(with_trr ? "TRR(4)" : "none"), flips});
-    (with_trr ? hd_trr : hd_none) = flips;
-  }
-  bench::emit(hd_t, args, "half_double");
+    bench::emit(page_t, args, "page_policy");
 
-  std::cout << "\n(design-decision ablations; see DESIGN.md §5)\n";
-  bench::shape("DPD modulation creates the pattern-dependence gap",
-               ratio_on > 2.0 * std::max(ratio_off, 0.1));
-  bench::shape("distance-2 victims exist only with the coupling term",
-               d2_flips_zero == 0 && d2_flips_on > 0);
-  bench::shape("PARA with SPD protects under every remap",
-               spd_flips["identity+spd"] == 0 &&
-                   spd_flips["mirror+spd"] == 0 &&
-                   spd_flips["scramble+spd"] == 0);
-  bench::shape("naive adjacency fails under non-identity remaps",
-               spd_flips["mirror+naive"] + spd_flips["scramble+naive"] > 0);
-  bench::shape("TRR protects exactly when aggressors fit the tracker",
-               boundary_holds);
-  bench::shape("one-location hammering works closed-page, not open-page",
-               flips_closed > 0 && flips_open == 0);
-  bench::shape("Half-Double: TRR's own refreshes hammer the victim",
-               hd_none == 0 && hd_trr > 0);
-  return 0;
+    // --- (f) Half-Double: the mitigation as the aggressor --------------------------
+    // Distance-2 coupling disabled: the only path from the distance-2
+    // aggressors to the victim is TRR's own targeted refreshes of the
+    // distance-1 rows (each refresh is an activation).
+    sim::Campaign hd_grid("half-double", harness.config());
+    // Job = with/without TRR: {victim_flips}.
+    const auto hd_results = hd_grid.map_journaled<bench::GridResult>(
+        2,
+        [&](const sim::JobContext& ctx) {
+          const bool with_trr = ctx.index == 1;
+          dram::DeviceConfig dc = ablation_device(1611);
+          dc.reliability.distance2_weight = 0.0;
+          dc.reliability.hc50 = 3e3;
+          dc.reliability.hc_sigma = 0.25;
+          dc.reliability.dpd_sensitivity_mean = 0.0;
+          dc.reliability.anticell_fraction = 0.0;
+          MitigationSpec spec;
+          if (with_trr) spec.kind = MitigationKind::kTrr;
+          auto sys = make_system(dc, ctrl::CtrlConfig{}, spec);
+          std::uint32_t victim = 0;
+          for (std::uint32_t r : sys.dev().fault_map().weak_rows(0))
+            if (r >= 4 && r + 4 < sys.dev().geometry().rows) {
+              victim = r;
+              break;
+            }
+          const int iters = args.quick ? 400'000 : 700'000;
+          for (int i = 0; i < iters; ++i) {
+            sys.mc().activate_precharge(0, victim - 2);
+            sys.mc().activate_precharge(0, victim + 2);
+          }
+          sys.mc().activate_precharge(0, victim);
+          std::uint64_t flips = 0;
+          for (const auto& ev : sys.dev().flip_events())
+            flips += ev.logical_row == victim;
+          bench::GridResult g;
+          g.push(flips);
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> hd_skipped = harness.report(hd_grid);
+
+    Table hd_t({"mitigation", "victim_flips"});
+    std::uint64_t hd_none = 1, hd_trr = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      if (hd_skipped.count(i)) continue;
+      const bool with_trr = i == 1;
+      const std::uint64_t flips = hd_results[i].u64s[0];
+      hd_t.add_row({std::string(with_trr ? "TRR(4)" : "none"), flips});
+      (with_trr ? hd_trr : hd_none) = flips;
+    }
+    bench::emit(hd_t, args, "half_double");
+
+    // Post-merge simulation metrics: main-thread, retry-safe, width-stable.
+    auto& metrics = harness.metrics();
+    metrics.set("ablations.dpd_ratio_on", ratio_on);
+    metrics.add("ablations.d2_flips_on", d2_flips_on);
+    metrics.add("ablations.hd_trr_flips", hd_trr);
+
+    std::cout << "\n(design-decision ablations; see DESIGN.md §5)\n";
+    bench::shape("DPD modulation creates the pattern-dependence gap",
+                 ratio_on > 2.0 * std::max(ratio_off, 0.1));
+    bench::shape("distance-2 victims exist only with the coupling term",
+                 d2_flips_zero == 0 && d2_flips_on > 0);
+    bench::shape("PARA with SPD protects under every remap",
+                 spd_flips["identity+spd"] == 0 &&
+                     spd_flips["mirror+spd"] == 0 &&
+                     spd_flips["scramble+spd"] == 0);
+    bench::shape("naive adjacency fails under non-identity remaps",
+                 spd_flips["mirror+naive"] + spd_flips["scramble+naive"] > 0);
+    bench::shape("TRR protects exactly when aggressors fit the tracker",
+                 boundary_holds);
+    bench::shape("one-location hammering works closed-page, not open-page",
+                 flips_closed > 0 && flips_open == 0);
+    bench::shape("Half-Double: TRR's own refreshes hammer the victim",
+                 hd_none == 0 && hd_trr > 0);
+    return 0;
+  });
 }

@@ -6,14 +6,21 @@
 // errors, all of which occur in rows other than the one being accessed";
 // victims are overwhelmingly physically adjacent; error counts depend on
 // the stored data pattern.
+//
+// The read/write halves and the four data patterns each build their own
+// system, so those sections are sim::Campaign grids. The victim-distance
+// sweep hammers many victims through ONE shared controller (wear
+// accumulates across victims by design), so it runs as a single job.
 #include <array>
 #include <iostream>
 #include <map>
+#include <set>
 
 #include "bench_util.h"
 #include "attack/attacker.h"
 #include "core/module_tester.h"
 #include "core/system.h"
+#include "sim/campaign.h"
 
 using namespace densemem;
 using namespace densemem::attack;
@@ -43,105 +50,169 @@ std::uint32_t weak_victim(dram::Device& dev) {
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
-  bench::banner("E6", "§II-A",
-                "read- vs write-hammer, victim adjacency, data-pattern "
-                "dependence");
+  return bench::run_guarded([&]() -> int {
+    bench::banner("E6", "§II-A",
+                  "read- vs write-hammer, victim adjacency, data-pattern "
+                  "dependence",
+                  args);
 
-  const std::uint64_t iters = args.quick ? 15'000 : 40'000;
+    const std::uint64_t iters = args.quick ? 15'000 : 40'000;
+    bench::CampaignHarness harness(args, /*default_seed=*/6);
 
-  // --- (a) read-hammer vs write-hammer -------------------------------------
-  Table rw({"access_type", "raw_flips", "flips_in_aggressor_rows"});
-  std::uint64_t read_flips = 0, write_flips = 0, total_aggressor_flips = 0;
-  for (const bool writes : {false, true}) {
-    auto sys =
-        core::make_system(pattern_device(), ctrl::CtrlConfig{}, {});
-    auto& dev = sys.dev();
-    dev.fill_all(dram::BackgroundPattern::kOnes, sys.mc().now());
-    const std::uint32_t victim = weak_victim(dev);
-    std::array<std::uint64_t, 8> junk;
-    junk.fill(0xFFFFFFFFFFFFFFFFull);  // writes preserve the ones pattern
-    for (std::uint64_t i = 0; i < iters; ++i) {
-      for (const std::uint32_t agg : {victim - 1, victim + 1}) {
-        if (writes)
-          sys.mc().write_block({0, 0, 0, agg, 0}, junk);
-        else
-          sys.mc().read_block({0, 0, 0, agg, 0});
-      }
+    // --- (a) read-hammer vs write-hammer -------------------------------------
+    sim::Campaign rw_grid("read-write", harness.config());
+    // Job = one access type on its own system: {disturb_flips, agg_flips}.
+    const auto rw_results = rw_grid.map_journaled<bench::GridResult>(
+        2,
+        [&](const sim::JobContext& ctx) {
+          const bool writes = ctx.index == 1;
+          auto sys =
+              core::make_system(pattern_device(), ctrl::CtrlConfig{}, {});
+          auto& dev = sys.dev();
+          dev.fill_all(dram::BackgroundPattern::kOnes, sys.mc().now());
+          const std::uint32_t victim = weak_victim(dev);
+          std::array<std::uint64_t, 8> junk;
+          junk.fill(0xFFFFFFFFFFFFFFFFull);  // writes preserve the ones pattern
+          for (std::uint64_t i = 0; i < iters; ++i) {
+            for (const std::uint32_t agg : {victim - 1, victim + 1}) {
+              if (writes)
+                sys.mc().write_block({0, 0, 0, agg, 0}, junk);
+              else
+                sys.mc().read_block({0, 0, 0, agg, 0});
+            }
+          }
+          sys.mc().activate_precharge(0, victim);
+          // Any flips inside the aggressor rows themselves?
+          std::uint64_t agg_flips = 0;
+          for (const auto& ev : dev.flip_events())
+            if (ev.logical_row == victim - 1 || ev.logical_row == victim + 1)
+              ++agg_flips;
+          bench::GridResult g;
+          g.push(dev.stats().disturb_flips);
+          g.push(agg_flips);
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> rw_skipped = harness.report(rw_grid);
+
+    Table rw({"access_type", "raw_flips", "flips_in_aggressor_rows"});
+    std::uint64_t read_flips = 0, write_flips = 0, total_aggressor_flips = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      if (rw_skipped.count(i)) continue;
+      const bool writes = i == 1;
+      const auto& u = rw_results[i].u64s;
+      rw.add_row({std::string(writes ? "write-hammer" : "read-hammer"), u[0],
+                  u[1]});
+      (writes ? write_flips : read_flips) = u[0];
+      total_aggressor_flips += u[1];
     }
-    sys.mc().activate_precharge(0, victim);
-    // Any flips inside the aggressor rows themselves?
-    std::uint64_t agg_flips = 0;
-    for (const auto& ev : dev.flip_events())
-      if (ev.logical_row == victim - 1 || ev.logical_row == victim + 1)
-        ++agg_flips;
-    rw.add_row({std::string(writes ? "write-hammer" : "read-hammer"),
-                dev.stats().disturb_flips, agg_flips});
-    (writes ? write_flips : read_flips) = dev.stats().disturb_flips;
-    total_aggressor_flips += agg_flips;
-  }
-  bench::emit(rw, args, "read_vs_write");
+    bench::emit(rw, args, "read_vs_write");
 
-  // --- (b) victim distance histogram ---------------------------------------
-  dram::DeviceConfig dc = pattern_device(911);
-  dc.reliability.weak_cell_density = 4e-3;
-  dram::Device dev(dc);
-  ctrl::MemoryController mc(dev, ctrl::CtrlConfig{});
-  std::map<std::uint32_t, std::uint64_t> by_distance;
-  std::uint64_t victims_tested = 0;
-  for (std::uint32_t v = 4; v + 4 < dev.geometry().rows; v += 9) {
-    AttackConfig ac;
-    ac.pattern.kind = PatternKind::kDoubleSided;
-    ac.pattern.victim_row = v;
-    ac.pattern.rows_in_bank = dev.geometry().rows;
-    ac.max_iterations = args.quick ? 10'000 : 25'000;
-    const auto res = Attacker(ac).run(mc);
-    for (const auto& [d, n] : res.flips_by_distance) by_distance[d] += n;
-    ++victims_tested;
-  }
-  Table dist({"distance_from_aggressor", "flips", "fraction"});
-  dist.set_precision(4);
-  std::uint64_t total = 0;
-  for (const auto& [d, n] : by_distance) total += n;
-  for (const auto& [d, n] : by_distance)
-    dist.add_row({std::uint64_t{d}, n,
-                  total ? static_cast<double>(n) / total : 0.0});
-  bench::emit(dist, args, "victim_distance");
+    // --- (b) victim distance histogram ---------------------------------------
+    sim::Campaign dist_grid("victim-distance", harness.config());
+    // One job: all victims share one device+controller (wear accumulates
+    // across the sweep), so they stay serial inside it; returns the merged
+    // histogram as (distance, flips) pairs.
+    const auto dist_results = dist_grid.map_journaled<bench::GridResult>(
+        1,
+        [&](const sim::JobContext&) {
+          dram::DeviceConfig dc = pattern_device(911);
+          dc.reliability.weak_cell_density = 4e-3;
+          dram::Device dev(dc);
+          ctrl::MemoryController mc(dev, ctrl::CtrlConfig{});
+          std::map<std::uint32_t, std::uint64_t> by_distance;
+          for (std::uint32_t v = 4; v + 4 < dev.geometry().rows; v += 9) {
+            AttackConfig ac;
+            ac.pattern.kind = PatternKind::kDoubleSided;
+            ac.pattern.victim_row = v;
+            ac.pattern.rows_in_bank = dev.geometry().rows;
+            ac.max_iterations = args.quick ? 10'000 : 25'000;
+            const auto res = Attacker(ac).run(mc);
+            for (const auto& [d, n] : res.flips_by_distance)
+              by_distance[d] += n;
+          }
+          bench::GridResult g;
+          for (const auto& [d, n] : by_distance) {
+            g.push(d);
+            g.push(n);
+          }
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> dist_skipped = harness.report(dist_grid);
 
-  // --- (c) data-pattern dependence ------------------------------------------
-  Table patterns({"data_pattern", "errors_per_1e9"});
-  patterns.set_scientific(true);
-  double rowstripe_rate = 0, solid_rate = 0;
-  for (const auto& [name, pat] :
-       {std::pair{"solid ones", dram::BackgroundPattern::kOnes},
-        std::pair{"solid zeros", dram::BackgroundPattern::kZeros},
-        std::pair{"rowstripe", dram::BackgroundPattern::kRowStripe},
-        std::pair{"checkerboard", dram::BackgroundPattern::kCheckerboard}}) {
-    dram::DeviceConfig pdc = pattern_device(913);
-    pdc.reliability.dpd_sensitivity_mean = 0.7;
-    dram::Device pdev(pdc);
-    core::ModuleTestConfig tc;
-    tc.sample_rows = args.quick ? 200 : 500;
-    tc.patterns = {pat};
-    tc.hammer_count = 36'000;
-    const auto res = core::ModuleTester(tc).run(pdev);
-    patterns.add_row({std::string(name), res.errors_per_1e9_cells});
-    if (std::string(name) == "rowstripe") rowstripe_rate = res.errors_per_1e9_cells;
-    if (std::string(name) == "solid ones") solid_rate = res.errors_per_1e9_cells;
-  }
-  bench::emit(patterns, args, "data_patterns");
+    std::map<std::uint32_t, std::uint64_t> by_distance;
+    if (!dist_skipped.count(0)) {
+      const auto& u = dist_results[0].u64s;
+      for (std::size_t i = 0; i + 1 < u.size(); i += 2)
+        by_distance[static_cast<std::uint32_t>(u[i])] += u[i + 1];
+    }
+    Table dist({"distance_from_aggressor", "flips", "fraction"});
+    dist.set_precision(4);
+    std::uint64_t total = 0;
+    for (const auto& [d, n] : by_distance) total += n;
+    for (const auto& [d, n] : by_distance)
+      dist.add_row({std::uint64_t{d}, n,
+                    total ? static_cast<double>(n) / total : 0.0});
+    bench::emit(dist, args, "victim_distance");
 
-  std::cout << "\npaper: both access types hammer; victims adjacent; errors "
-               "depend on data pattern (ISCA'14 found rowstripe worst)\n";
-  bench::shape("read-hammer flips bits in rows it never addressed",
-               read_flips > 0);
-  bench::shape("write-hammer flips bits outside the written rows",
-               write_flips > 0);
-  bench::shape("no flips inside aggressor rows themselves",
-               total_aggressor_flips == 0);
-  const std::uint64_t d1 = by_distance.count(1) ? by_distance.at(1) : 0;
-  const std::uint64_t d2 = by_distance.count(2) ? by_distance.at(2) : 0;
-  bench::shape("adjacent (distance-1) victims dominate", d1 > 10 * d2);
-  bench::shape("rowstripe (antiparallel neighbours) beats solid patterns",
-               rowstripe_rate > solid_rate);
-  return 0;
+    // --- (c) data-pattern dependence ------------------------------------------
+    const std::pair<const char*, dram::BackgroundPattern> pats[] = {
+        {"solid ones", dram::BackgroundPattern::kOnes},
+        {"solid zeros", dram::BackgroundPattern::kZeros},
+        {"rowstripe", dram::BackgroundPattern::kRowStripe},
+        {"checkerboard", dram::BackgroundPattern::kCheckerboard}};
+    sim::Campaign pat_grid("data-patterns", harness.config());
+    // Job = one stored pattern on a fresh device: {errors_per_1e9}.
+    const auto pat_results = pat_grid.map_journaled<bench::GridResult>(
+        std::size(pats),
+        [&](const sim::JobContext& ctx) {
+          dram::DeviceConfig pdc = pattern_device(913);
+          pdc.reliability.dpd_sensitivity_mean = 0.7;
+          dram::Device pdev(pdc);
+          core::ModuleTestConfig tc;
+          tc.sample_rows = args.quick ? 200 : 500;
+          tc.patterns = {pats[ctx.index].second};
+          tc.hammer_count = 36'000;
+          const auto res = core::ModuleTester(tc).run(pdev);
+          bench::GridResult g;
+          g.push_f(res.errors_per_1e9_cells);
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> pat_skipped = harness.report(pat_grid);
+
+    Table patterns({"data_pattern", "errors_per_1e9"});
+    patterns.set_scientific(true);
+    double rowstripe_rate = 0, solid_rate = 0;
+    for (std::size_t i = 0; i < std::size(pats); ++i) {
+      if (pat_skipped.count(i)) continue;
+      const double rate = pat_results[i].f64s[0];
+      patterns.add_row({std::string(pats[i].first), rate});
+      if (std::string(pats[i].first) == "rowstripe") rowstripe_rate = rate;
+      if (std::string(pats[i].first) == "solid ones") solid_rate = rate;
+    }
+    bench::emit(patterns, args, "data_patterns");
+
+    // Post-merge simulation metrics: main-thread, retry-safe, width-stable.
+    auto& metrics = harness.metrics();
+    metrics.add("access_patterns.read_flips", read_flips);
+    metrics.add("access_patterns.write_flips", write_flips);
+    metrics.set("access_patterns.rowstripe_rate", rowstripe_rate);
+
+    std::cout << "\npaper: both access types hammer; victims adjacent; errors "
+                 "depend on data pattern (ISCA'14 found rowstripe worst)\n";
+    bench::shape("read-hammer flips bits in rows it never addressed",
+                 read_flips > 0);
+    bench::shape("write-hammer flips bits outside the written rows",
+                 write_flips > 0);
+    bench::shape("no flips inside aggressor rows themselves",
+                 total_aggressor_flips == 0);
+    const std::uint64_t d1 = by_distance.count(1) ? by_distance.at(1) : 0;
+    const std::uint64_t d2 = by_distance.count(2) ? by_distance.at(2) : 0;
+    bench::shape("adjacent (distance-1) victims dominate", d1 > 10 * d2);
+    bench::shape("rowstripe (antiparallel neighbours) beats solid patterns",
+                 rowstripe_rate > solid_rate);
+    return 0;
+  });
 }

@@ -5,13 +5,19 @@
 // TRR-era chips remain vulnerable [57]. We measure, per hammer pattern ×
 // mitigation: time-to-first-flip and exploit success of the PTE-spray
 // model — including the many-sided pattern that bypasses the TRR tracker.
+//
+// Every (pattern, mitigation) cell attacks its own freshly built system,
+// so the full matrix runs as one sim::Campaign grid; the table is
+// assembled post-merge and stays byte-identical at every --threads width.
 #include <iostream>
 #include <optional>
+#include <set>
 
 #include "bench_util.h"
 #include "attack/attacker.h"
 #include "attack/exploit.h"
 #include "core/system.h"
+#include "sim/campaign.h"
 
 using namespace densemem;
 using namespace densemem::attack;
@@ -103,63 +109,94 @@ Cell run_cell(PatternKind kind, const MitigationSpec& spec,
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
-  bench::banner("E7", "§II-B",
-                "pattern x mitigation: time-to-first-flip and PTE-exploit "
-                "takeover (incl. many-sided TRR bypass)");
+  return bench::run_guarded([&]() -> int {
+    bench::banner("E7", "§II-B",
+                  "pattern x mitigation: time-to-first-flip and PTE-exploit "
+                  "takeover (incl. many-sided TRR bypass)",
+                  args);
 
-  const std::uint64_t iters = args.quick ? 30'000 : 60'000;
+    const std::uint64_t iters = args.quick ? 30'000 : 60'000;
 
-  struct MitRow {
-    std::string name;
-    MitigationSpec spec;
-  };
-  std::vector<MitRow> mits;
-  mits.push_back({"none", {}});
-  {
-    MitigationSpec s;
-    s.kind = MitigationKind::kTrr;
-    s.trr.tracker_entries = 4;
-    mits.push_back({"TRR(4)", s});
-  }
-  {
-    MitigationSpec s;
-    s.kind = MitigationKind::kPara;
-    s.para.probability = 0.005;
-    mits.push_back({"PARA p=.005", s});
-  }
-
-  Table t({"pattern", "mitigation", "flips", "first_flip_ms", "takeover"});
-  t.set_precision(2);
-  bool none_double_takeover = false;
-  bool trr_double_protected = false, trr_many_bypassed = false;
-  bool para_all_protected = true;
-  for (const auto kind :
-       {PatternKind::kSingleSided, PatternKind::kDoubleSided,
-        PatternKind::kOneLocation, PatternKind::kManySided,
-        PatternKind::kRandom}) {
-    for (const auto& m : mits) {
-      const Cell c = run_cell(kind, m.spec, iters);
-      t.add_row({std::string(pattern_name(kind)), m.name, c.flips,
-                 c.first_flip_ms ? *c.first_flip_ms : -1.0,
-                 std::string(c.takeover ? "YES" : "no")});
-      if (kind == PatternKind::kDoubleSided && m.name == "none")
-        none_double_takeover = c.takeover;
-      if (kind == PatternKind::kDoubleSided && m.name == "TRR(4)")
-        trr_double_protected = (c.flips == 0);
-      if (kind == PatternKind::kManySided && m.name == "TRR(4)")
-        trr_many_bypassed = (c.flips > 0);
-      if (m.name == "PARA p=.005" && c.flips != 0) para_all_protected = false;
+    struct MitRow {
+      std::string name;
+      MitigationSpec spec;
+    };
+    std::vector<MitRow> mits;
+    mits.push_back({"none", {}});
+    {
+      MitigationSpec s;
+      s.kind = MitigationKind::kTrr;
+      s.trr.tracker_entries = 4;
+      mits.push_back({"TRR(4)", s});
     }
-  }
-  bench::emit(t, args);
+    {
+      MitigationSpec s;
+      s.kind = MitigationKind::kPara;
+      s.para.probability = 0.005;
+      mits.push_back({"PARA p=.005", s});
+    }
+    const PatternKind kinds[] = {PatternKind::kSingleSided,
+                                 PatternKind::kDoubleSided,
+                                 PatternKind::kOneLocation,
+                                 PatternKind::kManySided, PatternKind::kRandom};
 
-  std::cout << "\npaper: practical takeovers demonstrated on real systems; "
-               "DDR4-era TRR still bypassable [57]\n";
-  bench::shape("double-sided + no mitigation achieves takeover",
-               none_double_takeover);
-  bench::shape("TRR stops double-sided", trr_double_protected);
-  bench::shape("TRR bypassed by many-sided (TRRespass effect)",
-               trr_many_bypassed);
-  bench::shape("PARA protects against every pattern", para_all_protected);
-  return 0;
+    bench::CampaignHarness harness(args, /*default_seed=*/7);
+    sim::Campaign campaign("attack-matrix", harness.config());
+    // Job = (pattern, mitigation) cell: {flips, takeover | first_flip_ms,
+    // with -1 encoding "never flipped"}.
+    const auto results = campaign.map_journaled<bench::GridResult>(
+        std::size(kinds) * mits.size(),
+        [&](const sim::JobContext& ctx) {
+          const Cell c = run_cell(kinds[ctx.index / mits.size()],
+                                  mits[ctx.index % mits.size()].spec, iters);
+          bench::GridResult g;
+          g.push(c.flips);
+          g.push(c.takeover ? 1 : 0);
+          g.push_f(c.first_flip_ms ? *c.first_flip_ms : -1.0);
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> skipped = harness.report(campaign);
+
+    Table t({"pattern", "mitigation", "flips", "first_flip_ms", "takeover"});
+    t.set_precision(2);
+    bool none_double_takeover = false;
+    bool trr_double_protected = false, trr_many_bypassed = false;
+    bool para_all_protected = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (skipped.count(i)) continue;
+      const auto kind = kinds[i / mits.size()];
+      const auto& m = mits[i % mits.size()];
+      const std::uint64_t flips = results[i].u64s[0];
+      const bool takeover = results[i].u64s[1] != 0;
+      t.add_row({std::string(pattern_name(kind)), m.name, flips,
+                 results[i].f64s[0], std::string(takeover ? "YES" : "no")});
+      if (kind == PatternKind::kDoubleSided && m.name == "none")
+        none_double_takeover = takeover;
+      if (kind == PatternKind::kDoubleSided && m.name == "TRR(4)")
+        trr_double_protected = (flips == 0);
+      if (kind == PatternKind::kManySided && m.name == "TRR(4)")
+        trr_many_bypassed = (flips > 0);
+      if (m.name == "PARA p=.005" && flips != 0) para_all_protected = false;
+    }
+    bench::emit(t, args);
+
+    // Post-merge simulation metrics: main-thread, retry-safe, width-stable.
+    auto& metrics = harness.metrics();
+    metrics.add("attack_surface.none_double_takeover",
+                none_double_takeover ? 1 : 0);
+    metrics.add("attack_surface.trr_many_bypassed", trr_many_bypassed ? 1 : 0);
+    metrics.add("attack_surface.para_all_protected",
+                para_all_protected ? 1 : 0);
+
+    std::cout << "\npaper: practical takeovers demonstrated on real systems; "
+                 "DDR4-era TRR still bypassable [57]\n";
+    bench::shape("double-sided + no mitigation achieves takeover",
+                 none_double_takeover);
+    bench::shape("TRR stops double-sided", trr_double_protected);
+    bench::shape("TRR bypassed by many-sided (TRRespass effect)",
+                 trr_many_bypassed);
+    bench::shape("PARA protects against every pattern", para_all_protected);
+    return 0;
+  });
 }

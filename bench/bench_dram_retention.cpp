@@ -5,11 +5,17 @@
 // past profiling into the field; multi-rate refresh (RAIDR [68]) saves
 // refresh energy but needs correct bins; AVATAR [84] handles VRT with
 // ECC-guided online upgrades. This bench reproduces each piece.
+//
+// Intervals, profiling patterns, and RAIDR policies each use their own
+// device, so those sections are sim::Campaign grids. The VRT section
+// re-profiles ONE device across rounds (the whole point is state carried
+// between rounds), so it runs as a single job.
 #include <iostream>
 #include <set>
 
 #include "bench_util.h"
 #include "ctrl/controller.h"
+#include "sim/campaign.h"
 
 using namespace densemem;
 using namespace densemem::dram;
@@ -67,118 +73,200 @@ std::set<std::uint64_t> profile(Device& dev, std::int64_t interval_ms,
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
-  bench::banner("E8", "§III-A1",
-                "retention failures vs refresh interval; DPD profiling "
-                "misses; VRT escapes; RAIDR/AVATAR trade-offs");
+  return bench::run_guarded([&]() -> int {
+    bench::banner("E8", "§III-A1",
+                  "retention failures vs refresh interval; DPD profiling "
+                  "misses; VRT escapes; RAIDR/AVATAR trade-offs",
+                  args);
 
-  // --- (a) retention errors vs refresh interval ----------------------------
-  Table curve({"refresh_interval_ms", "retention_flips"});
-  std::uint64_t flips_64 = 0, flips_4096 = 0;
-  for (const std::int64_t ms : {64, 128, 256, 512, 1024, 2048, 4096}) {
-    DeviceConfig dc = retention_device(3001, 0.0);
-    dc.record_flip_events = false;
-    Device dev(dc);
-    // One long pass: refresh all rows after `ms` of elapsed time.
-    for (std::uint32_t b = 0; b < total_banks(dev.geometry()); ++b)
-      for (std::uint32_t r : dev.fault_map().leaky_rows(b))
-        dev.refresh_row(b, r, Time::ms(ms));
-    curve.add_row({std::int64_t{ms}, dev.stats().retention_flips});
-    if (ms == 64) flips_64 = dev.stats().retention_flips;
-    if (ms == 4096) flips_4096 = dev.stats().retention_flips;
-  }
-  bench::emit(curve, args, "interval_sweep");
+    bench::CampaignHarness harness(args, /*default_seed=*/8);
 
-  // --- (b) DPD: single-pattern profiling misses cells ----------------------
-  DeviceConfig dpd_cfg = retention_device(3003, 0.0);
-  dpd_cfg.record_flip_events = true;
-  Device dev_ones(dpd_cfg), dev_stripe(dpd_cfg);
-  const int rounds = args.quick ? 4 : 8;
-  const auto found_ones = profile(dev_ones, 512, rounds, BackgroundPattern::kOnes);
-  const auto found_stripe =
-      profile(dev_stripe, 512, rounds, BackgroundPattern::kRowStripe);
-  std::size_t stripe_only = 0;
-  for (std::uint64_t cell : found_stripe)
-    if (!found_ones.count(cell)) ++stripe_only;
-  Table dpd({"profile_pattern", "failing_cells_found"});
-  dpd.add_row({std::string("solid ones"), std::uint64_t{found_ones.size()}});
-  dpd.add_row({std::string("rowstripe (antiparallel)"),
-               std::uint64_t{found_stripe.size()}});
-  dpd.add_row({std::string("rowstripe-only (missed by solid)"),
-               std::uint64_t{stripe_only}});
-  bench::emit(dpd, args, "dpd_profiling");
+    // --- (a) retention errors vs refresh interval ----------------------------
+    const std::int64_t intervals[] = {64, 128, 256, 512, 1024, 2048, 4096};
+    sim::Campaign sweep("interval-sweep", harness.config());
+    // Job = one refresh interval on a fresh device: {retention_flips}.
+    const auto sweep_results = sweep.map_journaled<bench::GridResult>(
+        std::size(intervals),
+        [&](const sim::JobContext& ctx) {
+          const std::int64_t ms = intervals[ctx.index];
+          DeviceConfig dc = retention_device(3001, 0.0);
+          dc.record_flip_events = false;
+          Device dev(dc);
+          // One long pass: refresh all rows after `ms` of elapsed time.
+          for (std::uint32_t b = 0; b < total_banks(dev.geometry()); ++b)
+            for (std::uint32_t r : dev.fault_map().leaky_rows(b))
+              dev.refresh_row(b, r, Time::ms(ms));
+          bench::GridResult g;
+          g.push(dev.stats().retention_flips);
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> sweep_skipped = harness.report(sweep);
 
-  // --- (c) VRT: repeated profiling keeps finding new cells -----------------
-  DeviceConfig vrt_cfg = retention_device(3005, 0.5);
-  vrt_cfg.record_flip_events = true;
-  Device vdev(vrt_cfg);
-  std::set<std::uint64_t> seen;
-  Table vrt({"profiling_round", "new_failing_cells"});
-  std::uint64_t late_discoveries = 0;
-  const int vrt_rounds = args.quick ? 8 : 16;
-  for (int round = 1; round <= vrt_rounds; ++round) {
-    const auto found = profile(vdev, 512, 1, BackgroundPattern::kOnes);
-    std::uint64_t fresh = 0;
-    for (std::uint64_t cell : found)
-      if (seen.insert(cell).second) ++fresh;
-    vrt.add_row({std::int64_t{round}, fresh});
-    if (round > 4) late_discoveries += fresh;
-  }
-  bench::emit(vrt, args, "vrt_escapes");
+    Table curve({"refresh_interval_ms", "retention_flips"});
+    std::uint64_t flips_64 = 0, flips_4096 = 0;
+    for (std::size_t i = 0; i < std::size(intervals); ++i) {
+      if (sweep_skipped.count(i)) continue;
+      const std::uint64_t flips = sweep_results[i].u64s[0];
+      curve.add_row({std::int64_t{intervals[i]}, flips});
+      if (intervals[i] == 64) flips_64 = flips;
+      if (intervals[i] == 4096) flips_4096 = flips;
+    }
+    bench::emit(curve, args, "interval_sweep");
 
-  // --- (d) RAIDR-style multirate refresh: savings vs risk ------------------
-  Table raidr({"policy", "rows_refreshed", "refresh_energy_nj",
-               "retention_flips"});
-  raidr.set_precision(1);
-  std::uint64_t standard_refreshes = 0, raidr_refreshes = 0;
-  std::uint64_t raidr_flips_noprofile = 0, raidr_flips_profiled = 0;
-  for (const int mode : {0, 1, 2}) {  // 0=standard, 1=blind RAIDR, 2=profiled
-    DeviceConfig dc = retention_device(3007, 0.0);
-    dc.record_flip_events = false;
-    Device dev(dc);
-    ctrl::CtrlConfig cc;
-    cc.refresh_mode =
-        mode == 0 ? ctrl::RefreshMode::kStandard : ctrl::RefreshMode::kMultirate;
-    ctrl::MemoryController mc(dev, cc);
-    if (mode >= 1) {
-      // All rows to the 4x bin ...
-      for (std::uint32_t b = 0; b < total_banks(dev.geometry()); ++b)
-        for (std::uint32_t r = 0; r < dev.geometry().rows; ++r)
-          mc.set_row_bin(b, r, 2);
-      if (mode == 2) {
-        // ... except rows profiling found leaky below 256 ms.
-        for (std::uint32_t b = 0; b < total_banks(dev.geometry()); ++b)
-          for (std::uint32_t r : dev.fault_map().leaky_rows(b))
-            for (const auto& c : dev.fault_map().leaky_cells(b, r))
-              if (c.retention_ms < 300.0f) mc.set_row_bin(b, r, 0);
+    // --- (b) DPD: single-pattern profiling misses cells ----------------------
+    const int rounds = args.quick ? 4 : 8;
+    sim::Campaign dpd_grid("dpd-profiling", harness.config());
+    // Job = one profiling pattern on its own device; returns the failing
+    // cell set (count, then elements) so the miss analysis merges exactly.
+    const auto dpd_results = dpd_grid.map_journaled<bench::GridResult>(
+        2,
+        [&](const sim::JobContext& ctx) {
+          DeviceConfig dpd_cfg = retention_device(3003, 0.0);
+          dpd_cfg.record_flip_events = true;
+          Device dev(dpd_cfg);
+          const auto found =
+              profile(dev, 512, rounds,
+                      ctx.index == 0 ? BackgroundPattern::kOnes
+                                     : BackgroundPattern::kRowStripe);
+          bench::GridResult g;
+          for (std::uint64_t cell : found) g.push(cell);
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> dpd_skipped = harness.report(dpd_grid);
+
+    std::set<std::uint64_t> found_ones, found_stripe;
+    if (!dpd_skipped.count(0))
+      found_ones.insert(dpd_results[0].u64s.begin(),
+                        dpd_results[0].u64s.end());
+    if (!dpd_skipped.count(1))
+      found_stripe.insert(dpd_results[1].u64s.begin(),
+                          dpd_results[1].u64s.end());
+    std::size_t stripe_only = 0;
+    for (std::uint64_t cell : found_stripe)
+      if (!found_ones.count(cell)) ++stripe_only;
+    Table dpd({"profile_pattern", "failing_cells_found"});
+    dpd.add_row({std::string("solid ones"), std::uint64_t{found_ones.size()}});
+    dpd.add_row({std::string("rowstripe (antiparallel)"),
+                 std::uint64_t{found_stripe.size()}});
+    dpd.add_row({std::string("rowstripe-only (missed by solid)"),
+                 std::uint64_t{stripe_only}});
+    bench::emit(dpd, args, "dpd_profiling");
+
+    // --- (c) VRT: repeated profiling keeps finding new cells -----------------
+    const int vrt_rounds = args.quick ? 8 : 16;
+    sim::Campaign vrt_grid("vrt", harness.config());
+    // One job: rounds share the device (VRT toggles between profilings),
+    // so they stay serial inside it; returns fresh-count per round.
+    const auto vrt_results = vrt_grid.map_journaled<bench::GridResult>(
+        1,
+        [&](const sim::JobContext&) {
+          DeviceConfig vrt_cfg = retention_device(3005, 0.5);
+          vrt_cfg.record_flip_events = true;
+          Device vdev(vrt_cfg);
+          std::set<std::uint64_t> seen;
+          bench::GridResult g;
+          for (int round = 1; round <= vrt_rounds; ++round) {
+            const auto found = profile(vdev, 512, 1, BackgroundPattern::kOnes);
+            std::uint64_t fresh = 0;
+            for (std::uint64_t cell : found)
+              if (seen.insert(cell).second) ++fresh;
+            g.push(fresh);
+          }
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> vrt_skipped = harness.report(vrt_grid);
+
+    Table vrt({"profiling_round", "new_failing_cells"});
+    std::uint64_t late_discoveries = 0;
+    if (!vrt_skipped.count(0)) {
+      for (int round = 1; round <= vrt_rounds; ++round) {
+        const std::uint64_t fresh = vrt_results[0].u64s[round - 1];
+        vrt.add_row({std::int64_t{round}, fresh});
+        if (round > 4) late_discoveries += fresh;
       }
     }
-    mc.advance_to(Time::ms(64) * 16);
-    const char* name =
-        mode == 0 ? "standard 64ms" : (mode == 1 ? "RAIDR (blind 4x)"
-                                                 : "RAIDR (profiled)");
-    raidr.add_row({std::string(name), mc.stats().rows_refreshed,
-                   mc.energy().refresh_energy.as_nj(),
-                   dev.stats().retention_flips});
-    if (mode == 0) standard_refreshes = mc.stats().rows_refreshed;
-    if (mode == 1) raidr_flips_noprofile = dev.stats().retention_flips;
-    if (mode == 2) {
-      raidr_refreshes = mc.stats().rows_refreshed;
-      raidr_flips_profiled = dev.stats().retention_flips;
-    }
-  }
-  bench::emit(raidr, args, "raidr");
+    bench::emit(vrt, args, "vrt_escapes");
 
-  std::cout << "\npaper: retention determination is hard (DPD, VRT); "
-               "multirate refresh saves energy if profiling is right\n";
-  bench::shape("longer refresh intervals strictly increase failures",
-               flips_4096 > flips_64);
-  bench::shape("single-pattern profiling misses DPD-dependent cells",
-               stripe_only > 0);
-  bench::shape("VRT cells keep appearing after 4 profiling rounds",
-               late_discoveries > 0);
-  bench::shape("profiled RAIDR saves >60% of row refreshes",
-               raidr_refreshes < standard_refreshes * 4 / 10);
-  bench::shape("profiling reduces multirate retention flips",
-               raidr_flips_profiled < raidr_flips_noprofile);
-  return 0;
+    // --- (d) RAIDR-style multirate refresh: savings vs risk ------------------
+    sim::Campaign raidr_grid("raidr", harness.config());
+    // Job = one policy (0=standard, 1=blind RAIDR, 2=profiled):
+    // {rows_refreshed, retention_flips | refresh_energy_nj}.
+    const auto raidr_results = raidr_grid.map_journaled<bench::GridResult>(
+        3,
+        [&](const sim::JobContext& ctx) {
+          const int mode = static_cast<int>(ctx.index);
+          DeviceConfig dc = retention_device(3007, 0.0);
+          dc.record_flip_events = false;
+          Device dev(dc);
+          ctrl::CtrlConfig cc;
+          cc.refresh_mode = mode == 0 ? ctrl::RefreshMode::kStandard
+                                      : ctrl::RefreshMode::kMultirate;
+          ctrl::MemoryController mc(dev, cc);
+          if (mode >= 1) {
+            // All rows to the 4x bin ...
+            for (std::uint32_t b = 0; b < total_banks(dev.geometry()); ++b)
+              for (std::uint32_t r = 0; r < dev.geometry().rows; ++r)
+                mc.set_row_bin(b, r, 2);
+            if (mode == 2) {
+              // ... except rows profiling found leaky below 256 ms.
+              for (std::uint32_t b = 0; b < total_banks(dev.geometry()); ++b)
+                for (std::uint32_t r : dev.fault_map().leaky_rows(b))
+                  for (const auto& c : dev.fault_map().leaky_cells(b, r))
+                    if (c.retention_ms < 300.0f) mc.set_row_bin(b, r, 0);
+            }
+          }
+          mc.advance_to(Time::ms(64) * 16);
+          bench::GridResult g;
+          g.push(mc.stats().rows_refreshed);
+          g.push(dev.stats().retention_flips);
+          g.push_f(mc.energy().refresh_energy.as_nj());
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> raidr_skipped = harness.report(raidr_grid);
+
+    Table raidr({"policy", "rows_refreshed", "refresh_energy_nj",
+                 "retention_flips"});
+    raidr.set_precision(1);
+    std::uint64_t standard_refreshes = 0, raidr_refreshes = 0;
+    std::uint64_t raidr_flips_noprofile = 0, raidr_flips_profiled = 0;
+    for (int mode = 0; mode < 3; ++mode) {
+      if (raidr_skipped.count(mode)) continue;
+      const auto& r = raidr_results[mode];
+      const char* name =
+          mode == 0 ? "standard 64ms" : (mode == 1 ? "RAIDR (blind 4x)"
+                                                   : "RAIDR (profiled)");
+      raidr.add_row({std::string(name), r.u64s[0], r.f64s[0], r.u64s[1]});
+      if (mode == 0) standard_refreshes = r.u64s[0];
+      if (mode == 1) raidr_flips_noprofile = r.u64s[1];
+      if (mode == 2) {
+        raidr_refreshes = r.u64s[0];
+        raidr_flips_profiled = r.u64s[1];
+      }
+    }
+    bench::emit(raidr, args, "raidr");
+
+    // Post-merge simulation metrics: main-thread, retry-safe, width-stable.
+    auto& metrics = harness.metrics();
+    metrics.add("dram_retention.flips_at_4096ms", flips_4096);
+    metrics.add("dram_retention.dpd_stripe_only", stripe_only);
+    metrics.add("dram_retention.vrt_late_discoveries", late_discoveries);
+
+    std::cout << "\npaper: retention determination is hard (DPD, VRT); "
+                 "multirate refresh saves energy if profiling is right\n";
+    bench::shape("longer refresh intervals strictly increase failures",
+                 flips_4096 > flips_64);
+    bench::shape("single-pattern profiling misses DPD-dependent cells",
+                 stripe_only > 0);
+    bench::shape("VRT cells keep appearing after 4 profiling rounds",
+                 late_discoveries > 0);
+    bench::shape("profiled RAIDR saves >60% of row refreshes",
+                 raidr_refreshes < standard_refreshes * 4 / 10);
+    bench::shape("profiling reduces multirate retention flips",
+                 raidr_flips_profiled < raidr_flips_noprofile);
+    return 0;
+  });
 }

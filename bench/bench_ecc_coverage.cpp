@@ -6,11 +6,17 @@
 // population of victim rows, histogram flips per 64-bit word and per
 // 64-byte block, and run the same fault stream through the real SECDED and
 // BCH controller paths.
+//
+// Each ECC mode replays the fault stream on its own device+controller, so
+// the four modes run as a sim::Campaign grid; the no-ECC job also carries
+// the multiplicity histograms home as (key, count) pairs.
 #include <iostream>
+#include <set>
 
 #include "bench_util.h"
 #include "common/stats.h"
 #include "core/system.h"
+#include "sim/campaign.h"
 
 using namespace densemem;
 using namespace densemem::dram;
@@ -102,62 +108,138 @@ EccOutcome run_mode(ctrl::EccMode mode, int bch_t, bool quick,
   return out;
 }
 
+void push_tally(bench::GridResult& g, const CountTally& tally) {
+  g.push(tally.counts().size());
+  for (const auto& [k, n] : tally.counts()) {
+    g.push(static_cast<std::uint64_t>(k));
+    g.push(n);
+  }
+}
+
+std::size_t read_tally(const bench::GridResult& g, std::size_t pos,
+                       CountTally& tally) {
+  const std::uint64_t pairs = g.u64s[pos++];
+  for (std::uint64_t p = 0; p < pairs; ++p) {
+    const auto k = static_cast<std::int64_t>(g.u64s[pos++]);
+    tally.add(k, g.u64s[pos++]);
+  }
+  return pos;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
-  bench::banner("E3", "§II-C",
-                "flips per word/cache block; SECDED coverage vs. stronger "
-                "BCH, with capacity overheads");
+  return bench::run_guarded([&]() -> int {
+    bench::banner("E3", "§II-C",
+                  "flips per word/cache block; SECDED coverage vs. stronger "
+                  "BCH, with capacity overheads",
+                  args);
 
-  CountTally per_word, per_block;
-  const auto none =
-      run_mode(ctrl::EccMode::kNone, 4, args.quick, &per_word, &per_block);
-  const auto secded =
-      run_mode(ctrl::EccMode::kSecded, 4, args.quick, nullptr, nullptr);
-  const auto bch =
-      run_mode(ctrl::EccMode::kBch, 6, args.quick, nullptr, nullptr);
-  const auto rs =
-      run_mode(ctrl::EccMode::kRs, 0, args.quick, nullptr, nullptr);
+    struct Mode {
+      ctrl::EccMode mode;
+      int bch_t;
+      bool histograms;
+    };
+    const Mode grid[] = {{ctrl::EccMode::kNone, 4, true},
+                         {ctrl::EccMode::kSecded, 4, false},
+                         {ctrl::EccMode::kBch, 6, false},
+                         {ctrl::EccMode::kRs, 0, false}};
 
-  Table multi({"flips_in_unit", "words", "blocks(64B)"});
-  for (std::int64_t k = 1; k <= 6; ++k)
-    multi.add_row({k, per_word.at(k), per_block.at(k)});
-  bench::emit(multi, args, "flip_multiplicity");
+    bench::CampaignHarness harness(args, /*default_seed=*/3);
+    sim::Campaign campaign("ecc-modes", harness.config());
+    // Job = one ECC mode: the 5 counters + overhead; the no-ECC job also
+    // appends the per-word/per-block multiplicity tallies.
+    const auto results = campaign.map_journaled<bench::GridResult>(
+        std::size(grid),
+        [&](const sim::JobContext& ctx) {
+          const Mode& m = grid[ctx.index];
+          CountTally per_word, per_block;
+          const auto out = run_mode(m.mode, m.bch_t, args.quick,
+                                    m.histograms ? &per_word : nullptr,
+                                    m.histograms ? &per_block : nullptr);
+          bench::GridResult g;
+          g.push(out.rows);
+          g.push(out.raw_flips);
+          g.push(out.visible_flips);
+          g.push(out.corrected);
+          g.push(out.uncorrectable_blocks);
+          g.push_f(out.capacity_overhead);
+          if (m.histograms) {
+            push_tally(g, per_word);
+            push_tally(g, per_block);
+          }
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> skipped = harness.report(campaign);
 
-  Table modes({"ecc", "raw_flips", "attacker_visible", "corrected_words",
-               "uncorrectable_blocks", "capacity_overhead_%"});
-  modes.set_precision(2);
-  modes.add_row({std::string("none"), none.raw_flips, none.visible_flips,
-                 none.corrected, none.uncorrectable_blocks,
-                 100.0 * none.capacity_overhead});
-  modes.add_row({std::string("SECDED(72,64)"), secded.raw_flips,
-                 secded.visible_flips, secded.corrected,
-                 secded.uncorrectable_blocks,
-                 100.0 * secded.capacity_overhead});
-  modes.add_row({std::string("BCH t=6/512b"), bch.raw_flips,
-                 bch.visible_flips, bch.corrected, bch.uncorrectable_blocks,
-                 100.0 * bch.capacity_overhead});
-  modes.add_row({std::string("RS(72,64) chipkill"), rs.raw_flips,
-                 rs.visible_flips, rs.corrected, rs.uncorrectable_blocks,
-                 100.0 * rs.capacity_overhead});
-  bench::emit(modes, args, "ecc_modes");
+    auto outcome = [&](std::size_t i) {
+      EccOutcome o;
+      if (skipped.count(i)) return o;
+      const auto& r = results[i];
+      o.rows = r.u64s[0];
+      o.raw_flips = r.u64s[1];
+      o.visible_flips = r.u64s[2];
+      o.corrected = r.u64s[3];
+      o.uncorrectable_blocks = r.u64s[4];
+      o.capacity_overhead = r.f64s[0];
+      return o;
+    };
+    const auto none = outcome(0);
+    const auto secded = outcome(1);
+    const auto bch = outcome(2);
+    const auto rs = outcome(3);
+    CountTally per_word, per_block;
+    if (!skipped.count(0))
+      read_tally(results[0], read_tally(results[0], 5, per_word), per_block);
 
-  const double multi_word_frac = per_word.fraction_at_least(2);
-  std::cout << "\npaper: some blocks take 2+ flips -> SECDED insufficient; "
-               "stronger ECC costs capacity\n"
-            << "ours : " << multi_word_frac * 100.0
-            << "% of flipped words have 2+ flips; SECDED leaves "
-            << secded.uncorrectable_blocks << " uncorrectable blocks, BCH "
-            << bch.uncorrectable_blocks << "\n";
-  bench::shape("multi-flip words exist", per_word.fraction_at_least(2) > 0.0);
-  bench::shape("SECDED fails on some blocks",
-               secded.uncorrectable_blocks > 0);
-  bench::shape("BCH t=6 corrects everything SECDED could not",
-               bch.uncorrectable_blocks == 0 && bch.visible_flips == 0);
-  bench::shape("RS symbol correction also survives the fault stream",
-               rs.visible_flips == 0);
-  bench::shape("stronger ECC costs the same in-row capacity here (1/9)",
-               bch.capacity_overhead == secded.capacity_overhead);
-  return 0;
+    Table multi({"flips_in_unit", "words", "blocks(64B)"});
+    for (std::int64_t k = 1; k <= 6; ++k)
+      multi.add_row({k, per_word.at(k), per_block.at(k)});
+    bench::emit(multi, args, "flip_multiplicity");
+
+    Table modes({"ecc", "raw_flips", "attacker_visible", "corrected_words",
+                 "uncorrectable_blocks", "capacity_overhead_%"});
+    modes.set_precision(2);
+    modes.add_row({std::string("none"), none.raw_flips, none.visible_flips,
+                   none.corrected, none.uncorrectable_blocks,
+                   100.0 * none.capacity_overhead});
+    modes.add_row({std::string("SECDED(72,64)"), secded.raw_flips,
+                   secded.visible_flips, secded.corrected,
+                   secded.uncorrectable_blocks,
+                   100.0 * secded.capacity_overhead});
+    modes.add_row({std::string("BCH t=6/512b"), bch.raw_flips,
+                   bch.visible_flips, bch.corrected, bch.uncorrectable_blocks,
+                   100.0 * bch.capacity_overhead});
+    modes.add_row({std::string("RS(72,64) chipkill"), rs.raw_flips,
+                   rs.visible_flips, rs.corrected, rs.uncorrectable_blocks,
+                   100.0 * rs.capacity_overhead});
+    bench::emit(modes, args, "ecc_modes");
+
+    // Post-merge simulation metrics: main-thread, retry-safe, width-stable.
+    auto& metrics = harness.metrics();
+    metrics.add("ecc.secded_uncorrectable", secded.uncorrectable_blocks);
+    metrics.add("ecc.bch_uncorrectable", bch.uncorrectable_blocks);
+    metrics.set("ecc.multi_word_fraction", per_word.fraction_at_least(2));
+
+    const double multi_word_frac = per_word.fraction_at_least(2);
+    std::cout << "\npaper: some blocks take 2+ flips -> SECDED insufficient; "
+                 "stronger ECC costs capacity\n"
+              << "ours : " << multi_word_frac * 100.0
+              << "% of flipped words have 2+ flips; SECDED leaves "
+              << secded.uncorrectable_blocks << " uncorrectable blocks, BCH "
+              << bch.uncorrectable_blocks << "\n";
+    bench::shape("multi-flip words exist",
+                 per_word.fraction_at_least(2) > 0.0);
+    bench::shape("SECDED fails on some blocks",
+                 secded.uncorrectable_blocks > 0);
+    bench::shape("BCH t=6 corrects everything SECDED could not",
+                 bch.uncorrectable_blocks == 0 && bch.visible_flips == 0);
+    bench::shape("RS symbol correction also survives the fault stream",
+                 rs.visible_flips == 0);
+    bench::shape("stronger ECC costs the same in-row capacity here (1/9)",
+                 bch.capacity_overhead == secded.capacity_overhead);
+    return 0;
+  });
 }

@@ -6,12 +6,19 @@
 // probabilistically correct cells (NAC). This bench measures error growth
 // under read hammering, the per-cell susceptibility spread, and NAC's
 // raw-bit-error reduction under strong program interference.
+//
+// Each of the three sections accumulates state across its inner loop
+// (disturb counts, one device's quantiles, programmed interference), so
+// each runs as a single sim::Campaign job; the three jobs are independent
+// of each other and journal/resume like any grid.
 #include <iostream>
+#include <set>
 
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "flash/controller.h"
+#include "sim/campaign.h"
 
 using namespace densemem;
 using namespace densemem::flash;
@@ -26,118 +33,189 @@ BitVec random_payload(Rng& rng, std::uint32_t bits) {
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
-  bench::banner("E11", "§III-B",
-                "read-disturb error growth + susceptibility variation; NAC "
-                "raw-error reduction");
+  return bench::run_guarded([&]() -> int {
+    bench::banner("E11", "§III-B",
+                  "read-disturb error growth + susceptibility variation; NAC "
+                  "raw-error reduction",
+                  args);
 
-  // --- (a) read-disturb error growth ----------------------------------------
-  FlashConfig fc;
-  fc.geometry = {2, 16, 2048};
-  fc.seed = 4201;
-  fc.cell.rd_step = 6e-5;  // aggressive small-node read disturb
-  {
-    FlashDevice dev(fc);
-    FlashCtrlConfig cc;
-    cc.enable_read_retry = false;
-    FlashController ctrl(dev, cc);
-    Rng rng(11);
-    dev.age_block(0, 5000);
-    dev.erase_block(0, 0.0);
-    // Victim wordline 0 and hammered wordline 8.
-    const auto victim_payload = random_payload(rng, ctrl.payload_bits());
-    ctrl.program_page({0, 0, PageType::kLsb}, victim_payload, 0.0);
-    const auto junk = random_payload(rng, ctrl.payload_bits());
-    ctrl.program_page({0, 8, PageType::kLsb}, junk, 0.0);
+    FlashConfig fc;
+    fc.geometry = {2, 16, 2048};
+    fc.seed = 4201;
+    fc.cell.rd_step = 6e-5;  // aggressive small-node read disturb
 
-    Table t({"reads_of_other_page", "victim_raw_errors"});
-    std::uint64_t err_first = 0, err_last = 0;
+    bench::CampaignHarness harness(args, /*default_seed=*/11);
+
+    // --- (a) read-disturb error growth ----------------------------------------
     const int step = args.quick ? 20'000 : 50'000;
-    for (int total = 0; total <= 4 * step; total += step) {
-      const auto errs =
-          ctrl.raw_bit_errors({0, 0, PageType::kLsb}, victim_payload, 1.0);
-      t.add_row({std::uint64_t{static_cast<std::uint64_t>(total)}, errs});
-      if (total == 0) err_first = errs;
-      err_last = errs;
-      for (int i = 0; i < step; ++i) dev.read_page({0, 8, PageType::kLsb}, 1.0);
-    }
-    bench::emit(t, args, "disturb_growth");
-    bench::shape("read disturb grows victim raw errors", err_last > err_first);
-  }
+    sim::Campaign growth("disturb-growth", harness.config());
+    // One job: the reads accumulate disturb on one device, so the sweep
+    // stays serial inside it; returns the victim error count per checkpoint.
+    const auto growth_results = growth.map_journaled<bench::GridResult>(
+        1,
+        [&](const sim::JobContext&) {
+          FlashDevice dev(fc);
+          FlashCtrlConfig cc;
+          cc.enable_read_retry = false;
+          FlashController ctrl(dev, cc);
+          Rng rng(11);
+          dev.age_block(0, 5000);
+          dev.erase_block(0, 0.0);
+          // Victim wordline 0 and hammered wordline 8.
+          const auto victim_payload = random_payload(rng, ctrl.payload_bits());
+          ctrl.program_page({0, 0, PageType::kLsb}, victim_payload, 0.0);
+          const auto junk = random_payload(rng, ctrl.payload_bits());
+          ctrl.program_page({0, 8, PageType::kLsb}, junk, 0.0);
 
-  // --- (b) susceptibility variation ------------------------------------------
-  {
-    FlashDevice dev(fc);
-    QuantileSet q;
-    for (std::uint32_t wl = 0; wl < 16; ++wl)
-      for (std::uint32_t c = 0; c < 2048; c += 3)
-        q.add(dev.rd_susceptibility(0, wl, c));
-    Table t({"percentile", "rd_susceptibility"});
-    t.set_precision(3);
-    for (const double pct : {0.01, 0.1, 0.5, 0.9, 0.99})
-      t.add_row({pct, q.quantile(pct)});
-    bench::emit(t, args, "susceptibility");
-    bench::shape("wide susceptibility variation (99th/1st > 10x)",
-                 q.quantile(0.99) / q.quantile(0.01) > 10.0);
-  }
+          bench::GridResult g;
+          for (int total = 0; total <= 4 * step; total += step) {
+            g.push(ctrl.raw_bit_errors({0, 0, PageType::kLsb}, victim_payload,
+                                       1.0));
+            for (int i = 0; i < step; ++i)
+              dev.read_page({0, 8, PageType::kLsb}, 1.0);
+          }
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> growth_skipped = harness.report(growth);
 
-  // --- (c) NAC raw-error reduction under interference -------------------------
-  {
-    FlashConfig nc = fc;
-    nc.cell.interference_gamma = 0.18;
-    nc.cell.prog_sigma = 0.09;
-    FlashDevice dev(nc);
-    FlashCtrlConfig cc;
-    cc.enable_read_retry = false;
-    FlashController ctrl(dev, cc);
-    Rng rng(13);
-    std::vector<BitVec> payloads;
-    // Program all wordlines in order; earlier wordlines suffer interference
-    // from later ones.
-    for (std::uint32_t wl = 0; wl < 16; ++wl) {
-      for (PageType pt : {PageType::kLsb, PageType::kMsb}) {
-        payloads.push_back(random_payload(rng, ctrl.payload_bits()));
-        ctrl.program_page({0, wl, pt}, payloads.back(), 0.0);
+    {
+      Table t({"reads_of_other_page", "victim_raw_errors"});
+      std::uint64_t err_first = 0, err_last = 0;
+      if (!growth_skipped.count(0)) {
+        std::size_t i = 0;
+        for (int total = 0; total <= 4 * step; total += step) {
+          const std::uint64_t errs = growth_results[0].u64s[i++];
+          t.add_row({std::uint64_t{static_cast<std::uint64_t>(total)}, errs});
+          if (total == 0) err_first = errs;
+          err_last = errs;
+        }
       }
+      bench::emit(t, args, "disturb_growth");
+      bench::shape("read disturb grows victim raw errors",
+                   err_last > err_first);
+      harness.metrics().add("read_disturb.err_last", err_last);
     }
-    // Compare raw errors with nominal references vs NAC per-cell offsets,
-    // on the MSB pages of interfered wordlines. The golden reference is the
-    // as-written page image reconstructed from the intended cell states.
-    std::uint64_t plain_errors = 0, nac_errors = 0, bits = 0;
-    const CellParams& p = nc.cell;
-    for (std::uint32_t wl = 0; wl + 1 < 16; ++wl) {
-      const PageAddress a{0, wl, PageType::kMsb};
-      BitVec golden_raw(dev.geometry().page_bits);
-      for (std::uint32_t c = 0; c < dev.geometry().page_bits; ++c) {
-        const int s = dev.intended_state(0, wl, c);
-        golden_raw.set(c, s >= 0 ? msb_of_state(s) : true);
+
+    // --- (b) susceptibility variation ------------------------------------------
+    const double pcts[] = {0.01, 0.1, 0.5, 0.9, 0.99};
+    sim::Campaign susc("susceptibility", harness.config());
+    const auto susc_results = susc.map_journaled<bench::GridResult>(
+        1,
+        [&](const sim::JobContext&) {
+          FlashDevice dev(fc);
+          QuantileSet q;
+          for (std::uint32_t wl = 0; wl < 16; ++wl)
+            for (std::uint32_t c = 0; c < 2048; c += 3)
+              q.add(dev.rd_susceptibility(0, wl, c));
+          bench::GridResult g;
+          for (const double pct : pcts) g.push_f(q.quantile(pct));
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> susc_skipped = harness.report(susc);
+
+    {
+      Table t({"percentile", "rd_susceptibility"});
+      t.set_precision(3);
+      double lo = 1.0, hi = 0.0;
+      if (!susc_skipped.count(0)) {
+        for (std::size_t i = 0; i < std::size(pcts); ++i)
+          t.add_row({pcts[i], susc_results[0].f64s[i]});
+        lo = susc_results[0].f64s[0];
+        hi = susc_results[0].f64s[std::size(pcts) - 1];
       }
-      const BitVec raw_plain = dev.read_page(a, 10.0);
-      plain_errors += BitVec::hamming_distance(raw_plain, golden_raw);
-      // NAC: estimate the neighbour wordline's states and offset the read
-      // references per cell by the expected coupled shift.
-      const BitVec nl = dev.read_page({0, wl + 1, PageType::kLsb}, 10.0);
-      const BitVec nm = dev.read_page({0, wl + 1, PageType::kMsb}, 10.0);
-      std::vector<float> offsets(dev.geometry().page_bits);
-      for (std::uint32_t c = 0; c < offsets.size(); ++c) {
-        const int s = state_of(nl.get(c), nm.get(c));
-        offsets[c] = static_cast<float>(p.interference_gamma *
-                                        (p.state_mean[s] - p.state_mean[0]));
-      }
-      const BitVec raw_nac = dev.read_page_with_offsets(a, 10.0, offsets);
-      nac_errors += BitVec::hamming_distance(raw_nac, golden_raw);
-      bits += dev.geometry().page_bits;
+      bench::emit(t, args, "susceptibility");
+      bench::shape("wide susceptibility variation (99th/1st > 10x)",
+                   hi / lo > 10.0);
     }
-    Table t({"read_mode", "raw_errors", "rber"});
-    t.set_scientific(true);
-    t.add_row({std::string("nominal references"), plain_errors,
-               static_cast<double>(plain_errors) / static_cast<double>(bits)});
-    t.add_row({std::string("NAC per-cell offsets"), nac_errors,
-               static_cast<double>(nac_errors) / static_cast<double>(bits)});
-    bench::emit(t, args, "nac");
-    std::cout << "\npaper: NAC corrects via neighbour values; read-disturb "
-                 "variation enables similar recovery\n";
-    bench::shape("NAC reduces raw errors under strong interference",
-                 nac_errors < plain_errors);
-  }
-  return 0;
+
+    // --- (c) NAC raw-error reduction under interference -------------------------
+    sim::Campaign nac("nac", harness.config());
+    // One job: the NAC comparison reads the same programmed block twice.
+    const auto nac_results = nac.map_journaled<bench::GridResult>(
+        1,
+        [&](const sim::JobContext&) {
+          FlashConfig nc = fc;
+          nc.cell.interference_gamma = 0.18;
+          nc.cell.prog_sigma = 0.09;
+          FlashDevice dev(nc);
+          FlashCtrlConfig cc;
+          cc.enable_read_retry = false;
+          FlashController ctrl(dev, cc);
+          Rng rng(13);
+          std::vector<BitVec> payloads;
+          // Program all wordlines in order; earlier wordlines suffer
+          // interference from later ones.
+          for (std::uint32_t wl = 0; wl < 16; ++wl) {
+            for (PageType pt : {PageType::kLsb, PageType::kMsb}) {
+              payloads.push_back(random_payload(rng, ctrl.payload_bits()));
+              ctrl.program_page({0, wl, pt}, payloads.back(), 0.0);
+            }
+          }
+          // Compare raw errors with nominal references vs NAC per-cell
+          // offsets, on the MSB pages of interfered wordlines. The golden
+          // reference is the as-written page image reconstructed from the
+          // intended cell states.
+          std::uint64_t plain_errors = 0, nac_errors = 0, bits = 0;
+          const CellParams& p = nc.cell;
+          for (std::uint32_t wl = 0; wl + 1 < 16; ++wl) {
+            const PageAddress a{0, wl, PageType::kMsb};
+            BitVec golden_raw(dev.geometry().page_bits);
+            for (std::uint32_t c = 0; c < dev.geometry().page_bits; ++c) {
+              const int s = dev.intended_state(0, wl, c);
+              golden_raw.set(c, s >= 0 ? msb_of_state(s) : true);
+            }
+            const BitVec raw_plain = dev.read_page(a, 10.0);
+            plain_errors += BitVec::hamming_distance(raw_plain, golden_raw);
+            // NAC: estimate the neighbour wordline's states and offset the
+            // read references per cell by the expected coupled shift.
+            const BitVec nl = dev.read_page({0, wl + 1, PageType::kLsb}, 10.0);
+            const BitVec nm = dev.read_page({0, wl + 1, PageType::kMsb}, 10.0);
+            std::vector<float> offsets(dev.geometry().page_bits);
+            for (std::uint32_t c = 0; c < offsets.size(); ++c) {
+              const int s = state_of(nl.get(c), nm.get(c));
+              offsets[c] =
+                  static_cast<float>(p.interference_gamma *
+                                     (p.state_mean[s] - p.state_mean[0]));
+            }
+            const BitVec raw_nac = dev.read_page_with_offsets(a, 10.0, offsets);
+            nac_errors += BitVec::hamming_distance(raw_nac, golden_raw);
+            bits += dev.geometry().page_bits;
+          }
+          bench::GridResult g;
+          g.push(plain_errors);
+          g.push(nac_errors);
+          g.push(bits);
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> nac_skipped = harness.report(nac);
+
+    {
+      const std::uint64_t plain_errors =
+          nac_skipped.count(0) ? 0 : nac_results[0].u64s[0];
+      const std::uint64_t nac_errors =
+          nac_skipped.count(0) ? 0 : nac_results[0].u64s[1];
+      const std::uint64_t bits =
+          nac_skipped.count(0) ? 1 : nac_results[0].u64s[2];
+      Table t({"read_mode", "raw_errors", "rber"});
+      t.set_scientific(true);
+      if (!nac_skipped.count(0)) {
+        t.add_row({std::string("nominal references"), plain_errors,
+                   static_cast<double>(plain_errors) /
+                       static_cast<double>(bits)});
+        t.add_row({std::string("NAC per-cell offsets"), nac_errors,
+                   static_cast<double>(nac_errors) /
+                       static_cast<double>(bits)});
+      }
+      bench::emit(t, args, "nac");
+      harness.metrics().add("read_disturb.nac_errors", nac_errors);
+      std::cout << "\npaper: NAC corrects via neighbour values; read-disturb "
+                   "variation enables similar recovery\n";
+      bench::shape("NAC reduces raw errors under strong interference",
+                   nac_errors < plain_errors);
+    }
+    return 0;
+  });
 }

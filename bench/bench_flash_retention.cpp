@@ -5,93 +5,158 @@
 // greatly improves lifetime at little cost; "most high-end SSDs today
 // employ refresh mechanisms". This bench sweeps RBER over (P/E age ×
 // retention time) and measures FCR's lifetime extension.
+//
+// Each P/E row of the RBER surface and each FCR policy run an independent
+// lifetime simulation, so all three sections are sim::Campaign grids;
+// tables are assembled post-merge and stay byte-identical at every
+// --threads width.
 #include <iostream>
+#include <set>
 
 #include "bench_util.h"
 #include "flash/ssd.h"
+#include "sim/campaign.h"
 
 using namespace densemem;
 using namespace densemem::flash;
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
-  bench::banner("E9", "§III-A2",
-                "flash RBER vs (P/E, retention age); FCR lifetime extension");
+  return bench::run_guarded([&]() -> int {
+    bench::banner("E9", "§III-A2",
+                  "flash RBER vs (P/E, retention age); FCR lifetime extension",
+                  args);
 
-  SsdConfig cfg;
-  cfg.flash.geometry = {2, 16, 2048};
-  cfg.flash.seed = 4001;
+    SsdConfig cfg;
+    cfg.flash.geometry = {2, 16, 2048};
+    cfg.flash.seed = 4001;
 
-  // --- (a) RBER surface ------------------------------------------------------
-  Table rber({"pe_cycles", "1 hour", "1 day", "30 days", "1 year"});
-  rber.set_scientific(true);
-  rber.set_precision(2);
-  double fresh_low = 0, worn_year = 0;
-  for (const std::uint32_t pe : {100u, 3000u, 10000u, 20000u}) {
-    double rates[4];
-    int i = 0;
-    for (const double age : {3600.0, 86400.0, 30 * 86400.0, 365 * 86400.0}) {
-      const double r = SsdLifetimeSim::rber_at(cfg, pe, age);
-      rates[i++] = r;
-      if (pe == 100 && age == 3600.0) fresh_low = r;
-      if (pe == 20000 && age == 365 * 86400.0) worn_year = r;
+    bench::CampaignHarness harness(args, /*default_seed=*/9);
+
+    // --- (a) RBER surface ------------------------------------------------------
+    const std::uint32_t pe_grid[] = {100u, 3000u, 10000u, 20000u};
+    const double age_grid[] = {3600.0, 86400.0, 30 * 86400.0, 365 * 86400.0};
+    sim::Campaign surface("rber-surface", harness.config());
+    // Job = one P/E row: the four retention-age RBERs.
+    const auto surf_results = surface.map_journaled<bench::GridResult>(
+        std::size(pe_grid),
+        [&](const sim::JobContext& ctx) {
+          bench::GridResult g;
+          for (const double age : age_grid)
+            g.push_f(SsdLifetimeSim::rber_at(cfg, pe_grid[ctx.index], age));
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> surf_skipped = harness.report(surface);
+
+    Table rber({"pe_cycles", "1 hour", "1 day", "30 days", "1 year"});
+    rber.set_scientific(true);
+    rber.set_precision(2);
+    double fresh_low = 0, worn_year = 0;
+    for (std::size_t i = 0; i < std::size(pe_grid); ++i) {
+      if (surf_skipped.count(i)) continue;
+      const auto& f = surf_results[i].f64s;
+      rber.add_row({std::uint64_t{pe_grid[i]}, f[0], f[1], f[2], f[3]});
+      if (pe_grid[i] == 100) fresh_low = f[0];
+      if (pe_grid[i] == 20000) worn_year = f[3];
     }
-    rber.add_row({std::uint64_t{pe}, rates[0], rates[1], rates[2], rates[3]});
-  }
-  bench::emit(rber, args, "rber_surface");
+    bench::emit(rber, args, "rber_surface");
 
-  // --- (b) retention dominates other error sources ---------------------------
-  // At fixed wear, compare the error budget at programming time (program
-  // noise + interference) against after a year of retention.
-  const double prog_errors = SsdLifetimeSim::rber_at(cfg, 6000, 60.0);
-  const double retention_errors =
-      SsdLifetimeSim::rber_at(cfg, 6000, 365 * 86400.0);
-  Table dominance({"error_source", "rber"});
-  dominance.set_scientific(true);
-  dominance.add_row({std::string("programming+interference (1 min)"),
-                     prog_errors});
-  dominance.add_row({std::string("+ 1 year retention"), retention_errors});
-  bench::emit(dominance, args, "dominance");
+    // --- (b) retention dominates other error sources ---------------------------
+    // At fixed wear, compare the error budget at programming time (program
+    // noise + interference) against after a year of retention.
+    sim::Campaign dom("dominance", harness.config());
+    const auto dom_results = dom.map_journaled<bench::GridResult>(
+        1,
+        [&](const sim::JobContext&) {
+          bench::GridResult g;
+          g.push_f(SsdLifetimeSim::rber_at(cfg, 6000, 60.0));
+          g.push_f(SsdLifetimeSim::rber_at(cfg, 6000, 365 * 86400.0));
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> dom_skipped = harness.report(dom);
 
-  // --- (c) FCR lifetime ------------------------------------------------------
-  SsdConfig life = cfg;
-  life.flash.geometry = {2, 8, 2048};
-  life.pe_step = args.quick ? 4000 : 2000;
-  life.max_pe = 60000;
-  life.retention_target_s = 30 * 86400.0;
-  Table fcr({"policy", "pe_lifetime", "refreshes_per_eval"});
-  const auto base = SsdLifetimeSim(life).run();
-  fcr.add_row({std::string("no refresh (30-day target)"),
-               std::uint64_t{base.pe_lifetime}, std::uint64_t{0}});
-  std::uint32_t best_fcr = 0;
-  for (const double days : {7.0, 3.0, 1.0}) {
-    SsdConfig f = life;
-    f.fcr_period_s = days * 86400.0;
-    const auto r = SsdLifetimeSim(f).run();
-    fcr.add_row({std::string("FCR every ") + std::to_string(static_cast<int>(days)) +
-                     " days",
-                 std::uint64_t{r.pe_lifetime},
-                 r.curve.empty() ? std::uint64_t{0}
-                                 : r.curve.front().fcr_refreshes});
-    best_fcr = std::max(best_fcr, r.pe_lifetime);
-  }
-  bench::emit(fcr, args, "fcr_lifetime");
+    const double prog_errors =
+        dom_skipped.count(0) ? 0.0 : dom_results[0].f64s[0];
+    const double retention_errors =
+        dom_skipped.count(0) ? 0.0 : dom_results[0].f64s[1];
+    Table dominance({"error_source", "rber"});
+    dominance.set_scientific(true);
+    if (!dom_skipped.count(0)) {
+      dominance.add_row({std::string("programming+interference (1 min)"),
+                         prog_errors});
+      dominance.add_row({std::string("+ 1 year retention"), retention_errors});
+    }
+    bench::emit(dominance, args, "dominance");
 
-  std::cout << "\npaper: retention errors dominate; FCR greatly improves "
-               "lifetime (46x in the ICCD'12 study's best config)\n"
-            << "ours : no-refresh lifetime " << base.pe_lifetime
-            << " P/E; best FCR lifetime " << best_fcr << " P/E ("
-            << (base.pe_lifetime
-                    ? static_cast<double>(best_fcr) / base.pe_lifetime
-                    : 0.0)
-            << "x)\n";
-  bench::shape("RBER grows with both wear and retention age",
-               worn_year > 100 * std::max(fresh_low, 1e-9));
-  bench::shape("a year of retention dominates programming-time errors",
-               retention_errors > 5.0 * std::max(prog_errors, 1e-9));
-  bench::shape("FCR extends lifetime by >2x",
-               best_fcr >= 2 * std::max(base.pe_lifetime, 1u));
-  bench::shape("more frequent refresh never hurts lifetime here",
-               best_fcr >= base.pe_lifetime);
-  return 0;
+    // --- (c) FCR lifetime ------------------------------------------------------
+    SsdConfig life = cfg;
+    life.flash.geometry = {2, 8, 2048};
+    life.pe_step = args.quick ? 4000 : 2000;
+    life.max_pe = 60000;
+    life.retention_target_s = 30 * 86400.0;
+    const double fcr_days[] = {7.0, 3.0, 1.0};
+    sim::Campaign fcr_grid("fcr-lifetime", harness.config());
+    // Job 0 = no-refresh baseline; jobs 1..3 = FCR periods:
+    // {pe_lifetime, fcr_refreshes}.
+    const auto fcr_results = fcr_grid.map_journaled<bench::GridResult>(
+        1 + std::size(fcr_days),
+        [&](const sim::JobContext& ctx) {
+          SsdConfig f = life;
+          if (ctx.index > 0) f.fcr_period_s = fcr_days[ctx.index - 1] * 86400.0;
+          const auto r = SsdLifetimeSim(f).run();
+          bench::GridResult g;
+          g.push(r.pe_lifetime);
+          g.push(ctx.index > 0 && !r.curve.empty()
+                     ? r.curve.front().fcr_refreshes
+                     : std::uint64_t{0});
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> fcr_skipped = harness.report(fcr_grid);
+
+    Table fcr({"policy", "pe_lifetime", "refreshes_per_eval"});
+    std::uint32_t base_lifetime = 0;
+    std::uint32_t best_fcr = 0;
+    if (!fcr_skipped.count(0)) {
+      base_lifetime =
+          static_cast<std::uint32_t>(fcr_results[0].u64s[0]);
+      fcr.add_row({std::string("no refresh (30-day target)"),
+                   std::uint64_t{base_lifetime}, std::uint64_t{0}});
+    }
+    for (std::size_t i = 0; i < std::size(fcr_days); ++i) {
+      if (fcr_skipped.count(i + 1)) continue;
+      const auto& u = fcr_results[i + 1].u64s;
+      fcr.add_row({std::string("FCR every ") +
+                       std::to_string(static_cast<int>(fcr_days[i])) + " days",
+                   u[0], u[1]});
+      best_fcr = std::max(best_fcr, static_cast<std::uint32_t>(u[0]));
+    }
+    bench::emit(fcr, args, "fcr_lifetime");
+
+    // Post-merge simulation metrics: main-thread, retry-safe, width-stable.
+    auto& metrics = harness.metrics();
+    metrics.set("flash_retention.worn_year_rber", worn_year);
+    metrics.add("flash_retention.base_pe_lifetime", base_lifetime);
+    metrics.add("flash_retention.best_fcr_pe_lifetime", best_fcr);
+
+    std::cout << "\npaper: retention errors dominate; FCR greatly improves "
+                 "lifetime (46x in the ICCD'12 study's best config)\n"
+              << "ours : no-refresh lifetime " << base_lifetime
+              << " P/E; best FCR lifetime " << best_fcr << " P/E ("
+              << (base_lifetime
+                      ? static_cast<double>(best_fcr) / base_lifetime
+                      : 0.0)
+              << "x)\n";
+    bench::shape("RBER grows with both wear and retention age",
+                 worn_year > 100 * std::max(fresh_low, 1e-9));
+    bench::shape("a year of retention dominates programming-time errors",
+                 retention_errors > 5.0 * std::max(prog_errors, 1e-9));
+    bench::shape("FCR extends lifetime by >2x",
+                 best_fcr >= 2 * std::max(base_lifetime, 1u));
+    bench::shape("more frequent refresh never hurts lifetime here",
+                 best_fcr >= base_lifetime);
+    return 0;
+  });
 }

@@ -6,13 +6,19 @@
 // error rate") — and the same capability is a privacy hazard on discarded
 // devices. This bench measures the leak-factor spread, the RFR recovery
 // rate on uncorrectable pages, and the post-RFR residual error rate.
+//
+// Each retention age programs and reads its own FlashDevice, so the sweep
+// runs as a sim::Campaign grid (one job per age); the leak-distribution
+// scan is a single job because its quantiles come from one device.
 #include <algorithm>
 #include <iostream>
+#include <set>
 
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "flash/controller.h"
+#include "sim/campaign.h"
 
 using namespace densemem;
 using namespace densemem::flash;
@@ -27,101 +33,150 @@ BitVec random_payload(Rng& rng, std::uint32_t bits) {
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
-  bench::banner("E10", "§III-A2",
-                "leak-speed variation; RFR recovery of uncorrectable pages");
+  return bench::run_guarded([&]() -> int {
+    bench::banner("E10", "§III-A2",
+                  "leak-speed variation; RFR recovery of uncorrectable pages",
+                  args);
 
-  FlashConfig fc;
-  fc.geometry = {4, 16, 2048};
-  fc.seed = 4101;
-  fc.cell.leak_sigma = 0.7;
+    FlashConfig fc;
+    fc.geometry = {4, 16, 2048};
+    fc.seed = 4101;
+    fc.cell.leak_sigma = 0.7;
 
-  // --- (a) leak-factor distribution ------------------------------------------
-  {
-    FlashDevice dev(fc);
-    QuantileSet q;
-    for (std::uint32_t wl = 0; wl < 16; ++wl)
-      for (std::uint32_t c = 0; c < 2048; c += 3)
-        q.add(dev.leak_factor(0, wl, c));
-    Table t({"percentile", "leak_factor"});
-    t.set_precision(3);
-    for (const double pct : {0.01, 0.1, 0.5, 0.9, 0.99})
-      t.add_row({pct, q.quantile(pct)});
-    bench::emit(t, args, "leak_distribution");
-    bench::shape("99th/1st percentile leak ratio exceeds 10x",
-                 q.quantile(0.99) / q.quantile(0.01) > 10.0);
-  }
+    bench::CampaignHarness harness(args, /*default_seed=*/10);
 
-  // --- (b) RFR recovery sweep over retention age ------------------------------
-  FlashCtrlConfig plain_cfg;
-  plain_cfg.enable_read_retry = true;
-  FlashCtrlConfig rfr_cfg = plain_cfg;
-  rfr_cfg.enable_rfr = true;
+    // --- (a) leak-factor distribution ------------------------------------------
+    const double pcts[] = {0.01, 0.1, 0.5, 0.9, 0.99};
+    sim::Campaign leak("leak-distribution", harness.config());
+    // One job: the quantiles summarize a single device scan.
+    const auto leak_results = leak.map_journaled<bench::GridResult>(
+        1,
+        [&](const sim::JobContext&) {
+          FlashDevice dev(fc);
+          QuantileSet q;
+          for (std::uint32_t wl = 0; wl < 16; ++wl)
+            for (std::uint32_t c = 0; c < 2048; c += 3)
+              q.add(dev.leak_factor(0, wl, c));
+          bench::GridResult g;
+          for (const double pct : pcts) g.push_f(q.quantile(pct));
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> leak_skipped = harness.report(leak);
 
-  Table t({"age_days", "pages", "plain_uncorrectable", "rfr_uncorrectable",
-           "rfr_recovered_ok"});
-  std::uint64_t total_plain_fail = 0, total_rfr_fail = 0, recovered_ok = 0;
-  const std::uint32_t blocks = args.quick ? 2 : 4;
-  // The regime where pages fail but the drifted cells are still within
-  // RFR's reference band (past ~1 year of unrefreshed retention at this
-  // wear, even RFR cannot reach them).
-  for (const double days : {20.0, 40.0, 80.0, 160.0}) {
-    FlashDevice dev(fc);
-    std::vector<BitVec> payloads;
-    Rng rng(hash_coords(fc.seed, static_cast<std::uint64_t>(days)));
-    FlashController writer(dev, plain_cfg);
-    for (std::uint32_t b = 0; b < blocks; ++b) {
-      dev.age_block(b, 6000);
-      dev.erase_block(b, 0.0);
-      for (std::uint32_t wl = 0; wl < 16; ++wl) {
-        for (PageType pt : {PageType::kLsb, PageType::kMsb}) {
-          payloads.push_back(random_payload(rng, writer.payload_bits()));
-          writer.program_page({b, wl, pt}, payloads.back(), 0.0);
-        }
+    double leak_lo = 1.0, leak_hi = 0.0;
+    {
+      Table t({"percentile", "leak_factor"});
+      t.set_precision(3);
+      if (!leak_skipped.count(0)) {
+        for (std::size_t i = 0; i < std::size(pcts); ++i)
+          t.add_row({pcts[i], leak_results[0].f64s[i]});
+        leak_lo = leak_results[0].f64s[0];
+        leak_hi = leak_results[0].f64s[std::size(pcts) - 1];
       }
+      bench::emit(t, args, "leak_distribution");
+      bench::shape("99th/1st percentile leak ratio exceeds 10x",
+                   leak_hi / leak_lo > 10.0);
     }
-    const double t_read = days * 86400.0;
-    std::uint64_t plain_fail = 0, rfr_fail = 0, rec_ok = 0, pages = 0;
-    FlashController plain(dev, plain_cfg);
-    FlashController rfr(dev, rfr_cfg);
-    std::size_t idx = 0;
-    for (std::uint32_t b = 0; b < blocks; ++b) {
-      for (std::uint32_t wl = 0; wl < 16; ++wl) {
-        for (PageType pt : {PageType::kLsb, PageType::kMsb}) {
-          ++pages;
-          const PageAddress a{b, wl, pt};
-          const auto rp = plain.read_page(a, t_read);
-          if (rp.uncorrectable) {
-            ++plain_fail;
-            const auto rr = rfr.read_page(a, t_read);
-            if (rr.uncorrectable) {
-              ++rfr_fail;
-            } else if (rr.data == payloads[idx]) {
-              ++rec_ok;
+
+    // --- (b) RFR recovery sweep over retention age ------------------------------
+    const double day_grid[] = {20.0, 40.0, 80.0, 160.0};
+    const std::uint32_t blocks = args.quick ? 2 : 4;
+    sim::Campaign recovery("rfr-recovery", harness.config());
+    // Job = one retention age on a fresh device: {pages, plain_fail,
+    // rfr_fail, rec_ok}. The regime where pages fail but the drifted cells
+    // are still within RFR's reference band (past ~1 year of unrefreshed
+    // retention at this wear, even RFR cannot reach them).
+    const auto rec_results = recovery.map_journaled<bench::GridResult>(
+        std::size(day_grid),
+        [&](const sim::JobContext& ctx) {
+          const double days = day_grid[ctx.index];
+          FlashCtrlConfig plain_cfg;
+          plain_cfg.enable_read_retry = true;
+          FlashCtrlConfig rfr_cfg = plain_cfg;
+          rfr_cfg.enable_rfr = true;
+
+          FlashDevice dev(fc);
+          std::vector<BitVec> payloads;
+          Rng rng(hash_coords(fc.seed, static_cast<std::uint64_t>(days)));
+          FlashController writer(dev, plain_cfg);
+          for (std::uint32_t b = 0; b < blocks; ++b) {
+            dev.age_block(b, 6000);
+            dev.erase_block(b, 0.0);
+            for (std::uint32_t wl = 0; wl < 16; ++wl) {
+              for (PageType pt : {PageType::kLsb, PageType::kMsb}) {
+                payloads.push_back(random_payload(rng, writer.payload_bits()));
+                writer.program_page({b, wl, pt}, payloads.back(), 0.0);
+              }
             }
           }
-          ++idx;
-        }
-      }
-    }
-    t.add_row({days, pages, plain_fail, rfr_fail, rec_ok});
-    total_plain_fail += plain_fail;
-    total_rfr_fail += rfr_fail;
-    recovered_ok += rec_ok;
-  }
-  bench::emit(t, args, "rfr_recovery");
+          const double t_read = days * 86400.0;
+          std::uint64_t plain_fail = 0, rfr_fail = 0, rec_ok = 0, pages = 0;
+          FlashController plain(dev, plain_cfg);
+          FlashController rfr(dev, rfr_cfg);
+          std::size_t idx = 0;
+          for (std::uint32_t b = 0; b < blocks; ++b) {
+            for (std::uint32_t wl = 0; wl < 16; ++wl) {
+              for (PageType pt : {PageType::kLsb, PageType::kMsb}) {
+                ++pages;
+                const PageAddress a{b, wl, pt};
+                const auto rp = plain.read_page(a, t_read);
+                if (rp.uncorrectable) {
+                  ++plain_fail;
+                  const auto rr = rfr.read_page(a, t_read);
+                  if (rr.uncorrectable) {
+                    ++rfr_fail;
+                  } else if (rr.data == payloads[idx]) {
+                    ++rec_ok;
+                  }
+                }
+                ++idx;
+              }
+            }
+          }
+          bench::GridResult g;
+          g.push(pages);
+          g.push(plain_fail);
+          g.push(rfr_fail);
+          g.push(rec_ok);
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> rec_skipped = harness.report(recovery);
 
-  std::cout << "\npaper: RFR yields significant BER reduction / data "
-               "recovery after uncorrectable retention errors — and doubles "
-               "as a privacy risk on failed devices\n"
-            << "ours : of " << total_plain_fail
-            << " uncorrectable pages, RFR left " << total_rfr_fail
-            << " unrecovered (" << recovered_ok << " recovered bit-exact)\n";
-  bench::shape("uncorrectable pages occur in the sweep", total_plain_fail > 0);
-  bench::shape("RFR recovers a substantial fraction (>30%)",
-               total_plain_fail > 0 &&
-                   static_cast<double>(total_plain_fail - total_rfr_fail) >
-                       0.3 * static_cast<double>(total_plain_fail));
-  bench::shape("recovered pages are bit-exact (the privacy hazard)",
-               recovered_ok > 0);
-  return 0;
+    Table t({"age_days", "pages", "plain_uncorrectable", "rfr_uncorrectable",
+             "rfr_recovered_ok"});
+    std::uint64_t total_plain_fail = 0, total_rfr_fail = 0, recovered_ok = 0;
+    for (std::size_t i = 0; i < std::size(day_grid); ++i) {
+      if (rec_skipped.count(i)) continue;
+      const auto& u = rec_results[i].u64s;
+      t.add_row({day_grid[i], u[0], u[1], u[2], u[3]});
+      total_plain_fail += u[1];
+      total_rfr_fail += u[2];
+      recovered_ok += u[3];
+    }
+    bench::emit(t, args, "rfr_recovery");
+
+    // Post-merge simulation metrics: main-thread, retry-safe, width-stable.
+    auto& metrics = harness.metrics();
+    metrics.add("rfr.plain_uncorrectable", total_plain_fail);
+    metrics.add("rfr.rfr_uncorrectable", total_rfr_fail);
+    metrics.add("rfr.recovered_ok", recovered_ok);
+
+    std::cout << "\npaper: RFR yields significant BER reduction / data "
+                 "recovery after uncorrectable retention errors — and doubles "
+                 "as a privacy risk on failed devices\n"
+              << "ours : of " << total_plain_fail
+              << " uncorrectable pages, RFR left " << total_rfr_fail
+              << " unrecovered (" << recovered_ok << " recovered bit-exact)\n";
+    bench::shape("uncorrectable pages occur in the sweep",
+                 total_plain_fail > 0);
+    bench::shape("RFR recovers a substantial fraction (>30%)",
+                 total_plain_fail > 0 &&
+                     static_cast<double>(total_plain_fail - total_rfr_fail) >
+                         0.3 * static_cast<double>(total_plain_fail));
+    bench::shape("recovered pages are bit-exact (the privacy hazard)",
+                 recovered_ok > 0);
+    return 0;
+  });
 }

@@ -7,11 +7,18 @@
 // increase lifetime by ~16%. This bench measures intermediate-state
 // corruption vs exposure, the attacker's leverage, and the mitigation's
 // corruption elimination + lifetime delta.
+//
+// Every run_attack call and every lifetime simulation builds its own
+// device, so all three sections are sim::Campaign grids; the mitigated
+// re-check used by the third [shape] line rides along as an extra job in
+// the attacker grid.
 #include <iostream>
+#include <set>
 
 #include "bench_util.h"
 #include "common/rng.h"
 #include "flash/ssd.h"
+#include "sim/campaign.h"
 
 using namespace densemem;
 using namespace densemem::flash;
@@ -62,80 +69,139 @@ std::uint64_t run_attack(bool mitigated, std::uint64_t attacker_reads,
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
-  bench::banner("E12", "§III-B / [24]",
-                "two-step programming: intermediate-state corruption, "
-                "attacker leverage, mitigation effect on lifetime");
+  return bench::run_guarded([&]() -> int {
+    bench::banner("E12", "§III-B / [24]",
+                  "two-step programming: intermediate-state corruption, "
+                  "attacker leverage, mitigation effect on lifetime",
+                  args);
 
-  // --- (a) corruption vs exposure time (no attacker) -------------------------
-  Table exposure({"exposure_days", "corrupted_cells_unmitigated",
-                  "corrupted_cells_mitigated"});
-  std::uint64_t base_corruption = 0;
-  for (const double days : {0.001, 1.0, 10.0, 100.0}) {
-    const auto un = run_attack(false, 0, days, 12000);
-    const auto mit = run_attack(true, 0, days, 12000);
-    exposure.add_row({days, un, mit});
-    if (days == 100.0) base_corruption = un;
-  }
-  bench::emit(exposure, args, "exposure");
+    bench::CampaignHarness harness(args, /*default_seed=*/12);
 
-  // --- (b) attacker read-hammer leverage --------------------------------------
-  Table attacker({"attacker_reads", "corrupted_cells"});
-  std::uint64_t quiet = 0, hammered = 0;
-  const std::uint64_t reads = args.quick ? 100'000 : 250'000;
-  for (const std::uint64_t n : {std::uint64_t{0}, reads / 4, reads}) {
-    const auto c = run_attack(false, n, 1.0, 12000);
-    attacker.add_row({n, c});
-    if (n == 0) quiet = c;
-    hammered = c;
-  }
-  bench::emit(attacker, args, "attacker_leverage");
+    // --- (a) corruption vs exposure time (no attacker) -------------------------
+    const double day_grid[] = {0.001, 1.0, 10.0, 100.0};
+    sim::Campaign exp_grid("exposure", harness.config());
+    // Job = one exposure: {unmitigated, mitigated} corruption counts.
+    const auto exp_results = exp_grid.map_journaled<bench::GridResult>(
+        std::size(day_grid),
+        [&](const sim::JobContext& ctx) {
+          const double days = day_grid[ctx.index];
+          bench::GridResult g;
+          g.push(run_attack(false, 0, days, 12000));
+          g.push(run_attack(true, 0, days, 12000));
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> exp_skipped = harness.report(exp_grid);
 
-  // --- (c) mitigation lifetime effect -----------------------------------------
-  // The [24] mitigations buffer the LSB in the controller; corrupted
-  // intermediate reads stop consuming the ECC margin, which extends usable
-  // lifetime (~16% in the paper).
-  SsdConfig base;
-  base.flash = vulnerable_flash(false);
-  base.flash.geometry = {2, 8, 2048};
-  base.pe_step = args.quick ? 1000 : 500;
-  base.max_pe = 60000;
-  // FCR-equipped SSD context: the controller caps retention age at ~3 days,
-  // so ordinary retention does not mask the two-step damage; LSB pages sit
-  // in the intermediate state for 3 days before the MSB pass (a host
-  // filling a block incrementally).
-  base.retention_target_s = 3 * 86400.0;
-  base.two_step_gap_s = 3 * 86400.0;
-  SsdConfig mitigated = base;
-  mitigated.flash.buffer_lsb_in_controller = true;
+    Table exposure({"exposure_days", "corrupted_cells_unmitigated",
+                    "corrupted_cells_mitigated"});
+    std::uint64_t base_corruption = 0;
+    for (std::size_t i = 0; i < std::size(day_grid); ++i) {
+      if (exp_skipped.count(i)) continue;
+      const auto& u = exp_results[i].u64s;
+      exposure.add_row({day_grid[i], u[0], u[1]});
+      if (day_grid[i] == 100.0) base_corruption = u[0];
+    }
+    bench::emit(exposure, args, "exposure");
 
-  const auto life_base = SsdLifetimeSim(base).run();
-  const auto life_mit = SsdLifetimeSim(mitigated).run();
-  Table life({"config", "pe_lifetime"});
-  life.add_row({std::string("two-step unprotected"),
-                std::uint64_t{life_base.pe_lifetime}});
-  life.add_row({std::string("LSB buffering mitigation"),
-                std::uint64_t{life_mit.pe_lifetime}});
-  bench::emit(life, args, "lifetime");
-  const double gain =
-      life_base.pe_lifetime
-          ? (static_cast<double>(life_mit.pe_lifetime) /
-                 static_cast<double>(life_base.pe_lifetime) -
-             1.0) * 100.0
-          : 0.0;
+    // --- (b) attacker read-hammer leverage --------------------------------------
+    const std::uint64_t reads = args.quick ? 100'000 : 250'000;
+    const std::uint64_t read_grid[] = {std::uint64_t{0}, reads / 4, reads};
+    sim::Campaign atk_grid("attacker", harness.config());
+    // Jobs 0..2 = unmitigated leverage sweep; job 3 = the mitigated
+    // worst-case re-check consumed only by the [shape] line.
+    const auto atk_results = atk_grid.map_journaled<bench::GridResult>(
+        std::size(read_grid) + 1,
+        [&](const sim::JobContext& ctx) {
+          bench::GridResult g;
+          if (ctx.index < std::size(read_grid))
+            g.push(run_attack(false, read_grid[ctx.index], 1.0, 12000));
+          else
+            g.push(run_attack(true, reads, 100.0, 12000));
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> atk_skipped = harness.report(atk_grid);
 
-  std::cout << "\npaper: partially-programmed data can be disrupted before "
-               "the second step; exploitable; mitigations give ~16% "
-               "lifetime\n"
-            << "ours : unmitigated corruption at 100d exposure = "
-            << base_corruption << " cells; mitigation lifetime gain = "
-            << gain << "%\n";
-  bench::shape("intermediate-state corruption grows with exposure",
-               base_corruption > 0);
-  bench::shape("attacker read-hammer amplifies corruption",
-               hammered > quiet);
-  bench::shape("mitigation eliminates two-step misreads",
-               run_attack(true, reads, 100.0, 12000) == 0);
-  bench::shape("mitigation lifetime gain in the 5-40% band (paper: 16%)",
-               gain >= 5.0 && gain <= 40.0);
-  return 0;
+    Table attacker({"attacker_reads", "corrupted_cells"});
+    std::uint64_t quiet = 0, hammered = 0;
+    for (std::size_t i = 0; i < std::size(read_grid); ++i) {
+      if (atk_skipped.count(i)) continue;
+      const std::uint64_t c = atk_results[i].u64s[0];
+      attacker.add_row({read_grid[i], c});
+      if (read_grid[i] == 0) quiet = c;
+      hammered = c;
+    }
+    bench::emit(attacker, args, "attacker_leverage");
+    const std::uint64_t mitigated_worst =
+        atk_skipped.count(3) ? 1 : atk_results[3].u64s[0];
+
+    // --- (c) mitigation lifetime effect -----------------------------------------
+    // The [24] mitigations buffer the LSB in the controller; corrupted
+    // intermediate reads stop consuming the ECC margin, which extends usable
+    // lifetime (~16% in the paper).
+    SsdConfig base;
+    base.flash = vulnerable_flash(false);
+    base.flash.geometry = {2, 8, 2048};
+    base.pe_step = args.quick ? 1000 : 500;
+    base.max_pe = 60000;
+    // FCR-equipped SSD context: the controller caps retention age at ~3 days,
+    // so ordinary retention does not mask the two-step damage; LSB pages sit
+    // in the intermediate state for 3 days before the MSB pass (a host
+    // filling a block incrementally).
+    base.retention_target_s = 3 * 86400.0;
+    base.two_step_gap_s = 3 * 86400.0;
+
+    sim::Campaign life_grid("lifetime", harness.config());
+    // Job = one SSD config (0=unprotected, 1=LSB buffering): {pe_lifetime}.
+    const auto life_results = life_grid.map_journaled<bench::GridResult>(
+        2,
+        [&](const sim::JobContext& ctx) {
+          SsdConfig cfg = base;
+          cfg.flash.buffer_lsb_in_controller = ctx.index == 1;
+          bench::GridResult g;
+          g.push(SsdLifetimeSim(cfg).run().pe_lifetime);
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> life_skipped = harness.report(life_grid);
+
+    const std::uint64_t base_lifetime =
+        life_skipped.count(0) ? 0 : life_results[0].u64s[0];
+    const std::uint64_t mit_lifetime =
+        life_skipped.count(1) ? 0 : life_results[1].u64s[0];
+    Table life({"config", "pe_lifetime"});
+    if (!life_skipped.count(0))
+      life.add_row({std::string("two-step unprotected"), base_lifetime});
+    if (!life_skipped.count(1))
+      life.add_row({std::string("LSB buffering mitigation"), mit_lifetime});
+    bench::emit(life, args, "lifetime");
+    const double gain = base_lifetime
+                            ? (static_cast<double>(mit_lifetime) /
+                                   static_cast<double>(base_lifetime) -
+                               1.0) * 100.0
+                            : 0.0;
+
+    // Post-merge simulation metrics: main-thread, retry-safe, width-stable.
+    auto& metrics = harness.metrics();
+    metrics.add("twostep.base_corruption", base_corruption);
+    metrics.add("twostep.hammered_corruption", hammered);
+    metrics.set("twostep.lifetime_gain_pct", gain);
+
+    std::cout << "\npaper: partially-programmed data can be disrupted before "
+                 "the second step; exploitable; mitigations give ~16% "
+                 "lifetime\n"
+              << "ours : unmitigated corruption at 100d exposure = "
+              << base_corruption << " cells; mitigation lifetime gain = "
+              << gain << "%\n";
+    bench::shape("intermediate-state corruption grows with exposure",
+                 base_corruption > 0);
+    bench::shape("attacker read-hammer amplifies corruption",
+                 hammered > quiet);
+    bench::shape("mitigation eliminates two-step misreads",
+                 mitigated_worst == 0);
+    bench::shape("mitigation lifetime gain in the 5-40% band (paper: 16%)",
+                 gain >= 5.0 && gain <= 40.0);
+    return 0;
+  });
 }

@@ -7,11 +7,17 @@
 // selection decides whether wear concentrates or spreads. This bench maps
 // write amplification over (over-provisioning x workload skew) and the
 // wear-leveling effect — the knobs real SSD designers trade.
+//
+// Every (config, workload) cell simulates an independent FTL instance, so
+// the two sections run as sim::Campaign grids; tables are assembled
+// post-merge and stay byte-identical at every --threads width.
 #include <iostream>
+#include <set>
 
 #include "bench_util.h"
 #include "common/rng.h"
 #include "flash/ftl.h"
+#include "sim/campaign.h"
 
 using namespace densemem;
 using namespace densemem::flash;
@@ -61,49 +67,93 @@ RunResult run_workload(double overprovision, double hot_fraction,
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
-  bench::banner("E17 (ext)", "§II-D",
-                "FTL: write amplification vs over-provisioning and workload "
-                "skew; wear-leveling effect");
+  return bench::run_guarded([&]() -> int {
+    bench::banner("E17 (ext)", "§II-D",
+                  "FTL: write amplification vs over-provisioning and workload "
+                  "skew; wear-leveling effect",
+                  args);
 
-  const int updates = args.quick ? 2000 : 6000;
+    const int updates = args.quick ? 2000 : 6000;
+    bench::CampaignHarness harness(args, /*default_seed=*/17);
 
-  // --- (a) WA over OP x skew ----------------------------------------------------
-  Table t({"overprovision", "workload", "write_amplification", "gc_runs"});
-  t.set_precision(3);
-  double wa_low_op = 0, wa_high_op = 0, wa_uniform = 0, wa_skewed = 0;
-  for (const double op : {0.12, 0.25, 0.45}) {
-    for (const auto& [wname, hot] :
-         {std::pair{"uniform", 1.0}, std::pair{"90/10 skew", 0.1}}) {
-      const auto r = run_workload(op, hot, true, updates);
-      t.add_row({op, std::string(wname), r.wa, r.gc_runs});
-      if (op == 0.12 && hot == 1.0) wa_low_op = r.wa;
-      if (op == 0.45 && hot == 1.0) wa_high_op = r.wa;
-      if (op == 0.25 && hot == 1.0) wa_uniform = r.wa;
-      if (op == 0.25 && hot == 0.1) wa_skewed = r.wa;
+    // --- (a) WA over OP x skew ------------------------------------------------
+    const double ops[] = {0.12, 0.25, 0.45};
+    const std::pair<const char*, double> workloads[] = {{"uniform", 1.0},
+                                                        {"90/10 skew", 0.1}};
+    sim::Campaign wa_grid("write-amplification", harness.config());
+    // Job = (op, workload) cell: {gc_runs | wa}.
+    const auto wa_results = wa_grid.map_journaled<bench::GridResult>(
+        std::size(ops) * std::size(workloads),
+        [&](const sim::JobContext& ctx) {
+          const double op = ops[ctx.index / std::size(workloads)];
+          const double hot = workloads[ctx.index % std::size(workloads)].second;
+          const auto res = run_workload(op, hot, true, updates);
+          bench::GridResult r;
+          r.push(res.gc_runs);
+          r.push_f(res.wa);
+          return r;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> wa_skipped = harness.report(wa_grid);
+
+    Table t({"overprovision", "workload", "write_amplification", "gc_runs"});
+    t.set_precision(3);
+    double wa_low_op = 0, wa_high_op = 0, wa_uniform = 0, wa_skewed = 0;
+    for (std::size_t i = 0; i < wa_results.size(); ++i) {
+      if (wa_skipped.count(i)) continue;
+      const double op = ops[i / std::size(workloads)];
+      const auto& [wname, hot] = workloads[i % std::size(workloads)];
+      const double wa = wa_results[i].f64s[0];
+      t.add_row({op, std::string(wname), wa, wa_results[i].u64s[0]});
+      if (op == 0.12 && hot == 1.0) wa_low_op = wa;
+      if (op == 0.45 && hot == 1.0) wa_high_op = wa;
+      if (op == 0.25 && hot == 1.0) wa_uniform = wa;
+      if (op == 0.25 && hot == 0.1) wa_skewed = wa;
     }
-  }
-  bench::emit(t, args, "write_amplification");
+    bench::emit(t, args, "write_amplification");
 
-  // --- (b) wear leveling ----------------------------------------------------------
-  Table w({"wear_leveling", "wear_imbalance(max/mean erases)"});
-  w.set_precision(3);
-  const auto wl_on = run_workload(0.25, 0.1, true, updates);
-  const auto wl_off = run_workload(0.25, 0.1, false, updates);
-  w.add_row({std::string("on"), wl_on.imbalance});
-  w.add_row({std::string("off"), wl_off.imbalance});
-  bench::emit(w, args, "wear_leveling");
+    // --- (b) wear leveling ----------------------------------------------------
+    sim::Campaign wl_grid("wear-leveling", harness.config());
+    const auto wl_results = wl_grid.map_journaled<bench::GridResult>(
+        2,
+        [&](const sim::JobContext& ctx) {
+          const auto res =
+              run_workload(0.25, 0.1, /*wear_leveling=*/ctx.index == 0,
+                           updates);
+          bench::GridResult r;
+          r.push_f(res.imbalance);
+          return r;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> wl_skipped = harness.report(wl_grid);
 
-  std::cout << "\npaper (§II-D): the intelligent controller covers up the "
-               "memory's deficiencies — at a measurable write/wear cost\n";
-  bench::shape("write amplification always >= 1", wa_uniform >= 1.0);
-  bench::shape("more over-provisioning lowers WA", wa_high_op < wa_low_op);
-  // With a single append log (no hot/cold separation), skewed update
-  // traffic is WORSE than uniform: every GC victim carries cold valid
-  // pages that get copied again and again while the hot set churns — the
-  // textbook motivation for multi-stream/hot-cold-separating FTLs.
-  bench::shape("skew without hot/cold separation amplifies more than uniform",
-               wa_skewed > wa_uniform);
-  bench::shape("wear leveling keeps max/mean erase wear below 3x",
-               wl_on.imbalance < 3.0);
-  return 0;
+    Table w({"wear_leveling", "wear_imbalance(max/mean erases)"});
+    w.set_precision(3);
+    const double wl_on =
+        wl_skipped.count(0) ? 0.0 : wl_results[0].f64s[0];
+    if (!wl_skipped.count(0)) w.add_row({std::string("on"), wl_on});
+    if (!wl_skipped.count(1))
+      w.add_row({std::string("off"), wl_results[1].f64s[0]});
+    bench::emit(w, args, "wear_leveling");
+
+    // Post-merge simulation metrics: main-thread, retry-safe, width-stable.
+    auto& metrics = harness.metrics();
+    metrics.set("ftl.wa.uniform_op25", wa_uniform);
+    metrics.set("ftl.wa.skewed_op25", wa_skewed);
+    metrics.set("ftl.wear_imbalance.leveled", wl_on);
+
+    std::cout << "\npaper (§II-D): the intelligent controller covers up the "
+                 "memory's deficiencies — at a measurable write/wear cost\n";
+    bench::shape("write amplification always >= 1", wa_uniform >= 1.0);
+    bench::shape("more over-provisioning lowers WA", wa_high_op < wa_low_op);
+    // With a single append log (no hot/cold separation), skewed update
+    // traffic is WORSE than uniform: every GC victim carries cold valid
+    // pages that get copied again and again while the hot set churns — the
+    // textbook motivation for multi-stream/hot-cold-separating FTLs.
+    bench::shape("skew without hot/cold separation amplifies more than uniform",
+                 wa_skewed > wa_uniform);
+    bench::shape("wear leveling keeps max/mean erase wear below 3x",
+                 wl_on < 3.0);
+    return 0;
+  });
 }

@@ -7,139 +7,209 @@
 // observable scale cross-checked against the exact analytic run-length
 // model, (b) extrapolated failure probability at real DDR3 scale, and
 // (c) measured time/energy overhead of the targeted refreshes.
+//
+// Each Monte-Carlo trial and each overhead point builds its own system, so
+// sections (a) and (c) are sim::Campaign grids — (a) flattens (p, trial)
+// into one job per trial, (c) returns absolute time/energy and computes
+// the relative overheads post-merge. Section (b) is pure closed-form
+// analytics and stays inline.
 #include <cmath>
 #include <iostream>
+#include <set>
 
 #include "bench_util.h"
 #include "common/stats.h"
 #include "core/analysis.h"
 #include "core/system.h"
+#include "sim/campaign.h"
 
 using namespace densemem;
 using namespace densemem::core;
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
-  bench::banner("E4", "§II-C",
-                "PARA: failure probability vs p (Monte Carlo vs analytic), "
-                "and measured overheads");
+  return bench::run_guarded([&]() -> int {
+    bench::banner("E4", "§II-C",
+                  "PARA: failure probability vs p (Monte Carlo vs analytic), "
+                  "and measured overheads",
+                  args);
 
-  // (a) Monte Carlo at an observable scale: cells need 800 consecutive
-  // unrefreshed hammers; 4000 double-sided iterations per window.
-  dram::DeviceConfig dc;
-  dc.geometry = dram::Geometry::tiny();
-  dc.reliability = dram::ReliabilityParams::vulnerable();
-  dc.reliability.weak_cell_density = 5e-4;
-  dc.reliability.hc50 = 800;
-  dc.reliability.hc_sigma = 0.01;
-  dc.reliability.dpd_sensitivity_mean = 0.0;
-  dc.reliability.anticell_fraction = 0.0;
-  dc.pattern = dram::BackgroundPattern::kOnes;
+    // (a) Monte Carlo at an observable scale: cells need 800 consecutive
+    // unrefreshed hammers; 4000 double-sided iterations per window.
+    dram::DeviceConfig dc;
+    dc.geometry = dram::Geometry::tiny();
+    dc.reliability = dram::ReliabilityParams::vulnerable();
+    dc.reliability.weak_cell_density = 5e-4;
+    dc.reliability.hc50 = 800;
+    dc.reliability.hc_sigma = 0.01;
+    dc.reliability.dpd_sensitivity_mean = 0.0;
+    dc.reliability.anticell_fraction = 0.0;
+    dc.pattern = dram::BackgroundPattern::kOnes;
 
-  const std::uint64_t iters = 4000;
-  const std::uint64_t threshold = 800;
-  const int trials = args.quick ? 15 : 60;
+    const std::uint64_t iters = 4000;
+    const std::uint64_t threshold = 800;
+    const int trials = args.quick ? 15 : 60;
+    const double p_grid[] = {0.002, 0.005, 0.01, 0.02};
 
-  Table mc_table({"p", "mc_failure_prob", "ci_lo", "ci_hi", "analytic"});
-  mc_table.set_precision(4);
-  bool mc_matches = true;
-  for (const double p : {0.002, 0.005, 0.01, 0.02}) {
-    int failures = 0, ran = 0;
-    for (int trial = 0; trial < trials; ++trial) {
-      dc.seed = 1000 + static_cast<std::uint64_t>(trial);
-      MitigationSpec spec;
-      spec.kind = MitigationKind::kPara;
-      spec.para.probability = p;
-      spec.para.seed = 77 + static_cast<std::uint64_t>(trial);
-      auto sys = make_system(dc, ctrl::CtrlConfig{}, spec);
-      std::uint32_t victim = 0;
-      for (std::uint32_t r : sys.dev().fault_map().weak_rows(0))
-        if (r >= 2 && r + 2 < sys.dev().geometry().rows) {
-          victim = r;
-          break;
-        }
-      if (victim == 0) continue;
-      for (std::uint64_t i = 0; i < iters; ++i) {
-        sys.mc().activate_precharge(0, victim - 1);
-        sys.mc().activate_precharge(0, victim + 1);
+    bench::CampaignHarness harness(args, /*default_seed=*/4);
+    sim::Campaign mc_grid("monte-carlo", harness.config());
+    // Job = one (p, trial) pair: {ran 0/1, failed 0/1}. Seeds stay the
+    // committed per-trial values, so the merged tallies match the serial
+    // sweep exactly.
+    const auto mc_results = mc_grid.map_journaled<bench::GridResult>(
+        std::size(p_grid) * static_cast<std::size_t>(trials),
+        [&](const sim::JobContext& ctx) {
+          const double p =
+              p_grid[ctx.index / static_cast<std::size_t>(trials)];
+          const int trial =
+              static_cast<int>(ctx.index % static_cast<std::size_t>(trials));
+          dram::DeviceConfig tdc = dc;
+          tdc.seed = 1000 + static_cast<std::uint64_t>(trial);
+          MitigationSpec spec;
+          spec.kind = MitigationKind::kPara;
+          spec.para.probability = p;
+          spec.para.seed = 77 + static_cast<std::uint64_t>(trial);
+          auto sys = make_system(tdc, ctrl::CtrlConfig{}, spec);
+          std::uint32_t victim = 0;
+          for (std::uint32_t r : sys.dev().fault_map().weak_rows(0))
+            if (r >= 2 && r + 2 < sys.dev().geometry().rows) {
+              victim = r;
+              break;
+            }
+          bench::GridResult g;
+          if (victim == 0) {
+            g.push(0);
+            g.push(0);
+            return g;
+          }
+          for (std::uint64_t i = 0; i < iters; ++i) {
+            sys.mc().activate_precharge(0, victim - 1);
+            sys.mc().activate_precharge(0, victim + 1);
+          }
+          sys.mc().activate_precharge(0, victim);
+          g.push(1);
+          g.push(sys.dev().stats().disturb_flips > 0 ? 1 : 0);
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> mc_skipped = harness.report(mc_grid);
+
+    Table mc_table({"p", "mc_failure_prob", "ci_lo", "ci_hi", "analytic"});
+    mc_table.set_precision(4);
+    bool mc_matches = true;
+    for (std::size_t pi = 0; pi < std::size(p_grid); ++pi) {
+      const double p = p_grid[pi];
+      int failures = 0, ran = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        const std::size_t idx =
+            pi * static_cast<std::size_t>(trials) +
+            static_cast<std::size_t>(trial);
+        if (mc_skipped.count(idx)) continue;
+        ran += static_cast<int>(mc_results[idx].u64s[0]);
+        failures += static_cast<int>(mc_results[idx].u64s[1]);
       }
-      sys.mc().activate_precharge(0, victim);
-      ++ran;
-      failures += sys.dev().stats().disturb_flips > 0 ? 1 : 0;
+      const auto ci = wilson_interval(static_cast<std::uint64_t>(failures),
+                                      static_cast<std::uint64_t>(ran));
+      // Failure = any flip in the device: the centre victim (stressed by both
+      // aggressors, refreshed by PARA firing on either) plus the two outer
+      // victims (stressed by one aggressor each).
+      const double f_center =
+          para_failure_probability(p, 2 * iters, threshold);
+      const double f_side = para_failure_probability(p, iters, threshold);
+      const double analytic =
+          1.0 - (1.0 - f_center) * (1.0 - f_side) * (1.0 - f_side);
+      mc_table.add_row({p, ci.p, ci.lo, ci.hi, analytic});
+      if (analytic < ci.lo - 0.02 || analytic > ci.hi + 0.02)
+        mc_matches = false;
     }
-    const auto ci = wilson_interval(static_cast<std::uint64_t>(failures),
-                                    static_cast<std::uint64_t>(ran));
-    // Failure = any flip in the device: the centre victim (stressed by both
-    // aggressors, refreshed by PARA firing on either) plus the two outer
-    // victims (stressed by one aggressor each).
-    const double f_center = para_failure_probability(p, 2 * iters, threshold);
-    const double f_side = para_failure_probability(p, iters, threshold);
-    const double analytic =
-        1.0 - (1.0 - f_center) * (1.0 - f_side) * (1.0 - f_side);
-    mc_table.add_row({p, ci.p, ci.lo, ci.hi, analytic});
-    if (analytic < ci.lo - 0.02 || analytic > ci.hi + 0.02) mc_matches = false;
-  }
-  bench::emit(mc_table, args, "monte_carlo");
+    bench::emit(mc_table, args, "monte_carlo");
 
-  // (b) Real-scale extrapolation via the validated analytic model: DDR3
-  // window, weakest-cell threshold 139K (the ISCA'14 minimum), one year of
-  // continuous hammering = ~493M windows.
-  const auto timing = dram::Timing::ddr3_1600();
-  const std::uint64_t n = max_hammers_per_window(timing);
-  Table scale({"p", "P(fail per window)", "P(fail per year of hammering)"});
-  scale.set_scientific(true);
-  scale.set_precision(3);
-  double p_fail_0001 = 1.0;
-  for (const double p : {0.0005, 0.001, 0.002, 0.005}) {
-    const double per_window = para_failure_probability(p, n, 139'000);
-    const double windows_per_year = 365.25 * 86400.0 / 0.064;
-    const double per_year =
-        per_window < 1e-12
-            ? per_window * windows_per_year  // linearized: avoids underflow
-            : 1.0 - std::pow(1.0 - per_window, windows_per_year);
-    scale.add_row({p, per_window, per_year});
-    if (p == 0.001) p_fail_0001 = per_window;
-  }
-  bench::emit(scale, args, "real_scale");
-
-  // (c) Overheads at p = 0.001 under a worst-case activation-heavy stream.
-  Table overhead({"p", "time_overhead_%", "extra_energy_%"});
-  overhead.set_precision(4);
-  double time_oh_0001 = 100.0;
-  for (const double p : {0.0, 0.001, 0.01}) {
-    dc.seed = 42;
-    MitigationSpec spec;
-    if (p > 0.0) {
-      spec.kind = MitigationKind::kPara;
-      spec.para.probability = p;
+    // (b) Real-scale extrapolation via the validated analytic model: DDR3
+    // window, weakest-cell threshold 139K (the ISCA'14 minimum), one year of
+    // continuous hammering = ~493M windows.
+    const auto timing = dram::Timing::ddr3_1600();
+    const std::uint64_t n = max_hammers_per_window(timing);
+    Table scale({"p", "P(fail per window)", "P(fail per year of hammering)"});
+    scale.set_scientific(true);
+    scale.set_precision(3);
+    double p_fail_0001 = 1.0;
+    for (const double p : {0.0005, 0.001, 0.002, 0.005}) {
+      const double per_window = para_failure_probability(p, n, 139'000);
+      const double windows_per_year = 365.25 * 86400.0 / 0.064;
+      const double per_year =
+          per_window < 1e-12
+              ? per_window * windows_per_year  // linearized: avoids underflow
+              : 1.0 - std::pow(1.0 - per_window, windows_per_year);
+      scale.add_row({p, per_window, per_year});
+      if (p == 0.001) p_fail_0001 = per_window;
     }
-    auto sys = make_system(dc, ctrl::CtrlConfig{}, spec);
-    const int ops = args.quick ? 40'000 : 200'000;
-    for (int i = 0; i < ops; ++i)
-      sys.mc().activate_precharge(0, 100 + (i & 63));
-    static double base_time = 0.0, base_energy = 0.0;
-    const double t = sys.mc().now().as_ms();
-    const double e = sys.mc().energy().total().as_nj();
-    if (p == 0.0) {
-      base_time = t;
-      base_energy = e;
-      overhead.add_row({p, 0.0, 0.0});
-    } else {
-      const double time_oh = (t / base_time - 1.0) * 100.0;
-      overhead.add_row({p, time_oh, (e / base_energy - 1.0) * 100.0});
-      if (p == 0.001) time_oh_0001 = time_oh;
-    }
-  }
-  bench::emit(overhead, args, "overhead");
+    bench::emit(scale, args, "real_scale");
 
-  std::cout << "\npaper: PARA eliminates the vulnerability with no storage "
-               "and negligible overhead\n"
-            << "ours : P(fail/window) at p=0.001 vs 139K-threshold cells = "
-            << p_fail_0001 << "; time overhead " << time_oh_0001 << "%\n";
-  bench::shape("Monte Carlo matches the analytic run-length model",
-               mc_matches);
-  bench::shape("p=0.001 drives per-window failure below 1e-25 (<< disk UBER)",
-               p_fail_0001 < 1e-25);
-  bench::shape("time overhead at p=0.001 below 0.5%", time_oh_0001 < 0.5);
-  return 0;
+    // (c) Overheads at p = 0.001 under a worst-case activation-heavy stream.
+    const double op_grid[] = {0.0, 0.001, 0.01};
+    sim::Campaign oh_grid("overhead", harness.config());
+    // Job = one p: absolute {time_ms, energy_nj}; relative overheads are
+    // computed post-merge against the p=0 job (same math as the serial
+    // static-base version).
+    const auto oh_results = oh_grid.map_journaled<bench::GridResult>(
+        std::size(op_grid),
+        [&](const sim::JobContext& ctx) {
+          const double p = op_grid[ctx.index];
+          dram::DeviceConfig odc = dc;
+          odc.seed = 42;
+          MitigationSpec spec;
+          if (p > 0.0) {
+            spec.kind = MitigationKind::kPara;
+            spec.para.probability = p;
+          }
+          auto sys = make_system(odc, ctrl::CtrlConfig{}, spec);
+          const int ops = args.quick ? 40'000 : 200'000;
+          for (int i = 0; i < ops; ++i)
+            sys.mc().activate_precharge(0, 100 + (i & 63));
+          bench::GridResult g;
+          g.push_f(sys.mc().now().as_ms());
+          g.push_f(sys.mc().energy().total().as_nj());
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> oh_skipped = harness.report(oh_grid);
+
+    Table overhead({"p", "time_overhead_%", "extra_energy_%"});
+    overhead.set_precision(4);
+    double time_oh_0001 = 100.0;
+    double base_time = 0.0, base_energy = 0.0;
+    for (std::size_t i = 0; i < std::size(op_grid); ++i) {
+      if (oh_skipped.count(i)) continue;
+      const double p = op_grid[i];
+      const double t = oh_results[i].f64s[0];
+      const double e = oh_results[i].f64s[1];
+      if (p == 0.0) {
+        base_time = t;
+        base_energy = e;
+        overhead.add_row({p, 0.0, 0.0});
+      } else {
+        const double time_oh = (t / base_time - 1.0) * 100.0;
+        overhead.add_row({p, time_oh, (e / base_energy - 1.0) * 100.0});
+        if (p == 0.001) time_oh_0001 = time_oh;
+      }
+    }
+    bench::emit(overhead, args, "overhead");
+
+    // Post-merge simulation metrics: main-thread, retry-safe, width-stable.
+    auto& metrics = harness.metrics();
+    metrics.set("para.p_fail_window_0001", p_fail_0001);
+    metrics.set("para.time_overhead_pct_0001", time_oh_0001);
+
+    std::cout << "\npaper: PARA eliminates the vulnerability with no storage "
+                 "and negligible overhead\n"
+              << "ours : P(fail/window) at p=0.001 vs 139K-threshold cells = "
+              << p_fail_0001 << "; time overhead " << time_oh_0001 << "%\n";
+    bench::shape("Monte Carlo matches the analytic run-length model",
+                 mc_matches);
+    bench::shape(
+        "p=0.001 drives per-window failure below 1e-25 (<< disk UBER)",
+        p_fail_0001 < 1e-25);
+    bench::shape("time overhead at p=0.001 below 0.5%", time_oh_0001 < 0.5);
+    return 0;
+  });
 }

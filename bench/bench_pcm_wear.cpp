@@ -9,98 +9,154 @@
 // reproduces that story: lifetime under benign vs adversarial writes for
 // each wear policy, plus MLC resistance-drift error growth (the retention
 // analogue for PCM).
+//
+// The 3x3 (workload x policy) lifetime matrix is a sim::Campaign grid (one
+// independent lifetime simulation per cell); the drift sweep reads one
+// shared device across ages, so it runs as a single job.
 #include <iostream>
+#include <set>
 
 #include "bench_util.h"
 #include "pcm/lifetime.h"
+#include "sim/campaign.h"
 
 using namespace densemem;
 using namespace densemem::pcm;
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
-  bench::banner("E13 (ext)", "§III / [82, 106]",
-                "PCM lifetime: wear-leveling policies vs benign and "
-                "malicious write workloads; MLC drift errors");
+  return bench::run_guarded([&]() -> int {
+    bench::banner("E13 (ext)", "§III / [82, 106]",
+                  "PCM lifetime: wear-leveling policies vs benign and "
+                  "malicious write workloads; MLC drift errors",
+                  args);
 
-  // --- (a) lifetime matrix ----------------------------------------------------
-  // Start-gap only helps a hammered line if the gap sweeps the array faster
-  // than the line wears out: (lines+1) x interval << endurance. [82] sizes
-  // psi=100 against 10^7..10^8 endurance; we scale both down together.
-  PcmLifetimeConfig base;
-  base.geometry = {args.quick ? 513u : 1025u, 4};
-  base.logical_lines = args.quick ? 512 : 1024;
-  base.params.endurance_median = args.quick ? 8000 : 30000;
-  base.params.endurance_sigma = 0.15;
-  base.wear.gap_write_interval = args.quick ? 8 : 16;
+    // --- (a) lifetime matrix --------------------------------------------------
+    // Start-gap only helps a hammered line if the gap sweeps the array
+    // faster than the line wears out: (lines+1) x interval << endurance.
+    // [82] sizes psi=100 against 10^7..10^8 endurance; we scale both down
+    // together.
+    PcmLifetimeConfig base;
+    base.geometry = {args.quick ? 513u : 1025u, 4};
+    base.logical_lines = args.quick ? 512 : 1024;
+    base.params.endurance_median = args.quick ? 8000 : 30000;
+    base.params.endurance_sigma = 0.15;
+    base.wear.gap_write_interval = args.quick ? 8 : 16;
 
-  Table t({"workload", "policy", "normalized_lifetime", "wear_imbalance",
-           "gap_moves"});
-  t.set_precision(3);
-  double none_attack = 0, sg_attack = 0, rsg_attack = 0, sg_uniform = 0;
-  for (const auto wl :
-       {PcmWorkload::kUniform, PcmWorkload::kSequential,
-        PcmWorkload::kHotLine}) {
-    for (const auto pol : {WearPolicy::kNone, WearPolicy::kStartGap,
-                           WearPolicy::kRandomizedStartGap}) {
-      PcmLifetimeConfig cfg = base;
-      cfg.workload = wl;
-      cfg.wear.policy = pol;
-      const auto r = run_pcm_lifetime(cfg);
+    const PcmWorkload workloads[] = {PcmWorkload::kUniform,
+                                     PcmWorkload::kSequential,
+                                     PcmWorkload::kHotLine};
+    const WearPolicy policies[] = {WearPolicy::kNone, WearPolicy::kStartGap,
+                                   WearPolicy::kRandomizedStartGap};
+
+    bench::CampaignHarness harness(args, /*default_seed=*/13);
+    sim::Campaign matrix("lifetime-matrix", harness.config());
+    // Job = (workload, policy) cell: {gap_moves | lifetime, imbalance}.
+    const auto results = matrix.map_journaled<bench::GridResult>(
+        std::size(workloads) * std::size(policies),
+        [&](const sim::JobContext& ctx) {
+          PcmLifetimeConfig cfg = base;
+          cfg.workload = workloads[ctx.index / std::size(policies)];
+          cfg.wear.policy = policies[ctx.index % std::size(policies)];
+          const auto r = run_pcm_lifetime(cfg);
+          bench::GridResult g;
+          g.push(r.gap_moves);
+          g.push_f(r.normalized_lifetime);
+          g.push_f(r.wear_imbalance);
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> skipped = harness.report(matrix);
+
+    Table t({"workload", "policy", "normalized_lifetime", "wear_imbalance",
+             "gap_moves"});
+    t.set_precision(3);
+    double none_attack = 0, sg_attack = 0, rsg_attack = 0, sg_uniform = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (skipped.count(i)) continue;
+      const auto wl = workloads[i / std::size(policies)];
+      const auto pol = policies[i % std::size(policies)];
+      const double lifetime = results[i].f64s[0];
       t.add_row({std::string(pcm_workload_name(wl)),
-                 std::string(wear_policy_name(pol)), r.normalized_lifetime,
-                 r.wear_imbalance, r.gap_moves});
+                 std::string(wear_policy_name(pol)), lifetime,
+                 results[i].f64s[1], results[i].u64s[0]});
       if (wl == PcmWorkload::kHotLine) {
-        if (pol == WearPolicy::kNone) none_attack = r.normalized_lifetime;
-        if (pol == WearPolicy::kStartGap) sg_attack = r.normalized_lifetime;
-        if (pol == WearPolicy::kRandomizedStartGap)
-          rsg_attack = r.normalized_lifetime;
+        if (pol == WearPolicy::kNone) none_attack = lifetime;
+        if (pol == WearPolicy::kStartGap) sg_attack = lifetime;
+        if (pol == WearPolicy::kRandomizedStartGap) rsg_attack = lifetime;
       }
       if (wl == PcmWorkload::kUniform && pol == WearPolicy::kStartGap)
-        sg_uniform = r.normalized_lifetime;
+        sg_uniform = lifetime;
     }
-  }
-  bench::emit(t, args, "lifetime_matrix");
+    bench::emit(t, args, "lifetime_matrix");
 
-  // --- (b) MLC drift error growth ----------------------------------------------
-  PcmParams dp;
-  dp.endurance_median = 1e12;
-  PcmDevice drift_dev({64, 256}, dp, 77);
-  std::vector<std::uint8_t> levels(256);
-  for (std::uint32_t c = 0; c < 256; ++c)
-    levels[c] = static_cast<std::uint8_t>(c % 4);
-  for (std::uint32_t l = 0; l < 64; ++l) drift_dev.write_line(l, levels, 0.0);
-  Table d({"age", "misread_cells_per_64_lines"});
-  std::uint64_t err_day = 0, err_decade = 0;
-  for (const auto& [name, t_s] :
-       {std::pair{"1 day", 86400.0}, std::pair{"1 month", 2.6e6},
-        std::pair{"1 year", 3.15e7}, std::pair{"10 years", 3.15e8}}) {
-    std::uint64_t errors = 0;
-    for (std::uint32_t l = 0; l < 64; ++l) {
-      const auto got = drift_dev.read_line(l, t_s);
-      for (std::uint32_t c = 0; c < 256; ++c)
-        if (got[c] != levels[c]) ++errors;
+    // --- (b) MLC drift error growth -------------------------------------------
+    const std::pair<const char*, double> ages[] = {
+        {"1 day", 86400.0}, {"1 month", 2.6e6},
+        {"1 year", 3.15e7}, {"10 years", 3.15e8}};
+    sim::Campaign drift("drift", harness.config());
+    // One job: ages share the same written device, so they stay serial
+    // inside it. Returns one misread count per age.
+    const auto drift_results = drift.map_journaled<bench::GridResult>(
+        1,
+        [&](const sim::JobContext&) {
+          PcmParams dp;
+          dp.endurance_median = 1e12;
+          PcmDevice drift_dev({64, 256}, dp, 77);
+          std::vector<std::uint8_t> levels(256);
+          for (std::uint32_t c = 0; c < 256; ++c)
+            levels[c] = static_cast<std::uint8_t>(c % 4);
+          for (std::uint32_t l = 0; l < 64; ++l)
+            drift_dev.write_line(l, levels, 0.0);
+          bench::GridResult g;
+          for (const auto& [name, t_s] : ages) {
+            (void)name;
+            std::uint64_t errors = 0;
+            for (std::uint32_t l = 0; l < 64; ++l) {
+              const auto got = drift_dev.read_line(l, t_s);
+              for (std::uint32_t c = 0; c < 256; ++c)
+                if (got[c] != levels[c]) ++errors;
+            }
+            g.push(errors);
+          }
+          return g;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> drift_skipped = harness.report(drift);
+
+    Table d({"age", "misread_cells_per_64_lines"});
+    std::uint64_t err_day = 0, err_decade = 0;
+    if (!drift_skipped.count(0)) {
+      for (std::size_t i = 0; i < std::size(ages); ++i) {
+        const std::uint64_t errors = drift_results[0].u64s[i];
+        d.add_row({std::string(ages[i].first), errors});
+        if (ages[i].second == 86400.0) err_day = errors;
+        if (ages[i].second == 3.15e8) err_decade = errors;
+      }
     }
-    d.add_row({std::string(name), errors});
-    if (t_s == 86400.0) err_day = errors;
-    if (t_s == 3.15e8) err_decade = errors;
-  }
-  bench::emit(d, args, "drift_errors");
+    bench::emit(d, args, "drift_errors");
 
-  std::cout << "\npaper (§III + [82]): emerging memories inherit both the "
-               "reliability problem (wear, drift)\nand the security problem "
-               "(malicious wear-out); wear leveling must be attack-aware\n"
-            << "ours : hot-line lifetime none/start-gap/randomized = "
-            << none_attack << " / " << sg_attack << " / " << rsg_attack
-            << " of ideal\n";
-  bench::shape("unlevelled PCM dies almost immediately under attack",
-               none_attack < 0.01);
-  bench::shape("start-gap extends attacked lifetime by >10x",
-               sg_attack > 10 * none_attack);
-  bench::shape("randomized start-gap also protects",
-               rsg_attack > 10 * none_attack);
-  bench::shape("benign uniform lifetime is a large fraction of ideal",
-               sg_uniform > 0.4);
-  bench::shape("MLC drift errors grow with age", err_decade > err_day);
-  return 0;
+    // Post-merge simulation metrics: main-thread, retry-safe, width-stable.
+    auto& metrics = harness.metrics();
+    metrics.set("pcm.hotline_lifetime.none", none_attack);
+    metrics.set("pcm.hotline_lifetime.start_gap", sg_attack);
+    metrics.add("pcm.drift.misreads_decade", err_decade);
+
+    std::cout << "\npaper (§III + [82]): emerging memories inherit both the "
+                 "reliability problem (wear, drift)\nand the security problem "
+                 "(malicious wear-out); wear leveling must be attack-aware\n"
+              << "ours : hot-line lifetime none/start-gap/randomized = "
+              << none_attack << " / " << sg_attack << " / " << rsg_attack
+              << " of ideal\n";
+    bench::shape("unlevelled PCM dies almost immediately under attack",
+                 none_attack < 0.01);
+    bench::shape("start-gap extends attacked lifetime by >10x",
+                 sg_attack > 10 * none_attack);
+    bench::shape("randomized start-gap also protects",
+                 rsg_attack > 10 * none_attack);
+    bench::shape("benign uniform lifetime is a large fraction of ideal",
+                 sg_uniform > 0.4);
+    bench::shape("MLC drift errors grow with age", err_decade > err_day);
+    return 0;
+  });
 }

@@ -10,101 +10,137 @@
 // mitigation would need (its cost explodes), and the PARA probability that
 // keeps failure below a fixed target (its cost stays negligible) — the
 // quantitative form of the paper's "PARA scales, refresh does not".
+//
+// The five projected nodes are independent module tests, so they run as a
+// sim::Campaign grid (one job per node); the table and [shape] lines are
+// assembled post-merge and stay byte-identical at every --threads width.
 #include <cmath>
 #include <iostream>
+#include <set>
 
 #include "bench_util.h"
 #include "core/analysis.h"
 #include "core/module_tester.h"
 #include "core/system.h"
+#include "sim/campaign.h"
 
 using namespace densemem;
 using namespace densemem::core;
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
-  bench::banner("E15 (ext)", "§I / §II-D / §V",
-                "scaling projection: error rate and mitigation cost vs. "
-                "technology generation");
+  return bench::run_guarded([&]() -> int {
+    bench::banner("E15 (ext)", "§I / §II-D / §V",
+                  "scaling projection: error rate and mitigation cost vs. "
+                  "technology generation",
+                  args);
 
-  // Scaling ladder: each "node" halves the median hammer threshold and
-  // multiplies weak-cell density by 4 (the Figure-1 trend continued).
-  struct Node {
-    const char* name;
-    double hc50;
-    double density;
-  };
-  const Node nodes[] = {
-      {"2010-class", 250e3, 1e-8},  {"2012-class", 140e3, 1e-6},
-      {"2014-class", 100e3, 1e-5},  {"next-gen A", 50e3, 4e-5},
-      {"next-gen B", 25e3, 1.6e-4},
-  };
+    // Scaling ladder: each "node" halves the median hammer threshold and
+    // multiplies weak-cell density by 4 (the Figure-1 trend continued).
+    struct Node {
+      const char* name;
+      double hc50;
+      double density;
+    };
+    const Node nodes[] = {
+        {"2010-class", 250e3, 1e-8},  {"2012-class", 140e3, 1e-6},
+        {"2014-class", 100e3, 1e-5},  {"next-gen A", 50e3, 4e-5},
+        {"next-gen B", 25e3, 1.6e-4},
+    };
+    const std::size_t n_nodes = std::size(nodes);
 
-  const auto timing = dram::Timing::ddr3_1600();
-  const auto max_hammers = max_hammers_per_window(timing);
-  const double target_fail_per_window = 1e-15;
+    const auto timing = dram::Timing::ddr3_1600();
+    const auto max_hammers = max_hammers_per_window(timing);
+    const double target_fail_per_window = 1e-15;
 
-  Table t({"node", "hc50", "errors_per_1e9", "refresh_mult_needed",
-           "refresh_overhead_%", "para_p_needed", "para_overhead_%"});
-  t.set_precision(4);
+    bench::CampaignHarness harness(args, /*default_seed=*/15);
+    sim::Campaign campaign("scaling", harness.config());
+    // Per node: {errors_per_1e9, mult_needed, refresh_oh, para_p, para_oh}.
+    const auto results = campaign.map_journaled<bench::GridResult>(
+        n_nodes,
+        [&](const sim::JobContext& ctx) {
+          const Node& n = nodes[ctx.index];
+          dram::DeviceConfig dc;
+          dc.geometry = dram::Geometry{1, 1, 1, 4096, 8192};
+          dc.reliability = dram::ReliabilityParams::vulnerable();
+          dc.reliability.hc50 = n.hc50;
+          dc.reliability.weak_cell_density = n.density;
+          dc.seed = 1500;
+          dram::Device dev(dc);
+          core::ModuleTestConfig tc;
+          tc.sample_rows = args.quick ? 512 : 1024;
+          const auto res = core::ModuleTester(tc).run(dev);
 
-  double first_rate = -1, last_rate = 0;
-  double last_refresh_oh = 0;
-  double last_para_oh = 0;
-  for (const Node& n : nodes) {
-    dram::DeviceConfig dc;
-    dc.geometry = dram::Geometry{1, 1, 1, 4096, 8192};
-    dc.reliability = dram::ReliabilityParams::vulnerable();
-    dc.reliability.hc50 = n.hc50;
-    dc.reliability.weak_cell_density = n.density;
-    dc.seed = 1500;
-    dram::Device dev(dc);
-    core::ModuleTestConfig tc;
-    tc.sample_rows = args.quick ? 512 : 1024;
-    const auto res = core::ModuleTester(tc).run(dev);
+          // Refresh-based mitigation: window must shrink until the
+          // achievable hammer count drops below the weakest plausible cell
+          // (hc50 * e^-3sigma).
+          const double weakest =
+              n.hc50 * std::exp(-3.0 * dc.reliability.hc_sigma);
+          const double mult_needed =
+              static_cast<double>(max_hammers) / weakest;
+          const double refresh_oh =
+              refresh_time_overhead(timing) * mult_needed * 100.0;
 
-    // Refresh-based mitigation: window must shrink until the achievable
-    // hammer count drops below the weakest plausible cell (hc50 * e^-3sigma).
-    const double weakest =
-        n.hc50 * std::exp(-3.0 * dc.reliability.hc_sigma);
-    const double mult_needed =
-        static_cast<double>(max_hammers) / weakest;
-    const double refresh_oh =
-        refresh_time_overhead(timing) * mult_needed * 100.0;
+          // PARA: smallest p with per-window failure below target against
+          // the weakest cell (bisection on the analytic model).
+          double lo = 1e-6, hi = 0.5;
+          for (int it = 0; it < 60; ++it) {
+            const double mid = std::sqrt(lo * hi);
+            const double f = para_failure_probability(
+                mid, max_hammers, static_cast<std::uint64_t>(weakest));
+            (f > target_fail_per_window ? lo : hi) = mid;
+          }
+          const double para_p = hi;
+          // PARA cost: 2 extra row refreshes per triggered close -> time
+          // overhead ~= 2 * p * tRC / tRC = 2p of the activation stream.
+          const double para_oh = 2.0 * para_p * 100.0;
 
-    // PARA: smallest p with per-window failure below target against the
-    // weakest cell (bisection on the analytic model).
-    double lo = 1e-6, hi = 0.5;
-    for (int it = 0; it < 60; ++it) {
-      const double mid = std::sqrt(lo * hi);
-      const double f = para_failure_probability(
-          mid, max_hammers, static_cast<std::uint64_t>(weakest));
-      (f > target_fail_per_window ? lo : hi) = mid;
+          bench::GridResult r;
+          r.push_f(res.errors_per_1e9_cells);
+          r.push_f(mult_needed);
+          r.push_f(refresh_oh);
+          r.push_f(para_p);
+          r.push_f(para_oh);
+          return r;
+        },
+        bench::grid_codec());
+    const std::set<std::size_t> skipped = harness.report(campaign);
+
+    Table t({"node", "hc50", "errors_per_1e9", "refresh_mult_needed",
+             "refresh_overhead_%", "para_p_needed", "para_overhead_%"});
+    t.set_precision(4);
+    double first_rate = -1, last_rate = 0;
+    double last_refresh_oh = 0;
+    double last_para_oh = 0;
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      if (skipped.count(i)) continue;
+      const auto& f = results[i].f64s;
+      t.add_row({std::string(nodes[i].name), nodes[i].hc50, f[0], f[1], f[2],
+                 f[3], f[4]});
+      if (first_rate < 0) first_rate = f[0];
+      last_rate = f[0];
+      last_refresh_oh = f[2];
+      last_para_oh = f[4];
     }
-    const double para_p = hi;
-    // PARA cost: 2 extra row refreshes per triggered close -> time overhead
-    // ~= 2 * p * tRC / tRC = 2p of the activation stream.
-    const double para_oh = 2.0 * para_p * 100.0;
+    bench::emit(t, args);
 
-    t.add_row({std::string(n.name), n.hc50, res.errors_per_1e9_cells,
-               mult_needed, refresh_oh, para_p, para_oh});
-    if (first_rate < 0) first_rate = res.errors_per_1e9_cells;
-    last_rate = res.errors_per_1e9_cells;
-    last_refresh_oh = refresh_oh;
-    last_para_oh = para_oh;
-  }
-  bench::emit(t, args);
+    // Post-merge simulation metrics: main-thread, retry-safe, width-stable.
+    auto& metrics = harness.metrics();
+    metrics.set("scaling.last_node.errors_per_1e9", last_rate);
+    metrics.set("scaling.last_node.refresh_overhead_pct", last_refresh_oh);
+    metrics.set("scaling.last_node.para_overhead_pct", last_para_oh);
 
-  std::cout << "\npaper: scaling makes the problem worse; refresh-based "
-               "fixes stop scaling, controller-side intelligence (PARA) "
-               "keeps working\n";
-  bench::shape("module error rate grows monotonically across nodes",
-               last_rate > first_rate);
-  bench::shape("needed refresh multiplier exceeds 50x by next-gen B",
-               last_refresh_oh / (refresh_time_overhead(timing) * 100.0) > 50);
-  bench::shape("refresh overhead becomes prohibitive (>100% of rank time)",
-               last_refresh_oh > 100.0);
-  bench::shape("PARA overhead stays below 2% even at next-gen B",
-               last_para_oh < 2.0);
-  return 0;
+    std::cout << "\npaper: scaling makes the problem worse; refresh-based "
+                 "fixes stop scaling, controller-side intelligence (PARA) "
+                 "keeps working\n";
+    bench::shape("module error rate grows monotonically across nodes",
+                 last_rate > first_rate);
+    bench::shape("needed refresh multiplier exceeds 50x by next-gen B",
+                 last_refresh_oh / (refresh_time_overhead(timing) * 100.0) > 50);
+    bench::shape("refresh overhead becomes prohibitive (>100% of rank time)",
+                 last_refresh_oh > 100.0);
+    bench::shape("PARA overhead stays below 2% even at next-gen B",
+                 last_para_oh < 2.0);
+    return 0;
+  });
 }

@@ -39,66 +39,127 @@ std::string mirror_path(const std::string& base, const std::string& series,
 
 }  // namespace
 
-BenchArgs parse_args(int argc, char** argv) {
-  BenchArgs args;
+bool try_parse_args(int argc, char** argv, BenchArgs& args,
+                    std::string& error) {
+  args = BenchArgs{};
+  // Fetches the value token of a two-token flag, or fails the parse: a
+  // trailing `--csv` with nothing after it is a typo, not "no mirror".
+  const auto value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      error = std::string("flag '") + flag + "' expects a value";
+      return nullptr;
+    }
+    return argv[++i];
+  };
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-      args.csv_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      args.json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      args.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      args.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--max-retries") == 0 && i + 1 < argc) {
-      args.max_retries =
-          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (std::strcmp(argv[i], "--job-timeout") == 0 && i + 1 < argc) {
-      args.job_timeout_s = std::strtod(argv[++i], nullptr);
+    const char* v = nullptr;
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      if ((v = value(i, "--csv")) == nullptr) return false;
+      args.csv_path = v;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if ((v = value(i, "--json")) == nullptr) return false;
+      args.json_path = v;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if ((v = value(i, "--threads")) == nullptr) return false;
+      args.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if ((v = value(i, "--seed")) == nullptr) return false;
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-retries") == 0) {
+      if ((v = value(i, "--max-retries")) == nullptr) return false;
+      args.max_retries = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--job-timeout") == 0) {
+      if ((v = value(i, "--job-timeout")) == nullptr) return false;
+      args.job_timeout_s = std::strtod(v, nullptr);
     } else if (std::strncmp(argv[i], "--on-fail=", 10) == 0 ||
-               (std::strcmp(argv[i], "--on-fail") == 0 && i + 1 < argc)) {
-      const char* mode =
-          argv[i][9] == '=' ? argv[i] + 10 : argv[++i];
+               std::strcmp(argv[i], "--on-fail") == 0) {
+      const char* mode;
+      if (argv[i][9] == '=') {
+        mode = argv[i] + 10;
+      } else if ((mode = value(i, "--on-fail")) == nullptr) {
+        return false;
+      }
       if (std::strcmp(mode, "degrade") == 0) {
         args.degrade = true;
       } else if (std::strcmp(mode, "abort") == 0) {
         args.degrade = false;
       } else {
-        std::cerr << "unknown --on-fail mode '" << mode
-                  << "' (want abort|degrade)\n";
+        error = std::string("unknown --on-fail mode '") + mode +
+                "' (want abort|degrade)";
+        return false;
       }
-    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
-      args.journal_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      if ((v = value(i, "--journal")) == nullptr) return false;
+      args.journal_path = v;
       args.resume = false;
-    } else if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
-      args.journal_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      if ((v = value(i, "--resume")) == nullptr) return false;
+      args.journal_path = v;
       args.resume = true;
-    } else if (std::strcmp(argv[i], "--inject-faults") == 0 && i + 1 < argc) {
-      args.fault_seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--abort-after") == 0 && i + 1 < argc) {
-      args.abort_after = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--inject-faults") == 0) {
+      if ((v = value(i, "--inject-faults")) == nullptr) return false;
+      args.fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--abort-after") == 0) {
+      if ((v = value(i, "--abort-after")) == nullptr) return false;
+      args.abort_after = std::strtoull(v, nullptr, 10);
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
       args.metrics_path = argv[i] + 10;
-    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
-      args.metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      if ((v = value(i, "--metrics")) == nullptr) return false;
+      args.metrics_path = v;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       args.trace_path = argv[i] + 8;
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      args.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if ((v = value(i, "--trace")) == nullptr) return false;
+      args.trace_path = v;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
     } else {
-      std::cerr << "usage: " << argv[0]
-                << " [--csv <path>] [--json <path>] [--threads <n>]"
-                   " [--seed <s>] [--quick]\n"
-                   "       [--max-retries <n>] [--job-timeout <s>]"
-                   " [--on-fail=abort|degrade]\n"
-                   "       [--journal <path>] [--resume <path>]"
-                   " [--inject-faults <seed>] [--abort-after <k>]\n"
-                   "       [--metrics <path>] [--trace <path>]\n";
+      error = std::string("unknown flag '") + argv[i] + "'";
+      return false;
     }
   }
+  return true;
+}
+
+BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  std::string error;
+  if (!try_parse_args(argc, argv, args, error)) {
+    std::cerr << argv[0] << ": " << error << "\n"
+              << "usage: " << argv[0]
+              << " [--csv <path>] [--json <path>] [--threads <n>]"
+                 " [--seed <s>] [--quick]\n"
+                 "       [--max-retries <n>] [--job-timeout <s>]"
+                 " [--on-fail=abort|degrade]\n"
+                 "       [--journal <path>] [--resume <path>]"
+                 " [--inject-faults <seed>] [--abort-after <k>]\n"
+                 "       [--metrics <path>] [--trace <path>]\n";
+    std::exit(64);  // EX_USAGE
+  }
   return args;
+}
+
+sim::Campaign::JobCodec<GridResult> grid_codec() {
+  return {
+      [](const GridResult& r) {
+        sim::PayloadWriter pw;
+        pw.u64(r.u64s.size());
+        for (std::uint64_t v : r.u64s) pw.u64(v);
+        pw.u64(r.f64s.size());
+        for (double v : r.f64s) pw.f64(v);
+        return pw.take();
+      },
+      [](const std::string& payload) {
+        sim::PayloadReader pr(payload);
+        GridResult r;
+        r.u64s.resize(pr.u64());
+        for (std::uint64_t& v : r.u64s) v = pr.u64();
+        r.f64s.resize(pr.u64());
+        for (double& v : r.f64s) v = pr.f64();
+        return r;
+      },
+  };
 }
 
 void banner(const std::string& experiment_id, const std::string& paper_anchor,

@@ -54,7 +54,34 @@ struct BenchArgs {
   std::string trace_path;
 };
 
+/// Parses argv into `args`. Returns true on success; on an unknown flag, a
+/// flag missing its value, or a bad --on-fail mode, fills `error` and
+/// returns false with `args` left in an unspecified state.
+bool try_parse_args(int argc, char** argv, BenchArgs& args,
+                    std::string& error);
+
+/// try_parse_args, but a parse error prints the message plus a usage hint
+/// to stderr and exits with 64 (EX_USAGE): a typo like `--thread` must not
+/// silently run the bench with defaults.
 BenchArgs parse_args(int argc, char** argv);
+
+/// Generic per-job result for grid-ported benches: one counter channel and
+/// one measurement channel, written and read positionally (the job pushes
+/// in a fixed order, the post-merge code reads the same order). A single
+/// shared codec keeps each port to "push values in the job, read them
+/// after report()" instead of a bespoke serializer per table.
+struct GridResult {
+  std::vector<std::uint64_t> u64s;
+  std::vector<double> f64s;
+
+  void push(std::uint64_t v) { u64s.push_back(v); }
+  void push_f(double v) { f64s.push_back(v); }
+};
+
+/// Codec for GridResult: journal payloads carry both channels bit-exactly
+/// (doubles as IEEE-754 bit patterns), so a --resume replay re-emits the
+/// same table bytes as the original run.
+sim::Campaign::JobCodec<GridResult> grid_codec();
 
 /// Prints the experiment banner (id, paper anchor, what is reproduced).
 void banner(const std::string& experiment_id, const std::string& paper_anchor,

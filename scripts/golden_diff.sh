@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Golden-output driver: runs one bench at several --threads widths and
+# diffs its --quick stdout byte-for-byte against the committed golden.
+#
+#   golden_diff.sh <bench-exe> <golden-file> <diff-out-dir> <threads>...
+#
+# On a mismatch the unified diff is left in <diff-out-dir>/<bench>.t<N>.diff
+# (CI uploads that directory as an artifact) and the script exits nonzero.
+# Regenerate goldens with scripts/update_goldens.sh after an intentional
+# output change.
+set -u
+
+bench=$1
+golden=$2
+outdir=$3
+shift 3
+
+name=$(basename "$bench")
+mkdir -p "$outdir"
+status=0
+
+if [ ! -f "$golden" ]; then
+  echo "FAIL: no golden at $golden (run scripts/update_goldens.sh)"
+  exit 1
+fi
+
+for t in "$@"; do
+  out="$outdir/$name.t$t.out"
+  if ! "$bench" --quick --threads "$t" >"$out" 2>"$out.err"; then
+    echo "FAIL: $name --quick --threads $t exited nonzero; stderr:"
+    cat "$out.err"
+    status=1
+    continue
+  fi
+  if diff -u "$golden" "$out" >"$outdir/$name.t$t.diff"; then
+    rm -f "$outdir/$name.t$t.diff" "$out" "$out.err"
+    echo "ok: $name --threads $t matches golden"
+  else
+    echo "FAIL: $name --threads $t stdout differs from golden:"
+    head -40 "$outdir/$name.t$t.diff"
+    status=1
+  fi
+done
+exit $status

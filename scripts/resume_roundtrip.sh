@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Fault-injection + journal resume round trip for a campaign bench: a clean
+# run and an interrupted-then-resumed run (both with injected faults) must
+# produce byte-identical stdout.
+#
+#   resume_roundtrip.sh <bench-exe> <workdir>
+set -u
+
+bench=$1
+work=$2
+name=$(basename "$bench")
+mkdir -p "$work"
+rm -f "$work/$name".*
+
+if ! "$bench" --quick --threads 2 >"$work/$name.clean.txt" 2>/dev/null; then
+  echo "FAIL: clean run exited nonzero"
+  exit 1
+fi
+
+# Interrupted run: injected faults exercise the retry path, --abort-after
+# checkpoints mid-campaign. Exit 75 = interrupted-but-journaled (EX_TEMPFAIL).
+rc=0
+"$bench" --quick --threads 2 --inject-faults 7 --max-retries 2 \
+  --journal "$work/$name.journal" --abort-after 2 \
+  >"$work/$name.partial.txt" 2>"$work/$name.partial.err" || rc=$?
+if [ "$rc" -ne 75 ]; then
+  echo "FAIL: interrupted run expected exit 75, got $rc; stderr:"
+  cat "$work/$name.partial.err"
+  exit 1
+fi
+
+if ! "$bench" --quick --threads 2 --inject-faults 7 --max-retries 2 \
+    --resume "$work/$name.journal" \
+    >"$work/$name.resumed.txt" 2>"$work/$name.resumed.err"; then
+  echo "FAIL: resumed run exited nonzero; stderr:"
+  cat "$work/$name.resumed.err"
+  exit 1
+fi
+if ! grep -q 'resumed' "$work/$name.resumed.err"; then
+  echo "FAIL: resumed run never replayed journaled jobs"
+  exit 1
+fi
+
+if ! diff -u "$work/$name.clean.txt" "$work/$name.resumed.txt" \
+    >"$work/$name.diff"; then
+  echo "FAIL: resumed stdout differs from clean run:"
+  head -40 "$work/$name.diff"
+  exit 1
+fi
+echo "ok: $name interrupted+resumed stdout is byte-identical to a clean run"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerate tests/golden/<bench>.quick.txt from the current bench binaries.
+#
+#   scripts/update_goldens.sh [build-dir]
+#
+# Run this ONLY after an intentional output change, then review the golden
+# diff like any other code change: every line that moves is a behaviour
+# change the PR must explain. bench_micro has no golden (google-benchmark
+# prints wall-clock timings, which are inherently nondeterministic).
+set -eu
+
+build=${1:-build}
+repo=$(cd "$(dirname "$0")/.." && pwd)
+
+found=0
+for exe in "$build"/bench/bench_*; do
+  [ -f "$exe" ] && [ -x "$exe" ] || continue
+  name=$(basename "$exe")
+  [ "$name" = bench_micro ] && continue
+  echo "golden: $name"
+  "$exe" --quick >"$repo/tests/golden/$name.quick.txt"
+  found=$((found + 1))
+done
+
+if [ "$found" -eq 0 ]; then
+  echo "error: no bench binaries under $build/bench (build with -DDENSEMEM_BUILD_BENCH=ON)" >&2
+  exit 1
+fi
+echo "regenerated $found goldens in tests/golden/"

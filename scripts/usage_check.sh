@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# A typoed flag (e.g. --thread for --threads) must fail fast with exit 64
+# (EX_USAGE) and a usage hint on stderr — not be silently ignored.
+#
+#   usage_check.sh <bench-exe>
+set -u
+
+bench=$1
+rc=0
+err=$("$bench" --thread 2 2>&1 >/dev/null) || rc=$?
+
+if [ "$rc" -ne 64 ]; then
+  echo "FAIL: expected exit 64 for unknown flag, got $rc"
+  exit 1
+fi
+if ! printf '%s\n' "$err" | grep -q "unknown flag '--thread'"; then
+  echo "FAIL: stderr does not name the unknown flag:"
+  printf '%s\n' "$err"
+  exit 1
+fi
+if ! printf '%s\n' "$err" | grep -q "usage:"; then
+  echo "FAIL: stderr has no usage hint:"
+  printf '%s\n' "$err"
+  exit 1
+fi
+echo "ok: unknown flag rejected with exit 64 and a usage hint"

@@ -118,6 +118,78 @@ TEST(SimBenchArgs, ParsesRetryTimeoutAndFaultFlags) {
   EXPECT_EQ(args.abort_after, 17u);
 }
 
+TEST(SimBenchArgs, RejectsUnknownFlags) {
+  // A typo like `--thread` must fail the parse, not silently run the bench
+  // with default settings (parse_args turns this into exit 64 + usage).
+  std::vector<const char*> argv = {"bench_test", "--thread", "2"};
+  BenchArgs args;
+  std::string error;
+  EXPECT_FALSE(try_parse_args(static_cast<int>(argv.size()),
+                              const_cast<char**>(argv.data()), args, error));
+  EXPECT_NE(error.find("--thread"), std::string::npos) << error;
+  EXPECT_NE(error.find("unknown flag"), std::string::npos) << error;
+}
+
+TEST(SimBenchArgs, RejectsFlagsMissingTheirValue) {
+  for (const char* flag :
+       {"--csv", "--json", "--threads", "--seed", "--max-retries",
+        "--job-timeout", "--on-fail", "--journal", "--resume",
+        "--inject-faults", "--abort-after", "--metrics", "--trace"}) {
+    std::vector<const char*> argv = {"bench_test", flag};
+    BenchArgs args;
+    std::string error;
+    EXPECT_FALSE(try_parse_args(static_cast<int>(argv.size()),
+                                const_cast<char**>(argv.data()), args, error))
+        << flag;
+    EXPECT_NE(error.find(flag), std::string::npos) << error;
+    EXPECT_NE(error.find("expects a value"), std::string::npos) << error;
+  }
+}
+
+TEST(SimBenchArgs, RejectsUnknownOnFailMode) {
+  std::vector<const char*> argv = {"bench_test", "--on-fail=retry"};
+  BenchArgs args;
+  std::string error;
+  EXPECT_FALSE(try_parse_args(static_cast<int>(argv.size()),
+                              const_cast<char**>(argv.data()), args, error));
+  EXPECT_NE(error.find("retry"), std::string::npos) << error;
+}
+
+TEST(SimBenchArgs, TryParseAcceptsEveryDocumentedFlag) {
+  std::vector<const char*> argv = {
+      "bench_test",      "--csv",          "/tmp/c", "--json",
+      "/tmp/j",          "--threads",      "4",      "--seed",
+      "7",               "--quick",        "--max-retries",
+      "1",               "--job-timeout",  "0.5",    "--on-fail=degrade",
+      "--journal",       "/tmp/jr",        "--inject-faults",
+      "3",               "--abort-after",  "2",      "--metrics=/tmp/m",
+      "--trace=/tmp/t"};
+  BenchArgs args;
+  std::string error;
+  EXPECT_TRUE(try_parse_args(static_cast<int>(argv.size()),
+                             const_cast<char**>(argv.data()), args, error))
+      << error;
+  EXPECT_EQ(args.threads, 4u);
+  EXPECT_TRUE(args.degrade);
+  EXPECT_EQ(args.metrics_path, "/tmp/m");
+}
+
+TEST(SimBenchArgs, GridCodecRoundTripsBothChannelsBitExactly) {
+  GridResult r;
+  r.u64s = {0, 1, ~std::uint64_t{0}, 42};
+  r.f64s = {0.0, -1.5, 3.14159265358979, 1e-300};
+  const auto codec = grid_codec();
+  const GridResult back = codec.decode(codec.encode(r));
+  EXPECT_EQ(back.u64s, r.u64s);
+  ASSERT_EQ(back.f64s.size(), r.f64s.size());
+  for (std::size_t i = 0; i < r.f64s.size(); ++i)
+    EXPECT_EQ(back.f64s[i], r.f64s[i]);  // bit-exact, not approximately
+
+  const GridResult empty = codec.decode(codec.encode(GridResult{}));
+  EXPECT_TRUE(empty.u64s.empty());
+  EXPECT_TRUE(empty.f64s.empty());
+}
+
 TEST(SimBenchArgs, ParsesOnFailInBothForms) {
   EXPECT_TRUE(parse({"--on-fail=degrade"}).degrade);
   EXPECT_TRUE(parse({"--on-fail", "degrade"}).degrade);
