@@ -32,20 +32,53 @@ ModuleTestResult ModuleTester::run(dram::Device& dev) const {
     std::sort(victims.begin(), victims.end());
   }
 
-  Time t = Time::ms(0);
-  std::vector<std::uint64_t> row_words(g.row_words());
-  for (std::uint32_t v : victims) {
-    std::set<std::uint32_t> failing_bits;
-    for (dram::BackgroundPattern pat : cfg_.patterns) {
-      // Re-initialize the 5-row neighbourhood with the pattern: writing a
-      // row restores its charge and clears previous flips.
-      for (std::uint32_t r = v - 2; r <= v + 2; ++r) {
+  // Every deterministic pattern's row words depend only on row parity, so
+  // two templates per pattern replace the per-victim regeneration of five
+  // full rows (kRandom words depend on (row, word) and are still generated
+  // per row, into a reused buffer).
+  struct PatternRows {
+    dram::BackgroundPattern pat;
+    bool random;
+    std::vector<std::uint64_t> tmpl[2];  ///< by row parity; empty if random
+  };
+  std::vector<PatternRows> prows;
+  prows.reserve(cfg_.patterns.size());
+  for (dram::BackgroundPattern pat : cfg_.patterns) {
+    PatternRows pr;
+    pr.pat = pat;
+    pr.random = pat == dram::BackgroundPattern::kRandom;
+    if (!pr.random) {
+      for (std::uint32_t parity = 0; parity < 2; ++parity) {
+        pr.tmpl[parity].resize(g.row_words());
         for (std::uint32_t w = 0; w < g.row_words(); ++w) {
           // fill_row compares against the *device* pattern source, so build
           // the words with the same generator as the check below.
-          row_words[w] = dram::pattern_word_value(pat, cfg_.seed, r, w);
+          pr.tmpl[parity][w] =
+              dram::pattern_word_value(pat, cfg_.seed, parity, w);
         }
-        dev.fill_row(cfg_.fbank, r, row_words, t);
+      }
+    }
+    prows.push_back(std::move(pr));
+  }
+
+  Time t = Time::ms(0);
+  std::vector<std::uint64_t> rand_row(g.row_words());
+  std::vector<std::uint64_t> victim_rand(g.row_words());
+  std::vector<std::uint64_t> readback;
+  for (std::uint32_t v : victims) {
+    std::set<std::uint32_t> failing_bits;
+    for (const PatternRows& pr : prows) {
+      // Re-initialize the 5-row neighbourhood with the pattern: writing a
+      // row restores its charge and clears previous flips.
+      for (std::uint32_t r = v - 2; r <= v + 2; ++r) {
+        if (pr.random) {
+          for (std::uint32_t w = 0; w < g.row_words(); ++w)
+            rand_row[w] = dram::pattern_word_value(pr.pat, cfg_.seed, r, w);
+          if (r == v) victim_rand = rand_row;
+          dev.fill_row(cfg_.fbank, r, rand_row, t);
+        } else {
+          dev.fill_row(cfg_.fbank, r, pr.tmpl[r & 1], t);
+        }
       }
       // hammer_count is the total activation budget of one refresh window;
       // the aggressor loop splits it. Double-sided spends all of it on rows
@@ -63,10 +96,11 @@ ModuleTestResult ModuleTester::run(dram::Device& dev) const {
       t += Time::ms(64);
       dev.activate(cfg_.fbank, v, t);
       dev.precharge(cfg_.fbank, t);
-      const auto readback = dev.snapshot_row(cfg_.fbank, v);
+      dev.snapshot_row(cfg_.fbank, v, readback);
+      const std::vector<std::uint64_t>& expected =
+          pr.random ? victim_rand : pr.tmpl[v & 1];
       for (std::uint32_t w = 0; w < g.row_words(); ++w) {
-        std::uint64_t diff =
-            readback[w] ^ dram::pattern_word_value(pat, cfg_.seed, v, w);
+        std::uint64_t diff = readback[w] ^ expected[w];
         while (diff) {
           const auto bit = static_cast<std::uint32_t>(__builtin_ctzll(diff));
           failing_bits.insert(w * 64 + bit);

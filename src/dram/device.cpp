@@ -51,11 +51,28 @@ std::uint64_t Device::pattern_word(std::uint32_t row,
   return pattern_word_value(cfg_.pattern, cfg_.seed, row, col_word);
 }
 
-bool Device::stored_bit(std::uint32_t fbank, std::uint32_t prow,
-                        std::uint32_t bit) const {
-  const auto it = data_.find(flat_row(fbank, prow));
-  if (it == data_.end()) return pattern_bit(remap_.to_logical(prow), bit);
-  return (it->second[bit / 64] >> (bit % 64)) & 1;
+Device::RowCtx Device::make_row_ctx(std::uint32_t fbank,
+                                    std::uint32_t prow) const {
+  RowCtx ctx;
+  ctx.fbank = fbank;
+  ctx.prow = prow;
+  const bool uniform = cfg_.pattern != BackgroundPattern::kRandom;
+  auto resolve = [&](RowView& v, std::uint32_t p) {
+    v.present = true;
+    v.logical = remap_.to_logical(p);
+    const auto it = data_.find(flat_row(fbank, p));
+    if (it != data_.end()) {
+      v.words = it->second.data();
+    } else if (uniform) {
+      v.uniform = true;
+      v.fill = pattern_word_value(cfg_.pattern, cfg_.seed, v.logical, 0);
+    }
+  };
+  resolve(ctx.self, prow);
+  ctx.logical = ctx.self.logical;
+  if (prow > 0) resolve(ctx.up, prow - 1);
+  if (prow + 1 < cfg_.geometry.rows) resolve(ctx.down, prow + 1);
+  return ctx;
 }
 
 std::vector<std::uint64_t>& Device::materialize(std::uint32_t fbank,
@@ -72,19 +89,12 @@ std::vector<std::uint64_t>& Device::materialize(std::uint32_t fbank,
   return it->second;
 }
 
-int Device::antiparallel_neighbors(std::uint32_t fbank, std::uint32_t prow,
-                                   std::uint32_t bit) const {
-  const bool mine = stored_bit(fbank, prow, bit);
-  int n = 0;
-  if (prow > 0 && stored_bit(fbank, prow - 1, bit) != mine) ++n;
-  if (prow + 1 < cfg_.geometry.rows && stored_bit(fbank, prow + 1, bit) != mine)
-    ++n;
-  return n;
-}
-
-void Device::apply_flip(std::uint32_t fbank, std::uint32_t prow,
-                        std::uint32_t bit, FlipCause cause, Time now) {
-  auto& words = materialize(fbank, prow);
+void Device::apply_flip(RowCtx& ctx, std::uint32_t bit, FlipCause cause,
+                        Time now) {
+  auto& words = materialize(ctx.fbank, ctx.prow);
+  // A pattern-backed row materializes on its first flip; later cells in
+  // this same commit pass must read the flipped words, not the pattern.
+  ctx.self.words = words.data();
   const std::uint64_t mask = std::uint64_t{1} << (bit % 64);
   const bool was_one = (words[bit / 64] & mask) != 0;
   words[bit / 64] ^= mask;
@@ -97,63 +107,72 @@ void Device::apply_flip(std::uint32_t fbank, std::uint32_t prow,
   else
     ++stats_.flips_0to1;
   if (cfg_.record_flip_events && events_.size() < kMaxEvents) {
-    events_.push_back(FlipEvent{fbank, prow, remap_.to_logical(prow), bit,
-                                cause, was_one, now});
+    events_.push_back(
+        FlipEvent{ctx.fbank, ctx.prow, ctx.logical, bit, cause, was_one, now});
   }
 }
 
-void Device::commit_disturbance(std::uint32_t fbank, std::uint32_t prow,
-                                Time now) {
-  const float stress = stress_[flat_row(fbank, prow)];
-  if (stress <= 0.0f || !faults_.row_has_weak(fbank, prow)) return;
-  for (const WeakCell& c : faults_.weak_cells(fbank, prow)) {
-    const bool value = stored_bit(fbank, prow, c.bit);
+void Device::commit_disturbance(RowCtx& ctx, float stress, Time now) {
+  for (const WeakCell& c : faults_.weak_cells(ctx.fbank, ctx.prow)) {
+    const bool value = view_bit(ctx.self, c.bit);
     // Only a charged cell can lose charge: true cell stores 1 charged,
     // anti-cell stores 0 charged.
     const bool charged = (value != c.anti_cell);
     if (!charged) continue;
-    const int a = antiparallel_neighbors(fbank, prow, c.bit);
+    int a = 0;
+    if (ctx.up.present && view_bit(ctx.up, c.bit) != value) ++a;
+    if (ctx.down.present && view_bit(ctx.down, c.bit) != value) ++a;
     const double pattern_factor =
         (1.0 - c.dpd_sens) + c.dpd_sens * (static_cast<double>(a) / 2.0);
     if (static_cast<double>(stress) * pattern_factor >=
         static_cast<double>(c.threshold)) {
-      apply_flip(fbank, prow, c.bit, FlipCause::kDisturbance, now);
+      apply_flip(ctx, c.bit, FlipCause::kDisturbance, now);
     }
   }
 }
 
-void Device::commit_retention(std::uint32_t fbank, std::uint32_t prow,
-                              Time now) {
-  if (!faults_.row_has_leaky(fbank, prow)) return;
-  const Time last = last_restore_[flat_row(fbank, prow)];
-  const double dt_ms = (now - last).as_ms();
-  if (dt_ms <= 0.0) return;
+void Device::commit_retention(RowCtx& ctx, double dt_ms, Time now) {
   const double dpd_strength = cfg_.reliability.retention_dpd_strength;
-  for (LeakyCell& c : faults_.leaky_cells(fbank, prow)) {
+  for (LeakyCell& c : faults_.leaky_cells(ctx.fbank, ctx.prow)) {
     // Evolve the VRT state over the elapsed interval (memoryless process).
     if (c.vrt) {
       const double p_switch =
           1.0 - std::exp(-cfg_.reliability.vrt_rate_hz * dt_ms * 1e-3);
       if (rng_.bernoulli(p_switch)) c.vrt_low = !c.vrt_low;
     }
-    const bool value = stored_bit(fbank, prow, c.bit);
+    const bool value = view_bit(ctx.self, c.bit);
     const bool charged = (value != c.anti_cell);
     if (!charged) continue;
-    const int a = antiparallel_neighbors(fbank, prow, c.bit);
+    int a = 0;
+    if (ctx.up.present && view_bit(ctx.up, c.bit) != value) ++a;
+    if (ctx.down.present && view_bit(ctx.down, c.bit) != value) ++a;
     const double dpd_factor =
         1.0 - dpd_strength * c.dpd_sens * (static_cast<double>(a) / 2.0);
     const double base =
         (c.vrt && !c.vrt_low) ? c.retention_high_ms : c.retention_ms;
     if (dt_ms > base * dpd_factor)
-      apply_flip(fbank, prow, c.bit, FlipCause::kRetention, now);
+      apply_flip(ctx, c.bit, FlipCause::kRetention, now);
   }
 }
 
 void Device::restore_row(std::uint32_t fbank, std::uint32_t prow, Time now) {
-  commit_retention(fbank, prow, now);
-  commit_disturbance(fbank, prow, now);
-  stress_[flat_row(fbank, prow)] = 0.0f;
-  last_restore_[flat_row(fbank, prow)] = now;
+  const std::size_t fr = flat_row(fbank, prow);
+  const float stress = stress_[fr];
+  const double dt_ms = (now - last_restore_[fr]).as_ms();
+  // Same commit gating as always, hoisted: retention runs iff time elapsed
+  // and the row has leaky cells, disturbance iff stress is pending and the
+  // row has weak cells. The overwhelmingly common case — neither — never
+  // resolves row data at all.
+  const bool do_ret = faults_.row_has_leaky(fbank, prow) && dt_ms > 0.0;
+  const bool do_dist = stress > 0.0f && faults_.row_has_weak(fbank, prow) &&
+                       faults_.disturb_possible(fbank, prow, stress);
+  if (do_ret || do_dist) {
+    RowCtx ctx = make_row_ctx(fbank, prow);
+    if (do_ret) commit_retention(ctx, dt_ms, now);
+    if (do_dist) commit_disturbance(ctx, stress, now);
+  }
+  stress_[fr] = 0.0f;
+  last_restore_[fr] = now;
 }
 
 void Device::disturb_neighbors(std::uint32_t fbank, std::uint32_t prow,
@@ -276,13 +295,22 @@ void Device::fill_row(std::uint32_t fbank, std::uint32_t row,
 
 std::vector<std::uint64_t> Device::snapshot_row(std::uint32_t fbank,
                                                 std::uint32_t row) const {
+  std::vector<std::uint64_t> words;
+  snapshot_row(fbank, row, words);
+  return words;
+}
+
+void Device::snapshot_row(std::uint32_t fbank, std::uint32_t row,
+                          std::vector<std::uint64_t>& out) const {
   const std::uint32_t prow = remap_.to_physical(row);
   const auto it = data_.find(flat_row(fbank, prow));
-  if (it != data_.end()) return it->second;
-  std::vector<std::uint64_t> words(cfg_.geometry.row_words());
-  for (std::uint32_t w = 0; w < words.size(); ++w)
-    words[w] = pattern_word(row, w);
-  return words;
+  if (it != data_.end()) {
+    out = it->second;
+    return;
+  }
+  out.resize(cfg_.geometry.row_words());
+  for (std::uint32_t w = 0; w < out.size(); ++w)
+    out[w] = pattern_word(row, w);
 }
 
 }  // namespace densemem::dram

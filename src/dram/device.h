@@ -124,6 +124,11 @@ class Device {
   /// committed — faults are not applied; read via activate() to realize them).
   std::vector<std::uint64_t> snapshot_row(std::uint32_t fbank,
                                           std::uint32_t row) const;
+  /// Allocation-free variant: writes the row into `out` (resized to
+  /// row_words()). Testers that snapshot thousands of rows per run reuse
+  /// one buffer instead of constructing a vector per call.
+  void snapshot_row(std::uint32_t fbank, std::uint32_t row,
+                    std::vector<std::uint64_t>& out) const;
   /// The value the row would hold if no fault had ever occurred and software
   /// never wrote it (background pattern reference).
   std::uint64_t pattern_word(std::uint32_t row, std::uint32_t col_word) const;
@@ -141,27 +146,57 @@ class Device {
   }
 
  private:
+  /// Resolved view of one physical row for a commit pass: either a pointer
+  /// into materialized storage, or — for rows software never wrote — the
+  /// background pattern. Every deterministic pattern repeats a single
+  /// 64-bit word across the row (only the row's parity matters), so the
+  /// view carries that word and a bit read is a shift/mask; kRandom falls
+  /// back to the per-(row, word) hash.
+  struct RowView {
+    const std::uint64_t* words = nullptr;  ///< materialized storage
+    std::uint64_t fill = 0;     ///< uniform pattern word when !words
+    std::uint32_t logical = 0;  ///< for the kRandom fallback
+    bool uniform = false;       ///< deterministic (non-kRandom) pattern
+    bool present = false;       ///< row exists (bank-edge neighbours don't)
+  };
+  /// Views of a row and its two neighbours for one commit pass. The commit
+  /// loops consult stored bits of (row-1, row, row+1) once per weak/leaky
+  /// cell; resolving the three data_ lookups here turns each consult into
+  /// a pointer or pattern-word read. unordered_map references are stable
+  /// under insertion and only the self row is flipped during a commit, so
+  /// the neighbour views stay valid across apply_flip(); apply_flip
+  /// refreshes `self` when it materializes a pattern-backed row.
+  struct RowCtx {
+    std::uint32_t fbank = 0, prow = 0;
+    std::uint32_t logical = 0;
+    RowView self, up, down;  ///< up = prow - 1, down = prow + 1
+  };
+
   std::size_t flat_row(std::uint32_t fbank, std::uint32_t prow) const {
     DM_DCHECK(fbank < nbanks_ && prow < cfg_.geometry.rows);
     return static_cast<std::size_t>(fbank) * cfg_.geometry.rows + prow;
   }
-  bool stored_bit(std::uint32_t fbank, std::uint32_t prow,
-                  std::uint32_t bit) const;
   bool pattern_bit(std::uint32_t logical_row, std::uint32_t bit) const;
+  /// Stored bit via a resolved row view.
+  bool view_bit(const RowView& v, std::uint32_t bit) const {
+    if (v.words) return (v.words[bit / 64] >> (bit % 64)) & 1;
+    if (v.uniform) return (v.fill >> (bit % 64)) & 1;
+    return pattern_bit(v.logical, bit);
+  }
+  RowCtx make_row_ctx(std::uint32_t fbank, std::uint32_t prow) const;
   std::vector<std::uint64_t>& materialize(std::uint32_t fbank,
                                           std::uint32_t prow);
   /// Commit pending disturbance + retention faults of a physical row, then
-  /// restore its charge (reset stress, stamp last_restore).
+  /// restore its charge (reset stress, stamp last_restore). Builds the row
+  /// context only when a commit will actually run (the common case — a row
+  /// with no pending stress and no faults — touches nothing but the flat
+  /// stress/last_restore arrays).
   void restore_row(std::uint32_t fbank, std::uint32_t prow, Time now);
-  void commit_disturbance(std::uint32_t fbank, std::uint32_t prow, Time now);
-  void commit_retention(std::uint32_t fbank, std::uint32_t prow, Time now);
-  void apply_flip(std::uint32_t fbank, std::uint32_t prow, std::uint32_t bit,
-                  FlipCause cause, Time now);
+  void commit_disturbance(RowCtx& ctx, float stress, Time now);
+  void commit_retention(RowCtx& ctx, double dt_ms, Time now);
+  void apply_flip(RowCtx& ctx, std::uint32_t bit, FlipCause cause, Time now);
   /// Add `count` activations' worth of disturbance around a physical row.
   void disturb_neighbors(std::uint32_t fbank, std::uint32_t prow, float count);
-  /// Count of adjacent physical rows whose same-column bit is antiparallel.
-  int antiparallel_neighbors(std::uint32_t fbank, std::uint32_t prow,
-                             std::uint32_t bit) const;
 
   DeviceConfig cfg_;
   std::uint32_t nbanks_;

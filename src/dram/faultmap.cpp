@@ -22,34 +22,49 @@ FaultMap::FaultMap(std::uint64_t seed, std::uint32_t banks, std::uint32_t rows,
       rows_(rows),
       row_bits_(row_bits),
       params_(params),
-      weak_count_(static_cast<std::size_t>(banks) * rows, 0),
-      leaky_count_(static_cast<std::size_t>(banks) * rows, 0) {
-  const double weak_mean = params_.weak_cell_density * row_bits_;
-  const double leaky_mean = params_.leaky_cell_density * row_bits_;
-  for (std::uint32_t b = 0; b < banks_; ++b) {
-    for (std::uint32_t r = 0; r < rows_; ++r) {
-      const std::size_t i = idx(b, r);
-      if (weak_mean > 0) {
-        Rng rng(hash_coords(seed_, kTagWeakCount, b, r));
-        const auto n = static_cast<std::uint16_t>(
-            std::min<std::uint64_t>(rng.poisson(weak_mean), 0xFFFF));
-        weak_count_[i] = n;
-        total_weak_ += n;
-      }
-      if (leaky_mean > 0) {
-        Rng rng(hash_coords(seed_, kTagLeakCount, b, r));
-        const auto n = static_cast<std::uint16_t>(
-            std::min<std::uint64_t>(rng.poisson(leaky_mean), 0xFFFF));
-        leaky_count_[i] = n;
-        total_leaky_ += n;
-      }
+      weak_mean_(params.weak_cell_density * row_bits),
+      leaky_mean_(params.leaky_cell_density * row_bits),
+      weak_count_(static_cast<std::size_t>(banks) * rows, kUnknownCount),
+      leaky_count_(static_cast<std::size_t>(banks) * rows, kUnknownCount),
+      weak_min_thr_(static_cast<std::size_t>(banks) * rows, kThrUnknown),
+      weak_rows_cache_(banks),
+      leaky_rows_cache_(banks),
+      weak_rows_built_(banks, 0),
+      leaky_rows_built_(banks, 0) {}
+
+std::uint32_t FaultMap::weak_row_count(std::uint32_t bank,
+                                       std::uint32_t row) const {
+  std::uint32_t& c = weak_count_[idx(bank, row)];
+  if (c == kUnknownCount) {
+    if (weak_mean_ > 0) {
+      Rng rng(hash_coords(seed_, kTagWeakCount, bank, row));
+      c = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(rng.poisson(weak_mean_), 0xFFFF));
+    } else {
+      c = 0;
     }
   }
+  return c;
+}
+
+std::uint32_t FaultMap::leaky_row_count(std::uint32_t bank,
+                                        std::uint32_t row) const {
+  std::uint32_t& c = leaky_count_[idx(bank, row)];
+  if (c == kUnknownCount) {
+    if (leaky_mean_ > 0) {
+      Rng rng(hash_coords(seed_, kTagLeakCount, bank, row));
+      c = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(rng.poisson(leaky_mean_), 0xFFFF));
+    } else {
+      c = 0;
+    }
+  }
+  return c;
 }
 
 std::vector<WeakCell> FaultMap::generate_weak(std::uint32_t bank,
                                               std::uint32_t row) const {
-  const std::size_t n = weak_count_[idx(bank, row)];
+  const std::size_t n = weak_row_count(bank, row);
   std::vector<WeakCell> cells;
   cells.reserve(n);
   Rng rng(hash_coords(seed_, kTagWeakCells, bank, row));
@@ -71,7 +86,7 @@ std::vector<WeakCell> FaultMap::generate_weak(std::uint32_t bank,
 
 std::vector<LeakyCell> FaultMap::generate_leaky(std::uint32_t bank,
                                                 std::uint32_t row) const {
-  const std::size_t n = leaky_count_[idx(bank, row)];
+  const std::size_t n = leaky_row_count(bank, row);
   std::vector<LeakyCell> cells;
   cells.reserve(n);
   Rng rng(hash_coords(seed_, kTagLeakCells, bank, row));
@@ -98,11 +113,16 @@ std::vector<LeakyCell> FaultMap::generate_leaky(std::uint32_t bank,
 
 const std::vector<WeakCell>& FaultMap::weak_cells(std::uint32_t bank,
                                                   std::uint32_t row) const {
+  if (weak_row_count(bank, row) == 0) return kNoWeak;
   const std::size_t i = idx(bank, row);
-  if (weak_count_[i] == 0) return kNoWeak;
   auto it = weak_cache_.find(i);
-  if (it == weak_cache_.end())
+  if (it == weak_cache_.end()) {
     it = weak_cache_.emplace(i, generate_weak(bank, row)).first;
+    float min_thr = it->second.front().threshold;
+    for (const WeakCell& c : it->second)
+      if (c.threshold < min_thr) min_thr = c.threshold;
+    weak_min_thr_[i] = min_thr;
+  }
   return it->second;
 }
 
@@ -115,18 +135,49 @@ std::vector<LeakyCell>& FaultMap::leaky_cells(std::uint32_t bank,
   return it->second;
 }
 
-std::vector<std::uint32_t> FaultMap::weak_rows(std::uint32_t bank) const {
-  std::vector<std::uint32_t> out;
-  for (std::uint32_t r = 0; r < rows_; ++r)
-    if (weak_count_[idx(bank, r)] != 0) out.push_back(r);
-  return out;
+const std::vector<std::uint32_t>& FaultMap::weak_rows(
+    std::uint32_t bank) const {
+  DM_DCHECK(bank < banks_);
+  if (!weak_rows_built_[bank]) {
+    auto& out = weak_rows_cache_[bank];
+    for (std::uint32_t r = 0; r < rows_; ++r)
+      if (weak_row_count(bank, r) != 0) out.push_back(r);
+    weak_rows_built_[bank] = 1;
+  }
+  return weak_rows_cache_[bank];
 }
 
-std::vector<std::uint32_t> FaultMap::leaky_rows(std::uint32_t bank) const {
-  std::vector<std::uint32_t> out;
-  for (std::uint32_t r = 0; r < rows_; ++r)
-    if (leaky_count_[idx(bank, r)] != 0) out.push_back(r);
-  return out;
+const std::vector<std::uint32_t>& FaultMap::leaky_rows(
+    std::uint32_t bank) const {
+  DM_DCHECK(bank < banks_);
+  if (!leaky_rows_built_[bank]) {
+    auto& out = leaky_rows_cache_[bank];
+    for (std::uint32_t r = 0; r < rows_; ++r)
+      if (leaky_row_count(bank, r) != 0) out.push_back(r);
+    leaky_rows_built_[bank] = 1;
+  }
+  return leaky_rows_cache_[bank];
+}
+
+void FaultMap::force_totals() const {
+  if (totals_built_) return;
+  for (std::uint32_t b = 0; b < banks_; ++b) {
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+      total_weak_ += weak_row_count(b, r);
+      total_leaky_ += leaky_row_count(b, r);
+    }
+  }
+  totals_built_ = true;
+}
+
+std::uint64_t FaultMap::total_weak_cells() const {
+  force_totals();
+  return total_weak_;
+}
+
+std::uint64_t FaultMap::total_leaky_cells() const {
+  force_totals();
+  return total_leaky_;
 }
 
 }  // namespace densemem::dram

@@ -6,6 +6,19 @@
 // (a) memory stays proportional to the rows actually touched, (b) a module
 // is perfectly reproducible, and (c) sampling a subset of rows gives an
 // unbiased estimate of whole-module error rates (cell faults are i.i.d.).
+//
+// Laziness goes all the way down: the per-row fault *counts* (Poisson draws
+// keyed by hash_coords(seed, tag, bank, row)) are also derived on first
+// touch, not in an eager construction scan — constructing a map for a
+// 32K-row module costs O(1) hashes, and a campaign job only ever pays for
+// the rows it actually activates. Because every row's count comes from its
+// own coordinate-hashed stream, the values are bit-identical to an eager
+// full-array scan in any access order. Aggregates (total_weak_cells,
+// weak_rows) force exactly the rows they need and memoize the answer, so
+// repeated queries are O(1) / O(occupied rows).
+//
+// FaultMap is not thread-safe: it memoizes through mutable caches. Devices
+// (and therefore their maps) are per-campaign-job objects by design.
 #pragma once
 
 #include <cstdint>
@@ -50,27 +63,53 @@ class FaultMap {
   /// because VRT state lives inside the cells.
   std::vector<LeakyCell>& leaky_cells(std::uint32_t bank, std::uint32_t row);
 
-  /// Fast predicate: does this row have any weak / leaky cells? O(1) after
-  /// construction; lets refresh skip fault-free rows.
+  /// Fast predicate: does this row have any weak / leaky cells? The first
+  /// touch of a row derives its count (one hash + Poisson draw); every
+  /// later query is an array read. Lets refresh skip fault-free rows.
   bool row_has_weak(std::uint32_t bank, std::uint32_t row) const {
-    return weak_count_[idx(bank, row)] != 0;
+    const std::uint32_t c = weak_count_[idx(bank, row)];
+    return (c != kUnknownCount ? c : weak_row_count(bank, row)) != 0;
   }
   bool row_has_leaky(std::uint32_t bank, std::uint32_t row) const {
-    return leaky_count_[idx(bank, row)] != 0;
+    const std::uint32_t c = leaky_count_[idx(bank, row)];
+    return (c != kUnknownCount ? c : leaky_row_count(bank, row)) != 0;
+  }
+
+  /// Conservative disturbance screen: false only when a commit at `stress`
+  /// provably cannot flip any cell of the row — the row's weak cells are
+  /// already generated and `stress` is below the smallest threshold among
+  /// them (the data-pattern factor never exceeds 1, and the disturbance
+  /// commit has no other side effects, so skipping it is bit-exact).
+  /// Returns true while the cell set is still ungenerated.
+  bool disturb_possible(std::uint32_t bank, std::uint32_t row,
+                        float stress) const {
+    const float thr = weak_min_thr_[idx(bank, row)];
+    return thr == kThrUnknown || stress >= thr;
   }
 
   /// All physical rows in a bank that contain at least one weak cell.
-  std::vector<std::uint32_t> weak_rows(std::uint32_t bank) const;
-  std::vector<std::uint32_t> leaky_rows(std::uint32_t bank) const;
+  /// Built once per bank on first call (forcing that bank's counts) and
+  /// memoized; repeated calls are O(occupied rows).
+  const std::vector<std::uint32_t>& weak_rows(std::uint32_t bank) const;
+  const std::vector<std::uint32_t>& leaky_rows(std::uint32_t bank) const;
 
-  std::uint64_t total_weak_cells() const { return total_weak_; }
-  std::uint64_t total_leaky_cells() const { return total_leaky_; }
+  /// Module-wide fault totals; forces every row's count on first call.
+  std::uint64_t total_weak_cells() const;
+  std::uint64_t total_leaky_cells() const;
 
  private:
+  static constexpr std::uint32_t kUnknownCount = 0xFFFFFFFFu;
+  static constexpr float kThrUnknown = -1.0f;  // thresholds are always > 0
+
   std::size_t idx(std::uint32_t bank, std::uint32_t row) const {
     DM_DCHECK(bank < banks_ && row < rows_);
     return static_cast<std::size_t>(bank) * rows_ + row;
   }
+  /// Per-row fault counts, derived on demand (memoized Poisson draws keyed
+  /// by hash_coords(seed, tag, bank, row) — identical to an eager scan).
+  std::uint32_t weak_row_count(std::uint32_t bank, std::uint32_t row) const;
+  std::uint32_t leaky_row_count(std::uint32_t bank, std::uint32_t row) const;
+  void force_totals() const;
   std::vector<WeakCell> generate_weak(std::uint32_t bank,
                                       std::uint32_t row) const;
   std::vector<LeakyCell> generate_leaky(std::uint32_t bank,
@@ -79,10 +118,20 @@ class FaultMap {
   std::uint64_t seed_;
   std::uint32_t banks_, rows_, row_bits_;
   ReliabilityParams params_;
-  // Per-row fault counts, fixed at construction (Poisson draws).
-  std::vector<std::uint16_t> weak_count_;
-  std::vector<std::uint16_t> leaky_count_;
-  std::uint64_t total_weak_ = 0, total_leaky_ = 0;
+  double weak_mean_ = 0.0, leaky_mean_ = 0.0;
+  // Per-row count caches (kUnknownCount = not yet derived).
+  mutable std::vector<std::uint32_t> weak_count_;
+  mutable std::vector<std::uint32_t> leaky_count_;
+  // Per-row minimum weak threshold, recorded when the cell set is
+  // generated; backs the disturb_possible() screen.
+  mutable std::vector<float> weak_min_thr_;
+  // Per-bank occupancy indexes, built on first weak_rows()/leaky_rows().
+  mutable std::vector<std::vector<std::uint32_t>> weak_rows_cache_;
+  mutable std::vector<std::vector<std::uint32_t>> leaky_rows_cache_;
+  mutable std::vector<std::uint8_t> weak_rows_built_, leaky_rows_built_;
+  // Module totals, forced on first total_*_cells() query.
+  mutable bool totals_built_ = false;
+  mutable std::uint64_t total_weak_ = 0, total_leaky_ = 0;
   // Detail caches, filled on demand.
   mutable std::unordered_map<std::size_t, std::vector<WeakCell>> weak_cache_;
   mutable std::unordered_map<std::size_t, std::vector<LeakyCell>> leaky_cache_;

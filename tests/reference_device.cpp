@@ -1,0 +1,440 @@
+// Frozen pre-optimization implementation — see reference_device.h. Bodies
+// are the original src/dram/faultmap.cpp, src/dram/device.cpp and
+// src/core/module_tester.cpp commit-path code with classes renamed; do not
+// "improve" them, their slowness is the point.
+#include "reference_device.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "dram/timing.h"
+
+namespace densemem::refimpl {
+
+namespace {
+constexpr std::uint64_t kTagWeakCount = 0x57434e54;   // "WCNT"
+constexpr std::uint64_t kTagLeakCount = 0x4c434e54;   // "LCNT"
+constexpr std::uint64_t kTagWeakCells = 0x5743454c;   // "WCEL"
+constexpr std::uint64_t kTagLeakCells = 0x4c43454c;   // "LCEL"
+}  // namespace
+
+const std::vector<dram::WeakCell> RefFaultMap::kNoWeak{};
+
+RefFaultMap::RefFaultMap(std::uint64_t seed, std::uint32_t banks,
+                         std::uint32_t rows, std::uint32_t row_bits,
+                         const dram::ReliabilityParams& params)
+    : seed_(seed),
+      banks_(banks),
+      rows_(rows),
+      row_bits_(row_bits),
+      params_(params),
+      weak_count_(static_cast<std::size_t>(banks) * rows, 0),
+      leaky_count_(static_cast<std::size_t>(banks) * rows, 0) {
+  const double weak_mean = params_.weak_cell_density * row_bits_;
+  const double leaky_mean = params_.leaky_cell_density * row_bits_;
+  for (std::uint32_t b = 0; b < banks_; ++b) {
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+      const std::size_t i = idx(b, r);
+      if (weak_mean > 0) {
+        Rng rng(hash_coords(seed_, kTagWeakCount, b, r));
+        const auto n = static_cast<std::uint16_t>(
+            std::min<std::uint64_t>(rng.poisson(weak_mean), 0xFFFF));
+        weak_count_[i] = n;
+        total_weak_ += n;
+      }
+      if (leaky_mean > 0) {
+        Rng rng(hash_coords(seed_, kTagLeakCount, b, r));
+        const auto n = static_cast<std::uint16_t>(
+            std::min<std::uint64_t>(rng.poisson(leaky_mean), 0xFFFF));
+        leaky_count_[i] = n;
+        total_leaky_ += n;
+      }
+    }
+  }
+}
+
+std::vector<dram::WeakCell> RefFaultMap::generate_weak(
+    std::uint32_t bank, std::uint32_t row) const {
+  const std::size_t n = weak_count_[idx(bank, row)];
+  std::vector<dram::WeakCell> cells;
+  cells.reserve(n);
+  Rng rng(hash_coords(seed_, kTagWeakCells, bank, row));
+  const double mu = std::log(params_.hc50);
+  for (std::size_t i = 0; i < n; ++i) {
+    dram::WeakCell c;
+    c.bit = static_cast<std::uint32_t>(rng.uniform_int(std::uint64_t{row_bits_}));
+    c.threshold = static_cast<float>(rng.lognormal(mu, params_.hc_sigma));
+    c.dpd_sens = static_cast<float>(std::clamp(
+        rng.normal(params_.dpd_sensitivity_mean, 0.2), 0.0, 1.0));
+    c.anti_cell = rng.bernoulli(params_.anticell_fraction);
+    cells.push_back(c);
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const dram::WeakCell& a, const dram::WeakCell& b) {
+              return a.bit < b.bit;
+            });
+  return cells;
+}
+
+std::vector<dram::LeakyCell> RefFaultMap::generate_leaky(
+    std::uint32_t bank, std::uint32_t row) const {
+  const std::size_t n = leaky_count_[idx(bank, row)];
+  std::vector<dram::LeakyCell> cells;
+  cells.reserve(n);
+  Rng rng(hash_coords(seed_, kTagLeakCells, bank, row));
+  for (std::size_t i = 0; i < n; ++i) {
+    dram::LeakyCell c;
+    c.bit = static_cast<std::uint32_t>(rng.uniform_int(std::uint64_t{row_bits_}));
+    c.retention_ms = static_cast<float>(
+        rng.lognormal(params_.retention_mu_log_ms, params_.retention_sigma));
+    c.dpd_sens = static_cast<float>(std::clamp(
+        rng.normal(params_.dpd_sensitivity_mean, 0.2), 0.0, 1.0));
+    c.anti_cell = rng.bernoulli(params_.anticell_fraction);
+    c.vrt = rng.bernoulli(params_.vrt_fraction);
+    c.retention_high_ms =
+        c.retention_ms * static_cast<float>(params_.vrt_high_ratio);
+    c.vrt_low = !c.vrt || rng.bernoulli(0.5);
+    cells.push_back(c);
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const dram::LeakyCell& a, const dram::LeakyCell& b) {
+              return a.bit < b.bit;
+            });
+  return cells;
+}
+
+const std::vector<dram::WeakCell>& RefFaultMap::weak_cells(
+    std::uint32_t bank, std::uint32_t row) const {
+  const std::size_t i = idx(bank, row);
+  if (weak_count_[i] == 0) return kNoWeak;
+  auto it = weak_cache_.find(i);
+  if (it == weak_cache_.end())
+    it = weak_cache_.emplace(i, generate_weak(bank, row)).first;
+  return it->second;
+}
+
+std::vector<dram::LeakyCell>& RefFaultMap::leaky_cells(std::uint32_t bank,
+                                                       std::uint32_t row) {
+  const std::size_t i = idx(bank, row);
+  auto it = leaky_cache_.find(i);
+  if (it == leaky_cache_.end())
+    it = leaky_cache_.emplace(i, generate_leaky(bank, row)).first;
+  return it->second;
+}
+
+std::vector<std::uint32_t> RefFaultMap::weak_rows(std::uint32_t bank) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t r = 0; r < rows_; ++r)
+    if (weak_count_[idx(bank, r)] != 0) out.push_back(r);
+  return out;
+}
+
+std::vector<std::uint32_t> RefFaultMap::leaky_rows(std::uint32_t bank) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t r = 0; r < rows_; ++r)
+    if (leaky_count_[idx(bank, r)] != 0) out.push_back(r);
+  return out;
+}
+
+// ------------------------------------------------------------------ device
+
+RefDevice::RefDevice(dram::DeviceConfig cfg)
+    : cfg_(std::move(cfg)),
+      nbanks_(dram::total_banks(cfg_.geometry)),
+      faults_(cfg_.seed, nbanks_, cfg_.geometry.rows, cfg_.geometry.row_bits(),
+              cfg_.reliability),
+      remap_(cfg_.remap, cfg_.geometry.rows, cfg_.seed),
+      rng_(hash_coords(cfg_.seed, 0x44455649 /* "DEVI" */)),
+      open_row_(nbanks_, -1),
+      refresh_ptr_(nbanks_, 0),
+      stress_(static_cast<std::size_t>(nbanks_) * cfg_.geometry.rows, 0.0f),
+      last_restore_(static_cast<std::size_t>(nbanks_) * cfg_.geometry.rows) {
+  cfg_.geometry.validate();
+}
+
+bool RefDevice::pattern_bit(std::uint32_t logical_row,
+                            std::uint32_t bit) const {
+  return dram::pattern_bit_value(cfg_.pattern, cfg_.seed, logical_row, bit);
+}
+
+std::uint64_t RefDevice::pattern_word(std::uint32_t row,
+                                      std::uint32_t col_word) const {
+  return dram::pattern_word_value(cfg_.pattern, cfg_.seed, row, col_word);
+}
+
+bool RefDevice::stored_bit(std::uint32_t fbank, std::uint32_t prow,
+                           std::uint32_t bit) const {
+  const auto it = data_.find(flat_row(fbank, prow));
+  if (it == data_.end()) return pattern_bit(remap_.to_logical(prow), bit);
+  return (it->second[bit / 64] >> (bit % 64)) & 1;
+}
+
+std::vector<std::uint64_t>& RefDevice::materialize(std::uint32_t fbank,
+                                                   std::uint32_t prow) {
+  const std::size_t key = flat_row(fbank, prow);
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    const std::uint32_t logical = remap_.to_logical(prow);
+    std::vector<std::uint64_t> words(cfg_.geometry.row_words());
+    for (std::uint32_t w = 0; w < words.size(); ++w)
+      words[w] = pattern_word(logical, w);
+    it = data_.emplace(key, std::move(words)).first;
+  }
+  return it->second;
+}
+
+int RefDevice::antiparallel_neighbors(std::uint32_t fbank, std::uint32_t prow,
+                                      std::uint32_t bit) const {
+  const bool mine = stored_bit(fbank, prow, bit);
+  int n = 0;
+  if (prow > 0 && stored_bit(fbank, prow - 1, bit) != mine) ++n;
+  if (prow + 1 < cfg_.geometry.rows && stored_bit(fbank, prow + 1, bit) != mine)
+    ++n;
+  return n;
+}
+
+void RefDevice::apply_flip(std::uint32_t fbank, std::uint32_t prow,
+                           std::uint32_t bit, dram::FlipCause cause,
+                           Time now) {
+  auto& words = materialize(fbank, prow);
+  const std::uint64_t mask = std::uint64_t{1} << (bit % 64);
+  const bool was_one = (words[bit / 64] & mask) != 0;
+  words[bit / 64] ^= mask;
+  if (cause == dram::FlipCause::kDisturbance)
+    ++stats_.disturb_flips;
+  else
+    ++stats_.retention_flips;
+  if (was_one)
+    ++stats_.flips_1to0;
+  else
+    ++stats_.flips_0to1;
+  if (cfg_.record_flip_events && events_.size() < kMaxEvents) {
+    events_.push_back(dram::FlipEvent{fbank, prow, remap_.to_logical(prow),
+                                      bit, cause, was_one, now});
+  }
+}
+
+void RefDevice::commit_disturbance(std::uint32_t fbank, std::uint32_t prow,
+                                   Time now) {
+  const float stress = stress_[flat_row(fbank, prow)];
+  if (stress <= 0.0f || !faults_.row_has_weak(fbank, prow)) return;
+  for (const dram::WeakCell& c : faults_.weak_cells(fbank, prow)) {
+    const bool value = stored_bit(fbank, prow, c.bit);
+    const bool charged = (value != c.anti_cell);
+    if (!charged) continue;
+    const int a = antiparallel_neighbors(fbank, prow, c.bit);
+    const double pattern_factor =
+        (1.0 - c.dpd_sens) + c.dpd_sens * (static_cast<double>(a) / 2.0);
+    if (static_cast<double>(stress) * pattern_factor >=
+        static_cast<double>(c.threshold)) {
+      apply_flip(fbank, prow, c.bit, dram::FlipCause::kDisturbance, now);
+    }
+  }
+}
+
+void RefDevice::commit_retention(std::uint32_t fbank, std::uint32_t prow,
+                                 Time now) {
+  if (!faults_.row_has_leaky(fbank, prow)) return;
+  const Time last = last_restore_[flat_row(fbank, prow)];
+  const double dt_ms = (now - last).as_ms();
+  if (dt_ms <= 0.0) return;
+  const double dpd_strength = cfg_.reliability.retention_dpd_strength;
+  for (dram::LeakyCell& c : faults_.leaky_cells(fbank, prow)) {
+    if (c.vrt) {
+      const double p_switch =
+          1.0 - std::exp(-cfg_.reliability.vrt_rate_hz * dt_ms * 1e-3);
+      if (rng_.bernoulli(p_switch)) c.vrt_low = !c.vrt_low;
+    }
+    const bool value = stored_bit(fbank, prow, c.bit);
+    const bool charged = (value != c.anti_cell);
+    if (!charged) continue;
+    const int a = antiparallel_neighbors(fbank, prow, c.bit);
+    const double dpd_factor =
+        1.0 - dpd_strength * c.dpd_sens * (static_cast<double>(a) / 2.0);
+    const double base =
+        (c.vrt && !c.vrt_low) ? c.retention_high_ms : c.retention_ms;
+    if (dt_ms > base * dpd_factor)
+      apply_flip(fbank, prow, c.bit, dram::FlipCause::kRetention, now);
+  }
+}
+
+void RefDevice::restore_row(std::uint32_t fbank, std::uint32_t prow,
+                            Time now) {
+  commit_retention(fbank, prow, now);
+  commit_disturbance(fbank, prow, now);
+  stress_[flat_row(fbank, prow)] = 0.0f;
+  last_restore_[flat_row(fbank, prow)] = now;
+}
+
+void RefDevice::disturb_neighbors(std::uint32_t fbank, std::uint32_t prow,
+                                  float count) {
+  const std::uint32_t rows = cfg_.geometry.rows;
+  if (prow > 0) stress_[flat_row(fbank, prow - 1)] += count;
+  if (prow + 1 < rows) stress_[flat_row(fbank, prow + 1)] += count;
+  const auto d2 = static_cast<float>(cfg_.reliability.distance2_weight);
+  if (d2 > 0.0f) {
+    if (prow > 1) stress_[flat_row(fbank, prow - 2)] += d2 * count;
+    if (prow + 2 < rows) stress_[flat_row(fbank, prow + 2)] += d2 * count;
+  }
+}
+
+void RefDevice::activate(std::uint32_t fbank, std::uint32_t row, Time now) {
+  DM_CHECK_MSG(open_row_[fbank] < 0, "ACT on a bank with an open row");
+  const std::uint32_t prow = remap_.to_physical(row);
+  restore_row(fbank, prow, now);
+  disturb_neighbors(fbank, prow, 1.0f);
+  open_row_[fbank] = row;
+  ++stats_.activates;
+}
+
+void RefDevice::hammer(std::uint32_t fbank, std::uint32_t row,
+                       std::uint64_t count, Time now) {
+  DM_CHECK_MSG(open_row_[fbank] < 0, "hammer on a bank with an open row");
+  if (count == 0) return;
+  const std::uint32_t prow = remap_.to_physical(row);
+  restore_row(fbank, prow, now);
+  disturb_neighbors(fbank, prow, static_cast<float>(count));
+  stats_.activates += count;
+  stats_.precharges += count;
+}
+
+void RefDevice::precharge(std::uint32_t fbank, Time) {
+  open_row_[fbank] = -1;
+  ++stats_.precharges;
+}
+
+std::uint64_t RefDevice::read_word(std::uint32_t fbank,
+                                   std::uint32_t col_word) {
+  DM_CHECK_MSG(open_row_[fbank] >= 0, "RD on a precharged bank");
+  const std::uint32_t prow =
+      remap_.to_physical(static_cast<std::uint32_t>(open_row_[fbank]));
+  ++stats_.reads;
+  const auto it = data_.find(flat_row(fbank, prow));
+  if (it == data_.end())
+    return pattern_word(static_cast<std::uint32_t>(open_row_[fbank]), col_word);
+  return it->second[col_word];
+}
+
+void RefDevice::write_word(std::uint32_t fbank, std::uint32_t col_word,
+                           std::uint64_t value) {
+  DM_CHECK_MSG(open_row_[fbank] >= 0, "WR on a precharged bank");
+  const std::uint32_t prow =
+      remap_.to_physical(static_cast<std::uint32_t>(open_row_[fbank]));
+  materialize(fbank, prow)[col_word] = value;
+  ++stats_.writes;
+}
+
+void RefDevice::refresh_next(std::uint32_t fbank, std::uint32_t count,
+                             Time now) {
+  DM_CHECK_MSG(open_row_[fbank] < 0, "REF on a bank with an open row");
+  const std::uint32_t rows = cfg_.geometry.rows;
+  std::uint32_t p = refresh_ptr_[fbank];
+  for (std::uint32_t i = 0; i < count; ++i) {
+    restore_row(fbank, p, now);
+    disturb_neighbors(fbank, p, 1.0f);
+    p = (p + 1 == rows) ? 0 : p + 1;
+  }
+  refresh_ptr_[fbank] = p;
+  stats_.row_refreshes += count;
+}
+
+void RefDevice::refresh_row(std::uint32_t fbank, std::uint32_t row, Time now) {
+  const std::uint32_t prow = remap_.to_physical(row);
+  restore_row(fbank, prow, now);
+  disturb_neighbors(fbank, prow, 1.0f);
+  ++stats_.targeted_refreshes;
+}
+
+void RefDevice::fill_row(std::uint32_t fbank, std::uint32_t row,
+                         const std::vector<std::uint64_t>& words, Time now) {
+  DM_CHECK_MSG(words.size() == cfg_.geometry.row_words(),
+               "fill_row size mismatch");
+  const std::uint32_t prow = remap_.to_physical(row);
+  restore_row(fbank, prow, now);
+  materialize(fbank, prow) = words;
+}
+
+std::vector<std::uint64_t> RefDevice::snapshot_row(std::uint32_t fbank,
+                                                   std::uint32_t row) const {
+  const std::uint32_t prow = remap_.to_physical(row);
+  const auto it = data_.find(flat_row(fbank, prow));
+  if (it != data_.end()) return it->second;
+  std::vector<std::uint64_t> words(cfg_.geometry.row_words());
+  for (std::uint32_t w = 0; w < words.size(); ++w)
+    words[w] = pattern_word(row, w);
+  return words;
+}
+
+// ------------------------------------------------------------ module test
+
+core::ModuleTestResult ref_module_test(const core::ModuleTestConfig& cfg,
+                                       RefDevice& dev) {
+  const dram::Geometry& g = dev.geometry();
+  DM_CHECK_MSG(g.rows >= 8, "module too small to test");
+
+  core::ModuleTestResult res;
+  res.hammer_count_used =
+      cfg.hammer_count
+          ? cfg.hammer_count
+          : static_cast<std::uint64_t>(
+                dram::Timing::ddr3_1600().max_activations_per_window());
+
+  std::vector<std::uint32_t> victims;
+  const std::uint32_t usable = g.rows - 4;
+  if (cfg.sample_rows == 0 || cfg.sample_rows >= usable) {
+    for (std::uint32_t r = 2; r + 2 < g.rows; ++r) victims.push_back(r);
+  } else {
+    Rng rng(hash_coords(cfg.seed, 0x4d544553 /* "MTES" */));
+    auto idx = rng.sample_indices(usable, cfg.sample_rows);
+    victims.reserve(idx.size());
+    for (std::size_t i : idx)
+      victims.push_back(static_cast<std::uint32_t>(i) + 2);
+    std::sort(victims.begin(), victims.end());
+  }
+
+  Time t = Time::ms(0);
+  std::vector<std::uint64_t> row_words(g.row_words());
+  for (std::uint32_t v : victims) {
+    std::set<std::uint32_t> failing_bits;
+    for (dram::BackgroundPattern pat : cfg.patterns) {
+      for (std::uint32_t r = v - 2; r <= v + 2; ++r) {
+        for (std::uint32_t w = 0; w < g.row_words(); ++w)
+          row_words[w] = dram::pattern_word_value(pat, cfg.seed, r, w);
+        dev.fill_row(cfg.fbank, r, row_words, t);
+      }
+      const std::uint64_t per_side = res.hammer_count_used / 2;
+      if (cfg.double_sided) {
+        dev.hammer(cfg.fbank, v - 1, per_side, t);
+        dev.hammer(cfg.fbank, v + 1, per_side, t);
+      } else {
+        dev.hammer(cfg.fbank, v + 1, per_side, t);
+      }
+      t += Time::ms(64);
+      dev.activate(cfg.fbank, v, t);
+      dev.precharge(cfg.fbank, t);
+      const auto readback = dev.snapshot_row(cfg.fbank, v);
+      for (std::uint32_t w = 0; w < g.row_words(); ++w) {
+        std::uint64_t diff =
+            readback[w] ^ dram::pattern_word_value(pat, cfg.seed, v, w);
+        while (diff) {
+          const auto bit = static_cast<std::uint32_t>(__builtin_ctzll(diff));
+          failing_bits.insert(w * 64 + bit);
+          diff &= diff - 1;
+        }
+      }
+    }
+    res.failing_cells += failing_bits.size();
+    if (!failing_bits.empty()) ++res.rows_with_errors;
+    res.cells_tested += g.row_bits();
+  }
+  res.errors_per_1e9_cells = res.cells_tested
+                                 ? static_cast<double>(res.failing_cells) /
+                                       static_cast<double>(res.cells_tested) *
+                                       1e9
+                                 : 0.0;
+  return res;
+}
+
+}  // namespace densemem::refimpl

@@ -1,0 +1,159 @@
+// Reference (pre-optimization) slow-path model, kept verbatim from the
+// original implementation as an executable specification.
+//
+// The production FaultMap derives per-row fault counts lazily and the
+// production Device resolves row views once per commit pass; both are
+// *claimed* to be bit-exact with the original eager-scan / per-bit-lookup
+// code. This header preserves that original code (eager FaultMap
+// construction scan, per-bit stored_bit() map lookups, per-pattern row
+// regeneration in the module tester) so the equivalence tests can assert
+// the claim directly: identical flip events, stats counters and
+// ModuleTestResult for identical command streams.
+//
+// Deliberately NOT kept in sync with src/dram — this is the frozen
+// baseline. It reuses the public value types (WeakCell, DeviceConfig,
+// FlipEvent, ...) so results compare field-for-field.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/module_tester.h"
+#include "dram/device.h"
+#include "dram/faultmap.h"
+#include "dram/geometry.h"
+#include "dram/reliability.h"
+#include "dram/remap.h"
+
+namespace densemem::refimpl {
+
+/// Original FaultMap: per-row Poisson counts drawn for *every* row in an
+/// eager construction scan (O(banks x rows) hashes), totals accumulated
+/// during the scan, weak_rows() rescanning the count array per call.
+class RefFaultMap {
+ public:
+  RefFaultMap(std::uint64_t seed, std::uint32_t banks, std::uint32_t rows,
+              std::uint32_t row_bits, const dram::ReliabilityParams& params);
+
+  const dram::ReliabilityParams& params() const { return params_; }
+
+  const std::vector<dram::WeakCell>& weak_cells(std::uint32_t bank,
+                                                std::uint32_t row) const;
+  std::vector<dram::LeakyCell>& leaky_cells(std::uint32_t bank,
+                                            std::uint32_t row);
+
+  bool row_has_weak(std::uint32_t bank, std::uint32_t row) const {
+    return weak_count_[idx(bank, row)] != 0;
+  }
+  bool row_has_leaky(std::uint32_t bank, std::uint32_t row) const {
+    return leaky_count_[idx(bank, row)] != 0;
+  }
+
+  std::vector<std::uint32_t> weak_rows(std::uint32_t bank) const;
+  std::vector<std::uint32_t> leaky_rows(std::uint32_t bank) const;
+
+  std::uint64_t total_weak_cells() const { return total_weak_; }
+  std::uint64_t total_leaky_cells() const { return total_leaky_; }
+
+ private:
+  std::size_t idx(std::uint32_t bank, std::uint32_t row) const {
+    return static_cast<std::size_t>(bank) * rows_ + row;
+  }
+  std::vector<dram::WeakCell> generate_weak(std::uint32_t bank,
+                                            std::uint32_t row) const;
+  std::vector<dram::LeakyCell> generate_leaky(std::uint32_t bank,
+                                              std::uint32_t row) const;
+
+  std::uint64_t seed_;
+  std::uint32_t banks_, rows_, row_bits_;
+  dram::ReliabilityParams params_;
+  std::vector<std::uint16_t> weak_count_;
+  std::vector<std::uint16_t> leaky_count_;
+  std::uint64_t total_weak_ = 0, total_leaky_ = 0;
+  mutable std::unordered_map<std::size_t, std::vector<dram::WeakCell>>
+      weak_cache_;
+  mutable std::unordered_map<std::size_t, std::vector<dram::LeakyCell>>
+      leaky_cache_;
+  static const std::vector<dram::WeakCell> kNoWeak;
+};
+
+/// Original Device commit path: every stored-bit consult is a data_.find()
+/// plus a pattern_bit() fallback, with no row-view caching, no
+/// minimum-threshold screen and an unconditional restore_row context.
+/// Command semantics are identical to dram::Device so the equivalence
+/// tests can drive both with one templated script.
+class RefDevice {
+ public:
+  explicit RefDevice(dram::DeviceConfig cfg);
+
+  const dram::Geometry& geometry() const { return cfg_.geometry; }
+  const dram::DeviceStats& stats() const { return stats_; }
+  const std::vector<dram::FlipEvent>& flip_events() const { return events_; }
+  RefFaultMap& fault_map() { return faults_; }
+
+  void activate(std::uint32_t fbank, std::uint32_t row, Time now);
+  void precharge(std::uint32_t fbank, Time now);
+  std::uint64_t read_word(std::uint32_t fbank, std::uint32_t col_word);
+  void write_word(std::uint32_t fbank, std::uint32_t col_word,
+                  std::uint64_t value);
+  void hammer(std::uint32_t fbank, std::uint32_t row, std::uint64_t count,
+              Time now);
+  void refresh_next(std::uint32_t fbank, std::uint32_t count, Time now);
+  void refresh_row(std::uint32_t fbank, std::uint32_t row, Time now);
+  void fill_row(std::uint32_t fbank, std::uint32_t row,
+                const std::vector<std::uint64_t>& words, Time now);
+  std::vector<std::uint64_t> snapshot_row(std::uint32_t fbank,
+                                          std::uint32_t row) const;
+  /// Buffer-reuse overload matching the production signature so templated
+  /// test scripts compile against both devices; delegates to the copy.
+  void snapshot_row(std::uint32_t fbank, std::uint32_t row,
+                    std::vector<std::uint64_t>& out) const {
+    out = snapshot_row(fbank, row);
+  }
+  std::uint64_t pattern_word(std::uint32_t row, std::uint32_t col_word) const;
+
+ private:
+  std::size_t flat_row(std::uint32_t fbank, std::uint32_t prow) const {
+    return static_cast<std::size_t>(fbank) * cfg_.geometry.rows + prow;
+  }
+  bool stored_bit(std::uint32_t fbank, std::uint32_t prow,
+                  std::uint32_t bit) const;
+  bool pattern_bit(std::uint32_t logical_row, std::uint32_t bit) const;
+  std::vector<std::uint64_t>& materialize(std::uint32_t fbank,
+                                          std::uint32_t prow);
+  void restore_row(std::uint32_t fbank, std::uint32_t prow, Time now);
+  void commit_disturbance(std::uint32_t fbank, std::uint32_t prow, Time now);
+  void commit_retention(std::uint32_t fbank, std::uint32_t prow, Time now);
+  void apply_flip(std::uint32_t fbank, std::uint32_t prow, std::uint32_t bit,
+                  dram::FlipCause cause, Time now);
+  void disturb_neighbors(std::uint32_t fbank, std::uint32_t prow, float count);
+  int antiparallel_neighbors(std::uint32_t fbank, std::uint32_t prow,
+                             std::uint32_t bit) const;
+
+  dram::DeviceConfig cfg_;
+  std::uint32_t nbanks_;
+  RefFaultMap faults_;
+  dram::RowRemap remap_;
+  Rng rng_;
+  dram::DeviceStats stats_;
+  std::vector<dram::FlipEvent> events_;
+
+  std::vector<std::int64_t> open_row_;
+  std::vector<std::uint32_t> refresh_ptr_;
+  std::vector<float> stress_;
+  std::vector<Time> last_restore_;
+  std::unordered_map<std::size_t, std::vector<std::uint64_t>> data_;
+
+  static constexpr std::size_t kMaxEvents = 1u << 20;
+};
+
+/// Original ModuleTester::run: regenerates every pattern row word-by-word
+/// through pattern_word_value() for each victim neighbourhood and
+/// snapshots by value (no buffer reuse).
+core::ModuleTestResult ref_module_test(const core::ModuleTestConfig& cfg,
+                                       RefDevice& dev);
+
+}  // namespace densemem::refimpl

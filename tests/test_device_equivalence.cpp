@@ -1,0 +1,261 @@
+// Equivalence tests: the optimized device model (lazy FaultMap, row-view
+// commit path, disturb_possible screen, buffer-reusing ModuleTester) must
+// be bit-exact with the frozen pre-optimization implementation in
+// reference_device.{h,cpp} — identical flip events, stats counters, stored
+// data and ModuleTestResult for identical command streams, across every
+// background pattern, several seeds, a non-identity remap, and campaign
+// widths 1/2/8.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/module_tester.h"
+#include "dram/device.h"
+#include "dram/faultmap.h"
+#include "reference_device.h"
+#include "sim/campaign.h"
+
+namespace densemem {
+namespace {
+
+constexpr dram::BackgroundPattern kAllPatterns[] = {
+    dram::BackgroundPattern::kZeros, dram::BackgroundPattern::kOnes,
+    dram::BackgroundPattern::kCheckerboard,
+    dram::BackgroundPattern::kRowStripe, dram::BackgroundPattern::kRandom};
+
+dram::Geometry small_geometry() {
+  dram::Geometry g;
+  g.channels = 1;
+  g.ranks = 1;
+  g.banks = 2;
+  g.rows = 256;
+  g.row_bytes = 512;  // 4096 bits per row
+  return g;
+}
+
+// Dense-fault parameters so a short script produces plenty of disturbance
+// AND retention flips (the equivalence must not be vacuous).
+dram::ReliabilityParams hot_params() {
+  auto p = dram::ReliabilityParams::vulnerable();
+  p.weak_cell_density = 2e-3;    // ~8 weak cells per 4096-bit row
+  p.leaky_cell_density = 5e-4;   // ~2 leaky cells per row
+  p.hc50 = 60e3;
+  p.retention_mu_log_ms = 4.0;   // ~55 ms median: flips within 64 ms windows
+  return p;
+}
+
+dram::DeviceConfig make_config(dram::BackgroundPattern pat, std::uint64_t seed,
+                               dram::RemapScheme remap =
+                                   dram::RemapScheme::kIdentity) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = small_geometry();
+  cfg.reliability = hot_params();
+  cfg.remap = remap;
+  cfg.seed = seed;
+  cfg.pattern = pat;
+  cfg.record_flip_events = true;
+  return cfg;
+}
+
+// A fixed command script exercising every commit path: bulk hammer (single
+// and double sided), time-separated activates, targeted refresh, full
+// refresh sweeps, open-row read/write, and fill_row followed by a re-hammer
+// of materialized data. Works on dram::Device and refimpl::RefDevice alike;
+// the returned digest captures stats, the full flip-event log and a hash of
+// every stored row.
+template <class Dev>
+std::string run_script(Dev& dev) {
+  const dram::Geometry& g = dev.geometry();
+  Time t = Time::ms(0);
+  for (std::uint32_t v : {5u, 60u, 200u}) {
+    dev.hammer(0, v - 1, 80'000, t);
+    dev.hammer(0, v + 1, 80'000, t);
+  }
+  t += Time::ms(64);
+  for (std::uint32_t v : {5u, 60u, 200u}) {
+    dev.activate(0, v, t);
+    dev.precharge(0, t);
+  }
+  dev.hammer(1, 100, 150'000, t);
+  t += Time::ms(32);
+  dev.refresh_row(1, 99, t);
+  dev.refresh_row(1, 101, t);
+  t += Time::ms(64);
+  dev.refresh_next(0, g.rows, t);
+  dev.refresh_next(1, g.rows, t);
+  t += Time::ms(128);
+  dev.refresh_next(0, g.rows, t);
+  dev.activate(0, 42, t);
+  const std::uint64_t acc =
+      dev.read_word(0, 0) ^ dev.read_word(0, g.row_words() - 1);
+  dev.write_word(0, 3, 0xDEADBEEFCAFEF00DULL);
+  dev.precharge(0, t);
+  const std::vector<std::uint64_t> ones(g.row_words(), ~std::uint64_t{0});
+  dev.fill_row(0, 42, ones, t);
+  dev.hammer(0, 41, 90'000, t);
+  dev.hammer(0, 43, 90'000, t);
+  t += Time::ms(64);
+  dev.activate(0, 42, t);
+  dev.precharge(0, t);
+
+  std::ostringstream os;
+  const dram::DeviceStats& s = dev.stats();
+  os << s.activates << ' ' << s.precharges << ' ' << s.reads << ' '
+     << s.writes << ' ' << s.row_refreshes << ' ' << s.targeted_refreshes
+     << ' ' << s.disturb_flips << ' ' << s.retention_flips << ' '
+     << s.flips_1to0 << ' ' << s.flips_0to1 << ' ' << acc << '\n';
+  for (const dram::FlipEvent& e : dev.flip_events())
+    os << e.bank << ',' << e.physical_row << ',' << e.logical_row << ','
+       << e.bit << ',' << static_cast<int>(e.cause) << ',' << e.one_to_zero
+       << ',' << e.when.as_ms() << '\n';
+  std::vector<std::uint64_t> row;
+  for (std::uint32_t b = 0; b < 2; ++b) {
+    for (std::uint32_t r = 0; r < g.rows; ++r) {
+      dev.snapshot_row(b, r, row);
+      std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over the row words
+      for (std::uint64_t w : row) {
+        h ^= w;
+        h *= 1099511628211ULL;
+      }
+      os << h << '\n';
+    }
+  }
+  return os.str();
+}
+
+TEST(DeviceEquivalence, CommandStreamMatchesReferenceAcrossPatternsAndSeeds) {
+  for (dram::BackgroundPattern pat : kAllPatterns) {
+    for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+      const auto cfg = make_config(pat, seed);
+      dram::Device fast(cfg);
+      refimpl::RefDevice ref(cfg);
+      EXPECT_EQ(run_script(fast), run_script(ref))
+          << "pattern=" << static_cast<int>(pat) << " seed=" << seed;
+      // Guard against a vacuously-passing script.
+      EXPECT_GT(fast.stats().disturb_flips, 0u);
+      EXPECT_GT(fast.stats().retention_flips, 0u);
+    }
+  }
+}
+
+TEST(DeviceEquivalence, CommandStreamMatchesReferenceUnderRemap) {
+  for (dram::RemapScheme remap :
+       {dram::RemapScheme::kMirrorBlocks, dram::RemapScheme::kScramble}) {
+    const auto cfg =
+        make_config(dram::BackgroundPattern::kCheckerboard, 11, remap);
+    dram::Device fast(cfg);
+    refimpl::RefDevice ref(cfg);
+    EXPECT_EQ(run_script(fast), run_script(ref))
+        << "remap=" << static_cast<int>(remap);
+    EXPECT_GT(fast.stats().disturb_flips, 0u);
+  }
+}
+
+TEST(DeviceEquivalence, ModuleTestResultMatchesReference) {
+  for (std::uint64_t seed : {1ull, 9ull}) {
+    for (bool double_sided : {true, false}) {
+      core::ModuleTestConfig tc;
+      tc.sample_rows = 24;
+      tc.double_sided = double_sided;
+      tc.patterns.assign(std::begin(kAllPatterns), std::end(kAllPatterns));
+      tc.seed = seed;
+      const auto cfg = make_config(dram::BackgroundPattern::kZeros, seed);
+      dram::Device fast(cfg);
+      refimpl::RefDevice ref(cfg);
+      const core::ModuleTestResult a = core::ModuleTester(tc).run(fast);
+      const core::ModuleTestResult b = ref_module_test(tc, ref);
+      EXPECT_EQ(a.failing_cells, b.failing_cells);
+      EXPECT_EQ(a.cells_tested, b.cells_tested);
+      EXPECT_EQ(a.rows_with_errors, b.rows_with_errors);
+      EXPECT_EQ(a.errors_per_1e9_cells, b.errors_per_1e9_cells);  // bit-exact
+      EXPECT_EQ(a.hammer_count_used, b.hammer_count_used);
+      EXPECT_GT(a.failing_cells, 0u);
+    }
+  }
+}
+
+TEST(DeviceEquivalence, LazyFaultMapMatchesEagerScanInAnyQueryOrder) {
+  const auto params = hot_params();
+  const dram::Geometry g = small_geometry();
+  const std::uint64_t seed = 123;
+  refimpl::RefFaultMap eager(seed, g.banks, g.rows, g.row_bits(), params);
+
+  // Order A: aggregates first, then per-row queries.
+  dram::FaultMap a(seed, g.banks, g.rows, g.row_bits(), params);
+  EXPECT_EQ(a.total_weak_cells(), eager.total_weak_cells());
+  EXPECT_EQ(a.total_leaky_cells(), eager.total_leaky_cells());
+  for (std::uint32_t b = 0; b < g.banks; ++b) {
+    EXPECT_EQ(a.weak_rows(b), eager.weak_rows(b));
+    EXPECT_EQ(a.leaky_rows(b), eager.leaky_rows(b));
+  }
+
+  // Order B: cell details first (sparse, out of order), aggregates last.
+  dram::FaultMap bmap(seed, g.banks, g.rows, g.row_bits(), params);
+  for (std::uint32_t r : eager.weak_rows(1)) {
+    const auto& lhs = bmap.weak_cells(1, r);
+    const auto& rhs = eager.weak_cells(1, r);
+    ASSERT_EQ(lhs.size(), rhs.size()) << "row " << r;
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+      EXPECT_EQ(lhs[i].bit, rhs[i].bit);
+      EXPECT_EQ(lhs[i].threshold, rhs[i].threshold);
+      EXPECT_EQ(lhs[i].dpd_sens, rhs[i].dpd_sens);
+      EXPECT_EQ(lhs[i].anti_cell, rhs[i].anti_cell);
+    }
+  }
+  for (std::uint32_t r : eager.leaky_rows(0)) {
+    const auto& lhs = bmap.leaky_cells(0, r);
+    auto& rhs = eager.leaky_cells(0, r);
+    ASSERT_EQ(lhs.size(), rhs.size()) << "row " << r;
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+      EXPECT_EQ(lhs[i].bit, rhs[i].bit);
+      EXPECT_EQ(lhs[i].retention_ms, rhs[i].retention_ms);
+      EXPECT_EQ(lhs[i].dpd_sens, rhs[i].dpd_sens);
+      EXPECT_EQ(lhs[i].anti_cell, rhs[i].anti_cell);
+      EXPECT_EQ(lhs[i].vrt, rhs[i].vrt);
+      EXPECT_EQ(lhs[i].retention_high_ms, rhs[i].retention_high_ms);
+      EXPECT_EQ(lhs[i].vrt_low, rhs[i].vrt_low);
+    }
+  }
+  for (std::uint32_t r = 0; r < g.rows; ++r) {
+    EXPECT_EQ(bmap.row_has_weak(0, r), eager.row_has_weak(0, r));
+    EXPECT_EQ(bmap.row_has_leaky(1, r), eager.row_has_leaky(1, r));
+  }
+  EXPECT_EQ(bmap.weak_rows(0), eager.weak_rows(0));
+  EXPECT_EQ(bmap.total_weak_cells(), eager.total_weak_cells());
+  EXPECT_EQ(bmap.total_leaky_cells(), eager.total_leaky_cells());
+}
+
+// The optimized/reference pair must agree inside campaign jobs too, and the
+// merged digests must be identical at 1, 2 and 8 worker threads (devices
+// are per-job objects; determinism comes from per-job seed streams).
+TEST(DeviceEquivalence, IdenticalAcross1And2And8Threads) {
+  const auto run_at = [](unsigned threads) {
+    sim::CampaignConfig cfg;
+    cfg.threads = threads;
+    cfg.seed = 77;
+    cfg.progress = false;
+    sim::Campaign c("device-equivalence", cfg);
+    return c.map<std::string>(10, [](const sim::JobContext& ctx) {
+      const auto dc = make_config(kAllPatterns[ctx.index % 5],
+                                  ctx.stream_seed | 1);
+      dram::Device fast(dc);
+      refimpl::RefDevice ref(dc);
+      const std::string a = run_script(fast);
+      const std::string b = run_script(ref);
+      return std::string(a == b ? "match\n" : "MISMATCH\n") + a;
+    });
+  };
+  const auto one = run_at(1);
+  const auto two = run_at(2);
+  const auto eight = run_at(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  for (const std::string& d : one)
+    EXPECT_EQ(d.substr(0, 6), "match\n");
+}
+
+}  // namespace
+}  // namespace densemem
