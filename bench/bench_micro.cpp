@@ -1,13 +1,13 @@
 // bench_micro — the perf harness tracking the simulator's own hot paths.
 //
-// Unlike the E1..E17 benches (paper reproductions on campaign grids with
+// Unlike the E1..E18 benches (paper reproductions on campaign grids with
 // golden stdout), this binary measures engineering cost: ns/op of the
 // device model, fault maps, ECC codecs, flash/PCM kernels and the trace
 // parser. Each microbenchmark is named, self-calibrating (iterations are
 // doubled until one repetition exceeds --min-ms), and reported as the
 // median of --reps repetitions, so numbers are stable enough to track
 // across PRs. `--json [path]` writes a machine-readable snapshot
-// (BENCH_5.json by default; one result object per line so the file can be
+// (BENCH_6.json by default; one result object per line so the file can be
 // consumed with line-oriented tools), and `--baseline old.json` annotates
 // every result with the old ns/op and the speedup factor — the regression
 // ledger EXPERIMENTS.md perf entries quote.
@@ -33,7 +33,10 @@
 #include "ecc/bch.h"
 #include "ecc/hamming.h"
 #include "ecc/rs.h"
+#include "ctrl/trr_sampler.h"
 #include "flash/controller.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/params.h"
 #include "pcm/wear_level.h"
 #include "softmc/trace.h"
 
@@ -345,6 +348,44 @@ double run_pcm_start_gap_write(std::uint64_t iters) {
   });
 }
 
+// ------------------------------------------------------------------- fuzz
+
+double run_trr_sampler_act(std::uint64_t iters) {
+  ctrl::TrrSamplerConfig cfg;  // defaults: 4 entries, rate 0.25
+  ctrl::TrrSampler sampler(cfg, [](std::uint32_t row) {
+    return std::vector<std::uint32_t>{row - 1, row + 1};
+  });
+  std::vector<ctrl::RefreshRequest> reqs;
+  std::uint32_t row = 100;
+  std::uint64_t n = 0;
+  return time_loop(iters, [&] {
+    sampler.on_activate(0, 100 + (row = (row * 13 + 7) & 511), reqs);
+    // REF cadence ~ one per 160 ACTs, like the real command stream.
+    if (++n % 160 == 0) {
+      sampler.on_ref_command(reqs);
+      reqs.clear();
+    }
+  });
+}
+
+double run_fuzz_probe(std::uint64_t iters) {
+  // One full fuzz probe: genome replay + victim sweep on a tiny device.
+  // This is the unit of work a fuzzing campaign schedules per job, so its
+  // cost bounds achievable probes/second.
+  fuzz::ProbeSetup setup;
+  setup.device.geometry = dram::Geometry::tiny();
+  setup.device.reliability = dram::ReliabilityParams::vulnerable();
+  setup.device.seed = 1106;
+  setup.act_budget = 2048;
+  fuzz::FuzzingParameterSet params;
+  Rng rng(17);
+  const fuzz::PatternGenome genome = params.sample(rng);
+  return time_loop(iters, [&] {
+    auto r = fuzz::run_genome(genome, setup);
+    keep(r.flips);
+  });
+}
+
 // ----------------------------------------------------------------- softmc
 
 double run_trace_parse(std::uint64_t iters) {
@@ -377,6 +418,8 @@ const std::vector<Micro> kMicros = {
     {"flash_program_page", run_flash_program_page},
     {"flash_read_page", run_flash_read_page},
     {"pcm_start_gap_write", run_pcm_start_gap_write},
+    {"trr_sampler_act", run_trr_sampler_act},
+    {"fuzz_probe", run_fuzz_probe},
     {"trace_parse", run_trace_parse},
 };
 
@@ -474,7 +517,7 @@ int usage(int code) {
       "  --reps N          repetitions per bench (median reported; default 5)\n"
       "  --min-ms MS       minimum timed window per repetition (default 20)\n"
       "  --json [PATH]     write machine-readable results (default "
-      "BENCH_5.json)\n"
+      "BENCH_6.json)\n"
       "  --baseline PATH   annotate results with ns/op + speedup vs an\n"
       "                    earlier --json snapshot\n"
       "  --list            print bench names and exit\n");
@@ -513,7 +556,7 @@ int main(int argc, char** argv) {
       if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
         json_path = argv[++i];
       else
-        json_path = "BENCH_5.json";
+        json_path = "BENCH_6.json";
     } else if (a == "--baseline") {
       baseline_path = next("--baseline");
     } else {

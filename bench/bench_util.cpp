@@ -112,6 +112,21 @@ bool try_parse_args(int argc, char** argv, BenchArgs& args,
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       if ((v = value(i, "--trace")) == nullptr) return false;
       args.trace_path = v;
+    } else if (std::strcmp(argv[i], "--probes") == 0) {
+      if ((v = value(i, "--probes")) == nullptr) return false;
+      args.probes = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trr-entries") == 0) {
+      if ((v = value(i, "--trr-entries")) == nullptr) return false;
+      args.trr_entries = static_cast<std::uint32_t>(
+          std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--sampler-rate") == 0) {
+      if ((v = value(i, "--sampler-rate")) == nullptr) return false;
+      args.sampler_rate = std::strtod(v, nullptr);
+      if (!(args.sampler_rate > 0.0 && args.sampler_rate <= 1.0)) {
+        error = std::string("--sampler-rate wants a probability in (0, 1],"
+                            " got '") + v + "'";
+        return false;
+      }
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
     } else {
@@ -134,7 +149,9 @@ BenchArgs parse_args(int argc, char** argv) {
                  " [--on-fail=abort|degrade]\n"
                  "       [--journal <path>] [--resume <path>]"
                  " [--inject-faults <seed>] [--abort-after <k>]\n"
-                 "       [--metrics <path>] [--trace <path>]\n";
+                 "       [--metrics <path>] [--trace <path>]\n"
+                 "       [--probes <n>] [--trr-entries <n>]"
+                 " [--sampler-rate <p>]\n";
     std::exit(64);  // EX_USAGE
   }
   return args;

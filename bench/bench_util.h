@@ -52,6 +52,15 @@ struct BenchArgs {
   /// --trace P: write one JSONL span per job attempt to P at the end of the
   /// run. Empty = tracing off.
   std::string trace_path;
+  /// --probes N: fuzz-campaign probe count override for bench_blacksmith;
+  /// 0 = the bench's committed default (scaled by --quick).
+  std::size_t probes = 0;
+  /// --trr-entries N: tracker CAM capacity override (both tracker families);
+  /// 0 = the bench default.
+  std::uint32_t trr_entries = 0;
+  /// --sampler-rate F: TrrSampler per-ACT inspection probability override;
+  /// 0 = the bench default. Must be in (0, 1] when given.
+  double sampler_rate = 0.0;
 };
 
 /// Parses argv into `args`. Returns true on success; on an unknown flag, a

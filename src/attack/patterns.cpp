@@ -75,6 +75,27 @@ std::vector<std::uint32_t> HammerPattern::expected_victims() const {
   return {v.begin(), v.end()};
 }
 
+std::vector<std::uint32_t> HammerPattern::draw_victims(
+    std::uint64_t n_draws) const {
+  if (cfg_.kind != PatternKind::kRandom) return expected_victims();
+  // Replay the draw stream on a clone seeded identically to rng_ at
+  // construction, so this never perturbs the live iteration sequence.
+  Rng rng(hash_coords(cfg_.seed, 0x41545041 /* "ATPA" */));
+  std::set<std::uint32_t> drawn;
+  for (std::uint64_t i = 0; i < n_draws; ++i)
+    drawn.insert(static_cast<std::uint32_t>(
+        rng.uniform_int(std::uint64_t{cfg_.rows_in_bank})));
+  std::set<std::uint32_t> v;
+  for (std::uint32_t a : drawn) {
+    for (std::uint32_t d = 1; d <= 2; ++d) {
+      if (a >= d) v.insert(a - d);
+      if (a + d < cfg_.rows_in_bank) v.insert(a + d);
+    }
+  }
+  for (std::uint32_t a : drawn) v.erase(a);
+  return {v.begin(), v.end()};
+}
+
 void HammerPattern::iteration_rows(std::uint64_t /*i*/,
                                    std::vector<std::uint32_t>& out) {
   if (cfg_.kind == PatternKind::kRandom) {

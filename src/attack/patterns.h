@@ -43,11 +43,23 @@ class HammerPattern {
   explicit HammerPattern(PatternConfig cfg);
 
   const PatternConfig& config() const { return cfg_; }
-  /// Fixed aggressor set (empty for kRandom, which draws fresh rows).
+  /// Fixed aggressor set. CONTRACT: empty for kRandom, which has no fixed
+  /// aggressors — it draws two fresh rows per iteration from a private
+  /// stream. Because expected_victims() derives from this set, it is also
+  /// empty for kRandom; callers that need a verification sweep for kRandom
+  /// must use draw_victims() instead.
   const std::vector<std::uint32_t>& aggressors() const { return aggressors_; }
   /// Rows the attacker does NOT control but expects flips in (the victim and
-  /// other neighbours of the aggressors).
+  /// other neighbours of the aggressors). Empty for kRandom — see
+  /// aggressors() for the contract and draw_victims() for the alternative.
   std::vector<std::uint32_t> expected_victims() const;
+
+  /// kRandom's victim set: replays the first `n_draws` rows of the random
+  /// draw stream from scratch (a fresh clone of the generator — the
+  /// pattern's own iteration state is not consumed) and returns the
+  /// distance-1..2 neighbours of those rows, minus the rows themselves.
+  /// For every other kind this is exactly expected_victims().
+  std::vector<std::uint32_t> draw_victims(std::uint64_t n_draws) const;
 
   /// Rows to activate for iteration `i` (appends to `out`).
   void iteration_rows(std::uint64_t i, std::vector<std::uint32_t>& out);

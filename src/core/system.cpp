@@ -9,6 +9,7 @@ const char* mitigation_name(MitigationKind k) {
     case MitigationKind::kCra: return "CRA";
     case MitigationKind::kAnvil: return "ANVIL";
     case MitigationKind::kTrr: return "TRR";
+    case MitigationKind::kTrrSampler: return "TRR-sampler";
   }
   return "?";
 }
@@ -30,6 +31,9 @@ std::unique_ptr<ctrl::Mitigation> make_mitigation(const MitigationSpec& spec,
       return std::make_unique<ctrl::Anvil>(spec.anvil, std::move(adjacency));
     case MitigationKind::kTrr:
       return std::make_unique<ctrl::Trr>(spec.trr, std::move(adjacency));
+    case MitigationKind::kTrrSampler:
+      return std::make_unique<ctrl::TrrSampler>(spec.trr_sampler,
+                                                std::move(adjacency));
   }
   return std::make_unique<ctrl::NoMitigation>();
 }

@@ -10,11 +10,12 @@
 #include "ctrl/cra.h"
 #include "ctrl/para.h"
 #include "ctrl/trr.h"
+#include "ctrl/trr_sampler.h"
 #include "dram/device.h"
 
 namespace densemem::core {
 
-enum class MitigationKind { kNone, kPara, kCra, kAnvil, kTrr };
+enum class MitigationKind { kNone, kPara, kCra, kAnvil, kTrr, kTrrSampler };
 
 const char* mitigation_name(MitigationKind k);
 
@@ -24,6 +25,7 @@ struct MitigationSpec {
   ctrl::CraConfig cra;
   ctrl::AnvilConfig anvil;
   ctrl::TrrConfig trr;
+  ctrl::TrrSamplerConfig trr_sampler;
 };
 
 struct System {

@@ -9,6 +9,7 @@
 // protection — the TRRespass effect E7 demonstrates.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -54,8 +55,19 @@ class Trr final : public Mitigation {
 
   void on_ref_command(std::vector<RefreshRequest>& out) override {
     // Refresh neighbours of the hottest tracked row(s) across banks.
+    // Banks are visited in ascending index order: tables_ is an
+    // unordered_map, and when the refresh budget is smaller than the number
+    // of active banks, hash-iteration order would decide which banks get
+    // their victims refreshed — an order that differs across standard
+    // library implementations, breaking cross-platform reproducibility of
+    // golden outputs.
+    std::vector<std::uint32_t> fbanks;
+    fbanks.reserve(tables_.size());
+    for (const auto& [fbank, table] : tables_) fbanks.push_back(fbank);
+    std::sort(fbanks.begin(), fbanks.end());
     std::uint32_t budget = cfg_.neighbors_per_ref;
-    for (auto& [fbank, table] : tables_) {
+    for (std::uint32_t fbank : fbanks) {
+      auto& table = tables_[fbank];
       std::uint32_t hottest = 0;
       std::uint64_t best = 0;
       for (const auto& [row, cnt] : table) {

@@ -1,0 +1,134 @@
+// Sampler-based in-DRAM Targeted Row Refresh.
+//
+// Where `Trr` (trr.h) models the tracker as a deterministic Misra–Gries
+// frequent-items table, this models the other family real DDR4 vendors
+// shipped: a finite-capacity *probabilistic sampler*. The chip cannot
+// afford to inspect every ACT, so it samples a bounded fraction of the
+// command stream per tREFI window into a tiny CAM and, on the next REF,
+// piggybacks neighbour refreshes for the hottest sampled rows, then starts
+// a fresh sampling window.
+//
+// This is the design the Blacksmith/TRRespass line of work broke: the CAM
+// replaces oldest-first when full (a shift-register-like sampler, the
+// structure reverse-engineered DDR4 TRR implementations are believed to
+// use), so it remembers the *most recent* sampled rows, not the most
+// frequent ones. A non-uniform pattern can therefore concentrate its
+// activation budget on a victim's neighbours early in the refresh interval
+// and flood distinct decoy rows afterwards: by REF time the slots hold
+// decoys, the genuine aggressors escape, and their victim's disturbance
+// accumulates across consecutive escaped windows. The fuzz/ subsystem
+// searches for exactly such patterns; bench_blacksmith measures where the
+// arms race tips.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "ctrl/mitigation.h"
+
+namespace densemem::ctrl {
+
+struct TrrSamplerConfig {
+  std::uint32_t sampler_entries = 4;    ///< per-bank CAM capacity
+  double sample_rate = 0.25;            ///< probability an ACT is inspected
+  std::uint32_t neighbors_per_ref = 4;  ///< victim refreshes piggybacked per REF
+  std::uint64_t seed = 0xB5;            ///< sampling/eviction stream
+};
+
+class TrrSampler final : public Mitigation {
+ public:
+  TrrSampler(TrrSamplerConfig cfg, AdjacencyFn adjacency)
+      : cfg_(cfg), adjacency_(std::move(adjacency)), rng_(cfg.seed) {
+    DM_CHECK_MSG(cfg_.sampler_entries >= 1, "sampler needs at least one slot");
+    DM_CHECK_MSG(cfg_.sample_rate > 0.0 && cfg_.sample_rate <= 1.0,
+                 "sample rate must be in (0, 1]");
+  }
+
+  std::string name() const override { return "TRR-sampler"; }
+
+  void on_activate(std::uint32_t fbank, std::uint32_t row,
+                   std::vector<RefreshRequest>& out) override {
+    (void)out;
+    // The sampler inspects a bounded fraction of ACTs; everything else is
+    // invisible to it. One bernoulli per ACT, from the mitigation's own
+    // stream, so a given command sequence always samples identically.
+    if (!rng_.bernoulli(cfg_.sample_rate)) return;
+    BankState& st = banks_[fbank];
+    for (Entry& e : st.slots) {
+      if (e.row == row) {
+        ++e.count;
+        return;
+      }
+    }
+    if (st.slots.size() < cfg_.sampler_entries) {
+      st.slots.push_back({row, 1});
+      return;
+    }
+    // CAM full: oldest-first (ring) replacement. This — not Misra–Gries
+    // eviction — is what a decoy flood exploits: once `sampler_entries`
+    // distinct rows are sampled after the genuine aggressors' last ACT,
+    // every aggressor entry has been pushed out and the REF refreshes
+    // decoy neighbours instead of the victim.
+    st.slots[st.next] = {row, 1};
+    st.next = (st.next + 1) % st.slots.size();
+  }
+
+  void on_ref_command(std::vector<RefreshRequest>& out) override {
+    // Spend the piggyback budget on the hottest sampled rows, banks in
+    // ascending order (deterministic across platforms), then start a fresh
+    // sampling window.
+    std::uint32_t budget = cfg_.neighbors_per_ref;
+    for (auto& [fbank, st] : banks_) {
+      std::vector<Entry> ranked = st.slots;
+      std::sort(ranked.begin(), ranked.end(),
+                [](const Entry& a, const Entry& b) {
+                  return a.count != b.count ? a.count > b.count
+                                            : a.row < b.row;
+                });
+      for (const Entry& e : ranked) {
+        if (budget == 0) break;
+        for (std::uint32_t n : adjacency_(e.row)) {
+          if (budget == 0) break;
+          out.push_back({fbank, n});
+          --budget;
+        }
+      }
+      st.slots.clear();
+      st.next = 0;
+    }
+  }
+
+  void on_window_reset() override {
+    for (auto& [fbank, st] : banks_) {
+      st.slots.clear();
+      st.next = 0;
+    }
+  }
+
+  std::uint64_t storage_bits() const override {
+    // entries × (row address + short saturating counter) per bank seen.
+    return static_cast<std::uint64_t>(banks_.size()) * cfg_.sampler_entries *
+           (32 + 8);
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t row = 0;
+    std::uint32_t count = 0;
+  };
+  struct BankState {
+    std::vector<Entry> slots;  ///< the CAM
+    std::size_t next = 0;      ///< ring replacement cursor (oldest entry)
+  };
+
+  TrrSamplerConfig cfg_;
+  AdjacencyFn adjacency_;
+  Rng rng_;
+  std::map<std::uint32_t, BankState> banks_;  ///< fbank → sampler state
+};
+
+}  // namespace densemem::ctrl

@@ -1,0 +1,153 @@
+#include "fuzz/fuzzer.h"
+
+#include <memory>
+
+#include "common/check.h"
+
+namespace densemem::fuzz {
+
+namespace {
+/// Sub-stream tags: one per derivation purpose, so sampling and mutation
+/// never share generator state with anything else.
+constexpr std::uint64_t kGenomeTag = 0x47454E4F;   // "GENO"
+constexpr std::uint64_t kMutantTag = 0x4D555441;   // "MUTA"
+}  // namespace
+
+const char* tracker_name(TrackerKind k) {
+  switch (k) {
+    case TrackerKind::kNone: return "none";
+    case TrackerKind::kMisraGries: return "TRR-MG";
+    case TrackerKind::kSampler: return "TRR-sampler";
+  }
+  return "?";
+}
+
+std::unique_ptr<ctrl::Mitigation> make_tracker(const ProbeSetup& setup,
+                                               ctrl::AdjacencyFn adjacency) {
+  switch (setup.tracker) {
+    case TrackerKind::kNone:
+      return std::make_unique<ctrl::NoMitigation>();
+    case TrackerKind::kMisraGries:
+      return std::make_unique<ctrl::Trr>(setup.misra_gries,
+                                         std::move(adjacency));
+    case TrackerKind::kSampler:
+      return std::make_unique<ctrl::TrrSampler>(setup.sampler,
+                                                std::move(adjacency));
+  }
+  return std::make_unique<ctrl::NoMitigation>();
+}
+
+namespace {
+
+struct Rig {
+  dram::Device dev;
+  ctrl::MemoryController mc;
+
+  explicit Rig(const ProbeSetup& setup)
+      : dev(setup.device),
+        mc(dev, setup.ctrl,
+           make_tracker(setup, ctrl::make_adjacency(
+                                   dev, setup.ctrl.use_spd_adjacency))) {}
+};
+
+/// Advance the clock to just past the next tREFI boundary, firing the REF
+/// that falls due — the hammer_sync idiom: the next ACT lands at the start
+/// of a fresh sampling window.
+void sync_to_ref(ctrl::MemoryController& mc, Time tREFI) {
+  const std::int64_t k = mc.now() / tREFI;
+  mc.advance_to(tREFI * (k + 1));
+}
+
+/// Read every expected victim once through the controller so pending
+/// disturbance commits; the flips land in the device's ground-truth stats.
+void commit_victims(ctrl::MemoryController& mc, std::uint32_t fbank,
+                    const std::vector<std::uint32_t>& victims) {
+  for (std::uint32_t v : victims) mc.activate_precharge(fbank, v);
+  mc.close_all_banks();
+}
+
+ProbeResult finish(const Rig& rig, std::uint64_t acts) {
+  ProbeResult res;
+  res.flips = rig.dev.stats().disturb_flips;
+  res.acts = acts;
+  res.elapsed_ms = rig.mc.now().as_ms();
+  res.targeted_refreshes = rig.mc.stats().targeted_refreshes;
+  return res;
+}
+
+}  // namespace
+
+ProbeResult run_genome(const PatternGenome& genome, const ProbeSetup& setup) {
+  Rig rig(setup);
+  const std::vector<std::uint32_t> seq = genome.compile();
+  const std::vector<std::uint32_t> victims =
+      genome.expected_victims(setup.device.geometry.rows);
+  const Time tREFI = setup.ctrl.timing.tREFI;
+  const Time tRC = setup.ctrl.timing.tRC;
+
+  std::uint64_t acts = 0;
+  while (acts < setup.act_budget) {
+    if (setup.sync_to_ref) sync_to_ref(rig.mc, tREFI);
+    for (std::uint32_t slot : seq) {
+      if (acts >= setup.act_budget) break;
+      if (slot == kIdleSlot) {
+        // The slot's issue opportunity passes unused; time still advances,
+        // which is what keeps later slots' phase honest.
+        rig.mc.advance_to(rig.mc.now() + tRC);
+        continue;
+      }
+      rig.mc.activate_precharge(setup.fbank, slot);
+      ++acts;
+    }
+  }
+  commit_victims(rig.mc, setup.fbank, victims);
+  return finish(rig, acts);
+}
+
+ProbeResult run_kernel(attack::PatternKind kind, const ProbeSetup& setup) {
+  Rig rig(setup);
+  // Oracle placement: the kernel gets the first weak row with full margin.
+  std::uint32_t victim = setup.device.geometry.rows / 2;
+  for (std::uint32_t r : rig.dev.fault_map().weak_rows(setup.fbank))
+    if (r >= 4 && r + 4 < setup.device.geometry.rows) {
+      victim = r;
+      break;
+    }
+  attack::PatternConfig pc;
+  pc.kind = kind;
+  pc.victim_row = victim;
+  pc.rows_in_bank = setup.device.geometry.rows;
+  pc.n_aggressors = 12;
+  pc.seed = setup.device.seed;
+  attack::HammerPattern pattern(pc);
+
+  std::uint64_t acts = 0;
+  std::vector<std::uint32_t> rows;
+  for (std::uint64_t it = 0; acts < setup.act_budget; ++it) {
+    rows.clear();
+    pattern.iteration_rows(it, rows);
+    for (std::uint32_t r : rows) {
+      if (acts >= setup.act_budget) break;
+      rig.mc.activate_precharge(setup.fbank, r);
+      ++acts;
+    }
+  }
+  // draw_victims == expected_victims for every kind but kRandom, whose
+  // victim set must be reconstructed from the draw stream (see patterns.h).
+  const std::vector<std::uint32_t> victims = pattern.draw_victims(acts);
+  commit_victims(rig.mc, setup.fbank, victims);
+  return finish(rig, acts);
+}
+
+PatternGenome Fuzzer::genome_for(std::uint64_t stream_seed) const {
+  Rng rng(hash_coords(stream_seed, kGenomeTag));
+  return params_.sample(rng);
+}
+
+PatternGenome Fuzzer::mutant_for(const PatternGenome& parent,
+                                 std::uint64_t stream_seed) const {
+  Rng rng(hash_coords(stream_seed, kMutantTag));
+  return params_.mutate(parent, rng);
+}
+
+}  // namespace densemem::fuzz

@@ -1,0 +1,98 @@
+// Fuzzing engine: turns a campaign job's RNG stream into a pattern genome,
+// runs it against a mitigated controller, and scores it by committed bit
+// flips at a fixed activation budget.
+//
+// One probe == one sim::Campaign job. A probe's genome is sampled from
+// FuzzingParameterSet using the job's hash_coords-derived stream seed, so
+// the probe is a pure function of (campaign seed, job index): retries,
+// watchdogs, journaling, bit-exact --resume, metrics and spans all apply
+// to a fuzz run unchanged, and a million-pattern fuzz is just a big
+// resumable campaign.
+//
+// The probe loop replays the compiled genome REF-synchronized: each base
+// period starts right after a REF command, the sim analogue of
+// blacksmith's hammer_sync (detecting REF by latency and re-aligning).
+// That alignment is what makes a genome's phase structure meaningful —
+// aggressors hammered early in the interval, decoys flooding the sampler
+// just before the REF that would have caught them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "attack/patterns.h"
+#include "ctrl/controller.h"
+#include "ctrl/trr.h"
+#include "ctrl/trr_sampler.h"
+#include "dram/device.h"
+#include "fuzz/params.h"
+#include "fuzz/pattern.h"
+
+namespace densemem::fuzz {
+
+/// Which in-DRAM tracker the probe hammers against.
+enum class TrackerKind { kNone, kMisraGries, kSampler };
+
+const char* tracker_name(TrackerKind k);
+
+/// Everything a probe needs to run, independent of scheduling: device,
+/// controller, tracker, and the activation budget every probe and every
+/// fixed kernel gets — equal budgets are what make flip counts comparable.
+struct ProbeSetup {
+  dram::DeviceConfig device;
+  ctrl::CtrlConfig ctrl;
+  TrackerKind tracker = TrackerKind::kSampler;
+  ctrl::TrrConfig misra_gries;
+  ctrl::TrrSamplerConfig sampler;
+  std::uint32_t fbank = 0;
+  std::uint64_t act_budget = 65536;
+  /// REF-synchronize the genome replay (see header comment). Fixed kernels
+  /// never sync — they have no phase structure to align.
+  bool sync_to_ref = true;
+};
+
+struct ProbeResult {
+  std::uint64_t flips = 0;   ///< raw disturbance flips (device ground truth)
+  std::uint64_t acts = 0;    ///< aggressor activations issued
+  double elapsed_ms = 0.0;   ///< simulated time
+  std::uint64_t targeted_refreshes = 0;  ///< tracker-issued victim refreshes
+};
+
+/// Builds the mitigation `setup` names (tracker seed is part of the setup,
+/// so a probe is reproducible bit-for-bit).
+std::unique_ptr<ctrl::Mitigation> make_tracker(const ProbeSetup& setup,
+                                               ctrl::AdjacencyFn adjacency);
+
+/// Replay `genome` against a freshly built system until the activation
+/// budget is spent, then sweep its expected victims to commit pending
+/// flips. Pure function of (genome, setup).
+ProbeResult run_genome(const PatternGenome& genome, const ProbeSetup& setup);
+
+/// Run a fixed attack:: kernel at the same activation budget, victim placed
+/// on the first weak row of the bank (the oracle placement — biased in the
+/// kernel's favour, which makes losing to the fuzzer meaningful).
+ProbeResult run_kernel(attack::PatternKind kind, const ProbeSetup& setup);
+
+/// The generative layer: deterministic genome derivation for campaign jobs.
+class Fuzzer {
+ public:
+  explicit Fuzzer(FuzzingParameterSet params) : params_(params) {}
+
+  const FuzzingParameterSet& params() const { return params_; }
+
+  /// The genome of the probe whose campaign job stream seed is
+  /// `stream_seed` (JobContext::stream_seed). Stateless and repeatable:
+  /// the bench re-derives genomes post-merge instead of shipping them
+  /// through the journal.
+  PatternGenome genome_for(std::uint64_t stream_seed) const;
+
+  /// Mutation/refinement: the mutant of `parent` drawn on `stream_seed`'s
+  /// stream. Refinement jobs perturb effective genomes from the fuzz phase.
+  PatternGenome mutant_for(const PatternGenome& parent,
+                           std::uint64_t stream_seed) const;
+
+ private:
+  FuzzingParameterSet params_;
+};
+
+}  // namespace densemem::fuzz

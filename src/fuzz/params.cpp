@@ -1,0 +1,94 @@
+#include "fuzz/params.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace densemem::fuzz {
+
+std::uint32_t FuzzingParameterSet::random_victim(Rng& rng) const {
+  DM_CHECK_MSG(rows_in_bank > 2 * row_margin, "bank too small for the margin");
+  return row_margin +
+         static_cast<std::uint32_t>(
+             rng.uniform_int(std::uint64_t{rows_in_bank - 2 * row_margin}));
+}
+
+AggressorTuple FuzzingParameterSet::sample_tuple(Rng& rng) const {
+  AggressorTuple t;
+  // Frequency: a power of two in [1, max_frequency].
+  std::uint32_t freq = 1;
+  while (freq < max_frequency && rng.bernoulli(0.5)) freq *= 2;
+  t.frequency = freq;
+  t.phase = static_cast<std::uint32_t>(
+      rng.uniform_int(std::uint64_t{base_period}));
+  t.amplitude = 1 + static_cast<std::uint32_t>(
+                        rng.uniform_int(std::uint64_t{max_amplitude}));
+  if (rng.bernoulli(pair_probability)) {
+    const std::uint32_t v = random_victim(rng);
+    t.rows = {v - 1, v + 1};
+  } else {
+    const std::uint32_t n = 1 + static_cast<std::uint32_t>(rng.uniform_int(
+                                    std::uint64_t{max_decoy_rows}));
+    for (std::uint32_t i = 0; i < n; ++i) t.rows.push_back(random_victim(rng));
+  }
+  return t;
+}
+
+PatternGenome FuzzingParameterSet::sample(Rng& rng) const {
+  PatternGenome g;
+  g.base_period = base_period;
+  const std::uint32_t n =
+      min_tuples + static_cast<std::uint32_t>(rng.uniform_int(
+                       std::uint64_t{max_tuples - min_tuples + 1}));
+  for (std::uint32_t i = 0; i < n; ++i) g.tuples.push_back(sample_tuple(rng));
+  return g;
+}
+
+PatternGenome FuzzingParameterSet::mutate(const PatternGenome& g,
+                                          Rng& rng) const {
+  PatternGenome m = g;
+  DM_CHECK_MSG(!m.tuples.empty(), "cannot mutate an empty genome");
+  const std::size_t i = rng.uniform_int(std::uint64_t{m.tuples.size()});
+  AggressorTuple& t = m.tuples[i];
+  switch (rng.uniform_int(std::uint64_t{6})) {
+    case 0:  // frequency up/down (stay a power of two in range)
+      if (rng.bernoulli(0.5))
+        t.frequency = std::min(max_frequency, t.frequency * 2);
+      else
+        t.frequency = std::max(1u, t.frequency / 2);
+      break;
+    case 1:  // shift phase
+      t.phase = static_cast<std::uint32_t>(
+          rng.uniform_int(std::uint64_t{base_period}));
+      break;
+    case 2:  // amplitude up/down
+      if (rng.bernoulli(0.5))
+        t.amplitude = std::min(max_amplitude, t.amplitude + 1);
+      else
+        t.amplitude = std::max(1u, t.amplitude - 1);
+      break;
+    case 3: {  // relocate: re-draw the tuple's rows, keep its rhythm
+      const AggressorTuple fresh = sample_tuple(rng);
+      t.rows = fresh.rows;
+      break;
+    }
+    case 4:  // drop a tuple (keep at least one)
+      if (m.tuples.size() > 1)
+        m.tuples.erase(m.tuples.begin() +
+                       static_cast<std::ptrdiff_t>(
+                           rng.uniform_int(std::uint64_t{m.tuples.size()})));
+      break;
+    case 5:  // duplicate a tuple at a fresh phase
+      if (m.tuples.size() < max_tuples) {
+        AggressorTuple copy =
+            m.tuples[rng.uniform_int(std::uint64_t{m.tuples.size()})];
+        copy.phase = static_cast<std::uint32_t>(
+            rng.uniform_int(std::uint64_t{base_period}));
+        m.tuples.push_back(std::move(copy));
+      }
+      break;
+  }
+  return m;
+}
+
+}  // namespace densemem::fuzz

@@ -1,0 +1,49 @@
+// FuzzingParameterSet — the sampling distribution over pattern genomes,
+// and the mutation operators that refine effective ones.
+//
+// Mirrors zenhammer's Fuzzer/FuzzingParameterSet: every probe draws its
+// genome from these ranges using a private hash_coords-derived RNG stream,
+// so probe i's genome is a pure function of (campaign seed, i) — the
+// property that lets a million-probe fuzz run ride the campaign engine's
+// retry/journal/resume machinery unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "fuzz/pattern.h"
+
+namespace densemem::fuzz {
+
+struct FuzzingParameterSet {
+  std::uint32_t rows_in_bank = 512;
+  /// Keep aggressors this many rows clear of the bank edges so every
+  /// victim has full neighbourhoods.
+  std::uint32_t row_margin = 8;
+
+  std::uint32_t base_period = 128;   ///< ACT slots per refresh interval
+  std::uint32_t min_tuples = 2;
+  std::uint32_t max_tuples = 8;
+  std::uint32_t max_amplitude = 8;
+  std::uint32_t max_frequency = 8;   ///< occurrences per period, power of two
+  /// Probability a sampled tuple is a double-sided pair around a random
+  /// victim (the flip-producing shape); otherwise it is a decoy set of
+  /// distinct random rows (the sampler-churning shape). The fuzzer does not
+  /// know which mix wins — that is what the search discovers.
+  double pair_probability = 0.6;
+  std::uint32_t max_decoy_rows = 8;
+
+  /// Draw one genome from the distribution. Consumes `rng` deterministically.
+  PatternGenome sample(Rng& rng) const;
+
+  /// Perturb one randomly chosen property of `g`: a tuple's frequency,
+  /// phase, amplitude or row placement, or drop/duplicate a whole tuple.
+  /// Returns the mutant; `g` itself is untouched.
+  PatternGenome mutate(const PatternGenome& g, Rng& rng) const;
+
+ private:
+  AggressorTuple sample_tuple(Rng& rng) const;
+  std::uint32_t random_victim(Rng& rng) const;
+};
+
+}  // namespace densemem::fuzz

@@ -1,0 +1,90 @@
+#include "fuzz/pattern.h"
+
+#include <set>
+
+#include "common/check.h"
+#include "sim/journal.h"
+
+namespace densemem::fuzz {
+
+std::vector<std::uint32_t> PatternGenome::compile() const {
+  DM_CHECK_MSG(base_period >= 1, "genome needs a base period");
+  std::vector<std::uint32_t> slots(base_period, kIdleSlot);
+  for (const AggressorTuple& t : tuples) {
+    DM_CHECK_MSG(t.frequency >= 1 && t.amplitude >= 1 && !t.rows.empty(),
+                 "degenerate aggressor tuple");
+    const std::uint32_t stride = std::max<std::uint32_t>(
+        1, base_period / t.frequency);
+    const std::uint32_t burst =
+        t.amplitude * static_cast<std::uint32_t>(t.rows.size());
+    for (std::uint32_t occ = 0; occ < t.frequency; ++occ) {
+      const std::uint32_t start = t.phase + occ * stride;
+      for (std::uint32_t k = 0; k < burst; ++k) {
+        const std::uint32_t slot = start + k;
+        if (slot >= base_period) break;
+        if (slots[slot] != kIdleSlot) continue;  // first writer wins
+        slots[slot] = t.rows[k % t.rows.size()];
+      }
+    }
+  }
+  return slots;
+}
+
+std::vector<std::uint32_t> PatternGenome::aggressor_rows() const {
+  std::set<std::uint32_t> rows;
+  for (const AggressorTuple& t : tuples)
+    rows.insert(t.rows.begin(), t.rows.end());
+  return {rows.begin(), rows.end()};
+}
+
+std::vector<std::uint32_t> PatternGenome::expected_victims(
+    std::uint32_t rows_in_bank) const {
+  const auto aggr = aggressor_rows();
+  std::set<std::uint32_t> v;
+  for (std::uint32_t a : aggr) {
+    for (std::uint32_t d = 1; d <= 2; ++d) {
+      if (a >= d) v.insert(a - d);
+      if (a + d < rows_in_bank) v.insert(a + d);
+    }
+  }
+  for (std::uint32_t a : aggr) v.erase(a);  // aggressors self-refresh
+  return {v.begin(), v.end()};
+}
+
+std::uint32_t PatternGenome::acts_per_period() const {
+  std::uint32_t acts = 0;
+  for (std::uint32_t s : compile())
+    if (s != kIdleSlot) ++acts;
+  return acts;
+}
+
+std::string PatternGenome::encode() const {
+  sim::PayloadWriter pw;
+  pw.u64(base_period);
+  pw.u64(tuples.size());
+  for (const AggressorTuple& t : tuples) {
+    pw.u64(t.frequency);
+    pw.u64(t.phase);
+    pw.u64(t.amplitude);
+    pw.u64(t.rows.size());
+    for (std::uint32_t r : t.rows) pw.u64(r);
+  }
+  return pw.take();
+}
+
+PatternGenome PatternGenome::decode(const std::string& payload) {
+  sim::PayloadReader pr(payload);
+  PatternGenome g;
+  g.base_period = static_cast<std::uint32_t>(pr.u64());
+  g.tuples.resize(pr.u64());
+  for (AggressorTuple& t : g.tuples) {
+    t.frequency = static_cast<std::uint32_t>(pr.u64());
+    t.phase = static_cast<std::uint32_t>(pr.u64());
+    t.amplitude = static_cast<std::uint32_t>(pr.u64());
+    t.rows.resize(pr.u64());
+    for (std::uint32_t& r : t.rows) r = static_cast<std::uint32_t>(pr.u64());
+  }
+  return g;
+}
+
+}  // namespace densemem::fuzz

@@ -1,0 +1,69 @@
+// Pattern genome — non-uniform hammering patterns as data.
+//
+// The attack/ kernels are fixed shapes (single/double/many-sided); the
+// genome generalizes them into the Blacksmith/zenhammer representation: a
+// base period of activation slots, one slot per ACT issue opportunity
+// within a refresh interval, populated by aggressor tuples parameterized
+// by frequency (occurrences per period), phase (slot offset of the first
+// occurrence), and amplitude (consecutive repeats per occurrence). A slot
+// no tuple claims stays idle — timing still passes, which is what makes
+// phase meaningful against a REF-synchronized tracker.
+//
+// Genomes compile down to the flat access sequence the attack layer and
+// ctrl::MemoryController already consume, and serialize through the
+// journal's PayloadWriter/PayloadReader so probe results (genome included)
+// survive checkpoint/resume byte-exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace densemem::fuzz {
+
+/// Slot value for "no ACT this slot" in a compiled sequence: the hammer
+/// loop lets one tRC of idle time pass instead of issuing an activation.
+inline constexpr std::uint32_t kIdleSlot = ~std::uint32_t{0};
+
+/// One access pattern within a genome: `rows` issued round-robin,
+/// `amplitude` full repetitions per occurrence, `frequency` occurrences
+/// spread evenly across the base period starting at slot `phase`.
+struct AggressorTuple {
+  std::uint32_t frequency = 1;  ///< occurrences per base period (>= 1)
+  std::uint32_t phase = 0;      ///< slot offset of the first occurrence
+  std::uint32_t amplitude = 1;  ///< consecutive repeats of `rows` per occurrence
+  std::vector<std::uint32_t> rows;  ///< logical rows, issued in order
+
+  bool operator==(const AggressorTuple&) const = default;
+};
+
+struct PatternGenome {
+  std::uint32_t base_period = 128;  ///< slots per refresh interval
+  std::vector<AggressorTuple> tuples;
+
+  bool operator==(const PatternGenome&) const = default;
+
+  /// Flatten to one base period of slots. Tuples claim slots in declaration
+  /// order, first writer wins; unclaimed slots are kIdleSlot. Deterministic:
+  /// a genome always compiles to the same sequence.
+  std::vector<std::uint32_t> compile() const;
+
+  /// Distinct aggressor rows across all tuples, ascending.
+  std::vector<std::uint32_t> aggressor_rows() const;
+
+  /// Rows adjacent (distance 1–2) to any aggressor, minus the aggressors
+  /// themselves — the rows a verification sweep must read, mirroring
+  /// attack::HammerPattern::expected_victims.
+  std::vector<std::uint32_t> expected_victims(std::uint32_t rows_in_bank) const;
+
+  /// ACTs actually issued per base period (non-idle slots).
+  std::uint32_t acts_per_period() const;
+
+  /// Exact serialization through the journal payload codec; decode() is the
+  /// inverse, so a genome survives checkpoint/resume and the replayer
+  /// re-runs exactly what the fuzzer found.
+  std::string encode() const;
+  static PatternGenome decode(const std::string& payload);
+};
+
+}  // namespace densemem::fuzz

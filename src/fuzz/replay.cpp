@@ -1,0 +1,48 @@
+#include "fuzz/replay.h"
+
+#include "common/check.h"
+
+namespace densemem::fuzz {
+
+ReplayReport replay(const PatternGenome& genome, const ProbeSetup& setup,
+                    const std::vector<std::uint64_t>& extra_seeds) {
+  ReplayReport rep;
+  const std::uint64_t first = run_genome(genome, setup).flips;
+  const std::uint64_t second = run_genome(genome, setup).flips;
+  rep.deterministic = (first == second);
+  rep.flips_per_seed.push_back(first);
+  for (std::uint64_t s : extra_seeds) {
+    ProbeSetup other = setup;
+    other.device.seed = s;
+    const std::uint64_t flips = run_genome(genome, other).flips;
+    rep.flips_per_seed.push_back(flips);
+    if (flips > 0) ++rep.seeds_with_flips;
+  }
+  return rep;
+}
+
+MinimizeResult minimize(const PatternGenome& genome, const ProbeSetup& setup) {
+  MinimizeResult res;
+  res.genome = genome;
+  res.flips = run_genome(genome, setup).flips;
+  bool progress = true;
+  while (progress && res.genome.tuples.size() > 1) {
+    progress = false;
+    for (std::size_t i = 0; i < res.genome.tuples.size(); ++i) {
+      PatternGenome candidate = res.genome;
+      candidate.tuples.erase(candidate.tuples.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      const std::uint64_t flips = run_genome(candidate, setup).flips;
+      if (flips >= res.flips) {
+        res.genome = std::move(candidate);
+        res.flips = flips;
+        ++res.tuples_dropped;
+        progress = true;
+        break;  // restart the scan on the smaller genome
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace densemem::fuzz

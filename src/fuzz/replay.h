@@ -1,0 +1,45 @@
+// Replayer and minimizer for effective patterns.
+//
+// Blacksmith's last mile: a fuzzer-found pattern is only interesting if it
+// is (a) reproducible — the same genome flips bits again, on this device
+// and on fresh device seeds — and (b) minimal — every aggressor tuple it
+// carries actually contributes. replay() answers (a); minimize() answers
+// (b) by greedily dropping tuples while the flip count does not degrade.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+#include "fuzz/pattern.h"
+
+namespace densemem::fuzz {
+
+struct ReplayReport {
+  /// Flip count per replay seed; seed 0 is the original device seed.
+  std::vector<std::uint64_t> flips_per_seed;
+  /// True when re-running the genome on the ORIGINAL device seed produced
+  /// the identical flip count both times — the bit-exactness smoke check.
+  bool deterministic = false;
+  /// Replay seeds (beyond the original) on which the genome flipped bits.
+  std::uint32_t seeds_with_flips = 0;
+};
+
+struct MinimizeResult {
+  PatternGenome genome;        ///< the minimized genome
+  std::uint64_t flips = 0;     ///< its flip count on the probe setup
+  std::uint32_t tuples_dropped = 0;
+};
+
+/// Re-run `genome` twice on `setup` and once per extra device seed.
+/// `extra_seeds` perturb only the device seed (fault map + thresholds);
+/// controller and tracker are rebuilt identically each run.
+ReplayReport replay(const PatternGenome& genome, const ProbeSetup& setup,
+                    const std::vector<std::uint64_t>& extra_seeds);
+
+/// Greedy tuple minimization: repeatedly try dropping each tuple; commit a
+/// drop when the flip count does not decrease. Deterministic — candidate
+/// order is tuple index order, first committable drop restarts the scan.
+MinimizeResult minimize(const PatternGenome& genome, const ProbeSetup& setup);
+
+}  // namespace densemem::fuzz

@@ -118,6 +118,37 @@ TEST(SimBenchArgs, ParsesRetryTimeoutAndFaultFlags) {
   EXPECT_EQ(args.abort_after, 17u);
 }
 
+TEST(SimBenchArgs, ParsesFuzzerFlags) {
+  const BenchArgs args = parse({"--probes", "500", "--trr-entries", "16",
+                                "--sampler-rate", "0.5"});
+  EXPECT_EQ(args.probes, 500u);
+  EXPECT_EQ(args.trr_entries, 16u);
+  EXPECT_DOUBLE_EQ(args.sampler_rate, 0.5);
+  // The boundary rate 1.0 (sample every ACT) is legal.
+  EXPECT_DOUBLE_EQ(parse({"--sampler-rate", "1.0"}).sampler_rate, 1.0);
+}
+
+TEST(SimBenchArgs, FuzzerFlagsDefaultToBenchChoices) {
+  // 0 / 0.0 mean "bench picks": probe count from --quick, tracker geometry
+  // from the bench's base setup.
+  const BenchArgs args = parse({});
+  EXPECT_EQ(args.probes, 0u);
+  EXPECT_EQ(args.trr_entries, 0u);
+  EXPECT_DOUBLE_EQ(args.sampler_rate, 0.0);
+}
+
+TEST(SimBenchArgs, SamplerRateMustBeAProbability) {
+  for (const char* bad : {"0", "-0.5", "1.5", "nan"}) {
+    std::vector<const char*> argv = {"bench_test", "--sampler-rate", bad};
+    BenchArgs args;
+    std::string error;
+    EXPECT_FALSE(try_parse_args(static_cast<int>(argv.size()),
+                                const_cast<char**>(argv.data()), args, error))
+        << bad;
+    EXPECT_NE(error.find("--sampler-rate"), std::string::npos) << error;
+  }
+}
+
 TEST(SimBenchArgs, RejectsUnknownFlags) {
   // A typo like `--thread` must fail the parse, not silently run the bench
   // with default settings (parse_args turns this into exit 64 + usage).
@@ -134,7 +165,8 @@ TEST(SimBenchArgs, RejectsFlagsMissingTheirValue) {
   for (const char* flag :
        {"--csv", "--json", "--threads", "--seed", "--max-retries",
         "--job-timeout", "--on-fail", "--journal", "--resume",
-        "--inject-faults", "--abort-after", "--metrics", "--trace"}) {
+        "--inject-faults", "--abort-after", "--metrics", "--trace",
+        "--probes", "--trr-entries", "--sampler-rate"}) {
     std::vector<const char*> argv = {"bench_test", flag};
     BenchArgs args;
     std::string error;

@@ -1,0 +1,276 @@
+// Unit tests for the fuzzing subsystem: the sampler-based TRR's overwhelm
+// threshold, genome compilation/codec round trips, and determinism of
+// campaign-driven probes across worker widths.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "ctrl/trr_sampler.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/params.h"
+#include "fuzz/pattern.h"
+#include "fuzz/replay.h"
+#include "sim/campaign.h"
+
+namespace densemem::fuzz {
+namespace {
+
+ctrl::AdjacencyFn plus_minus_one() {
+  return [](std::uint32_t row) {
+    std::vector<std::uint32_t> out;
+    if (row > 0) out.push_back(row - 1);
+    out.push_back(row + 1);
+    return out;
+  };
+}
+
+// --- TrrSampler ------------------------------------------------------------
+
+// With sample_rate 1 the sampler is a deterministic ring of the last
+// `entries` distinct rows: hammering a pair then touching D distinct decoys
+// catches the pair for D < entries and misses it for D >= entries — the
+// overwhelm threshold IS the CAM capacity.
+TEST(TrrSampler, OverwhelmThresholdIsCamCapacity) {
+  for (std::uint32_t entries : {1u, 2u, 4u, 8u}) {
+    for (std::uint32_t decoys : {0u, 1u, 3u, 7u, 8u, 12u}) {
+      ctrl::TrrSamplerConfig cfg;
+      cfg.sampler_entries = entries;
+      cfg.sample_rate = 1.0;
+      cfg.neighbors_per_ref = 2 * (entries + decoys);  // budget never binds
+      ctrl::TrrSampler sampler(cfg, plus_minus_one());
+      std::vector<ctrl::RefreshRequest> reqs;
+      // Hammer the pair around victim 100, then flood distinct decoys.
+      for (int i = 0; i < 8; ++i) {
+        sampler.on_activate(0, 99, reqs);
+        sampler.on_activate(0, 101, reqs);
+      }
+      for (std::uint32_t d = 0; d < decoys; ++d)
+        sampler.on_activate(0, 200 + 2 * d, reqs);
+      sampler.on_ref_command(reqs);
+      bool victim_refreshed = false;
+      for (const auto& r : reqs) victim_refreshed |= (r.row == 100);
+      // The pair occupies 2 CAM slots; decoys push them out oldest-first,
+      // so the second pair entry dies on the `entries`-th distinct decoy.
+      const bool expect_caught = decoys < entries;
+      EXPECT_EQ(victim_refreshed, expect_caught)
+          << "entries=" << entries << " decoys=" << decoys;
+    }
+  }
+}
+
+TEST(TrrSampler, SamplingIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    ctrl::TrrSamplerConfig cfg;
+    cfg.sample_rate = 0.25;
+    cfg.seed = seed;
+    ctrl::TrrSampler sampler(cfg, plus_minus_one());
+    std::vector<ctrl::RefreshRequest> reqs;
+    for (std::uint32_t i = 0; i < 500; ++i)
+      sampler.on_activate(0, 50 + (i * 7) % 100, reqs);
+    sampler.on_ref_command(reqs);
+    std::vector<std::uint32_t> rows;
+    for (const auto& r : reqs) rows.push_back(r.row);
+    return rows;
+  };
+  EXPECT_EQ(run(7), run(7));        // same seed, same refreshes
+  EXPECT_NE(run(7), run(8));        // the stream is actually seeded
+}
+
+TEST(TrrSampler, RefClearsTheWindow) {
+  ctrl::TrrSamplerConfig cfg;
+  cfg.sample_rate = 1.0;
+  ctrl::TrrSampler sampler(cfg, plus_minus_one());
+  std::vector<ctrl::RefreshRequest> reqs;
+  sampler.on_activate(0, 99, reqs);
+  sampler.on_ref_command(reqs);
+  const std::size_t after_first = reqs.size();
+  EXPECT_GT(after_first, 0u);
+  // Nothing sampled since the REF: the next REF has nothing to refresh.
+  sampler.on_ref_command(reqs);
+  EXPECT_EQ(reqs.size(), after_first);
+}
+
+TEST(TrrSampler, BanksAreIndependentAndOrdered) {
+  ctrl::TrrSamplerConfig cfg;
+  cfg.sample_rate = 1.0;
+  cfg.neighbors_per_ref = 4;
+  ctrl::TrrSampler sampler(cfg, plus_minus_one());
+  std::vector<ctrl::RefreshRequest> reqs;
+  // Touch banks in descending order; refreshes must come back ascending.
+  sampler.on_activate(3, 300, reqs);
+  sampler.on_activate(1, 100, reqs);
+  sampler.on_ref_command(reqs);
+  ASSERT_EQ(reqs.size(), 4u);
+  EXPECT_EQ(reqs[0].fbank, 1u);
+  EXPECT_EQ(reqs[1].fbank, 1u);
+  EXPECT_EQ(reqs[2].fbank, 3u);
+  EXPECT_EQ(reqs[3].fbank, 3u);
+}
+
+// --- Pattern genome --------------------------------------------------------
+
+TEST(PatternGenome, CompileRespectsPeriodAndPlacesTuples) {
+  PatternGenome g;
+  g.base_period = 16;
+  g.tuples.push_back({/*frequency=*/2, /*phase=*/0, /*amplitude=*/2,
+                      /*rows=*/{10, 12}});
+  const auto slots = g.compile();
+  ASSERT_EQ(slots.size(), 16u);
+  // Occurrence 0 at slot 0, occurrence 1 at slot 8 (stride = 16/2), each a
+  // burst of amplitude*rows = 4 slots alternating the tuple's rows.
+  const std::vector<std::uint32_t> expect_burst = {10, 12, 10, 12};
+  for (std::uint32_t occ : {0u, 8u})
+    for (std::uint32_t k = 0; k < 4; ++k)
+      EXPECT_EQ(slots[occ + k], expect_burst[k]) << "slot " << occ + k;
+  EXPECT_EQ(slots[5], kIdleSlot);
+  EXPECT_EQ(g.acts_per_period(), 8u);
+}
+
+TEST(PatternGenome, FirstWriterWinsOnOverlap) {
+  PatternGenome g;
+  g.base_period = 8;
+  g.tuples.push_back({1, 0, 2, {20}});  // slots 0,1
+  g.tuples.push_back({1, 1, 2, {30}});  // wants 1,2; slot 1 taken
+  const auto slots = g.compile();
+  EXPECT_EQ(slots[0], 20u);
+  EXPECT_EQ(slots[1], 20u);
+  EXPECT_EQ(slots[2], 30u);
+}
+
+TEST(PatternGenome, ExpectedVictimsExcludeAggressorsAndClampToBank) {
+  PatternGenome g;
+  g.base_period = 8;
+  g.tuples.push_back({1, 0, 1, {1, 510}});
+  const auto victims = g.expected_victims(/*rows_in_bank=*/512);
+  const std::set<std::uint32_t> vset(victims.begin(), victims.end());
+  EXPECT_TRUE(vset.count(0));
+  EXPECT_TRUE(vset.count(2));
+  EXPECT_TRUE(vset.count(511));
+  EXPECT_FALSE(vset.count(1));    // aggressor
+  EXPECT_FALSE(vset.count(510));  // aggressor
+  for (std::uint32_t v : victims) EXPECT_LT(v, 512u);
+}
+
+TEST(PatternGenome, CodecRoundTripsExactly) {
+  Rng rng(42);
+  FuzzingParameterSet params;
+  for (int i = 0; i < 50; ++i) {
+    const PatternGenome g = params.sample(rng);
+    const PatternGenome back = PatternGenome::decode(g.encode());
+    EXPECT_EQ(back.base_period, g.base_period);
+    ASSERT_EQ(back.tuples.size(), g.tuples.size());
+    for (std::size_t t = 0; t < g.tuples.size(); ++t)
+      EXPECT_TRUE(back.tuples[t] == g.tuples[t]);
+    EXPECT_EQ(back.compile(), g.compile());
+  }
+}
+
+TEST(FuzzingParameterSet, SampleAndMutateStayInBounds) {
+  Rng rng(7);
+  FuzzingParameterSet params;
+  PatternGenome g = params.sample(rng);
+  for (int i = 0; i < 200; ++i) {
+    g = params.mutate(g, rng);
+    EXPECT_GE(g.tuples.size(), 1u);
+    EXPECT_LE(g.tuples.size(), params.max_tuples);
+    for (const AggressorTuple& t : g.tuples) {
+      EXPECT_GE(t.frequency, 1u);
+      EXPECT_LE(t.frequency, params.max_frequency);
+      EXPECT_GE(t.amplitude, 1u);
+      EXPECT_LE(t.amplitude, params.max_amplitude);
+      EXPECT_LT(t.phase, params.base_period);
+      ASSERT_FALSE(t.rows.empty());
+      for (std::uint32_t r : t.rows) {
+        EXPECT_GE(r, params.row_margin - 1);
+        EXPECT_LT(r, params.rows_in_bank - params.row_margin + 1);
+      }
+    }
+  }
+}
+
+// --- Probes under the campaign engine --------------------------------------
+
+ProbeSetup small_setup() {
+  ProbeSetup s;
+  s.device.geometry = dram::Geometry::tiny();
+  s.device.reliability = dram::ReliabilityParams::vulnerable();
+  s.device.reliability.weak_cell_density = 3e-3;
+  s.device.reliability.hc50 = 4e3;
+  s.device.reliability.dpd_sensitivity_mean = 0.0;
+  s.device.reliability.anticell_fraction = 0.0;
+  s.device.seed = 1106;
+  s.device.pattern = dram::BackgroundPattern::kOnes;
+  s.act_budget = 4096;
+  return s;
+}
+
+// One fuzz probe is a pure function of its stream seed: the same campaign
+// run at worker widths 1, 2, and 8 merges identical flip counts.
+TEST(FuzzCampaign, ProbeResultsIdenticalAcrossThreadWidths) {
+  const ProbeSetup setup = small_setup();
+  const Fuzzer fuzzer{[] {
+    FuzzingParameterSet p;
+    p.rows_in_bank = 512;
+    return p;
+  }()};
+  const auto run_width = [&](unsigned threads) {
+    sim::CampaignConfig cc;
+    cc.threads = threads;
+    cc.seed = 99;
+    cc.progress = false;
+    sim::Campaign campaign("fuzz_width", cc);
+    return campaign.map<std::uint64_t>(8, [&](const sim::JobContext& ctx) {
+      const PatternGenome g = fuzzer.genome_for(ctx.stream_seed);
+      return run_genome(g, setup).flips;
+    });
+  };
+  const auto w1 = run_width(1);
+  EXPECT_EQ(w1, run_width(2));
+  EXPECT_EQ(w1, run_width(8));
+}
+
+TEST(FuzzProbe, RunGenomeIsDeterministic) {
+  const ProbeSetup setup = small_setup();
+  Rng rng(3);
+  FuzzingParameterSet params;
+  const PatternGenome g = params.sample(rng);
+  const ProbeResult a = run_genome(g, setup);
+  const ProbeResult b = run_genome(g, setup);
+  EXPECT_EQ(a.flips, b.flips);
+  EXPECT_EQ(a.acts, b.acts);
+  EXPECT_EQ(a.targeted_refreshes, b.targeted_refreshes);
+  EXPECT_EQ(a.acts, setup.act_budget);
+}
+
+TEST(FuzzProbe, KernelsRunAtTheSameBudget) {
+  const ProbeSetup setup = small_setup();
+  const ProbeResult r = run_kernel(attack::PatternKind::kDoubleSided, setup);
+  EXPECT_EQ(r.acts, setup.act_budget);
+}
+
+TEST(FuzzReplay, MinimizeNeverLosesFlips) {
+  const ProbeSetup setup = small_setup();
+  Rng rng(11);
+  FuzzingParameterSet params;
+  const PatternGenome g = params.sample(rng);
+  const std::uint64_t original = run_genome(g, setup).flips;
+  const MinimizeResult m = minimize(g, setup);
+  EXPECT_GE(m.flips, original);
+  EXPECT_GE(m.genome.tuples.size(), 1u);
+  EXPECT_LE(m.genome.tuples.size(), g.tuples.size());
+}
+
+TEST(FuzzReplay, ReplayReportsDeterminism) {
+  const ProbeSetup setup = small_setup();
+  Rng rng(13);
+  FuzzingParameterSet params;
+  const PatternGenome g = params.sample(rng);
+  const ReplayReport rep = replay(g, setup, {5, 6});
+  EXPECT_TRUE(rep.deterministic);
+  EXPECT_EQ(rep.flips_per_seed.size(), 3u);
+}
+
+}  // namespace
+}  // namespace densemem::fuzz

@@ -78,6 +78,48 @@ TEST(Patterns, RandomDrawsFreshRows) {
   EXPECT_GT(seen.size(), 20u);  // actually random, not repeating one pair
 }
 
+// The kRandom contract (see patterns.h): no fixed aggressor set, therefore
+// no fixed victim set either — expected_victims() derives from aggressors()
+// and both are empty. Verification sweeps must use draw_victims().
+TEST(Patterns, RandomContractEmptyAggressorsAndVictims) {
+  HammerPattern p(base_config(PatternKind::kRandom));
+  EXPECT_TRUE(p.aggressors().empty());
+  EXPECT_TRUE(p.expected_victims().empty());
+}
+
+TEST(Patterns, RandomDrawVictimsReplaysStreamWithoutConsumingIt) {
+  PatternConfig cfg = base_config(PatternKind::kRandom);
+  HammerPattern p(cfg);
+  // draw_victims is a pure function of the config: calling it repeatedly,
+  // before or after iterating, returns the same set.
+  const auto before = p.draw_victims(10);
+  std::vector<std::uint32_t> rows;
+  p.iteration_rows(0, rows);
+  p.iteration_rows(1, rows);
+  EXPECT_EQ(p.draw_victims(10), before);
+  // And it covers the live draw stream: the two iterations consumed the
+  // first four draws, so draw_victims(4) is exactly the neighbours of
+  // `rows` minus `rows` itself.
+  const auto victims = p.draw_victims(4);
+  for (std::uint32_t r : rows) {
+    for (std::uint32_t d = 1; d <= 2; ++d) {
+      const std::uint32_t n = r + d;
+      if (n >= cfg.rows_in_bank) continue;
+      const bool drawn_itself =
+          std::find(rows.begin(), rows.end(), n) != rows.end();
+      if (!drawn_itself) {
+        EXPECT_TRUE(std::binary_search(victims.begin(), victims.end(), n))
+            << "neighbour " << n << " of drawn row " << r << " missing";
+      }
+    }
+  }
+}
+
+TEST(Patterns, DrawVictimsMatchesExpectedForFixedKinds) {
+  HammerPattern p(base_config(PatternKind::kDoubleSided));
+  EXPECT_EQ(p.draw_victims(1000), p.expected_victims());
+}
+
 TEST(Patterns, IterationRowsAppends) {
   HammerPattern p(base_config(PatternKind::kDoubleSided));
   std::vector<std::uint32_t> rows{7};
