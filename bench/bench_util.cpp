@@ -1,7 +1,9 @@
 #include "bench_util.h"
 
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 
 #include "sim/thread_pool.h"
@@ -42,6 +44,8 @@ std::string mirror_path(const std::string& base, const std::string& series,
 bool try_parse_args(int argc, char** argv, BenchArgs& args,
                     std::string& error) {
   args = BenchArgs{};
+  if (argc > 0) args.argv0 = argv[0];
+  for (int i = 1; i < argc; ++i) args.raw_args.emplace_back(argv[i]);
   // Fetches the value token of a two-token flag, or fails the parse: a
   // trailing `--csv` with nothing after it is a typo, not "no mirror".
   const auto value = [&](int& i, const char* flag) -> const char* {
@@ -127,12 +131,68 @@ bool try_parse_args(int argc, char** argv, BenchArgs& args,
                             " got '") + v + "'";
         return false;
       }
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      if ((v = value(i, "--shards")) == nullptr) return false;
+      args.shards = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      if (args.shards == 0) {
+        error = std::string("--shards wants a worker count >= 1, got '") +
+                v + "'";
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--shard") == 0) {
+      if ((v = value(i, "--shard")) == nullptr) return false;
+      char* end = nullptr;
+      const unsigned long idx = std::strtoul(v, &end, 10);
+      if (end == v || *end != '/') {
+        error = std::string("--shard wants i/N (e.g. 0/4), got '") + v + "'";
+        return false;
+      }
+      const char* nstr = end + 1;
+      const unsigned long cnt = std::strtoul(nstr, &end, 10);
+      if (end == nstr || *end != '\0' || cnt == 0 || idx >= cnt) {
+        error = std::string("--shard wants i/N with i < N and N >= 1, "
+                            "got '") + v + "'";
+        return false;
+      }
+      args.shard_index = static_cast<unsigned>(idx);
+      args.shard_count = static_cast<unsigned>(cnt);
+    } else if (std::strcmp(argv[i], "--heartbeat") == 0) {
+      if ((v = value(i, "--heartbeat")) == nullptr) return false;
+      args.heartbeat_path = v;
+    } else if (std::strcmp(argv[i], "--fleet-kill-after") == 0) {
+      if ((v = value(i, "--fleet-kill-after")) == nullptr) return false;
+      args.fleet_kill_after = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fleet-heartbeat-timeout") == 0) {
+      if ((v = value(i, "--fleet-heartbeat-timeout")) == nullptr) return false;
+      args.fleet_heartbeat_timeout_s = std::strtod(v, nullptr);
+      if (!(args.fleet_heartbeat_timeout_s > 0.0)) {
+        error = std::string("--fleet-heartbeat-timeout wants seconds > 0, "
+                            "got '") + v + "'";
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--fleet-max-respawns") == 0) {
+      if ((v = value(i, "--fleet-max-respawns")) == nullptr) return false;
+      args.fleet_max_respawns =
+          static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--modules") == 0) {
+      if ((v = value(i, "--modules")) == nullptr) return false;
+      args.modules = std::strtoull(v, nullptr, 10);
+      if (args.modules == 0) {
+        error = std::string("--modules wants a module count >= 1, got '") +
+                v + "'";
+        return false;
+      }
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
     } else {
       error = std::string("unknown flag '") + argv[i] + "'";
       return false;
     }
+  }
+  if (args.shards && args.shard_count) {
+    error = "--shards (supervisor) and --shard (worker) are mutually "
+            "exclusive";
+    return false;
   }
   return true;
 }
@@ -151,7 +211,14 @@ BenchArgs parse_args(int argc, char** argv) {
                  " [--inject-faults <seed>] [--abort-after <k>]\n"
                  "       [--metrics <path>] [--trace <path>]\n"
                  "       [--probes <n>] [--trr-entries <n>]"
-                 " [--sampler-rate <p>]\n";
+                 " [--sampler-rate <p>]\n"
+                 "       [--shards <n>] [--fleet-heartbeat-timeout <s>]"
+                 " [--fleet-max-respawns <n>]\n"
+                 "       [--modules <n>]\n"
+                 "exit codes: 0 ok, 64 usage, 70 fatal, 74 journal I/O,"
+                 " 75 resumable interruption,\n"
+                 "            76 fleet degraded (shard quarantined,"
+                 " results partial)\n";
     std::exit(64);  // EX_USAGE
   }
   return args;
@@ -238,15 +305,30 @@ void shape(const std::string& statement, bool holds) {
             << "\n";
 }
 
+namespace {
+/// Set when a fleet run degrades (quarantined shards): run_guarded turns a
+/// clean body return into exit 76. File-static because the harness lives
+/// inside the guarded body.
+bool g_fleet_partial = false;
+}  // namespace
+
 CampaignHarness::CampaignHarness(const BenchArgs& args,
                                  std::uint64_t default_seed)
     : args_(args), seed_(args.seed ? args.seed : default_seed) {
-  if (!args_.journal_path.empty()) {
+  if (!args_.heartbeat_path.empty())
+    heartbeat_ =
+        std::make_unique<sim::HeartbeatWriter>(args_.heartbeat_path);
+  if (args_.shards > 0) {
+    run_fleet_supervisor();
+  } else if (!args_.journal_path.empty()) {
     if (args_.resume) {
-      // Journal::load throws with a precise message on a corrupt file; an
-      // unreadable resume target must not silently degrade to a full rerun.
-      loaded_ = sim::Journal::load(args_.journal_path);
-      have_loaded_ = true;
+      // The streamed scan throws with a precise message on a corrupt file;
+      // an unreadable resume target must not silently degrade to a full
+      // rerun. (A torn final line — a mid-append kill — is tolerated and
+      // truncated away by the append-mode open below.)
+      resume_stream_ = std::make_unique<sim::ShardJournalStream>(
+          std::vector<std::string>{args_.journal_path});
+      resume_stream_->validate();
     }
     if (!writer_.open(args_.journal_path, /*append=*/args_.resume)) {
       std::cerr << "[journal] cannot open '" << args_.journal_path
@@ -271,6 +353,94 @@ CampaignHarness::CampaignHarness(const BenchArgs& args,
   }
 }
 
+void CampaignHarness::run_fleet_supervisor() {
+  namespace fs = std::filesystem;
+  std::string base = args_.journal_path;
+  if (base.empty()) {
+    char tmpl[] = "/tmp/densemem-fleet-XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      std::cerr << "[fleet] cannot create a temporary journal directory\n";
+      std::exit(74);  // EX_IOERR
+    }
+    fleet_tmp_ = tmpl;
+    base = fleet_tmp_ + "/journal";
+  }
+  sim::FleetConfig fc;
+  fc.shards = args_.shards;
+  fc.journal_base = base;
+  fc.heartbeat_timeout_s = args_.fleet_heartbeat_timeout_s;
+  fc.max_respawns = args_.fleet_max_respawns;
+  fc.fail_fast = !args_.degrade;
+  fc.metrics = &metrics_;
+  fc.make_worker_argv = [this](unsigned shard, const std::string& jpath,
+                               bool first) {
+    // The worker gets the supervisor's command line minus everything that
+    // is supervisor-scoped (fleet control, sidecars, file mirrors — those
+    // must be produced once, by the merged replay) plus its own shard
+    // coordinates, journal, and heartbeat.
+    const auto dropped_with_value = [](const std::string& a) {
+      static const char* drop[] = {
+          "--shards",    "--journal",           "--resume",
+          "--metrics",   "--trace",             "--csv",
+          "--json",      "--shard",             "--heartbeat",
+          "--fleet-kill-after", "--fleet-heartbeat-timeout",
+          "--fleet-max-respawns"};
+      for (const char* d : drop)
+        if (a == d) return true;
+      return false;
+    };
+    std::vector<std::string> argv{args_.argv0};
+    for (std::size_t i = 0; i < args_.raw_args.size(); ++i) {
+      const std::string& a = args_.raw_args[i];
+      if (dropped_with_value(a)) {
+        ++i;
+        continue;
+      }
+      if (a.rfind("--metrics=", 0) == 0 || a.rfind("--trace=", 0) == 0)
+        continue;
+      argv.push_back(a);
+    }
+    argv.push_back("--shard");
+    argv.push_back(std::to_string(shard) + "/" +
+                   std::to_string(args_.shards));
+    std::error_code ec;
+    const bool resume = fs::exists(jpath, ec);
+    argv.push_back(resume ? "--resume" : "--journal");
+    argv.push_back(jpath);
+    argv.push_back("--heartbeat");
+    argv.push_back(sim::FleetRunner::heartbeat_path(jpath));
+    if (first && args_.fleet_kill_after) {
+      argv.push_back("--fleet-kill-after");
+      argv.push_back(std::to_string(args_.fleet_kill_after));
+    }
+    return argv;
+  };
+  std::cerr << "[fleet] supervising " << args_.shards
+            << " shards, journals at " << base << ".shard*\n";
+  sim::FleetRunner runner(fs::path(args_.argv0).filename().string(),
+                          std::move(fc));
+  const sim::FleetResult res = runner.run();
+  quarantined_shards_ = res.quarantined_shards;
+  if (res.outcome == sim::FleetOutcome::kFailed)
+    throw std::runtime_error("fleet failed: " + res.error);
+  if (res.outcome == sim::FleetOutcome::kResumable)
+    throw sim::FleetInterrupted(res.error + " (shard journals at " + base +
+                                ".shard*)");
+  if (res.outcome == sim::FleetOutcome::kPartial) g_fleet_partial = true;
+  // Merged replay source: every shard journal that exists. validate() runs
+  // the full syntactic pass up front so a half-eaten shard journal fails
+  // here, naming the file, instead of mid-replay.
+  std::vector<std::string> paths;
+  for (unsigned s = 0; s < args_.shards; ++s) {
+    std::error_code ec;
+    const std::string p = sim::FleetRunner::shard_path(base, s);
+    if (fs::exists(p, ec)) paths.push_back(p);
+  }
+  resume_stream_ =
+      std::make_unique<sim::ShardJournalStream>(std::move(paths));
+  resume_stream_->validate();
+}
+
 CampaignHarness::~CampaignHarness() {
   if (!args_.metrics_path.empty() &&
       !metrics_.write_json_file(args_.metrics_path))
@@ -281,6 +451,10 @@ CampaignHarness::~CampaignHarness() {
     std::cerr << "[telemetry] FAILED to write trace to '" << args_.trace_path
               << "'\n";
   std::cerr << "[manifest] " << manifest_json() << "\n";
+  if (!fleet_tmp_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(fleet_tmp_, ec);
+  }
 }
 
 sim::CampaignConfig CampaignHarness::config() const {
@@ -301,7 +475,25 @@ sim::CampaignConfig CampaignHarness::config() const {
     cc.fault.fail_attempts = 1;
   }
   if (writer_.is_open()) cc.journal = &writer_;
-  if (have_loaded_) cc.resume = &loaded_;
+  if (resume_stream_) cc.resume_stream = resume_stream_.get();
+  if (args_.shard_count) {
+    // Worker: run only this shard's residue class.
+    cc.shard_index = args_.shard_index;
+    cc.shard_count = args_.shard_count;
+    if (args_.fleet_kill_after) {
+      // Crash injection: die the way a segfault does — no unwinding, no
+      // flushing — after K journaled completions. The supervisor respawns
+      // this shard and the rerun must still be byte-identical.
+      const std::size_t k = args_.fleet_kill_after;
+      cc.completion_hook = [k](std::size_t done) {
+        if (done >= k) std::raise(SIGKILL);
+      };
+    }
+  } else if (args_.shards) {
+    // Supervisor replay: the shard width scopes quarantined-shard ranges.
+    cc.shard_count = args_.shards;
+    cc.quarantined_shards = quarantined_shards_;
+  }
   cc.journal_tag = args_.quick ? "quick" : "full";
   cc.metrics = &metrics_;
   if (!args_.trace_path.empty()) cc.tracer = &tracer_;
@@ -374,6 +566,22 @@ std::string CampaignHarness::manifest_json() const {
                     ",\"quarantined\":" + std::to_string(quarantined) +
                     ",\"faults_injected\":" + std::to_string(faults) +
                     ",\"wall_s\":" + json_double(wall_s) + "}";
+  if (args_.shards)
+    out += ",\"fleet\":{\"shards\":" + std::to_string(args_.shards) +
+           ",\"respawned\":" +
+           std::to_string(metrics_.counter("fleet.shards.respawned")) +
+           ",\"quarantined\":" +
+           std::to_string(metrics_.counter("fleet.shards.quarantined")) +
+           ",\"resumable\":" +
+           std::to_string(metrics_.counter("fleet.shards.resumable")) +
+           ",\"heartbeat_max_age_s\":" +
+           json_double(metrics_.gauge("fleet.heartbeat.max_age_s")) +
+           ",\"worker_retries\":" +
+           std::to_string(metrics_.counter("fleet.workers.retries")) +
+           ",\"worker_faults_injected\":" +
+           std::to_string(metrics_.counter("fleet.workers.faults_injected")) +
+           ",\"worker_wall_s\":" +
+           json_double(metrics_.gauge("fleet.workers.wall_s")) + "}";
   if (!args_.metrics_path.empty())
     out += ",\"metrics_path\":\"" + json_escape(args_.metrics_path) + "\"";
   if (!args_.trace_path.empty())
@@ -383,8 +591,15 @@ std::string CampaignHarness::manifest_json() const {
 }
 
 int run_guarded(const std::function<int()>& body) {
+  g_fleet_partial = false;
   try {
-    return body();
+    const int rc = body();
+    // A degraded fleet still prints complete surviving results; 76 tells
+    // scripts the quarantined ranges are missing.
+    return (rc == 0 && g_fleet_partial) ? 76 : rc;
+  } catch (const sim::FleetInterrupted& e) {
+    std::cerr << "[fleet] " << e.what() << "\n";
+    return 75;  // EX_TEMPFAIL: shard journals hold the settled prefix
   } catch (const sim::CampaignInterrupted& e) {
     std::cerr << "[journal] " << e.what()
               << "; rerun with --resume <journal> to finish\n";

@@ -1,21 +1,39 @@
 // Shared helpers for the experiment benches (E1..E12): banner printing,
 // --csv/--json mirroring, robustness flags (retry / deadline / degrade /
-// checkpoint-resume / fault injection), and common scaled-down device
-// configurations.
+// checkpoint-resume / fault injection), fleet sharding (--shards), and
+// common scaled-down device configurations.
 //
 // Every bench prints an ASCII table of the series the corresponding paper
 // figure/claim reports, plus a short "paper says / we measure" summary that
 // EXPERIMENTS.md quotes.
+//
+// Exit-code contract (sysexits.h-flavoured; enforced by parse_args,
+// CampaignHarness, and run_guarded — scripts and CI key off these):
+//   0   success, results complete
+//   64  usage error: unknown flag, malformed value        (EX_USAGE)
+//   70  fatal software error: fail-fast campaign abort,
+//       permanent fleet failure                           (EX_SOFTWARE)
+//   74  cannot open a journal for writing                 (EX_IOERR)
+//   75  resumable interruption: --abort-after checkpoint,
+//       interrupted fleet, worker exit 75 — rerun with
+//       --resume (or the same fleet command) to finish    (EX_TEMPFAIL)
+//   76  fleet degraded: ≥1 shard exhausted its respawn
+//       budget and was quarantined; surviving results are
+//       complete and printed, quarantined job ranges are
+//       reported as [quarantined] rows — treat stdout as
+//       partial                                           (EX_PROTOCOL)
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
 #include "sim/campaign.h"
+#include "sim/fleet.h"
 
 namespace densemem::bench {
 
@@ -61,6 +79,37 @@ struct BenchArgs {
   /// --sampler-rate F: TrrSampler per-ACT inspection probability override;
   /// 0 = the bench default. Must be in (0, 1] when given.
   double sampler_rate = 0.0;
+
+  // --- fleet sharding (see sim/fleet.h) -----------------------------------
+  /// --shards N: supervisor mode — fork/exec N worker processes, each
+  /// running one residue class of every campaign grid with its own journal,
+  /// then replay the merged shard journals so stdout is byte-identical to a
+  /// single-process run. 0 = no fleet.
+  unsigned shards = 0;
+  /// --shard i/N (internal, set by the supervisor): this process is worker
+  /// i of N. shard_count 0 = not a shard.
+  unsigned shard_index = 0;
+  unsigned shard_count = 0;
+  /// --heartbeat P (internal): touch P a few times a second so the
+  /// supervisor can tell a hung worker from a slow one.
+  std::string heartbeat_path;
+  /// --fleet-kill-after K (internal, crash injection): raise(SIGKILL) after
+  /// K journaled completions per campaign — the deterministic stand-in for
+  /// a worker segfault that SimFleetCrash recovers from. 0 = off.
+  std::size_t fleet_kill_after = 0;
+  /// --fleet-heartbeat-timeout S: supervisor kills a worker whose heartbeat
+  /// is staler than this (seconds).
+  double fleet_heartbeat_timeout_s = 30.0;
+  /// --fleet-max-respawns R: crash-recovery budget per shard before the
+  /// shard is quarantined.
+  unsigned fleet_max_respawns = 2;
+  /// --modules N: fleet-scale module count for bench_field_study (ModuleDb-
+  /// sampled synthetic population); 0 = the classic 129-module study.
+  std::size_t modules = 0;
+  /// argv[0] and the raw argv[1..] tokens, captured so the fleet supervisor
+  /// can rebuild worker command lines.
+  std::string argv0;
+  std::vector<std::string> raw_args;
 };
 
 /// Parses argv into `args`. Returns true on success; on an unknown flag, a
@@ -165,20 +214,32 @@ class CampaignHarness {
     std::uint64_t faults_injected = 0;
   };
 
+  /// Supervisor mode (--shards N): runs the whole fleet to a terminal
+  /// state, then arms resume_stream_ over the merged shard journals so the
+  /// bench body replays every settled job — the supervisor's stdout is
+  /// produced by the exact same code path as a single-process run, which
+  /// is the byte-identity mechanism. Throws FleetInterrupted (exit 75) on
+  /// an interrupted fleet, std::runtime_error (exit 70) on a failed one.
+  void run_fleet_supervisor();
+
   BenchArgs args_;
   std::uint64_t seed_;
-  sim::Journal loaded_;
-  bool have_loaded_ = false;
   mutable sim::JournalWriter writer_;
+  std::unique_ptr<sim::ShardJournalStream> resume_stream_;
+  std::vector<unsigned> quarantined_shards_;
+  std::string fleet_tmp_;  ///< mkdtemp'd journal dir when --journal absent
+  std::unique_ptr<sim::HeartbeatWriter> heartbeat_;
   mutable sim::MetricsRegistry metrics_;
   mutable sim::SpanTracer tracer_;
   mutable std::vector<Phase> phases_;
 };
 
 /// Runs the bench body, translating a sim::CampaignInterrupted
-/// (--abort-after) into exit code 75 with a resume hint on stderr, and any
-/// other exception (e.g. a fail-fast campaign abort) into exit code 70
-/// with the message, instead of an uncaught-exception core dump.
+/// (--abort-after) or sim::FleetInterrupted (interrupted fleet) into exit
+/// code 75 with a resume hint on stderr, any other exception (e.g. a
+/// fail-fast campaign abort) into exit code 70 with the message, and a
+/// clean body return after a degraded fleet (quarantined shards) into exit
+/// code 76 — instead of an uncaught-exception core dump.
 int run_guarded(const std::function<int()>& body);
 
 }  // namespace densemem::bench

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Crash-isolated fleet round trip for a campaign bench: a single-process
+# clean run and supervised multi-process runs at several shard widths —
+# with a SIGKILL injected into every shard's first incarnation — must all
+# produce byte-identical stdout. This is the tentpole contract: worker
+# death is recoverable, and sharding never changes results.
+#
+#   fleet_crash.sh <bench-exe> <workdir> [width...]
+set -u
+
+bench=$1
+work=$2
+shift 2
+widths=${*:-"1 2 4"}
+name=$(basename "$bench")
+mkdir -p "$work"
+rm -rf "${work:?}/$name".*
+
+if ! "$bench" --quick >"$work/$name.clean.txt" 2>/dev/null; then
+  echo "FAIL: clean single-process run exited nonzero"
+  exit 1
+fi
+
+for n in $widths; do
+  jdir="$work/$name.fleet$n"
+  rm -rf "$jdir" && mkdir -p "$jdir"
+
+  # Every shard SIGKILLs itself after a few settled jobs; the supervisor
+  # must respawn it in resume mode and still finish with exit 0.
+  rc=0
+  "$bench" --quick --shards "$n" --journal "$jdir/j" --fleet-kill-after 2 \
+    >"$work/$name.fleet$n.txt" 2>"$work/$name.fleet$n.err" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "FAIL: fleet run (shards=$n, kill-after=2) expected exit 0, got $rc; stderr:"
+    tail -20 "$work/$name.fleet$n.err"
+    exit 1
+  fi
+  if ! grep -q 'respawn' "$work/$name.fleet$n.err"; then
+    echo "FAIL: fleet run (shards=$n) never respawned a killed worker"
+    exit 1
+  fi
+  if ! diff -u "$work/$name.clean.txt" "$work/$name.fleet$n.txt" \
+      >"$work/$name.fleet$n.diff"; then
+    echo "FAIL: fleet stdout (shards=$n) differs from single-process run:"
+    head -40 "$work/$name.fleet$n.diff"
+    exit 1
+  fi
+  echo "ok: shards=$n crashed+respawned stdout is byte-identical"
+done
+
+# Interrupt + resume across the fleet: --abort-after makes one worker exit
+# 75, the supervisor propagates it, and rerunning the same command (minus
+# the abort) resumes every shard from its journal.
+jdir="$work/$name.fleetresume"
+rm -rf "$jdir" && mkdir -p "$jdir"
+rc=0
+"$bench" --quick --shards 2 --journal "$jdir/j" --abort-after 2 \
+  >/dev/null 2>"$work/$name.abort.err" || rc=$?
+if [ "$rc" -ne 75 ]; then
+  echo "FAIL: aborted fleet run expected exit 75, got $rc; stderr:"
+  tail -20 "$work/$name.abort.err"
+  exit 1
+fi
+if ! "$bench" --quick --shards 2 --journal "$jdir/j" \
+    >"$work/$name.resumed.txt" 2>"$work/$name.resumed.err"; then
+  echo "FAIL: fleet resume exited nonzero; stderr:"
+  tail -20 "$work/$name.resumed.err"
+  exit 1
+fi
+if ! diff -u "$work/$name.clean.txt" "$work/$name.resumed.txt" \
+    >"$work/$name.resumed.diff"; then
+  echo "FAIL: resumed fleet stdout differs from single-process run:"
+  head -40 "$work/$name.resumed.diff"
+  exit 1
+fi
+echo "ok: $name fleet interrupt+resume stdout is byte-identical"

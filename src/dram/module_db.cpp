@@ -99,6 +99,66 @@ ModuleDb::ModuleDb(std::uint64_t db_seed) {
   DM_CHECK_MSG(modules_.size() == 129, "module database must hold 129 modules");
 }
 
+ModuleInfo ModuleDb::sample(std::uint64_t db_seed, std::uint64_t index) {
+  Rng rng(hash_coords(db_seed, 0x464c4545 /* "FLEE" */, index));
+
+  // Year and manufacturer weighted by the published population (129 total).
+  int total = 0;
+  for (const YearCal& c : kCalibration)
+    total += c.count_a + c.count_b + c.count_c;
+  int pick = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(total)));
+  const YearCal* cal = &kCalibration[0];
+  Manufacturer mfr = Manufacturer::kA;
+  for (const YearCal& c : kCalibration) {
+    const int counts[3] = {c.count_a, c.count_b, c.count_c};
+    const Manufacturer mfrs[3] = {Manufacturer::kA, Manufacturer::kB,
+                                  Manufacturer::kC};
+    bool found = false;
+    for (int k = 0; k < 3 && !found; ++k) {
+      if (pick < counts[k]) {
+        cal = &c;
+        mfr = mfrs[k];
+        found = true;
+      } else {
+        pick -= counts[k];
+      }
+    }
+    if (found) break;
+  }
+
+  ModuleInfo m;
+  m.manufacturer = mfr;
+  m.year = cal->year;
+  m.id = std::string(manufacturer_name(mfr)) + "-" +
+         std::to_string(cal->year) + "-#" + std::to_string(index);
+  const int year_total = cal->count_a + cal->count_b + cal->count_c;
+  m.vulnerable = rng.bernoulli(static_cast<double>(cal->vulnerable) /
+                               static_cast<double>(year_total));
+  m.seed = hash_coords(db_seed, 0x464c4545, index, 1);
+
+  // Same reliability formulas as the constructor, drawn per sample.
+  ReliabilityParams p;
+  if (m.vulnerable) {
+    const double log10_rate =
+        rng.uniform(cal->log10_rate_lo, cal->log10_rate_hi);
+    m.target_error_rate = std::pow(10.0, log10_rate);
+    p.weak_cell_density = m.target_error_rate * 1e-9 * 1.15;
+    p.hc50 = cal->hc50 * rng.lognormal(0.0, 0.15);
+    switch (mfr) {
+      case Manufacturer::kA: p.hc_sigma = 0.40; break;
+      case Manufacturer::kB: p.hc_sigma = 0.50; p.hc50 *= 0.9; break;
+      case Manufacturer::kC: p.hc_sigma = 0.45; p.distance2_weight = 0.05; break;
+    }
+  } else {
+    m.target_error_rate = 0.0;
+    p.weak_cell_density = 0.0;
+  }
+  p.leaky_cell_density = 1e-7;
+  p.retention_mu_log_ms = 9.0;
+  m.reliability = p;
+  return m;
+}
+
 std::size_t ModuleDb::vulnerable_count() const {
   std::size_t n = 0;
   for (const auto& m : modules_) n += m.vulnerable ? 1 : 0;

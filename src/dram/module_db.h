@@ -45,6 +45,15 @@ class ModuleDb {
   /// jitter while preserving the published aggregate statistics.
   explicit ModuleDb(std::uint64_t db_seed = 2014);
 
+  /// Draws one synthetic module from the same calibrated distributions as
+  /// the 129-module database, without materializing anything: year and
+  /// manufacturer weighted by the published population, vulnerability by
+  /// the year's vulnerable fraction, error rate / hc50 / process signature
+  /// by the same formulas the constructor uses. Pure function of
+  /// (db_seed, index) — the fleet-scale field study samples millions of
+  /// modules this way, one per campaign job, at O(1) memory.
+  static ModuleInfo sample(std::uint64_t db_seed, std::uint64_t index);
+
   const std::vector<ModuleInfo>& modules() const { return modules_; }
   std::size_t size() const { return modules_.size(); }
   std::size_t vulnerable_count() const;

@@ -141,6 +141,23 @@ void Campaign::run_grid(std::size_t n, const GridHooks& hooks) {
   // --- resume: settle jobs the journal already accounts for --------------
   std::vector<char> settled(n, 0);  // 0 = pending, 1 = completed, 2 = quarantined
   std::size_t resumed = 0;
+  auto settle_record = [&](std::size_t i, const Journal::Record& rec) {
+    if (settled[i]) return;  // dedup across resumed sections / shard files
+    if (rec.quarantined) {
+      quarantine_.push_back(JobFailure{i, rec.attempts, rec.error});
+      settled[i] = 2;
+    } else {
+      if (!hooks.replay)
+        throw std::runtime_error(
+            "campaign '" + name_ + "': resuming completed jobs requires "
+            "a result codec (use map_journaled)");
+      hooks.replay(i, rec.payload);
+      settled[i] = 1;
+      ++resumed;
+      metrics_->add(m_resumed);
+      metrics_->add(m_journal_replayed);
+    }
+  };
   if (cfg_.resume) {
     if (const Journal::Section* sec = cfg_.resume->find(name_)) {
       if (sec->seed != cfg_.seed || sec->jobs != n ||
@@ -148,31 +165,36 @@ void Campaign::run_grid(std::size_t n, const GridHooks& hooks) {
         throw std::runtime_error(
             "campaign '" + name_ + "': resume journal was recorded for a "
             "different grid (seed/jobs/tag mismatch)");
-      for (const auto& [i, rec] : sec->records) {
-        if (rec.quarantined) {
-          quarantine_.push_back(JobFailure{i, rec.attempts, rec.error});
-          settled[i] = 2;
-        } else {
-          if (!hooks.replay)
-            throw std::runtime_error(
-                "campaign '" + name_ + "': resuming completed jobs requires "
-                "a result codec (use map_journaled)");
-          hooks.replay(i, rec.payload);
-          settled[i] = 1;
-          ++resumed;
-          metrics_->add(m_resumed);
-          metrics_->add(m_journal_replayed);
-        }
-      }
+      for (const auto& [i, rec] : sec->records) settle_record(i, rec);
+    }
+  } else if (cfg_.resume_stream) {
+    cfg_.resume_stream->replay(
+        name_, cfg_.seed, n, cfg_.journal_tag,
+        [&](const Journal::Record& rec) { settle_record(rec.index, rec); });
+  }
+  // Shards the fleet supervisor quarantined: their still-unsettled indices
+  // are lost job ranges, reported like any other quarantined job.
+  const unsigned shard_count = std::max(1u, cfg_.shard_count);
+  for (const unsigned s : cfg_.quarantined_shards) {
+    for (std::size_t i = s; i < n; i += shard_count) {
+      if (settled[i]) continue;
+      quarantine_.push_back(JobFailure{
+          i, 0,
+          "shard " + std::to_string(s) + "/" + std::to_string(shard_count) +
+              " quarantined by fleet supervisor"});
+      settled[i] = 2;
     }
   }
   if (cfg_.journal && n > 0)
     cfg_.journal->begin_section(name_, cfg_.seed, n, cfg_.journal_tag);
 
+  // A sharded worker only claims its own residue class; the other indices
+  // stay unsettled here and are run (and journaled) by their own shards.
   std::vector<std::size_t> pending;
-  pending.reserve(n);
+  pending.reserve(shard_count > 1 ? n / shard_count + 1 : n);
   for (std::size_t i = 0; i < n; ++i)
-    if (!settled[i]) pending.push_back(i);
+    if (!settled[i] && i % shard_count == cfg_.shard_index)
+      pending.push_back(i);
 
   Progress progress(name_, n, cfg_.progress && n > 1,
                     cfg_.progress_interval_s, metrics_, metric_prefix_);
@@ -257,11 +279,13 @@ void Campaign::run_grid(std::size_t n, const GridHooks& hooks) {
           cfg_.journal->record_done(i, attempt + 1, payload);
           metrics_->add(m_journal_records);
         }
+        if (hooks.settled) hooks.settled(i, payload);
         trace(i, attempt, SpanOutcome::kOk, attempt_start, "");
         progress.mark_done();
         metrics_->add(m_completed);
         const std::size_t done_now =
             completed.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (cfg_.completion_hook) cfg_.completion_hook(done_now);
         if (cfg_.abort_after && done_now >= cfg_.abort_after) {
           interrupted.store(true, std::memory_order_relaxed);
           throw CampaignInterrupted(name_, done_now);

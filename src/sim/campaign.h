@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -95,10 +96,36 @@ struct CampaignConfig {
   /// Completed jobs are replayed through the codec instead of re-run;
   /// quarantined jobs stay quarantined. nullptr = fresh run.
   const Journal* resume = nullptr;
+  /// Streaming alternative to `resume` (owned by the caller): replays the
+  /// campaign's records straight off disk — one or many per-shard journal
+  /// files — without materializing a Journal, so resuming a fleet-scale
+  /// grid costs O(1) memory. Records repeated across resumed sections are
+  /// deduplicated by job index (first occurrence wins; duplicates are
+  /// identical anyway, results being deterministic). Ignored when `resume`
+  /// is set.
+  const ShardJournalStream* resume_stream = nullptr;
   /// Opaque run descriptor stored in the journal section header and
   /// validated on resume (e.g. "quick" vs "full" — grids whose job bodies
   /// differ must not share checkpoints).
   std::string journal_tag;
+
+  // --- fleet sharding -----------------------------------------------------
+  /// Shard coordinates: with shard_count > 1 this process runs only job
+  /// indices where index % shard_count == shard_index; every other index
+  /// is left unsettled for its own shard. The supervisor merges per-shard
+  /// journals back into one grid via resume_stream, which is what keeps
+  /// the merged output byte-identical to a single-process run.
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
+  /// Shards the fleet supervisor gave up on (crashed past the respawn
+  /// budget): every still-unsettled index belonging to one of them is
+  /// quarantined up front, so a degraded fleet run reports the lost job
+  /// ranges through the normal quarantine() channel.
+  std::vector<unsigned> quarantined_shards;
+  /// Called after every successful completion with the running completed
+  /// count — the fleet crash-injection hook (a worker kills itself after K
+  /// completions). Runs on the completing worker thread.
+  std::function<void(std::size_t)> completion_hook;
 
   // --- telemetry ----------------------------------------------------------
   /// Metrics registry (owned by the caller, typically shared across a
@@ -229,6 +256,34 @@ class Campaign {
     return out;
   }
 
+  /// Streaming variant of map_journaled(): instead of materializing one R
+  /// per job, every settled result is folded into the accumulator — memory
+  /// stays flat no matter how many jobs the grid has, which is what lets a
+  /// fleet-scale field study hold millions of jobs. The fold runs under an
+  /// internal mutex, exactly once per job — after the journal record on a
+  /// fresh completion (a retried attempt never folds), or on the replay
+  /// path when resuming — in scheduling order, so `fold` must be
+  /// commutative and associative for the result to stay identical across
+  /// thread and shard widths (integer sums are; naive float accumulation
+  /// is not). fold(acc, index, r) receives the *decoded* result even on a
+  /// fresh completion, so it always sees exactly what a resumed run would.
+  template <typename R, typename A, typename Fn, typename Fold>
+  A fold_journaled(std::size_t n, Fn&& fn, JobCodec<R> codec, A acc,
+                   Fold&& fold) {
+    std::mutex mu;
+    auto settle = [&](std::size_t index, const std::string& payload) {
+      const R r = codec.decode(payload);
+      std::lock_guard<std::mutex> lock(mu);
+      fold(acc, index, r);
+    };
+    GridHooks hooks;
+    hooks.run = [&](const JobContext& ctx) { return codec.encode(fn(ctx)); };
+    hooks.settled = settle;
+    hooks.replay = settle;
+    run_grid(n, hooks);
+    return acc;
+  }
+
   /// Runs fn(ctx) for every job index in [0, n); results flow through side
   /// channels (a ResultSink, or writes keyed by ctx.index). Side-channel
   /// writes are re-executed on retry — prefer map() when retries are on.
@@ -249,6 +304,11 @@ class Campaign {
     /// Reinstates a completed job from its journal payload; null when the
     /// grid has no codec (then resuming completed jobs is an error).
     std::function<void(std::size_t, const std::string&)> replay;
+    /// Optional: called exactly once per job when it settles successfully
+    /// this run — after the journal record, before the completion counter —
+    /// with the encoded payload. Retried attempts never reach it; resumed
+    /// jobs go through `replay` instead. Runs on the completing worker.
+    std::function<void(std::size_t, const std::string&)> settled;
   };
 
   void run_grid(std::size_t n, const GridHooks& hooks);

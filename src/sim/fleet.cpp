@@ -1,0 +1,371 @@
+#include "sim/fleet.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace densemem::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Signal handlers can only touch a flag; the supervisor polls it. One
+// fleet runs at a time per process (bench_util spawns it before any
+// campaign), so a single flag is enough.
+volatile std::sig_atomic_t g_fleet_stop = 0;
+
+void on_stop_signal(int) { g_fleet_stop = 1; }
+
+/// Age of `path` in seconds per its mtime; a huge value when it does not
+/// exist yet (the spawn-time clamp below keeps that from killing a worker
+/// that has not written its first beat).
+double file_age_s(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return 1e18;
+  struct timespec now{};
+  clock_gettime(CLOCK_REALTIME, &now);
+  const double then = static_cast<double>(st.st_mtim.tv_sec) +
+                      static_cast<double>(st.st_mtim.tv_nsec) * 1e-9;
+  const double t = static_cast<double>(now.tv_sec) +
+                   static_cast<double>(now.tv_nsec) * 1e-9;
+  return std::max(0.0, t - then);
+}
+
+/// Last ~512 bytes of a worker's captured stderr: enough to surface the
+/// fatal message in the supervisor's own error without replaying the file.
+std::string err_tail(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<long long>(in.tellg());
+  const long long keep = std::min<long long>(size, 512);
+  in.seekg(size - keep);
+  std::string tail(static_cast<std::size_t>(keep), '\0');
+  in.read(tail.data(), keep);
+  // Trim to whole lines and strip trailing whitespace.
+  const auto nl = tail.find('\n');
+  if (nl != std::string::npos && keep == 512) tail.erase(0, nl + 1);
+  while (!tail.empty() && (tail.back() == '\n' || tail.back() == '\r'))
+    tail.pop_back();
+  std::replace(tail.begin(), tail.end(), '\n', ' ');
+  return tail;
+}
+
+/// Pulls a numeric field out of the "totals" object of each [manifest]
+/// line in a worker's captured stderr, summed across the worker's
+/// incarnations (a SIGKILLed incarnation prints no manifest; its work is
+/// re-counted by the incarnation that resumes it — supervisor-side totals
+/// are operational telemetry, not the deterministic record).
+double sum_manifest_totals(const std::string& err_path,
+                           const std::string& key) {
+  std::ifstream in(err_path);
+  if (!in) return 0.0;
+  double sum = 0.0;
+  const std::string prefix = "[manifest] {";
+  const std::string needle = "\"" + key + "\":";
+  for (std::string line; std::getline(in, line);) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    const auto totals = line.find("\"totals\":{");
+    if (totals == std::string::npos) continue;
+    const auto at = line.find(needle, totals);
+    if (at == std::string::npos) continue;
+    sum += std::strtod(line.c_str() + at + needle.size(), nullptr);
+  }
+  return sum;
+}
+
+}  // namespace
+
+struct FleetRunner::Worker {
+  unsigned shard = 0;
+  pid_t pid = -1;              ///< -1 = not running
+  unsigned incarnations = 0;   ///< spawns so far (1 = never respawned)
+  bool done = false;
+  bool resumable = false;
+  bool quarantined = false;
+  Clock::time_point spawned_at;
+  std::string journal, hb, out, err;
+};
+
+FleetRunner::FleetRunner(std::string name, FleetConfig cfg)
+    : name_(std::move(name)), cfg_(std::move(cfg)) {}
+
+void FleetRunner::spawn(Worker& w) {
+  const bool first = w.incarnations == 0;
+  const std::vector<std::string> argv =
+      cfg_.make_worker_argv(w.shard, w.journal, first);
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& s : argv)
+    cargv.push_back(const_cast<char*>(s.c_str()));
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("fleet: fork failed");
+  if (pid == 0) {
+    // Child. Capture files are O_APPEND so a respawn extends, never
+    // truncates, the incarnation history.
+    const int out =
+        ::open(w.out.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    const int err =
+        ::open(w.err.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (out >= 0) ::dup2(out, STDOUT_FILENO);
+    if (err >= 0) ::dup2(err, STDERR_FILENO);
+    ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGTERM, SIG_DFL);
+    ::execvp(cargv[0], cargv.data());
+    std::fprintf(stderr, "fleet worker: exec '%s' failed: %s\n", cargv[0],
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  w.pid = pid;
+  ++w.incarnations;
+  w.spawned_at = Clock::now();
+  std::fprintf(stderr, "[fleet] %s shard %u/%u: spawned pid %d%s\n",
+               name_.c_str(), w.shard, cfg_.shards, static_cast<int>(pid),
+               first ? "" : " (respawn)");
+}
+
+void FleetRunner::fail_fleet(std::vector<Worker>& workers,
+                             const std::string& why) {
+  if (failed_) return;
+  failed_ = true;
+  error_ = why;
+  for (Worker& w : workers)
+    if (w.pid >= 0) ::kill(w.pid, SIGKILL);
+}
+
+void FleetRunner::handle_exit(Worker& w, int status) {
+  const int pid = static_cast<int>(w.pid);
+  w.pid = -1;
+  if (failed_) return;  // already tearing down; exits are noise
+  if (stopping_) {
+    // The supervisor asked workers to stop; whatever way they went down,
+    // their journals hold the settled prefix and a rerun continues it.
+    w.resumable = true;
+    return;
+  }
+  if (WIFEXITED(status)) {
+    const int code = WEXITSTATUS(status);
+    switch (code) {
+      case 0:
+        w.done = true;
+        std::fprintf(stderr, "[fleet] %s shard %u/%u: completed\n",
+                     name_.c_str(), w.shard, cfg_.shards);
+        return;
+      case 75:  // EX_TEMPFAIL: deliberate interruption, checkpointed
+        w.resumable = true;
+        if (cfg_.metrics) cfg_.metrics->add("fleet.shards.resumable");
+        std::fprintf(stderr,
+                     "[fleet] %s shard %u/%u: interrupted (exit 75), "
+                     "resumable\n",
+                     name_.c_str(), w.shard, cfg_.shards);
+        return;
+      case 64:   // usage
+      case 70:   // software error
+      case 74:   // I/O error
+      case 126:  // exec permission
+      case 127:  // exec not found
+        // Deterministic failures: a respawn would fail identically.
+        fail_fleet(*workers_, "shard " + std::to_string(w.shard) +
+                                  " (pid " + std::to_string(pid) +
+                                  ") exited with code " +
+                                  std::to_string(code) + ": " +
+                                  err_tail(w.err));
+        return;
+      default:
+        break;  // unexpected exit code: treat as a crash
+    }
+  }
+  // Crash: a signal (SIGKILL/SIGSEGV/the heartbeat reaper) or an
+  // unrecognized exit code. Respawn against the shard's own journal until
+  // the budget runs out, then quarantine the shard.
+  const char* how = WIFSIGNALED(status) ? "killed by signal" : "exited";
+  const int detail =
+      WIFSIGNALED(status) ? WTERMSIG(status) : WEXITSTATUS(status);
+  std::fprintf(stderr, "[fleet] %s shard %u/%u: pid %d %s %d\n",
+               name_.c_str(), w.shard, cfg_.shards, pid, how, detail);
+  if (w.incarnations <= cfg_.max_respawns) {
+    if (cfg_.metrics) cfg_.metrics->add("fleet.shards.respawned");
+    spawn(w);
+    return;
+  }
+  w.quarantined = true;
+  if (cfg_.metrics) cfg_.metrics->add("fleet.shards.quarantined");
+  std::fprintf(stderr,
+               "[fleet] %s shard %u/%u: respawn budget (%u) exhausted, "
+               "quarantining the shard's job range\n",
+               name_.c_str(), w.shard, cfg_.shards, cfg_.max_respawns);
+  if (cfg_.fail_fast)
+    fail_fleet(*workers_,
+               "shard " + std::to_string(w.shard) +
+                   " exhausted its respawn budget (rerun with "
+                   "--on-fail=degrade to quarantine it instead): " +
+                   err_tail(w.err));
+}
+
+FleetResult FleetRunner::run() {
+  if (!cfg_.make_worker_argv)
+    throw std::runtime_error("fleet: make_worker_argv not set");
+  std::vector<Worker> workers(cfg_.shards);
+  workers_ = &workers;
+  for (unsigned s = 0; s < cfg_.shards; ++s) {
+    Worker& w = workers[s];
+    w.shard = s;
+    w.journal = shard_path(cfg_.journal_base, s);
+    w.hb = heartbeat_path(w.journal);
+    w.out = w.journal + ".out";
+    w.err = w.journal + ".err";
+  }
+
+  // Take over SIGINT/SIGTERM for the supervision window so ^C tears the
+  // fleet down to a resumable state instead of orphaning workers.
+  g_fleet_stop = 0;
+  struct sigaction sa{}, old_int{}, old_term{};
+  sa.sa_handler = on_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, &old_int);
+  ::sigaction(SIGTERM, &sa, &old_term);
+
+  for (Worker& w : workers) spawn(w);
+
+  double max_hb_age = 0.0;
+  Clock::time_point stop_at{};
+  const auto poll_us = std::chrono::microseconds(
+      static_cast<long long>(std::max(0.001, cfg_.poll_interval_s) * 1e6));
+  for (;;) {
+    if (g_fleet_stop && !stopping_ && !failed_) {
+      stopping_ = true;
+      stop_at = Clock::now();
+      error_ = "supervisor received a stop signal";
+      std::fprintf(stderr,
+                   "[fleet] %s: stop requested, terminating %u shards\n",
+                   name_.c_str(), cfg_.shards);
+      for (Worker& w : workers)
+        if (w.pid >= 0) ::kill(w.pid, SIGTERM);
+    }
+    if (stopping_ && seconds_since(stop_at) > 5.0)
+      for (Worker& w : workers)
+        if (w.pid >= 0) ::kill(w.pid, SIGKILL);
+
+    bool any_live = false;
+    for (Worker& w : workers) {
+      if (w.pid < 0) continue;
+      int status = 0;
+      const pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+      if (r == w.pid) {
+        handle_exit(w, status);
+      } else if (r < 0 && errno == ECHILD) {
+        // Lost to an outer reaper — should not happen; take the crash
+        // path with a synthesized SIGKILL status.
+        handle_exit(w, SIGKILL);
+      }
+      if (w.pid >= 0) any_live = true;
+    }
+    if (!any_live) break;
+
+    if (!stopping_ && !failed_ && cfg_.heartbeat_timeout_s > 0.0) {
+      for (Worker& w : workers) {
+        if (w.pid < 0) continue;
+        // A heartbeat older than the worker itself belongs to a previous
+        // incarnation: age is bounded by time-since-spawn.
+        const double age =
+            std::min(file_age_s(w.hb), seconds_since(w.spawned_at));
+        max_hb_age = std::max(max_hb_age, age);
+        if (age > cfg_.heartbeat_timeout_s) {
+          std::fprintf(stderr,
+                       "[fleet] %s shard %u/%u: heartbeat stale "
+                       "(%.1fs > %.1fs), killing pid %d\n",
+                       name_.c_str(), w.shard, cfg_.shards, age,
+                       cfg_.heartbeat_timeout_s, static_cast<int>(w.pid));
+          ::kill(w.pid, SIGKILL);  // reaped above as a crash next poll
+        }
+      }
+    }
+    std::this_thread::sleep_for(poll_us);
+  }
+
+  ::sigaction(SIGINT, &old_int, nullptr);
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  workers_ = nullptr;
+
+  FleetResult res;
+  for (const Worker& w : workers)
+    if (w.quarantined) res.quarantined_shards.push_back(w.shard);
+  if (failed_) {
+    res.outcome = FleetOutcome::kFailed;
+    res.error = error_;
+  } else if (stopping_ ||
+             std::any_of(workers.begin(), workers.end(),
+                         [](const Worker& w) { return w.resumable; })) {
+    res.outcome = FleetOutcome::kResumable;
+    res.error = stopping_ ? error_ : "a shard was interrupted (exit 75)";
+  } else if (!res.quarantined_shards.empty()) {
+    res.outcome = FleetOutcome::kPartial;
+  }
+
+  if (cfg_.metrics) {
+    cfg_.metrics->set("fleet.heartbeat.max_age_s", max_hb_age);
+    double retries = 0.0, faults = 0.0, wall = 0.0;
+    for (const Worker& w : workers) {
+      retries += sum_manifest_totals(w.err, "retries");
+      faults += sum_manifest_totals(w.err, "faults_injected");
+      wall += sum_manifest_totals(w.err, "wall_s");
+    }
+    cfg_.metrics->add("fleet.workers.retries",
+                      static_cast<std::uint64_t>(retries));
+    cfg_.metrics->add("fleet.workers.faults_injected",
+                      static_cast<std::uint64_t>(faults));
+    cfg_.metrics->set("fleet.workers.wall_s", wall);
+  }
+  return res;
+}
+
+// ----------------------------------------------------------- heartbeats
+
+HeartbeatWriter::HeartbeatWriter(std::string path, double interval_s)
+    : path_(std::move(path)), interval_s_(std::max(0.01, interval_s)) {
+  beat();
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto period = std::chrono::duration<double>(interval_s_);
+    while (!cv_.wait_for(lock, period, [this] { return stop_; })) beat();
+  });
+}
+
+HeartbeatWriter::~HeartbeatWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::remove(path_.c_str());
+}
+
+void HeartbeatWriter::beat() const {
+  // A fresh mtime is the whole signal; rewriting one byte provides it.
+  if (std::FILE* f = std::fopen(path_.c_str(), "wb")) {
+    std::fputc('.', f);
+    std::fclose(f);
+  }
+}
+
+}  // namespace densemem::sim

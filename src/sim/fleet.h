@@ -1,0 +1,164 @@
+// FleetRunner — the multi-process shard supervisor.
+//
+// A fleet run splits a campaign grid across N worker *processes*: the
+// supervisor fork/execs the same bench binary N times with `--shard i/N
+// --journal <base>.shard<i>`, and each worker runs only its residue class
+// of job indices (index % N == i), checkpointing every settled job to its
+// own journal. Process isolation is the point: a worker segfault, OOM
+// kill, or stuck syscall costs one shard's in-flight jobs, not the run —
+// the in-process retry/watchdog layer (campaign.h) is cooperative and
+// cannot survive those.
+//
+// Supervisor state machine, per shard:
+//
+//   spawned ──exit 0──────────────────────────▶ done
+//      │ ▲                                       │
+//      │ └──respawn (incarnations ≤ budget)──┐   │
+//      ├──crash (signal / unknown exit) ─────┤   │
+//      ├──heartbeat stale ──SIGKILL──────────┘   │
+//      │        └─respawn budget exhausted──▶ quarantined
+//      ├──exit 75 ──────────────────────────▶ resumable (not respawned:
+//      │                                       a deliberate interruption)
+//      └──exit 64/70/74/126/127 ────────────▶ fleet failed (config and
+//                                              software errors repeat
+//                                              identically; respawning
+//                                              would loop forever)
+//
+// A respawned worker is launched in resume mode against its own journal,
+// so it replays its settled jobs and continues — crash recovery costs only
+// the jobs that were in flight when the worker died. Liveness comes from
+// heartbeat files: each worker touches `<journal>.hb` a few times a second
+// (HeartbeatWriter); a shard whose heartbeat goes stale is SIGKILLed and
+// takes the crash path. Worker stdout/stderr go to `<journal>.out/.err` —
+// the supervisor's own stdout stays clean for the merged replay
+// (bench_util re-runs the bench body over the merged shard journals, which
+// is what makes fleet stdout byte-identical to a single-process run).
+//
+// Outcomes: kComplete (all shards done), kResumable (a shard exited 75 or
+// the supervisor was interrupted — rerun to continue), kPartial (a shard
+// exhausted its respawn budget and was quarantined; the merged run reports
+// its job range as quarantined and the bench exits 76), kFailed (a shard
+// hit a permanent error, or quarantine under fail_fast).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/telemetry.h"
+
+namespace densemem::sim {
+
+/// Thrown by callers (bench_util) when a fleet run ends kResumable: the
+/// run_guarded translation to exit 75, mirroring CampaignInterrupted.
+class FleetInterrupted : public std::runtime_error {
+ public:
+  explicit FleetInterrupted(const std::string& why)
+      : std::runtime_error("fleet interrupted: " + why +
+                           "; rerun the same command to continue") {}
+};
+
+enum class FleetOutcome {
+  kComplete,   ///< every shard ran to completion
+  kResumable,  ///< interrupted (worker exit 75 or supervisor signal)
+  kPartial,    ///< ≥1 shard quarantined; surviving results are complete
+  kFailed,     ///< permanent worker error, or quarantine under fail_fast
+};
+
+struct FleetResult {
+  FleetOutcome outcome = FleetOutcome::kComplete;
+  /// Shards whose respawn budget ran out; their unsettled job ranges are
+  /// what the merged run quarantines.
+  std::vector<unsigned> quarantined_shards;
+  std::string error;  ///< what went wrong, for kFailed/kResumable
+};
+
+struct FleetConfig {
+  unsigned shards = 1;
+  /// Shard i's journal lives at FleetRunner::shard_path(journal_base, i);
+  /// its heartbeat / captured stdout / stderr add .hb / .out / .err.
+  std::string journal_base;
+  /// A live worker whose heartbeat file is older than this (measured from
+  /// the later of the file mtime and the worker's own spawn time, so a
+  /// stale file from a previous incarnation never kills a fresh worker) is
+  /// presumed hung and SIGKILLed onto the crash path.
+  double heartbeat_timeout_s = 30.0;
+  double poll_interval_s = 0.05;
+  /// Extra incarnations per shard after the first; the budget crash
+  /// recovery draws from before quarantining the shard.
+  unsigned max_respawns = 2;
+  /// true: a quarantined shard fails the whole fleet (abort semantics).
+  /// false: the fleet degrades — surviving shards finish, the merged run
+  /// reports the lost range, outcome kPartial.
+  bool fail_fast = true;
+  /// Supervisor metrics land here under "fleet." (shards.respawned,
+  /// shards.quarantined, shards.resumable, heartbeat.max_age_s, plus
+  /// worker totals summed from their manifests). nullptr = not recorded.
+  MetricsRegistry* metrics = nullptr;
+  /// Builds a worker's argv. `first` is false for respawns and reruns over
+  /// an existing journal — crash injection (--fleet-kill-after) must only
+  /// arm on first incarnations or the fleet would kill itself forever.
+  std::function<std::vector<std::string>(
+      unsigned shard, const std::string& journal_path, bool first)>
+      make_worker_argv;
+};
+
+class FleetRunner {
+ public:
+  FleetRunner(std::string name, FleetConfig cfg);
+
+  /// Spawns every shard, supervises to a terminal state, returns the
+  /// outcome. Installs SIGINT/SIGTERM handlers for the duration: an
+  /// interrupted supervisor SIGTERMs its workers (SIGKILL after a grace
+  /// period) and reports kResumable.
+  FleetResult run();
+
+  static std::string shard_path(const std::string& base, unsigned shard) {
+    return base + ".shard" + std::to_string(shard);
+  }
+  static std::string heartbeat_path(const std::string& journal_path) {
+    return journal_path + ".hb";
+  }
+
+ private:
+  struct Worker;
+  void spawn(Worker& w);
+  void handle_exit(Worker& w, int status);
+  void fail_fleet(std::vector<Worker>& workers, const std::string& why);
+
+  std::string name_;
+  FleetConfig cfg_;
+  std::vector<Worker>* workers_ = nullptr;  ///< live only inside run()
+  bool failed_ = false;
+  bool stopping_ = false;  ///< supervisor interrupt: exits are resumable
+  std::string error_;
+};
+
+/// Touches `path` every `interval_s` seconds from a background thread; the
+/// file's mtime is the worker's liveness signal. Started by sharded
+/// workers, stopped (and the file removed) on destruction.
+class HeartbeatWriter {
+ public:
+  explicit HeartbeatWriter(std::string path, double interval_s = 0.25);
+  ~HeartbeatWriter();
+  HeartbeatWriter(const HeartbeatWriter&) = delete;
+  HeartbeatWriter& operator=(const HeartbeatWriter&) = delete;
+
+ private:
+  void beat() const;
+
+  std::string path_;
+  double interval_s_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace densemem::sim

@@ -1,5 +1,7 @@
 #include "sim/journal.h"
 
+#include <unistd.h>
+
 #include <bit>
 #include <charconv>
 #include <cinttypes>
@@ -148,44 +150,68 @@ std::string PayloadReader::str() { return unescape_token(next_token()); }
 
 // ------------------------------------------------------------------ reader
 
-Journal Journal::load(const std::string& path) {
+namespace {
+
+/// One parsed section header.
+struct SectionHeader {
+  std::string name;
+  std::uint64_t seed = 0;
+  std::size_t jobs = 0;
+  std::string tag;
+};
+
+/// Streams a journal file line by line, invoking `on_section` per section
+/// header and `on_record` per settled-job record, in file order. Nothing is
+/// buffered beyond one line of lookahead, so a multi-million-record fleet
+/// shard costs O(1) memory to scan.
+///
+/// Error discipline (the contract ShardJournalStream documents): a line
+/// that fails to *parse* — bad grammar, bad digest, index outside the
+/// section grid — is tolerated only as the file's final line (the torn tail
+/// of a mid-append kill, dropped with a stderr note); anywhere earlier it
+/// throws naming the file and line. Exceptions thrown by the callbacks are
+/// never mistaken for torn tails: they propagate untouched.
+void scan_journal_file(
+    const std::string& path,
+    const std::function<void(const SectionHeader&)>& on_section,
+    const std::function<void(Journal::Record&&)>& on_record) {
   std::ifstream in(path, std::ios::binary);
   if (!in) bad("cannot open '" + path + "'");
-  std::vector<std::string> lines;
-  for (std::string line; std::getline(in, line);) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    lines.push_back(std::move(line));
-  }
-  if (lines.empty() || lines.front() != kMagic)
-    bad("'" + path + "' is not a v1 campaign journal");
+  std::string line;
+  if (!std::getline(in, line)) bad("'" + path + "' is not a v1 campaign journal");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != kMagic) bad("'" + path + "' is not a v1 campaign journal");
 
-  Journal j;
-  Section* cur = nullptr;
-  for (std::size_t ln = 1; ln < lines.size(); ++ln) {
+  bool have_section = false;
+  std::size_t cur_jobs = 0;
+
+  std::size_t ln = 1;  // 1-based; the magic line was 1
+  std::string next;
+  bool more = static_cast<bool>(std::getline(in, line));
+  while (more) {
+    const bool has_next = static_cast<bool>(std::getline(in, next));
+    ++ln;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+
+    // Parse first (torn-tail-eligible), dispatch after (callback errors
+    // must not be dropped as a torn tail).
+    bool is_section = false;
+    SectionHeader header;
+    Journal::Record rec;
     try {
-      std::string_view rest = lines[ln];
+      std::string_view rest = line;
       const std::string_view kind = pop_token(rest);
       if (kind == "S") {
-        const std::string name = unescape_token(pop_token(rest));
-        Section sec;
-        sec.seed = parse_num<std::uint64_t>(pop_token(rest), "seed");
-        sec.jobs = parse_num<std::size_t>(pop_token(rest), "jobs");
-        sec.tag = unescape_token(pop_token(rest));
-        auto [it, fresh] = j.sections.try_emplace(name, std::move(sec));
-        if (!fresh) {
-          // Same campaign journaled again (a resumed run appends a new
-          // header): the grid must be the same grid.
-          if (it->second.seed != sec.seed || it->second.jobs != sec.jobs ||
-              it->second.tag != sec.tag)
-            bad("section '" + name + "' redefined with different parameters");
-        }
-        cur = &it->second;
+        is_section = true;
+        header.name = unescape_token(pop_token(rest));
+        header.seed = parse_num<std::uint64_t>(pop_token(rest), "seed");
+        header.jobs = parse_num<std::size_t>(pop_token(rest), "jobs");
+        header.tag = unescape_token(pop_token(rest));
       } else if (kind == "D" || kind == "Q") {
-        if (!cur) bad("record before any section header");
-        Record rec;
+        if (!have_section) bad("record before any section header");
         rec.index = parse_num<std::size_t>(pop_token(rest), "index");
         rec.attempts = parse_num<unsigned>(pop_token(rest), "attempts");
-        if (rec.index >= cur->jobs)
+        if (rec.index >= cur_jobs)
           bad("record index " + std::to_string(rec.index) +
               " outside the section's grid");
         if (kind == "D") {
@@ -198,24 +224,90 @@ Journal Journal::load(const std::string& path) {
           rec.quarantined = true;
           rec.error = unescape_token(rest);
         }
-        cur->records[rec.index] = std::move(rec);
       } else {
         bad("unknown record kind '" + std::string(kind) + "'");
       }
     } catch (const std::runtime_error& e) {
-      if (ln + 1 == lines.size()) {
+      if (!has_next) {
         // A kill mid-append tears at most the final line; dropping it only
         // costs re-running that one job.
         std::fprintf(stderr,
                      "[journal] dropping torn final line %zu of %s (%s)\n",
-                     ln + 1, path.c_str(), e.what());
-        break;
+                     ln, path.c_str(), e.what());
+        return;
       }
-      throw std::runtime_error(std::string(e.what()) + " at " + path +
-                               ":" + std::to_string(ln + 1));
+      throw std::runtime_error(std::string(e.what()) + " at " + path + ":" +
+                               std::to_string(ln));
     }
+
+    if (is_section) {
+      have_section = true;
+      cur_jobs = header.jobs;
+      if (on_section) on_section(header);
+    } else {
+      if (on_record) on_record(std::move(rec));
+    }
+    line = std::move(next);
+    more = has_next;
   }
+}
+
+}  // namespace
+
+Journal Journal::load(const std::string& path) {
+  Journal j;
+  Section* cur = nullptr;
+  scan_journal_file(
+      path,
+      [&](const SectionHeader& h) {
+        Section sec;
+        sec.seed = h.seed;
+        sec.jobs = h.jobs;
+        sec.tag = h.tag;
+        auto [it, fresh] = j.sections.try_emplace(h.name, std::move(sec));
+        if (!fresh) {
+          // Same campaign journaled again (a resumed run appends a new
+          // header): the grid must be the same grid.
+          if (it->second.seed != h.seed || it->second.jobs != h.jobs ||
+              it->second.tag != h.tag)
+            bad("section '" + h.name + "' redefined with different parameters");
+        }
+        cur = &it->second;
+      },
+      [&](Record&& rec) {
+        const std::size_t index = rec.index;
+        cur->records[index] = std::move(rec);
+      });
   return j;
+}
+
+// ------------------------------------------------------- shard journal set
+
+void ShardJournalStream::validate() const {
+  for (const std::string& path : paths_)
+    scan_journal_file(path, nullptr, nullptr);
+}
+
+void ShardJournalStream::replay(
+    const std::string& campaign, std::uint64_t seed, std::size_t jobs,
+    const std::string& tag,
+    const std::function<void(const Journal::Record&)>& fn) const {
+  for (const std::string& path : paths_) {
+    bool in_target = false;
+    scan_journal_file(
+        path,
+        [&](const SectionHeader& h) {
+          in_target = h.name == campaign;
+          if (in_target &&
+              (h.seed != seed || h.jobs != jobs || h.tag != tag))
+            bad("campaign '" + campaign + "': shard journal '" + path +
+                "' was recorded for a different grid (seed/jobs/tag "
+                "mismatch)");
+        },
+        [&](Journal::Record&& rec) {
+          if (in_target) fn(rec);
+        });
+  }
 }
 
 // ------------------------------------------------------------------ writer
@@ -227,13 +319,37 @@ JournalWriter::~JournalWriter() {
 bool JournalWriter::open(const std::string& path, bool append) {
   std::lock_guard<std::mutex> lock(mu_);
   if (f_) std::fclose(f_);
-  f_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+  f_ = std::fopen(path.c_str(), append ? "a+b" : "wb");
   if (!f_) return false;
   path_ = path;
   bool need_magic = !append;
   if (append) {
     std::fseek(f_, 0, SEEK_END);
-    need_magic = std::ftell(f_) == 0;
+    long size = std::ftell(f_);
+    if (size > 0) {
+      // A previous incarnation killed mid-append leaves a torn final line
+      // with no newline. Appending after it would fuse two records into
+      // one mid-file garbage line — which readers rightly reject as
+      // corruption — so truncate the torn tail away before writing.
+      std::fseek(f_, size - 1, SEEK_SET);
+      if (std::fgetc(f_) != '\n') {
+        long keep = size - 1;  // bytes to keep: up to and incl. last '\n'
+        while (keep > 0) {
+          std::fseek(f_, keep - 1, SEEK_SET);
+          if (std::fgetc(f_) == '\n') break;
+          --keep;
+        }
+        std::fflush(f_);
+        if (::ftruncate(::fileno(f_), keep) != 0) {
+          std::fclose(f_);
+          f_ = nullptr;
+          return false;
+        }
+        size = keep;
+      }
+      std::fseek(f_, 0, SEEK_END);
+    }
+    need_magic = size == 0;
   }
   if (need_magic) {
     std::fprintf(f_, "%s\n", kMagic);

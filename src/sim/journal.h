@@ -25,10 +25,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace densemem::sim {
 
@@ -105,6 +107,44 @@ struct Journal {
   }
 };
 
+/// Streaming, memory-flat view over a set of journal files — the per-shard
+/// journals a fleet supervisor merges, or a single file resumed without
+/// materializing it. Nothing is loaded up front: validate() and replay()
+/// scan the files line by line, so supervisor memory stays flat no matter
+/// how many records a fleet run produced.
+///
+/// Torn-tail semantics are per *file*: each shard journal may end in one
+/// torn line (the worker was killed mid-append) which is dropped with a
+/// stderr note, but a malformed or digest-failing record anywhere earlier
+/// is corruption and throws an error naming the offending shard file and
+/// line — a half-eaten journal must never replay silently.
+class ShardJournalStream {
+ public:
+  explicit ShardJournalStream(std::vector<std::string> paths)
+      : paths_(std::move(paths)) {}
+
+  const std::vector<std::string>& paths() const { return paths_; }
+
+  /// Full syntactic pass over every file: magic line, record grammar,
+  /// payload digests, record indices inside their section's grid. Throws
+  /// std::runtime_error naming the file (and line) on the first problem
+  /// that is not a torn final line.
+  void validate() const;
+
+  /// Streams every record of `campaign`'s sections across all files, in
+  /// file order. Each matching section header must carry exactly
+  /// (seed, jobs, tag); a mismatch throws — a shard journal recorded for a
+  /// different grid must not replay silently. Sections merged across
+  /// resumed runs may repeat an index; callers dedup by index (duplicate
+  /// records are identical anyway, results being deterministic).
+  void replay(const std::string& campaign, std::uint64_t seed,
+              std::size_t jobs, const std::string& tag,
+              const std::function<void(const Journal::Record&)>& fn) const;
+
+ private:
+  std::vector<std::string> paths_;
+};
+
 /// Appends records as jobs settle; every record is one fprintf + fflush
 /// under a mutex, so concurrent jobs interleave whole lines and a crash
 /// tears at most the line being written.
@@ -115,9 +155,11 @@ class JournalWriter {
   JournalWriter(const JournalWriter&) = delete;
   JournalWriter& operator=(const JournalWriter&) = delete;
 
-  /// Opens the journal. `append` continues an existing file (resume);
-  /// otherwise the file is truncated. The magic line is written when the
-  /// file starts empty. Returns false if the file cannot be opened.
+  /// Opens the journal. `append` continues an existing file (resume) —
+  /// first truncating away a torn final line left by a mid-append kill, so
+  /// new records never fuse onto it — otherwise the file is truncated
+  /// whole. The magic line is written when the file starts empty. Returns
+  /// false if the file cannot be opened.
   bool open(const std::string& path, bool append);
   bool is_open() const { return f_ != nullptr; }
   const std::string& path() const { return path_; }

@@ -279,6 +279,106 @@ TEST(SimBenchArgs, HarnessConfigWiresRobustnessKnobsIntoCampaignConfig) {
   EXPECT_EQ(direct.config().journal_tag, "full");
 }
 
+TEST(SimBenchArgs, ParsesFleetFlags) {
+  const BenchArgs args = parse({"--shards", "4", "--fleet-heartbeat-timeout",
+                                "2.5", "--fleet-max-respawns", "1",
+                                "--fleet-kill-after", "10", "--modules",
+                                "100000"});
+  EXPECT_EQ(args.shards, 4u);
+  EXPECT_DOUBLE_EQ(args.fleet_heartbeat_timeout_s, 2.5);
+  EXPECT_EQ(args.fleet_max_respawns, 1u);
+  EXPECT_EQ(args.fleet_kill_after, 10u);
+  EXPECT_EQ(args.modules, 100000u);
+  EXPECT_EQ(args.shard_count, 0u);  // supervisor mode, not a worker
+}
+
+TEST(SimBenchArgs, FleetFlagsDefaultToSingleProcess) {
+  const BenchArgs args = parse({});
+  EXPECT_EQ(args.shards, 0u);
+  EXPECT_EQ(args.shard_index, 0u);
+  EXPECT_EQ(args.shard_count, 0u);
+  EXPECT_TRUE(args.heartbeat_path.empty());
+  EXPECT_EQ(args.modules, 0u);
+}
+
+TEST(SimBenchArgs, ParsesWorkerShardCoordinates) {
+  const BenchArgs args =
+      parse({"--shard", "2/4", "--heartbeat", "/tmp/hb"});
+  EXPECT_EQ(args.shard_index, 2u);
+  EXPECT_EQ(args.shard_count, 4u);
+  EXPECT_EQ(args.heartbeat_path, "/tmp/hb");
+  // Raw argv is preserved so a supervisor can rebuild worker command lines.
+  EXPECT_EQ(args.argv0, "bench_test");
+  ASSERT_GE(args.raw_args.size(), 2u);
+  EXPECT_EQ(args.raw_args[0], "--shard");
+}
+
+TEST(SimBenchArgs, RejectsMalformedShardCoordinates) {
+  // i/N with i >= N, zero width, or junk must exit 64, never launch a
+  // worker on a bogus residue class (it would silently skip jobs).
+  for (const char* bad : {"3", "4/4", "5/4", "a/b", "1/0", "1/", "/4"}) {
+    std::vector<const char*> argv = {"bench_test", "--shard", bad};
+    BenchArgs args;
+    std::string error;
+    EXPECT_FALSE(try_parse_args(static_cast<int>(argv.size()),
+                                const_cast<char**>(argv.data()), args, error))
+        << bad;
+    EXPECT_NE(error.find("--shard"), std::string::npos) << error;
+  }
+}
+
+TEST(SimBenchArgs, RejectsZeroShardsAndZeroModules) {
+  const std::vector<std::pair<const char*, const char*>> cases = {
+      {"--shards", "0"},
+      {"--modules", "0"},
+      {"--fleet-heartbeat-timeout", "0"},
+      {"--fleet-heartbeat-timeout", "-1"}};
+  for (const auto& [flag, value] : cases) {
+    std::vector<const char*> argv = {"bench_test", flag, value};
+    BenchArgs args;
+    std::string error;
+    EXPECT_FALSE(try_parse_args(static_cast<int>(argv.size()),
+                                const_cast<char**>(argv.data()), args, error))
+        << flag << " " << value;
+    EXPECT_NE(error.find(flag), std::string::npos) << error;
+  }
+}
+
+TEST(SimBenchArgs, SupervisorAndWorkerFlagsAreMutuallyExclusive) {
+  std::vector<const char*> argv = {"bench_test", "--shards", "2", "--shard",
+                                   "0/2"};
+  BenchArgs args;
+  std::string error;
+  EXPECT_FALSE(try_parse_args(static_cast<int>(argv.size()),
+                              const_cast<char**>(argv.data()), args, error));
+  EXPECT_NE(error.find("mutually exclusive"), std::string::npos) << error;
+}
+
+TEST(SimBenchArgs, FleetFlagsRejectMissingValues) {
+  for (const char* flag : {"--shards", "--shard", "--heartbeat",
+                           "--fleet-kill-after", "--fleet-heartbeat-timeout",
+                           "--fleet-max-respawns", "--modules"}) {
+    std::vector<const char*> argv = {"bench_test", flag};
+    BenchArgs args;
+    std::string error;
+    EXPECT_FALSE(try_parse_args(static_cast<int>(argv.size()),
+                                const_cast<char**>(argv.data()), args, error))
+        << flag;
+    EXPECT_NE(error.find(flag), std::string::npos) << error;
+    EXPECT_NE(error.find("expects a value"), std::string::npos) << error;
+  }
+}
+
+TEST(SimBenchArgs, WorkerConfigCarriesShardCoordinates) {
+  BenchArgs args;
+  args.shard_index = 1;
+  args.shard_count = 3;
+  const CampaignHarness harness(args, /*default_seed=*/1);
+  const sim::CampaignConfig cc = harness.config();
+  EXPECT_EQ(cc.shard_index, 1u);
+  EXPECT_EQ(cc.shard_count, 3u);
+}
+
 TEST(SimBenchArgs, EmitSanitizesSeriesNamesInMirrorPaths) {
   // A series label with spaces/commas/slashes must not splinter the mirror
   // path: the written file lives at <base>.<sanitized>.csv.

@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "sim/campaign.h"
 #include "sim/fault.h"
+#include "sim/fleet.h"
 #include "sim/journal.h"
 #include "sim/progress.h"
 #include "sim/result_sink.h"
@@ -698,6 +699,418 @@ TEST(SimProgress, MonitorShutsDownWhenEveryJobFails) {
   EXPECT_GE(p.finish(), 0.0);  // must not hang waiting for done == total
   EXPECT_EQ(p.failed(), 3u);
   EXPECT_EQ(p.done(), 0u);
+}
+
+// --------------------------------------------------------- ShardJournalStream
+
+// Writes one shard journal per (shard_index, shard_count) worker config by
+// running the ft grid in-process — the same records a fleet worker process
+// would produce — and returns the shard paths.
+std::vector<std::string> write_shard_journals(unsigned shard_count,
+                                              std::size_t n,
+                                              const char* name) {
+  std::vector<std::string> paths;
+  for (unsigned s = 0; s < shard_count; ++s) {
+    const std::string path =
+        temp_journal_path((std::string(name) + "_s" + std::to_string(s)).c_str());
+    JournalWriter writer;
+    EXPECT_TRUE(writer.open(path, /*append=*/false));
+    CampaignConfig cfg;
+    cfg.threads = 2;
+    cfg.seed = 77;
+    cfg.progress = false;
+    cfg.journal = &writer;
+    cfg.journal_tag = "t";
+    cfg.shard_index = s;
+    cfg.shard_count = shard_count;
+    Campaign c("jrnl", cfg);
+    c.map_journaled<double>(n, ft_job, double_codec());
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+// The tentpole's merge contract: a supervisor replaying N shard journals
+// through resume_stream must reproduce the single-process results exactly,
+// at any shard width, without re-running a single job.
+TEST(SimShardJournal, MergedShardReplayIsByteIdenticalAcrossWidths) {
+  const FtRun clean = run_ft(1, CampaignConfig{}, 12);
+
+  for (unsigned width : {1u, 2u, 8u}) {
+    const auto paths = write_shard_journals(width, 12, "merge");
+    const ShardJournalStream stream(paths);
+    stream.validate();
+
+    CampaignConfig cfg;
+    cfg.threads = 2;
+    cfg.seed = 77;
+    cfg.progress = false;
+    cfg.resume_stream = &stream;
+    cfg.journal_tag = "t";
+    cfg.shard_count = width;  // supervisor replay: nothing pending anyway
+    Campaign c("jrnl", cfg);
+    std::atomic<std::size_t> executed{0};
+    const auto results = c.map_journaled<double>(
+        12,
+        [&](const JobContext& ctx) {
+          executed.fetch_add(1);
+          return ft_job(ctx);
+        },
+        double_codec());
+    EXPECT_EQ(executed.load(), 0u) << "width=" << width;
+    EXPECT_EQ(c.last_stats().resumed, 12u) << "width=" << width;
+    EXPECT_EQ(results, clean.results) << "width=" << width;
+    for (const auto& p : paths) std::remove(p.c_str());
+  }
+}
+
+// Satellite 1: corruption in the *middle* of a shard journal must abort the
+// merge with an error naming the offending shard file — a half-eaten shard
+// journal silently replaying would poison the merged output.
+TEST(SimShardJournal, MidFileCorruptionNamesTheOffendingShardFile) {
+  const auto paths = write_shard_journals(2, 12, "corrupt");
+  {  // corrupt shard 1 mid-file: flip a payload without fixing the digest
+    std::ifstream in(paths[1], std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    const auto at = text.find_last_of('\n', text.size() - 2);
+    ASSERT_NE(at, std::string::npos);
+    text.insert(at, "\nD 3 1 0123456789abcdef tampered");
+    std::ofstream out(paths[1], std::ios::trunc | std::ios::binary);
+    out << text;
+  }
+  const ShardJournalStream stream(paths);
+  try {
+    stream.validate();
+    FAIL() << "validate() accepted a corrupt shard journal";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(paths[1]), std::string::npos)
+        << e.what();  // the error names the shard file
+  }
+  for (const auto& p : paths) std::remove(p.c_str());
+}
+
+// Per-file torn-tail tolerance: each shard journal may end in one torn line
+// (its worker was SIGKILLed mid-append) and the merge must still proceed,
+// dropping only the torn record of each file.
+TEST(SimShardJournal, TornFinalLinesAreDroppedPerShardFile) {
+  const auto paths = write_shard_journals(2, 8, "torn");
+  for (const auto& p : paths) {
+    std::ofstream out(p, std::ios::app | std::ios::binary);
+    out << "D 6 1 00ffe";  // torn: no digest, no payload, no newline
+  }
+  const ShardJournalStream stream(paths);
+  stream.validate();  // must not throw
+  std::size_t replayed = 0;
+  stream.replay("jrnl", 77, 8, "t",
+                [&](const Journal::Record&) { ++replayed; });
+  EXPECT_EQ(replayed, 8u);  // the 8 intact records; torn tails dropped
+  for (const auto& p : paths) std::remove(p.c_str());
+}
+
+TEST(SimShardJournal, ReplayRejectsAShardRecordedForADifferentGrid) {
+  const std::string path = temp_journal_path("shard_mismatch");
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.open(path, /*append=*/false));
+    w.begin_section("jrnl", /*seed=*/1234, /*jobs=*/12, "t");  // wrong seed
+    w.record_done(0, 1, "00");
+  }
+  const ShardJournalStream stream({path});
+  EXPECT_THROW(
+      stream.replay("jrnl", 77, 12, "t", [](const Journal::Record&) {}),
+      std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// Regression: JournalWriter::open(append) used to append straight after a
+// torn final line, fusing the next record onto it and turning a benign torn
+// tail into mid-file corruption that readers reject. open() must truncate
+// the torn line first.
+TEST(SimShardJournal, AppendAfterATornTailTruncatesItInsteadOfFusing) {
+  const std::string path = temp_journal_path("truncate");
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.open(path, /*append=*/false));
+    w.begin_section("g", 1, 8, "t");
+    w.record_done(0, 1, "100");
+  }
+  {  // SIGKILL mid-append: half a record, no trailing newline
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "D 1 1 00ff";
+  }
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.open(path, /*append=*/true));
+    w.begin_section("g", 1, 8, "t");
+    w.record_done(2, 1, "102");
+  }
+  const Journal j = Journal::load(path);  // would throw on a fused record
+  ASSERT_NE(j.find("g"), nullptr);
+  EXPECT_EQ(j.find("g")->records.size(), 2u);  // jobs 0 and 2; torn 1 gone
+  EXPECT_EQ(j.find("g")->records.at(2).payload, "102");
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ Sharded grids
+
+// Shard filtering: a worker config runs exactly its residue class, and the
+// classes of all shards partition the grid.
+TEST(SimShardedCampaign, ShardsPartitionTheGridByResidueClass) {
+  std::set<std::size_t> seen;
+  for (unsigned s = 0; s < 3; ++s) {
+    CampaignConfig cfg;
+    cfg.threads = 1;
+    cfg.seed = 77;
+    cfg.progress = false;
+    cfg.shard_index = s;
+    cfg.shard_count = 3;
+    Campaign c("shard", cfg);
+    c.for_each(14, [&](const JobContext& ctx) {
+      EXPECT_EQ(ctx.index % 3, s);
+      seen.insert(ctx.index);
+    });
+  }
+  EXPECT_EQ(seen.size(), 14u);
+}
+
+// A quarantined shard's unsettled residue class is reported as quarantined
+// by the merged run; every other job replays normally.
+TEST(SimShardedCampaign, QuarantinedShardsReportTheirJobRange) {
+  const auto paths = write_shard_journals(3, 15, "qshard");
+  // Drop shard 1's journal entirely — as if it never produced usable data.
+  std::remove(paths[1].c_str());
+  const ShardJournalStream stream({paths[0], paths[2]});
+
+  CampaignConfig cfg;
+  cfg.threads = 1;
+  cfg.seed = 77;
+  cfg.progress = false;
+  cfg.resume_stream = &stream;
+  cfg.journal_tag = "t";
+  cfg.shard_count = 3;
+  cfg.quarantined_shards = {1};
+  cfg.fail_fast = false;
+  Campaign c("jrnl", cfg);
+  const auto results = c.map_journaled<double>(15, ft_job, double_codec());
+  std::vector<std::size_t> quarantined;
+  for (const JobFailure& q : c.quarantine()) quarantined.push_back(q.index);
+  EXPECT_EQ(quarantined, (std::vector<std::size_t>{1, 4, 7, 10, 13}));
+  EXPECT_NE(c.quarantine()[0].error.find("shard 1/3"), std::string::npos);
+  const FtRun clean = run_ft(1, CampaignConfig{}, 15);
+  for (std::size_t i = 0; i < 15; ++i) {
+    if (i % 3 == 1)
+      EXPECT_EQ(results[i], 0.0) << "slot " << i;
+    else
+      EXPECT_EQ(results[i], clean.results[i]) << "slot " << i;
+  }
+  for (const auto& p : paths) std::remove(p.c_str());
+}
+
+// --------------------------------------------------------------- Fold (sinks)
+
+// fold_journaled is the streaming aggregation path fleet-scale benches use:
+// the fold must see every job exactly once — fresh completions and journal
+// replays alike — even under retries and across an interrupt/resume cycle.
+TEST(SimFoldJournaled, FoldsEveryJobExactlyOnceUnderRetries) {
+  CampaignConfig cfg;
+  cfg.threads = 4;
+  cfg.seed = 77;
+  cfg.progress = false;
+  cfg.fault.seed = 9;
+  cfg.fault.fail_probability = 0.4;
+  cfg.fault.fail_attempts = 1;  // fail once, then recover
+  cfg.retry.max_attempts = 2;
+  Campaign c("fold", cfg);
+  std::vector<unsigned> hits(24, 0);
+  // Fold into an index-keyed slot vector: exactly-once shows up as every
+  // slot hit once, and value correctness is bit-exact per slot (a plain
+  // running sum would depend on completion order — fp addition is not
+  // associative, which is exactly why fold callers must be commutative).
+  const auto folded = c.fold_journaled<double, std::vector<double>>(
+      24, ft_job, double_codec(), std::vector<double>(24, 0.0),
+      [&](std::vector<double>& acc, std::size_t index, const double& v) {
+        ++hits[index];
+        acc[index] = v;
+      });
+  for (unsigned h : hits) EXPECT_EQ(h, 1u);
+  const FtRun clean = run_ft(1, CampaignConfig{}, 24);
+  EXPECT_EQ(folded, clean.results);
+}
+
+TEST(SimFoldJournaled, FoldResumesAcrossAnInterruptWithoutDoubleCounting) {
+  const std::string path = temp_journal_path("fold_resume");
+  {  // interrupted first run: 5 jobs land in the journal, then abort
+    JournalWriter writer;
+    ASSERT_TRUE(writer.open(path, /*append=*/false));
+    CampaignConfig cfg;
+    cfg.threads = 1;
+    cfg.seed = 77;
+    cfg.progress = false;
+    cfg.journal = &writer;
+    cfg.journal_tag = "t";
+    cfg.abort_after = 5;
+    Campaign c("jrnl", cfg);
+    const auto interrupted = [&] {
+      c.fold_journaled<double, double>(
+          12, ft_job, double_codec(), 0.0,
+          [](double& acc, std::size_t, const double& v) { acc += v; });
+    };
+    EXPECT_THROW(interrupted(), CampaignInterrupted);
+  }
+  const ShardJournalStream stream({path});
+  CampaignConfig cfg;
+  cfg.threads = 1;
+  cfg.seed = 77;
+  cfg.progress = false;
+  cfg.resume_stream = &stream;
+  cfg.journal_tag = "t";
+  Campaign c("jrnl", cfg);
+  std::vector<unsigned> hits(12, 0);
+  c.fold_journaled<double, double>(
+      12, ft_job, double_codec(), 0.0,
+      [&](double& acc, std::size_t index, const double& v) {
+        ++hits[index];
+        acc += v;
+      });
+  for (unsigned h : hits) EXPECT_EQ(h, 1u);  // 5 replayed + 7 fresh, no dupes
+  EXPECT_EQ(c.last_stats().resumed, 5u);
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------- FleetRunner
+
+// Process-level supervisor tests drive FleetRunner with /bin/sh workers —
+// tiny scripts that crash, hang, or exit with contract codes on cue.
+struct FleetFixture {
+  std::string base;
+  FleetConfig cfg;
+
+  explicit FleetFixture(const char* name, unsigned shards) {
+    base = testing::TempDir() + "densemem_fleet_" + name + "_" +
+           std::to_string(::getpid());
+    cfg.shards = shards;
+    cfg.journal_base = base;
+    cfg.poll_interval_s = 0.01;
+    cfg.heartbeat_timeout_s = 0.0;  // off unless a test opts in
+  }
+
+  void script(const std::string& body) {
+    cfg.make_worker_argv = [body](unsigned shard, const std::string& jpath,
+                                  bool first) {
+      return std::vector<std::string>{
+          "/bin/sh", "-c",
+          "S=" + std::to_string(shard) + "; J=" + jpath +
+              "; FIRST=" + (first ? "1" : "0") + "; " + body};
+    };
+  }
+
+  ~FleetFixture() {
+    for (unsigned s = 0; s < cfg.shards; ++s) {
+      const std::string j = FleetRunner::shard_path(base, s);
+      for (const char* ext : {"", ".hb", ".out", ".err"})
+        std::remove((j + ext).c_str());
+    }
+  }
+};
+
+TEST(SimFleetRunner, AllShardsExitingZeroIsComplete) {
+  FleetFixture f("ok", 2);
+  f.script("exit 0");
+  FleetRunner runner("t", f.cfg);
+  const FleetResult r = runner.run();
+  EXPECT_EQ(r.outcome, FleetOutcome::kComplete);
+  EXPECT_TRUE(r.quarantined_shards.empty());
+}
+
+TEST(SimFleetRunner, CrashedWorkerIsRespawnedAndTheFleetCompletes) {
+  FleetFixture f("respawn", 1);
+  MetricsRegistry metrics;
+  f.cfg.metrics = &metrics;
+  f.cfg.max_respawns = 2;
+  // First incarnation SIGKILLs itself; the respawn (FIRST=0) exits clean.
+  f.script("if [ \"$FIRST\" = 1 ]; then kill -9 $$; fi; exit 0");
+  FleetRunner runner("t", f.cfg);
+  const FleetResult r = runner.run();
+  EXPECT_EQ(r.outcome, FleetOutcome::kComplete);
+  EXPECT_EQ(metrics.counter("fleet.shards.respawned"), 1u);
+}
+
+TEST(SimFleetRunner, RespawnBudgetExhaustionQuarantinesOrFailsPerPolicy) {
+  {  // degrade: the shard is quarantined, the fleet reports kPartial
+    FleetFixture f("quarantine", 2);
+    f.cfg.max_respawns = 1;
+    f.cfg.fail_fast = false;
+    f.script("if [ \"$S\" = 1 ]; then kill -9 $$; fi; exit 0");
+    FleetRunner runner("t", f.cfg);
+    const FleetResult r = runner.run();
+    EXPECT_EQ(r.outcome, FleetOutcome::kPartial);
+    EXPECT_EQ(r.quarantined_shards, (std::vector<unsigned>{1}));
+  }
+  {  // fail_fast: the same exhaustion aborts the whole fleet
+    FleetFixture f("failfast", 1);
+    f.cfg.max_respawns = 0;
+    f.cfg.fail_fast = true;
+    f.script("kill -9 $$");
+    FleetRunner runner("t", f.cfg);
+    const FleetResult r = runner.run();
+    EXPECT_EQ(r.outcome, FleetOutcome::kFailed);
+    EXPECT_FALSE(r.error.empty());
+  }
+}
+
+TEST(SimFleetRunner, WorkerExit75PropagatesAsResumable) {
+  FleetFixture f("resumable", 2);
+  f.script("if [ \"$S\" = 0 ]; then exit 75; fi; exit 0");
+  FleetRunner runner("t", f.cfg);
+  const FleetResult r = runner.run();
+  EXPECT_EQ(r.outcome, FleetOutcome::kResumable);
+  EXPECT_TRUE(r.quarantined_shards.empty());  // resumable, not lost
+}
+
+TEST(SimFleetRunner, PermanentExitCodesFailWithoutRespawnAndCaptureStderr) {
+  FleetFixture f("permanent", 1);
+  MetricsRegistry metrics;
+  f.cfg.metrics = &metrics;
+  f.cfg.max_respawns = 5;  // must NOT be drawn on: 64 repeats identically
+  f.script("echo 'unknown flag --bogus' >&2; exit 64");
+  FleetRunner runner("t", f.cfg);
+  const FleetResult r = runner.run();
+  EXPECT_EQ(r.outcome, FleetOutcome::kFailed);
+  EXPECT_EQ(metrics.counter("fleet.shards.respawned"), 0u);
+  EXPECT_NE(r.error.find("exited with code 64"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("unknown flag --bogus"), std::string::npos)
+      << r.error;  // the worker's stderr tail reaches the error message
+}
+
+TEST(SimFleetRunner, StaleHeartbeatIsKilledOntoTheCrashPath) {
+  FleetFixture f("hung", 1);
+  f.cfg.heartbeat_timeout_s = 0.25;  // worker writes no heartbeat: hangs
+  f.cfg.max_respawns = 0;
+  f.cfg.fail_fast = false;
+  f.script("sleep 30");
+  FleetRunner runner("t", f.cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  const FleetResult r = runner.run();
+  const double took =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(r.outcome, FleetOutcome::kPartial);
+  EXPECT_EQ(r.quarantined_shards, (std::vector<unsigned>{0}));
+  EXPECT_LT(took, 10.0);  // killed by the watchdog, not by sleep finishing
+}
+
+TEST(SimFleetHeartbeat, WriterTouchesTheFileAndRemovesItOnShutdown) {
+  const std::string path = temp_journal_path("hb");
+  {
+    HeartbeatWriter hb(path, /*interval_s=*/0.01);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good());  // beating
+  }
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good());  // removed on destruction
 }
 
 }  // namespace
