@@ -116,11 +116,18 @@ int main(int argc, char** argv) {
             probes,
             [&](const sim::JobContext& ctx) {
               const fuzz::PatternGenome g = fuzzer.genome_for(ctx.stream_seed);
-              const fuzz::ProbeResult r = fuzz::run_genome(g, setup);
+              // Probe phases trace flips only, and only under --events: the
+              // sampler's per-ACT decision stream across 160 probes would
+              // swamp the log's capacity for no analytical gain.
+              sim::EventScope scope(harness.events(), "fuzz", ctx.index);
+              fuzz::ProbeSetup s = setup;
+              if (harness.events()) s.device.observer = scope.flip_observer();
+              const fuzz::ProbeResult r = fuzz::run_genome(g, s);
               bench::GridResult out;
               out.push(r.flips);
               out.push(r.acts);
               out.push(r.targeted_refreshes);
+              scope.commit();
               return out;
             },
             bench::grid_codec());
@@ -163,11 +170,15 @@ int main(int argc, char** argv) {
                   hash_coords(harness.seed(), parent_idx));
               const fuzz::PatternGenome m =
                   fuzzer.mutant_for(parent, ctx.stream_seed);
-              const fuzz::ProbeResult r = fuzz::run_genome(m, setup);
+              sim::EventScope scope(harness.events(), "refine", ctx.index);
+              fuzz::ProbeSetup s = setup;
+              if (harness.events()) s.device.observer = scope.flip_observer();
+              const fuzz::ProbeResult r = fuzz::run_genome(m, s);
               bench::GridResult out;
               out.push(r.flips);
               out.push(r.acts);
               out.push(r.targeted_refreshes);
+              scope.commit();
               return out;
             },
             bench::grid_codec());
@@ -207,12 +218,16 @@ int main(int argc, char** argv) {
         kernel_campaign.map_journaled<bench::GridResult>(
             kernels.size(),
             [&](const sim::JobContext& ctx) {
+              sim::EventScope scope(harness.events(), "kernels", ctx.index);
+              fuzz::ProbeSetup s = setup;
+              if (harness.events()) s.device.observer = scope.flip_observer();
               const fuzz::ProbeResult r =
-                  fuzz::run_kernel(kernels[ctx.index], setup);
+                  fuzz::run_kernel(kernels[ctx.index], s);
               bench::GridResult out;
               out.push(r.flips);
               out.push(r.acts);
               out.push(r.targeted_refreshes);
+              scope.commit();
               return out;
             },
             bench::grid_codec());
@@ -229,11 +244,63 @@ int main(int argc, char** argv) {
       best_kernel_flips = std::max(best_kernel_flips, kernel_rows[i].u64s[0]);
     }
     // Re-run the winner on the main thread for its tracker-activity column
-    // (probe results journal only flips/acts; the replay is one probe).
-    const fuzz::ProbeResult best_res = fuzz::run_genome(best, setup);
+    // (probe results journal only flips/acts; the replay is one probe) —
+    // with both observers forced on, so every flip it lands can be
+    // attributed to a genome tuple and autopsied against what the sampler
+    // actually tracked.
+    sim::EventScope best_scope(harness.events(), "best", 0);
+    fuzz::ProbeSetup best_probe = setup;
+    best_probe.device.observer = best_scope.flip_observer();
+    best_probe.decision_observer = best_scope.decision_observer();
+    const fuzz::ProbeResult best_res = fuzz::run_genome(best, best_probe);
     kernel_table.add_row({"fuzzed (best)", best_flips, act_budget,
                           best_res.targeted_refreshes});
     bench::emit(kernel_table, args, "fixed kernels vs fuzzed, equal budget");
+
+    // Flip attribution: which tuple of the winning genome did the work? A
+    // flip is credited to the first tuple whose rows contain its upper
+    // aggressor, else the first containing its lower; flips with neither
+    // (cross-talk from decoys onto shared victims) stay unattributed.
+    std::vector<std::uint64_t> tuple_flips(best.tuples.size(), 0);
+    std::uint64_t unattributed = 0;
+    for (const sim::Event& e : best_scope.events()) {
+      if (e.kind != sim::EventKind::kFlip ||
+          e.mechanism != dram::FlipMechanism::kDisturbance)
+        continue;
+      const auto credit = [&](std::uint32_t aggr) -> bool {
+        if (aggr == dram::kNoAggressor) return false;
+        for (std::size_t t = 0; t < best.tuples.size(); ++t)
+          for (std::uint32_t row : best.tuples[t].rows)
+            if (row == aggr) {
+              ++tuple_flips[t];
+              return true;
+            }
+        return false;
+      };
+      if (!credit(e.aggr_up) && !credit(e.aggr_down)) ++unattributed;
+    }
+    const sim::MissAutopsy best_autopsy =
+        sim::classify_misses(best_scope.events());
+    best_scope.commit();
+    Table attr_table({"tuple", "freq", "phase", "amplitude", "rows", "flips"});
+    std::uint64_t attributed_total = unattributed;
+    for (std::size_t t = 0; t < best.tuples.size(); ++t) {
+      const fuzz::AggressorTuple& tp = best.tuples[t];
+      std::string rows_str;
+      for (std::size_t i = 0; i < tp.rows.size(); ++i)
+        rows_str += (i ? "," : "") + std::to_string(tp.rows[i]);
+      attr_table.add_row({t + 1, std::uint64_t{tp.frequency},
+                          std::uint64_t{tp.phase}, std::uint64_t{tp.amplitude},
+                          rows_str, tuple_flips[t]});
+      attributed_total += tuple_flips[t];
+    }
+    attr_table.add_row({"-", "-", "-", "-", "unattributed", unattributed});
+    bench::emit(attr_table, args, "flip attribution (best genome)");
+    std::cout << "\n[autopsy] best genome vs sampler: never_seen="
+              << best_autopsy.never_seen
+              << " evicted_before_ref=" << best_autopsy.evicted_before_ref
+              << " refreshed_too_late=" << best_autopsy.refreshed_too_late
+              << "\n";
 
     // --- Phase 4: effectiveness vs tracker capacity -----------------------
     const std::vector<std::uint32_t> capacities = {1, 2, 4, 8, 16};
@@ -243,16 +310,19 @@ int main(int argc, char** argv) {
             capacities.size() * 2,
             [&](const sim::JobContext& ctx) {
               const std::uint32_t entries = capacities[ctx.index / 2];
+              sim::EventScope scope(harness.events(), "capacity", ctx.index);
               fuzz::ProbeSetup s = setup;
               s.tracker = (ctx.index % 2) ? fuzz::TrackerKind::kSampler
                                           : fuzz::TrackerKind::kMisraGries;
               s.misra_gries.tracker_entries = entries;
               s.sampler.sampler_entries = entries;
+              if (harness.events()) s.device.observer = scope.flip_observer();
               const fuzz::ProbeResult r = fuzz::run_genome(best, s);
               bench::GridResult out;
               out.push(r.flips);
               out.push(r.acts);
               out.push(r.targeted_refreshes);
+              scope.commit();
               return out;
             },
             bench::grid_codec());
@@ -305,6 +375,8 @@ int main(int argc, char** argv) {
     bench::shape("winning pattern replays bit-identically", rep.deterministic);
     bench::shape("minimized genome keeps the flip count",
                  mini.flips >= best_flips);
+    bench::shape("tuple attribution accounts for every best-genome flip",
+                 attributed_total == best_res.flips);
     return 0;
   });
 }

@@ -29,6 +29,13 @@ struct Row {
   double time_ms = 0.0;
   double energy_nj = 0.0;
   std::uint64_t storage_bits = 0;
+  // Miss autopsy (sim::classify_misses over the job's event stream): why
+  // each disturbance flip got past the mitigation. Computed in-job and
+  // journaled, so replay and fleet merge reproduce the table byte-for-byte
+  // without re-running the attack.
+  std::uint64_t never_seen = 0;
+  std::uint64_t evicted_before_ref = 0;
+  std::uint64_t refreshed_too_late = 0;
 };
 
 sim::Campaign::JobCodec<Row> row_codec() {
@@ -40,6 +47,9 @@ sim::Campaign::JobCodec<Row> row_codec() {
         pw.f64(r.time_ms);
         pw.f64(r.energy_nj);
         pw.u64(r.storage_bits);
+        pw.u64(r.never_seen);
+        pw.u64(r.evicted_before_ref);
+        pw.u64(r.refreshed_too_late);
         return pw.take();
       },
       [](const std::string& payload) {
@@ -50,6 +60,9 @@ sim::Campaign::JobCodec<Row> row_codec() {
         r.time_ms = pr.f64();
         r.energy_nj = pr.f64();
         r.storage_bits = pr.u64();
+        r.never_seen = pr.u64();
+        r.evicted_before_ref = pr.u64();
+        r.refreshed_too_late = pr.u64();
         return r;
       },
   };
@@ -70,8 +83,11 @@ dram::DeviceConfig target_device() {
 }
 
 Row run_config(const ctrl::CtrlConfig& cc, const MitigationSpec& spec,
-               std::uint64_t iterations) {
-  auto sys = make_system(target_device(), cc, spec);
+               std::uint64_t iterations, sim::EventScope& scope) {
+  dram::DeviceConfig dc = target_device();
+  dc.observer = scope.flip_observer();
+  auto sys = make_system(dc, cc, spec);
+  sys.mc().mitigation().set_observer(scope.decision_observer());
   std::uint32_t victim = 0;
   for (std::uint32_t r : sys.dev().fault_map().weak_rows(0))
     if (r >= 2 && r + 2 < sys.dev().geometry().rows) {
@@ -113,6 +129,11 @@ Row run_config(const ctrl::CtrlConfig& cc, const MitigationSpec& spec,
   row.time_ms = sys.mc().now().as_ms();
   row.energy_nj = sys.mc().energy().total().as_nj();
   row.storage_bits = sys.mc().mitigation().storage_bits();
+  const sim::MissAutopsy autopsy = sim::classify_misses(scope.events());
+  row.never_seen = autopsy.never_seen;
+  row.evicted_before_ref = autopsy.evicted_before_ref;
+  row.refreshed_too_late = autopsy.refreshed_too_late;
+  scope.commit();  // last: a crash before journaling re-runs and dedups
   return row;
 }
 
@@ -178,7 +199,10 @@ int main(int argc, char** argv) {
         configs.size(),
         [&](const sim::JobContext& ctx) {
           const Config& c = configs[ctx.index];
-          return run_config(c.cc, c.spec, iters);
+          // The scope always records (the autopsy table below depends on
+          // it); the batch only persists when --events asked for a stream.
+          sim::EventScope scope(harness.events(), "mitigations", ctx.index);
+          return run_config(c.cc, c.spec, iters, scope);
         },
         row_codec());
     const std::set<std::size_t> skipped = harness.report(campaign);
@@ -203,6 +227,24 @@ int main(int argc, char** argv) {
     }
     bench::emit(t, args);
 
+    // Miss autopsy: every disturbance flip that got past a mitigation,
+    // classified from the job's event stream (see sim/event_log.h). The
+    // classes partition the flips, so each row sums back to raw_flips —
+    // the reconciliation checked below.
+    Table at({"mitigation", "disturb_flips", "never_seen",
+              "evicted_before_ref", "refreshed_too_late"});
+    bool reconciles = true;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (skipped.count(i)) continue;
+      const Row& r = rows[i];
+      at.add_row({r.name, r.raw_flips, r.never_seen, r.evicted_before_ref,
+                  r.refreshed_too_late});
+      reconciles = reconciles &&
+                   r.never_seen + r.evicted_before_ref + r.refreshed_too_late ==
+                       r.raw_flips;
+    }
+    bench::emit(at, args, "miss autopsy");
+
     // Post-merge simulation metrics: one residual-flip counter per
     // mitigation (main-thread, retry-safe, width-stable).
     auto& metrics = harness.metrics();
@@ -212,6 +254,12 @@ int main(int argc, char** argv) {
                   rows[i].raw_flips);
       metrics.add("mitigation." + rows[i].name + ".visible_flips",
                   rows[i].visible_flips);
+      metrics.add("mitigation." + rows[i].name + ".miss.never_seen",
+                  rows[i].never_seen);
+      metrics.add("mitigation." + rows[i].name + ".miss.evicted_before_ref",
+                  rows[i].evicted_before_ref);
+      metrics.add("mitigation." + rows[i].name + ".miss.refreshed_too_late",
+                  rows[i].refreshed_too_late);
     }
 
     auto by_name = [&](const std::string& n) -> const Row& {
@@ -234,6 +282,8 @@ int main(int argc, char** argv) {
                  by_name("SECDED ECC").visible_flips <
                          by_name("SECDED ECC").raw_flips ||
                      by_name("SECDED ECC").raw_flips == 0);
+    bench::shape("autopsy classes sum to each mitigation's disturbance flips",
+                 reconciles);
     return 0;
   });
 }

@@ -1,9 +1,12 @@
 #include "bench_util.h"
 
+#include <sys/resource.h>
+
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 
 #include "sim/thread_pool.h"
@@ -116,6 +119,17 @@ bool try_parse_args(int argc, char** argv, BenchArgs& args,
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       if ((v = value(i, "--trace")) == nullptr) return false;
       args.trace_path = v;
+    } else if (std::strncmp(argv[i], "--events=", 9) == 0) {
+      args.events_path = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--events") == 0) {
+      if ((v = value(i, "--events")) == nullptr) return false;
+      args.events_path = v;
+    } else if (std::strcmp(argv[i], "--events-raw") == 0) {
+      if ((v = value(i, "--events-raw")) == nullptr) return false;
+      args.events_raw_path = v;
+    } else if (std::strcmp(argv[i], "--metrics-raw") == 0) {
+      if ((v = value(i, "--metrics-raw")) == nullptr) return false;
+      args.metrics_raw_path = v;
     } else if (std::strcmp(argv[i], "--probes") == 0) {
       if ((v = value(i, "--probes")) == nullptr) return false;
       args.probes = std::strtoull(v, nullptr, 10);
@@ -209,7 +223,8 @@ BenchArgs parse_args(int argc, char** argv) {
                  " [--on-fail=abort|degrade]\n"
                  "       [--journal <path>] [--resume <path>]"
                  " [--inject-faults <seed>] [--abort-after <k>]\n"
-                 "       [--metrics <path>] [--trace <path>]\n"
+                 "       [--metrics <path>] [--trace <path>]"
+                 " [--events <path>]\n"
                  "       [--probes <n>] [--trr-entries <n>]"
                  " [--sampler-rate <p>]\n"
                  "       [--shards <n>] [--fleet-heartbeat-timeout <s>]"
@@ -271,11 +286,14 @@ void banner(const std::string& experiment_id, const std::string& paper_anchor,
   std::cerr << (args.quick ? " quick=yes" : " quick=no") << "\n";
   // Telemetry destinations on stderr, like the [ft] line: the run stays
   // self-describing without perturbing the byte-comparable stdout.
-  if (!args.metrics_path.empty() || !args.trace_path.empty()) {
+  if (!args.metrics_path.empty() || !args.trace_path.empty() ||
+      !args.events_path.empty()) {
     std::cerr << "[telemetry]";
     if (!args.metrics_path.empty())
       std::cerr << " metrics=" << args.metrics_path;
     if (!args.trace_path.empty()) std::cerr << " trace=" << args.trace_path;
+    if (!args.events_path.empty())
+      std::cerr << " events=" << args.events_path;
     std::cerr << "\n";
   }
 }
@@ -336,6 +354,22 @@ CampaignHarness::CampaignHarness(const BenchArgs& args,
       std::exit(74);  // EX_IOERR
     }
   }
+  // Event tracing. The supervisor keeps no log of its own — replayed jobs
+  // never run bodies, so its artifact comes from merging the durable shard
+  // sidecars in the destructor. Everyone else records in memory; journal
+  // runs (and fleet workers, via --events-raw) additionally mirror batches
+  // to a raw sidecar so a kill loses at most the in-flight batch.
+  if ((!args_.events_path.empty() || !args_.events_raw_path.empty()) &&
+      args_.shards == 0) {
+    events_ = std::make_unique<sim::EventLog>();
+    std::string raw = args_.events_raw_path;
+    if (raw.empty() && !args_.journal_path.empty())
+      raw = args_.journal_path + ".events";
+    if (!raw.empty() && !events_->open_raw(raw, /*append=*/args_.resume)) {
+      std::cerr << "[events] cannot open '" << raw << "' for writing\n";
+      std::exit(74);  // EX_IOERR
+    }
+  }
   // Robustness knobs on stderr: self-describing runs without perturbing
   // stdout, which must stay byte-identical to a clean run's.
   if (args_.max_retries || args_.job_timeout_s > 0.0 || args_.degrade ||
@@ -365,6 +399,7 @@ void CampaignHarness::run_fleet_supervisor() {
     fleet_tmp_ = tmpl;
     base = fleet_tmp_ + "/journal";
   }
+  fleet_base_ = base;
   sim::FleetConfig fc;
   fc.shards = args_.shards;
   fc.journal_base = base;
@@ -384,7 +419,8 @@ void CampaignHarness::run_fleet_supervisor() {
           "--metrics",   "--trace",             "--csv",
           "--json",      "--shard",             "--heartbeat",
           "--fleet-kill-after", "--fleet-heartbeat-timeout",
-          "--fleet-max-respawns"};
+          "--fleet-max-respawns", "--events",   "--events-raw",
+          "--metrics-raw"};
       for (const char* d : drop)
         if (a == d) return true;
       return false;
@@ -396,7 +432,8 @@ void CampaignHarness::run_fleet_supervisor() {
         ++i;
         continue;
       }
-      if (a.rfind("--metrics=", 0) == 0 || a.rfind("--trace=", 0) == 0)
+      if (a.rfind("--metrics=", 0) == 0 || a.rfind("--trace=", 0) == 0 ||
+          a.rfind("--events=", 0) == 0)
         continue;
       argv.push_back(a);
     }
@@ -409,6 +446,21 @@ void CampaignHarness::run_fleet_supervisor() {
     argv.push_back(jpath);
     argv.push_back("--heartbeat");
     argv.push_back(sim::FleetRunner::heartbeat_path(jpath));
+    // Worker-side sidecars, derived from the shard journal path: the
+    // supervisor folds them into the single user-visible artifact after the
+    // fleet settles. Raw formats are exact-bit, so the fold is lossless.
+    if (!args_.events_path.empty()) {
+      argv.push_back("--events-raw");
+      argv.push_back(jpath + ".events");
+    }
+    if (!args_.metrics_path.empty()) {
+      argv.push_back("--metrics-raw");
+      argv.push_back(jpath + ".metrics.raw");
+    }
+    if (!args_.trace_path.empty()) {
+      argv.push_back("--trace");
+      argv.push_back(jpath + ".trace.jsonl");
+    }
     if (first && args_.fleet_kill_after) {
       argv.push_back("--fleet-kill-after");
       argv.push_back(std::to_string(args_.fleet_kill_after));
@@ -442,14 +494,95 @@ void CampaignHarness::run_fleet_supervisor() {
 }
 
 CampaignHarness::~CampaignHarness() {
+  namespace fs = std::filesystem;
+  // Order matters: fold worker sidecars into this process's registry and
+  // finalize the event artifact first, then publish the events/spans
+  // counters, and only then write the metrics mirrors those counters must
+  // appear in. The manifest prints last so it can report the results; the
+  // fleet temp dir outlives all of it.
+  if (args_.shards && !args_.metrics_path.empty()) {
+    for (unsigned s = 0; s < args_.shards; ++s) {
+      const std::string p =
+          sim::FleetRunner::shard_path(fleet_base_, s) + ".metrics.raw";
+      std::error_code ec;
+      if (fs::exists(p, ec) && !metrics_.merge_raw_file(p, "workers."))
+        std::cerr << "[telemetry] FAILED to merge worker metrics from '" << p
+                  << "'\n";
+    }
+  }
+  if (!args_.events_path.empty()) {
+    std::vector<std::string> raws;
+    if (args_.shards) {
+      for (unsigned s = 0; s < args_.shards; ++s) {
+        const std::string p =
+            sim::FleetRunner::shard_path(fleet_base_, s) + ".events";
+        std::error_code ec;
+        if (fs::exists(p, ec)) raws.push_back(p);
+      }
+    } else if (events_ && !events_->raw_path().empty()) {
+      // Journal run: the artifact comes from the durable sidecar, which on
+      // --resume also holds the previous incarnations' batches.
+      raws.push_back(events_->raw_path());
+    }
+    bool ok = true;
+    if (!raws.empty()) {
+      const sim::EventLog::MergeResult mr =
+          sim::EventLog::merge_raw_files(raws, args_.events_path);
+      ok = mr.files == raws.size();
+      events_written_ = mr.events;
+    } else if (events_) {
+      ok = events_->write_jsonl_file(args_.events_path);
+      events_written_ = events_->recorded();
+    }
+    if (!ok)
+      std::cerr << "[telemetry] FAILED to write events to '"
+                << args_.events_path << "'\n";
+  } else if (events_) {
+    events_written_ = events_->recorded();
+  }
+  if (events_ || !args_.events_path.empty()) {
+    metrics_.add("events.recorded", events_written_);
+    metrics_.add("events.dropped", events_ ? events_->dropped() : 0);
+  }
+  if (!args_.trace_path.empty()) {
+    spans_written_ = tracer_.size();
+    if (args_.shards) {
+      // The merged artifact is the shard sidecars plus this process's own
+      // spans; count it the same way events are counted, so the manifest
+      // reports what the file actually holds.
+      for (unsigned s = 0; s < args_.shards; ++s) {
+        std::ifstream in(sim::FleetRunner::shard_path(fleet_base_, s) +
+                         ".trace.jsonl");
+        for (std::string l; std::getline(in, l);)
+          if (!l.empty()) ++spans_written_;
+      }
+    }
+    metrics_.add("spans.recorded", spans_written_);
+    metrics_.add("spans.dropped", tracer_.dropped());
+  }
+  if (!args_.metrics_raw_path.empty() &&
+      !metrics_.write_raw_file(args_.metrics_raw_path))
+    std::cerr << "[telemetry] FAILED to write raw metrics to '"
+              << args_.metrics_raw_path << "'\n";
   if (!args_.metrics_path.empty() &&
       !metrics_.write_json_file(args_.metrics_path))
     std::cerr << "[telemetry] FAILED to write metrics to '"
               << args_.metrics_path << "'\n";
-  if (!args_.trace_path.empty() &&
-      !tracer_.write_jsonl_file(args_.trace_path))
-    std::cerr << "[telemetry] FAILED to write trace to '" << args_.trace_path
-              << "'\n";
+  if (!args_.trace_path.empty()) {
+    bool ok;
+    if (args_.shards) {
+      std::vector<std::string> worker_traces;
+      for (unsigned s = 0; s < args_.shards; ++s)
+        worker_traces.push_back(
+            sim::FleetRunner::shard_path(fleet_base_, s) + ".trace.jsonl");
+      ok = tracer_.merge_jsonl_files(worker_traces, args_.trace_path);
+    } else {
+      ok = tracer_.write_jsonl_file(args_.trace_path);
+    }
+    if (!ok)
+      std::cerr << "[telemetry] FAILED to write trace to '"
+                << args_.trace_path << "'\n";
+  }
   std::cerr << "[manifest] " << manifest_json() << "\n";
   if (!fleet_tmp_.empty()) {
     std::error_code ec;
@@ -519,6 +652,16 @@ std::set<std::size_t> CampaignHarness::report(
   return skipped;
 }
 
+namespace {
+/// Peak resident set of this process in KiB (ru_maxrss unit on Linux).
+/// 0 when getrusage fails — absent data, not "used no memory".
+long peak_rss_kib() {
+  struct rusage ru {};
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return ru.ru_maxrss;
+}
+}  // namespace
+
 std::string CampaignHarness::manifest_json() const {
   using sim::json_double;
   using sim::json_escape;
@@ -565,7 +708,15 @@ std::string CampaignHarness::manifest_json() const {
                     ",\"retries\":" + std::to_string(retries) +
                     ",\"quarantined\":" + std::to_string(quarantined) +
                     ",\"faults_injected\":" + std::to_string(faults) +
-                    ",\"wall_s\":" + json_double(wall_s) + "}";
+                    ",\"wall_s\":" + json_double(wall_s) + "}" +
+                    ",\"max_rss_kib\":" + std::to_string(peak_rss_kib());
+  if (events_ || !args_.events_path.empty())
+    out += ",\"events\":{\"recorded\":" + std::to_string(events_written_) +
+           ",\"dropped\":" +
+           std::to_string(events_ ? events_->dropped() : 0) + "}";
+  if (!args_.trace_path.empty())
+    out += ",\"spans\":{\"recorded\":" + std::to_string(spans_written_) +
+           ",\"dropped\":" + std::to_string(tracer_.dropped()) + "}";
   if (args_.shards)
     out += ",\"fleet\":{\"shards\":" + std::to_string(args_.shards) +
            ",\"respawned\":" +
@@ -581,11 +732,16 @@ std::string CampaignHarness::manifest_json() const {
            ",\"worker_faults_injected\":" +
            std::to_string(metrics_.counter("fleet.workers.faults_injected")) +
            ",\"worker_wall_s\":" +
-           json_double(metrics_.gauge("fleet.workers.wall_s")) + "}";
+           json_double(metrics_.gauge("fleet.workers.wall_s")) +
+           ",\"worker_max_rss_kib\":" +
+           std::to_string(static_cast<long long>(
+               metrics_.gauge("fleet.workers.max_rss_kib"))) + "}";
   if (!args_.metrics_path.empty())
     out += ",\"metrics_path\":\"" + json_escape(args_.metrics_path) + "\"";
   if (!args_.trace_path.empty())
     out += ",\"trace_path\":\"" + json_escape(args_.trace_path) + "\"";
+  if (!args_.events_path.empty())
+    out += ",\"events_path\":\"" + json_escape(args_.events_path) + "\"";
   out += "}";
   return out;
 }

@@ -33,6 +33,7 @@
 
 #include "common/table.h"
 #include "sim/campaign.h"
+#include "sim/event_log.h"
 #include "sim/fleet.h"
 
 namespace densemem::bench {
@@ -70,6 +71,20 @@ struct BenchArgs {
   /// --trace P: write one JSONL span per job attempt to P at the end of the
   /// run. Empty = tracing off.
   std::string trace_path;
+  /// --events P: write the merged domain-event stream (flip provenance +
+  /// mitigation decisions, see sim/event_log.h) as JSONL to P. Empty =
+  /// event tracing off; benches then attach no observers and the
+  /// instrumented hot paths cost one null pointer test.
+  std::string events_path;
+  /// --events-raw P (internal, set by the fleet supervisor / implied by
+  /// --journal): durable per-process raw event sidecar the final artifact
+  /// is merged from, so a SIGKILL'd worker loses at most its in-flight
+  /// batch.
+  std::string events_raw_path;
+  /// --metrics-raw P (internal, set by the fleet supervisor): write this
+  /// process's registry as an exact-bit raw snapshot the supervisor folds
+  /// into the user's --metrics JSON.
+  std::string metrics_raw_path;
   /// --probes N: fuzz-campaign probe count override for bench_blacksmith;
   /// 0 = the bench's committed default (scaled by --quick).
   std::size_t probes = 0;
@@ -196,6 +211,11 @@ class CampaignHarness {
   sim::MetricsRegistry& metrics() const { return metrics_; }
   /// The span tracer all campaigns share.
   sim::SpanTracer& tracer() const { return tracer_; }
+  /// The event log job scopes commit into, or null when event tracing is
+  /// off (--events/--events-raw absent). Benches pass this to EventScope;
+  /// a null log makes committed scopes free and lets benches skip
+  /// attaching observers on hot paths.
+  sim::EventLog* events() const { return events_.get(); }
 
   /// Prints one stdout "[quarantined] job <i> ..." line per quarantined job
   /// (sorted by index — deterministic, filterable) plus a stderr recovery
@@ -227,10 +247,17 @@ class CampaignHarness {
   mutable sim::JournalWriter writer_;
   std::unique_ptr<sim::ShardJournalStream> resume_stream_;
   std::vector<unsigned> quarantined_shards_;
-  std::string fleet_tmp_;  ///< mkdtemp'd journal dir when --journal absent
+  std::string fleet_tmp_;   ///< mkdtemp'd journal dir when --journal absent
+  std::string fleet_base_;  ///< shard journal base (sidecar paths derive)
   std::unique_ptr<sim::HeartbeatWriter> heartbeat_;
   mutable sim::MetricsRegistry metrics_;
   mutable sim::SpanTracer tracer_;
+  std::unique_ptr<sim::EventLog> events_;
+  /// Final --events / --trace artifact sizes, filled by the destructor's
+  /// merge/write and surfaced through the manifest (for fleet runs these
+  /// count the merged shard sidecars, not this process's buffers).
+  mutable std::uint64_t events_written_ = 0;
+  mutable std::uint64_t spans_written_ = 0;
   mutable std::vector<Phase> phases_;
 };
 

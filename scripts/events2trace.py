@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Convert a densemem --events JSONL stream into a Chrome trace-event file.
+
+Usage:
+    events2trace.py EVENTS_JSONL [-o OUT_JSON] [--spans TRACE_JSONL]
+
+The output loads in Perfetto (https://ui.perfetto.dev) or chrome://tracing:
+
+  * each campaign becomes a process group (pid), each job a thread (tid);
+  * every domain event becomes an instant event at its simulated time
+    (t_ms, microsecond resolution; decision events carry no simulated
+    timestamp and land at t=0 in their job's row, ordered by seq);
+  * with --spans, the harness's --trace span sidecar is added as duration
+    events on a separate "attempts" process, so wall-clock scheduling and
+    simulated device time can be eyeballed side by side.
+
+Stdlib only; no installs needed.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_jsonl(path):
+    rows = []
+    with open(path, "r", encoding="utf-8") as f:
+        for n, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                raise SystemExit(f"{path}:{n}: not valid JSON: {e}")
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("events", help="--events JSONL artifact")
+    ap.add_argument("-o", "--out", default="trace.json",
+                    help="output Chrome trace file (default: trace.json)")
+    ap.add_argument("--spans", help="optional --trace span JSONL sidecar")
+    args = ap.parse_args()
+
+    trace = []
+    pids = {}
+
+    def pid_for(campaign):
+        if campaign not in pids:
+            pids[campaign] = len(pids) + 1
+            trace.append({"name": "process_name", "ph": "M",
+                          "pid": pids[campaign], "tid": 0,
+                          "args": {"name": f"campaign {campaign}"}})
+        return pids[campaign]
+
+    required = ("campaign", "job", "seq", "kind", "bank", "row")
+    for ev in load_jsonl(args.events):
+        missing = [k for k in required if k not in ev]
+        if missing:
+            raise SystemExit(f"event missing keys {missing}: {ev}")
+        meta = {k: v for k, v in ev.items()
+                if k not in ("campaign", "job", "kind")}
+        name = ev["kind"]
+        if name == "flip":
+            name = f"flip {ev.get('mechanism', '?')}"
+        trace.append({
+            "name": name,
+            "cat": ev["kind"],
+            "ph": "i",
+            "s": "t",
+            "ts": ev.get("t_ms", 0.0) * 1000.0,
+            "pid": pid_for(ev["campaign"]),
+            "tid": ev["job"],
+            "args": meta,
+        })
+
+    if args.spans:
+        span_pid = len(pids) + 1
+        trace.append({"name": "process_name", "ph": "M", "pid": span_pid,
+                      "tid": 0, "args": {"name": "attempts (wall clock)"}})
+        for sp in load_jsonl(args.spans):
+            trace.append({
+                "name": f"{sp['campaign']}/{sp['job']}#{sp['attempt']}",
+                "cat": sp.get("outcome", "ok"),
+                "ph": "X",
+                "ts": sp.get("t_start_s", 0.0) * 1e6,
+                "dur": max(sp.get("duration_s", 0.0) * 1e6, 1.0),
+                "pid": span_pid,
+                "tid": sp.get("worker", 0),
+                "args": sp,
+            })
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump({"traceEvents": trace,
+                   "displayTimeUnit": "ms"}, f)
+    print(f"wrote {len(trace)} trace events to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

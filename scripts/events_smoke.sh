@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Event-stream determinism smoke for a campaign bench: the --events JSONL
+# artifact must be byte-identical across thread widths AND across a
+# crash-isolated fleet run (a SIGKILL injected into every shard's first
+# incarnation, merged from the durable per-shard raw sidecars) — and
+# turning event tracing on must not perturb the byte-comparable stdout.
+#
+#   events_smoke.sh <bench-exe> <workdir>
+set -u
+
+bench=$1
+work=$2
+name=$(basename "$bench")
+mkdir -p "$work"
+rm -rf "${work:?}/$name".*
+
+if ! "$bench" --quick --threads 1 --events "$work/$name.t1.events.jsonl" \
+    >"$work/$name.t1.txt" 2>/dev/null; then
+  echo "FAIL: events run (threads=1) exited nonzero"
+  exit 1
+fi
+if [ ! -s "$work/$name.t1.events.jsonl" ]; then
+  echo "FAIL: --events produced an empty event stream"
+  exit 1
+fi
+# Every line must be a JSON object with the pinned leading keys.
+if grep -qv '^{"campaign":' "$work/$name.t1.events.jsonl"; then
+  echo "FAIL: event stream contains a non-event line"
+  exit 1
+fi
+
+for t in 2 8; do
+  if ! "$bench" --quick --threads "$t" \
+      --events "$work/$name.t$t.events.jsonl" \
+      >"$work/$name.t$t.txt" 2>/dev/null; then
+    echo "FAIL: events run (threads=$t) exited nonzero"
+    exit 1
+  fi
+  if ! diff -u "$work/$name.t1.events.jsonl" "$work/$name.t$t.events.jsonl" \
+      >"$work/$name.t$t.events.diff"; then
+    echo "FAIL: event stream differs between threads=1 and threads=$t:"
+    head -20 "$work/$name.t$t.events.diff"
+    exit 1
+  fi
+  if ! diff -u "$work/$name.t1.txt" "$work/$name.t$t.txt" \
+      >"$work/$name.t$t.stdout.diff"; then
+    echo "FAIL: stdout differs between threads=1 and threads=$t with --events:"
+    head -20 "$work/$name.t$t.stdout.diff"
+    exit 1
+  fi
+  echo "ok: threads=$t event stream and stdout are byte-identical"
+done
+
+# Fleet: 4 shards, every shard's first incarnation SIGKILLed; the merged
+# artifact (from the per-shard raw sidecars, torn tails and re-run
+# duplicates included) must still equal the single-process stream.
+jdir="$work/$name.fleet"
+rm -rf "$jdir" && mkdir -p "$jdir"
+rc=0
+"$bench" --quick --shards 4 --journal "$jdir/j" --fleet-kill-after 1 \
+  --events "$work/$name.fleet.events.jsonl" \
+  >"$work/$name.fleet.txt" 2>"$work/$name.fleet.err" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: fleet events run expected exit 0, got $rc; stderr:"
+  tail -20 "$work/$name.fleet.err"
+  exit 1
+fi
+if ! grep -q 'respawn' "$work/$name.fleet.err"; then
+  echo "FAIL: fleet run never respawned a killed worker"
+  exit 1
+fi
+if ! diff -u "$work/$name.t1.events.jsonl" "$work/$name.fleet.events.jsonl" \
+    >"$work/$name.fleet.events.diff"; then
+  echo "FAIL: fleet event stream differs from single-process run:"
+  head -20 "$work/$name.fleet.events.diff"
+  exit 1
+fi
+if ! diff -u "$work/$name.t1.txt" "$work/$name.fleet.txt" \
+    >"$work/$name.fleet.stdout.diff"; then
+  echo "FAIL: fleet stdout differs from single-process run with --events:"
+  head -20 "$work/$name.fleet.stdout.diff"
+  exit 1
+fi
+echo "ok: crashed+respawned fleet event stream is byte-identical"
+
+# The exporter must accept the stream end to end.
+if command -v python3 >/dev/null 2>&1; then
+  if ! python3 "$(dirname "$0")/events2trace.py" \
+      "$work/$name.t1.events.jsonl" -o "$work/$name.trace.json"; then
+    echo "FAIL: events2trace.py rejected the event stream"
+    exit 1
+  fi
+  echo "ok: events2trace.py exported $(wc -c <"$work/$name.trace.json") bytes"
+fi

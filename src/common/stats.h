@@ -37,8 +37,27 @@ class RunningStats {
   double max() const { return n_ ? max_ : 0.0; }
   /// Standard error of the mean.
   double sem() const;
+  /// Raw second central moment (for exact cross-process serialization).
+  double m2() const { return m2_; }
 
   void merge(const RunningStats& o);
+
+  /// Exact reconstruction from serialized moments: the inverse of reading
+  /// (count, mean, m2, sum, min, max) out of an instance, bit-for-bit, so
+  /// a stats object shipped through a sidecar file merges identically to
+  /// the original. Raw internal values — pass mean_/min_/max_ as stored
+  /// (±inf sentinels when empty), not the n-guarded accessors.
+  static RunningStats from_parts(std::uint64_t n, double mean, double m2,
+                                 double sum, double min, double max) {
+    RunningStats s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.sum_ = sum;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
 
  private:
   std::uint64_t n_ = 0;
@@ -71,6 +90,27 @@ class Histogram {
   /// constructed with the same (lo, hi, bins); bin counts are integer sums,
   /// so merging in any order gives the same result.
   void merge(const Histogram& o);
+
+  double lo() const { return lo_; }
+  double width() const { return width_; }
+
+  /// Exact reconstruction from serialized geometry + counts (the sidecar
+  /// round trip, same contract as RunningStats::from_parts). `width` is
+  /// installed verbatim so merge()'s geometry check matches the original
+  /// bit-for-bit instead of re-deriving it from a hi bound.
+  static Histogram from_parts(double lo, double width,
+                              std::vector<std::uint64_t> bins,
+                              std::uint64_t underflow, std::uint64_t overflow) {
+    Histogram h(lo, lo + width * static_cast<double>(bins.size()),
+                bins.size());
+    h.width_ = width;
+    h.total_ = underflow + overflow;
+    for (const std::uint64_t c : bins) h.total_ += c;
+    h.bins_ = std::move(bins);
+    h.underflow_ = underflow;
+    h.overflow_ = overflow;
+    return h;
+  }
 
  private:
   double lo_, width_;

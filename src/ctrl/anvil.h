@@ -33,11 +33,15 @@ class Anvil final : public Mitigation {
   void on_activate(std::uint32_t fbank, std::uint32_t row,
                    std::vector<RefreshRequest>& out) override {
     if (!rng_.bernoulli(cfg_.sample_rate)) return;
+    note(DecisionKind::kSample, fbank, row);
     const std::uint64_t key = (static_cast<std::uint64_t>(fbank) << 32) | row;
     if (++sampled_[key] >= cfg_.detect_samples) {
       sampled_[key] = 0;
       ++interventions_;
-      for (std::uint32_t n : adjacency_(row)) out.push_back({fbank, n});
+      for (std::uint32_t n : adjacency_(row)) {
+        out.push_back({fbank, n});
+        note_refresh(fbank, n, row);
+      }
     }
   }
 

@@ -31,9 +31,14 @@ class Cra final : public Mitigation {
                    std::vector<RefreshRequest>& out) override {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(fbank) << 32) | row;
-    if (++counters_[key] >= cfg_.threshold) {
-      counters_[key] = 0;
-      for (std::uint32_t n : adjacency_(row)) out.push_back({fbank, n});
+    auto [it, inserted] = counters_.try_emplace(key, 0);
+    if (inserted) note(DecisionKind::kTrack, fbank, row);
+    if (++it->second >= cfg_.threshold) {
+      it->second = 0;
+      for (std::uint32_t n : adjacency_(row)) {
+        out.push_back({fbank, n});
+        note_refresh(fbank, n, row);
+      }
     }
   }
 

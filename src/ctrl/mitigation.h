@@ -25,9 +25,40 @@ struct RefreshRequest {
   std::uint32_t row;
 };
 
+/// What a mitigation just decided about a row. These are the observable
+/// decision points a post-mortem needs to classify a flip that got through:
+/// was the aggressor ever seen (tracked/sampled), was it evicted before the
+/// tracker could act, was the victim refreshed but too late?
+enum class DecisionKind {
+  kTrack,           ///< row entered a tracker table (CAM slot, MG entry, counter)
+  kSample,          ///< a sampler inspected this activation of the row
+  kEvict,           ///< row was involuntarily dropped from the tracker
+  kNeighborRefresh  ///< row is being targeted-refreshed (source_row triggered it)
+};
+
+struct DecisionRecord {
+  DecisionKind kind = DecisionKind::kTrack;
+  std::uint32_t fbank = 0;
+  std::uint32_t row = 0;         ///< subject row of the decision
+  std::uint32_t source_row = 0;  ///< for kNeighborRefresh: the aggressor whose
+                                 ///< neighbourhood triggered it; else == row
+};
+
+/// Attach via Mitigation::set_observer. Called synchronously from the
+/// controller's command path (mitigations are job-local; no locking implied).
+class DecisionObserver {
+ public:
+  virtual ~DecisionObserver() = default;
+  virtual void on_decision(const DecisionRecord& rec) = 0;
+};
+
 class Mitigation {
  public:
   virtual ~Mitigation() = default;
+
+  /// Attach a decision sink. Null (the default) keeps the hot path to one
+  /// pointer test per decision point.
+  void set_observer(DecisionObserver* obs) { observer_ = obs; }
 
   virtual std::string name() const = 0;
 
@@ -54,6 +85,21 @@ class Mitigation {
   /// Hardware state the mitigation needs, in bits (the paper's §II-C
   /// objection to counter-based tracking is exactly this number).
   virtual std::uint64_t storage_bits() const { return 0; }
+
+ protected:
+  void note(DecisionKind kind, std::uint32_t fbank, std::uint32_t row) {
+    if (observer_) observer_->on_decision({kind, fbank, row, row});
+  }
+  void note_refresh(std::uint32_t fbank, std::uint32_t row,
+                    std::uint32_t source_row) {
+    if (observer_) {
+      observer_->on_decision(
+          {DecisionKind::kNeighborRefresh, fbank, row, source_row});
+    }
+  }
+
+ private:
+  DecisionObserver* observer_ = nullptr;
 };
 
 /// No-op baseline.

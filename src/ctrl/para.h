@@ -30,7 +30,10 @@ class Para final : public Mitigation {
   void on_precharge(std::uint32_t fbank, std::uint32_t row,
                     std::vector<RefreshRequest>& out) override {
     if (!rng_.bernoulli(cfg_.probability)) return;
-    for (std::uint32_t n : adjacency_(row)) out.push_back({fbank, n});
+    for (std::uint32_t n : adjacency_(row)) {
+      out.push_back({fbank, n});
+      note_refresh(fbank, n, row);
+    }
   }
 
   std::uint64_t storage_bits() const override { return 0; }

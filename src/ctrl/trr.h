@@ -41,15 +41,18 @@ class Trr final : public Mitigation {
     }
     if (table.size() < cfg_.tracker_entries) {
       table.emplace(row, 1);
+      note(DecisionKind::kTrack, fbank, row);
       return;
     }
     // Decrement all; drop zeros. This is where many-sided patterns evict
     // the genuine aggressors.
     for (auto it = table.begin(); it != table.end();) {
-      if (--it->second == 0)
+      if (--it->second == 0) {
+        note(DecisionKind::kEvict, fbank, it->first);
         it = table.erase(it);
-      else
+      } else {
         ++it;
+      }
     }
   }
 
@@ -80,6 +83,7 @@ class Trr final : public Mitigation {
       for (std::uint32_t n : adjacency_(hottest)) {
         if (budget == 0) return;
         out.push_back({fbank, n});
+        note_refresh(fbank, n, hottest);
         --budget;
       }
       table.erase(hottest);

@@ -57,6 +57,7 @@ class TrrSampler final : public Mitigation {
     // invisible to it. One bernoulli per ACT, from the mitigation's own
     // stream, so a given command sequence always samples identically.
     if (!rng_.bernoulli(cfg_.sample_rate)) return;
+    note(DecisionKind::kSample, fbank, row);
     BankState& st = banks_[fbank];
     for (Entry& e : st.slots) {
       if (e.row == row) {
@@ -66,6 +67,7 @@ class TrrSampler final : public Mitigation {
     }
     if (st.slots.size() < cfg_.sampler_entries) {
       st.slots.push_back({row, 1});
+      note(DecisionKind::kTrack, fbank, row);
       return;
     }
     // CAM full: oldest-first (ring) replacement. This — not Misra–Gries
@@ -73,7 +75,9 @@ class TrrSampler final : public Mitigation {
     // distinct rows are sampled after the genuine aggressors' last ACT,
     // every aggressor entry has been pushed out and the REF refreshes
     // decoy neighbours instead of the victim.
+    note(DecisionKind::kEvict, fbank, st.slots[st.next].row);
     st.slots[st.next] = {row, 1};
+    note(DecisionKind::kTrack, fbank, row);
     st.next = (st.next + 1) % st.slots.size();
   }
 
@@ -94,6 +98,7 @@ class TrrSampler final : public Mitigation {
         for (std::uint32_t n : adjacency_(e.row)) {
           if (budget == 0) break;
           out.push_back({fbank, n});
+          note_refresh(fbank, n, e.row);
           --budget;
         }
       }

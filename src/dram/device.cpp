@@ -89,8 +89,9 @@ std::vector<std::uint64_t>& Device::materialize(std::uint32_t fbank,
   return it->second;
 }
 
-void Device::apply_flip(RowCtx& ctx, std::uint32_t bit, FlipCause cause,
-                        Time now) {
+void Device::apply_flip(RowCtx& ctx, std::uint32_t bit,
+                        FlipMechanism mechanism, double stress,
+                        double dpd_factor, Time now) {
   auto& words = materialize(ctx.fbank, ctx.prow);
   // A pattern-backed row materializes on its first flip; later cells in
   // this same commit pass must read the flipped words, not the pattern.
@@ -98,7 +99,8 @@ void Device::apply_flip(RowCtx& ctx, std::uint32_t bit, FlipCause cause,
   const std::uint64_t mask = std::uint64_t{1} << (bit % 64);
   const bool was_one = (words[bit / 64] & mask) != 0;
   words[bit / 64] ^= mask;
-  if (cause == FlipCause::kDisturbance)
+  const bool disturb = mechanism == FlipMechanism::kDisturbance;
+  if (disturb)
     ++stats_.disturb_flips;
   else
     ++stats_.retention_flips;
@@ -106,9 +108,30 @@ void Device::apply_flip(RowCtx& ctx, std::uint32_t bit, FlipCause cause,
     ++stats_.flips_1to0;
   else
     ++stats_.flips_0to1;
-  if (cfg_.record_flip_events && events_.size() < kMaxEvents) {
-    events_.push_back(
-        FlipEvent{ctx.fbank, ctx.prow, ctx.logical, bit, cause, was_one, now});
+  if (cfg_.record_flip_events) {
+    if (events_.size() < kMaxEvents) {
+      const FlipCause cause =
+          disturb ? FlipCause::kDisturbance : FlipCause::kRetention;
+      events_.push_back(FlipEvent{ctx.fbank, ctx.prow, ctx.logical, bit, cause,
+                                  was_one, now});
+    } else {
+      ++stats_.flip_events_dropped;
+    }
+  }
+  if (cfg_.observer) {
+    FlipRecord rec;
+    rec.fbank = ctx.fbank;
+    rec.physical_row = ctx.prow;
+    rec.logical_row = ctx.logical;
+    rec.bit = bit;
+    rec.mechanism = mechanism;
+    rec.one_to_zero = was_one;
+    if (ctx.up.present) rec.aggressor_up = ctx.up.logical;
+    if (ctx.down.present) rec.aggressor_down = ctx.down.logical;
+    rec.stress = stress;
+    rec.dpd_factor = dpd_factor;
+    rec.when = now;
+    cfg_.observer->on_flip(rec);
   }
 }
 
@@ -126,7 +149,8 @@ void Device::commit_disturbance(RowCtx& ctx, float stress, Time now) {
         (1.0 - c.dpd_sens) + c.dpd_sens * (static_cast<double>(a) / 2.0);
     if (static_cast<double>(stress) * pattern_factor >=
         static_cast<double>(c.threshold)) {
-      apply_flip(ctx, c.bit, FlipCause::kDisturbance, now);
+      apply_flip(ctx, c.bit, FlipMechanism::kDisturbance,
+                 static_cast<double>(stress), pattern_factor, now);
     }
   }
 }
@@ -150,8 +174,12 @@ void Device::commit_retention(RowCtx& ctx, double dt_ms, Time now) {
         1.0 - dpd_strength * c.dpd_sens * (static_cast<double>(a) / 2.0);
     const double base =
         (c.vrt && !c.vrt_low) ? c.retention_high_ms : c.retention_ms;
-    if (dt_ms > base * dpd_factor)
-      apply_flip(ctx, c.bit, FlipCause::kRetention, now);
+    if (dt_ms > base * dpd_factor) {
+      apply_flip(ctx, c.bit,
+                 c.vrt ? FlipMechanism::kVrtRetention
+                       : FlipMechanism::kRetention,
+                 0.0, dpd_factor, now);
+    }
   }
 }
 

@@ -21,6 +21,7 @@
 
 #include "common/units.h"
 #include "dram/faultmap.h"
+#include "dram/flip_observer.h"
 #include "dram/geometry.h"
 #include "dram/reliability.h"
 #include "dram/remap.h"
@@ -50,6 +51,9 @@ struct DeviceStats {
   std::uint64_t retention_flips = 0;
   std::uint64_t flips_1to0 = 0;
   std::uint64_t flips_0to1 = 0;
+  /// Flip events discarded once the capped event log filled. Surfaced so a
+  /// truncated flip_events() can never masquerade as a complete record.
+  std::uint64_t flip_events_dropped = 0;
 };
 
 /// Deterministic background data: what a row reads as before software ever
@@ -72,6 +76,10 @@ struct DeviceConfig {
   std::uint64_t seed = 1;
   BackgroundPattern pattern = BackgroundPattern::kZeros;
   bool record_flip_events = false;  ///< keep a per-flip event log (capped)
+  /// Optional provenance sink: every committed flip is reported with its
+  /// mechanism, aggressors, stress, and DPD factor. Null (the default) costs
+  /// one pointer test per flip — activations that flip nothing never touch it.
+  FlipObserver* observer = nullptr;
 };
 
 class Device {
@@ -194,7 +202,8 @@ class Device {
   void restore_row(std::uint32_t fbank, std::uint32_t prow, Time now);
   void commit_disturbance(RowCtx& ctx, float stress, Time now);
   void commit_retention(RowCtx& ctx, double dt_ms, Time now);
-  void apply_flip(RowCtx& ctx, std::uint32_t bit, FlipCause cause, Time now);
+  void apply_flip(RowCtx& ctx, std::uint32_t bit, FlipMechanism mechanism,
+                  double stress, double dpd_factor, Time now);
   /// Add `count` activations' worth of disturbance around a physical row.
   void disturb_neighbors(std::uint32_t fbank, std::uint32_t prow, float count);
 

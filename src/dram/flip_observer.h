@@ -1,0 +1,57 @@
+// Flip-provenance observer interface: how the device narrates its physics.
+//
+// Every committed bit flip carries the full causal context available at the
+// commit site — mechanism, aggressor rows, accumulated weighted hammer count,
+// data-pattern-dependence factor, cell coordinates — so an attached observer
+// (sim::EventScope, a test fixture) can explain the flip after the fact
+// instead of re-deriving it from aggregate counters. Header-only: dram does
+// not gain a link dependency, and a null observer costs one pointer test on
+// the commit path.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace densemem::dram {
+
+/// Why a cell lost its charge. kVrtRetention is a retention flip of a cell
+/// whose VRT trap was in the low-retention state — the paper's "variable
+/// retention time" failures that defeat one-shot profiling.
+enum class FlipMechanism { kDisturbance, kRetention, kVrtRetention };
+
+/// Sentinel aggressor value: the victim row sits at a bank edge and has no
+/// neighbour on that side.
+inline constexpr std::uint32_t kNoAggressor = 0xFFFFFFFFu;
+
+/// Full provenance of one committed bit flip.
+struct FlipRecord {
+  std::uint32_t fbank = 0;         ///< flat bank index
+  std::uint32_t physical_row = 0;  ///< victim physical row
+  std::uint32_t logical_row = 0;   ///< victim logical row
+  std::uint32_t bit = 0;           ///< bit index within the row
+  FlipMechanism mechanism = FlipMechanism::kDisturbance;
+  bool one_to_zero = false;        ///< direction of the flip
+  /// Logical rows of the physical neighbours (the candidate aggressors a
+  /// victim-adjacent mitigation must have seen), kNoAggressor at bank edges.
+  std::uint32_t aggressor_up = kNoAggressor;
+  std::uint32_t aggressor_down = kNoAggressor;
+  /// Accumulated weighted activation count pending on the victim at commit
+  /// time (0 for pure retention flips).
+  double stress = 0.0;
+  /// Data-pattern-dependence multiplier actually applied to this cell:
+  /// the disturbance pattern factor, or the retention DPD factor.
+  double dpd_factor = 1.0;
+  Time when;                       ///< simulated commit time
+};
+
+/// Attach via DeviceConfig::observer. Called synchronously from the commit
+/// path under whatever thread runs the device (devices are job-local in the
+/// campaign engine, so no locking is implied).
+class FlipObserver {
+ public:
+  virtual ~FlipObserver() = default;
+  virtual void on_flip(const FlipRecord& rec) = 0;
+};
+
+}  // namespace densemem::dram

@@ -47,7 +47,10 @@ struct Rig {
       : dev(setup.device),
         mc(dev, setup.ctrl,
            make_tracker(setup, ctrl::make_adjacency(
-                                   dev, setup.ctrl.use_spd_adjacency))) {}
+                                   dev, setup.ctrl.use_spd_adjacency))) {
+    if (setup.decision_observer)
+      mc.mitigation().set_observer(setup.decision_observer);
+  }
 };
 
 /// Advance the clock to just past the next tREFI boundary, firing the REF

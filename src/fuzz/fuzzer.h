@@ -49,6 +49,11 @@ struct ProbeSetup {
   /// REF-synchronize the genome replay (see header comment). Fixed kernels
   /// never sync — they have no phase structure to align.
   bool sync_to_ref = true;
+  /// Receives the tracker's track/sample/evict/refresh decisions (see
+  /// ctrl/mitigation.h). Null = no decision tracing; the flip-side
+  /// equivalent lives in device.observer. Probes under event tracing set
+  /// both so flips autopsy against what the tracker actually saw.
+  ctrl::DecisionObserver* decision_observer = nullptr;
 };
 
 struct ProbeResult {

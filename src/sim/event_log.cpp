@@ -1,0 +1,356 @@
+#include "sim/event_log.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "sim/journal.h"
+#include "sim/telemetry.h"
+
+namespace densemem::sim {
+
+namespace {
+
+constexpr const char* kMagic = "#densemem-events v1";
+
+const char* kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kFlip:
+      return "flip";
+    case EventKind::kTrack:
+      return "track";
+    case EventKind::kSample:
+      return "sample";
+    case EventKind::kEvict:
+      return "evict";
+    case EventKind::kNeighborRefresh:
+      return "neighbor_refresh";
+  }
+  return "?";
+}
+
+const char* mechanism_name(dram::FlipMechanism m) {
+  switch (m) {
+    case dram::FlipMechanism::kDisturbance:
+      return "disturbance";
+    case dram::FlipMechanism::kRetention:
+      return "retention";
+    case dram::FlipMechanism::kVrtRetention:
+      return "vrt_retention";
+  }
+  return "?";
+}
+
+std::uint64_t row_key(std::uint32_t bank, std::uint32_t row) {
+  return (static_cast<std::uint64_t>(bank) << 32) | row;
+}
+
+/// Digits-only u64 parse that cannot throw: a torn raw line must read as
+/// "torn tail", never as an exception.
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+/// Raw-sidecar scan shared by open_raw's torn-tail truncation and
+/// merge_raw_files: walks the file, calling `on_batch` for every complete
+/// (marker-terminated, count-matching) batch, and returns the byte offset
+/// just past the last accepted line. Anything after that offset — a torn
+/// line, an unterminated batch, a count-mismatched marker — is the torn
+/// tail a kill left behind.
+std::size_t scan_raw(
+    const std::string& text,
+    const std::function<void(std::string&& campaign, std::size_t job,
+                             std::vector<std::string>&& lines)>& on_batch) {
+  std::size_t pos = 0, accepted = 0;
+  bool saw_magic = false;
+  std::string batch_campaign;
+  std::size_t batch_job = 0;
+  std::vector<std::string> batch_lines;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn final line
+    const std::string_view line(text.data() + pos, nl - pos);
+    pos = nl + 1;
+    if (!saw_magic) {
+      if (line != kMagic) break;
+      saw_magic = true;
+      accepted = pos;
+      continue;
+    }
+    if (line.size() < 2 || (line[0] != 'E' && line[0] != 'C') ||
+        line[1] != ' ') {
+      break;
+    }
+    // Tokens: <tag> <campaign> <job> then seq+json (E) or count (C).
+    std::size_t t1 = line.find(' ', 2);
+    if (t1 == std::string_view::npos) break;
+    std::size_t t2 = line.find(' ', t1 + 1);
+    if (t2 == std::string_view::npos) break;
+    const std::string campaign =
+        unescape_token(line.substr(2, t1 - 2));
+    std::uint64_t job = 0;
+    if (!parse_u64(line.substr(t1 + 1, t2 - t1 - 1), job)) break;
+    if (line[0] == 'E') {
+      if (!batch_lines.empty() &&
+          (campaign != batch_campaign || job != batch_job)) {
+        break;  // interleaved batches: corruption, stop accepting
+      }
+      batch_campaign = campaign;
+      batch_job = job;
+      const std::size_t t3 = line.find(' ', t2 + 1);
+      if (t3 == std::string_view::npos) break;
+      batch_lines.emplace_back(line.substr(t3 + 1));
+    } else {
+      std::uint64_t count = 0;
+      if (!parse_u64(line.substr(t2 + 1), count)) break;
+      if (count != batch_lines.size() ||
+          (!batch_lines.empty() &&
+           (campaign != batch_campaign || job != batch_job))) {
+        break;
+      }
+      on_batch(std::string(campaign), job, std::move(batch_lines));
+      batch_lines.clear();
+      accepted = pos;
+    }
+  }
+  return accepted;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+}  // namespace
+
+MissAutopsy classify_misses(const std::vector<Event>& events) {
+  MissAutopsy a;
+  std::unordered_set<std::uint64_t> seen, refreshed;
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::kTrack:
+      case EventKind::kSample:
+        seen.insert(row_key(e.bank, e.row));
+        break;
+      case EventKind::kNeighborRefresh:
+        refreshed.insert(row_key(e.bank, e.row));
+        break;
+      case EventKind::kEvict:
+        break;
+      case EventKind::kFlip: {
+        if (e.mechanism != dram::FlipMechanism::kDisturbance) break;
+        if (refreshed.count(row_key(e.bank, e.row))) {
+          ++a.refreshed_too_late;
+        } else if ((e.aggr_up != dram::kNoAggressor &&
+                    seen.count(row_key(e.bank, e.aggr_up))) ||
+                   (e.aggr_down != dram::kNoAggressor &&
+                    seen.count(row_key(e.bank, e.aggr_down)))) {
+          ++a.evicted_before_ref;
+        } else {
+          ++a.never_seen;
+        }
+        break;
+      }
+    }
+  }
+  return a;
+}
+
+std::string EventLog::format_line(const std::string& campaign, std::size_t job,
+                                  std::size_t seq, const Event& e) {
+  std::string s = "{\"campaign\":\"" + json_escape(campaign) +
+                  "\",\"job\":" + std::to_string(job) +
+                  ",\"seq\":" + std::to_string(seq) + ",\"kind\":\"" +
+                  kind_name(e.kind) + "\"";
+  s += ",\"bank\":" + std::to_string(e.bank);
+  s += ",\"row\":" + std::to_string(e.row);
+  if (e.kind == EventKind::kFlip) {
+    s += ",\"mechanism\":\"";
+    s += mechanism_name(e.mechanism);
+    s += "\",\"physical_row\":" + std::to_string(e.physical_row);
+    s += ",\"bit\":" + std::to_string(e.bit);
+    s += ",\"dir\":\"";
+    s += e.one_to_zero ? "1to0" : "0to1";
+    s += "\"";
+    if (e.aggr_up != dram::kNoAggressor)
+      s += ",\"aggr_up\":" + std::to_string(e.aggr_up);
+    if (e.aggr_down != dram::kNoAggressor)
+      s += ",\"aggr_down\":" + std::to_string(e.aggr_down);
+    s += ",\"stress\":" + json_double(e.stress);
+    s += ",\"dpd\":" + json_double(e.dpd);
+    s += ",\"t_ms\":" + json_double(e.t_ms);
+  } else if (e.kind == EventKind::kNeighborRefresh) {
+    s += ",\"source_row\":" + std::to_string(e.source_row);
+  }
+  s += "}";
+  return s;
+}
+
+EventLog::~EventLog() {
+  if (raw_) std::fclose(raw_);
+}
+
+bool EventLog::open_raw(const std::string& path, bool append) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (raw_) {
+    std::fclose(raw_);
+    raw_ = nullptr;
+  }
+  std::size_t accepted = 0;
+  std::string text;
+  if (append && read_file(path, text)) {
+    accepted = scan_raw(
+        text, [](std::string&&, std::size_t, std::vector<std::string>&&) {});
+  }
+  raw_ = std::fopen(path.c_str(), "wb");
+  if (!raw_) return false;
+  if (accepted > 0) {
+    // Continue after the last complete batch; everything past it is a torn
+    // tail from a mid-write kill and must not fuse onto new records.
+    if (std::fwrite(text.data(), 1, accepted, raw_) != accepted) {
+      std::fclose(raw_);
+      raw_ = nullptr;
+      return false;
+    }
+  } else {
+    std::fputs(kMagic, raw_);
+    std::fputc('\n', raw_);
+  }
+  std::fflush(raw_);
+  raw_path_ = path;
+  return true;
+}
+
+void EventLog::commit(const std::string& campaign, std::size_t job,
+                      std::vector<Event> events) {
+  if (events.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (recorded_ + events.size() > capacity_) {
+    dropped_ += events.size();
+    return;
+  }
+  recorded_ += events.size();
+  if (raw_) {
+    const std::string esc = escape_token(campaign);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      std::fprintf(raw_, "E %s %zu %zu %s\n", esc.c_str(), job, i,
+                   format_line(campaign, job, i, events[i]).c_str());
+    }
+    std::fprintf(raw_, "C %s %zu %zu\n", esc.c_str(), job, events.size());
+    std::fflush(raw_);
+  }
+  batches_.push_back(Batch{campaign, job, std::move(events)});
+}
+
+std::size_t EventLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::size_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void EventLog::write_jsonl(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::pair<std::string, std::size_t>, const Batch*> ordered;
+  for (const Batch& b : batches_)
+    ordered.emplace(std::make_pair(b.campaign, b.job), &b);  // first wins
+  for (const auto& [key, b] : ordered) {
+    for (std::size_t i = 0; i < b->events.size(); ++i)
+      os << format_line(b->campaign, b->job, i, b->events[i]) << "\n";
+  }
+}
+
+bool EventLog::write_jsonl_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  write_jsonl(out);
+  return static_cast<bool>(out);
+}
+
+EventLog::MergeResult EventLog::merge_raw_files(
+    const std::vector<std::string>& paths, const std::string& out_path) {
+  MergeResult res;
+  std::map<std::pair<std::string, std::size_t>, std::vector<std::string>>
+      ordered;
+  for (const std::string& p : paths) {
+    std::string text;
+    if (!read_file(p, text)) continue;
+    ++res.files;
+    scan_raw(text, [&](std::string&& campaign, std::size_t job,
+                       std::vector<std::string>&& lines) {
+      ordered.emplace(std::make_pair(std::move(campaign), job),
+                      std::move(lines));  // first wins
+    });
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) return res;
+  for (const auto& [key, lines] : ordered) {
+    for (const std::string& l : lines) {
+      out << l << "\n";
+      ++res.events;
+    }
+  }
+  return res;
+}
+
+void EventScope::on_flip(const dram::FlipRecord& rec) {
+  Event e;
+  e.kind = EventKind::kFlip;
+  e.bank = rec.fbank;
+  e.row = rec.logical_row;
+  e.mechanism = rec.mechanism;
+  e.one_to_zero = rec.one_to_zero;
+  e.physical_row = rec.physical_row;
+  e.bit = rec.bit;
+  e.aggr_up = rec.aggressor_up;
+  e.aggr_down = rec.aggressor_down;
+  e.stress = rec.stress;
+  e.dpd = rec.dpd_factor;
+  e.t_ms = rec.when.as_ms();
+  events_.push_back(e);
+}
+
+void EventScope::on_decision(const ctrl::DecisionRecord& rec) {
+  Event e;
+  switch (rec.kind) {
+    case ctrl::DecisionKind::kTrack:
+      e.kind = EventKind::kTrack;
+      break;
+    case ctrl::DecisionKind::kSample:
+      e.kind = EventKind::kSample;
+      break;
+    case ctrl::DecisionKind::kEvict:
+      e.kind = EventKind::kEvict;
+      break;
+    case ctrl::DecisionKind::kNeighborRefresh:
+      e.kind = EventKind::kNeighborRefresh;
+      break;
+  }
+  e.bank = rec.fbank;
+  e.row = rec.row;
+  e.source_row = rec.source_row;
+  events_.push_back(e);
+}
+
+void EventScope::commit() {
+  if (committed_) return;
+  committed_ = true;
+  if (log_) log_->commit(campaign_, job_, events_);
+}
+
+}  // namespace densemem::sim

@@ -1,0 +1,182 @@
+// Structured domain-event tracing for campaign runs.
+//
+// Where SpanTracer records *that* a job attempt ran, the EventLog records
+// what happened *inside* the simulated hardware: every committed bit flip
+// with its full provenance (mechanism, aggressor rows, accumulated hammer
+// stress, DPD factor — dram::FlipRecord) and every mitigation decision
+// (row tracked / sampled / evicted / neighbour-refreshed —
+// ctrl::DecisionRecord). Together they let a flip that got past a
+// mitigation be autopsied after the fact into three miss classes:
+//
+//   never-seen          — no track/sample of either aggressor, and the
+//                         victim was never refreshed, before the flip;
+//   evicted-before-REF  — an aggressor was observed, but the victim never
+//                         received a targeted refresh before the flip (the
+//                         tracker lost the aggressor, or never acted);
+//   refreshed-too-late  — the victim *was* neighbour-refreshed at least
+//                         once, yet accumulated enough stress anyway.
+//
+// Determinism contract (docs/ARCHITECTURE.md, "Event tracing"): events are
+// recorded per job into an EventScope and committed as one atomic batch, so
+// batch contents depend only on (campaign, job) — never on scheduling. The
+// merged stream orders batches by (campaign, job) and events by in-job
+// sequence, so the JSONL artifact is byte-identical at any --threads /
+// --shards width. Durable raw sidecars (fleet shards, journal runs) append
+// batches terminated by a commit marker; merging tolerates a torn tail per
+// file (a kill landed mid-batch) and dedups batches by (campaign, job)
+// first-wins — a job that committed events but died before journaling
+// re-runs on resume and re-commits an identical batch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ctrl/mitigation.h"
+#include "dram/flip_observer.h"
+
+namespace densemem::sim {
+
+enum class EventKind { kFlip, kTrack, kSample, kEvict, kNeighborRefresh };
+
+/// One traced domain event. Flip events fill the provenance block; decision
+/// events fill (bank, row[, source_row]). All values derive from the
+/// simulation, never from wall clocks, so streams are reproducible.
+struct Event {
+  EventKind kind = EventKind::kFlip;
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;  ///< logical victim/subject row
+  // Flip provenance (kind == kFlip).
+  dram::FlipMechanism mechanism = dram::FlipMechanism::kDisturbance;
+  bool one_to_zero = false;
+  std::uint32_t physical_row = 0;
+  std::uint32_t bit = 0;
+  std::uint32_t aggr_up = dram::kNoAggressor;
+  std::uint32_t aggr_down = dram::kNoAggressor;
+  double stress = 0.0;
+  double dpd = 1.0;
+  double t_ms = 0.0;  ///< simulated commit time (flips only)
+  // Decision detail (kind == kNeighborRefresh).
+  std::uint32_t source_row = 0;
+};
+
+/// Flip-miss classification over one job's ordered event stream. Classes
+/// are exhaustive and disjoint over disturbance flips, so
+/// never_seen + evicted_before_ref + refreshed_too_late == disturbance
+/// flips seen by the scope — the reconciliation the autopsy table checks.
+struct MissAutopsy {
+  std::uint64_t never_seen = 0;
+  std::uint64_t evicted_before_ref = 0;
+  std::uint64_t refreshed_too_late = 0;
+  std::uint64_t total() const {
+    return never_seen + evicted_before_ref + refreshed_too_late;
+  }
+};
+MissAutopsy classify_misses(const std::vector<Event>& events);
+
+/// Bounded, batch-committed event store with an optional durable raw
+/// sidecar. Thread-safe: commit() is one mutex acquisition per job.
+class EventLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  explicit EventLog(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Opens the durable raw sidecar. `append` continues an existing file
+  /// (resume / respawned fleet worker), first truncating away any trailing
+  /// incomplete batch a mid-write kill left behind. Returns false if the
+  /// file cannot be opened.
+  bool open_raw(const std::string& path, bool append);
+  const std::string& raw_path() const { return raw_path_; }
+
+  /// Atomically appends one job's event batch (and mirrors it to the raw
+  /// sidecar, marker-terminated and flushed). A batch that would exceed
+  /// capacity is dropped whole — memory and sidecar stay consistent — and
+  /// counted in dropped().
+  void commit(const std::string& campaign, std::size_t job,
+              std::vector<Event> events);
+
+  std::size_t recorded() const;
+  std::size_t dropped() const;
+
+  /// The deterministic merged JSONL artifact from in-memory batches:
+  /// batches deduped by (campaign, job) first-wins, ordered by
+  /// (campaign, job, seq).
+  void write_jsonl(std::ostream& os) const;
+  bool write_jsonl_file(const std::string& path) const;
+
+  /// Merges raw sidecar files (shard events, resumed runs) into the same
+  /// deterministic artifact write_jsonl produces. Missing files are
+  /// skipped; a torn trailing batch per file is dropped; duplicate
+  /// (campaign, job) batches dedup first-wins in file order.
+  struct MergeResult {
+    std::size_t files = 0;   ///< files found and read
+    std::size_t events = 0;  ///< events in the merged artifact
+  };
+  static MergeResult merge_raw_files(const std::vector<std::string>& paths,
+                                     const std::string& out_path);
+
+  /// The one formatting path every writer shares (in-memory artifact, raw
+  /// sidecar, raw merge) — the reason all routes yield identical bytes.
+  static std::string format_line(const std::string& campaign, std::size_t job,
+                                 std::size_t seq, const Event& e);
+
+ private:
+  struct Batch {
+    std::string campaign;
+    std::size_t job = 0;
+    std::vector<Event> events;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Batch> batches_;
+  std::size_t recorded_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t capacity_;
+  std::FILE* raw_ = nullptr;
+  std::string raw_path_;
+};
+
+/// Per-job recording scope: implements both observer interfaces, buffers
+/// events locally (no synchronization until commit), and pushes the batch
+/// to the log as the job body's last statement. Works without a log too —
+/// benches that always print autopsy/attribution tables record into a
+/// scope with log == nullptr and read events() directly; commit() is then
+/// a no-op.
+class EventScope final : public dram::FlipObserver,
+                         public ctrl::DecisionObserver {
+ public:
+  EventScope(EventLog* log, std::string campaign, std::size_t job)
+      : log_(log), campaign_(std::move(campaign)), job_(job) {}
+
+  void on_flip(const dram::FlipRecord& rec) override;
+  void on_decision(const ctrl::DecisionRecord& rec) override;
+
+  dram::FlipObserver* flip_observer() { return this; }
+  ctrl::DecisionObserver* decision_observer() { return this; }
+
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Hands the batch to the log (no-op without one). Call exactly once,
+  /// after the job's simulation work: the campaign engine journals the
+  /// job's result only after its body returns, so a crash between commit
+  /// and journaling merely re-runs the job — the duplicate batch dedups.
+  void commit();
+
+ private:
+  EventLog* log_;
+  std::string campaign_;
+  std::size_t job_;
+  std::vector<Event> events_;
+  bool committed_ = false;
+};
+
+}  // namespace densemem::sim

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -334,6 +335,14 @@ FleetResult FleetRunner::run() {
     cfg_.metrics->add("fleet.workers.faults_injected",
                       static_cast<std::uint64_t>(faults));
     cfg_.metrics->set("fleet.workers.wall_s", wall);
+    // Peak RSS across every reaped worker incarnation (ru_maxrss of the
+    // largest child, KiB on Linux) — the fleet-level memory claim the
+    // manifest self-records.
+    struct rusage ru {};
+    if (::getrusage(RUSAGE_CHILDREN, &ru) == 0) {
+      cfg_.metrics->set("fleet.workers.max_rss_kib",
+                        static_cast<double>(ru.ru_maxrss));
+    }
   }
   return res;
 }

@@ -51,19 +51,55 @@ std::vector<Span> SpanTracer::sorted() const {
   return out;
 }
 
+namespace {
+
+std::string format_span_line(const Span& s) {
+  std::string out = "{\"campaign\":\"" + json_escape(s.campaign) +
+                    "\",\"job\":" + std::to_string(s.job) +
+                    ",\"attempt\":" + std::to_string(s.attempt) +
+                    ",\"outcome\":\"" + span_outcome_name(s.outcome) +
+                    "\",\"t_start_s\":" + json_double(s.t_start_s) +
+                    ",\"duration_s\":" + json_double(s.duration_s) +
+                    ",\"queue_wait_s\":" + json_double(s.queue_wait_s) +
+                    ",\"worker\":" + std::to_string(s.worker);
+  if (!s.error.empty()) out += ",\"error\":\"" + json_escape(s.error) + "\"";
+  out += "}";
+  return out;
+}
+
+/// Sort key scanned out of a serialized span line. Relies on the pinned
+/// leading field order of format_span_line — campaign, job, attempt first —
+/// so merging never needs a JSON parser. Lines that don't match (foreign
+/// files) sort first on an empty key, preserving their input order.
+struct SpanLineKey {
+  std::string campaign;  ///< still json-escaped; consistent across sources
+  std::uint64_t job = 0;
+  std::uint64_t attempt = 0;
+};
+
+SpanLineKey span_line_key(const std::string& line) {
+  SpanLineKey key;
+  constexpr std::string_view kHead = "{\"campaign\":\"";
+  constexpr std::string_view kJob = "\",\"job\":";
+  if (line.rfind(kHead, 0) != 0) return key;
+  const std::size_t cend = line.find(kJob, kHead.size());
+  if (cend == std::string::npos) return key;
+  key.campaign = line.substr(kHead.size(), cend - kHead.size());
+  std::size_t p = cend + kJob.size();
+  while (p < line.size() && line[p] >= '0' && line[p] <= '9')
+    key.job = key.job * 10 + static_cast<std::uint64_t>(line[p++] - '0');
+  constexpr std::string_view kAttempt = ",\"attempt\":";
+  if (line.compare(p, kAttempt.size(), kAttempt) != 0) return key;
+  p += kAttempt.size();
+  while (p < line.size() && line[p] >= '0' && line[p] <= '9')
+    key.attempt = key.attempt * 10 + static_cast<std::uint64_t>(line[p++] - '0');
+  return key;
+}
+
+}  // namespace
+
 void SpanTracer::write_jsonl(std::ostream& os) const {
-  for (const Span& s : sorted()) {
-    os << "{\"campaign\":\"" << json_escape(s.campaign)
-       << "\",\"job\":" << s.job << ",\"attempt\":" << s.attempt
-       << ",\"outcome\":\"" << span_outcome_name(s.outcome)
-       << "\",\"t_start_s\":" << json_double(s.t_start_s)
-       << ",\"duration_s\":" << json_double(s.duration_s)
-       << ",\"queue_wait_s\":" << json_double(s.queue_wait_s)
-       << ",\"worker\":" << s.worker;
-    if (!s.error.empty())
-      os << ",\"error\":\"" << json_escape(s.error) << "\"";
-    os << "}\n";
-  }
+  for (const Span& s : sorted()) os << format_span_line(s) << "\n";
 }
 
 bool SpanTracer::write_jsonl_file(const std::string& path) const {
@@ -71,6 +107,35 @@ bool SpanTracer::write_jsonl_file(const std::string& path) const {
   if (!f) return false;
   write_jsonl(f);
   return static_cast<bool>(f);
+}
+
+bool SpanTracer::merge_jsonl_files(const std::vector<std::string>& paths,
+                                   const std::string& out_path) const {
+  std::vector<std::string> lines;
+  for (const Span& s : sorted()) lines.push_back(format_span_line(s));
+  for (const std::string& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) continue;  // killed incarnation never wrote its sidecar
+    std::string line;
+    while (std::getline(in, line))
+      if (!line.empty()) lines.push_back(line);
+  }
+  std::vector<std::size_t> order(lines.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<SpanLineKey> keys;
+  keys.reserve(lines.size());
+  for (const std::string& l : lines) keys.push_back(span_line_key(l));
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return std::tie(keys[a].campaign, keys[a].job,
+                                     keys[a].attempt) <
+                            std::tie(keys[b].campaign, keys[b].job,
+                                     keys[b].attempt);
+                   });
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) return false;
+  for (const std::size_t i : order) out << lines[i] << "\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace densemem::sim

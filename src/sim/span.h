@@ -76,6 +76,14 @@ class SpanTracer {
   /// write_jsonl to a file; returns false if the file cannot be opened.
   bool write_jsonl_file(const std::string& path) const;
 
+  /// Fleet trace merge: combines this tracer's spans with the span lines
+  /// already serialized in `paths` (per-shard worker sidecars; missing
+  /// files are skipped), sorted by (campaign, job, attempt) across all
+  /// sources, and writes the single deterministic JSONL file the user's
+  /// --trace flag names. Returns false if the output cannot be written.
+  bool merge_jsonl_files(const std::vector<std::string>& paths,
+                         const std::string& out_path) const;
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;

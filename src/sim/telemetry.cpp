@@ -4,7 +4,10 @@
 #include <cstdio>
 #include <fstream>
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "sim/journal.h"
 #include "sim/thread_pool.h"
 
 namespace densemem::sim {
@@ -203,6 +206,113 @@ bool MetricsRegistry::write_json_file(const std::string& path) const {
   if (!f) return false;
   write_json(f);
   return static_cast<bool>(f);
+}
+
+namespace {
+constexpr const char* kRawMagic = "#densemem-metrics-raw v1";
+}
+
+bool MetricsRegistry::write_raw_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc | std::ios::binary);
+  if (!f) return false;
+  f << kRawMagic << "\n";
+  const Snapshot snap = snapshot();
+  for (const auto& [name, v] : snap.counters) {
+    PayloadWriter w;
+    w.str(name);
+    w.u64(v);
+    f << "C " << w.take() << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    PayloadWriter w;
+    w.str(name);
+    w.f64(v);
+    f << "G " << w.take() << "\n";
+  }
+  for (const auto& [name, st] : snap.stats) {
+    PayloadWriter w;
+    w.str(name);
+    w.u64(st.count());
+    w.f64(st.mean());
+    w.f64(st.m2());
+    w.f64(st.sum());
+    w.f64(st.min());
+    w.f64(st.max());
+    f << "S " << w.take() << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    PayloadWriter w;
+    w.str(name);
+    w.f64(h.lo());
+    w.f64(h.width());
+    w.u64(h.num_bins());
+    w.u64(h.underflow());
+    w.u64(h.overflow());
+    for (std::size_t i = 0; i < h.num_bins(); ++i) w.u64(h.bin_count(i));
+    f << "H " << w.take() << "\n";
+  }
+  return static_cast<bool>(f);
+}
+
+bool MetricsRegistry::merge_raw_file(const std::string& path,
+                                     const std::string& prefix) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line) || line != kRawMagic) return false;
+  Shard& s = my_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  while (std::getline(in, line)) {
+    if (line.size() < 2 || line[1] != ' ') return false;
+    try {
+      PayloadReader r(std::string_view(line).substr(2));
+      const std::string name = prefix + r.str();
+      switch (line[0]) {
+        case 'C': {
+          s.counters[name] += r.u64();
+          break;
+        }
+        case 'G': {
+          const double v = r.f64();
+          auto [it, inserted] = s.gauges.emplace(name, v);
+          if (!inserted) it->second = std::max(it->second, v);
+          break;
+        }
+        case 'S': {
+          const std::uint64_t n = r.u64();
+          const double mean = r.f64();
+          const double m2 = r.f64();
+          const double sum = r.f64();
+          const double mn = r.f64();
+          const double mx = r.f64();
+          s.stats[name].merge(
+              RunningStats::from_parts(n, mean, m2, sum, mn, mx));
+          break;
+        }
+        case 'H': {
+          const double lo = r.f64();
+          const double width = r.f64();
+          const std::uint64_t nbins = r.u64();
+          const std::uint64_t uf = r.u64();
+          const std::uint64_t of = r.u64();
+          std::vector<std::uint64_t> bins(nbins);
+          for (std::uint64_t i = 0; i < nbins; ++i) bins[i] = r.u64();
+          Histogram h = Histogram::from_parts(lo, width, std::move(bins), uf, of);
+          auto it = s.histograms.find(name);
+          if (it == s.histograms.end())
+            s.histograms.emplace(name, std::move(h));
+          else
+            it->second.merge(h);
+          break;
+        }
+        default:
+          return false;
+      }
+    } catch (...) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace densemem::sim

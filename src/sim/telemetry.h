@@ -86,6 +86,19 @@ class MetricsRegistry {
   /// write_json to a file; returns false if the file cannot be opened.
   bool write_json_file(const std::string& path) const;
 
+  /// Exact-bit line-based snapshot for cross-process merge: a fleet worker
+  /// serializes its registry here, and the supervisor folds each shard's
+  /// file back in with merge_raw_file. Doubles travel as IEEE-754 bit
+  /// patterns (PayloadWriter), so a merged registry is bit-identical to
+  /// one that recorded the same values locally.
+  bool write_raw_file(const std::string& path) const;
+  /// Folds a raw snapshot file into this registry (calling thread's shard)
+  /// with `prefix` prepended to every metric name: counters add, gauges
+  /// max-merge, stats/histograms merge exactly. Returns false on a missing
+  /// or malformed file (callers skip — a killed worker incarnation never
+  /// wrote one).
+  bool merge_raw_file(const std::string& path, const std::string& prefix);
+
  private:
   struct Shard {
     std::mutex mu;

@@ -65,12 +65,43 @@ TEST(SimBenchArgs, RobustnessFlagsDefaultToHistoricalBehaviour) {
 
 TEST(SimBenchArgs, ParsesTelemetryFlagsInBothForms) {
   const BenchArgs spaced = parse({"--metrics", "/tmp/m.json", "--trace",
-                                  "/tmp/t.jsonl"});
+                                  "/tmp/t.jsonl", "--events", "/tmp/e.jsonl"});
   EXPECT_EQ(spaced.metrics_path, "/tmp/m.json");
   EXPECT_EQ(spaced.trace_path, "/tmp/t.jsonl");
-  const BenchArgs eq = parse({"--metrics=/tmp/m2.json", "--trace=/tmp/t2.jsonl"});
+  EXPECT_EQ(spaced.events_path, "/tmp/e.jsonl");
+  const BenchArgs eq = parse({"--metrics=/tmp/m2.json", "--trace=/tmp/t2.jsonl",
+                              "--events=/tmp/e2.jsonl"});
   EXPECT_EQ(eq.metrics_path, "/tmp/m2.json");
   EXPECT_EQ(eq.trace_path, "/tmp/t2.jsonl");
+  EXPECT_EQ(eq.events_path, "/tmp/e2.jsonl");
+}
+
+TEST(SimBenchArgs, EventSidecarFlagsDefaultOffAndParse) {
+  const BenchArgs off = parse({});
+  EXPECT_TRUE(off.events_path.empty());
+  EXPECT_TRUE(off.events_raw_path.empty());
+  EXPECT_TRUE(off.metrics_raw_path.empty());
+  // Internal worker-side flags the fleet supervisor appends.
+  const BenchArgs on = parse({"--events-raw", "/tmp/s0.events",
+                              "--metrics-raw", "/tmp/s0.metrics.raw"});
+  EXPECT_EQ(on.events_raw_path, "/tmp/s0.events");
+  EXPECT_EQ(on.metrics_raw_path, "/tmp/s0.metrics.raw");
+}
+
+TEST(SimBenchArgs, HarnessOwnsAnEventLogExactlyWhenEventsRequested) {
+  BenchArgs plain;
+  const CampaignHarness bare(plain, 1);
+  EXPECT_EQ(bare.events(), nullptr);
+
+  BenchArgs traced;
+  traced.events_path = "/tmp/densemem_unused_events.jsonl";
+  {
+    const CampaignHarness harness(traced, 1);
+    ASSERT_NE(harness.events(), nullptr);
+    // No journal, no fleet: in-memory only, no raw sidecar.
+    EXPECT_TRUE(harness.events()->raw_path().empty());
+  }
+  std::remove(traced.events_path.c_str());
 }
 
 TEST(SimBenchArgs, HarnessWiresTelemetrySinksIntoCampaignConfig) {
@@ -106,6 +137,11 @@ TEST(SimBenchArgs, ManifestJsonCarriesRunParameters) {
   EXPECT_NE(m.find("\"quick\":true"), std::string::npos) << m;
   EXPECT_NE(m.find("\"phases\":["), std::string::npos) << m;
   EXPECT_NE(m.find("\"totals\":{"), std::string::npos) << m;
+  // Peak RSS is always reported; any live process has touched some memory.
+  const std::string key = "\"max_rss_kib\":";
+  const std::size_t rss = m.find(key);
+  ASSERT_NE(rss, std::string::npos) << m;
+  EXPECT_NE(m[rss + key.size()], '0') << m;
 }
 
 TEST(SimBenchArgs, ParsesRetryTimeoutAndFaultFlags) {
@@ -166,6 +202,7 @@ TEST(SimBenchArgs, RejectsFlagsMissingTheirValue) {
        {"--csv", "--json", "--threads", "--seed", "--max-retries",
         "--job-timeout", "--on-fail", "--journal", "--resume",
         "--inject-faults", "--abort-after", "--metrics", "--trace",
+        "--events", "--events-raw", "--metrics-raw",
         "--probes", "--trr-entries", "--sampler-rate"}) {
     std::vector<const char*> argv = {"bench_test", flag};
     BenchArgs args;

@@ -1,0 +1,402 @@
+// Tests for the event-tracing layer (sim/event_log.h): deterministic
+// merge/dedup of per-job batches, the durable raw sidecar (torn tails,
+// resume-append, duplicate batches from crash re-runs), capacity bounds,
+// flip provenance from dram::Device, mitigation decision events from the
+// ctrl:: trackers, and the miss-autopsy classification the benches print.
+// Sim-prefixed so CI's ThreadSanitizer job picks these up.
+#include "sim/event_log.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "dram/device.h"
+#include "sim/campaign.h"
+
+namespace densemem::sim {
+namespace {
+
+std::string tmp_path(const std::string& stem) {
+  return ::testing::TempDir() + "densemem_" + stem + "_" +
+         std::to_string(::getpid());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+Event flip_event(std::uint32_t row, std::uint32_t aggr_up,
+                 std::uint32_t aggr_down,
+                 dram::FlipMechanism mech = dram::FlipMechanism::kDisturbance) {
+  Event e;
+  e.kind = EventKind::kFlip;
+  e.row = row;
+  e.mechanism = mech;
+  e.aggr_up = aggr_up;
+  e.aggr_down = aggr_down;
+  return e;
+}
+
+Event decision_event(EventKind kind, std::uint32_t row,
+                     std::uint32_t source_row = 0) {
+  Event e;
+  e.kind = kind;
+  e.row = row;
+  e.source_row = source_row;
+  return e;
+}
+
+std::string jsonl_of(const EventLog& log) {
+  std::ostringstream os;
+  log.write_jsonl(os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------- EventLog
+
+TEST(SimEvents, WriteJsonlOrdersByCampaignJobAndDedupsFirstWins) {
+  EventLog log;
+  log.commit("b", 0, {flip_event(7, 6, 8)});
+  log.commit("a", 2, {decision_event(EventKind::kTrack, 11)});
+  log.commit("a", 1, {decision_event(EventKind::kTrack, 3),
+                      decision_event(EventKind::kEvict, 3)});
+  // Duplicate (campaign, job): a crash between event commit and journal
+  // record re-runs the job — the second batch must lose.
+  log.commit("a", 1, {decision_event(EventKind::kTrack, 999)});
+  EXPECT_EQ(log.recorded(), 5u);
+
+  const std::string out = jsonl_of(log);
+  std::vector<std::string> lines;
+  std::istringstream is(out);
+  for (std::string l; std::getline(is, l);) lines.push_back(l);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("\"campaign\":\"a\",\"job\":1,\"seq\":0"),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("\"row\":3"), std::string::npos);  // not 999
+  EXPECT_NE(lines[1].find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\":\"evict\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"campaign\":\"a\",\"job\":2"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"campaign\":\"b\",\"job\":0"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"kind\":\"flip\""), std::string::npos);
+}
+
+TEST(SimEvents, CommitOrderDoesNotChangeTheArtifact) {
+  EventLog fwd, rev;
+  const std::vector<std::pair<std::string, std::size_t>> keys = {
+      {"x", 0}, {"x", 1}, {"y", 0}};
+  for (const auto& [c, j] : keys)
+    fwd.commit(c, j, {flip_event(static_cast<std::uint32_t>(j), 1, 3)});
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it)
+    rev.commit(it->first, it->second,
+               {flip_event(static_cast<std::uint32_t>(it->second), 1, 3)});
+  EXPECT_EQ(jsonl_of(fwd), jsonl_of(rev));
+}
+
+TEST(SimEvents, CapacityDropsWholeBatchesAndCounts) {
+  EventLog log(3);
+  log.commit("c", 0, {flip_event(1, 0, 2), flip_event(2, 1, 3)});
+  log.commit("c", 1, {flip_event(4, 3, 5), flip_event(5, 4, 6)});  // over cap
+  EXPECT_EQ(log.recorded(), 2u);
+  EXPECT_EQ(log.dropped(), 2u);
+  const std::string out = jsonl_of(log);
+  EXPECT_NE(out.find("\"job\":0"), std::string::npos);
+  EXPECT_EQ(out.find("\"job\":1"), std::string::npos);
+}
+
+// ------------------------------------------------------------- raw sidecar
+
+TEST(SimEvents, RawSidecarMergeReproducesInMemoryArtifact) {
+  const std::string raw = tmp_path("raw.events");
+  const std::string out = tmp_path("raw.jsonl");
+  EventLog log;
+  ASSERT_TRUE(log.open_raw(raw, /*append=*/false));
+  log.commit("m", 1, {flip_event(9, 8, 10), decision_event(
+                                                EventKind::kNeighborRefresh,
+                                                9, 8)});
+  log.commit("m", 0, {decision_event(EventKind::kSample, 4)});
+  const EventLog::MergeResult res = EventLog::merge_raw_files({raw}, out);
+  EXPECT_EQ(res.files, 1u);
+  EXPECT_EQ(res.events, 3u);
+  EXPECT_EQ(slurp(out), jsonl_of(log));
+  std::remove(raw.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(SimEvents, MergeDropsTornTailAndDedupsAcrossFiles) {
+  const std::string raw1 = tmp_path("torn1.events");
+  const std::string raw2 = tmp_path("torn2.events");
+  const std::string out = tmp_path("torn.jsonl");
+  {
+    EventLog log;
+    ASSERT_TRUE(log.open_raw(raw1, false));
+    log.commit("t", 0, {flip_event(5, 4, 6)});
+  }
+  {
+    // A mid-write kill: batch lines present but no commit marker, plus a
+    // torn final line.
+    std::ofstream f(raw1, std::ios::binary | std::ios::app);
+    f << "E t 1 0 {\"campaign\":\"t\",\"job\":1,...}\n";
+    f << "E t 1 1 {\"campai";
+  }
+  {
+    // Second shard re-ran job 0 after a crash (duplicate batch, different
+    // payload would be a bug elsewhere — dedup must keep the first file's).
+    EventLog log;
+    ASSERT_TRUE(log.open_raw(raw2, false));
+    log.commit("t", 0, {flip_event(500, 499, 501)});
+    log.commit("t", 2, {decision_event(EventKind::kTrack, 12)});
+  }
+  const EventLog::MergeResult res =
+      EventLog::merge_raw_files({raw1, raw2, "/nonexistent/x"}, out);
+  EXPECT_EQ(res.files, 2u);  // missing file skipped
+  EXPECT_EQ(res.events, 2u);  // torn batch dropped, duplicate deduped
+  const std::string merged = slurp(out);
+  EXPECT_NE(merged.find("\"row\":5"), std::string::npos);
+  EXPECT_EQ(merged.find("\"row\":500"), std::string::npos);
+  EXPECT_EQ(merged.find("\"job\":1"), std::string::npos);
+  EXPECT_NE(merged.find("\"job\":2"), std::string::npos);
+  std::remove(raw1.c_str());
+  std::remove(raw2.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(SimEvents, AppendReopenTruncatesTornTailThenContinues) {
+  const std::string raw = tmp_path("resume.events");
+  const std::string out = tmp_path("resume.jsonl");
+  {
+    EventLog log;
+    ASSERT_TRUE(log.open_raw(raw, false));
+    log.commit("r", 0, {flip_event(3, 2, 4)});
+  }
+  {
+    std::ofstream f(raw, std::ios::binary | std::ios::app);
+    f << "E r 1 0 {\"half";  // torn mid-line
+  }
+  {
+    EventLog log;
+    ASSERT_TRUE(log.open_raw(raw, /*append=*/true));
+    log.commit("r", 1, {decision_event(EventKind::kEvict, 8)});
+  }
+  const EventLog::MergeResult res = EventLog::merge_raw_files({raw}, out);
+  EXPECT_EQ(res.events, 2u);
+  const std::string merged = slurp(out);
+  EXPECT_NE(merged.find("\"job\":0"), std::string::npos);
+  EXPECT_NE(merged.find("\"kind\":\"evict\""), std::string::npos);
+  EXPECT_EQ(merged.find("half"), std::string::npos);
+  std::remove(raw.c_str());
+  std::remove(out.c_str());
+}
+
+// ---------------------------------------------------------- classify_misses
+
+TEST(SimEvents, ClassifyNeverSeenWhenNoTrackerActivity) {
+  const MissAutopsy a = classify_misses({flip_event(10, 9, 11)});
+  EXPECT_EQ(a.never_seen, 1u);
+  EXPECT_EQ(a.total(), 1u);
+}
+
+TEST(SimEvents, ClassifyEvictedWhenAggressorWasTrackedOrSampled) {
+  const MissAutopsy tracked = classify_misses(
+      {decision_event(EventKind::kTrack, 9), flip_event(10, 9, 11)});
+  EXPECT_EQ(tracked.evicted_before_ref, 1u);
+  const MissAutopsy sampled = classify_misses(
+      {decision_event(EventKind::kSample, 11), flip_event(10, 9, 11)});
+  EXPECT_EQ(sampled.evicted_before_ref, 1u);
+}
+
+TEST(SimEvents, ClassifyRefreshedTooLateTakesPrecedence) {
+  const MissAutopsy a = classify_misses(
+      {decision_event(EventKind::kTrack, 9),
+       decision_event(EventKind::kNeighborRefresh, 10, 9),
+       flip_event(10, 9, 11)});
+  EXPECT_EQ(a.refreshed_too_late, 1u);
+  EXPECT_EQ(a.evicted_before_ref, 0u);
+}
+
+TEST(SimEvents, ClassifyIgnoresRetentionFlipsAndPartitionsTheRest) {
+  std::vector<Event> ev = {
+      flip_event(2, 1, 3),                                        // never seen
+      flip_event(50, 49, 51, dram::FlipMechanism::kRetention),    // ignored
+      flip_event(60, 59, 61, dram::FlipMechanism::kVrtRetention), // ignored
+      decision_event(EventKind::kTrack, 21),
+      flip_event(20, 21, dram::kNoAggressor),  // evicted (aggr_up tracked)
+      decision_event(EventKind::kNeighborRefresh, 30, 29),
+      flip_event(30, 29, 31),                  // refreshed too late
+  };
+  const MissAutopsy a = classify_misses(ev);
+  EXPECT_EQ(a.never_seen, 1u);
+  EXPECT_EQ(a.evicted_before_ref, 1u);
+  EXPECT_EQ(a.refreshed_too_late, 1u);
+  std::uint64_t disturbance = 0;
+  for (const Event& e : ev)
+    if (e.kind == EventKind::kFlip &&
+        e.mechanism == dram::FlipMechanism::kDisturbance)
+      ++disturbance;
+  EXPECT_EQ(a.total(), disturbance);
+}
+
+// ------------------------------------------------------ device flip events
+
+dram::DeviceConfig observed_device(std::uint64_t seed = 7) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::vulnerable();
+  cfg.reliability.weak_cell_density = 2e-3;
+  cfg.reliability.leaky_cell_density = 0.0;
+  cfg.reliability.dpd_sensitivity_mean = 0.0;
+  cfg.reliability.anticell_fraction = 0.0;
+  // No distance-2 coupling: hammering victim±1 must stress only the victim,
+  // so every committed flip's provenance is exactly checkable below.
+  cfg.reliability.distance2_weight = 0.0;
+  cfg.seed = seed;
+  cfg.pattern = dram::BackgroundPattern::kOnes;
+  return cfg;
+}
+
+TEST(SimEvents, DeviceFlipEventsCarryFullProvenance) {
+  EventScope scope(nullptr, "dev", 0);
+  dram::DeviceConfig cfg = observed_device();
+  cfg.observer = scope.flip_observer();
+  dram::Device dev(cfg);
+  // First interior weak row: hammer one neighbour far past any threshold.
+  std::uint32_t victim = 0;
+  for (std::uint32_t r : dev.fault_map().weak_rows(0))
+    if (r >= 2 && r + 2 < dev.geometry().rows) {
+      victim = r;
+      break;
+    }
+  ASSERT_NE(victim, 0u);
+  dev.hammer(0, victim - 1, 2'000'000, Time::ms(1));
+  dev.hammer(0, victim + 1, 2'000'000, Time::ms(2));
+  dev.activate(0, victim, Time::ms(50));  // commit pending disturbance
+  dev.precharge(0, Time::ms(50));
+  ASSERT_GE(dev.stats().disturb_flips, 1u);
+
+  std::uint64_t disturbance_events = 0;
+  for (const Event& e : scope.events()) {
+    ASSERT_EQ(e.kind, EventKind::kFlip);
+    if (e.mechanism != dram::FlipMechanism::kDisturbance) continue;
+    ++disturbance_events;
+    EXPECT_EQ(e.bank, 0u);
+    EXPECT_EQ(e.row, victim);
+    EXPECT_TRUE(e.aggr_up == victim - 1 || e.aggr_down == victim - 1 ||
+                e.aggr_up == victim + 1 || e.aggr_down == victim + 1);
+    EXPECT_GT(e.stress, 0.0);
+    EXPECT_GT(e.dpd, 0.0);
+    EXPECT_DOUBLE_EQ(e.t_ms, 50.0);
+    EXPECT_LT(e.bit, dev.geometry().row_words() * 64);
+  }
+  // Every ground-truth flip surfaced through the observer — the invariant
+  // the benches' reconciliation shape checks rest on.
+  EXPECT_EQ(disturbance_events, dev.stats().disturb_flips);
+}
+
+// --------------------------------------------------- tracker decision events
+
+TEST(SimEvents, TrrEmitsTrackEvictAndNeighborRefreshDecisions) {
+  EventScope scope(nullptr, "trr", 0);
+  dram::DeviceConfig dc = observed_device(61);
+  ctrl::CtrlConfig cc;
+  core::MitigationSpec spec;
+  spec.kind = core::MitigationKind::kTrr;
+  spec.trr.tracker_entries = 2;  // tiny CAM: rotation forces evictions
+  auto sys = core::make_system(dc, cc, spec);
+  sys.mc().mitigation().set_observer(scope.decision_observer());
+  const std::uint32_t base = 10;
+  for (int round = 0; round < 3000; ++round)
+    for (std::uint32_t k = 0; k < 6; ++k)
+      sys.mc().activate_precharge(0, base + 2 * k);
+  std::uint64_t tracks = 0, evicts = 0, refreshes = 0;
+  for (const Event& e : scope.events()) {
+    if (e.kind == EventKind::kTrack) ++tracks;
+    if (e.kind == EventKind::kEvict) ++evicts;
+    if (e.kind == EventKind::kNeighborRefresh) {
+      ++refreshes;
+      // A neighbour refresh names both the refreshed row and the tracked
+      // aggressor it protects against.
+      EXPECT_LE(e.row >= e.source_row ? e.row - e.source_row
+                                      : e.source_row - e.row,
+                2u);
+    }
+  }
+  EXPECT_GT(tracks, 0u);
+  EXPECT_GT(evicts, 0u);  // 6 aggressors through a 2-entry Misra–Gries table
+  EXPECT_GT(refreshes, 0u);
+}
+
+// ------------------------------------------------------------ EventScope
+
+TEST(SimEvents, ScopeWithoutLogRecordsLocallyAndCommitIsNoop) {
+  EventScope scope(nullptr, "solo", 3);
+  dram::FlipRecord rec;
+  rec.fbank = 1;
+  rec.logical_row = 42;
+  rec.mechanism = dram::FlipMechanism::kDisturbance;
+  scope.on_flip(rec);
+  ctrl::DecisionRecord dec;
+  dec.kind = ctrl::DecisionKind::kSample;
+  dec.fbank = 1;
+  dec.row = 42;
+  scope.on_decision(dec);
+  ASSERT_EQ(scope.events().size(), 2u);
+  EXPECT_EQ(scope.events()[0].kind, EventKind::kFlip);
+  EXPECT_EQ(scope.events()[1].kind, EventKind::kSample);
+  scope.commit();  // must not crash
+}
+
+TEST(SimEvents, ScopeCommitsOnceIntoTheLog) {
+  EventLog log;
+  EventScope scope(&log, "once", 0);
+  dram::FlipRecord rec;
+  rec.logical_row = 5;
+  scope.on_flip(rec);
+  scope.commit();
+  scope.commit();  // idempotent
+  EXPECT_EQ(log.recorded(), 1u);
+}
+
+// ------------------------------------------------- width determinism (E2E)
+
+std::string run_event_campaign(unsigned threads) {
+  EventLog log;
+  CampaignConfig cfg;
+  cfg.threads = threads;
+  cfg.seed = 77;
+  cfg.progress = false;
+  Campaign c("width", cfg);
+  c.map<int>(24, [&](const JobContext& ctx) {
+    EventScope scope(&log, "width", ctx.index);
+    // Deterministic per-job payload: a small synthetic decision/flip mix
+    // derived from the job's own stream.
+    Rng rng = ctx.make_rng();
+    const std::uint32_t row = static_cast<std::uint32_t>(rng.next_u64() % 64);
+    ctrl::DecisionRecord dec;
+    dec.kind = ctrl::DecisionKind::kTrack;
+    dec.row = row;
+    scope.on_decision(dec);
+    dram::FlipRecord rec;
+    rec.logical_row = row + 1;
+    rec.aggressor_up = row;
+    scope.on_flip(rec);
+    scope.commit();
+    return 0;
+  });
+  return jsonl_of(log);
+}
+
+TEST(SimEvents, EventStreamIsByteIdenticalAcross1And2And8Threads) {
+  const std::string one = run_event_campaign(1);
+  EXPECT_EQ(one, run_event_campaign(2));
+  EXPECT_EQ(one, run_event_campaign(8));
+  EXPECT_FALSE(one.empty());
+}
+
+}  // namespace
+}  // namespace densemem::sim
