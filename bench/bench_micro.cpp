@@ -7,7 +7,7 @@
 // doubled until one repetition exceeds --min-ms), and reported as the
 // median of --reps repetitions, so numbers are stable enough to track
 // across PRs. `--json [path]` writes a machine-readable snapshot
-// (BENCH_6.json by default; one result object per line so the file can be
+// (BENCH_9.json by default; one result object per line so the file can be
 // consumed with line-oriented tools), and `--baseline old.json` annotates
 // every result with the old ns/op and the speedup factor — the regression
 // ledger EXPERIMENTS.md perf entries quote.
@@ -26,6 +26,7 @@
 
 #include "attack/patterns.h"
 #include "common/rng.h"
+#include "dram/access_stream.h"
 #include "core/module_tester.h"
 #include "ctrl/controller.h"
 #include "dram/device.h"
@@ -124,13 +125,11 @@ double run_hammer_sweep(std::uint64_t iters, bool double_sided) {
   const std::uint32_t window = 2048;
   const std::uint64_t per_side = static_cast<std::uint64_t>(
       dram::Timing::ddr3_1600().max_activations_per_window() / 2);
-  const std::vector<std::uint64_t> ones(dev.geometry().row_words(),
-                                        ~std::uint64_t{0});
   Time t = Time::ms(0);
   std::uint64_t i = 0;
   return time_loop(iters, [&] {
     const std::uint32_t v = 2 + static_cast<std::uint32_t>((i * 97) % window);
-    dev.fill_row(0, v, ones, t);
+    dev.fill_row(0, v, ~std::uint64_t{0}, t);
     if (double_sided) {
       dev.hammer(0, v - 1, per_side, t);
       dev.hammer(0, v + 1, per_side, t);
@@ -149,6 +148,58 @@ double run_hammer_sweep_double(std::uint64_t iters) {
 }
 double run_hammer_sweep_single(std::uint64_t iters) {
   return run_hammer_sweep(iters, false);
+}
+
+/// The hammer_sweep victim cycle driven through Device::run_stream: the
+/// double-sided aggressor pair compiled into a 128-slot pass and executed
+/// to a full refresh window's budget by the stream fast path — one restore
+/// screen per (touched row, pass) instead of per activation.
+double run_stream_hammer_sweep(std::uint64_t iters) {
+  auto params = dram::ReliabilityParams::vulnerable();
+  params.leaky_cell_density = 0.0;
+  params.weak_cell_density *= 10.0;
+  dram::Device dev(module_config(99, params));
+  const std::uint32_t window = 2048;
+  const auto timing = dram::Timing::ddr3_1600();
+  const auto budget =
+      static_cast<std::uint64_t>(timing.max_activations_per_window());
+  Time t = Time::ms(0);
+  std::uint64_t i = 0;
+  std::vector<std::uint32_t> slots;
+  return time_loop(iters, [&] {
+    const std::uint32_t v = 2 + static_cast<std::uint32_t>((i * 97) % window);
+    dev.fill_row(0, v, ~std::uint64_t{0}, t);
+    slots.clear();
+    for (int k = 0; k < 64; ++k) {
+      slots.push_back(v - 1);
+      slots.push_back(v + 1);
+    }
+    const dram::AccessStream stream(dev, 0, slots);
+    dev.run_stream(stream, budget, t, timing.tRC);
+    t += Time::ms(64);
+    dev.activate(0, v, t);
+    dev.precharge(0, t);
+    ++i;
+  });
+}
+
+/// AccessStream compilation alone: resolving one genome's slot vector into
+/// physical rows plus per-row pass stress — the once-per-job cost the
+/// stream path pays to make every subsequent pass cheap.
+double run_stream_compile(std::uint64_t iters) {
+  dram::DeviceConfig cfg;
+  cfg.geometry = dram::Geometry::tiny();
+  cfg.reliability = dram::ReliabilityParams::vulnerable();
+  cfg.seed = 1106;
+  dram::Device dev(cfg);
+  fuzz::FuzzingParameterSet params;
+  Rng rng(17);
+  const fuzz::PatternGenome genome = params.sample(rng);
+  const std::vector<std::uint32_t> seq = genome.compile();
+  return time_loop(iters, [&] {
+    const dram::AccessStream stream(dev, 0, seq);
+    keep(stream.acts_per_pass());
+  });
 }
 
 /// Auto-refresh sweep over 1024 rows per op: the dominant background cost
@@ -405,6 +456,8 @@ const std::vector<Micro> kMicros = {
     {"faultmap_construct", run_faultmap_construct},
     {"hammer_sweep_double", run_hammer_sweep_double},
     {"hammer_sweep_single", run_hammer_sweep_single},
+    {"stream_hammer_sweep", run_stream_hammer_sweep},
+    {"stream_compile", run_stream_compile},
     {"refresh_sweep_1k_rows", run_refresh_sweep},
     {"retention_commit", run_retention_commit},
     {"module_tester_16rows", run_module_tester},
@@ -460,10 +513,18 @@ Result measure(const Micro& m, double min_ms, int reps) {
 
 /// Minimal reader for a previous --json snapshot: scans each line for
 /// "name" / "ns_per_op" pairs (the writer emits one result per line).
+/// A baseline that cannot be opened or yields no entry at all is an error
+/// (a typoed path must not silently annotate nothing), reported via `ok`.
 std::vector<std::pair<std::string, double>> read_baseline(
-    const std::string& path) {
+    const std::string& path, bool& ok) {
   std::vector<std::pair<std::string, double>> out;
   std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_micro: cannot open baseline '%s'\n",
+                 path.c_str());
+    ok = false;
+    return out;
+  }
   std::string line;
   while (std::getline(in, line)) {
     const auto n = line.find("\"name\":");
@@ -475,6 +536,15 @@ std::vector<std::pair<std::string, double>> read_baseline(
     out.emplace_back(line.substr(q0 + 1, q1 - q0 - 1),
                      std::strtod(line.c_str() + v + 12, nullptr));
   }
+  if (out.empty()) {
+    std::fprintf(stderr,
+                 "bench_micro: baseline '%s' has no result entries "
+                 "(malformed or not a --json snapshot)\n",
+                 path.c_str());
+    ok = false;
+    return out;
+  }
+  ok = true;
   return out;
 }
 
@@ -517,7 +587,7 @@ int usage(int code) {
       "  --reps N          repetitions per bench (median reported; default 5)\n"
       "  --min-ms MS       minimum timed window per repetition (default 20)\n"
       "  --json [PATH]     write machine-readable results (default "
-      "BENCH_6.json)\n"
+      "BENCH_9.json)\n"
       "  --baseline PATH   annotate results with ns/op + speedup vs an\n"
       "                    earlier --json snapshot\n"
       "  --list            print bench names and exit\n");
@@ -556,7 +626,7 @@ int main(int argc, char** argv) {
       if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
         json_path = argv[++i];
       else
-        json_path = "BENCH_6.json";
+        json_path = "BENCH_9.json";
     } else if (a == "--baseline") {
       baseline_path = next("--baseline");
     } else {
@@ -565,9 +635,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  bool baseline_ok = true;
   const auto baseline =
       baseline_path.empty() ? std::vector<std::pair<std::string, double>>{}
-                            : read_baseline(baseline_path);
+                            : read_baseline(baseline_path, baseline_ok);
+  if (!baseline_ok) return 65;  // EX_DATAERR
 
   std::printf("bench_micro (%s) — median of %d reps, >= %.1f ms/rep\n",
               DENSEMEM_GIT_DESCRIBE, reps, min_ms);
@@ -585,6 +657,8 @@ int main(int argc, char** argv) {
                 1e9 / r.ns_per_op);
     if (r.baseline_ns > 0.0)
       std::printf(" %14.1f %7.2fx", r.baseline_ns, r.baseline_ns / r.ns_per_op);
+    else if (!baseline.empty())
+      std::printf(" %14s %8s", "-", "new");  // bench absent from baseline
     std::printf("\n");
     std::fflush(stdout);
     results.push_back(std::move(r));

@@ -90,16 +90,16 @@ void MemoryController::issue_ref_command(Time at) {
   const std::uint32_t rows = device_.geometry().rows;
   // REF requires all banks precharged: force-close any open rows (the
   // implicit precharge-all), firing the row-close mitigation hooks.
-  std::vector<RefreshRequest> close_reqs;
+  scratch_reqs_.clear();
   for (std::uint32_t b = 0; b < nbanks; ++b) {
     BankState& bank = banks_[b];
     if (bank.open_row < 0) continue;
     const auto closed = static_cast<std::uint32_t>(bank.open_row);
     device_.precharge(b, at);
     bank.open_row = -1;
-    mitigation_->on_precharge(b, closed, close_reqs);
+    mitigation_->on_precharge(b, closed, scratch_reqs_);
   }
-  execute_refresh_requests(close_reqs);
+  execute_refresh_requests(scratch_reqs_);
   // Spread the bank's rows evenly over the window's REF commands so every
   // row is restored exactly once per tREFW (an accumulator handles bank
   // sizes that do not divide the REF count).
@@ -129,9 +129,9 @@ void MemoryController::issue_ref_command(Time at) {
       }
     }
   }
-  std::vector<RefreshRequest> reqs;
-  mitigation_->on_ref_command(reqs);
-  execute_refresh_requests(reqs);
+  scratch_reqs_.clear();
+  mitigation_->on_ref_command(scratch_reqs_);
+  execute_refresh_requests(scratch_reqs_);
 }
 
 void MemoryController::catch_up_refresh() {
@@ -166,10 +166,10 @@ void MemoryController::open_row_for_access(std::uint32_t fbank,
     now_ = std::max(now_, b.last_act + cfg_.timing.tRAS);
     device_.precharge(fbank, now_);
     b.open_row = -1;
-    std::vector<RefreshRequest> reqs;
-    mitigation_->on_precharge(fbank, closed, reqs);
+    scratch_reqs_.clear();
+    mitigation_->on_precharge(fbank, closed, scratch_reqs_);
     now_ += cfg_.timing.tRP;
-    execute_refresh_requests(reqs);
+    execute_refresh_requests(scratch_reqs_);
   } else {
     ++stats_.row_closed;
   }
@@ -180,10 +180,10 @@ void MemoryController::open_row_for_access(std::uint32_t fbank,
   b.open_row = row;
   b.last_act = t_act;
   energy_.activate_energy += cfg_.energy.act_pre;
-  std::vector<RefreshRequest> reqs;
-  mitigation_->on_activate(fbank, row, reqs);
+  scratch_reqs_.clear();
+  mitigation_->on_activate(fbank, row, scratch_reqs_);
   now_ = t_act + cfg_.timing.tRCD;
-  execute_refresh_requests(reqs);
+  execute_refresh_requests(scratch_reqs_);
 }
 
 Time MemoryController::earliest_act_for_faw(Time candidate) const {
@@ -205,10 +205,10 @@ void MemoryController::auto_precharge(std::uint32_t fbank) {
   now_ = std::max(now_, b.last_act + cfg_.timing.tRAS);
   device_.precharge(fbank, now_);
   b.open_row = -1;
-  std::vector<RefreshRequest> reqs;
-  mitigation_->on_precharge(fbank, closed, reqs);
+  scratch_reqs_.clear();
+  mitigation_->on_precharge(fbank, closed, scratch_reqs_);
   now_ += cfg_.timing.tRP;
-  execute_refresh_requests(reqs);
+  execute_refresh_requests(scratch_reqs_);
 }
 
 std::uint32_t MemoryController::device_word_base(std::uint32_t block) const {
@@ -390,10 +390,106 @@ void MemoryController::activate_precharge(std::uint32_t fbank,
   now_ = std::max(now_, b.last_act + cfg_.timing.tRAS);
   device_.precharge(fbank, now_);
   b.open_row = -1;
-  std::vector<RefreshRequest> reqs;
-  mitigation_->on_precharge(fbank, row, reqs);
+  scratch_reqs_.clear();
+  mitigation_->on_precharge(fbank, row, scratch_reqs_);
   now_ += cfg_.timing.tRP;
-  execute_refresh_requests(reqs);
+  execute_refresh_requests(scratch_reqs_);
+}
+
+std::uint64_t MemoryController::run_stream(const dram::AccessStream& s,
+                                           std::uint64_t max_acts) {
+  const std::uint32_t fbank = s.fbank();
+  DM_CHECK_MSG(fbank < banks_.size(), "stream bank out of range");
+  if (s.acts_per_pass() == 0 || max_acts == 0) return 0;
+
+  // Classify each touched row once per pass: no weak and no leaky cells
+  // means every restore is provably a pure stress-reset; leaky rows can
+  // never skip (retention draws per-cell RNG on every commit); weak rows
+  // are screened against the padded whole-pass stress bound.
+  const auto& touched = s.touched();
+  enum class Cls : std::uint8_t { kAlways, kBound, kNever };
+  std::vector<Cls> cls(touched.size());
+  const dram::FaultMap& faults = device_.fault_map();
+  for (std::size_t u = 0; u < touched.size(); ++u) {
+    if (faults.row_has_leaky(fbank, touched[u].prow))
+      cls[u] = Cls::kNever;
+    else if (faults.row_has_weak(fbank, touched[u].prow))
+      cls[u] = Cls::kBound;
+    else
+      cls[u] = Cls::kAlways;
+  }
+
+  // Refreshes (REF from catch-up, or mitigation-issued) restore rows AND
+  // deposit neighbour stress the compiled bound did not count, so any
+  // refresh invalidates the skip set. The device's refresh counters move
+  // on every such restore; re-screen whenever they do. The recomputed
+  // bound — live stress (which already includes every deposit so far)
+  // plus the full pass total (an over-estimate of what remains) — stays
+  // an upper bound for every later slot of the pass.
+  std::vector<std::uint8_t> skip(touched.size());
+  const auto refresh_epoch = [this] {
+    return device_.stats().row_refreshes + device_.stats().targeted_refreshes;
+  };
+  std::uint64_t epoch = 0;
+  const auto compute_skips = [&] {
+    epoch = refresh_epoch();
+    for (std::size_t u = 0; u < touched.size(); ++u) {
+      if (cls[u] != Cls::kBound) {
+        skip[u] = cls[u] == Cls::kAlways ? 1 : 0;
+        continue;
+      }
+      const std::uint32_t p = touched[u].prow;
+      const float bound = dram::AccessStream::pass_bound(
+          static_cast<float>(device_.stress_of_physical(fbank, p)),
+          touched[u].pass_stress);
+      skip[u] = device_.disturb_provably_clean(fbank, p, bound) ? 1 : 0;
+    }
+  };
+  compute_skips();
+
+  std::uint64_t issued = 0;
+  for (const dram::AccessStream::Slot& sl : s.slots()) {
+    if (issued == max_acts) return issued;  // checked per slot, idle included
+    if (sl.logical == dram::AccessStream::kIdle) {
+      advance_to(now_ + cfg_.timing.tRC);
+      continue;
+    }
+    BankState& b = banks_[fbank];
+    if (b.open_row >= 0) {
+      // Unreachable from this loop (every ACT below ends precharged), but
+      // fall back to the per-ACT path rather than assume.
+      activate_precharge(fbank, sl.logical);
+      ++issued;
+      continue;
+    }
+    // From here on: activate_precharge(fbank, sl.logical) on a precharged
+    // bank, statement for statement, with restore_row collapsed to a
+    // stress-reset when the pass screen proved it empty.
+    catch_up_refresh();
+    if (refresh_epoch() != epoch) compute_skips();
+    ++stats_.row_closed;
+    Time t_act = std::max(now_, b.last_act + cfg_.timing.tRC);
+    t_act = earliest_act_for_faw(t_act);
+    device_.activate_compiled(fbank, sl.logical, sl.prow, skip[sl.urow] != 0,
+                              t_act);
+    record_act(t_act);
+    b.open_row = sl.logical;
+    b.last_act = t_act;
+    energy_.activate_energy += cfg_.energy.act_pre;
+    scratch_reqs_.clear();
+    mitigation_->on_activate(fbank, sl.logical, scratch_reqs_);
+    now_ = t_act + cfg_.timing.tRCD;
+    execute_refresh_requests(scratch_reqs_);
+    now_ = std::max(now_, b.last_act + cfg_.timing.tRAS);
+    device_.precharge(fbank, now_);
+    b.open_row = -1;
+    scratch_reqs_.clear();
+    mitigation_->on_precharge(fbank, sl.logical, scratch_reqs_);
+    now_ += cfg_.timing.tRP;
+    execute_refresh_requests(scratch_reqs_);
+    ++issued;
+  }
+  return issued;
 }
 
 void MemoryController::advance_to(Time t) {
@@ -409,10 +505,10 @@ void MemoryController::close_all_banks() {
     now_ = std::max(now_, bank.last_act + cfg_.timing.tRAS);
     device_.precharge(b, now_);
     bank.open_row = -1;
-    std::vector<RefreshRequest> reqs;
-    mitigation_->on_precharge(b, closed, reqs);
+    scratch_reqs_.clear();
+    mitigation_->on_precharge(b, closed, scratch_reqs_);
     now_ += cfg_.timing.tRP;
-    execute_refresh_requests(reqs);
+    execute_refresh_requests(scratch_reqs_);
   }
 }
 

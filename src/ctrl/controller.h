@@ -19,6 +19,7 @@
 #include "common/units.h"
 #include "ctrl/energy.h"
 #include "ctrl/mitigation.h"
+#include "dram/access_stream.h"
 #include "dram/device.h"
 #include "dram/timing.h"
 #include "ecc/bch.h"
@@ -112,6 +113,21 @@ class MemoryController {
   /// forced). Exercises the full mitigation-visible path.
   void activate_precharge(std::uint32_t fbank, std::uint32_t row);
 
+  /// Execute ONE pass of a compiled stream (at most `max_acts` activations;
+  /// the budget is checked before every slot, idle slots included, exactly
+  /// like the per-slot replay loops). Each ACT slot is bit-identical to
+  /// activate_precharge(fbank, slot): same timing evolution, stats, energy,
+  /// refresh catch-up, and mitigation hook sequence. The speedup comes from
+  /// the per-(row, pass) restore screen — stress deposited by the pass is
+  /// precompiled, so one screen consult per touched row proves whole passes
+  /// of restores are pure stress-resets — with precompiled physical rows.
+  /// REF or mitigation-issued refreshes landing mid-pass deposit stress the
+  /// bound did not count; the executor detects them via the device's
+  /// refresh stats and re-screens before the next ACT. Returns activations
+  /// issued (0 for a stream with no ACT slots — callers own loop
+  /// termination). The stream's bank must be precharged.
+  std::uint64_t run_stream(const dram::AccessStream& s, std::uint64_t max_acts);
+
   /// Advance the wall clock, executing any refreshes that fall due.
   void advance_to(Time t);
   /// Precharge all banks (e.g. before measuring module contents).
@@ -167,6 +183,10 @@ class MemoryController {
   std::size_t recent_act_idx_ = 0;
   std::vector<std::uint8_t> bins_;  ///< multirate bin per (bank, row)
   CtrlStats stats_;
+  /// Scratch buffer reused across mitigation hook calls; every use site
+  /// clears, fills, and drains it before the next hook can fire (the
+  /// request-executing paths never re-enter request generation).
+  std::vector<RefreshRequest> scratch_reqs_;
   mutable EnergyStats energy_;
 };
 

@@ -1,0 +1,54 @@
+#include "dram/access_stream.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+#include "dram/device.h"
+
+namespace densemem::dram {
+
+AccessStream::AccessStream(const Device& dev, std::uint32_t fbank,
+                           const std::vector<std::uint32_t>& slots)
+    : fbank_(fbank) {
+  const Geometry& geo = dev.geometry();
+  DM_CHECK_MSG(fbank < total_banks(geo), "stream bank out of range");
+  std::unordered_map<std::uint32_t, std::uint32_t> index_of;  // prow -> urow
+  slots_.reserve(slots.size());
+  for (std::uint32_t lr : slots) {
+    if (lr == kIdle) {
+      slots_.push_back(Slot{kIdle, kIdle, kIdle});
+      continue;
+    }
+    DM_CHECK_MSG(lr < geo.rows, "stream row out of range");
+    const std::uint32_t p = dev.remap().to_physical(lr);
+    const auto [it, fresh] = index_of.try_emplace(
+        p, static_cast<std::uint32_t>(touched_.size()));
+    if (fresh) touched_.push_back(TouchedRow{p, 0, 0.0});
+    ++touched_[it->second].acts;
+    slots_.push_back(Slot{lr, p, it->second});
+    ++acts_per_pass_;
+  }
+  // Stress one pass deposits on each activated row: the disturb_neighbors
+  // weights, scattered from every activated row's per-pass count. Only
+  // activated rows need totals — rows the stream never activates are never
+  // restored by it, so their stress simply accumulates as it would under
+  // the per-ACT path.
+  const double d2 = dev.config().reliability.distance2_weight;
+  const auto deposit = [&](std::int64_t q, double w) {
+    if (q < 0 || q >= static_cast<std::int64_t>(geo.rows)) return;
+    const auto it = index_of.find(static_cast<std::uint32_t>(q));
+    if (it != index_of.end()) touched_[it->second].pass_stress += w;
+  };
+  for (std::size_t u = 0; u < touched_.size(); ++u) {
+    const std::int64_t p = touched_[u].prow;
+    const double n = static_cast<double>(touched_[u].acts);
+    deposit(p - 1, n);
+    deposit(p + 1, n);
+    if (d2 > 0.0) {
+      deposit(p - 2, d2 * n);
+      deposit(p + 2, d2 * n);
+    }
+  }
+}
+
+}  // namespace densemem::dram

@@ -1,0 +1,76 @@
+// Compiled access streams: a pattern's per-bank ACT-slot sequence, resolved
+// once per job into physical rows plus the per-row aggregate stress one pass
+// deposits on each activated row.
+//
+// The per-activation path pays a restore screen (FaultMap::disturb_possible
+// plus the device's dynamic charged-cell screen) on every ACT. A compiled
+// stream hoists that work to pass granularity: because every stress
+// contribution is non-negative, the stress a row can carry at ANY slot of a
+// pass is bounded by its carry-in plus the pass's total deposit, so one
+// screen consult per (row, pass) — against that padded bound — proves
+// entire passes of restores are no-ops. Executors (Device::run_stream,
+// MemoryController::run_stream) then collapse each proven restore to the
+// stress-reset it would have been anyway, bit-identical to the per-ACT
+// path: every flip event, stat, observer record, and mitigation decision
+// is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/geometry.h"
+
+namespace densemem::dram {
+
+class Device;
+
+class AccessStream {
+ public:
+  /// Slot value for "no ACT this slot" (matches fuzz::kIdleSlot).
+  static constexpr std::uint32_t kIdle = ~std::uint32_t{0};
+
+  struct Slot {
+    std::uint32_t logical;  ///< logical row, or kIdle
+    std::uint32_t prow;     ///< precompiled physical row (kIdle slots: kIdle)
+    std::uint32_t urow;     ///< index into touched() (kIdle slots: kIdle)
+  };
+
+  /// One unique activated physical row of the pass.
+  struct TouchedRow {
+    std::uint32_t prow = 0;
+    std::uint64_t acts = 0;    ///< activations of this row per pass
+    /// Exact total stress one full pass deposits on this row
+    /// (count(prow±1)·1 + count(prow±2)·distance2_weight, in double).
+    double pass_stress = 0.0;
+  };
+
+  /// Compile `slots` (logical rows, kIdle for idle cycles) for one bank of
+  /// `dev`. The stream snapshots the device's remap and distance-2 weight;
+  /// it stays valid for the device's lifetime (both are fixed at
+  /// construction).
+  AccessStream(const Device& dev, std::uint32_t fbank,
+               const std::vector<std::uint32_t>& slots);
+
+  std::uint32_t fbank() const { return fbank_; }
+  /// Non-idle slots per pass. 0 means executors must not loop on the stream.
+  std::uint64_t acts_per_pass() const { return acts_per_pass_; }
+  const std::vector<Slot>& slots() const { return slots_; }
+  const std::vector<TouchedRow>& touched() const { return touched_; }
+
+  /// Padded stress bound for one pass of a touched row given its carry-in
+  /// stress: every float-accumulated runtime value is strictly below it
+  /// (the 1.001 factor dominates float rounding over any realistic pass
+  /// length; +1.0 keeps degenerate tiny sums safely padded).
+  static float pass_bound(float carry_in, double pass_stress) {
+    return static_cast<float>(
+        (static_cast<double>(carry_in) + pass_stress) * 1.001 + 1.0);
+  }
+
+ private:
+  std::uint32_t fbank_;
+  std::uint64_t acts_per_pass_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<TouchedRow> touched_;
+};
+
+}  // namespace densemem::dram

@@ -1,6 +1,10 @@
 #include "dram/device.h"
 
 #include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "dram/access_stream.h"
 
 namespace densemem::dram {
 
@@ -14,7 +18,9 @@ Device::Device(DeviceConfig cfg)
       open_row_(nbanks_, -1),
       refresh_ptr_(nbanks_, 0),
       stress_(static_cast<std::size_t>(nbanks_) * cfg_.geometry.rows, 0.0f),
-      last_restore_(static_cast<std::size_t>(nbanks_) * cfg_.geometry.rows) {
+      last_restore_(static_cast<std::size_t>(nbanks_) * cfg_.geometry.rows),
+      charged_min_thr_(static_cast<std::size_t>(nbanks_) * cfg_.geometry.rows,
+                       0.0f) {
   cfg_.geometry.validate();
 }
 
@@ -51,54 +57,168 @@ std::uint64_t Device::pattern_word(std::uint32_t row,
   return pattern_word_value(cfg_.pattern, cfg_.seed, row, col_word);
 }
 
+void Device::resolve_row_view(RowView& v, std::uint32_t fbank,
+                              std::uint32_t p) const {
+  v.present = true;
+  v.logical = remap_.to_logical(p);
+  const std::size_t fr = flat_row(fbank, p);
+  if (row_is_uniform(fr)) {
+    v.uniform = true;
+    v.fill = uniform_fill_[fr];
+    if (!exc_slot_.empty() && exc_slot_[fr] != kNoSlot) {
+      const ExcList& exc = exc_arena_[exc_slot_[fr]];
+      v.exc = exc.words.data();
+      v.exc_n = static_cast<std::uint32_t>(exc.words.size());
+      v.exc_mask = exc.word_mask;
+    }
+  } else if (const std::vector<std::uint64_t>* row = stored_row(fr)) {
+    v.words = row->data();
+  } else if (cfg_.pattern != BackgroundPattern::kRandom) {
+    v.uniform = true;
+    v.fill = pattern_word_value(cfg_.pattern, cfg_.seed, v.logical, 0);
+  }
+}
+
 Device::RowCtx Device::make_row_ctx(std::uint32_t fbank,
                                     std::uint32_t prow) const {
   RowCtx ctx;
   ctx.fbank = fbank;
   ctx.prow = prow;
-  const bool uniform = cfg_.pattern != BackgroundPattern::kRandom;
-  auto resolve = [&](RowView& v, std::uint32_t p) {
-    v.present = true;
-    v.logical = remap_.to_logical(p);
-    const auto it = data_.find(flat_row(fbank, p));
-    if (it != data_.end()) {
-      v.words = it->second.data();
-    } else if (uniform) {
-      v.uniform = true;
-      v.fill = pattern_word_value(cfg_.pattern, cfg_.seed, v.logical, 0);
-    }
-  };
-  resolve(ctx.self, prow);
+  resolve_row_view(ctx.self, fbank, prow);
   ctx.logical = ctx.self.logical;
-  if (prow > 0) resolve(ctx.up, prow - 1);
-  if (prow + 1 < cfg_.geometry.rows) resolve(ctx.down, prow + 1);
   return ctx;
+}
+
+void Device::resolve_neighbors(RowCtx& ctx) const {
+  if (ctx.neighbors_resolved) return;
+  ctx.neighbors_resolved = true;
+  if (ctx.prow > 0) resolve_row_view(ctx.up, ctx.fbank, ctx.prow - 1);
+  if (ctx.prow + 1 < cfg_.geometry.rows)
+    resolve_row_view(ctx.down, ctx.fbank, ctx.prow + 1);
+}
+
+void Device::set_uniform_row(std::size_t fr, std::uint64_t fill_word) {
+  if (row_uniform_.empty()) {
+    const std::size_t n = static_cast<std::size_t>(nbanks_) * cfg_.geometry.rows;
+    row_uniform_.assign(n, 0);
+    uniform_fill_.assign(n, 0);
+  }
+  row_uniform_[fr] = 1;
+  uniform_fill_[fr] = fill_word;
+  clear_exceptions(fr);
+}
+
+void Device::clear_exceptions(std::size_t fr) {
+  if (!exc_slot_.empty() && exc_slot_[fr] != kNoSlot) {
+    ExcList& exc = exc_arena_[exc_slot_[fr]];
+    exc.words.clear();
+    exc.word_mask = 0;
+  }
 }
 
 std::vector<std::uint64_t>& Device::materialize(std::uint32_t fbank,
                                                 std::uint32_t prow) {
   const std::size_t key = flat_row(fbank, prow);
-  auto it = data_.find(key);
-  if (it == data_.end()) {
+  if (data_slot_.empty())
+    data_slot_.assign(
+        static_cast<std::size_t>(nbanks_) * cfg_.geometry.rows, kNoSlot);
+  std::uint32_t& slot = data_slot_[key];
+  if (row_is_uniform(key)) {
+    // Expand the uniform fill word (then its word exceptions), reusing the
+    // row's old arena slot as the buffer when it has one.
+    row_uniform_[key] = 0;
+    if (slot == kNoSlot) {
+      slot = static_cast<std::uint32_t>(data_arena_.size());
+      data_arena_.emplace_back();
+    }
+    auto& words = data_arena_[slot];
+    words.assign(cfg_.geometry.row_words(), uniform_fill_[key]);
+    if (!exc_slot_.empty() && exc_slot_[key] != kNoSlot) {
+      ExcList& exc = exc_arena_[exc_slot_[key]];
+      for (const WordExc& e : exc.words) words[e.first] = e.second;
+      exc.words.clear();
+      exc.word_mask = 0;
+    }
+    return words;
+  }
+  if (slot == kNoSlot) {
+    slot = static_cast<std::uint32_t>(data_arena_.size());
     const std::uint32_t logical = remap_.to_logical(prow);
     std::vector<std::uint64_t> words(cfg_.geometry.row_words());
     for (std::uint32_t w = 0; w < words.size(); ++w)
       words[w] = pattern_word(logical, w);
-    it = data_.emplace(key, std::move(words)).first;
+    data_arena_.push_back(std::move(words));
   }
-  return it->second;
+  return data_arena_[slot];
 }
 
-void Device::apply_flip(RowCtx& ctx, std::uint32_t bit,
-                        FlipMechanism mechanism, double stress,
-                        double dpd_factor, Time now) {
+void Device::flush_flip_batch(RowCtx& ctx, const WordExc* flips,
+                              std::uint32_t n) {
+  // Sparse path: a row backed by one repeated word (an explicit uniform
+  // fill, or a deterministic background pattern) absorbs the flips as
+  // per-word exceptions instead of expanding 8 KiB of storage — the common
+  // memtest shape, where the victim is refilled (discarding the overlay)
+  // every pass. Falls through to full materialization for kRandom-backed
+  // rows and once a row exceeds kMaxExceptions flipped words. Entries are
+  // merged in arrival (ascending-word) order, so the overlay ends up
+  // byte-identical to per-word application.
+  if (n == 0) return;
+  std::uint32_t i = 0;
+  if (!ctx.self.words && ctx.self.uniform) {
+    const std::size_t fr = flat_row(ctx.fbank, ctx.prow);
+    if (row_uniform_.empty()) {
+      const std::size_t nr =
+          static_cast<std::size_t>(nbanks_) * cfg_.geometry.rows;
+      row_uniform_.assign(nr, 0);
+      uniform_fill_.assign(nr, 0);
+    }
+    if (!row_uniform_[fr]) {
+      // Promote a pattern-backed row: record its (uniform) pattern word so
+      // the overlay owns the row's contents from here on.
+      row_uniform_[fr] = 1;
+      uniform_fill_[fr] = ctx.self.fill;
+    }
+    if (exc_slot_.empty())
+      exc_slot_.assign(static_cast<std::size_t>(nbanks_) * cfg_.geometry.rows,
+                       kNoSlot);
+    std::uint32_t& eslot = exc_slot_[fr];
+    if (eslot == kNoSlot) {
+      eslot = static_cast<std::uint32_t>(exc_arena_.size());
+      exc_arena_.emplace_back();
+    }
+    ExcList& exc = exc_arena_[eslot];
+    for (; i < n; ++i) {
+      const std::uint32_t word = flips[i].first;
+      bool stored = false;
+      for (WordExc& e : exc.words)
+        if (e.first == word) {
+          e.second ^= flips[i].second;
+          stored = true;
+          break;
+        }
+      if (stored) continue;
+      if (exc.words.size() >= kMaxExceptions) break;  // overflow: materialize
+      exc.words.push_back({word, ctx.self.fill ^ flips[i].second});
+      exc.word_mask |= std::uint64_t{1} << (word & 63);
+    }
+    ctx.self.exc = exc.words.data();
+    ctx.self.exc_n = static_cast<std::uint32_t>(exc.words.size());
+    ctx.self.exc_mask = exc.word_mask;
+    if (i == n) return;
+  }
   auto& words = materialize(ctx.fbank, ctx.prow);
-  // A pattern-backed row materializes on its first flip; later cells in
-  // this same commit pass must read the flipped words, not the pattern.
+  // A pattern-backed row materializes on its first flip; later words in
+  // this same commit pass must read the flipped storage, not the pattern.
   ctx.self.words = words.data();
-  const std::uint64_t mask = std::uint64_t{1} << (bit % 64);
-  const bool was_one = (words[bit / 64] & mask) != 0;
-  words[bit / 64] ^= mask;
+  ctx.self.exc = nullptr;
+  ctx.self.exc_n = 0;
+  ctx.self.exc_mask = 0;
+  for (; i < n; ++i) words[flips[i].first] ^= flips[i].second;
+}
+
+void Device::note_flip(RowCtx& ctx, std::uint32_t bit,
+                       FlipMechanism mechanism, bool was_one, double stress,
+                       double dpd_factor, Time now) {
   const bool disturb = mechanism == FlipMechanism::kDisturbance;
   if (disturb)
     ++stats_.disturb_flips;
@@ -136,27 +256,142 @@ void Device::apply_flip(RowCtx& ctx, std::uint32_t bit,
 }
 
 void Device::commit_disturbance(RowCtx& ctx, float stress, Time now) {
-  for (const WeakCell& c : faults_.weak_cells(ctx.fbank, ctx.prow)) {
-    const bool value = view_bit(ctx.self, c.bit);
+  // Bitplane kernel: cells are sorted by bit, so the loop walks the row in
+  // 64-bit words — the three row views are loaded once per word, per-cell
+  // consults become shift/masks, and the word's flips accumulate into one
+  // XOR mask applied at word exit. Reading self through (word ^ mask)
+  // reproduces the per-cell path exactly, including duplicate-bit cells
+  // that must observe earlier flips of their own word; neighbour rows are
+  // never modified during a commit, so their loaded words stay valid.
+  // Neighbour words are loaded lazily: the pattern factor
+  //   pf(a) = (1 - dpd) + dpd * (a / 2)
+  // is monotone in the antiparallel-neighbour count a (each step appends a
+  // larger addend to the same rounded first term, and rounding is
+  // monotone), so stress*pf(0) >= thr proves the flip and
+  // stress*pf(2) < thr refutes it without reading either neighbour row.
+  // Both bounds are evaluated with the exact expression shapes of the full
+  // formula, so the decision is bit-identical to always computing a. The
+  // shortcut is only taken when no FlipObserver is attached — the observer
+  // records the actual factor, which requires a.
+  // Alongside the walk, the kernel rebuilds the row's dynamic disturbance
+  // screen: the minimum hammer threshold among cells that END the walk
+  // charged. pf <= 1 (+1 ulp), so a later restore with stress below that
+  // bound cannot flip anything and skips the walk (see charged_min_thr_).
+  // A cell seen discharged stays discharged unless its own bit flips later
+  // in the walk — only a duplicate-bit cell can do that, and duplicates are
+  // adjacent in the sorted list, so a flip whose neighbours share its bit
+  // conservatively voids the screen for this row.
+  const bool pf_always = cfg_.observer != nullptr;
+  // With no event log and no observer a flip is three counter increments;
+  // accumulate them locally and fold into stats_ once at walk exit.
+  const bool log_flips = cfg_.record_flip_events || cfg_.observer != nullptr;
+  std::uint64_t n10 = 0, n01 = 0;
+  std::uint32_t cur = ~std::uint32_t{0};
+  std::uint64_t sw = 0, uw = 0, dw = 0, mask = 0;
+  bool nb_loaded = false;
+  float live_min = std::numeric_limits<float>::max();
+  bool screen_valid = true;
+  constexpr std::uint32_t kBatch = 32;
+  WordExc pending[kBatch];
+  std::uint32_t npending = 0;
+  const auto& cells = faults_.weak_cells(ctx.fbank, ctx.prow);
+  const std::size_t ncells = cells.size();
+  for (std::size_t i = 0; i < ncells; ++i) {
+    const WeakCell& c = cells[i];
+    const std::uint32_t w = c.bit >> 6;
+    if (w != cur) {
+      if (mask) {
+        if (npending == kBatch) {
+          flush_flip_batch(ctx, pending, npending);
+          npending = 0;
+        }
+        pending[npending++] = {cur, mask};
+      }
+      mask = 0;
+      cur = w;
+      sw = view_word(ctx.self, w);
+      nb_loaded = false;
+    }
+    const std::uint32_t sh = c.bit & 63;
+    const bool value = (((sw ^ mask) >> sh) & 1) != 0;
     // Only a charged cell can lose charge: true cell stores 1 charged,
     // anti-cell stores 0 charged.
     const bool charged = (value != c.anti_cell);
     if (!charged) continue;
+    const double dpd = c.dpd_sens;
+    const double thr = c.threshold;
+    const double s = stress;
+    if (!pf_always) {
+      if (s * ((1.0 - dpd) + dpd) < thr) {  // even pf(2) can't flip
+        if (c.threshold < live_min) live_min = c.threshold;
+        continue;
+      }
+      if (s * (1.0 - dpd) >= thr) {
+        // Flips for every a; the factor is unobserved (no FlipObserver).
+        mask ^= std::uint64_t{1} << sh;
+        if (log_flips)
+          note_flip(ctx, c.bit, FlipMechanism::kDisturbance, value, s, 0.0,
+                    now);
+        else
+          value ? ++n10 : ++n01;
+        if ((i > 0 && cells[i - 1].bit == c.bit) ||
+            (i + 1 < ncells && cells[i + 1].bit == c.bit))
+          screen_valid = false;
+        continue;
+      }
+    }
+    if (!nb_loaded) {
+      resolve_neighbors(ctx);
+      uw = ctx.up.present ? view_word(ctx.up, cur) : 0;
+      dw = ctx.down.present ? view_word(ctx.down, cur) : 0;
+      nb_loaded = true;
+    }
     int a = 0;
-    if (ctx.up.present && view_bit(ctx.up, c.bit) != value) ++a;
-    if (ctx.down.present && view_bit(ctx.down, c.bit) != value) ++a;
+    if (ctx.up.present && (((uw >> sh) & 1) != 0) != value) ++a;
+    if (ctx.down.present && (((dw >> sh) & 1) != 0) != value) ++a;
     const double pattern_factor =
-        (1.0 - c.dpd_sens) + c.dpd_sens * (static_cast<double>(a) / 2.0);
-    if (static_cast<double>(stress) * pattern_factor >=
-        static_cast<double>(c.threshold)) {
-      apply_flip(ctx, c.bit, FlipMechanism::kDisturbance,
-                 static_cast<double>(stress), pattern_factor, now);
+        (1.0 - dpd) + dpd * (static_cast<double>(a) / 2.0);
+    if (s * pattern_factor >= thr) {
+      mask ^= std::uint64_t{1} << sh;
+      if (log_flips)
+        note_flip(ctx, c.bit, FlipMechanism::kDisturbance, value, s,
+                  pattern_factor, now);
+      else
+        value ? ++n10 : ++n01;
+      if ((i > 0 && cells[i - 1].bit == c.bit) ||
+          (i + 1 < ncells && cells[i + 1].bit == c.bit))
+        screen_valid = false;
+    } else if (c.threshold < live_min) {
+      live_min = c.threshold;
     }
   }
+  if (mask) {
+    if (npending == kBatch) {
+      flush_flip_batch(ctx, pending, npending);
+      npending = 0;
+    }
+    pending[npending++] = {cur, mask};
+  }
+  flush_flip_batch(ctx, pending, npending);
+  stats_.disturb_flips += n10 + n01;
+  stats_.flips_1to0 += n10;
+  stats_.flips_0to1 += n01;
+  charged_min_thr_[flat_row(ctx.fbank, ctx.prow)] =
+      screen_valid ? live_min : 0.0f;
 }
 
 void Device::commit_retention(RowCtx& ctx, double dt_ms, Time now) {
+  // Same bitplane walk as commit_disturbance (cells sorted by bit). The
+  // per-cell VRT evolution must still run for every cell in order — it
+  // consumes the device RNG stream — but the storage consults are word
+  // loads + shifts and the flips flush per word.
   const double dpd_strength = cfg_.reliability.retention_dpd_strength;
+  resolve_neighbors(ctx);  // the retention DPD factor always consults them
+  std::uint32_t cur = ~std::uint32_t{0};
+  std::uint64_t sw = 0, uw = 0, dw = 0, mask = 0;
+  constexpr std::uint32_t kBatch = 32;
+  WordExc pending[kBatch];
+  std::uint32_t npending = 0;
   for (LeakyCell& c : faults_.leaky_cells(ctx.fbank, ctx.prow)) {
     // Evolve the VRT state over the elapsed interval (memoryless process).
     if (c.vrt) {
@@ -164,23 +399,48 @@ void Device::commit_retention(RowCtx& ctx, double dt_ms, Time now) {
           1.0 - std::exp(-cfg_.reliability.vrt_rate_hz * dt_ms * 1e-3);
       if (rng_.bernoulli(p_switch)) c.vrt_low = !c.vrt_low;
     }
-    const bool value = view_bit(ctx.self, c.bit);
+    const std::uint32_t w = c.bit >> 6;
+    if (w != cur) {
+      if (mask) {
+        if (npending == kBatch) {
+          flush_flip_batch(ctx, pending, npending);
+          npending = 0;
+        }
+        pending[npending++] = {cur, mask};
+      }
+      mask = 0;
+      cur = w;
+      sw = view_word(ctx.self, w);
+      uw = ctx.up.present ? view_word(ctx.up, w) : 0;
+      dw = ctx.down.present ? view_word(ctx.down, w) : 0;
+    }
+    const std::uint32_t sh = c.bit & 63;
+    const bool value = (((sw ^ mask) >> sh) & 1) != 0;
     const bool charged = (value != c.anti_cell);
     if (!charged) continue;
     int a = 0;
-    if (ctx.up.present && view_bit(ctx.up, c.bit) != value) ++a;
-    if (ctx.down.present && view_bit(ctx.down, c.bit) != value) ++a;
+    if (ctx.up.present && (((uw >> sh) & 1) != 0) != value) ++a;
+    if (ctx.down.present && (((dw >> sh) & 1) != 0) != value) ++a;
     const double dpd_factor =
         1.0 - dpd_strength * c.dpd_sens * (static_cast<double>(a) / 2.0);
     const double base =
         (c.vrt && !c.vrt_low) ? c.retention_high_ms : c.retention_ms;
     if (dt_ms > base * dpd_factor) {
-      apply_flip(ctx, c.bit,
-                 c.vrt ? FlipMechanism::kVrtRetention
-                       : FlipMechanism::kRetention,
-                 0.0, dpd_factor, now);
+      mask ^= std::uint64_t{1} << sh;
+      note_flip(ctx, c.bit,
+                c.vrt ? FlipMechanism::kVrtRetention
+                      : FlipMechanism::kRetention,
+                value, 0.0, dpd_factor, now);
     }
   }
+  if (mask) {
+    if (npending == kBatch) {
+      flush_flip_batch(ctx, pending, npending);
+      npending = 0;
+    }
+    pending[npending++] = {cur, mask};
+  }
+  flush_flip_batch(ctx, pending, npending);
 }
 
 void Device::restore_row(std::uint32_t fbank, std::uint32_t prow, Time now) {
@@ -192,12 +452,25 @@ void Device::restore_row(std::uint32_t fbank, std::uint32_t prow, Time now) {
   // row has weak cells. The overwhelmingly common case — neither — never
   // resolves row data at all.
   const bool do_ret = faults_.row_has_leaky(fbank, prow) && dt_ms > 0.0;
-  const bool do_dist = stress > 0.0f && faults_.row_has_weak(fbank, prow) &&
-                       faults_.disturb_possible(fbank, prow, stress);
-  if (do_ret || do_dist) {
+  const bool dist_candidate = stress > 0.0f && faults_.row_has_weak(fbank, prow);
+  // Dynamic screen: the last disturbance walk recorded the minimum hammer
+  // threshold among this row's still-charged weak cells; a stress below it
+  // (with a 1e-6 margin dominating the <=1-ulp pattern-factor rounding
+  // headroom above 1.0) provably flips nothing, so the walk is skipped.
+  // Retention flips change the charge set, so the screen is re-read after
+  // commit_retention (which voids it when it flipped anything).
+  if (do_ret) {
     RowCtx ctx = make_row_ctx(fbank, prow);
-    if (do_ret) commit_retention(ctx, dt_ms, now);
-    if (do_dist) commit_disturbance(ctx, stress, now);
+    const std::uint64_t ret_before = stats_.retention_flips;
+    commit_retention(ctx, dt_ms, now);
+    if (stats_.retention_flips != ret_before) charged_min_thr_[fr] = 0.0f;
+    if (dist_candidate && !disturb_screened(fr, stress) &&
+        faults_.disturb_possible(fbank, prow, stress))
+      commit_disturbance(ctx, stress, now);
+  } else if (dist_candidate && !disturb_screened(fr, stress) &&
+             faults_.disturb_possible(fbank, prow, stress)) {
+    RowCtx ctx = make_row_ctx(fbank, prow);
+    commit_disturbance(ctx, stress, now);
   }
   stress_[fr] = 0.0f;
   last_restore_[fr] = now;
@@ -260,10 +533,11 @@ std::uint64_t Device::read_word(std::uint32_t fbank, std::uint32_t col_word) {
   const std::uint32_t prow =
       remap_.to_physical(static_cast<std::uint32_t>(open_row_[fbank]));
   ++stats_.reads;
-  const auto it = data_.find(flat_row(fbank, prow));
-  if (it == data_.end())
-    return pattern_word(static_cast<std::uint32_t>(open_row_[fbank]), col_word);
-  return it->second[col_word];
+  const std::size_t fr = flat_row(fbank, prow);
+  if (row_is_uniform(fr)) return uniform_word(fr, col_word);
+  if (const std::vector<std::uint64_t>* row = stored_row(fr))
+    return (*row)[col_word];
+  return pattern_word(static_cast<std::uint32_t>(open_row_[fbank]), col_word);
 }
 
 void Device::write_word(std::uint32_t fbank, std::uint32_t col_word,
@@ -273,7 +547,61 @@ void Device::write_word(std::uint32_t fbank, std::uint32_t col_word,
   const std::uint32_t prow =
       remap_.to_physical(static_cast<std::uint32_t>(open_row_[fbank]));
   materialize(fbank, prow)[col_word] = value;
+  charged_min_thr_[flat_row(fbank, prow)] = 0.0f;
   ++stats_.writes;
+}
+
+std::uint64_t Device::run_stream(const AccessStream& s, std::uint64_t max_acts,
+                                 Time& now, Time slot_dt) {
+  const std::uint32_t fbank = s.fbank();
+  DM_CHECK_MSG(fbank < nbanks_, "stream bank out of range");
+  DM_CHECK_MSG(open_row_[fbank] < 0, "stream on a bank with an open row");
+  if (s.acts_per_pass() == 0 || max_acts == 0) return 0;
+  const auto& touched = s.touched();
+  // Static per-row classification, once per run: rows with neither weak nor
+  // leaky cells always skip their restore (it was always a pure
+  // stress-reset); leaky rows never skip (retention consumes device RNG);
+  // weak rows consult the screens once per pass against the padded bound.
+  enum class Cls : std::uint8_t { kAlways, kBound, kNever };
+  std::vector<Cls> cls(touched.size());
+  for (std::size_t u = 0; u < touched.size(); ++u) {
+    const std::uint32_t p = touched[u].prow;
+    cls[u] = faults_.row_has_leaky(fbank, p)  ? Cls::kNever
+             : faults_.row_has_weak(fbank, p) ? Cls::kBound
+                                              : Cls::kAlways;
+  }
+  std::vector<std::uint8_t> skip(touched.size());
+  std::uint64_t issued = 0;
+  while (true) {
+    // Per-(row, pass) screen. Sound for the whole pass: stress only grows
+    // between a row's restores, every in-pass deposit is counted in
+    // pass_stress, and a skipped row's contents cannot change during the
+    // pass (no commits run on it, and it has no leaky cells), so the
+    // dynamic screen's bound stays valid too.
+    for (std::size_t u = 0; u < touched.size(); ++u) {
+      if (cls[u] == Cls::kAlways) {
+        skip[u] = 1;
+      } else if (cls[u] == Cls::kNever) {
+        skip[u] = 0;
+      } else {
+        const std::uint32_t p = touched[u].prow;
+        const float bound = AccessStream::pass_bound(
+            stress_[flat_row(fbank, p)], touched[u].pass_stress);
+        skip[u] = disturb_provably_clean(fbank, p, bound) ? 1 : 0;
+      }
+    }
+    for (const AccessStream::Slot& sl : s.slots()) {
+      if (issued == max_acts) return issued;
+      if (sl.logical == AccessStream::kIdle) {
+        now += slot_dt;
+        continue;
+      }
+      activate_compiled(fbank, sl.logical, sl.prow, skip[sl.urow] != 0, now);
+      precharge(fbank, now);
+      now += slot_dt;
+      ++issued;
+    }
+  }
 }
 
 void Device::refresh_next(std::uint32_t fbank, std::uint32_t count, Time now) {
@@ -307,9 +635,15 @@ void Device::refresh_row(std::uint32_t fbank, std::uint32_t row, Time now) {
 
 void Device::fill_all(BackgroundPattern pattern, Time now) {
   cfg_.pattern = pattern;
-  data_.clear();
+  data_slot_.clear();
+  data_arena_.clear();
+  row_uniform_.clear();
+  uniform_fill_.clear();
+  exc_slot_.clear();
+  exc_arena_.clear();
   std::fill(stress_.begin(), stress_.end(), 0.0f);
   std::fill(last_restore_.begin(), last_restore_.end(), now);
+  std::fill(charged_min_thr_.begin(), charged_min_thr_.end(), 0.0f);
 }
 
 void Device::fill_row(std::uint32_t fbank, std::uint32_t row,
@@ -318,7 +652,43 @@ void Device::fill_row(std::uint32_t fbank, std::uint32_t row,
                "fill_row size mismatch");
   const std::uint32_t prow = remap_.to_physical(row);
   restore_row(fbank, prow, now);
-  materialize(fbank, prow) = words;
+  const std::size_t key = flat_row(fbank, prow);
+  charged_min_thr_[key] = 0.0f;  // refilled content recharges cells
+  // Uniform fast path: memtest patterns repeat one word across the row, so
+  // store that word instead of copying 8 KiB (the source is hot, the scan
+  // is cheap; expansion is deferred to the first flip or word write).
+  // Self-overlap compare: the row is uniform iff every word equals its
+  // successor, which one libc-vectorized memcmp checks — and which bails
+  // within the first few bytes on random data.
+  const bool uniform = std::memcmp(words.data(), words.data() + 1,
+                                   (words.size() - 1) * sizeof(words[0])) == 0;
+  if (uniform) {
+    set_uniform_row(key, words[0]);
+    return;
+  }
+  if (!row_uniform_.empty()) row_uniform_[key] = 0;
+  clear_exceptions(key);
+  // Write straight into the arena: a first-touch row is overwritten whole,
+  // so skip materialize()'s pattern fill.
+  if (data_slot_.empty())
+    data_slot_.assign(
+        static_cast<std::size_t>(nbanks_) * cfg_.geometry.rows, kNoSlot);
+  std::uint32_t& slot = data_slot_[key];
+  if (slot == kNoSlot) {
+    slot = static_cast<std::uint32_t>(data_arena_.size());
+    data_arena_.push_back(words);
+  } else {
+    data_arena_[slot] = words;
+  }
+}
+
+void Device::fill_row(std::uint32_t fbank, std::uint32_t row,
+                      std::uint64_t fill_word, Time now) {
+  const std::uint32_t prow = remap_.to_physical(row);
+  restore_row(fbank, prow, now);
+  const std::size_t fr = flat_row(fbank, prow);
+  charged_min_thr_[fr] = 0.0f;  // refilled content recharges cells
+  set_uniform_row(fr, fill_word);
 }
 
 std::vector<std::uint64_t> Device::snapshot_row(std::uint32_t fbank,
@@ -331,9 +701,16 @@ std::vector<std::uint64_t> Device::snapshot_row(std::uint32_t fbank,
 void Device::snapshot_row(std::uint32_t fbank, std::uint32_t row,
                           std::vector<std::uint64_t>& out) const {
   const std::uint32_t prow = remap_.to_physical(row);
-  const auto it = data_.find(flat_row(fbank, prow));
-  if (it != data_.end()) {
-    out = it->second;
+  const std::size_t fr = flat_row(fbank, prow);
+  if (row_is_uniform(fr)) {
+    out.assign(cfg_.geometry.row_words(), uniform_fill_[fr]);
+    if (!exc_slot_.empty() && exc_slot_[fr] != kNoSlot)
+      for (const WordExc& e : exc_arena_[exc_slot_[fr]].words)
+        out[e.first] = e.second;
+    return;
+  }
+  if (const std::vector<std::uint64_t>* r = stored_row(fr)) {
+    out = *r;
     return;
   }
   out.resize(cfg_.geometry.row_words());

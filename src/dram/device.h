@@ -14,9 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/units.h"
@@ -27,6 +27,8 @@
 #include "dram/remap.h"
 
 namespace densemem::dram {
+
+class AccessStream;
 
 enum class FlipCause { kDisturbance, kRetention };
 
@@ -112,6 +114,53 @@ class Device {
   void hammer(std::uint32_t fbank, std::uint32_t row, std::uint64_t count,
               Time now);
 
+  /// Compiled-stream activation: the stream compiler already resolved the
+  /// physical row and proved (or not) that this activation's charge restore
+  /// cannot commit anything. With `skip_restore` the restore collapses to
+  /// resetting stress and stamping last_restore — exactly what restore_row
+  /// does for a row whose disturbance screen rejects and that has no leaky
+  /// cells. Callers (AccessStream executors) own that proof; `prow` must be
+  /// remap().to_physical(logical).
+  void activate_compiled(std::uint32_t fbank, std::uint32_t logical,
+                         std::uint32_t prow, bool skip_restore, Time now) {
+    DM_DCHECK(fbank < nbanks_ && logical < cfg_.geometry.rows);
+    DM_DCHECK(remap_.to_physical(logical) == prow);
+    DM_DCHECK(open_row_[fbank] < 0);
+    if (skip_restore) {
+      const std::size_t fr = flat_row(fbank, prow);
+      stress_[fr] = 0.0f;
+      last_restore_[fr] = now;
+    } else {
+      restore_row(fbank, prow, now);
+    }
+    disturb_neighbors(fbank, prow, 1.0f);
+    open_row_[fbank] = logical;
+    ++stats_.activates;
+  }
+
+  /// Execute up to `max_acts` activations of a compiled stream directly on
+  /// the device (no controller): per pass, each non-idle slot is exactly one
+  /// activate(fbank, logical, now) + precharge(fbank, now) pair and every
+  /// slot (idle or not) advances `now` by `slot_dt`. Bit-identical to that
+  /// per-slot loop; the speedup comes from the per-(row, pass) disturbance
+  /// screen (one FaultMap::disturb_possible consult instead of one per
+  /// activation) and the precompiled physical rows. Returns activations
+  /// issued; a stream with no ACT slots returns 0 immediately.
+  std::uint64_t run_stream(const AccessStream& s, std::uint64_t max_acts,
+                           Time& now, Time slot_dt);
+
+  /// Stream-executor screen: true when a charge restore of the row at
+  /// `stress` provably commits no disturbance flip — either the static
+  /// fault-map screen (stress below the row's minimum hammer threshold) or
+  /// the dynamic charged-cell screen rejects it. Callers pass a stress
+  /// UPPER BOUND; both screens are monotone, so clearing the bound clears
+  /// every actual value below it.
+  bool disturb_provably_clean(std::uint32_t fbank, std::uint32_t prow,
+                              float stress) const {
+    return !faults_.disturb_possible(fbank, prow, stress) ||
+           disturb_screened(flat_row(fbank, prow), stress);
+  }
+
   /// Auto-refresh step: restores the next `count` physical rows of the bank
   /// (device-internal pointer, wrapping), as one REF command would.
   void refresh_next(std::uint32_t fbank, std::uint32_t count, Time now);
@@ -128,6 +177,12 @@ class Device {
   /// testers; commits pending faults first like a real write burst would).
   void fill_row(std::uint32_t fbank, std::uint32_t row,
                 const std::vector<std::uint64_t>& words, Time now);
+  /// Uniform-fill variant: equivalent to fill_row() with `fill_word`
+  /// repeated across the row, but O(1) — the device stores the word itself.
+  /// Memtest kernels refilling victims with ones/zeros/stripe rows use this
+  /// to skip both the 8 KiB copy and the uniformity scan.
+  void fill_row(std::uint32_t fbank, std::uint32_t row,
+                std::uint64_t fill_word, Time now);
   /// Side-effect-free view of the *stored* row contents (pending — not yet
   /// committed — faults are not applied; read via activate() to realize them).
   std::vector<std::uint64_t> snapshot_row(std::uint32_t fbank,
@@ -160,24 +215,41 @@ class Device {
   /// 64-bit word across the row (only the row's parity matters), so the
   /// view carries that word and a bit read is a shift/mask; kRandom falls
   /// back to the per-(row, word) hash.
+  /// One overridden word of a uniform row: (word index, stored value).
+  using WordExc = std::pair<std::uint32_t, std::uint64_t>;
+  /// Exception overlay of one uniform row. `word_mask` hashes each entry's
+  /// word index into bit (word % 64): a cleared bit proves the word is not
+  /// overridden, so the common consult never scans the list.
+  struct ExcList {
+    std::uint64_t word_mask = 0;
+    std::vector<WordExc> words;
+  };
+
   struct RowView {
     const std::uint64_t* words = nullptr;  ///< materialized storage
+    const WordExc* exc = nullptr;  ///< uniform-row word exceptions
+    std::uint32_t exc_n = 0;
+    std::uint64_t exc_mask = 0;    ///< word-occupancy hash of `exc`
     std::uint64_t fill = 0;     ///< uniform pattern word when !words
     std::uint32_t logical = 0;  ///< for the kRandom fallback
     bool uniform = false;       ///< deterministic (non-kRandom) pattern
     bool present = false;       ///< row exists (bank-edge neighbours don't)
   };
   /// Views of a row and its two neighbours for one commit pass. The commit
-  /// loops consult stored bits of (row-1, row, row+1) once per weak/leaky
-  /// cell; resolving the three data_ lookups here turns each consult into
-  /// a pointer or pattern-word read. unordered_map references are stable
-  /// under insertion and only the self row is flipped during a commit, so
-  /// the neighbour views stay valid across apply_flip(); apply_flip
-  /// refreshes `self` when it materializes a pattern-backed row.
+  /// kernels consult stored bits of (row-1, row, row+1) once per 64-bit
+  /// word; resolving the three storage lookups here turns each consult into
+  /// a pointer or pattern-word read. Arena rows are pointer-stable under
+  /// insertion and only the self row is flipped during a commit, so the
+  /// neighbour views stay valid across flush_flip_mask(), which refreshes
+  /// `self` when it materializes a pattern-backed row.
   struct RowCtx {
     std::uint32_t fbank = 0, prow = 0;
     std::uint32_t logical = 0;
     RowView self, up, down;  ///< up = prow - 1, down = prow + 1
+    /// Neighbour views are resolved on demand: a commit pass that never
+    /// consults neighbour data (every cell decided by the pattern-factor
+    /// bounds, or skipped as discharged) pays nothing for them.
+    bool neighbors_resolved = false;
   };
 
   std::size_t flat_row(std::uint32_t fbank, std::uint32_t prow) const {
@@ -188,10 +260,48 @@ class Device {
   /// Stored bit via a resolved row view.
   bool view_bit(const RowView& v, std::uint32_t bit) const {
     if (v.words) return (v.words[bit / 64] >> (bit % 64)) & 1;
-    if (v.uniform) return (v.fill >> (bit % 64)) & 1;
+    if (v.uniform) return (view_word(v, bit / 64) >> (bit % 64)) & 1;
     return pattern_bit(v.logical, bit);
   }
+  /// Whole stored 64-bit word of a resolved row view — the bitplane commit
+  /// kernels load the three views once per word and read cells by shift.
+  std::uint64_t view_word(const RowView& v, std::uint32_t w) const {
+    if (v.words) return v.words[w];
+    if (v.uniform) {
+      if ((v.exc_mask >> (w & 63)) & 1)
+        for (std::uint32_t i = 0; i < v.exc_n; ++i)
+          if (v.exc[i].first == w) return v.exc[i].second;
+      return v.fill;
+    }
+    return pattern_word_value(cfg_.pattern, cfg_.seed, v.logical, w);
+  }
   RowCtx make_row_ctx(std::uint32_t fbank, std::uint32_t prow) const;
+  void resolve_row_view(RowView& v, std::uint32_t fbank,
+                        std::uint32_t p) const;
+  /// Fill in ctx.up / ctx.down (no-op if already resolved).
+  void resolve_neighbors(RowCtx& ctx) const;
+  /// Materialized words of a flat row, or nullptr if still pattern-backed.
+  /// Callers must check row_is_uniform() first: a uniform flag overrides
+  /// whatever the arena slot holds.
+  const std::vector<std::uint64_t>* stored_row(std::size_t fr) const {
+    if (data_slot_.empty()) return nullptr;
+    const std::uint32_t slot = data_slot_[fr];
+    return slot == kNoSlot ? nullptr : &data_arena_[slot];
+  }
+  /// Row currently stored as a single repeated fill word?
+  bool row_is_uniform(std::size_t fr) const {
+    return !row_uniform_.empty() && row_uniform_[fr] != 0;
+  }
+  /// Mark a row uniform with `fill_word` (discarding any word exceptions).
+  void set_uniform_row(std::size_t fr, std::uint64_t fill_word);
+  void clear_exceptions(std::size_t fr);
+  /// Stored word of a uniform row, honouring its exception overlay.
+  std::uint64_t uniform_word(std::size_t fr, std::uint32_t w) const {
+    if (!exc_slot_.empty() && exc_slot_[fr] != kNoSlot)
+      for (const WordExc& e : exc_arena_[exc_slot_[fr]].words)
+        if (e.first == w) return e.second;
+    return uniform_fill_[fr];
+  }
   std::vector<std::uint64_t>& materialize(std::uint32_t fbank,
                                           std::uint32_t prow);
   /// Commit pending disturbance + retention faults of a physical row, then
@@ -200,10 +310,27 @@ class Device {
   /// with no pending stress and no faults — touches nothing but the flat
   /// stress/last_restore arrays).
   void restore_row(std::uint32_t fbank, std::uint32_t prow, Time now);
+  /// True when the dynamic per-row screen proves `stress` cannot flip any
+  /// still-charged weak cell (see charged_min_thr_). 0 means unknown.
+  bool disturb_screened(std::size_t fr, float stress) const {
+    const float bound = charged_min_thr_[fr];
+    return bound != 0.0f && static_cast<double>(stress) <
+                                static_cast<double>(bound) * 0.999999;
+  }
   void commit_disturbance(RowCtx& ctx, float stress, Time now);
   void commit_retention(RowCtx& ctx, double dt_ms, Time now);
-  void apply_flip(RowCtx& ctx, std::uint32_t bit, FlipMechanism mechanism,
-                  double stress, double dpd_factor, Time now);
+  /// Record one flip's stats / event / observer output. Storage is NOT
+  /// touched here: the commit kernels accumulate flips of a word into one
+  /// mask and apply it via flush_flip_mask at word exit.
+  void note_flip(RowCtx& ctx, std::uint32_t bit, FlipMechanism mechanism,
+                 bool was_one, double stress, double dpd_factor, Time now);
+  /// Apply a commit pass's accumulated per-word flip masks to the row in one
+  /// batch (materializing a pattern-backed row first and refreshing
+  /// ctx.self). Words arrive in ascending order, matching what per-word
+  /// application would have produced; later words of the same commit never
+  /// re-read earlier words (same-word reads go through the live mask), so
+  /// deferring the application to commit exit is exact.
+  void flush_flip_batch(RowCtx& ctx, const WordExc* flips, std::uint32_t n);
   /// Add `count` activations' worth of disturbance around a physical row.
   void disturb_neighbors(std::uint32_t fbank, std::uint32_t prow, float count);
 
@@ -221,10 +348,38 @@ class Device {
   // Flat per-(bank, physical row) state.
   std::vector<float> stress_;       ///< weighted aggressor activations
   std::vector<Time> last_restore_;  ///< last charge restore
-  // Materialized row data, keyed by flat row index.
-  std::unordered_map<std::size_t, std::vector<std::uint64_t>> data_;
+  /// Dynamic disturbance screen: after a disturbance commit, the minimum
+  /// hammer threshold among the row's still-charged weak cells (FLT_MAX if
+  /// none remain charged; 0 = unknown). A later restore whose stress is
+  /// below this bound — with a 1e-6 margin covering the <=1-ulp rounding
+  /// headroom of the pattern factor above 1.0 — provably commits nothing
+  /// and skips the cell walk entirely. Any write to the row's contents
+  /// (fill, word write, retention flip) resets the bound to unknown.
+  std::vector<float> charged_min_thr_;
+  // Materialized row data: a direct-mapped slot index per flat row
+  // (allocated lazily on first materialization — pattern-only workloads
+  // never pay for it) into a pointer-stable arena. Row lookups on the
+  // commit path are two array reads instead of a hash probe.
+  std::vector<std::uint32_t> data_slot_;
+  std::deque<std::vector<std::uint64_t>> data_arena_;
+  // Uniform-row overlay: a fill_row() whose source repeats one 64-bit word
+  // (every memtest pattern — ones, zeros, stripes — does) stores just that
+  // word instead of copying the whole row. The flag overrides any arena
+  // slot, whose stale words are reused as the expansion buffer when the row
+  // eventually materializes. Flips on a uniform row (and on rows still
+  // backed by a deterministic background pattern) are absorbed as per-word
+  // exceptions — a memtest cycle that refills its victim every pass never
+  // expands 8 KiB of storage just to hold a handful of flipped bits. A row
+  // accumulating more than kMaxExceptions distinct flipped words falls back
+  // to full materialization.
+  std::vector<std::uint8_t> row_uniform_;
+  std::vector<std::uint64_t> uniform_fill_;
+  std::vector<std::uint32_t> exc_slot_;
+  std::deque<ExcList> exc_arena_;
 
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
   static constexpr std::size_t kMaxEvents = 1u << 20;
+  static constexpr std::size_t kMaxExceptions = 24;
 };
 
 }  // namespace densemem::dram

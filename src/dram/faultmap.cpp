@@ -115,24 +115,32 @@ const std::vector<WeakCell>& FaultMap::weak_cells(std::uint32_t bank,
                                                   std::uint32_t row) const {
   if (weak_row_count(bank, row) == 0) return kNoWeak;
   const std::size_t i = idx(bank, row);
-  auto it = weak_cache_.find(i);
-  if (it == weak_cache_.end()) {
-    it = weak_cache_.emplace(i, generate_weak(bank, row)).first;
-    float min_thr = it->second.front().threshold;
-    for (const WeakCell& c : it->second)
+  if (weak_slot_.empty())
+    weak_slot_.assign(static_cast<std::size_t>(banks_) * rows_, kNoSlot);
+  std::uint32_t& slot = weak_slot_[i];
+  if (slot == kNoSlot) {
+    slot = static_cast<std::uint32_t>(weak_arena_.size());
+    weak_arena_.push_back(generate_weak(bank, row));
+    const std::vector<WeakCell>& cells = weak_arena_.back();
+    float min_thr = cells.front().threshold;
+    for (const WeakCell& c : cells)
       if (c.threshold < min_thr) min_thr = c.threshold;
     weak_min_thr_[i] = min_thr;
   }
-  return it->second;
+  return weak_arena_[slot];
 }
 
 std::vector<LeakyCell>& FaultMap::leaky_cells(std::uint32_t bank,
                                               std::uint32_t row) {
   const std::size_t i = idx(bank, row);
-  auto it = leaky_cache_.find(i);
-  if (it == leaky_cache_.end())
-    it = leaky_cache_.emplace(i, generate_leaky(bank, row)).first;
-  return it->second;
+  if (leaky_slot_.empty())
+    leaky_slot_.assign(static_cast<std::size_t>(banks_) * rows_, kNoSlot);
+  std::uint32_t& slot = leaky_slot_[i];
+  if (slot == kNoSlot) {
+    slot = static_cast<std::uint32_t>(leaky_arena_.size());
+    leaky_arena_.push_back(generate_leaky(bank, row));
+  }
+  return leaky_arena_[slot];
 }
 
 const std::vector<std::uint32_t>& FaultMap::weak_rows(

@@ -22,7 +22,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <deque>
 #include <vector>
 
 #include "common/rng.h"
@@ -99,6 +99,7 @@ class FaultMap {
 
  private:
   static constexpr std::uint32_t kUnknownCount = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
   static constexpr float kThrUnknown = -1.0f;  // thresholds are always > 0
 
   std::size_t idx(std::uint32_t bank, std::uint32_t row) const {
@@ -132,9 +133,14 @@ class FaultMap {
   // Module totals, forced on first total_*_cells() query.
   mutable bool totals_built_ = false;
   mutable std::uint64_t total_weak_ = 0, total_leaky_ = 0;
-  // Detail caches, filled on demand.
-  mutable std::unordered_map<std::size_t, std::vector<WeakCell>> weak_cache_;
-  mutable std::unordered_map<std::size_t, std::vector<LeakyCell>> leaky_cache_;
+  // Detail caches, filled on demand: a direct-mapped slot index per row
+  // (allocated lazily on the first cell query, so fault-free workloads never
+  // pay for it) into a pointer-stable arena. The commit path resolves a
+  // row's cells with two array reads instead of a hash lookup.
+  mutable std::vector<std::uint32_t> weak_slot_;
+  mutable std::vector<std::uint32_t> leaky_slot_;
+  mutable std::deque<std::vector<WeakCell>> weak_arena_;
+  mutable std::deque<std::vector<LeakyCell>> leaky_arena_;
   static const std::vector<WeakCell> kNoWeak;
 };
 

@@ -28,7 +28,9 @@ struct Geometry {
   std::uint32_t row_words() const { return row_bytes / 8; }
 
   void validate() const {
-    DM_CHECK_MSG(channels >= 1 && ranks >= 1 && banks >= 1 && rows >= 2,
+    // A single-row bank is legal (no neighbours to disturb, but retention
+    // and refresh still apply) — the commit kernels' edge-case tests use it.
+    DM_CHECK_MSG(channels >= 1 && ranks >= 1 && banks >= 1 && rows >= 1,
                  "degenerate DRAM geometry");
     DM_CHECK_MSG(row_bytes >= 64 && row_bytes % 64 == 0,
                  "row size must be a multiple of a 64-byte cache block");

@@ -5,7 +5,7 @@ namespace densemem::dram {
 RowRemap::RowRemap(RemapScheme scheme, std::uint32_t rows, std::uint64_t seed,
                    std::uint32_t block_log2)
     : scheme_(scheme), rows_(rows) {
-  DM_CHECK_MSG(rows >= 2, "remap needs at least two rows");
+  DM_CHECK_MSG(rows >= 1, "remap needs at least one row");
   switch (scheme_) {
     case RemapScheme::kIdentity:
       break;  // empty tables mean identity

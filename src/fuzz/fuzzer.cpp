@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "dram/access_stream.h"
 
 namespace densemem::fuzz {
 
@@ -89,18 +90,31 @@ ProbeResult run_genome(const PatternGenome& genome, const ProbeSetup& setup) {
   const Time tRC = setup.ctrl.timing.tRC;
 
   std::uint64_t acts = 0;
-  while (acts < setup.act_budget) {
-    if (setup.sync_to_ref) sync_to_ref(rig.mc, tREFI);
-    for (std::uint32_t slot : seq) {
-      if (acts >= setup.act_budget) break;
-      if (slot == kIdleSlot) {
-        // The slot's issue opportunity passes unused; time still advances,
-        // which is what keeps later slots' phase honest.
-        rig.mc.advance_to(rig.mc.now() + tRC);
-        continue;
+  if (setup.use_stream) {
+    // kIdleSlot == AccessStream::kIdle, so the compiled genome IS the slot
+    // vector; one run_stream call per base period replaces the slot loop.
+    const dram::AccessStream stream(rig.dev, setup.fbank, seq);
+    while (acts < setup.act_budget) {
+      if (setup.sync_to_ref) sync_to_ref(rig.mc, tREFI);
+      const std::uint64_t got =
+          rig.mc.run_stream(stream, setup.act_budget - acts);
+      acts += got;
+      if (got == 0) break;  // genome with no ACT slots: budget can't fill
+    }
+  } else {
+    while (acts < setup.act_budget) {
+      if (setup.sync_to_ref) sync_to_ref(rig.mc, tREFI);
+      for (std::uint32_t slot : seq) {
+        if (acts >= setup.act_budget) break;
+        if (slot == kIdleSlot) {
+          // The slot's issue opportunity passes unused; time still
+          // advances, which is what keeps later slots' phase honest.
+          rig.mc.advance_to(rig.mc.now() + tRC);
+          continue;
+        }
+        rig.mc.activate_precharge(setup.fbank, slot);
+        ++acts;
       }
-      rig.mc.activate_precharge(setup.fbank, slot);
-      ++acts;
     }
   }
   commit_victims(rig.mc, setup.fbank, victims);
@@ -126,13 +140,27 @@ ProbeResult run_kernel(attack::PatternKind kind, const ProbeSetup& setup) {
 
   std::uint64_t acts = 0;
   std::vector<std::uint32_t> rows;
-  for (std::uint64_t it = 0; acts < setup.act_budget; ++it) {
-    rows.clear();
-    pattern.iteration_rows(it, rows);
-    for (std::uint32_t r : rows) {
-      if (acts >= setup.act_budget) break;
-      rig.mc.activate_precharge(setup.fbank, r);
-      ++acts;
+  if (setup.use_stream && kind != attack::PatternKind::kRandom) {
+    // Every kernel but kRandom replays the same rows each iteration
+    // (iteration_rows ignores `it`), so iteration 0 compiles the whole
+    // pattern; kRandom draws fresh rows per iteration and stays per-ACT.
+    pattern.iteration_rows(0, rows);
+    const dram::AccessStream stream(rig.dev, setup.fbank, rows);
+    while (acts < setup.act_budget) {
+      const std::uint64_t got =
+          rig.mc.run_stream(stream, setup.act_budget - acts);
+      acts += got;
+      if (got == 0) break;
+    }
+  } else {
+    for (std::uint64_t it = 0; acts < setup.act_budget; ++it) {
+      rows.clear();
+      pattern.iteration_rows(it, rows);
+      for (std::uint32_t r : rows) {
+        if (acts >= setup.act_budget) break;
+        rig.mc.activate_precharge(setup.fbank, r);
+        ++acts;
+      }
     }
   }
   // draw_victims == expected_victims for every kind but kRandom, whose

@@ -49,6 +49,14 @@ struct ProbeSetup {
   /// REF-synchronize the genome replay (see header comment). Fixed kernels
   /// never sync — they have no phase structure to align.
   bool sync_to_ref = true;
+  /// Execute via a compiled dram::AccessStream (one compile per probe, one
+  /// restore screen per row per pass) instead of per-activation replay. The
+  /// two paths are bit-identical — same flips, stats, stored rows, observer
+  /// and decision streams (tests/test_stream_equivalence.cpp holds the
+  /// proof) — so this is purely a speed knob; false keeps the reference
+  /// path for differential testing. kRandom kernels always replay per-ACT
+  /// (their row sequence is RNG-fresh each iteration, nothing to compile).
+  bool use_stream = true;
   /// Receives the tracker's track/sample/evict/refresh decisions (see
   /// ctrl/mitigation.h). Null = no decision tracing; the flip-side
   /// equivalent lives in device.observer. Probes under event tracing set

@@ -114,6 +114,82 @@ TEST(BitVec, EqualityIncludesLength) {
   EXPECT_NE(a, c);
 }
 
+// --- Word-boundary edge cases: tail words and cross-word bit ranges -------
+
+TEST(BitVec, TailWordStaysTrimmedThroughEveryMutator) {
+  for (std::size_t n : {1ul, 63ul, 65ul, 127ul, 130ul}) {
+    BitVec v(n);
+    v.fill(true);
+    EXPECT_EQ(v.popcount(), n) << "n=" << n;
+    // The physical tail word must hold no bits beyond size().
+    if (n % 64 != 0)
+      EXPECT_EQ(v.word(v.word_count() - 1),
+                (std::uint64_t{1} << (n % 64)) - 1)
+          << "n=" << n;
+    // set/flip/clear of the last valid bit never touches ghost bits.
+    v.flip(n - 1);
+    v.set(n - 1);
+    v.clear(n - 1);
+    EXPECT_EQ(v.popcount(), n - 1) << "n=" << n;
+    // set_word on the tail word trims the ghost range: bit n-1 (cleared
+    // above, and always inside the tail word since n % 64 != 0 here) comes
+    // back, and nothing beyond size() is counted.
+    v.set_word(v.word_count() - 1, ~std::uint64_t{0});
+    EXPECT_EQ(v.popcount(), n) << "n=" << n;
+  }
+}
+
+TEST(BitVec, TailWordSurvivesBitwiseOperators) {
+  const std::size_t n = 70;  // one full word + 6-bit tail
+  BitVec a(n, true), b(n);
+  b.set(69);
+  b.set(64);
+  b.set(63);
+  const BitVec x = a ^ b;
+  EXPECT_EQ(x.popcount(), n - 3);
+  EXPECT_FALSE(x.get(69));
+  EXPECT_FALSE(x.get(64));
+  EXPECT_FALSE(x.get(63));
+  EXPECT_EQ((a & b).popcount(), 3u);
+  EXPECT_EQ((a | b).popcount(), n);
+  EXPECT_EQ(BitVec::hamming_distance(a, b), n - 3);
+  // The last set bit reported must be a real one, not a ghost.
+  EXPECT_EQ((a | b).set_bits().back(), n - 1);
+}
+
+TEST(BitVec, CrossWordBitRangesEnumerateInOrder) {
+  // Set bits straddling every word boundary of a 4-word vector, plus both
+  // ends; set_bits() must report them ascending with none lost at seams.
+  BitVec v(256);
+  const std::vector<std::size_t> picks = {0,   62,  63,  64,  65,  126, 127,
+                                          128, 129, 190, 191, 192, 193, 255};
+  for (std::size_t i : picks) v.set(i);
+  EXPECT_EQ(v.set_bits(), picks);
+  EXPECT_EQ(v.popcount(), picks.size());
+  // Clearing exactly the boundary-straddling pairs keeps neighbours intact.
+  for (std::size_t i : {63ul, 64ul, 127ul, 128ul, 191ul, 192ul}) v.clear(i);
+  EXPECT_EQ(v.popcount(), picks.size() - 6);
+  EXPECT_TRUE(v.get(62));
+  EXPECT_TRUE(v.get(65));
+  EXPECT_TRUE(v.get(129));
+}
+
+TEST(BitVec, StripesAcrossWordBoundaries) {
+  // Stride 63 on a 130-bit vector: group edges land mid-word, at a word
+  // boundary, and inside the tail word.
+  BitVec v(130);
+  v.fill_stripes(63);
+  for (std::size_t i = 0; i < 130; ++i)
+    EXPECT_EQ(v.get(i), (i / 63) % 2 == 0) << "i=" << i;
+  // Word-width stride: word 0 set, word 1 clear, tail follows word parity.
+  v.fill_stripes(64);
+  EXPECT_EQ(v.word(0), ~std::uint64_t{0});
+  EXPECT_EQ(v.word(1), 0u);
+  EXPECT_TRUE(v.get(128));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_EQ(v.popcount(), 66u);
+}
+
 class PopcountSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(PopcountSweep, EverySetBitCounted) {

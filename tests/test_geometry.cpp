@@ -19,7 +19,9 @@ TEST(Geometry, Totals) {
 TEST(Geometry, ValidateRejectsDegenerate) {
   Geometry g = Geometry::tiny();
   EXPECT_NO_THROW(g.validate());
-  g.rows = 1;
+  g.rows = 1;  // single-row banks are legal (no neighbours, but refresh
+  EXPECT_NO_THROW(g.validate());  // and retention still apply)
+  g.rows = 0;
   EXPECT_THROW(g.validate(), CheckError);
   g = Geometry::tiny();
   g.row_bytes = 100;  // not a multiple of 64

@@ -94,7 +94,19 @@ TEST(Remap, ScrambleSeedsDiffer) {
 }
 
 TEST(Remap, TooFewRowsRejected) {
-  EXPECT_THROW(RowRemap(RemapScheme::kIdentity, 1), CheckError);
+  EXPECT_THROW(RowRemap(RemapScheme::kIdentity, 0), CheckError);
+}
+
+TEST(Remap, SingleRowIsIdentityUnderEveryScheme) {
+  // A single-row bank has nothing to permute: every scheme must map row 0
+  // to itself and report no physical neighbours.
+  for (RemapScheme s : {RemapScheme::kIdentity, RemapScheme::kMirrorBlocks,
+                        RemapScheme::kScramble}) {
+    RowRemap m(s, 1, 7);
+    EXPECT_EQ(m.to_physical(0), 0u);
+    EXPECT_EQ(m.to_logical(0), 0u);
+    EXPECT_TRUE(m.physical_neighbors(0).empty());
+  }
 }
 
 }  // namespace

@@ -1,0 +1,379 @@
+// Differential property tests for the compiled-stream fast path: a pattern
+// executed through dram::AccessStream + {Device,MemoryController}::run_stream
+// must be bit-exact with the per-activation replay it compiles away —
+// identical flip events (with full provenance), DeviceStats, stored rows,
+// FlipObserver and DecisionObserver streams — across randomized genomes and
+// slot vectors, every fixed kernel, REF interleavings (sync and free-run),
+// every remap scheme, every tracker, and campaign widths 1/2/8.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attack/patterns.h"
+#include "common/rng.h"
+#include "ctrl/mitigation.h"
+#include "dram/access_stream.h"
+#include "dram/device.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/params.h"
+#include "sim/campaign.h"
+
+namespace densemem {
+namespace {
+
+dram::Geometry small_geometry() {
+  dram::Geometry g;
+  g.channels = 1;
+  g.ranks = 1;
+  g.banks = 2;
+  g.rows = 256;
+  g.row_bytes = 512;  // 4096 bits per row
+  return g;
+}
+
+// Dense faults so every class of touched row (clean / weak / leaky) occurs
+// and the differential comparison is not vacuous. hc50 scales to the act
+// budget of the scenario: probe budgets are small (4096 ACTs split across a
+// genome's aggressors), so cells must flip within a few hundred weighted
+// activations for the comparison to see any commits at all.
+dram::ReliabilityParams hot_params(double hc50) {
+  auto p = dram::ReliabilityParams::vulnerable();
+  p.weak_cell_density = 2e-3;    // ~8 weak cells per 4096-bit row
+  p.leaky_cell_density = 5e-4;   // ~2 leaky cells per row
+  p.hc50 = hc50;
+  p.retention_mu_log_ms = 4.0;
+  return p;
+}
+
+/// Serializes every FlipRecord field — mechanism, aggressors, stress and
+/// DPD factor included, so a restore that committed at a different time or
+/// with different accumulated stress cannot hide behind equal flip counts.
+class FlipLog final : public dram::FlipObserver {
+ public:
+  FlipLog() { os_.precision(17); }
+  void on_flip(const dram::FlipRecord& r) override {
+    os_ << r.fbank << ',' << r.physical_row << ',' << r.logical_row << ','
+        << r.bit << ',' << static_cast<int>(r.mechanism) << ','
+        << r.one_to_zero << ',' << r.aggressor_up << ',' << r.aggressor_down
+        << ',' << r.stress << ',' << r.dpd_factor << ',' << r.when.as_ms()
+        << '\n';
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+class DecisionLog final : public ctrl::DecisionObserver {
+ public:
+  void on_decision(const ctrl::DecisionRecord& r) override {
+    os_ << static_cast<int>(r.kind) << ',' << r.fbank << ',' << r.row << ','
+        << r.source_row << '\n';
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+/// Stats, the complete flip-event log, and an FNV-1a hash of every stored
+/// row of every bank.
+std::string device_digest(dram::Device& dev) {
+  std::ostringstream os;
+  os.precision(17);
+  const dram::DeviceStats& s = dev.stats();
+  os << s.activates << ' ' << s.precharges << ' ' << s.reads << ' '
+     << s.writes << ' ' << s.row_refreshes << ' ' << s.targeted_refreshes
+     << ' ' << s.disturb_flips << ' ' << s.retention_flips << ' '
+     << s.flips_1to0 << ' ' << s.flips_0to1 << ' ' << s.flip_events_dropped
+     << '\n';
+  for (const dram::FlipEvent& e : dev.flip_events())
+    os << e.bank << ',' << e.physical_row << ',' << e.logical_row << ','
+       << e.bit << ',' << static_cast<int>(e.cause) << ',' << e.one_to_zero
+       << ',' << e.when.as_ms() << '\n';
+  std::vector<std::uint64_t> row;
+  const dram::Geometry& g = dev.geometry();
+  for (std::uint32_t b = 0; b < dram::total_banks(g); ++b) {
+    for (std::uint32_t r = 0; r < g.rows; ++r) {
+      dev.snapshot_row(b, r, row);
+      std::uint64_t h = 1469598103934665603ULL;
+      for (std::uint64_t w : row) {
+        h ^= w;
+        h *= 1099511628211ULL;
+      }
+      os << h << '\n';
+    }
+  }
+  return os.str();
+}
+
+fuzz::ProbeSetup make_setup(fuzz::TrackerKind tracker, bool sync,
+                            bool use_stream, dram::RemapScheme remap,
+                            std::uint64_t seed, FlipLog* flips,
+                            DecisionLog* decisions) {
+  fuzz::ProbeSetup setup;
+  setup.device.geometry = small_geometry();
+  setup.device.reliability = hot_params(300.0);
+  setup.device.seed = seed;
+  setup.device.remap = remap;
+  setup.device.pattern = dram::BackgroundPattern::kRowStripe;
+  setup.device.record_flip_events = true;
+  setup.device.observer = flips;
+  setup.decision_observer = decisions;
+  setup.tracker = tracker;
+  setup.act_budget = 4096;
+  setup.sync_to_ref = sync;
+  setup.use_stream = use_stream;
+  return setup;
+}
+
+fuzz::PatternGenome genome_for(std::uint64_t seed) {
+  fuzz::FuzzingParameterSet params;
+  params.rows_in_bank = small_geometry().rows;
+  Rng rng(seed);
+  return params.sample(rng);
+}
+
+struct ProbeDigest {
+  std::string text;
+  std::uint64_t flips = 0;
+  std::uint64_t decisions = 0;
+};
+
+ProbeDigest genome_digest(const fuzz::PatternGenome& genome,
+                          fuzz::TrackerKind tracker, bool sync,
+                          bool use_stream, dram::RemapScheme remap,
+                          std::uint64_t seed) {
+  FlipLog flips;
+  DecisionLog decisions;
+  const auto setup =
+      make_setup(tracker, sync, use_stream, remap, seed, &flips, &decisions);
+  const fuzz::ProbeResult r = fuzz::run_genome(genome, setup);
+  std::ostringstream os;
+  os.precision(17);
+  os << r.flips << ' ' << r.acts << ' ' << r.elapsed_ms << ' '
+     << r.targeted_refreshes << "\n--flips--\n"
+     << flips.str() << "--decisions--\n" << decisions.str();
+  return {os.str(), r.flips,
+          static_cast<std::uint64_t>(decisions.str().size())};
+}
+
+ProbeDigest kernel_digest(attack::PatternKind kind, fuzz::TrackerKind tracker,
+                          bool use_stream, std::uint64_t seed) {
+  FlipLog flips;
+  DecisionLog decisions;
+  const auto setup =
+      make_setup(tracker, /*sync=*/false, use_stream,
+                 dram::RemapScheme::kIdentity, seed, &flips, &decisions);
+  const fuzz::ProbeResult r = fuzz::run_kernel(kind, setup);
+  std::ostringstream os;
+  os.precision(17);
+  os << r.flips << ' ' << r.acts << ' ' << r.elapsed_ms << ' '
+     << r.targeted_refreshes << "\n--flips--\n"
+     << flips.str() << "--decisions--\n" << decisions.str();
+  return {os.str(), r.flips,
+          static_cast<std::uint64_t>(decisions.str().size())};
+}
+
+// ------------------------------------------------- fuzz / controller level
+
+TEST(StreamEquivalence, GenomeProbesMatchAcrossTrackersAndRefInterleavings) {
+  std::uint64_t total_flips = 0;
+  std::uint64_t total_decisions = 0;
+  for (fuzz::TrackerKind tracker :
+       {fuzz::TrackerKind::kNone, fuzz::TrackerKind::kMisraGries,
+        fuzz::TrackerKind::kSampler}) {
+    for (bool sync : {true, false}) {
+      for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        const auto genome = genome_for(seed * 1000 + 17);
+        const ProbeDigest stream = genome_digest(
+            genome, tracker, sync, true, dram::RemapScheme::kIdentity, seed);
+        const ProbeDigest replay = genome_digest(
+            genome, tracker, sync, false, dram::RemapScheme::kIdentity, seed);
+        EXPECT_EQ(stream.text, replay.text)
+            << "tracker=" << fuzz::tracker_name(tracker) << " sync=" << sync
+            << " seed=" << seed;
+        total_flips += stream.flips;
+        total_decisions += stream.decisions;
+      }
+    }
+  }
+  // The equivalence must not be vacuous: flips occurred, trackers decided.
+  EXPECT_GT(total_flips, 0u);
+  EXPECT_GT(total_decisions, 0u);
+}
+
+TEST(StreamEquivalence, GenomeProbesMatchUnderEveryRemapScheme) {
+  std::uint64_t total_flips = 0;
+  for (dram::RemapScheme remap :
+       {dram::RemapScheme::kIdentity, dram::RemapScheme::kMirrorBlocks,
+        dram::RemapScheme::kScramble}) {
+    for (std::uint64_t seed : {5ull, 6ull}) {
+      const auto genome = genome_for(seed * 1000 + 29);
+      const ProbeDigest stream = genome_digest(
+          genome, fuzz::TrackerKind::kSampler, true, true, remap, seed);
+      const ProbeDigest replay = genome_digest(
+          genome, fuzz::TrackerKind::kSampler, true, false, remap, seed);
+      EXPECT_EQ(stream.text, replay.text)
+          << "remap=" << static_cast<int>(remap) << " seed=" << seed;
+      total_flips += stream.flips;
+    }
+  }
+  EXPECT_GT(total_flips, 0u);
+}
+
+TEST(StreamEquivalence, FixedKernelsMatchAcrossEveryPatternKind) {
+  std::uint64_t total_flips = 0;
+  for (attack::PatternKind kind :
+       {attack::PatternKind::kSingleSided, attack::PatternKind::kDoubleSided,
+        attack::PatternKind::kOneLocation, attack::PatternKind::kManySided,
+        attack::PatternKind::kHalfDouble, attack::PatternKind::kRandom}) {
+    for (fuzz::TrackerKind tracker :
+         {fuzz::TrackerKind::kMisraGries, fuzz::TrackerKind::kSampler}) {
+      const ProbeDigest stream = kernel_digest(kind, tracker, true, 11);
+      const ProbeDigest replay = kernel_digest(kind, tracker, false, 11);
+      EXPECT_EQ(stream.text, replay.text)
+          << "kind=" << static_cast<int>(kind)
+          << " tracker=" << fuzz::tracker_name(tracker);
+      total_flips += stream.flips;
+    }
+  }
+  EXPECT_GT(total_flips, 0u);
+}
+
+// --------------------------------------------------------- device level
+
+/// The loop Device::run_stream compiles away, stated directly: ACT+PRE per
+/// non-idle slot at fixed slot spacing, budget checked before every slot.
+std::uint64_t replay_per_act(dram::Device& dev, std::uint32_t fbank,
+                             const std::vector<std::uint32_t>& slots,
+                             std::uint64_t max_acts, Time& now, Time dt) {
+  bool any_act = false;
+  for (std::uint32_t lr : slots) any_act |= lr != dram::AccessStream::kIdle;
+  if (!any_act || max_acts == 0) return 0;
+  std::uint64_t issued = 0;
+  while (true) {
+    for (std::uint32_t lr : slots) {
+      if (issued == max_acts) return issued;
+      if (lr == dram::AccessStream::kIdle) {
+        now += dt;
+        continue;
+      }
+      dev.activate(fbank, lr, now);
+      dev.precharge(fbank, now);
+      now += dt;
+      ++issued;
+    }
+  }
+}
+
+std::vector<std::uint32_t> random_slots(Rng& rng, std::uint32_t rows) {
+  const auto center =
+      8 + static_cast<std::uint32_t>(rng.next_u64() % (rows - 16));
+  const auto nslots = 24 + static_cast<std::uint32_t>(rng.next_u64() % 40);
+  std::vector<std::uint32_t> slots;
+  slots.reserve(nslots);
+  for (std::uint32_t i = 0; i < nslots; ++i) {
+    if (rng.next_u64() % 8 == 0) {
+      slots.push_back(dram::AccessStream::kIdle);
+    } else {
+      // A tight band around a random center: aggressors overlap as victims
+      // and neighbours of each other, the shape that stresses pass_stress
+      // accounting and the per-pass screens hardest.
+      slots.push_back(center - 4 +
+                      static_cast<std::uint32_t>(rng.next_u64() % 9));
+    }
+  }
+  return slots;
+}
+
+TEST(StreamEquivalence, DeviceRunStreamMatchesPerActivationOnRandomStreams) {
+  std::uint64_t total_disturb = 0;
+  std::uint64_t total_retention = 0;
+  for (dram::BackgroundPattern pat :
+       {dram::BackgroundPattern::kRowStripe,
+        dram::BackgroundPattern::kCheckerboard,
+        dram::BackgroundPattern::kRandom}) {
+    for (std::uint64_t seed : {1ull, 7ull}) {
+      dram::DeviceConfig cfg;
+      cfg.geometry = small_geometry();
+      cfg.reliability = hot_params(2e3);
+      cfg.remap = seed % 2 ? dram::RemapScheme::kScramble
+                           : dram::RemapScheme::kIdentity;
+      cfg.seed = seed;
+      cfg.pattern = pat;
+      cfg.record_flip_events = true;
+      dram::Device fast(cfg);
+      dram::Device ref(cfg);
+
+      Rng rng(seed * 7919 + static_cast<std::uint64_t>(pat));
+      Time t_fast = Time::ms(0);
+      Time t_ref = Time::ms(0);
+      const Time dt = Time::ns(50);
+      for (int round = 0; round < 3; ++round) {
+        const std::uint32_t fbank = rng.next_u64() % 2;
+        const auto slots = random_slots(rng, cfg.geometry.rows);
+        // A budget that usually cuts the last pass short, so mid-pass
+        // termination is compared too.
+        const std::uint64_t budget = 5000 + rng.next_u64() % 20000;
+        const dram::AccessStream stream(fast, fbank, slots);
+        const std::uint64_t a = fast.run_stream(stream, budget, t_fast, dt);
+        const std::uint64_t b =
+            replay_per_act(ref, fbank, slots, budget, t_ref, dt);
+        ASSERT_EQ(a, b);
+        // A long pause between streams lets leaky cells act, covering the
+        // retention (never-skip) arm of the stream executor.
+        t_fast += Time::ms(40);
+        t_ref += Time::ms(40);
+      }
+      // Commit pending state everywhere before comparing storage.
+      fast.refresh_next(0, cfg.geometry.rows, t_fast);
+      fast.refresh_next(1, cfg.geometry.rows, t_fast);
+      ref.refresh_next(0, cfg.geometry.rows, t_ref);
+      ref.refresh_next(1, cfg.geometry.rows, t_ref);
+      EXPECT_EQ(device_digest(fast), device_digest(ref))
+          << "pattern=" << static_cast<int>(pat) << " seed=" << seed;
+      total_disturb += fast.stats().disturb_flips;
+      total_retention += fast.stats().retention_flips;
+    }
+  }
+  EXPECT_GT(total_disturb, 0u);
+  EXPECT_GT(total_retention, 0u);
+}
+
+// ------------------------------------------------------- campaign widths
+
+TEST(StreamEquivalence, IdenticalAcross1And2And8Threads) {
+  const auto run_at = [](unsigned threads) {
+    sim::CampaignConfig cfg;
+    cfg.threads = threads;
+    cfg.seed = 99;
+    cfg.progress = false;
+    sim::Campaign c("stream-equivalence", cfg);
+    return c.map<std::string>(10, [](const sim::JobContext& ctx) {
+      const std::uint64_t seed = ctx.stream_seed | 1;
+      const auto genome = genome_for(seed);
+      const auto tracker = ctx.index % 2 ? fuzz::TrackerKind::kSampler
+                                         : fuzz::TrackerKind::kMisraGries;
+      const ProbeDigest stream = genome_digest(
+          genome, tracker, true, true, dram::RemapScheme::kIdentity, seed);
+      const ProbeDigest replay = genome_digest(
+          genome, tracker, true, false, dram::RemapScheme::kIdentity, seed);
+      return std::string(stream.text == replay.text ? "match\n"
+                                                    : "MISMATCH\n") +
+             stream.text;
+    });
+  };
+  const auto one = run_at(1);
+  const auto two = run_at(2);
+  const auto eight = run_at(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  for (const std::string& d : one) EXPECT_EQ(d.substr(0, 6), "match\n");
+}
+
+}  // namespace
+}  // namespace densemem
