@@ -52,6 +52,28 @@ class BitVec {
     if (w + 1 == words_.size()) trim();
   }
 
+  /// 64 bits starting at an arbitrary bit offset (zero-padded past the end).
+  /// Lets codecs walk byte/word lanes that are not 64-bit aligned.
+  std::uint64_t get_word_at(std::size_t off) const {
+    const std::size_t w = off >> 6;
+    const unsigned sh = static_cast<unsigned>(off & 63);
+    if (w >= words_.size()) return 0;
+    std::uint64_t v = words_[w] >> sh;
+    if (sh != 0 && w + 1 < words_.size()) v |= words_[w + 1] << (64 - sh);
+    return v;
+  }
+
+  /// OR the low `len` (1..64) bits of `v` into positions [off, off+len).
+  /// Intended for scattering into freshly zeroed regions (no clearing).
+  void or_bits_at(std::size_t off, std::uint64_t v, unsigned len) {
+    DM_DCHECK(len >= 1 && len <= 64 && off + len <= nbits_);
+    if (len < 64) v &= (std::uint64_t{1} << len) - 1;
+    const std::size_t w = off >> 6;
+    const unsigned sh = static_cast<unsigned>(off & 63);
+    words_[w] |= v << sh;
+    if (sh != 0 && sh + len > 64) words_[w + 1] |= v >> (64 - sh);
+  }
+
   void fill(bool v) {
     for (auto& w : words_) w = v ? ~std::uint64_t{0} : 0;
     trim();

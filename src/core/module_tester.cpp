@@ -1,7 +1,6 @@
 #include "core/module_tester.h"
 
 #include <algorithm>
-#include <set>
 
 #include "common/check.h"
 
@@ -65,8 +64,12 @@ ModuleTestResult ModuleTester::run(dram::Device& dev) const {
   std::vector<std::uint64_t> rand_row(g.row_words());
   std::vector<std::uint64_t> victim_rand(g.row_words());
   std::vector<std::uint64_t> readback;
+  // One allocation reused across victims; duplicates (the same cell failing
+  // under several patterns) are collapsed by a sort+unique per victim, which
+  // beats a node-based set on the flip counts real sweeps produce.
+  std::vector<std::uint32_t> failing_bits;
   for (std::uint32_t v : victims) {
-    std::set<std::uint32_t> failing_bits;
+    failing_bits.clear();
     for (const PatternRows& pr : prows) {
       // Re-initialize the 5-row neighbourhood with the pattern: writing a
       // row restores its charge and clears previous flips.
@@ -103,11 +106,14 @@ ModuleTestResult ModuleTester::run(dram::Device& dev) const {
         std::uint64_t diff = readback[w] ^ expected[w];
         while (diff) {
           const auto bit = static_cast<std::uint32_t>(__builtin_ctzll(diff));
-          failing_bits.insert(w * 64 + bit);
+          failing_bits.push_back(w * 64 + bit);
           diff &= diff - 1;
         }
       }
     }
+    std::sort(failing_bits.begin(), failing_bits.end());
+    failing_bits.erase(std::unique(failing_bits.begin(), failing_bits.end()),
+                       failing_bits.end());
     res.failing_cells += failing_bits.size();
     if (!failing_bits.empty()) ++res.rows_with_errors;
     res.cells_tested += g.row_bits();

@@ -297,19 +297,14 @@ ReadResult MemoryController::read_block(const Address& a) {
       break;
     }
     case EccMode::kBch: {
+      // The 512-bit payload is word-aligned in the code word, so the whole
+      // pack/unpack is eight word moves plus one parity deposit.
       BitVec cw(static_cast<std::size_t>(bch_->code_bits()));
-      for (std::uint32_t w = 0; w < 8; ++w)
-        for (unsigned bit = 0; bit < 64; ++bit)
-          if ((raw[w] >> bit) & 1) cw.set(w * 64 + bit);
-      for (int pb = 0; pb < bch_->parity_bits(); ++pb)
-        if ((raw[8] >> pb) & 1) cw.set(static_cast<std::size_t>(512 + pb));
+      for (std::uint32_t w = 0; w < 8; ++w) cw.set_word(w, raw[w]);
+      cw.or_bits_at(512, raw[8],
+                    static_cast<unsigned>(bch_->parity_bits()));
       auto d = bch_->decode(cw);
-      for (std::uint32_t w = 0; w < 8; ++w) {
-        std::uint64_t v = 0;
-        for (unsigned bit = 0; bit < 64; ++bit)
-          if (d.data.get(w * 64 + bit)) v |= std::uint64_t{1} << bit;
-        r.data[w] = v;
-      }
+      for (std::uint32_t w = 0; w < 8; ++w) r.data[w] = d.data.word(w);
       r.status = d.status;
       r.corrected_bits = d.corrected_bits;
       switch (d.status) {
@@ -368,15 +363,10 @@ void MemoryController::write_block(const Address& a,
     }
     case EccMode::kBch: {
       BitVec payload(512);
-      for (std::uint32_t w = 0; w < 8; ++w)
-        for (unsigned bit = 0; bit < 64; ++bit)
-          if ((data[w] >> bit) & 1) payload.set(w * 64 + bit);
+      for (std::uint32_t w = 0; w < 8; ++w) payload.set_word(w, data[w]);
       const BitVec cw = bch_->encode(payload);
-      std::uint64_t check = 0;
-      for (int pb = 0; pb < bch_->parity_bits(); ++pb)
-        if (cw.get(static_cast<std::size_t>(512 + pb)))
-          check |= std::uint64_t{1} << pb;
-      device_.write_word(fbank, base + 8, check);
+      // Parity occupies bits 512..512+r-1; bits past code_bits are zero.
+      device_.write_word(fbank, base + 8, cw.get_word_at(512));
       break;
     }
   }

@@ -1,10 +1,16 @@
 #include "ecc/bch.h"
 
 #include <algorithm>
+#include <bit>
 #include <set>
 
 namespace densemem::ecc {
 namespace {
+
+// Cap on the packed LFSR width for the byte-at-a-time encoder: 8 words
+// covers every code with up to 512 parity bits (m=16, t=32). Larger codes
+// fall back to the per-bit LFSR.
+constexpr int kMaxRemWords = 8;
 
 // Minimal polynomial (over GF(2)) of alpha^c: product of (x - alpha^j) over
 // the cyclotomic coset of c. Returned with bit i = coefficient of x^i.
@@ -64,6 +70,56 @@ std::vector<std::uint8_t> build_generator(const GF2m& f, int t) {
   return g;
 }
 
+// --- packed-remainder primitives for the word-parallel LFSR ---------------
+// The remainder lives in W 64-bit words holding bits 0..r-1 (bit i of the
+// polynomial = bit i of the packed array); bits >= r are kept zero.
+
+inline bool top_bit(const std::uint64_t* rem, int r) {
+  return (rem[(r - 1) >> 6] >> ((r - 1) & 63)) & 1;
+}
+
+inline void shl1_masked(std::uint64_t* rem, int w_count, int r) {
+  for (int w = w_count - 1; w > 0; --w)
+    rem[w] = (rem[w] << 1) | (rem[w - 1] >> 63);
+  rem[0] <<= 1;
+  if (r & 63) rem[w_count - 1] &= (std::uint64_t{1} << (r & 63)) - 1;
+}
+
+inline void shl8_masked(std::uint64_t* rem, int w_count, int r) {
+  for (int w = w_count - 1; w > 0; --w)
+    rem[w] = (rem[w] << 8) | (rem[w - 1] >> 56);
+  rem[0] <<= 8;
+  if (r & 63) rem[w_count - 1] &= (std::uint64_t{1} << (r & 63)) - 1;
+}
+
+inline unsigned top_byte(const std::uint64_t* rem, int r) {
+  const int off = r - 8;  // bits off..off+7 exist because rem holds r >= 8 bits
+  const int w = off >> 6;
+  const unsigned sh = static_cast<unsigned>(off & 63);
+  std::uint64_t v = rem[w] >> sh;
+  if (sh > 56) v |= rem[w + 1] << (64 - sh);
+  return static_cast<unsigned>(v & 0xFF);
+}
+
+// OR `len` bits of src starting at src_off into buf starting at bit dst_off.
+// buf must be zero in the target range.
+void gather_bits(std::uint64_t* buf, std::size_t dst_off, const BitVec& src,
+                 std::size_t src_off, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const unsigned chunk =
+        static_cast<unsigned>(std::min<std::size_t>(64, len - done));
+    std::uint64_t v = src.get_word_at(src_off + done);
+    if (chunk < 64) v &= (std::uint64_t{1} << chunk) - 1;
+    const std::size_t off = dst_off + done;
+    const std::size_t w = off >> 6;
+    const unsigned sh = static_cast<unsigned>(off & 63);
+    buf[w] |= v << sh;
+    if (sh != 0 && sh + chunk > 64) buf[w + 1] |= v >> (64 - sh);
+    done += chunk;
+  }
+}
+
 }  // namespace
 
 BchCode::BchCode(BchParams p) : params_(p), field_(p.m) {
@@ -74,47 +130,185 @@ BchCode::BchCode(BchParams p) : params_(p), field_(p.m) {
   DM_CHECK_MSG(p.k_data + r <= n(),
                "BCH payload does not fit: k_data + parity exceeds 2^m - 1");
   DM_CHECK_MSG(gen_.back() == 1, "generator polynomial must be monic");
+  build_kernels();
+}
+
+void BchCode::build_kernels() {
+  const int r = parity_bits();
+
+  // Byte-at-a-time encoder table (CRC-style). The per-bit step computes
+  // rem' = rem*x + b*x^r mod g; eight steps collapse to
+  //   rem' = (rem << 8 masked to r bits) ^ enc_tab_[top8(rem) ^ u]
+  // where enc_tab_[v] = v(x)*x^r mod g, because rem = low + x^{r-8}*top
+  // gives rem*x^8 + u*x^r = low*x^8 + (top + u)*x^r (mod g). Needs r >= 8 so
+  // a whole byte fits above the shift; tiny codes keep the per-bit path.
+  if (r >= 8 && r <= 64 * kMaxRemWords) {
+    rem_words_ = (r + 63) / 64;
+    gen_words_.assign(static_cast<std::size_t>(rem_words_), 0);
+    for (int j = 0; j < r; ++j)
+      if (gen_[static_cast<std::size_t>(j)])
+        gen_words_[static_cast<std::size_t>(j >> 6)] |= std::uint64_t{1}
+                                                        << (j & 63);
+    enc_tab_.assign(256 * static_cast<std::size_t>(rem_words_), 0);
+    for (unsigned v = 0; v < 256; ++v) {
+      std::uint64_t rem[kMaxRemWords] = {};
+      for (int s = 7; s >= 0; --s) {
+        const bool fb = (((v >> s) & 1) != 0) != top_bit(rem, r);
+        shl1_masked(rem, rem_words_, r);
+        if (fb)
+          for (int w = 0; w < rem_words_; ++w) rem[w] ^= gen_words_[w];
+      }
+      std::copy(rem, rem + rem_words_,
+                enc_tab_.begin() + static_cast<std::size_t>(v) * rem_words_);
+    }
+  }
+
+  // Byte-fold syndrome tables for the odd syndromes only; even ones derive
+  // as S_2j = S_j^2 (squaring is the Frobenius map, exact over GF(2) data).
+  for (int j = 1; j <= 2 * params_.t; j += 2) odd_j_.push_back(j);
+  syn_tab_.assign(odd_j_.size() * 256, 0);
+  byte_step_log_.assign(odd_j_.size(), 0);
+  for (std::size_t oi = 0; oi < odd_j_.size(); ++oi) {
+    const int j = odd_j_[oi];
+    std::uint32_t ap[8];
+    for (int s = 0; s < 8; ++s)
+      ap[s] = field_.alpha_pow(static_cast<std::int64_t>(s) * j);
+    std::uint32_t* row = &syn_tab_[oi * 256];
+    for (unsigned v = 1; v < 256; ++v)
+      row[v] = row[v & (v - 1)] ^ ap[std::countr_zero(v)];
+    byte_step_log_[oi] =
+        static_cast<std::uint32_t>((8u * static_cast<unsigned>(j)) % field_.n());
+  }
 }
 
 BitVec BchCode::encode(const BitVec& data) const {
   DM_CHECK_MSG(static_cast<int>(data.size()) == k_data(),
                "encode payload size mismatch");
   const int r = parity_bits();
-  // LFSR division of d(x) * x^r by g(x): process data high-degree first.
-  std::vector<std::uint8_t> rem(static_cast<std::size_t>(r), 0);
-  for (int i = k_data() - 1; i >= 0; --i) {
-    const bool fb = data.get(static_cast<std::size_t>(i)) !=
-                    static_cast<bool>(rem[static_cast<std::size_t>(r - 1)]);
-    for (int j = r - 1; j > 0; --j)
-      rem[static_cast<std::size_t>(j)] = rem[static_cast<std::size_t>(j - 1)];
-    rem[0] = 0;
-    if (fb)
-      for (int j = 0; j < r; ++j)
-        rem[static_cast<std::size_t>(j)] ^= gen_[static_cast<std::size_t>(j)];
-  }
+  const int k = k_data();
   // Layout: [data bits 0..k-1][parity bits 0..r-1]; poly position of data
   // bit i is r + i, of parity bit j is j.
   BitVec cw(static_cast<std::size_t>(code_bits()));
-  for (int i = 0; i < k_data(); ++i)
-    cw.set(static_cast<std::size_t>(i), data.get(static_cast<std::size_t>(i)));
-  for (int j = 0; j < r; ++j)
-    cw.set(static_cast<std::size_t>(k_data() + j),
-           static_cast<bool>(rem[static_cast<std::size_t>(j)]));
+
+  if (rem_words_ == 0) {
+    // Per-bit LFSR division of d(x) * x^r by g(x), data high-degree first.
+    std::vector<std::uint8_t> rem(static_cast<std::size_t>(r), 0);
+    for (int i = k - 1; i >= 0; --i) {
+      const bool fb = data.get(static_cast<std::size_t>(i)) !=
+                      static_cast<bool>(rem[static_cast<std::size_t>(r - 1)]);
+      for (int j = r - 1; j > 0; --j)
+        rem[static_cast<std::size_t>(j)] = rem[static_cast<std::size_t>(j - 1)];
+      rem[0] = 0;
+      if (fb)
+        for (int j = 0; j < r; ++j)
+          rem[static_cast<std::size_t>(j)] ^= gen_[static_cast<std::size_t>(j)];
+    }
+    for (int i = 0; i < k; ++i)
+      cw.set(static_cast<std::size_t>(i), data.get(static_cast<std::size_t>(i)));
+    for (int j = 0; j < r; ++j)
+      cw.set(static_cast<std::size_t>(k + j),
+             static_cast<bool>(rem[static_cast<std::size_t>(j)]));
+    return cw;
+  }
+
+  const int w_count = rem_words_;
+  std::uint64_t rem[kMaxRemWords] = {};
+  // Leading k % 8 bits go through the per-bit step so the rest is whole bytes.
+  const int lead = k % 8;
+  for (int i = k - 1; i >= k - lead; --i) {
+    const bool fb = data.get(static_cast<std::size_t>(i)) != top_bit(rem, r);
+    shl1_masked(rem, w_count, r);
+    if (fb)
+      for (int w = 0; w < w_count; ++w) rem[w] ^= gen_words_[w];
+  }
+  for (int off = k - lead - 8; off >= 0; off -= 8) {
+    const unsigned u = static_cast<unsigned>(
+        data.get_word_at(static_cast<std::size_t>(off)) & 0xFF);
+    const unsigned idx = top_byte(rem, r) ^ u;
+    shl8_masked(rem, w_count, r);
+    const std::uint64_t* row = &enc_tab_[static_cast<std::size_t>(idx) * w_count];
+    for (int w = 0; w < w_count; ++w) rem[w] ^= row[w];
+  }
+
+  for (std::size_t w = 0; w < data.word_count(); ++w)
+    cw.set_word(w, data.word(w));
+  for (int w = 0; w * 64 < r; ++w)
+    cw.or_bits_at(static_cast<std::size_t>(k) + 64u * static_cast<unsigned>(w),
+                  rem[w], static_cast<unsigned>(std::min(64, r - w * 64)));
   return cw;
 }
 
 std::vector<std::uint32_t> BchCode::compute_syndromes(const BitVec& cw) const {
   const int r = parity_bits();
+  const int k = k_data();
+  const int nbits = code_bits();
   std::vector<std::uint32_t> syn(static_cast<std::size_t>(2 * params_.t), 0);
-  for (std::size_t bit : cw.set_bits()) {
-    // Polynomial position of this code-word bit (see encode layout).
-    const std::int64_t pos =
-        bit < static_cast<std::size_t>(k_data())
-            ? static_cast<std::int64_t>(r) + static_cast<std::int64_t>(bit)
-            : static_cast<std::int64_t>(bit) - k_data();
-    for (int j = 1; j <= 2 * params_.t; ++j)
-      syn[static_cast<std::size_t>(j - 1)] ^= field_.alpha_pow(pos * j);
+
+  // Gather the code word into polynomial order (parity at positions 0..r-1,
+  // data at r..r+k-1) so each syndrome folds byte-at-a-time by Horner:
+  //   S_j = sum_B alpha^{8Bj} * P_j(byte_B),  P_j from the 256-entry table.
+  constexpr int kStackWords = 64;  // 4096 bits covers every in-tree code
+  std::uint64_t stack_buf[kStackWords] = {};
+  std::vector<std::uint64_t> heap_buf;
+  std::uint64_t* poly = stack_buf;
+  const int nwords = (nbits + 63) / 64;
+  if (nwords > kStackWords) {
+    heap_buf.assign(static_cast<std::size_t>(nwords), 0);
+    poly = heap_buf.data();
   }
+  gather_bits(poly, 0, cw, static_cast<std::size_t>(k),
+              static_cast<std::size_t>(r));
+  gather_bits(poly, static_cast<std::size_t>(r), cw, 0,
+              static_cast<std::size_t>(k));
+
+  // When the packed LFSR is available, fold c(x) down to R = c(x) mod g(x)
+  // first (one table step per byte) and evaluate the syndromes on R's r bits
+  // instead of all n: every alpha^j with 1 <= j <= 2t is a root of g, so
+  // S_j = c(alpha^j) = (q*g + R)(alpha^j) = R(alpha^j) — the same exact field
+  // elements, an identity in GF(2^m), not an approximation. This is also
+  // what makes the clean path cheap: R == 0 iff g | c iff every syndrome is
+  // zero, so an error-free word costs one division pass plus a short fold.
+  const std::uint64_t* fold = poly;
+  int nbytes = (nbits + 7) / 8;
+  std::uint64_t rem[kMaxRemWords] = {};
+  if (rem_words_ > 0) {
+    const int w_count = rem_words_;
+    // R <- R*x + c_pos, reduced mod g each step; leading nbits % 8 bits
+    // per-bit so the remaining stream is whole bytes.
+    const int lead = nbits % 8;
+    for (int pos = nbits - 1; pos >= nbits - lead; --pos) {
+      const bool fb = top_bit(rem, r);
+      shl1_masked(rem, w_count, r);
+      if (fb)
+        for (int w = 0; w < w_count; ++w) rem[w] ^= gen_words_[w];
+      rem[0] ^= (poly[pos >> 6] >> (pos & 63)) & 1;
+    }
+    for (int byte = (nbits - lead) / 8 - 1; byte >= 0; --byte) {
+      const unsigned idx = top_byte(rem, r);
+      shl8_masked(rem, w_count, r);
+      const std::uint64_t* row =
+          &enc_tab_[static_cast<std::size_t>(idx) * w_count];
+      for (int w = 0; w < w_count; ++w) rem[w] ^= row[w];
+      rem[0] ^= (poly[byte >> 3] >> ((byte & 7) * 8)) & 0xFF;
+    }
+    fold = rem;
+    nbytes = (r + 7) / 8;
+  }
+
+  for (std::size_t oi = 0; oi < odd_j_.size(); ++oi) {
+    const std::uint32_t* tab = &syn_tab_[oi * 256];
+    const std::uint32_t step = byte_step_log_[oi];
+    std::uint32_t acc = 0;
+    for (int byte = nbytes - 1; byte >= 0; --byte) {
+      const unsigned v = static_cast<unsigned>(
+          (fold[byte >> 3] >> ((byte & 7) * 8)) & 0xFF);
+      acc = field_.mul_by_log(acc, step) ^ tab[v];
+    }
+    syn[static_cast<std::size_t>(odd_j_[oi] - 1)] = acc;
+  }
+  for (int j = 2; j <= 2 * params_.t; j += 2)
+    syn[static_cast<std::size_t>(j - 1)] =
+        field_.sqr(syn[static_cast<std::size_t>(j / 2 - 1)]);
   return syn;
 }
 
@@ -123,8 +317,7 @@ BchDecodeResult BchCode::decode(const BitVec& codeword) const {
                "decode code word size mismatch");
   auto extract_data = [&](const BitVec& cw) {
     BitVec d(static_cast<std::size_t>(k_data()));
-    for (int i = 0; i < k_data(); ++i)
-      d.set(static_cast<std::size_t>(i), cw.get(static_cast<std::size_t>(i)));
+    for (std::size_t w = 0; w < d.word_count(); ++w) d.set_word(w, cw.word(w));
     return d;
   };
 
@@ -176,21 +369,33 @@ BchDecodeResult BchCode::decode(const BitVec& codeword) const {
   if (deg == 0 || deg > params_.t || L != deg)
     return {DecodeStatus::kUncorrectable, extract_data(codeword), 0};
 
-  // Chien search restricted to positions that exist in the shortened code.
+  // Incremental Chien search over the positions that exist in the shortened
+  // code: maintain q_i = sigma_i * alpha^{-pos*i}, advancing each lane by a
+  // fixed alpha^{-i} per position. sigma has at most deg roots in the whole
+  // field, so once deg distinct roots are found no later position can be one
+  // — the early exit is exact, not a heuristic.
   BitVec corrected = codeword;
   int found = 0;
   const int max_pos = code_bits();  // poly positions 0 .. max_pos-1
+  const std::uint32_t nf = field_.n();
+  std::vector<std::uint32_t> q(sigma);
+  std::vector<std::uint32_t> step_lg(sigma.size(), 0);
+  for (std::size_t i = 1; i < sigma.size(); ++i)
+    step_lg[i] = (nf - static_cast<std::uint32_t>(i % nf)) % nf;  // log a^-i
   for (int pos = 0; pos < max_pos; ++pos) {
     // Error at poly position pos <=> sigma(alpha^{-pos}) == 0.
-    const std::uint32_t x = field_.alpha_pow(-static_cast<std::int64_t>(pos));
-    if (field_.poly_eval(sigma, x) == 0) {
+    std::uint32_t eval = 0;
+    for (std::size_t i = 0; i < q.size(); ++i) eval ^= q[i];
+    if (eval == 0) {
       const std::size_t bit =
           pos >= parity_bits()
               ? static_cast<std::size_t>(pos - parity_bits())
               : static_cast<std::size_t>(k_data() + pos);
       corrected.flip(bit);
-      ++found;
+      if (++found == deg) break;
     }
+    for (std::size_t i = 1; i < q.size(); ++i)
+      q[i] = field_.mul_by_log(q[i], step_lg[i]);
   }
   if (found != deg) {
     // Some roots fell outside the shortened code (or were repeated): a

@@ -57,10 +57,28 @@ class BchCode {
 
  private:
   std::vector<std::uint32_t> compute_syndromes(const BitVec& cw) const;
+  void build_kernels();
 
   BchParams params_;
   GF2m field_;
   std::vector<std::uint8_t> gen_;  ///< generator poly coefficients (GF(2))
+
+  // --- word-parallel kernels (derived from gen_, built once) --------------
+  /// Remainder words per LFSR state: ceil(parity_bits / 64). 0 disables the
+  /// table paths (tiny codes with < 8 parity bits fall back to per-bit).
+  int rem_words_ = 0;
+  /// Generator bits 0..r-1, packed.
+  std::vector<std::uint64_t> gen_words_;
+  /// Byte-at-a-time LFSR step: remainder of v(x)*x^r mod g for each of the
+  /// 256 top-byte values, rem_words_ words per entry (CRC-style).
+  std::vector<std::uint64_t> enc_tab_;
+  /// Odd syndrome indices 1, 3, ..., 2t-1 (evens derive as S_2j = S_j^2).
+  std::vector<int> odd_j_;
+  /// Per odd syndrome j: 256-entry byte-fold table P_j(v) = sum over set
+  /// bits s of v of alpha^(s*j), laid out row-major [odd][256].
+  std::vector<std::uint32_t> syn_tab_;
+  /// Per odd syndrome j: log(alpha^(8j)), the Horner byte-step multiplier.
+  std::vector<std::uint32_t> byte_step_log_;
 };
 
 /// Convenience: smallest t such that a BCH code over GF(2^m) with the given

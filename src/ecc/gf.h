@@ -23,20 +23,38 @@ class GF2m {
 
   std::uint32_t add(std::uint32_t a, std::uint32_t b) const { return a ^ b; }
 
+  // The exp table is doubled (size 2n) precisely so the summed logs below
+  // can index it directly: log a + log b <= 2n - 2 and
+  // log a + n - log b <= 2n - 1, so no `% n` reduction is ever needed.
   std::uint32_t mul(std::uint32_t a, std::uint32_t b) const {
     if (a == 0 || b == 0) return 0;
-    return exp_[(log_[a] + log_[b]) % n_];
+    return exp_[log_[a] + log_[b]];
   }
 
   std::uint32_t inv(std::uint32_t a) const {
     DM_CHECK_MSG(a != 0, "inverse of zero in GF(2^m)");
-    return exp_[(n_ - log_[a]) % n_];
+    return exp_[n_ - log_[a]];
   }
 
   std::uint32_t div(std::uint32_t a, std::uint32_t b) const {
     DM_CHECK_MSG(b != 0, "division by zero in GF(2^m)");
     if (a == 0) return 0;
-    return exp_[(log_[a] + n_ - log_[b]) % n_];
+    return exp_[log_[a] + n_ - log_[b]];
+  }
+
+  /// a * alpha^lg for a precomputed log lg in [0, n): the fixed-multiplicand
+  /// form the Horner syndrome folds and incremental Chien steps use (one
+  /// log lookup instead of two).
+  std::uint32_t mul_by_log(std::uint32_t a, std::uint32_t lg) const {
+    if (a == 0) return 0;
+    return exp_[log_[a] + lg];
+  }
+
+  /// a^2. In characteristic 2 squaring is linear, which is what lets binary
+  /// BCH derive even-indexed syndromes as S_2j = S_j^2.
+  std::uint32_t sqr(std::uint32_t a) const {
+    if (a == 0) return 0;
+    return exp_[2 * log_[a]];
   }
 
   /// alpha^e for any integer exponent (reduced mod 2^m - 1).

@@ -22,29 +22,37 @@ constexpr std::array<std::uint8_t, 64> make_data_positions() {
 }
 constexpr auto kDataPos = make_data_positions();
 
-struct CodeBits {
-  // bits[p] for Hamming position p in 0..71 (0 = overall parity position).
-  std::array<bool, 72> bits{};
-};
-
-CodeBits unpack(SecdedWord w) {
-  CodeBits cb;
+// Word-parallel syndrome kernel: mask j selects the data bits whose Hamming
+// position has bit j set, so syndrome bit j = parity(data & mask[j]). One
+// popcount per syndrome bit replaces the per-position 0..71 loop.
+constexpr std::array<std::uint64_t, 7> make_syndrome_masks() {
+  std::array<std::uint64_t, 7> masks{};
   for (unsigned i = 0; i < 64; ++i)
-    cb.bits[kDataPos[i]] = (w.data >> i) & 1;
-  for (unsigned j = 0; j < 7; ++j)
-    cb.bits[1u << j] = (w.check >> j) & 1;
-  cb.bits[0] = (w.check >> 7) & 1;
-  return cb;
+    for (unsigned j = 0; j < 7; ++j)
+      if ((kDataPos[i] >> j) & 1) masks[j] |= std::uint64_t{1} << i;
+  return masks;
+}
+constexpr auto kSynMask = make_syndrome_masks();
+
+// Inverse of kDataPos: Hamming position -> logical data bit, 0xFF for the
+// check-bit positions (powers of two and the overall-parity position 0).
+constexpr std::array<std::uint8_t, 72> make_pos_to_data() {
+  std::array<std::uint8_t, 72> inv{};
+  for (auto& v : inv) v = 0xFF;
+  for (unsigned i = 0; i < 64; ++i) inv[kDataPos[i]] = static_cast<std::uint8_t>(i);
+  return inv;
+}
+constexpr auto kPosToData = make_pos_to_data();
+
+inline unsigned parity64(std::uint64_t x) {
+  return static_cast<unsigned>(std::popcount(x)) & 1u;
 }
 
-SecdedWord pack(const CodeBits& cb) {
-  SecdedWord w{0, 0};
-  for (unsigned i = 0; i < 64; ++i)
-    if (cb.bits[kDataPos[i]]) w.data |= std::uint64_t{1} << i;
-  for (unsigned j = 0; j < 7; ++j)
-    if (cb.bits[1u << j]) w.check |= static_cast<std::uint8_t>(1u << j);
-  if (cb.bits[0]) w.check |= 0x80;
-  return w;
+// XOR of the Hamming positions of all set data bits, via the mask kernel.
+inline unsigned data_syndrome(std::uint64_t data) {
+  unsigned syn = 0;
+  for (unsigned j = 0; j < 7; ++j) syn |= parity64(data & kSynMask[j]) << j;
+  return syn;
 }
 
 }  // namespace
@@ -52,9 +60,7 @@ SecdedWord pack(const CodeBits& cb) {
 SecdedWord Secded7264::encode(std::uint64_t data) {
   // Syndrome of the data bits determines the Hamming check bits; the overall
   // parity bit makes the full 72-bit word even-parity.
-  unsigned syn = 0;
-  for (unsigned i = 0; i < 64; ++i)
-    if ((data >> i) & 1) syn ^= kDataPos[i];
+  const unsigned syn = data_syndrome(data);
 
   SecdedWord w{data, 0};
   w.check = static_cast<std::uint8_t>(syn & 0x7F);
@@ -66,15 +72,13 @@ SecdedWord Secded7264::encode(std::uint64_t data) {
 }
 
 SecdedResult Secded7264::decode(SecdedWord w) {
-  CodeBits cb = unpack(w);
-  unsigned syn = 0;
-  unsigned parity = 0;
-  for (unsigned p = 0; p < 72; ++p) {
-    if (cb.bits[p]) {
-      syn ^= p;
-      parity ^= 1;
-    }
-  }
+  // Full-word syndrome: data bits contribute through the parity masks; check
+  // bit j sits at position 2^j so it contributes exactly syndrome bit j, and
+  // the overall parity bit sits at position 0 (contributes nothing).
+  const unsigned syn = data_syndrome(w.data) ^ (w.check & 0x7Fu);
+  const unsigned parity = (static_cast<unsigned>(std::popcount(w.data)) +
+                           static_cast<unsigned>(std::popcount(w.check))) &
+                          1u;
   if (syn == 0 && parity == 0) return {DecodeStatus::kClean, w.data};
 
   if (parity == 1) {
@@ -86,8 +90,10 @@ SecdedResult Secded7264::decode(SecdedWord w) {
       // 3+-bit corruption. Report uncorrectable rather than miscorrect.
       return {DecodeStatus::kUncorrectable, w.data};
     }
-    cb.bits[syn] = !cb.bits[syn];
-    return {DecodeStatus::kCorrected, pack(cb).data};
+    // Flipping a check-bit position leaves the data untouched.
+    const unsigned i = kPosToData[syn];
+    if (i != 0xFF) return {DecodeStatus::kCorrected, w.data ^ (std::uint64_t{1} << i)};
+    return {DecodeStatus::kCorrected, w.data};
   }
   // Even parity with nonzero syndrome: double-bit error detected.
   return {DecodeStatus::kUncorrectable, w.data};

@@ -52,17 +52,21 @@ std::vector<std::uint8_t> RsCode::encode(
 std::vector<std::uint32_t> RsCode::syndromes(
     const std::vector<std::uint8_t>& cw) const {
   // Polynomial position of code-word symbol i: data i -> 2t + i, parity j ->
-  // j (same layout convention as the BCH codec).
+  // j (same layout convention as the BCH codec). Each S_j = c(alpha^j) is a
+  // Horner fold from the highest position down — one fixed-multiplicand
+  // multiply per symbol (log(alpha^j) = j in GF(256), no alpha_pow/mod) —
+  // which sums exactly the same field elements as the positional form.
   const int r = parity_symbols();
+  const int k = k_data();
   std::vector<std::uint32_t> syn(static_cast<std::size_t>(r), 0);
-  for (int i = 0; i < code_symbols(); ++i) {
-    const std::uint32_t v = cw[static_cast<std::size_t>(i)];
-    if (v == 0) continue;
-    const int pos = i < k_data() ? r + i : i - k_data();
-    for (int j = 1; j <= r; ++j)
-      syn[static_cast<std::size_t>(j - 1)] = field_.add(
-          syn[static_cast<std::size_t>(j - 1)],
-          field_.mul(v, field_.alpha_pow(static_cast<std::int64_t>(pos) * j)));
+  for (int j = 1; j <= r; ++j) {
+    const auto lg = static_cast<std::uint32_t>(j);
+    std::uint32_t acc = 0;
+    for (int i = k - 1; i >= 0; --i)
+      acc = field_.mul_by_log(acc, lg) ^ cw[static_cast<std::size_t>(i)];
+    for (int p = r - 1; p >= 0; --p)
+      acc = field_.mul_by_log(acc, lg) ^ cw[static_cast<std::size_t>(k + p)];
+    syn[static_cast<std::size_t>(j - 1)] = acc;
   }
   return syn;
 }
@@ -131,23 +135,37 @@ RsDecodeResult RsCode::decode(const std::vector<std::uint8_t>& codeword) const {
   std::vector<std::uint32_t> dsigma(sigma.size() > 1 ? sigma.size() - 1 : 1, 0);
   for (std::size_t j = 1; j < sigma.size(); j += 2) dsigma[j - 1] = sigma[j];
 
-  // Chien search + Forney magnitudes.
+  // Incremental Chien search + Forney magnitudes: lane i holds
+  // sigma_i * alpha^{-pos*i}, advanced by a fixed alpha^{-i} per position.
+  // Forney's omega/dsigma evaluations only run at actual roots, and the scan
+  // stops once all deg roots are in hand (a degree-deg sigma has no more).
   std::vector<std::uint8_t> corrected = codeword;
   int found = 0;
+  const std::uint32_t nf = field_.n();
+  std::vector<std::uint32_t> q(sigma);
+  std::vector<std::uint32_t> step_lg(sigma.size(), 0);
+  for (std::size_t i = 1; i < sigma.size(); ++i)
+    step_lg[i] = (nf - static_cast<std::uint32_t>(i % nf)) % nf;  // log a^-i
   for (int pos = 0; pos < code_symbols(); ++pos) {
-    const std::uint32_t xinv =
-        field_.alpha_pow(-static_cast<std::int64_t>(pos));
-    if (field_.poly_eval(sigma, xinv) != 0) continue;
-    const std::uint32_t num = field_.poly_eval(omega, xinv);
-    const std::uint32_t den = field_.poly_eval(dsigma, xinv);
-    if (den == 0) return {DecodeStatus::kUncorrectable, extract(codeword), 0};
-    const std::uint32_t magnitude = field_.div(num, den);
-    const std::size_t idx = pos >= parity_symbols()
-                                ? static_cast<std::size_t>(pos - parity_symbols())
-                                : static_cast<std::size_t>(k_data() + pos);
-    corrected[idx] = static_cast<std::uint8_t>(
-        field_.add(corrected[idx], magnitude));
-    ++found;
+    std::uint32_t eval = 0;
+    for (std::size_t i = 0; i < q.size(); ++i) eval ^= q[i];
+    if (eval == 0) {
+      const std::uint32_t xinv =
+          field_.alpha_pow(-static_cast<std::int64_t>(pos));
+      const std::uint32_t num = field_.poly_eval(omega, xinv);
+      const std::uint32_t den = field_.poly_eval(dsigma, xinv);
+      if (den == 0) return {DecodeStatus::kUncorrectable, extract(codeword), 0};
+      const std::uint32_t magnitude = field_.div(num, den);
+      const std::size_t idx =
+          pos >= parity_symbols()
+              ? static_cast<std::size_t>(pos - parity_symbols())
+              : static_cast<std::size_t>(k_data() + pos);
+      corrected[idx] = static_cast<std::uint8_t>(
+          field_.add(corrected[idx], magnitude));
+      if (++found == deg) break;
+    }
+    for (std::size_t i = 1; i < q.size(); ++i)
+      q[i] = field_.mul_by_log(q[i], step_lg[i]);
   }
   if (found != deg)
     return {DecodeStatus::kUncorrectable, extract(codeword), 0};

@@ -1,6 +1,7 @@
 #include "flash/device.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace densemem::flash {
@@ -19,6 +20,14 @@ double hashed_normal(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
 }
 constexpr std::uint64_t kTagLeak = 0x4c45414b;  // "LEAK"
 constexpr std::uint64_t kTagRd = 0x52444953;    // "RDIS"
+
+// Read-screen safety margins. The per-cell shift bounds below are exact
+// algebra over the retention/disturb formulas; these absorb every floating-
+// point rounding on either side of the comparison (double eps ~2e-16, so the
+// margins are ~1e6x rounding yet still ~1e-9 of a read-reference gap —
+// screening efficiency is unaffected).
+constexpr double kBandInflate = 1.0 + 1e-9;
+constexpr double kBandAbsEps = 1e-9;
 }  // namespace
 
 FlashDevice::FlashDevice(FlashConfig cfg)
@@ -29,7 +38,8 @@ FlashDevice::FlashDevice(FlashConfig cfg)
       wordlines_(static_cast<std::size_t>(cfg_.geometry.blocks) *
                  cfg_.geometry.wordlines),
       pe_(cfg_.geometry.blocks, 0),
-      block_reads_(cfg_.geometry.blocks, 0) {
+      block_reads_(cfg_.geometry.blocks, 0),
+      cell_cache_(wordlines_.size()) {
   cfg_.geometry.validate();
   for (std::uint32_t b = 0; b < cfg_.geometry.blocks; ++b) erase_block(b, 0.0);
   // Factory-fresh: erases above must not count as wear.
@@ -37,16 +47,37 @@ FlashDevice::FlashDevice(FlashConfig cfg)
   stats_ = FlashStats{};
 }
 
+const FlashDevice::CellCache& FlashDevice::cell_cache(std::uint32_t block,
+                                                      std::uint32_t wl) const {
+  auto& slot = cell_cache_[wl_index(block, wl)];
+  if (!slot) {
+    auto cc = std::make_unique<CellCache>();
+    const std::uint32_t n = cfg_.geometry.page_bits;
+    cc->leak.resize(n);
+    cc->susc.resize(n);
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const double l = std::exp(
+          cfg_.cell.leak_sigma * hashed_normal(cfg_.seed, kTagLeak, block, wl, c));
+      const double s = std::exp(
+          cfg_.cell.rd_sigma * hashed_normal(cfg_.seed, kTagRd, block, wl, c));
+      cc->leak[c] = l;
+      cc->susc[c] = s;
+      cc->max_leak = std::max(cc->max_leak, l);
+      cc->max_susc = std::max(cc->max_susc, s);
+    }
+    slot = std::move(cc);
+  }
+  return *slot;
+}
+
 double FlashDevice::leak_factor(std::uint32_t block, std::uint32_t wl,
                                 std::uint32_t cell) const {
-  return std::exp(cfg_.cell.leak_sigma *
-                  hashed_normal(cfg_.seed, kTagLeak, block, wl, cell));
+  return cell_cache(block, wl).leak[cell];
 }
 
 double FlashDevice::rd_susceptibility(std::uint32_t block, std::uint32_t wl,
                                       std::uint32_t cell) const {
-  return std::exp(cfg_.cell.rd_sigma *
-                  hashed_normal(cfg_.seed, kTagRd, block, wl, cell));
+  return cell_cache(block, wl).susc[cell];
 }
 
 double FlashDevice::retention_shift(double vth, double leak, std::uint32_t pe,
@@ -68,11 +99,11 @@ double FlashDevice::disturb_shift(double vth, double susc,
 double FlashDevice::effective_vth(std::uint32_t block, std::uint32_t wl,
                                   std::uint32_t cell, double now) const {
   const Wordline& w = wordlines_[wl_index(block, wl)];
+  const CellCache& cc = cell_cache(block, wl);
   const double stored = vth_[cell_index(block, wl, cell)];
-  const double leak = leak_factor(block, wl, cell);
-  const double susc = rd_susceptibility(block, wl, cell);
-  return stored + retention_shift(stored, leak, pe_[block], now - w.t_prog) +
-         disturb_shift(stored, susc, block_reads_[block] - w.rd_base);
+  return stored +
+         retention_shift(stored, cc.leak[cell], pe_[block], now - w.t_prog) +
+         disturb_shift(stored, cc.susc[cell], block_reads_[block] - w.rd_base);
 }
 
 void FlashDevice::erase_block(std::uint32_t block, double now) {
@@ -82,12 +113,13 @@ void FlashDevice::erase_block(std::uint32_t block, double now) {
     w = Wordline{};
     w.t_prog = now;
     w.rd_base = block_reads_[block];
+    const std::size_t ci0 = cell_index(block, wl, 0);
     for (std::uint32_t c = 0; c < cfg_.geometry.page_bits; ++c) {
-      const std::size_t ci = cell_index(block, wl, c);
-      vth_[ci] = static_cast<float>(
+      vth_[ci0 + c] = static_cast<float>(
           rng_.normal(cfg_.cell.state_mean[0], cfg_.cell.erase_sigma));
-      intended_[ci] = -1;
     }
+    std::fill_n(intended_.begin() + static_cast<std::ptrdiff_t>(ci0),
+                cfg_.geometry.page_bits, static_cast<int8_t>(-1));
   }
   ++pe_[block];
   ++stats_.erases;
@@ -116,22 +148,35 @@ void FlashDevice::program_page(const PageAddress& a, const BitVec& data,
   const bool has_lower_neighbor =
       a.wordline > 0 &&
       wordlines_[wl_index(a.block, a.wordline - 1)].lsb_programmed;
+  const std::uint32_t nbits = cfg_.geometry.page_bits;
+  const std::size_t ci0 = cell_index(a.block, a.wordline, 0);
+  const std::size_t ni0 =
+      a.wordline > 0 ? cell_index(a.block, a.wordline - 1, 0) : 0;
 
   if (a.type == PageType::kLsb) {
     DM_CHECK_MSG(!w.lsb_programmed, "LSB page already programmed");
-    for (std::uint32_t c = 0; c < cfg_.geometry.page_bits; ++c) {
-      const std::size_t ci = cell_index(a.block, a.wordline, c);
-      double delta = 0.0;
-      if (!data.get(c)) {
+    // Bitplane pass: LSB=1 cells stay erased (intended state ER), so only
+    // the complement word drives programming pulses + interference. The RNG
+    // draw order (ascending cell among programmed cells) matches the
+    // original per-cell loop exactly.
+    for (std::size_t w64 = 0; w64 * 64 < nbits; ++w64) {
+      const unsigned nb = static_cast<unsigned>(
+          std::min<std::size_t>(64, nbits - w64 * 64));
+      const std::uint64_t mask =
+          nb < 64 ? (std::uint64_t{1} << nb) - 1 : ~std::uint64_t{0};
+      const std::uint64_t dw = data.word(w64) & mask;
+      std::fill_n(intended_.begin() +
+                      static_cast<std::ptrdiff_t>(ci0 + w64 * 64),
+                  nb, static_cast<int8_t>(0));
+      for (std::uint64_t m = ~dw & mask; m != 0; m &= m - 1) {
+        const std::size_t c =
+            w64 * 64 + static_cast<unsigned>(std::countr_zero(m));
         // LSB=0: move to the intermediate LM state.
-        delta = program_cell(ci, p.lm_mean, p.lm_sigma);
-        intended_[ci] = 4;  // LM
-      } else {
-        intended_[ci] = 0;  // remains ER
-      }
-      if (has_lower_neighbor && delta > 0.0) {
-        vth_[cell_index(a.block, a.wordline - 1, c)] +=
-            static_cast<float>(p.interference_gamma * delta);
+        const double delta = program_cell(ci0 + c, p.lm_mean, p.lm_sigma);
+        intended_[ci0 + c] = 4;  // LM
+        if (has_lower_neighbor && delta > 0.0) {
+          vth_[ni0 + c] += static_cast<float>(p.interference_gamma * delta);
+        }
       }
     }
     w.lsb_programmed = true;
@@ -140,10 +185,35 @@ void FlashDevice::program_page(const PageAddress& a, const BitVec& data,
   } else {
     DM_CHECK_MSG(w.lsb_programmed, "MSB programmed before LSB (two-step)");
     DM_CHECK_MSG(!w.msb_programmed, "MSB page already programmed");
-    for (std::uint32_t c = 0; c < cfg_.geometry.page_bits; ++c) {
-      const std::size_t ci = cell_index(a.block, a.wordline, c);
+    // Every cell materializes its drifted Vth; the per-page retention and
+    // disturb terms are hoisted (exact left-to-right prefixes of the
+    // original expressions) and leak/susc come from the memoized cache. The
+    // cache is only consulted when a drift term can actually be nonzero —
+    // an immediate MSB step (dt == 0, no intervening reads) must not pay
+    // for building per-cell factors it would never read.
+    const double dt_s = now - w.t_prog;
+    const std::uint64_t reads = block_reads_[a.block] - w.rd_base;
+    const CellCache* cc = (dt_s > 0.0 || reads != 0)
+                              ? &cell_cache(a.block, a.wordline)
+                              : nullptr;
+    const double reads_d = static_cast<double>(reads);
+    const double c1 =
+        -p.retention_a * (1.0 + p.retention_wear_coef * pe_[a.block]);
+    const double lg =
+        dt_s > 0.0 ? std::log10(1.0 + dt_s / p.retention_t0_s) : 0.0;
+    const double s0 = p.state_mean[0];
+    const double s3 = p.state_mean[3];
+    for (std::uint32_t c = 0; c < nbits; ++c) {
+      const std::size_t ci = ci0 + c;
       // Materialize drift accumulated on the intermediate state so far.
-      const double veff = effective_vth(a.block, a.wordline, c, now);
+      const double stored = vth_[ci];
+      const double ret = (dt_s <= 0.0 || stored <= s0)
+                             ? 0.0
+                             : ((c1 * cc->leak[c]) * (stored / s3)) * lg;
+      const double dis = (stored >= p.rd_ceiling || reads == 0)
+                             ? 0.0
+                             : (p.rd_step * cc->susc[c]) * reads_d;
+      const double veff = stored + ret + dis;
       vth_[ci] = static_cast<float>(veff);
 
       const bool intended_lsb = (intended_[ci] != 4);
@@ -162,8 +232,7 @@ void FlashDevice::program_page(const PageAddress& a, const BitVec& data,
       }
       intended_[ci] = static_cast<int8_t>(state_of(intended_lsb, data.get(c)));
       if (has_lower_neighbor && delta > 0.0) {
-        vth_[cell_index(a.block, a.wordline - 1, c)] +=
-            static_cast<float>(p.interference_gamma * delta);
+        vth_[ni0 + c] += static_cast<float>(p.interference_gamma * delta);
       }
     }
     w.msb_programmed = true;
@@ -187,19 +256,91 @@ BitVec FlashDevice::read_page(const PageAddress& a, double now,
   // A wordline whose MSB page is not yet programmed holds ER/LM only, so an
   // LSB read uses the intermediate reference; after the MSB step the final
   // four-state references apply.
-  const bool final_states =
-      wordlines_[wl_index(a.block, a.wordline)].msb_programmed;
+  const Wordline& w = wordlines_[wl_index(a.block, a.wordline)];
+  const bool final_states = w.msb_programmed;
   const double lsb_ref = final_states ? p.read_ref[1] : p.lm_read_ref;
-  BitVec out(cfg_.geometry.page_bits);
-  for (std::uint32_t c = 0; c < cfg_.geometry.page_bits; ++c) {
-    const double v = effective_vth(a.block, a.wordline, c, now);
-    bool bit;
-    if (a.type == PageType::kLsb) {
-      bit = v < lsb_ref + ref_offset;
+
+  // The cache is only consulted when a drift term can actually be nonzero —
+  // a zero-age, zero-disturb read must not pay for building per-cell
+  // factors it would never read.
+  const double dt_s = now - w.t_prog;
+  const std::uint64_t reads = block_reads_[a.block] - w.rd_base;
+  const CellCache* cc = (dt_s > 0.0 || reads != 0)
+                            ? &cell_cache(a.block, a.wordline)
+                            : nullptr;
+  const double reads_d = static_cast<double>(reads);
+  const double c1 =
+      -p.retention_a * (1.0 + p.retention_wear_coef * pe_[a.block]);
+  const double lg = dt_s > 0.0 ? std::log10(1.0 + dt_s / p.retention_t0_s) : 0.0;
+  const double s0 = p.state_mean[0];
+  const double s3 = p.state_mean[3];
+
+  // Screen bound: for any cell, |retention| <= |c1|*max_leak*(|stored|/s3)*lg
+  // and |disturb| <= |rd_step|*max_susc*reads, so the effective Vth lies
+  // within band(stored) of the stored value. Cells whose stored Vth clears
+  // every read reference by more than the band threshold identically to the
+  // full computation; only the in-band exceptions re-run the original
+  // arithmetic. s3 <= 0 would break the level bound — fall back to all-slow.
+  const bool screen_ok = s3 > 0.0;
+  const double k_ret =
+      (screen_ok && dt_s > 0.0)
+          ? (std::fabs(c1) * cc->max_leak / s3) * lg * kBandInflate
+          : 0.0;
+  const double k_dis =
+      reads != 0
+          ? (std::fabs(p.rd_step) * cc->max_susc) * reads_d * kBandInflate
+          : 0.0;
+
+  const std::uint32_t nbits = cfg_.geometry.page_bits;
+  const float* vp = vth_.data() + cell_index(a.block, a.wordline, 0);
+  const bool is_lsb = a.type == PageType::kLsb;
+  const double rl = lsb_ref + ref_offset;
+  const double r0 = p.read_ref[0] + ref_offset;
+  const double r2 = p.read_ref[2] + ref_offset;
+
+  BitVec out(nbits);
+  for (std::size_t w64 = 0; w64 * 64 < nbits; ++w64) {
+    const unsigned nb = static_cast<unsigned>(
+        std::min<std::size_t>(64, nbits - w64 * 64));
+    const float* vw = vp + w64 * 64;
+    std::uint64_t bits = 0;
+    std::uint64_t exc = 0;
+    if (!screen_ok) {
+      exc = nb < 64 ? (std::uint64_t{1} << nb) - 1 : ~std::uint64_t{0};
+    } else if (is_lsb) {
+      for (unsigned c = 0; c < nb; ++c) {
+        const double stored = vw[c];
+        const double band = k_ret * std::fabs(stored) + k_dis + kBandAbsEps;
+        if (std::fabs(stored - rl) <= band)
+          exc |= std::uint64_t{1} << c;
+        else
+          bits |= static_cast<std::uint64_t>(stored < rl) << c;
+      }
     } else {
-      bit = (v < p.read_ref[0] + ref_offset) || (v > p.read_ref[2] + ref_offset);
+      for (unsigned c = 0; c < nb; ++c) {
+        const double stored = vw[c];
+        const double band = k_ret * std::fabs(stored) + k_dis + kBandAbsEps;
+        if (std::fabs(stored - r0) <= band || std::fabs(stored - r2) <= band)
+          exc |= std::uint64_t{1} << c;
+        else
+          bits |= static_cast<std::uint64_t>(stored < r0 || stored > r2) << c;
+      }
     }
-    out.set(c, bit);
+    for (std::uint64_t m = exc; m != 0; m &= m - 1) {
+      const unsigned c = static_cast<unsigned>(std::countr_zero(m));
+      const auto cell = static_cast<std::uint32_t>(w64 * 64 + c);
+      const double stored = vw[c];
+      const double ret = (dt_s <= 0.0 || stored <= s0)
+                             ? 0.0
+                             : ((c1 * cc->leak[cell]) * (stored / s3)) * lg;
+      const double dis = (stored >= p.rd_ceiling || reads == 0)
+                             ? 0.0
+                             : (p.rd_step * cc->susc[cell]) * reads_d;
+      const double v = stored + ret + dis;
+      const bool bit = is_lsb ? v < rl : (v < r0 || v > r2);
+      bits |= static_cast<std::uint64_t>(bit) << c;
+    }
+    out.set_word(w64, bits);
   }
   // Reading applies pass-through stress to the block (lazily realized via
   // the per-block counter; the selected wordline's own increment is a
@@ -215,20 +356,51 @@ BitVec FlashDevice::read_page_with_offsets(
   DM_CHECK_MSG(cell_offsets.size() == cfg_.geometry.page_bits,
                "per-cell offset size mismatch");
   const CellParams& p = cfg_.cell;
-  const bool final_states =
-      wordlines_[wl_index(a.block, a.wordline)].msb_programmed;
+  const Wordline& w = wordlines_[wl_index(a.block, a.wordline)];
+  const bool final_states = w.msb_programmed;
   const double lsb_ref = final_states ? p.read_ref[1] : p.lm_read_ref;
-  BitVec out(cfg_.geometry.page_bits);
-  for (std::uint32_t c = 0; c < cfg_.geometry.page_bits; ++c) {
-    const double v = effective_vth(a.block, a.wordline, c, now);
-    const double off = cell_offsets[c];
-    bool bit;
-    if (a.type == PageType::kLsb) {
-      bit = v < lsb_ref + off;
-    } else {
-      bit = (v < p.read_ref[0] + off) || (v > p.read_ref[2] + off);
+
+  // Per-cell references rule out the band screen, but the memoized
+  // leak/susc arrays and hoisted per-page terms still apply (the cache is
+  // skipped entirely when no drift term can be nonzero).
+  const double dt_s = now - w.t_prog;
+  const std::uint64_t reads = block_reads_[a.block] - w.rd_base;
+  const CellCache* cc = (dt_s > 0.0 || reads != 0)
+                            ? &cell_cache(a.block, a.wordline)
+                            : nullptr;
+  const double reads_d = static_cast<double>(reads);
+  const double c1 =
+      -p.retention_a * (1.0 + p.retention_wear_coef * pe_[a.block]);
+  const double lg = dt_s > 0.0 ? std::log10(1.0 + dt_s / p.retention_t0_s) : 0.0;
+  const double s0 = p.state_mean[0];
+  const double s3 = p.state_mean[3];
+
+  const std::uint32_t nbits = cfg_.geometry.page_bits;
+  const float* vp = vth_.data() + cell_index(a.block, a.wordline, 0);
+  const bool is_lsb = a.type == PageType::kLsb;
+
+  BitVec out(nbits);
+  for (std::size_t w64 = 0; w64 * 64 < nbits; ++w64) {
+    const unsigned nb = static_cast<unsigned>(
+        std::min<std::size_t>(64, nbits - w64 * 64));
+    std::uint64_t bits = 0;
+    for (unsigned c = 0; c < nb; ++c) {
+      const auto cell = static_cast<std::uint32_t>(w64 * 64 + c);
+      const double stored = vp[cell];
+      const double ret = (dt_s <= 0.0 || stored <= s0)
+                             ? 0.0
+                             : ((c1 * cc->leak[cell]) * (stored / s3)) * lg;
+      const double dis = (stored >= p.rd_ceiling || reads == 0)
+                             ? 0.0
+                             : (p.rd_step * cc->susc[cell]) * reads_d;
+      const double v = stored + ret + dis;
+      const double off = cell_offsets[cell];
+      const bool bit = is_lsb
+                           ? v < lsb_ref + off
+                           : (v < p.read_ref[0] + off) || (v > p.read_ref[2] + off);
+      bits |= static_cast<std::uint64_t>(bit) << c;
     }
-    out.set(c, bit);
+    out.set_word(w64, bits);
   }
   ++block_reads_[a.block];
   ++stats_.reads;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -122,6 +123,13 @@ class FlashDevice {
   int intended_state(std::uint32_t block, std::uint32_t wl,
                      std::uint32_t cell) const;
 
+  /// Raw stored Vth (diagnostic; the equivalence suite compares the mutated
+  /// arrays directly, not just thresholded reads).
+  float stored_vth(std::uint32_t block, std::uint32_t wl,
+                   std::uint32_t cell) const {
+    return vth_[cell_index(block, wl, cell)];
+  }
+
  private:
   struct Wordline {
     bool lsb_programmed = false;
@@ -129,6 +137,17 @@ class FlashDevice {
     double t_prog = 0.0;          ///< time of last programming touch
     std::uint64_t rd_base = 0;    ///< block read counter at last program
   };
+
+  /// Memoized per-cell leak factor / read-disturb susceptibility for one
+  /// wordline, plus their maxima (the read screen's shift bounds). These are
+  /// pure functions of (seed, coordinates) — never invalidated.
+  struct CellCache {
+    std::vector<double> leak;
+    std::vector<double> susc;
+    double max_leak = 0.0;
+    double max_susc = 0.0;
+  };
+  const CellCache& cell_cache(std::uint32_t block, std::uint32_t wl) const;
 
   std::size_t wl_index(std::uint32_t block, std::uint32_t wl) const {
     return static_cast<std::size_t>(block) * cfg_.geometry.wordlines + wl;
@@ -156,6 +175,8 @@ class FlashDevice {
   std::vector<Wordline> wordlines_;
   std::vector<std::uint32_t> pe_;     ///< per-block program/erase cycles
   mutable std::vector<std::uint64_t> block_reads_;
+  /// Lazily built per-wordline caches (only touched wordlines pay memory).
+  mutable std::vector<std::unique_ptr<CellCache>> cell_cache_;
 };
 
 }  // namespace densemem::flash

@@ -1,0 +1,428 @@
+// Frozen pre-optimization ECC implementations; see reference_ecc.h.
+#include "reference_ecc.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <set>
+
+namespace densemem::refimpl {
+namespace {
+
+constexpr bool is_pow2(unsigned x) { return x != 0 && (x & (x - 1)) == 0; }
+
+constexpr std::array<std::uint8_t, 64> make_data_positions() {
+  std::array<std::uint8_t, 64> pos{};
+  unsigned p = 1, i = 0;
+  while (i < 64) {
+    if (!is_pow2(p)) pos[i++] = static_cast<std::uint8_t>(p);
+    ++p;
+  }
+  return pos;
+}
+constexpr auto kDataPos = make_data_positions();
+
+struct CodeBits {
+  std::array<bool, 72> bits{};
+};
+
+CodeBits unpack(ecc::SecdedWord w) {
+  CodeBits cb;
+  for (unsigned i = 0; i < 64; ++i)
+    cb.bits[kDataPos[i]] = (w.data >> i) & 1;
+  for (unsigned j = 0; j < 7; ++j)
+    cb.bits[1u << j] = (w.check >> j) & 1;
+  cb.bits[0] = (w.check >> 7) & 1;
+  return cb;
+}
+
+ecc::SecdedWord pack(const CodeBits& cb) {
+  ecc::SecdedWord w{0, 0};
+  for (unsigned i = 0; i < 64; ++i)
+    if (cb.bits[kDataPos[i]]) w.data |= std::uint64_t{1} << i;
+  for (unsigned j = 0; j < 7; ++j)
+    if (cb.bits[1u << j]) w.check |= static_cast<std::uint8_t>(1u << j);
+  if (cb.bits[0]) w.check |= 0x80;
+  return w;
+}
+
+}  // namespace
+
+ecc::SecdedWord RefSecded7264::encode(std::uint64_t data) {
+  unsigned syn = 0;
+  for (unsigned i = 0; i < 64; ++i)
+    if ((data >> i) & 1) syn ^= kDataPos[i];
+
+  ecc::SecdedWord w{data, 0};
+  w.check = static_cast<std::uint8_t>(syn & 0x7F);
+  const unsigned ones = static_cast<unsigned>(std::popcount(data)) +
+                        static_cast<unsigned>(std::popcount(w.check));
+  if (ones & 1) w.check |= 0x80;
+  return w;
+}
+
+ecc::SecdedResult RefSecded7264::decode(ecc::SecdedWord w) {
+  CodeBits cb = unpack(w);
+  unsigned syn = 0;
+  unsigned parity = 0;
+  for (unsigned p = 0; p < 72; ++p) {
+    if (cb.bits[p]) {
+      syn ^= p;
+      parity ^= 1;
+    }
+  }
+  if (syn == 0 && parity == 0) return {ecc::DecodeStatus::kClean, w.data};
+
+  if (parity == 1) {
+    if (syn == 0) return {ecc::DecodeStatus::kCorrected, w.data};
+    if (syn >= 72) return {ecc::DecodeStatus::kUncorrectable, w.data};
+    cb.bits[syn] = !cb.bits[syn];
+    return {ecc::DecodeStatus::kCorrected, pack(cb).data};
+  }
+  return {ecc::DecodeStatus::kUncorrectable, w.data};
+}
+
+RefGF2m::RefGF2m(int m)
+    : m_(m),
+      n_((1u << m) - 1),
+      poly_(ecc::GF2m::default_primitive_poly(m)),
+      exp_(2 * ((1u << m) - 1)),
+      log_(1u << m) {
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    exp_[i] = x;
+    log_[x] = i;
+    x <<= 1;
+    if (x & (1u << m_)) x ^= poly_;
+  }
+  for (std::uint32_t i = n_; i < 2 * n_; ++i) exp_[i] = exp_[i - n_];
+  log_[0] = 0;
+}
+
+namespace {
+
+std::vector<std::uint8_t> minimal_poly(const RefGF2m& f, std::uint32_t c) {
+  std::vector<std::uint32_t> coset;
+  std::uint32_t e = c;
+  do {
+    coset.push_back(e);
+    e = (e * 2) % f.n();
+  } while (e != c);
+
+  std::vector<std::uint32_t> poly{1};
+  for (std::uint32_t j : coset) {
+    const std::uint32_t root = f.alpha_pow(j);
+    std::vector<std::uint32_t> next(poly.size() + 1, 0);
+    for (std::size_t i = 0; i < poly.size(); ++i) {
+      next[i + 1] = f.add(next[i + 1], poly[i]);
+      next[i] = f.add(next[i], f.mul(root, poly[i]));
+    }
+    poly = std::move(next);
+  }
+  std::vector<std::uint8_t> out(poly.size());
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    DM_CHECK_MSG(poly[i] <= 1, "minimal polynomial has non-binary coefficient");
+    out[i] = static_cast<std::uint8_t>(poly[i]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> poly_mul_gf2(const std::vector<std::uint8_t>& a,
+                                       const std::vector<std::uint8_t>& b) {
+  std::vector<std::uint8_t> r(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i]) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) r[i + j] ^= b[j];
+  }
+  return r;
+}
+
+std::vector<std::uint8_t> build_generator(const RefGF2m& f, int t) {
+  std::vector<std::uint8_t> g{1};
+  std::set<std::uint32_t> covered;
+  for (int c = 1; c <= 2 * t; ++c) {
+    const auto cu = static_cast<std::uint32_t>(c);
+    if (covered.count(cu)) continue;
+    std::uint32_t e = cu;
+    do {
+      covered.insert(e);
+      e = (e * 2) % f.n();
+    } while (e != cu);
+    g = poly_mul_gf2(g, minimal_poly(f, cu));
+  }
+  return g;
+}
+
+}  // namespace
+
+RefBchCode::RefBchCode(ecc::BchParams p) : params_(p), field_(p.m) {
+  DM_CHECK_MSG(p.t >= 1, "BCH t must be >= 1");
+  DM_CHECK_MSG(p.k_data >= 1, "BCH payload must be >= 1 bit");
+  gen_ = build_generator(field_, p.t);
+  const int r = parity_bits();
+  DM_CHECK_MSG(p.k_data + r <= n(),
+               "BCH payload does not fit: k_data + parity exceeds 2^m - 1");
+  DM_CHECK_MSG(gen_.back() == 1, "generator polynomial must be monic");
+}
+
+BitVec RefBchCode::encode(const BitVec& data) const {
+  DM_CHECK_MSG(static_cast<int>(data.size()) == k_data(),
+               "encode payload size mismatch");
+  const int r = parity_bits();
+  std::vector<std::uint8_t> rem(static_cast<std::size_t>(r), 0);
+  for (int i = k_data() - 1; i >= 0; --i) {
+    const bool fb = data.get(static_cast<std::size_t>(i)) !=
+                    static_cast<bool>(rem[static_cast<std::size_t>(r - 1)]);
+    for (int j = r - 1; j > 0; --j)
+      rem[static_cast<std::size_t>(j)] = rem[static_cast<std::size_t>(j - 1)];
+    rem[0] = 0;
+    if (fb)
+      for (int j = 0; j < r; ++j)
+        rem[static_cast<std::size_t>(j)] ^= gen_[static_cast<std::size_t>(j)];
+  }
+  BitVec cw(static_cast<std::size_t>(code_bits()));
+  for (int i = 0; i < k_data(); ++i)
+    cw.set(static_cast<std::size_t>(i), data.get(static_cast<std::size_t>(i)));
+  for (int j = 0; j < r; ++j)
+    cw.set(static_cast<std::size_t>(k_data() + j),
+           static_cast<bool>(rem[static_cast<std::size_t>(j)]));
+  return cw;
+}
+
+std::vector<std::uint32_t> RefBchCode::compute_syndromes(
+    const BitVec& cw) const {
+  const int r = parity_bits();
+  std::vector<std::uint32_t> syn(static_cast<std::size_t>(2 * params_.t), 0);
+  for (std::size_t bit : cw.set_bits()) {
+    const std::int64_t pos =
+        bit < static_cast<std::size_t>(k_data())
+            ? static_cast<std::int64_t>(r) + static_cast<std::int64_t>(bit)
+            : static_cast<std::int64_t>(bit) - k_data();
+    for (int j = 1; j <= 2 * params_.t; ++j)
+      syn[static_cast<std::size_t>(j - 1)] ^= field_.alpha_pow(pos * j);
+  }
+  return syn;
+}
+
+ecc::BchDecodeResult RefBchCode::decode(const BitVec& codeword) const {
+  DM_CHECK_MSG(static_cast<int>(codeword.size()) == code_bits(),
+               "decode code word size mismatch");
+  auto extract_data = [&](const BitVec& cw) {
+    BitVec d(static_cast<std::size_t>(k_data()));
+    for (int i = 0; i < k_data(); ++i)
+      d.set(static_cast<std::size_t>(i), cw.get(static_cast<std::size_t>(i)));
+    return d;
+  };
+
+  const auto syn = compute_syndromes(codeword);
+  if (std::all_of(syn.begin(), syn.end(), [](std::uint32_t s) { return s == 0; }))
+    return {ecc::DecodeStatus::kClean, extract_data(codeword), 0};
+
+  const int t2 = 2 * params_.t;
+  std::vector<std::uint32_t> sigma{1};
+  std::vector<std::uint32_t> b{1};
+  int L = 0;
+  std::uint32_t bdisc = 1;
+  int shift = 1;
+  for (int n_iter = 0; n_iter < t2; ++n_iter) {
+    std::uint32_t d = syn[static_cast<std::size_t>(n_iter)];
+    for (int i = 1; i <= L && i < static_cast<int>(sigma.size()); ++i) {
+      const int idx = n_iter - i;
+      if (idx >= 0)
+        d = field_.add(d, field_.mul(sigma[static_cast<std::size_t>(i)],
+                                     syn[static_cast<std::size_t>(idx)]));
+    }
+    if (d == 0) {
+      ++shift;
+      continue;
+    }
+    const std::uint32_t coef = field_.div(d, bdisc);
+    std::vector<std::uint32_t> next = sigma;
+    if (next.size() < b.size() + static_cast<std::size_t>(shift))
+      next.resize(b.size() + static_cast<std::size_t>(shift), 0);
+    for (std::size_t i = 0; i < b.size(); ++i)
+      next[i + static_cast<std::size_t>(shift)] = field_.add(
+          next[i + static_cast<std::size_t>(shift)], field_.mul(coef, b[i]));
+    if (2 * L <= n_iter) {
+      b = sigma;
+      bdisc = d;
+      L = n_iter + 1 - L;
+      shift = 1;
+    } else {
+      ++shift;
+    }
+    sigma = std::move(next);
+  }
+  while (sigma.size() > 1 && sigma.back() == 0) sigma.pop_back();
+  const int deg = static_cast<int>(sigma.size()) - 1;
+  if (deg == 0 || deg > params_.t || L != deg)
+    return {ecc::DecodeStatus::kUncorrectable, extract_data(codeword), 0};
+
+  BitVec corrected = codeword;
+  int found = 0;
+  const int max_pos = code_bits();
+  for (int pos = 0; pos < max_pos; ++pos) {
+    const std::uint32_t x = field_.alpha_pow(-static_cast<std::int64_t>(pos));
+    if (field_.poly_eval(sigma, x) == 0) {
+      const std::size_t bit =
+          pos >= parity_bits()
+              ? static_cast<std::size_t>(pos - parity_bits())
+              : static_cast<std::size_t>(k_data() + pos);
+      corrected.flip(bit);
+      ++found;
+    }
+  }
+  if (found != deg)
+    return {ecc::DecodeStatus::kUncorrectable, extract_data(codeword), 0};
+  const auto check = compute_syndromes(corrected);
+  if (!std::all_of(check.begin(), check.end(),
+                   [](std::uint32_t s) { return s == 0; }))
+    return {ecc::DecodeStatus::kUncorrectable, extract_data(codeword), 0};
+  return {ecc::DecodeStatus::kCorrected, extract_data(corrected), found};
+}
+
+RefRsCode::RefRsCode(ecc::RsParams p) : params_(p), field_(8) {
+  DM_CHECK_MSG(p.t >= 1, "RS t must be >= 1");
+  DM_CHECK_MSG(p.k_data >= 1, "RS payload must be >= 1 symbol");
+  DM_CHECK_MSG(p.k_data + 2 * p.t <= 255,
+               "RS code word exceeds GF(256) length");
+  gen_ = {1};
+  for (int i = 1; i <= 2 * p.t; ++i) {
+    const std::uint32_t root = field_.alpha_pow(i);
+    std::vector<std::uint32_t> next(gen_.size() + 1, 0);
+    for (std::size_t j = 0; j < gen_.size(); ++j) {
+      next[j + 1] = field_.add(next[j + 1], gen_[j]);
+      next[j] = field_.add(next[j], field_.mul(root, gen_[j]));
+    }
+    gen_ = std::move(next);
+  }
+}
+
+std::vector<std::uint8_t> RefRsCode::encode(
+    const std::vector<std::uint8_t>& data) const {
+  DM_CHECK_MSG(static_cast<int>(data.size()) == k_data(),
+               "encode payload size mismatch");
+  const int r = parity_symbols();
+  std::vector<std::uint32_t> rem(static_cast<std::size_t>(r), 0);
+  for (int i = k_data() - 1; i >= 0; --i) {
+    const std::uint32_t fb =
+        field_.add(data[static_cast<std::size_t>(i)],
+                   rem[static_cast<std::size_t>(r - 1)]);
+    for (int j = r - 1; j > 0; --j)
+      rem[static_cast<std::size_t>(j)] =
+          field_.add(rem[static_cast<std::size_t>(j - 1)],
+                     field_.mul(fb, gen_[static_cast<std::size_t>(j)]));
+    rem[0] = field_.mul(fb, gen_[0]);
+  }
+  std::vector<std::uint8_t> cw(static_cast<std::size_t>(code_symbols()));
+  std::copy(data.begin(), data.end(), cw.begin());
+  for (int j = 0; j < r; ++j)
+    cw[static_cast<std::size_t>(k_data() + j)] =
+        static_cast<std::uint8_t>(rem[static_cast<std::size_t>(j)]);
+  return cw;
+}
+
+std::vector<std::uint32_t> RefRsCode::syndromes(
+    const std::vector<std::uint8_t>& cw) const {
+  const int r = parity_symbols();
+  std::vector<std::uint32_t> syn(static_cast<std::size_t>(r), 0);
+  for (int i = 0; i < code_symbols(); ++i) {
+    const std::uint32_t v = cw[static_cast<std::size_t>(i)];
+    if (v == 0) continue;
+    const int pos = i < k_data() ? r + i : i - k_data();
+    for (int j = 1; j <= r; ++j)
+      syn[static_cast<std::size_t>(j - 1)] = field_.add(
+          syn[static_cast<std::size_t>(j - 1)],
+          field_.mul(v, field_.alpha_pow(static_cast<std::int64_t>(pos) * j)));
+  }
+  return syn;
+}
+
+ecc::RsDecodeResult RefRsCode::decode(
+    const std::vector<std::uint8_t>& codeword) const {
+  DM_CHECK_MSG(static_cast<int>(codeword.size()) == code_symbols(),
+               "decode code word size mismatch");
+  auto extract = [&](const std::vector<std::uint8_t>& cw) {
+    return std::vector<std::uint8_t>(cw.begin(), cw.begin() + k_data());
+  };
+  const auto syn = syndromes(codeword);
+  if (std::all_of(syn.begin(), syn.end(), [](std::uint32_t s) { return s == 0; }))
+    return {ecc::DecodeStatus::kClean, extract(codeword), 0};
+
+  const int r = parity_symbols();
+  std::vector<std::uint32_t> sigma{1}, b{1};
+  int L = 0, shift = 1;
+  std::uint32_t bdisc = 1;
+  for (int n = 0; n < r; ++n) {
+    std::uint32_t d = syn[static_cast<std::size_t>(n)];
+    for (int i = 1; i <= L && i < static_cast<int>(sigma.size()); ++i)
+      if (n - i >= 0)
+        d = field_.add(d, field_.mul(sigma[static_cast<std::size_t>(i)],
+                                     syn[static_cast<std::size_t>(n - i)]));
+    if (d == 0) {
+      ++shift;
+      continue;
+    }
+    const std::uint32_t coef = field_.div(d, bdisc);
+    std::vector<std::uint32_t> next = sigma;
+    if (next.size() < b.size() + static_cast<std::size_t>(shift))
+      next.resize(b.size() + static_cast<std::size_t>(shift), 0);
+    for (std::size_t i = 0; i < b.size(); ++i)
+      next[i + static_cast<std::size_t>(shift)] = field_.add(
+          next[i + static_cast<std::size_t>(shift)], field_.mul(coef, b[i]));
+    if (2 * L <= n) {
+      b = sigma;
+      bdisc = d;
+      L = n + 1 - L;
+      shift = 1;
+    } else {
+      ++shift;
+    }
+    sigma = std::move(next);
+  }
+  while (sigma.size() > 1 && sigma.back() == 0) sigma.pop_back();
+  const int deg = static_cast<int>(sigma.size()) - 1;
+  if (deg == 0 || deg > params_.t || L != deg)
+    return {ecc::DecodeStatus::kUncorrectable, extract(codeword), 0};
+
+  std::vector<std::uint32_t> omega(static_cast<std::size_t>(r), 0);
+  for (int i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < sigma.size(); ++j) {
+      const int k = i + static_cast<int>(j);
+      if (k >= r) break;
+      omega[static_cast<std::size_t>(k)] =
+          field_.add(omega[static_cast<std::size_t>(k)],
+                     field_.mul(syn[static_cast<std::size_t>(i)], sigma[j]));
+    }
+  }
+  std::vector<std::uint32_t> dsigma(sigma.size() > 1 ? sigma.size() - 1 : 1, 0);
+  for (std::size_t j = 1; j < sigma.size(); j += 2) dsigma[j - 1] = sigma[j];
+
+  std::vector<std::uint8_t> corrected = codeword;
+  int found = 0;
+  for (int pos = 0; pos < code_symbols(); ++pos) {
+    const std::uint32_t xinv =
+        field_.alpha_pow(-static_cast<std::int64_t>(pos));
+    if (field_.poly_eval(sigma, xinv) != 0) continue;
+    const std::uint32_t num = field_.poly_eval(omega, xinv);
+    const std::uint32_t den = field_.poly_eval(dsigma, xinv);
+    if (den == 0)
+      return {ecc::DecodeStatus::kUncorrectable, extract(codeword), 0};
+    const std::uint32_t magnitude = field_.div(num, den);
+    const std::size_t idx = pos >= parity_symbols()
+                                ? static_cast<std::size_t>(pos - parity_symbols())
+                                : static_cast<std::size_t>(k_data() + pos);
+    corrected[idx] = static_cast<std::uint8_t>(
+        field_.add(corrected[idx], magnitude));
+    ++found;
+  }
+  if (found != deg)
+    return {ecc::DecodeStatus::kUncorrectable, extract(codeword), 0};
+  const auto check = syndromes(corrected);
+  if (!std::all_of(check.begin(), check.end(),
+                   [](std::uint32_t s) { return s == 0; }))
+    return {ecc::DecodeStatus::kUncorrectable, extract(codeword), 0};
+  return {ecc::DecodeStatus::kCorrected, extract(corrected), found};
+}
+
+}  // namespace densemem::refimpl

@@ -1,0 +1,232 @@
+// Frozen pre-optimization flash device; see reference_flash.h.
+#include "reference_flash.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace densemem::refimpl {
+
+namespace {
+double hashed_normal(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+                     std::uint64_t b, std::uint64_t c) {
+  const std::uint64_t h1 = splitmix64(hash_coords(seed, tag, a, b, c));
+  const std::uint64_t h2 = splitmix64(h1);
+  double u1 = static_cast<double>(h1 >> 11) * 0x1.0p-53;
+  const double u2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+constexpr std::uint64_t kTagLeak = 0x4c45414b;  // "LEAK"
+constexpr std::uint64_t kTagRd = 0x52444953;    // "RDIS"
+}  // namespace
+
+RefFlashDevice::RefFlashDevice(flash::FlashConfig cfg)
+    : cfg_(std::move(cfg)),
+      rng_(hash_coords(cfg_.seed, 0x464c5348 /* "FLSH" */)),
+      vth_(cfg_.geometry.cells_total(), 0.0f),
+      intended_(cfg_.geometry.cells_total(), -1),
+      wordlines_(static_cast<std::size_t>(cfg_.geometry.blocks) *
+                 cfg_.geometry.wordlines),
+      pe_(cfg_.geometry.blocks, 0),
+      block_reads_(cfg_.geometry.blocks, 0) {
+  cfg_.geometry.validate();
+  for (std::uint32_t b = 0; b < cfg_.geometry.blocks; ++b) erase_block(b, 0.0);
+  std::fill(pe_.begin(), pe_.end(), 0u);
+  stats_ = flash::FlashStats{};
+}
+
+double RefFlashDevice::leak_factor(std::uint32_t block, std::uint32_t wl,
+                                   std::uint32_t cell) const {
+  return std::exp(cfg_.cell.leak_sigma *
+                  hashed_normal(cfg_.seed, kTagLeak, block, wl, cell));
+}
+
+double RefFlashDevice::rd_susceptibility(std::uint32_t block, std::uint32_t wl,
+                                         std::uint32_t cell) const {
+  return std::exp(cfg_.cell.rd_sigma *
+                  hashed_normal(cfg_.seed, kTagRd, block, wl, cell));
+}
+
+double RefFlashDevice::retention_shift(double vth, double leak,
+                                       std::uint32_t pe, double dt_s) const {
+  const flash::CellParams& p = cfg_.cell;
+  if (dt_s <= 0.0 || vth <= p.state_mean[0]) return 0.0;
+  const double level = vth / p.state_mean[3];
+  return -p.retention_a * (1.0 + p.retention_wear_coef * pe) * leak * level *
+         std::log10(1.0 + dt_s / p.retention_t0_s);
+}
+
+double RefFlashDevice::disturb_shift(double vth, double susc,
+                                     std::uint64_t reads) const {
+  const flash::CellParams& p = cfg_.cell;
+  if (vth >= p.rd_ceiling || reads == 0) return 0.0;
+  return p.rd_step * susc * static_cast<double>(reads);
+}
+
+double RefFlashDevice::effective_vth(std::uint32_t block, std::uint32_t wl,
+                                     std::uint32_t cell, double now) const {
+  const Wordline& w = wordlines_[wl_index(block, wl)];
+  const double stored = vth_[cell_index(block, wl, cell)];
+  const double leak = leak_factor(block, wl, cell);
+  const double susc = rd_susceptibility(block, wl, cell);
+  return stored + retention_shift(stored, leak, pe_[block], now - w.t_prog) +
+         disturb_shift(stored, susc, block_reads_[block] - w.rd_base);
+}
+
+void RefFlashDevice::erase_block(std::uint32_t block, double now) {
+  DM_CHECK_MSG(block < cfg_.geometry.blocks, "block out of range");
+  for (std::uint32_t wl = 0; wl < cfg_.geometry.wordlines; ++wl) {
+    Wordline& w = wordlines_[wl_index(block, wl)];
+    w = Wordline{};
+    w.t_prog = now;
+    w.rd_base = block_reads_[block];
+    for (std::uint32_t c = 0; c < cfg_.geometry.page_bits; ++c) {
+      const std::size_t ci = cell_index(block, wl, c);
+      vth_[ci] = static_cast<float>(
+          rng_.normal(cfg_.cell.state_mean[0], cfg_.cell.erase_sigma));
+      intended_[ci] = -1;
+    }
+  }
+  ++pe_[block];
+  ++stats_.erases;
+}
+
+double RefFlashDevice::program_cell(std::size_t ci, double target_mean,
+                                    double sigma) {
+  const double old = vth_[ci];
+  const double pulse = rng_.normal(target_mean, sigma);
+  const double next = std::max(old, pulse);
+  vth_[ci] = static_cast<float>(next);
+  return next - old;
+}
+
+void RefFlashDevice::program_page(const flash::PageAddress& a,
+                                  const BitVec& data, double now) {
+  DM_CHECK_MSG(a.block < cfg_.geometry.blocks &&
+                   a.wordline < cfg_.geometry.wordlines,
+               "page address out of range");
+  DM_CHECK_MSG(data.size() == cfg_.geometry.page_bits, "page size mismatch");
+  Wordline& w = wordlines_[wl_index(a.block, a.wordline)];
+  const flash::CellParams& p = cfg_.cell;
+  const double sigma = p.prog_sigma * (1.0 + p.sigma_wear_coef * pe_[a.block]);
+  const bool has_lower_neighbor =
+      a.wordline > 0 &&
+      wordlines_[wl_index(a.block, a.wordline - 1)].lsb_programmed;
+
+  if (a.type == flash::PageType::kLsb) {
+    DM_CHECK_MSG(!w.lsb_programmed, "LSB page already programmed");
+    for (std::uint32_t c = 0; c < cfg_.geometry.page_bits; ++c) {
+      const std::size_t ci = cell_index(a.block, a.wordline, c);
+      double delta = 0.0;
+      if (!data.get(c)) {
+        delta = program_cell(ci, p.lm_mean, p.lm_sigma);
+        intended_[ci] = 4;  // LM
+      } else {
+        intended_[ci] = 0;  // remains ER
+      }
+      if (has_lower_neighbor && delta > 0.0) {
+        vth_[cell_index(a.block, a.wordline - 1, c)] +=
+            static_cast<float>(p.interference_gamma * delta);
+      }
+    }
+    w.lsb_programmed = true;
+    w.t_prog = now;
+    w.rd_base = block_reads_[a.block];
+  } else {
+    DM_CHECK_MSG(w.lsb_programmed, "MSB programmed before LSB (two-step)");
+    DM_CHECK_MSG(!w.msb_programmed, "MSB page already programmed");
+    for (std::uint32_t c = 0; c < cfg_.geometry.page_bits; ++c) {
+      const std::size_t ci = cell_index(a.block, a.wordline, c);
+      const double veff = effective_vth(a.block, a.wordline, c, now);
+      vth_[ci] = static_cast<float>(veff);
+
+      const bool intended_lsb = (intended_[ci] != 4);
+      bool lsb_readback;
+      if (cfg_.buffer_lsb_in_controller) {
+        lsb_readback = intended_lsb;
+      } else {
+        lsb_readback = veff < p.lm_read_ref;
+        if (lsb_readback != intended_lsb) ++stats_.two_step_lsb_misreads;
+      }
+      const int final_state = flash::state_of(lsb_readback, data.get(c));
+      double delta = 0.0;
+      if (final_state != 0) {
+        delta = program_cell(ci, p.state_mean[final_state], sigma);
+      }
+      intended_[ci] =
+          static_cast<int8_t>(flash::state_of(intended_lsb, data.get(c)));
+      if (has_lower_neighbor && delta > 0.0) {
+        vth_[cell_index(a.block, a.wordline - 1, c)] +=
+            static_cast<float>(p.interference_gamma * delta);
+      }
+    }
+    w.msb_programmed = true;
+    w.t_prog = now;
+    w.rd_base = block_reads_[a.block];
+  }
+  ++stats_.programs;
+}
+
+bool RefFlashDevice::page_programmed(const flash::PageAddress& a) const {
+  const Wordline& w = wordlines_[wl_index(a.block, a.wordline)];
+  return a.type == flash::PageType::kLsb ? w.lsb_programmed : w.msb_programmed;
+}
+
+BitVec RefFlashDevice::read_page(const flash::PageAddress& a, double now,
+                                 double ref_offset) const {
+  DM_CHECK_MSG(a.block < cfg_.geometry.blocks &&
+                   a.wordline < cfg_.geometry.wordlines,
+               "page address out of range");
+  const flash::CellParams& p = cfg_.cell;
+  const bool final_states =
+      wordlines_[wl_index(a.block, a.wordline)].msb_programmed;
+  const double lsb_ref = final_states ? p.read_ref[1] : p.lm_read_ref;
+  BitVec out(cfg_.geometry.page_bits);
+  for (std::uint32_t c = 0; c < cfg_.geometry.page_bits; ++c) {
+    const double v = effective_vth(a.block, a.wordline, c, now);
+    bool bit;
+    if (a.type == flash::PageType::kLsb) {
+      bit = v < lsb_ref + ref_offset;
+    } else {
+      bit = (v < p.read_ref[0] + ref_offset) || (v > p.read_ref[2] + ref_offset);
+    }
+    out.set(c, bit);
+  }
+  ++block_reads_[a.block];
+  ++stats_.reads;
+  return out;
+}
+
+BitVec RefFlashDevice::read_page_with_offsets(
+    const flash::PageAddress& a, double now,
+    const std::vector<float>& cell_offsets) const {
+  DM_CHECK_MSG(cell_offsets.size() == cfg_.geometry.page_bits,
+               "per-cell offset size mismatch");
+  const flash::CellParams& p = cfg_.cell;
+  const bool final_states =
+      wordlines_[wl_index(a.block, a.wordline)].msb_programmed;
+  const double lsb_ref = final_states ? p.read_ref[1] : p.lm_read_ref;
+  BitVec out(cfg_.geometry.page_bits);
+  for (std::uint32_t c = 0; c < cfg_.geometry.page_bits; ++c) {
+    const double v = effective_vth(a.block, a.wordline, c, now);
+    const double off = cell_offsets[c];
+    bool bit;
+    if (a.type == flash::PageType::kLsb) {
+      bit = v < lsb_ref + off;
+    } else {
+      bit = (v < p.read_ref[0] + off) || (v > p.read_ref[2] + off);
+    }
+    out.set(c, bit);
+  }
+  ++block_reads_[a.block];
+  ++stats_.reads;
+  return out;
+}
+
+int RefFlashDevice::intended_state(std::uint32_t block, std::uint32_t wl,
+                                   std::uint32_t cell) const {
+  return intended_[cell_index(block, wl, cell)];
+}
+
+}  // namespace densemem::refimpl

@@ -1,0 +1,95 @@
+// Reference (pre-optimization) MLC flash device, kept verbatim from the
+// original implementation as an executable specification.
+//
+// The production flash::FlashDevice now runs program/read as bitplane
+// kernels over 64-bit words with memoized per-cell leak/susceptibility
+// draws, per-page hoisted retention/disturb terms, and a stored-bitplane
+// screen that short-circuits words provably clear of the read references —
+// all *claimed* bit-identical to the original per-cell page_bits loops
+// preserved here. tests/test_flash_equivalence.cpp drives both devices
+// through identical program/erase/read scripts across every page state and
+// asserts identical read bits, stats, intended states and stored Vth.
+//
+// Deliberately NOT kept in sync with src/flash — this is the frozen
+// baseline. It reuses the public value types (FlashConfig, PageAddress,
+// FlashStats, CellParams) so results compare field-for-field.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "flash/device.h"
+#include "flash/params.h"
+
+namespace densemem::refimpl {
+
+class RefFlashDevice {
+ public:
+  explicit RefFlashDevice(flash::FlashConfig cfg);
+
+  const flash::FlashGeometry& geometry() const { return cfg_.geometry; }
+  const flash::FlashStats& stats() const { return stats_; }
+  std::uint32_t pe_cycles(std::uint32_t block) const { return pe_[block]; }
+
+  void erase_block(std::uint32_t block, double now);
+  void age_block(std::uint32_t block, std::uint32_t cycles) {
+    pe_[block] += cycles;
+  }
+  void program_page(const flash::PageAddress& a, const BitVec& data,
+                    double now);
+  BitVec read_page(const flash::PageAddress& a, double now,
+                   double ref_offset = 0.0) const;
+  BitVec read_page_with_offsets(const flash::PageAddress& a, double now,
+                                const std::vector<float>& cell_offsets) const;
+  bool page_programmed(const flash::PageAddress& a) const;
+  double effective_vth(std::uint32_t block, std::uint32_t wl,
+                       std::uint32_t cell, double now) const;
+  double leak_factor(std::uint32_t block, std::uint32_t wl,
+                     std::uint32_t cell) const;
+  double rd_susceptibility(std::uint32_t block, std::uint32_t wl,
+                           std::uint32_t cell) const;
+  int intended_state(std::uint32_t block, std::uint32_t wl,
+                     std::uint32_t cell) const;
+
+  /// Raw stored Vth (diagnostic; lets the equivalence suite compare the
+  /// mutated arrays directly, not just thresholded reads).
+  float stored_vth(std::uint32_t block, std::uint32_t wl,
+                   std::uint32_t cell) const {
+    return vth_[cell_index(block, wl, cell)];
+  }
+
+ private:
+  struct Wordline {
+    bool lsb_programmed = false;
+    bool msb_programmed = false;
+    double t_prog = 0.0;
+    std::uint64_t rd_base = 0;
+  };
+
+  std::size_t wl_index(std::uint32_t block, std::uint32_t wl) const {
+    return static_cast<std::size_t>(block) * cfg_.geometry.wordlines + wl;
+  }
+  std::size_t cell_index(std::uint32_t block, std::uint32_t wl,
+                         std::uint32_t cell) const {
+    return (static_cast<std::size_t>(block) * cfg_.geometry.wordlines + wl) *
+               cfg_.geometry.page_bits +
+           cell;
+  }
+  double retention_shift(double vth, double leak, std::uint32_t pe,
+                         double dt_s) const;
+  double disturb_shift(double vth, double susc, std::uint64_t reads) const;
+  double program_cell(std::size_t ci, double target_mean, double sigma);
+
+  flash::FlashConfig cfg_;
+  Rng rng_;
+  mutable flash::FlashStats stats_;
+  std::vector<float> vth_;
+  std::vector<int8_t> intended_;
+  std::vector<Wordline> wordlines_;
+  std::vector<std::uint32_t> pe_;
+  mutable std::vector<std::uint64_t> block_reads_;
+};
+
+}  // namespace densemem::refimpl

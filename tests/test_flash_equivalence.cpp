@@ -1,0 +1,197 @@
+// Equivalence tests: the optimized flash device (bitplane program/read
+// kernels, memoized leak/susceptibility, hoisted per-page drift terms, and
+// the stored-Vth band screen with slow-path word exceptions) must be
+// bit-exact with the frozen pre-optimization implementation in
+// reference_flash.{h,cpp} — identical read bits, stats, intended states,
+// stored Vth and effective Vth for identical program/erase/read scripts
+// across every page state, reference offsets and per-cell offsets, with the
+// controller LSB-buffering mitigation both on and off, including inside
+// campaign jobs at widths 1/2/8.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "flash/device.h"
+#include "reference_flash.h"
+#include "sim/campaign.h"
+
+namespace densemem {
+namespace {
+
+flash::FlashConfig small_config(std::uint64_t seed, bool buffer_lsb,
+                                std::uint32_t page_bits = 128) {
+  flash::FlashConfig cfg;
+  cfg.geometry.blocks = 2;
+  cfg.geometry.wordlines = 4;
+  cfg.geometry.page_bits = page_bits;
+  cfg.seed = seed;
+  cfg.buffer_lsb_in_controller = buffer_lsb;
+  return cfg;
+}
+
+BitVec random_page(Rng& rng, std::uint32_t bits) {
+  BitVec v(bits);
+  for (std::size_t w = 0; w < v.word_count(); ++w) v.set_word(w, rng.next_u64());
+  return v;
+}
+
+void append_bits(std::ostringstream& os, const BitVec& v) {
+  os << std::hex;
+  for (std::size_t w = 0; w < v.word_count(); ++w) os << v.word(w) << ",";
+  os << std::dec << "\n";
+}
+
+// Drives one device through a fixed program/erase/read script covering
+// erased, LSB-only and fully-programmed wordlines, retention ages, read
+// disturb accumulation, reference-offset sweeps and per-cell offsets, and
+// returns a digest of every observable (read words, stats, intended states,
+// exact stored/effective Vth).
+template <typename Device>
+std::string run_script(Device& dev, std::uint64_t data_seed) {
+  using flash::PageAddress;
+  using flash::PageType;
+  Rng rng(data_seed);
+  const auto& g = dev.geometry();
+  std::ostringstream os;
+  os << std::hexfloat;
+
+  const auto dump_state = [&](const char* tag) {
+    os << tag << " stats " << dev.stats().programs << " " << dev.stats().reads
+       << " " << dev.stats().erases << " "
+       << dev.stats().two_step_lsb_misreads << "\n";
+    for (std::uint32_t b = 0; b < g.blocks; ++b) {
+      os << "pe " << dev.pe_cycles(b) << "\n";
+      for (std::uint32_t wl = 0; wl < g.wordlines; ++wl)
+        for (std::uint32_t c = 0; c < g.page_bits; c += 17)
+          os << dev.intended_state(b, wl, c) << " "
+             << static_cast<double>(dev.stored_vth(b, wl, c)) << "\n";
+    }
+  };
+
+  // Erased-state reads (both page types, both early and aged).
+  for (double now : {0.0, 3.0e6}) {
+    append_bits(os, dev.read_page({0, 0, PageType::kLsb}, now));
+    append_bits(os, dev.read_page({0, 0, PageType::kMsb}, now));
+  }
+
+  // Two-step programming across wordlines (interference couples wl -> wl-1).
+  double t = 1000.0;
+  for (std::uint32_t wl = 0; wl < g.wordlines; ++wl) {
+    dev.program_page({0, wl, PageType::kLsb}, random_page(rng, g.page_bits), t);
+    t += 500.0;
+  }
+  dump_state("lsb-only");
+  // Read the intermediate state before and long after (retention drift).
+  append_bits(os, dev.read_page({0, 1, PageType::kLsb}, t));
+  append_bits(os, dev.read_page({0, 1, PageType::kLsb}, t + 90.0 * 86400.0));
+
+  // MSB step after a long drift window: the two-step vulnerability.
+  t += 30.0 * 86400.0;
+  for (std::uint32_t wl = 0; wl + 1 < g.wordlines; ++wl) {
+    dev.program_page({0, wl, PageType::kMsb}, random_page(rng, g.page_bits), t);
+    t += 500.0;
+  }
+  dump_state("programmed");
+
+  // Read-disturb accumulation plus periodic observation.
+  for (int burst = 0; burst < 4; ++burst) {
+    for (int i = 0; i < 250; ++i)
+      dev.read_page({0, 2, PageType::kLsb}, t);
+    append_bits(os, dev.read_page({0, 0, PageType::kLsb}, t));
+    append_bits(os, dev.read_page({0, 0, PageType::kMsb}, t));
+  }
+
+  // Reference-offset sweep (read-retry) on every page state.
+  for (double off : {-0.35, -0.05, 0.0, 0.05, 0.35}) {
+    append_bits(os, dev.read_page({0, 0, PageType::kLsb}, t, off));
+    append_bits(os, dev.read_page({0, 0, PageType::kMsb}, t, off));
+    append_bits(os, dev.read_page({0, 3, PageType::kLsb}, t, off));  // LSB-only
+    append_bits(os, dev.read_page({1, 0, PageType::kLsb}, t, off));  // erased
+  }
+
+  // Per-cell offsets (NAC-style).
+  std::vector<float> offsets(g.page_bits);
+  for (auto& o : offsets)
+    o = static_cast<float>(rng.normal(0.0, 0.15));
+  append_bits(os, dev.read_page_with_offsets({0, 1, PageType::kLsb}, t, offsets));
+  append_bits(os, dev.read_page_with_offsets({0, 1, PageType::kMsb}, t, offsets));
+
+  // Wear: age, erase, reprogram, read far in the future.
+  dev.age_block(0, 3000);
+  dev.erase_block(0, t);
+  dev.program_page({0, 0, PageType::kLsb}, random_page(rng, g.page_bits), t);
+  dev.program_page({0, 0, PageType::kMsb}, random_page(rng, g.page_bits),
+                   t + 40.0 * 86400.0);
+  append_bits(os,
+              dev.read_page({0, 0, PageType::kMsb}, t + 300.0 * 86400.0));
+  dump_state("reprogrammed");
+
+  // Analog observables: exact effective Vth and ground-truth factors.
+  for (std::uint32_t c = 0; c < g.page_bits; c += 11)
+    os << dev.effective_vth(0, 0, c, t + 300.0 * 86400.0) << " "
+       << dev.leak_factor(0, 0, c) << " " << dev.rd_susceptibility(0, 0, c)
+       << "\n";
+  return os.str();
+}
+
+void expect_equivalent(const flash::FlashConfig& cfg, std::uint64_t data_seed) {
+  flash::FlashDevice fast(cfg);
+  refimpl::RefFlashDevice ref(cfg);
+  const std::string a = run_script(fast, data_seed);
+  const std::string b = run_script(ref, data_seed);
+  ASSERT_EQ(a, b);
+}
+
+TEST(FlashEquivalence, ScriptMatchesReference) {
+  expect_equivalent(small_config(11, false), 1);
+}
+
+TEST(FlashEquivalence, ScriptMatchesReferenceBufferedLsb) {
+  expect_equivalent(small_config(12, true), 2);
+}
+
+TEST(FlashEquivalence, ScriptMatchesReferenceUnalignedPageTail) {
+  // page_bits not a multiple of 64 exercises the partial-word bitplanes.
+  expect_equivalent(small_config(13, false, 96), 3);
+}
+
+TEST(FlashEquivalence, ScriptMatchesReferenceAcrossSeeds) {
+  for (std::uint64_t seed : {21ull, 22ull, 23ull, 24ull})
+    expect_equivalent(small_config(seed, seed % 2 == 0), seed);
+}
+
+// The pair must agree inside campaign jobs, and the merged digests must be
+// identical at 1, 2 and 8 worker threads.
+TEST(FlashEquivalence, IdenticalAcross1And2And8Threads) {
+  const auto run_at = [](unsigned threads) {
+    sim::CampaignConfig cfg;
+    cfg.threads = threads;
+    cfg.seed = 99;
+    cfg.progress = false;
+    sim::Campaign c("flash-equivalence", cfg);
+    return c.map<std::string>(8, [](const sim::JobContext& ctx) {
+      const auto fc = small_config(ctx.stream_seed | 1, ctx.index % 2 == 1,
+                                   ctx.index % 3 == 0 ? 96u : 128u);
+      flash::FlashDevice fast(fc);
+      refimpl::RefFlashDevice ref(fc);
+      const std::string a = run_script(fast, ctx.stream_seed ^ 0x5a5a);
+      const std::string b = run_script(ref, ctx.stream_seed ^ 0x5a5a);
+      return std::string(a == b ? "match\n" : "MISMATCH\n") + a;
+    });
+  };
+  const auto one = run_at(1);
+  const auto two = run_at(2);
+  const auto eight = run_at(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  for (const std::string& d : one)
+    EXPECT_EQ(d.substr(0, 6), "match\n");
+}
+
+}  // namespace
+}  // namespace densemem

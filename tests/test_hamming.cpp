@@ -47,6 +47,27 @@ TEST(Secded, AllDoubleBitErrorsDetected) {
   }
 }
 
+TEST(Secded, DoubleBitErrorsNeverMiscorrected) {
+  // Aliasing regression for the mask-kernel decoder: beyond being *detected*,
+  // no 2-bit error may be turned into a miscorrection — the decoder must
+  // return the word's data untouched (flips still in place, nothing "fixed").
+  densemem::Rng rng(4242);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::uint64_t d = rng.next_u64();
+    const auto w = Secded7264::encode(d);
+    for (unsigned i = 0; i < 72; ++i) {
+      for (unsigned j = i + 1; j < 72; ++j) {
+        const auto corrupted =
+            Secded7264::flip_bit(Secded7264::flip_bit(w, i), j);
+        const auto r = Secded7264::decode(corrupted);
+        ASSERT_EQ(r.status, DecodeStatus::kUncorrectable)
+            << "bits " << i << "," << j;
+        ASSERT_EQ(r.data, corrupted.data) << "bits " << i << "," << j;
+      }
+    }
+  }
+}
+
 TEST(Secded, TripleBitErrorsNeverReportedClean) {
   // 3 flips have odd parity: the decoder must report *something* (usually a
   // miscorrection, never "clean"). This is the silent-corruption hazard the
